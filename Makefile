@@ -1,0 +1,45 @@
+# Swift reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench tables figures ablations examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/transport/... ./internal/nfs/ ./internal/sim/
+
+# One benchmark per paper table/figure plus micro-benchmarks.
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Full-fidelity reproductions (run on an otherwise idle machine).
+tables:
+	$(GO) run ./cmd/swift-bench -table all
+
+figures:
+	$(GO) run ./cmd/swift-sim -figure all
+
+ablations:
+	$(GO) run ./cmd/swift-bench -table ablations
+
+edf:
+	$(GO) run ./cmd/swift-sim -figure edf
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/resilience
+	$(GO) run ./examples/multinet
+	$(GO) run ./examples/videoserver
+
+clean:
+	$(GO) clean ./...

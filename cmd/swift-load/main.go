@@ -1,0 +1,180 @@
+// Command swift-load drives a modeled Swift installation with a synthetic
+// request stream (Poisson arrivals, configurable read/write mix and size
+// distribution) and reports per-request latency percentiles and aggregate
+// throughput — the "normal file system" traffic of the paper's §7, as
+// opposed to the large sequential transfers of Tables 1-4.
+//
+// Usage:
+//
+//	swift-load -agents 3 -rate 20 -requests 400 -size 64K
+//	swift-load -agents 4 -parity -mix 0.5 -dist exp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"swift/internal/bench"
+	"swift/internal/core"
+	"swift/internal/stats"
+	"swift/internal/workload"
+)
+
+func main() {
+	agents := flag.Int("agents", 3, "number of storage agents")
+	segments := flag.Int("segments", 1, "number of Ethernet segments")
+	parity := flag.Bool("parity", false, "computed-copy redundancy")
+	rate := flag.Float64("rate", 10, "arrival rate, requests/second (modeled)")
+	requests := flag.Int("requests", 300, "number of requests")
+	mix := flag.Float64("mix", 0.8, "read fraction")
+	sizeStr := flag.String("size", "64K", "request size (suffix K or M)")
+	dist := flag.String("dist", "fixed", "size distribution: fixed, uniform, exp")
+	objects := flag.Int("objects", 8, "distinct objects")
+	scale := flag.Float64("scale", 6, "modeled time scale")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swift-load: %v\n", err)
+		os.Exit(2)
+	}
+	var sizes workload.SizeDist
+	switch *dist {
+	case "fixed":
+		sizes = workload.Fixed(size)
+	case "uniform":
+		sizes = workload.Uniform{Min: size / 4, Max: size}
+	case "exp":
+		sizes = workload.Exponential{Mean: float64(size), Min: 1024, Max: 4 * size}
+	default:
+		fmt.Fprintf(os.Stderr, "swift-load: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+
+	cluster, err := bench.NewSwiftCluster(bench.Options{
+		Agents:   *agents,
+		Segments: *segments,
+		Parity:   *parity,
+		Scale:    *scale,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swift-load: %v\n", err)
+		os.Exit(1)
+	}
+	defer cluster.Close()
+
+	gen, err := workload.New(workload.Config{
+		Rate:         *rate,
+		ReadFraction: *mix,
+		Sizes:        sizes,
+		Objects:      *objects,
+		ObjectSize:   8 << 20,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swift-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Pre-create and pre-fill the object set so reads have data.
+	files := make(map[string]*core.File)
+	fill := make([]byte, 8<<20)
+	for i := range fill {
+		fill[i] = byte(i * 131)
+	}
+	for i := 0; i < *objects; i++ {
+		name := fmt.Sprintf("obj%03d", i)
+		f, err := cluster.Client.Open(name, core.OpenFlags{Create: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swift-load: open %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if _, err := f.WriteAt(fill, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "swift-load: prefill %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		files[name] = f
+	}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	fmt.Printf("prefilled %d objects of %d MB; starting %d requests at %.1f req/s (reads %.0f%%)\n",
+		*objects, len(fill)>>20, *requests, *rate, *mix*100)
+
+	// Replay the stream in modeled time: arrivals are honored against
+	// the modeled clock (open-loop), each request runs to completion
+	// before the next is issued once it has arrived.
+	var readLat, writeLat, allLat stats.Sample
+	var bytesMoved int64
+	buf := make([]byte, 16<<20)
+	start := cluster.Net.Now()
+	for i := 0; i < *requests; i++ {
+		op := gen.Next()
+		// Wait for the arrival instant.
+		for cluster.Net.Now()-start < op.Start {
+			cluster.Net.Sleep(op.Start - (cluster.Net.Now() - start))
+		}
+		f := files[op.Object]
+		t0 := cluster.Net.Now()
+		if op.Read {
+			if _, err := f.ReadAt(buf[:op.Size], op.Offset); err != nil {
+				fmt.Fprintf(os.Stderr, "swift-load: read: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			if _, err := f.WriteAt(buf[:op.Size], op.Offset); err != nil {
+				fmt.Fprintf(os.Stderr, "swift-load: write: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		lat := (cluster.Net.Now() - t0).Seconds() * 1000
+		allLat.Add(lat)
+		if op.Read {
+			readLat.Add(lat)
+		} else {
+			writeLat.Add(lat)
+		}
+		bytesMoved += op.Size
+	}
+	elapsed := cluster.Net.Now() - start
+
+	fmt.Printf("\n%d requests, %.1f MB in %.1f modeled seconds (%.0f KB/s)\n",
+		*requests, float64(bytesMoved)/1e6, elapsed.Seconds(),
+		float64(bytesMoved)/1024/elapsed.Seconds())
+	printLat := func(label string, s *stats.Sample) {
+		if s.N() == 0 {
+			return
+		}
+		fmt.Printf("%-6s n=%-4d mean=%6.1fms  p50=%6.1fms  p95=%6.1fms  p99=%6.1fms  max=%6.1fms\n",
+			label, s.N(), s.Mean(), s.Percentile(50), s.Percentile(95),
+			s.Percentile(99), s.Max())
+	}
+	printLat("all", &allLat)
+	printLat("read", &readLat)
+	printLat("write", &writeLat)
+}
+
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "K"):
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}

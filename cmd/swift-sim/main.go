@@ -1,0 +1,249 @@
+// Command swift-sim regenerates the paper's simulation results
+// (Figures 3-6): the §5 discrete-event study of Swift on a gigabit
+// token-ring network.
+//
+// Usage:
+//
+//	swift-sim -figure 3 [-requests 1200]
+//	swift-sim -figure all
+//
+// Output is a whitespace-aligned table per figure: one row per x-axis
+// point, one column per curve, matching the paper's series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"swift/internal/simswift"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure to regenerate: 3, 4, 5, 6, or all")
+	requests := flag.Int("requests", 0, "requests per simulation point (0 = default)")
+	flag.Parse()
+
+	run := func(name string, fn func(int)) {
+		fmt.Printf("==== Figure %s ====\n", name)
+		fn(*requests)
+		fmt.Println()
+	}
+
+	switch *figure {
+	case "3":
+		run("3", figure3)
+	case "4":
+		run("4", figure4)
+	case "5":
+		run("5", figure5)
+	case "6":
+		run("6", figure6)
+	case "edf":
+		run("EDF extension (§6.1.2)", figureEDF)
+	case "parity":
+		run("parity cost (§6.1.1)", figureParity)
+	case "layout":
+		run("layout policies (§5.1)", figureLayout)
+	case "all":
+		run("3", figure3)
+		run("4", figure4)
+		run("5", figure5)
+		run("6", figure6)
+	default:
+		fmt.Fprintf(os.Stderr, "swift-sim: unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+}
+
+// figureParity runs the §6.1.1 simulator enhancement: the cost of
+// computing and storing the check data, on a write-dominated workload.
+func figureParity(requests int) {
+	fmt.Println("Mean write response with and without computed-copy redundancy")
+	fmt.Println("(512 KB requests, 32 KB units, write-dominated, 2 req/s).")
+	_ = requests
+	w := newTab()
+	fmt.Fprintln(w, "disks\tno parity\twith parity\toverhead\t")
+	for _, disks := range []int{4, 8, 16, 32} {
+		plain, par := simswift.ParityImpact(disks, 32*simswift.KB, 512*simswift.KB, 2)
+		over := float64(par.MeanResponse)/float64(plain.MeanResponse) - 1
+		fmt.Fprintf(w, "%d\t%v\t%v\t+%.0f%%\t\n",
+			disks,
+			plain.MeanResponse.Round(time.Millisecond),
+			par.MeanResponse.Round(time.Millisecond),
+			over*100)
+	}
+	w.Flush()
+}
+
+// figureLayout quantifies §5.1's acknowledged pessimism: the model charges
+// full positioning per transfer unit ("a lower bound on the data-rates");
+// with sequential placement enabled, later units of a multiblock request
+// pay only track-to-track positioning.
+func figureLayout(requests int) {
+	fmt.Println("Max sustainable data-rate: lower-bound model vs sequential placement.")
+	fmt.Println("128 KB requests, 4 KB units, Fujitsu M2372K (Figure 5's workload).")
+	w := newTab()
+	fmt.Fprintln(w, "disks\tlower bound\tseq placement\tgain\t")
+	for _, disks := range []int{4, 8, 16, 32} {
+		cfg := simswift.Figure5Config(simswift.Figure3Drive(), disks)
+		if requests > 0 {
+			cfg.Requests = requests
+		}
+		lower, _ := simswift.MaxSustainableRate(cfg)
+		cfg.SeqPlacement = true
+		better, _ := simswift.MaxSustainableRate(cfg)
+		fmt.Fprintf(w, "%d\t%.2f MB/s\t%.2f MB/s\t×%.2f\t\n",
+			disks, lower/1e6, better/1e6, better/lower)
+	}
+	w.Flush()
+}
+
+// figureEDF runs the §6.1.2 future-work extension: deadline-scheduled
+// disk queues protecting a continuous-media stream from background load.
+func figureEDF(requests int) {
+	fmt.Println("Deadline misses of a 128 KB / 250 ms continuous-media stream")
+	fmt.Println("(4 disks) under background load, FIFO vs EDF disk queues.")
+	periods := 200
+	if requests > 0 {
+		periods = requests
+	}
+	w := newTab()
+	fmt.Fprintln(w, "bg req/s\tFIFO miss%\tEDF miss%\tFIFO bg resp\tEDF bg resp\t")
+	for _, bg := range []float64{0, 4, 8, 12, 16} {
+		mk := func(edf bool) simswift.RTResult {
+			return simswift.RunRT(simswift.RTConfig{
+				Disks: 4,
+				Base: simswift.Config{
+					Drive:        simswift.Figure3Drive(),
+					Unit:         32 * simswift.KB,
+					RequestBytes: 256 * simswift.KB,
+					Seed:         1,
+				},
+				Streams:        1,
+				StreamBytes:    128 * simswift.KB,
+				Period:         250 * time.Millisecond,
+				Periods:        periods,
+				BackgroundRate: bg,
+				EDF:            edf,
+			})
+		}
+		fifo := mk(false)
+		edf := mk(true)
+		fmt.Fprintf(w, "%.0f\t%.1f\t%.1f\t%v\t%v\t\n",
+			bg, fifo.MissFraction*100, edf.MissFraction*100,
+			fifo.MeanBackgroundResponse.Round(time.Millisecond),
+			edf.MeanBackgroundResponse.Round(time.Millisecond))
+	}
+	w.Flush()
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', tabwriter.AlignRight)
+}
+
+// figure3 prints average time to complete a 1-megabyte client request
+// versus offered load, for each (disks, unit) curve of Figure 3.
+func figure3(requests int) {
+	fmt.Println("Average time to complete a 1 MB client request (ms).")
+	fmt.Println("Drive: Fujitsu M2372K (seek 16ms, rot 8.3ms, 2.5 MB/s).")
+	w := newTab()
+	fmt.Fprintf(w, "req/s\t")
+	for _, unit := range simswift.Figure3Units() {
+		for _, disks := range simswift.Figure3Disks() {
+			fmt.Fprintf(w, "%dK/%dd\t", unit/1024, disks)
+		}
+	}
+	fmt.Fprintln(w)
+	for _, lambda := range simswift.Figure3Loads() {
+		fmt.Fprintf(w, "%.0f\t", lambda)
+		for _, unit := range simswift.Figure3Units() {
+			for _, disks := range simswift.Figure3Disks() {
+				cfg := simswift.Figure3Config(disks, unit)
+				if requests > 0 {
+					cfg.Requests = requests
+				}
+				r := simswift.Run(cfg, lambda)
+				if r.Completed == 0 {
+					fmt.Fprintf(w, "-\t")
+					continue
+				}
+				fmt.Fprintf(w, "%.0f\t", float64(r.MeanResponse.Microseconds())/1000)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}
+
+// figure4 prints the same for 128-kilobyte requests on the 1.5 MB/s drive.
+func figure4(requests int) {
+	fmt.Println("Average time to complete a 128 KB client request (ms).")
+	fmt.Println("Drive: 1.5 MB/s (seek 16ms, rot 8.3ms); 4 KB transfer unit.")
+	w := newTab()
+	fmt.Fprintf(w, "req/s\t")
+	for _, disks := range simswift.Figure4Disks() {
+		fmt.Fprintf(w, "%dd\t", disks)
+	}
+	fmt.Fprintln(w)
+	for _, lambda := range simswift.Figure4Loads() {
+		fmt.Fprintf(w, "%.0f\t", lambda)
+		for _, disks := range simswift.Figure4Disks() {
+			cfg := simswift.Figure4Config(disks)
+			if requests > 0 {
+				cfg.Requests = requests
+			}
+			r := simswift.Run(cfg, lambda)
+			if r.Completed == 0 {
+				fmt.Fprintf(w, "-\t")
+				continue
+			}
+			fmt.Fprintf(w, "%.0f\t", float64(r.MeanResponse.Microseconds())/1000)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}
+
+// maxRateTable prints the Figure 5/6 family: observed client data-rate at
+// maximum sustainable load versus number of disks, per drive type.
+func maxRateTable(requests int, mk func(drive int, disks int) simswift.Config) {
+	drives := simswift.Figure56Drives()
+	w := newTab()
+	fmt.Fprintf(w, "disks\t")
+	for _, d := range drives {
+		fmt.Fprintf(w, "%s\t", d.Name)
+	}
+	fmt.Fprintln(w)
+	for _, disks := range simswift.Figure56Disks() {
+		fmt.Fprintf(w, "%d\t", disks)
+		for di := range drives {
+			cfg := mk(di, disks)
+			if requests > 0 {
+				cfg.Requests = requests
+			}
+			rate, _ := simswift.MaxSustainableRate(cfg)
+			fmt.Fprintf(w, "%.2f MB/s\t", rate/1e6)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}
+
+func figure5(requests int) {
+	fmt.Println("Observed client data-rate at maximum sustainable load.")
+	fmt.Println("Client request = 128 KB, disk transfer unit = 4 KB.")
+	maxRateTable(requests, func(di, disks int) simswift.Config {
+		return simswift.Figure5Config(simswift.Figure56Drives()[di], disks)
+	})
+}
+
+func figure6(requests int) {
+	fmt.Println("Observed client data-rate at maximum sustainable load.")
+	fmt.Println("Client request = 1 MB, disk transfer unit = 32 KB.")
+	maxRateTable(requests, func(di, disks int) simswift.Config {
+		return simswift.Figure6Config(simswift.Figure56Drives()[di], disks)
+	})
+}

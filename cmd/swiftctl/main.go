@@ -1,0 +1,317 @@
+// Command swiftctl is the Swift client CLI: it stripes files over a set of
+// storage agents (swiftd processes) and retrieves them, with optional
+// computed-copy redundancy.
+//
+// Usage:
+//
+//	swiftctl -agents HOST:PORT,HOST:PORT,... COMMAND [args]
+//
+// Commands:
+//
+//	put LOCAL [OBJECT]    store a local file as a striped object
+//	get OBJECT [LOCAL]    retrieve a striped object
+//	cat OBJECT            write an object to stdout
+//	stat OBJECT           print an object's size
+//	ls                    list objects
+//	rm OBJECT             remove an object
+//	status                probe each agent: liveness, RTT, objects, bytes
+//	scrub OBJECT          verify parity consistency; -repair fixes rows
+//	bench [-mb N]         measure read & write data-rates against the agents
+//
+// Flags -unit, -parity and -rate select the striping parameters; -rate
+// asks the built-in mediator policy to pick agents and unit size for a
+// required data-rate in KB/s.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"swift"
+	"swift/internal/mediator"
+	"swift/internal/transport/udpnet"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: swiftctl -agents HOST:PORT,... [flags] COMMAND [args]")
+	fmt.Fprintln(os.Stderr, "commands: put get cat stat ls rm status scrub bench")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	agents := flag.String("agents", "", "comma-separated storage agent addresses")
+	bind := flag.String("bind", "127.0.0.1", "local IP to bind")
+	unit := flag.Int64("unit", 32*1024, "striping unit in bytes")
+	parity := flag.Bool("parity", false, "enable computed-copy redundancy")
+	rate := flag.Float64("rate", 0, "required data-rate in KB/s (mediator picks agents and unit)")
+	agentRate := flag.Float64("agent-rate", 400, "per-agent deliverable rate in KB/s, for -rate")
+	syncw := flag.Bool("sync", false, "synchronous writes")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *agents == "" || flag.NArg() == 0 {
+		usage()
+	}
+	addrs := strings.Split(*agents, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+
+	cfg := swift.Config{
+		Host:       udpnet.NewHost(*bind),
+		Agents:     addrs,
+		StripeUnit: *unit,
+		Parity:     *parity,
+		SyncWrites: *syncw,
+	}
+
+	// With a rate requirement, let the mediator build the transfer plan.
+	if *rate > 0 {
+		infos := make([]mediator.AgentInfo, len(addrs))
+		for i, a := range addrs {
+			infos[i] = mediator.AgentInfo{Addr: a, Rate: *agentRate * 1024, Net: 0}
+		}
+		med, err := mediator.New(mediator.Config{
+			Agents: infos,
+			Nets:   []mediator.NetInfo{{Name: "net", Capacity: 1e12}},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := med.OpenSession(mediator.Requirements{
+			Rate:       *rate * 1024,
+			Redundancy: *parity,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Agents = plan.Addrs
+		cfg.StripeUnit = plan.Unit
+		fmt.Fprintf(os.Stderr, "swiftctl: plan: %d agents, unit %d\n", len(plan.Addrs), plan.Unit)
+	}
+
+	fs, err := swift.Dial(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer fs.Close()
+
+	args := flag.Args()
+	switch args[0] {
+	case "put":
+		err = cmdPut(fs, args[1:])
+	case "get":
+		err = cmdGet(fs, args[1:])
+	case "cat":
+		err = cmdCat(fs, args[1:])
+	case "stat":
+		err = cmdStat(fs, args[1:])
+	case "ls":
+		err = cmdLs(fs)
+	case "rm":
+		err = cmdRm(fs, args[1:])
+	case "status":
+		err = cmdStatus(fs)
+	case "scrub":
+		err = cmdScrub(fs, args[1:])
+	case "bench":
+		err = cmdBench(fs, args[1:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "swiftctl: %v\n", err)
+	os.Exit(1)
+}
+
+func cmdPut(fs *swift.FS, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("put needs a local file")
+	}
+	local := args[0]
+	object := local
+	if len(args) > 1 {
+		object = args[1]
+	}
+	data, err := os.ReadFile(local)
+	if err != nil {
+		return err
+	}
+	f, err := fs.Create(object)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	fmt.Printf("stored %s (%d bytes) as %q\n", local, len(data), object)
+	return nil
+}
+
+func cmdGet(fs *swift.FS, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("get needs an object name")
+	}
+	object := args[0]
+	local := object
+	if len(args) > 1 {
+		local = args[1]
+	}
+	f, err := fs.Open(object)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	data := make([]byte, f.Size())
+	if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+		return err
+	}
+	if err := os.WriteFile(local, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("retrieved %q (%d bytes) to %s\n", object, len(data), local)
+	return nil
+}
+
+func cmdCat(fs *swift.FS, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("cat needs an object name")
+	}
+	f, err := fs.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(os.Stdout, f)
+	return err
+}
+
+func cmdStat(fs *swift.FS, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("stat needs an object name")
+	}
+	size, err := fs.Stat(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\t%d bytes\n", args[0], size)
+	return nil
+}
+
+func cmdLs(fs *swift.FS) error {
+	names, err := fs.List()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	return nil
+}
+
+func cmdRm(fs *swift.FS, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("rm needs an object name")
+	}
+	return fs.Remove(args[0])
+}
+
+func cmdStatus(fs *swift.FS) error {
+	for i, st := range fs.Ping() {
+		if !st.Alive {
+			fmt.Printf("agent %d  %-22s DOWN\n", i, st.Addr)
+			continue
+		}
+		fmt.Printf("agent %d  %-22s up  rtt=%-10v objects=%-5d sessions=%-3d bytes=%d\n",
+			i, st.Addr, st.RTT.Round(time.Microsecond), st.Objects, st.Sessions, st.Bytes)
+	}
+	return nil
+}
+
+func cmdScrub(fs *swift.FS, args []string) error {
+	scrubFlags := flag.NewFlagSet("scrub", flag.ExitOnError)
+	repair := scrubFlags.Bool("repair", false, "recompute parity for inconsistent rows")
+	if err := scrubFlags.Parse(args); err != nil {
+		return err
+	}
+	if scrubFlags.NArg() < 1 {
+		return fmt.Errorf("scrub needs an object name")
+	}
+	name := scrubFlags.Arg(0)
+	f, err := fs.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bad, err := f.VerifyParity()
+	if err != nil {
+		return err
+	}
+	if len(bad) == 0 {
+		fmt.Printf("%s: parity consistent (%d bytes)\n", name, f.Size())
+		return nil
+	}
+	fmt.Printf("%s: %d inconsistent stripe rows: %v\n", name, len(bad), bad)
+	if !*repair {
+		return fmt.Errorf("run with -repair to recompute parity from the data units")
+	}
+	for _, r := range bad {
+		if err := f.RepairRow(r); err != nil {
+			return fmt.Errorf("repair row %d: %w", r, err)
+		}
+	}
+	fmt.Printf("repaired %d rows\n", len(bad))
+	return nil
+}
+
+func cmdBench(fs *swift.FS, args []string) error {
+	benchFlags := flag.NewFlagSet("bench", flag.ExitOnError)
+	mb := benchFlags.Int("mb", 8, "transfer size in MB")
+	if err := benchFlags.Parse(args); err != nil {
+		return err
+	}
+	size := *mb << 20
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 2654435761)
+	}
+
+	f, err := fs.Create("swiftctl-bench")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.Close()
+		fs.Remove("swiftctl-bench")
+	}()
+
+	start := time.Now()
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return err
+	}
+	welapsed := time.Since(start)
+
+	buf := make([]byte, size)
+	start = time.Now()
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return err
+	}
+	relapsed := time.Since(start)
+
+	fmt.Printf("write: %8.0f KB/s  (%d MB in %v)\n",
+		float64(size)/1024/welapsed.Seconds(), *mb, welapsed.Round(time.Millisecond))
+	fmt.Printf("read:  %8.0f KB/s  (%d MB in %v)\n",
+		float64(size)/1024/relapsed.Seconds(), *mb, relapsed.Round(time.Millisecond))
+	return nil
+}

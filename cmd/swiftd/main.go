@@ -1,0 +1,78 @@
+// Command swiftd runs a Swift storage agent over UDP: the server process
+// that owns one machine's disk and serves object fragments to Swift
+// clients. Deploy one per storage machine and point clients (swiftctl or
+// the swift package) at the set.
+//
+// Usage:
+//
+//	swiftd -addr 127.0.0.1 -port 7070 -dir /var/swift  # file-backed
+//	swiftd -port 7071 -mem                             # memory-backed
+//	swiftd -port 7072 -sync                            # synchronous writes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"swift/internal/agent"
+	"swift/internal/store"
+	"swift/internal/transport/udpnet"
+)
+
+func main() {
+	log.SetPrefix("swiftd: ")
+	log.SetFlags(log.LstdFlags)
+
+	addr := flag.String("addr", "127.0.0.1", "IP address to bind")
+	port := flag.String("port", agent.DefaultPort, "well-known control port")
+	dir := flag.String("dir", "", "directory for the object store (required unless -mem)")
+	mem := flag.Bool("mem", false, "keep objects in memory instead of on disk")
+	sync := flag.Bool("sync", false, "write through to stable storage before acknowledging")
+	verbose := flag.Bool("v", false, "log protocol diagnostics")
+	flag.Parse()
+
+	var st store.Store
+	switch {
+	case *mem:
+		st = store.NewMem()
+	case *dir != "":
+		fs, err := store.NewFileStore(*dir)
+		if err != nil {
+			log.Fatalf("open store: %v", err)
+		}
+		st = fs
+	default:
+		fmt.Fprintln(os.Stderr, "swiftd: need -dir DIR or -mem")
+		os.Exit(2)
+	}
+
+	cfg := agent.Config{Port: *port, SyncWrites: *sync}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	a, err := agent.New(udpnet.NewHost(*addr), st, cfg)
+	if err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	log.Printf("storage agent serving on %s (store=%s sync=%v)",
+		a.Addr(), storeDesc(*mem, *dir), *sync)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	if err := a.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+}
+
+func storeDesc(mem bool, dir string) string {
+	if mem {
+		return "memory"
+	}
+	return dir
+}

@@ -1,0 +1,69 @@
+// Multinet: the §4.1 experiment as a demo — "the effect of adding a
+// second Ethernet". The same client measures Swift transfers against
+// three agents on one modeled Ethernet, then against six agents spread
+// over two segments, and prints the scaling factors the paper reports
+// (writes ≈2×, reads bounded by the client's receive path).
+//
+//	go run ./examples/multinet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swift/internal/bench"
+	"swift/internal/core"
+)
+
+func measure(segments, agents int) (readKBps, writeKBps float64) {
+	cluster, err := bench.NewSwiftCluster(bench.Options{
+		Agents:   agents,
+		Segments: segments,
+		Scale:    6,
+	})
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
+	defer cluster.Close()
+
+	const size = 3 << 20
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	f, err := cluster.Client.Open("scale-demo", core.OpenFlags{Create: true})
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+
+	start := cluster.Net.Now()
+	if _, err := f.WriteAt(data, 0); err != nil {
+		log.Fatalf("write: %v", err)
+	}
+	writeKBps = size / 1024 / (cluster.Net.Now() - start).Seconds()
+
+	buf := make([]byte, size)
+	start = cluster.Net.Now()
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	readKBps = size / 1024 / (cluster.Net.Now() - start).Seconds()
+	return readKBps, writeKBps
+}
+
+func main() {
+	fmt.Println("Swift scaling across Ethernet segments (3 MB transfers, modeled network)")
+
+	r1, w1 := measure(1, 3)
+	fmt.Printf("one Ethernet,  3 agents:  read %4.0f KB/s   write %4.0f KB/s\n", r1, w1)
+
+	r2, w2 := measure(2, 6)
+	fmt.Printf("two Ethernets, 6 agents:  read %4.0f KB/s   write %4.0f KB/s\n", r2, w2)
+
+	fmt.Printf("scaling: read ×%.2f, write ×%.2f\n", r2/r1, w2/w1)
+	fmt.Println()
+	fmt.Println("As in the paper's Table 4: writes nearly double with the second")
+	fmt.Println("segment, while reads gain only ~25-30% because the client's")
+	fmt.Println("receive path saturates before the added network capacity does.")
+}

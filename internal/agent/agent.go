@@ -1,0 +1,650 @@
+// Package agent implements the Swift storage agent: the server process
+// that owns one host's local disk and serves object fragments over the
+// light-weight data-transfer protocol.
+//
+// Following the paper's §3.1, each agent "waits for open requests on a
+// well-known port. When an open request is received, a new (secondary)
+// thread of control is established along with a private port for further
+// communication about that file with the client. This thread remains
+// active and the communications channel remains open until the file is
+// closed by the client; the primary thread always continues to await new
+// open requests."
+//
+// Reads are served statelessly: the agent streams the requested range as
+// data packets as soon as the request arrives; the client re-requests
+// anything it misses. Writes are stateful: the agent learns the expected
+// range from the write announcement, checks arriving data packets against
+// it, and "either acknowledges receipt of all packets or sends requests
+// for packets lost".
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"swift/internal/extent"
+	"swift/internal/store"
+	"swift/internal/transport"
+	"swift/internal/wire"
+)
+
+// DefaultPort is the well-known control port.
+const DefaultPort = "7070"
+
+// Config tunes an agent. The zero value gets sensible defaults.
+type Config struct {
+	// Port is the well-known control port (default DefaultPort).
+	Port string
+	// ReadChunk is the number of bytes fetched from the store per
+	// operation while streaming a read (default 8192). It controls how
+	// disk and network time interleave.
+	ReadChunk int
+	// ResendCheck is how often incomplete write bursts are examined
+	// (default 25ms).
+	ResendCheck time.Duration
+	// ResendAfter is how long a write burst may make no progress before
+	// the agent requests the missing packets (default 50ms).
+	ResendAfter time.Duration
+	// SessionIdle tears down a session with no traffic (default 60s).
+	SessionIdle time.Duration
+	// DoneTTL keeps completed write-burst state around so duplicate
+	// announcements can be re-acknowledged (default 2s).
+	DoneTTL time.Duration
+	// SyncWrites applies every write burst synchronously even without
+	// the per-burst flag.
+	SyncWrites bool
+	// MaxSessions bounds concurrently open files (default 256); opens
+	// beyond it are rejected, like a process running out of
+	// descriptors.
+	MaxSessions int
+	// Logf receives diagnostic messages (default: none).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Port == "" {
+		c.Port = DefaultPort
+	}
+	if c.ReadChunk == 0 {
+		c.ReadChunk = 8192
+	}
+	if c.ResendCheck == 0 {
+		c.ResendCheck = 25 * time.Millisecond
+	}
+	if c.ResendAfter == 0 {
+		c.ResendAfter = 50 * time.Millisecond
+	}
+	if c.SessionIdle == 0 {
+		c.SessionIdle = 60 * time.Second
+	}
+	if c.DoneTTL == 0 {
+		c.DoneTTL = 2 * time.Second
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Agent is one storage agent.
+type Agent struct {
+	host transport.Host
+	st   store.Store
+	cfg  Config
+	ctl  transport.PacketConn
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextH    uint64
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// New creates an agent serving st on host's well-known port and starts its
+// control loop.
+func New(host transport.Host, st store.Store, cfg Config) (*Agent, error) {
+	cfg.fill()
+	ctl, err := host.Listen(cfg.Port)
+	if err != nil {
+		return nil, fmt.Errorf("agent: %w", err)
+	}
+	a := &Agent{
+		host:     host,
+		st:       st,
+		cfg:      cfg,
+		ctl:      ctl,
+		sessions: make(map[uint64]*session),
+	}
+	a.wg.Add(1)
+	go a.controlLoop()
+	return a, nil
+}
+
+// Addr returns the agent's well-known control address.
+func (a *Agent) Addr() string { return a.ctl.LocalAddr() }
+
+// Close stops the agent and tears down all sessions.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	sess := make([]*session, 0, len(a.sessions))
+	for _, s := range a.sessions {
+		sess = append(sess, s)
+	}
+	a.mu.Unlock()
+	a.ctl.Close()
+	for _, s := range sess {
+		s.conn.Close()
+	}
+	a.wg.Wait()
+	return nil
+}
+
+func (a *Agent) isClosed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closed
+}
+
+// send marshals and transmits one packet, logging failures.
+func (a *Agent) send(c transport.PacketConn, to string, p *wire.Packet) {
+	buf, err := wire.Marshal(p)
+	if err != nil {
+		a.cfg.Logf("agent %s: marshal %v: %v", a.host.Name(), p.Type, err)
+		return
+	}
+	if err := c.WriteTo(buf, to); err != nil {
+		a.cfg.Logf("agent %s: send %v to %s: %v", a.host.Name(), p.Type, to, err)
+	}
+}
+
+// sendError reports a failed request to the client.
+func (a *Agent) sendError(c transport.PacketConn, to string, req *wire.Packet, err error) {
+	a.send(c, to, &wire.Packet{
+		Header:  wire.Header{Type: wire.TError, ReqID: req.ReqID, Handle: req.Handle},
+		Payload: wire.AppendError(nil, err.Error()),
+	})
+}
+
+// controlLoop serves the well-known port: open, stat, remove.
+func (a *Agent) controlLoop() {
+	defer a.wg.Done()
+	buf := make([]byte, wire.MaxPacket)
+	var pkt wire.Packet
+	for {
+		a.ctl.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, from, err := a.ctl.ReadFrom(buf)
+		if err != nil {
+			if transport.IsTimeout(err) {
+				if a.isClosed() {
+					return
+				}
+				continue
+			}
+			return // closed
+		}
+		if err := wire.Unmarshal(buf[:n], &pkt); err != nil {
+			a.cfg.Logf("agent %s: bad packet from %s: %v", a.host.Name(), from, err)
+			continue
+		}
+		switch pkt.Type {
+		case wire.TOpen:
+			a.handleOpen(&pkt, from)
+		case wire.TStat:
+			a.handleStat(&pkt, from)
+		case wire.TRemove:
+			a.handleRemove(&pkt, from)
+		case wire.TList:
+			a.handleList(&pkt, from)
+		case wire.TPing:
+			a.handlePing(&pkt, from)
+		default:
+			a.cfg.Logf("agent %s: unexpected %v on control port", a.host.Name(), pkt.Type)
+		}
+	}
+}
+
+func (a *Agent) handleOpen(pkt *wire.Packet, from string) {
+	req, err := wire.ParseOpenRequest(pkt.Payload)
+	if err != nil {
+		a.sendError(a.ctl, from, pkt, err)
+		return
+	}
+	obj, err := a.st.Open(req.Name, pkt.Flags&wire.FCreate != 0)
+	if err != nil {
+		a.sendError(a.ctl, from, pkt, err)
+		return
+	}
+	if pkt.Flags&wire.FTrunc != 0 {
+		if err := obj.Truncate(0); err != nil {
+			obj.Close()
+			a.sendError(a.ctl, from, pkt, err)
+			return
+		}
+	}
+	size, err := obj.Size()
+	if err != nil {
+		obj.Close()
+		a.sendError(a.ctl, from, pkt, err)
+		return
+	}
+	a.mu.Lock()
+	if len(a.sessions) >= a.cfg.MaxSessions {
+		a.mu.Unlock()
+		obj.Close()
+		a.sendError(a.ctl, from, pkt, fmt.Errorf("too many open files (%d)", a.cfg.MaxSessions))
+		return
+	}
+	a.mu.Unlock()
+	conn, err := a.host.Listen("0")
+	if err != nil {
+		obj.Close()
+		a.sendError(a.ctl, from, pkt, err)
+		return
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		conn.Close()
+		obj.Close()
+		return
+	}
+	a.nextH++
+	h := a.nextH
+	s := &session{
+		agent:  a,
+		handle: h,
+		obj:    obj,
+		conn:   conn,
+		writes: make(map[uint32]*writeState),
+	}
+	a.sessions[h] = s
+	a.mu.Unlock()
+	a.wg.Add(1)
+	go s.run()
+
+	_, port, _ := transport.SplitAddr(conn.LocalAddr())
+	a.send(a.ctl, from, &wire.Packet{
+		Header:  wire.Header{Type: wire.TOpenReply, ReqID: pkt.ReqID, Handle: h},
+		Payload: wire.AppendOpenReply(nil, &wire.OpenReply{Port: port, Size: size}),
+	})
+}
+
+func (a *Agent) handleStat(pkt *wire.Packet, from string) {
+	size, err := a.st.Stat(wireName(pkt.Payload))
+	reply := wire.StatReply{Size: size, Exists: err == nil}
+	if err != nil && err != store.ErrNotExist {
+		a.sendError(a.ctl, from, pkt, err)
+		return
+	}
+	a.send(a.ctl, from, &wire.Packet{
+		Header:  wire.Header{Type: wire.TStatReply, ReqID: pkt.ReqID},
+		Payload: wire.AppendStatReply(nil, &reply),
+	})
+}
+
+func (a *Agent) handleRemove(pkt *wire.Packet, from string) {
+	err := a.st.Remove(wireName(pkt.Payload))
+	if err != nil && err != store.ErrNotExist {
+		a.sendError(a.ctl, from, pkt, err)
+		return
+	}
+	a.send(a.ctl, from, &wire.Packet{
+		Header: wire.Header{Type: wire.TRemoveReply, ReqID: pkt.ReqID},
+	})
+}
+
+// handlePing replies with the agent's status: object count, open
+// sessions, and total fragment bytes.
+func (a *Agent) handlePing(pkt *wire.Packet, from string) {
+	names, err := a.st.List()
+	if err != nil {
+		a.sendError(a.ctl, from, pkt, err)
+		return
+	}
+	var bytes int64
+	for _, n := range names {
+		if sz, err := a.st.Stat(n); err == nil {
+			bytes += sz
+		}
+	}
+	a.mu.Lock()
+	sessions := len(a.sessions)
+	a.mu.Unlock()
+	a.send(a.ctl, from, &wire.Packet{
+		Header: wire.Header{Type: wire.TPingReply, ReqID: pkt.ReqID},
+		Payload: wire.AppendPingReply(nil, &wire.PingReply{
+			Objects:  uint32(len(names)),
+			Sessions: uint32(sessions),
+			Bytes:    bytes,
+		}),
+	})
+}
+
+// handleList streams the store's object names, FLast marking the end.
+func (a *Agent) handleList(pkt *wire.Packet, from string) {
+	names, err := a.st.List()
+	if err != nil {
+		a.sendError(a.ctl, from, pkt, err)
+		return
+	}
+	seq := uint32(0)
+	for {
+		payload, consumed := wire.AppendNames(nil, names)
+		names = names[consumed:]
+		flags := uint16(0)
+		if len(names) == 0 {
+			flags = wire.FLast
+		}
+		a.send(a.ctl, from, &wire.Packet{
+			Header: wire.Header{
+				Type: wire.TListReply, ReqID: pkt.ReqID,
+				Offset: int64(seq), Flags: flags,
+			},
+			Payload: payload,
+		})
+		seq++
+		if len(names) == 0 || consumed == 0 {
+			return
+		}
+	}
+}
+
+// wireName decodes the name payload shared by stat and remove.
+func wireName(b []byte) string {
+	r, err := wire.ParseOpenRequest(b)
+	if err != nil {
+		return ""
+	}
+	return r.Name
+}
+
+// SessionCount reports the number of open file sessions.
+func (a *Agent) SessionCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.sessions)
+}
+
+// dropSession removes s from the session table.
+func (a *Agent) dropSession(s *session) {
+	a.mu.Lock()
+	delete(a.sessions, s.handle)
+	a.mu.Unlock()
+}
+
+// writeState tracks one announced write burst.
+type writeState struct {
+	announced bool
+	off       int64
+	length    int64
+	flags     uint16
+	received  extent.Set
+	progress  time.Time // last time new data arrived
+	prompted  time.Time // last time a resend was requested
+	done      bool
+	doneAt    time.Time
+	from      string
+}
+
+// session is the secondary thread of control serving one open file.
+type session struct {
+	agent  *Agent
+	handle uint64
+	obj    store.Object
+	conn   transport.PacketConn
+
+	writes   map[uint32]*writeState
+	lastSeen time.Time
+}
+
+func (s *session) run() {
+	defer s.agent.wg.Done()
+	defer s.obj.Close()
+	defer s.conn.Close()
+
+	cfg := &s.agent.cfg
+	buf := make([]byte, wire.MaxPacket)
+	var pkt wire.Packet
+	s.lastSeen = time.Now()
+	for {
+		s.conn.SetReadDeadline(time.Now().Add(cfg.ResendCheck))
+		n, from, err := s.conn.ReadFrom(buf)
+		now := time.Now()
+		switch {
+		case err == nil:
+			s.lastSeen = now
+			if uerr := wire.Unmarshal(buf[:n], &pkt); uerr != nil {
+				cfg.Logf("agent %s session %d: bad packet: %v", s.agent.host.Name(), s.handle, uerr)
+				continue
+			}
+			if s.dispatch(&pkt, from) {
+				s.agent.dropSession(s)
+				return
+			}
+		case transport.IsTimeout(err):
+			if now.Sub(s.lastSeen) > cfg.SessionIdle || s.agent.isClosed() {
+				s.agent.dropSession(s)
+				return
+			}
+		default:
+			s.agent.dropSession(s)
+			return
+		}
+		s.checkWrites(time.Now())
+	}
+}
+
+// dispatch handles one packet; it returns true when the session should end.
+func (s *session) dispatch(pkt *wire.Packet, from string) (closed bool) {
+	switch pkt.Type {
+	case wire.TRead:
+		s.serveRead(pkt, from)
+	case wire.TWrite:
+		s.handleWriteAnnounce(pkt, from)
+	case wire.TData:
+		s.handleData(pkt, from)
+	case wire.TSync:
+		if err := s.obj.Sync(); err != nil {
+			s.agent.sendError(s.conn, from, pkt, err)
+			return false
+		}
+		s.agent.send(s.conn, from, &wire.Packet{
+			Header: wire.Header{Type: wire.TSyncReply, ReqID: pkt.ReqID, Handle: s.handle},
+		})
+	case wire.TTrunc:
+		if err := s.obj.Truncate(pkt.Offset); err != nil {
+			s.agent.sendError(s.conn, from, pkt, err)
+			return false
+		}
+		s.agent.send(s.conn, from, &wire.Packet{
+			Header: wire.Header{Type: wire.TTruncReply, ReqID: pkt.ReqID, Handle: s.handle},
+		})
+	case wire.TClose:
+		s.agent.send(s.conn, from, &wire.Packet{
+			Header: wire.Header{Type: wire.TCloseReply, ReqID: pkt.ReqID, Handle: s.handle},
+		})
+		return true
+	default:
+		s.agent.cfg.Logf("agent %s session %d: unexpected %v", s.agent.host.Name(), s.handle, pkt.Type)
+	}
+	return false
+}
+
+// serveRead streams [Offset, Offset+Length) to the client as data packets.
+// The store is consulted in ReadChunk pieces by a reader goroutine while
+// the session transmits, so disk service overlaps network transmission the
+// way the prototype's kernel read-ahead overlapped its sends. Bytes beyond
+// end-of-fragment are zero-filled, which is both the sparse-file
+// convention and what parity reconstruction expects.
+func (s *session) serveRead(pkt *wire.Packet, from string) {
+	cfg := &s.agent.cfg
+	type chunk struct {
+		off  int64
+		data []byte
+		err  error
+	}
+	chunks := make(chan chunk, 2)
+	go func() {
+		defer close(chunks)
+		remaining := int64(pkt.Length)
+		off := pkt.Offset
+		for remaining > 0 {
+			n := int64(cfg.ReadChunk)
+			if n > remaining {
+				n = remaining
+			}
+			buf := make([]byte, n)
+			got, err := s.obj.ReadAt(buf, off)
+			if int64(got) < n && err != nil && !isEOF(err) {
+				chunks <- chunk{err: err}
+				return
+			}
+			// The tail past EOF stays zero-filled.
+			chunks <- chunk{off: off, data: buf}
+			off += n
+			remaining -= n
+		}
+	}()
+
+	end := pkt.Offset + int64(pkt.Length)
+	for c := range chunks {
+		if c.err != nil {
+			s.agent.sendError(s.conn, from, pkt, c.err)
+			return
+		}
+		for sent := int64(0); sent < int64(len(c.data)); {
+			p := int64(len(c.data)) - sent
+			if p > wire.MaxPayload {
+				p = wire.MaxPayload
+			}
+			flags := uint16(0)
+			if c.off+sent+p == end {
+				flags = wire.FLast
+			}
+			s.agent.send(s.conn, from, &wire.Packet{
+				Header: wire.Header{
+					Type: wire.TData, ReqID: pkt.ReqID, Handle: s.handle,
+					Offset: c.off + sent, Length: uint32(p), Flags: flags,
+				},
+				Payload: c.data[sent : sent+p],
+			})
+			sent += p
+		}
+	}
+}
+
+func isEOF(err error) bool { return errors.Is(err, io.EOF) }
+
+// handleWriteAnnounce records the expected range of a write burst.
+func (s *session) handleWriteAnnounce(pkt *wire.Packet, from string) {
+	w := s.writes[pkt.ReqID]
+	if w == nil {
+		w = &writeState{progress: time.Now()}
+		s.writes[pkt.ReqID] = w
+	}
+	if w.done {
+		// Duplicate announcement after completion: re-acknowledge.
+		s.ackWrite(pkt.ReqID, w, from)
+		return
+	}
+	w.announced = true
+	w.off = pkt.Offset
+	w.length = int64(pkt.Length)
+	w.flags = pkt.Flags
+	w.from = from
+	s.completeIfReady(pkt.ReqID, w, from)
+}
+
+// handleData applies one write data packet.
+func (s *session) handleData(pkt *wire.Packet, from string) {
+	if len(pkt.Payload) == 0 {
+		return
+	}
+	if _, err := s.obj.WriteAt(pkt.Payload, pkt.Offset); err != nil {
+		s.agent.sendError(s.conn, from, pkt, err)
+		return
+	}
+	w := s.writes[pkt.ReqID]
+	if w == nil {
+		w = &writeState{}
+		s.writes[pkt.ReqID] = w
+	}
+	w.received.Add(pkt.Offset, int64(len(pkt.Payload)))
+	w.progress = time.Now()
+	w.from = from
+	s.completeIfReady(pkt.ReqID, w, from)
+}
+
+// completeIfReady acknowledges the burst once every expected byte arrived.
+func (s *session) completeIfReady(reqID uint32, w *writeState, from string) {
+	if !w.announced || w.done || !w.received.Contains(w.off, w.length) {
+		return
+	}
+	if s.agent.cfg.SyncWrites || w.flags&wire.FSyncWrite != 0 {
+		if err := s.obj.Sync(); err != nil {
+			s.agent.cfg.Logf("agent %s: sync: %v", s.agent.host.Name(), err)
+		}
+	}
+	w.done = true
+	w.doneAt = time.Now()
+	s.ackWrite(reqID, w, from)
+}
+
+func (s *session) ackWrite(reqID uint32, w *writeState, from string) {
+	s.agent.send(s.conn, from, &wire.Packet{
+		Header: wire.Header{
+			Type: wire.TWriteAck, ReqID: reqID, Handle: s.handle,
+			Offset: w.off, Length: uint32(w.length),
+		},
+	})
+}
+
+// checkWrites requests resends for stalled bursts and garbage-collects
+// completed ones.
+func (s *session) checkWrites(now time.Time) {
+	cfg := &s.agent.cfg
+	for reqID, w := range s.writes {
+		if w.done {
+			if now.Sub(w.doneAt) > cfg.DoneTTL {
+				delete(s.writes, reqID)
+			}
+			continue
+		}
+		if !w.announced || w.from == "" {
+			continue
+		}
+		idle := now.Sub(w.progress)
+		sincePrompt := now.Sub(w.prompted)
+		if idle < cfg.ResendAfter || sincePrompt < cfg.ResendAfter {
+			continue
+		}
+		missing := w.received.Missing(w.off, w.length)
+		if len(missing) == 0 {
+			s.completeIfReady(reqID, w, w.from)
+			continue
+		}
+		ranges := make([]wire.Range, 0, len(missing))
+		for _, m := range missing {
+			ranges = append(ranges, wire.Range{Off: m.Off, Len: m.Len})
+		}
+		w.prompted = now
+		s.agent.send(s.conn, w.from, &wire.Packet{
+			Header: wire.Header{
+				Type: wire.TResend, ReqID: reqID, Handle: s.handle,
+				Offset: w.off, Length: uint32(w.length),
+			},
+			Payload: wire.AppendResend(nil, ranges),
+		})
+	}
+}

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"swift/internal/agent"
+	"swift/internal/core"
+	"swift/internal/disk"
+	"swift/internal/nfs"
+	"swift/internal/store"
+	"swift/internal/transport/memnet"
+)
+
+// Options configures a measured installation.
+type Options struct {
+	// Scale runs modeled time this many times faster than wall-clock
+	// (default 6 — higher scales starve the model of real CPU on small
+	// machines and understate data-rates; see DESIGN.md).
+	Scale float64
+	// Agents is the number of storage agents (default 3).
+	Agents int
+	// Segments spreads the agents over this many Ethernet segments,
+	// all attached to the client (default 1).
+	Segments int
+	// StreamClient swaps in the TCP-prototype client profile.
+	StreamClient bool
+	// Parity enables computed-copy redundancy.
+	Parity bool
+	// SyncAgentWrites forces the agents to write through to disk.
+	SyncAgentWrites bool
+	// RequestBytes overrides the per-agent burst size (0 = default).
+	RequestBytes int64
+	// Unit overrides the striping unit (0 = 64 KiB).
+	Unit int64
+	// ReadAhead enables the client's sequential read-ahead window.
+	ReadAhead int64
+	// SendCPU overrides the client's per-packet send cost (0 = default).
+	SendCPU time.Duration
+	// Seed seeds loss and disk positioning.
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.Scale == 0 {
+		o.Scale = 6
+	}
+	if o.Agents == 0 {
+		o.Agents = 3
+	}
+	if o.Segments == 0 {
+		o.Segments = 1
+	}
+}
+
+// SwiftCluster is a measured Swift installation: a client and N storage
+// agents with modeled SCSI disks on one or more modeled Ethernets.
+type SwiftCluster struct {
+	Net      *memnet.Net
+	Segments []*memnet.Segment
+	Client   *core.Client
+	Agents   []*agent.Agent
+	opts     Options
+}
+
+// scaled converts a modeled duration to the real duration protocol timers
+// must use.
+func scaled(d time.Duration, scale float64) time.Duration {
+	return time.Duration(float64(d) / scale)
+}
+
+// NewSwiftCluster builds the installation and dials the client.
+func NewSwiftCluster(opts Options) (*SwiftCluster, error) {
+	opts.fill()
+	n := memnet.New(opts.Scale)
+	c := &SwiftCluster{Net: n, opts: opts}
+
+	for s := 0; s < opts.Segments; s++ {
+		c.Segments = append(c.Segments, n.NewSegment(
+			fmt.Sprintf("ether%d", s), EthernetSegment(opts.Seed+int64(s))))
+	}
+
+	addrs := make([]string, opts.Agents)
+	for i := 0; i < opts.Agents; i++ {
+		seg := c.Segments[i%len(c.Segments)]
+		host, err := n.NewHost(fmt.Sprintf("slc%d", i), SLCAgentHost(), seg)
+		if err != nil {
+			return nil, err
+		}
+		dev := disk.NewDevice(disk.ProfileSunSCSI(),
+			disk.WithSleeper(n.Sleeper()),
+			disk.WithAsyncWrites(AsyncWriteRate),
+			disk.WithSeed(opts.Seed+100+int64(i)))
+		st := store.NewDiskStore(store.NewMem(), dev)
+		st.SyncWrites = opts.SyncAgentWrites
+		a, err := agent.New(host, st, agent.Config{
+			ResendCheck: scaled(60*time.Millisecond, opts.Scale),
+			ResendAfter: scaled(120*time.Millisecond, opts.Scale),
+			SessionIdle: scaled(120*time.Second, opts.Scale),
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Agents = append(c.Agents, a)
+		addrs[i] = a.Addr()
+	}
+
+	clientProfile := SparcClientHost()
+	if opts.StreamClient {
+		clientProfile = StreamClientHost()
+	}
+	if opts.SendCPU != 0 {
+		clientProfile.SendCPU = opts.SendCPU
+	}
+	clientHost, err := n.NewHost("sparc2", clientProfile, c.Segments...)
+	if err != nil {
+		return nil, err
+	}
+	reqBytes := int64(RequestBytes)
+	if opts.RequestBytes != 0 {
+		reqBytes = opts.RequestBytes
+	}
+	unit := int64(64 * 1024)
+	if opts.Unit != 0 {
+		unit = opts.Unit
+	}
+	cl, err := core.Dial(core.Config{
+		Host:         clientHost,
+		Agents:       addrs,
+		Unit:         unit,
+		Parity:       opts.Parity,
+		RequestBytes: reqBytes,
+		WriteWindow:  2,
+		RetryTimeout: scaled(400*time.Millisecond, opts.Scale),
+		MaxRetries:   200,
+		ReadAhead:    opts.ReadAhead,
+		WritePace:    WritePace,
+		Sleep:        n.Sleep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Client = cl
+	return c, nil
+}
+
+// Close tears the installation down.
+func (c *SwiftCluster) Close() {
+	if c.Client != nil {
+		c.Client.Close()
+	}
+	for _, a := range c.Agents {
+		a.Close()
+	}
+}
+
+// NFSCluster is the Table 3 installation: one NFS server with IPI drives
+// and the SPARCstation client on a shared Ethernet.
+type NFSCluster struct {
+	Net    *memnet.Net
+	Client *nfs.Client
+	Server *nfs.Server
+	opts   Options
+}
+
+// NewNFSCluster builds the NFS installation.
+func NewNFSCluster(opts Options) (*NFSCluster, error) {
+	opts.fill()
+	n := memnet.New(opts.Scale)
+	seg := n.NewSegment("dept", EthernetSegment(opts.Seed))
+
+	srvHost, err := n.NewHost("sun4-390", ServerHost(), seg)
+	if err != nil {
+		return nil, err
+	}
+	dev := disk.NewDevice(disk.ProfileSunIPI(),
+		disk.WithSleeper(n.Sleeper()),
+		disk.WithSeed(opts.Seed+200))
+	st := store.NewDiskStore(store.NewMem(), dev)
+	st.SyncWrites = true // NFS v2 write-through
+	srv, err := nfs.NewServer(srvHost, st, dev, nfs.ServerConfig{
+		CPUPerRPC: NFSServerCPU,
+		Sleep:     n.Sleep,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	clientHost, err := n.NewHost("sparc2", SparcClientHost(), seg)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	cl, err := nfs.Dial(clientHost, nfs.ClientConfig{
+		Server:       srv.Addr(),
+		RetryTimeout: scaled(700*time.Millisecond, opts.Scale),
+		MaxRetries:   50,
+	})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &NFSCluster{Net: n, Client: cl, Server: srv, opts: opts}, nil
+}
+
+// Close tears the installation down.
+func (c *NFSCluster) Close() {
+	if c.Client != nil {
+		c.Client.Close()
+	}
+	if c.Server != nil {
+		c.Server.Close()
+	}
+}

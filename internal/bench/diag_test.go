@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"swift/internal/core"
+)
+
+// TestDiagnoseTable1 is a calibration aid, enabled with SWIFT_DIAG=1:
+// it prints segment and host counters after a Table 1-style transfer.
+func TestDiagnoseTable1(t *testing.T) {
+	if os.Getenv("SWIFT_DIAG") == "" {
+		t.Skip("set SWIFT_DIAG=1 to run")
+	}
+	scale := 40.0
+	if v := os.Getenv("SWIFT_SCALE"); v != "" {
+		fmt.Sscanf(v, "%f", &scale)
+	}
+	cl, err := NewSwiftCluster(Options{Agents: 3, Segments: 1, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	size := 3 << 20
+	data := pattern(size, 1)
+	f, err := cl.Client.Open("diag", core.OpenFlags{Create: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	start := cl.Net.Now()
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	welapsed := cl.Net.Now() - start
+	st := cl.Segments[0].Stats()
+	m := cl.Client.Metrics()
+	fmt.Printf("WRITE: %.0f KB/s modeled=%v\n", float64(size)/1024/welapsed.Seconds(), welapsed)
+	fmt.Printf("  seg frames=%d bytes=%d lost=%d busy=%v busyFrac=%.2f\n",
+		st.Frames, st.Bytes, st.Lost, st.BusyTime, st.BusyTime.Seconds()/welapsed.Seconds())
+	fmt.Printf("  bursts=%d wtimeouts=%d resendAsks=%d data=%d\n",
+		m.WriteBursts.Load(), m.WriteTimeouts.Load(), m.ResendAsks.Load(), m.DataPackets.Load())
+
+	start = cl.Net.Now()
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	relapsed := cl.Net.Now() - start
+	st2 := cl.Segments[0].Stats()
+	fmt.Printf("READ: %.0f KB/s modeled=%v\n", float64(size)/1024/relapsed.Seconds(), relapsed)
+	fmt.Printf("  seg frames=%d bytes=%d lost=%d busyFrac=%.2f\n",
+		st2.Frames-st.Frames, st2.Bytes-st.Bytes, st2.Lost-st.Lost,
+		(st2.BusyTime-st.BusyTime).Seconds()/relapsed.Seconds())
+}

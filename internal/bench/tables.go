@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"swift/internal/core"
+	"swift/internal/disk"
+	"swift/internal/localfs"
+	"swift/internal/stats"
+)
+
+// RunConfig controls how much measuring a table run does.
+type RunConfig struct {
+	// Samples per cell (default 8, as the paper).
+	Samples int
+	// SizesMB are the transfer sizes (default 3, 6, 9, as the paper).
+	SizesMB []int
+	// Scale overrides the modeled-time speed-up (0 = per-table default).
+	Scale float64
+	// Seed seeds the run.
+	Seed int64
+}
+
+func (rc *RunConfig) fill() {
+	if rc.Samples == 0 {
+		rc.Samples = 8
+	}
+	if len(rc.SizesMB) == 0 {
+		rc.SizesMB = []int{3, 6, 9}
+	}
+}
+
+// Quick returns a reduced configuration for tests and benchmarks.
+func Quick() RunConfig { return RunConfig{Samples: 3, SizesMB: []int{3}} }
+
+// Row is one table row: an operation at a size, summarized over samples.
+type Row struct {
+	Op     string // "Read" or "Write"
+	SizeMB int
+	KBps   stats.Summary
+}
+
+// Table is one regenerated paper table.
+type Table struct {
+	Name  string
+	Title string
+	Rows  []Row
+}
+
+// Print renders the table in the paper's layout.
+func (t Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", t.Name, t.Title)
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Operation\tx̄\tσ\tmin\tmax\t90% low\t90% high\t")
+	for _, r := range t.Rows {
+		fmt.Fprintf(tw, "%s %d MB\t%.0f\t%.1f\t%.0f\t%.0f\t%.0f\t%.0f\t\n",
+			r.Op, r.SizeMB, r.KBps.Mean, r.KBps.Std,
+			r.KBps.Min, r.KBps.Max, r.KBps.CI90Low, r.KBps.CI90High)
+	}
+	tw.Flush()
+}
+
+// String renders the table to a string.
+func (t Table) String() string {
+	var sb strings.Builder
+	t.Print(&sb)
+	return sb.String()
+}
+
+// pattern builds a deterministic test payload.
+func pattern(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// swiftTable measures Swift read and write data-rates on a cluster.
+func swiftTable(name, title string, rc RunConfig, opts Options) (Table, error) {
+	rc.fill()
+	if rc.Scale != 0 {
+		opts.Scale = rc.Scale
+	}
+	opts.Seed = rc.Seed
+	cl, err := NewSwiftCluster(opts)
+	if err != nil {
+		return Table{}, err
+	}
+	defer cl.Close()
+
+	t := Table{Name: name, Title: title}
+	for _, mb := range rc.SizesMB {
+		size := mb << 20
+		data := pattern(size, rc.Seed+int64(mb))
+		obj := fmt.Sprintf("bench-%dmb", mb)
+
+		var wr stats.Sample
+		for s := 0; s < rc.Samples; s++ {
+			f, err := cl.Client.Open(obj, core.OpenFlags{Create: true, Truncate: true})
+			if err != nil {
+				return Table{}, fmt.Errorf("bench: open: %w", err)
+			}
+			start := cl.Net.Now()
+			if _, err := f.WriteAt(data, 0); err != nil {
+				f.Close()
+				return Table{}, fmt.Errorf("bench: write: %w", err)
+			}
+			elapsed := cl.Net.Now() - start
+			wr.Add(float64(size) / 1024 / elapsed.Seconds())
+			if err := f.Close(); err != nil {
+				return Table{}, fmt.Errorf("bench: close: %w", err)
+			}
+		}
+
+		var rd stats.Sample
+		buf := make([]byte, size)
+		for s := 0; s < rc.Samples; s++ {
+			f, err := cl.Client.Open(obj, core.OpenFlags{})
+			if err != nil {
+				return Table{}, fmt.Errorf("bench: reopen: %w", err)
+			}
+			start := cl.Net.Now()
+			if _, err := f.ReadAt(buf, 0); err != nil {
+				f.Close()
+				return Table{}, fmt.Errorf("bench: read: %w", err)
+			}
+			elapsed := cl.Net.Now() - start
+			rd.Add(float64(size) / 1024 / elapsed.Seconds())
+			f.Close()
+			if !bytes.Equal(buf, data) {
+				return Table{}, fmt.Errorf("bench: read-back mismatch at %d MB", mb)
+			}
+		}
+		t.Rows = append(t.Rows,
+			Row{Op: "Read", SizeMB: mb, KBps: rd.Summarize()},
+			Row{Op: "Write", SizeMB: mb, KBps: wr.Summarize()})
+	}
+	orderRows(&t)
+	return t, nil
+}
+
+// orderRows sorts rows in the paper's order: all reads, then all writes.
+func orderRows(t *Table) {
+	var reads, writes []Row
+	for _, r := range t.Rows {
+		if r.Op == "Read" {
+			reads = append(reads, r)
+		} else {
+			writes = append(writes, r)
+		}
+	}
+	t.Rows = append(reads, writes...)
+}
+
+// Table1 regenerates "Swift read and write data-rates on a single
+// Ethernet": one client, three storage agents.
+func Table1(rc RunConfig) (Table, error) {
+	return swiftTable("Table 1",
+		"Swift read and write data-rates on a single Ethernet (KB/s)",
+		rc, Options{Agents: 3, Segments: 1, Scale: 6})
+}
+
+// Table4 regenerates "Swift read and write data-rates on two Ethernets":
+// six agents, three per segment, client attached to both.
+func Table4(rc RunConfig) (Table, error) {
+	return swiftTable("Table 4",
+		"Swift read and write data-rates on two Ethernets (KB/s)",
+		rc, Options{Agents: 6, Segments: 2, Scale: 6})
+}
+
+// TCPTable regenerates the §3 observation about the first, TCP-based
+// prototype: with stream-transport copy costs on the client, the
+// data-rates "were never more than 45% of the capacity of the
+// Ethernet-based local-area network".
+func TCPTable(rc RunConfig) (Table, error) {
+	return swiftTable("TCP ablation",
+		"Swift over a stream transport with data copying (KB/s)",
+		rc, Options{Agents: 3, Segments: 1, Scale: 6, StreamClient: true})
+}
+
+// Table2 regenerates "SCSI read and write data-rates": the local disk of
+// a SPARCstation SLC, synchronous writes, read-ahead reads. It needs no
+// network; modeled time is accumulated directly.
+func Table2(rc RunConfig) (Table, error) {
+	rc.fill()
+	var clock time.Duration
+	sleep := func(d time.Duration) { clock += d }
+	dev := disk.NewDevice(disk.ProfileSunSCSI(),
+		disk.WithSleeper(sleep), disk.WithSeed(rc.Seed+1))
+	fs := localfs.New(dev, 8192)
+
+	t := Table{
+		Name:  "Table 2",
+		Title: "SCSI read and write data-rates (KB/s)",
+	}
+	for _, mb := range rc.SizesMB {
+		size := mb << 20
+		data := pattern(size, rc.Seed+int64(mb))
+		name := fmt.Sprintf("scsi-%dmb", mb)
+
+		var wr, rd stats.Sample
+		for s := 0; s < rc.Samples; s++ {
+			start := clock
+			if err := fs.WriteFile(name, data); err != nil {
+				return Table{}, err
+			}
+			wr.Add(float64(size) / 1024 / (clock - start).Seconds())
+		}
+		buf := make([]byte, size)
+		for s := 0; s < rc.Samples; s++ {
+			start := clock
+			if _, err := fs.ReadFile(name, buf); err != nil {
+				return Table{}, err
+			}
+			rd.Add(float64(size) / 1024 / (clock - start).Seconds())
+			if !bytes.Equal(buf, data) {
+				return Table{}, fmt.Errorf("bench: scsi read-back mismatch")
+			}
+		}
+		t.Rows = append(t.Rows,
+			Row{Op: "Read", SizeMB: mb, KBps: rd.Summarize()},
+			Row{Op: "Write", SizeMB: mb, KBps: wr.Summarize()})
+	}
+	orderRows(&t)
+	return t, nil
+}
+
+// Table3 regenerates "NFS read and write data-rates": the Sun 4/390
+// server with IPI drives, synchronous write-through, over a shared
+// departmental Ethernet.
+func Table3(rc RunConfig) (Table, error) {
+	rc.fill()
+	opts := Options{Scale: 6, Seed: rc.Seed}
+	if rc.Scale != 0 {
+		opts.Scale = rc.Scale
+	}
+	cl, err := NewNFSCluster(opts)
+	if err != nil {
+		return Table{}, err
+	}
+	defer cl.Close()
+
+	t := Table{
+		Name:  "Table 3",
+		Title: "NFS read and write data-rates (KB/s)",
+	}
+	for _, mb := range rc.SizesMB {
+		size := mb << 20
+		data := pattern(size, rc.Seed+int64(mb))
+		name := fmt.Sprintf("nfs-%dmb", mb)
+
+		var wr stats.Sample
+		for s := 0; s < rc.Samples; s++ {
+			start := cl.Net.Now()
+			if err := cl.Client.WriteFile(name, data); err != nil {
+				return Table{}, err
+			}
+			elapsed := cl.Net.Now() - start
+			wr.Add(float64(size) / 1024 / elapsed.Seconds())
+		}
+		var rd stats.Sample
+		buf := make([]byte, size)
+		for s := 0; s < rc.Samples; s++ {
+			start := cl.Net.Now()
+			if _, err := cl.Client.ReadFile(name, buf); err != nil {
+				return Table{}, err
+			}
+			elapsed := cl.Net.Now() - start
+			rd.Add(float64(size) / 1024 / elapsed.Seconds())
+			if !bytes.Equal(buf, data) {
+				return Table{}, fmt.Errorf("bench: nfs read-back mismatch")
+			}
+		}
+		t.Rows = append(t.Rows,
+			Row{Op: "Read", SizeMB: mb, KBps: rd.Summarize()},
+			Row{Op: "Write", SizeMB: mb, KBps: wr.Summarize()})
+	}
+	orderRows(&t)
+	return t, nil
+}

@@ -1,0 +1,556 @@
+// Package core implements the paper's primary contribution: the Swift
+// distribution agent. It is the client-side engine that stripes an object
+// over a set of storage agents and drives them in parallel, executing the
+// transfer plan with no further intervention by the storage mediator.
+//
+// The engine provides Unix file semantics (open, close, read, write, seek)
+// on striped objects, the light-weight datagram protocol of §3.1 (reads
+// with client-side resubmission and one outstanding request per agent;
+// writes streamed at full speed with explicit acknowledgement and
+// agent-driven resend requests), and the computed-copy redundancy of §2:
+// rotating XOR parity with degraded-mode reads, degraded writes, and
+// fragment rebuild.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swift/internal/stripe"
+	"swift/internal/transport"
+	"swift/internal/wire"
+)
+
+// Errors returned by the engine.
+var (
+	ErrAgentDown    = errors.New("core: storage agent unreachable")
+	ErrNoQuorum     = errors.New("core: too many failed agents for this layout")
+	ErrRetriesSpent = errors.New("core: request retries exhausted")
+	ErrClosed       = errors.New("core: file closed")
+)
+
+// Config describes a client of a set of storage agents.
+type Config struct {
+	// Host is the client machine's transport.
+	Host transport.Host
+	// Agents lists the storage agents' well-known control addresses.
+	// Their order defines the striping order and must be consistent
+	// across clients of the same objects.
+	Agents []string
+	// Unit is the default striping unit in bytes (default 32 KiB). The
+	// storage mediator overrides it per session when rate requirements
+	// are declared.
+	Unit int64
+	// Parity enables computed-copy redundancy (requires >= 3 agents).
+	Parity bool
+	// RequestBytes is the largest read or write burst requested from
+	// one agent at a time (default 57344 = 42 full packets).
+	RequestBytes int64
+	// WriteWindow is the number of write bursts kept in flight per
+	// agent (default 2).
+	WriteWindow int
+	// RetryTimeout is how long to wait for progress on a burst before
+	// resubmitting (default 250ms).
+	RetryTimeout time.Duration
+	// MaxRetries bounds resubmissions per burst (default 40).
+	MaxRetries int
+	// ReadAhead, when > 0, fetches sequential reads in windows of this
+	// many bytes and serves subsequent reads from the window — the
+	// client-side analogue of the kernel read-ahead the paper's
+	// baselines enjoy. Random reads bypass it.
+	ReadAhead int64
+	// SyncWrites asks agents to commit each write burst to stable
+	// storage before acknowledging it.
+	SyncWrites bool
+	// WritePace inserts a delay between outgoing data packets — the
+	// prototype's "small wait loop between write operations" that kept
+	// the SunOS kernel from silently dropping packets. Zero disables.
+	WritePace time.Duration
+	// Sleep implements WritePace (default time.Sleep). Measured runs
+	// inject the modeled network's scaled sleeper.
+	Sleep func(time.Duration)
+	// Logf receives diagnostics (default: none).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.Host == nil {
+		return errors.New("core: config needs a Host")
+	}
+	if len(c.Agents) == 0 {
+		return errors.New("core: config needs at least one agent")
+	}
+	if c.Unit == 0 {
+		c.Unit = 32 * 1024
+	}
+	if c.RequestBytes == 0 {
+		c.RequestBytes = 42 * wire.MaxPayload
+	}
+	if c.WriteWindow == 0 {
+		c.WriteWindow = 2
+	}
+	if c.RetryTimeout == 0 {
+		c.RetryTimeout = 250 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 40
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	l := stripe.Layout{Unit: c.Unit, Agents: len(c.Agents), Parity: c.Parity}
+	return l.Validate()
+}
+
+// Client is a distribution agent bound to a fixed set of storage agents.
+type Client struct {
+	cfg    Config
+	layout stripe.Layout
+
+	mu   sync.Mutex
+	ctl  transport.PacketConn // shared control conn for stat/remove
+	down []bool               // agents observed unreachable
+	req  atomic.Uint32
+
+	metrics Metrics
+}
+
+// Metrics counts protocol events, for diagnostics and calibration.
+type Metrics struct {
+	ReadBursts    atomic.Int64 // read requests issued
+	ReadTimeouts  atomic.Int64 // read bursts that needed resubmission
+	WriteBursts   atomic.Int64 // write bursts issued
+	WriteTimeouts atomic.Int64 // write bursts re-announced after silence
+	ResendAsks    atomic.Int64 // agent resend requests honoured
+	DataPackets   atomic.Int64 // data packets sent (including resends)
+}
+
+// Metrics returns the client's protocol counters.
+func (c *Client) Metrics() *Metrics { return &c.metrics }
+
+// Dial creates a client. It performs no network traffic; agents are
+// contacted when objects are opened.
+func Dial(cfg Config) (*Client, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ctl, err := cfg.Host.Listen("0")
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Client{
+		cfg:    cfg,
+		layout: stripe.Layout{Unit: cfg.Unit, Agents: len(cfg.Agents), Parity: cfg.Parity},
+		ctl:    ctl,
+		down:   make([]bool, len(cfg.Agents)),
+	}, nil
+}
+
+// Layout returns the client's striping layout.
+func (c *Client) Layout() stripe.Layout { return c.layout }
+
+// Close releases the client's control endpoint. Open files remain usable
+// until closed individually.
+func (c *Client) Close() error { return c.ctl.Close() }
+
+// MarkDown records agent i as failed (true) or recovered (false). With
+// parity enabled, reads and writes continue in degraded mode around a
+// single failed agent.
+func (c *Client) MarkDown(i int, down bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i >= 0 && i < len(c.down) {
+		c.down[i] = down
+	}
+}
+
+// Down reports whether agent i is marked failed.
+func (c *Client) Down(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[i]
+}
+
+func (c *Client) downs() []bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]bool(nil), c.down...)
+}
+
+func (c *Client) nextReq() uint32 { return c.req.Add(1) }
+
+// OpenFlags control Open.
+type OpenFlags struct {
+	Create   bool
+	Truncate bool
+}
+
+// Open establishes per-agent sessions for the named object and returns a
+// File with Unix semantics. With parity enabled, Open tolerates one
+// unreachable agent and enters degraded mode.
+func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
+	down := c.downs()
+	sessions := make([]*agentSession, len(c.cfg.Agents))
+	errs := make([]error, len(c.cfg.Agents))
+	var wg sync.WaitGroup
+	for i, addr := range c.cfg.Agents {
+		if down[i] {
+			errs[i] = ErrAgentDown
+			continue
+		}
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			sessions[i], errs[i] = c.openSession(i, addr, name, flags)
+		}(i, addr)
+	}
+	wg.Wait()
+
+	failed := 0
+	for i := range errs {
+		if errs[i] != nil {
+			failed++
+			c.MarkDown(i, true)
+			c.cfg.Logf("core: open %s on agent %d: %v", name, i, errs[i])
+		}
+	}
+	closeAll := func() {
+		for _, s := range sessions {
+			if s != nil {
+				s.close()
+			}
+		}
+	}
+	if failed > 0 && (!c.cfg.Parity || failed > 1) {
+		closeAll()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("core: open %s on agent %d (%s): %w",
+					name, i, c.cfg.Agents[i], err)
+			}
+		}
+	}
+
+	frag := make([]int64, len(sessions))
+	for i, s := range sessions {
+		if s == nil {
+			frag[i] = -1
+			continue
+		}
+		frag[i] = s.fragSize
+	}
+	f := &File{
+		c:        c,
+		name:     name,
+		sessions: sessions,
+		size:     c.layout.SizeFromFragments(frag),
+	}
+	if flags.Truncate {
+		f.size = 0
+	}
+	return f, nil
+}
+
+// agentSession is the client side of one open file on one agent: a
+// dedicated local port paired with the agent's private port.
+type agentSession struct {
+	idx      int
+	conn     transport.PacketConn
+	ctlAddr  string // agent well-known address
+	dataAddr string // agent private address for this file
+	handle   uint64
+	fragSize int64
+	buf      []byte // receive buffer, owned by the session's worker
+	sendBuf  []byte // marshal buffer, owned by the session's worker
+}
+
+func (s *agentSession) close() {
+	if s.conn != nil {
+		s.conn.Close()
+	}
+}
+
+// openSession performs the open handshake with one agent, with
+// retransmission.
+func (c *Client) openSession(idx int, addr, name string, flags OpenFlags) (*agentSession, error) {
+	conn, err := c.cfg.Host.Listen("0")
+	if err != nil {
+		return nil, err
+	}
+	var f uint16
+	if flags.Create {
+		f |= wire.FCreate
+	}
+	if flags.Truncate {
+		f |= wire.FTrunc
+	}
+	reqID := c.nextReq()
+	req := &wire.Packet{
+		Header:  wire.Header{Type: wire.TOpen, ReqID: reqID, Flags: f},
+		Payload: wire.AppendOpenRequest(nil, &wire.OpenRequest{Name: name}),
+	}
+	reply, err := c.rpc(conn, addr, req, reqID)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if reply.Type != wire.TOpenReply {
+		conn.Close()
+		return nil, fmt.Errorf("core: unexpected %v to open", reply.Type)
+	}
+	or, err := wire.ParseOpenReply(reply.Payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ahost, _, _ := transport.SplitAddr(addr)
+	return &agentSession{
+		idx:      idx,
+		conn:     conn,
+		ctlAddr:  addr,
+		dataAddr: transport.JoinAddr(ahost, or.Port),
+		handle:   reply.Handle,
+		fragSize: or.Size,
+		buf:      make([]byte, wire.MaxPacket),
+		sendBuf:  make([]byte, 0, wire.MaxPacket),
+	}, nil
+}
+
+// rpc sends req to addr on conn and waits for the matching reply,
+// retransmitting on timeout. TError replies are converted to errors.
+func (c *Client) rpc(conn transport.PacketConn, addr string, req *wire.Packet, reqID uint32) (*wire.Packet, error) {
+	return c.rpcAttempts(conn, addr, req, reqID, c.cfg.MaxRetries)
+}
+
+// rpcAttempts is rpc with an explicit retransmission budget.
+func (c *Client) rpcAttempts(conn transport.PacketConn, addr string, req *wire.Packet, reqID uint32, retries int) (*wire.Packet, error) {
+	buf, err := wire.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	rbuf := make([]byte, wire.MaxPacket)
+	var pkt wire.Packet
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err := conn.WriteTo(buf, addr); err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(c.cfg.RetryTimeout)
+		for {
+			conn.SetReadDeadline(deadline)
+			n, _, err := conn.ReadFrom(rbuf)
+			if err != nil {
+				if transport.IsTimeout(err) {
+					break // retransmit
+				}
+				return nil, err
+			}
+			if err := wire.Unmarshal(rbuf[:n], &pkt); err != nil {
+				continue
+			}
+			if pkt.ReqID != reqID {
+				continue // stale
+			}
+			if pkt.Type == wire.TError {
+				return nil, wire.ParseError(pkt.Payload)
+			}
+			out := pkt
+			out.Payload = append([]byte(nil), pkt.Payload...)
+			return &out, nil
+		}
+	}
+	return nil, ErrAgentDown
+}
+
+// Stat returns the logical size of the named object, or store.ErrNotExist
+// translated as a RemoteError if no agent has a fragment.
+func (c *Client) Stat(name string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	frag := make([]int64, len(c.cfg.Agents))
+	exists := false
+	for i, addr := range c.cfg.Agents {
+		if c.down[i] {
+			frag[i] = -1
+			continue
+		}
+		reqID := c.nextReq()
+		reply, err := c.rpc(c.ctl, addr, &wire.Packet{
+			Header:  wire.Header{Type: wire.TStat, ReqID: reqID},
+			Payload: wire.AppendOpenRequest(nil, &wire.OpenRequest{Name: name}),
+		}, reqID)
+		if err != nil {
+			return 0, fmt.Errorf("core: stat %s on agent %d: %w", name, i, err)
+		}
+		sr, err := wire.ParseStatReply(reply.Payload)
+		if err != nil {
+			return 0, err
+		}
+		if sr.Exists {
+			exists = true
+			frag[i] = sr.Size
+		}
+	}
+	if !exists {
+		return 0, &wire.RemoteError{Msg: "object does not exist"}
+	}
+	return c.layout.SizeFromFragments(frag), nil
+}
+
+// List returns the union of object names across all reachable agents,
+// sorted. An object striped over the set appears once.
+func (c *Client) List() ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := make(map[string]bool)
+	for i, addr := range c.cfg.Agents {
+		if c.down[i] {
+			continue
+		}
+		names, err := c.listAgent(addr)
+		if err != nil {
+			return nil, fmt.Errorf("core: list agent %d: %w", i, err)
+		}
+		for _, n := range names {
+			set[n] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// listAgent collects one agent's TListReply stream, retransmitting the
+// request until every packet up to the FLast-marked one has been seen.
+func (c *Client) listAgent(addr string) ([]string, error) {
+	reqID := c.nextReq()
+	req, err := wire.Marshal(&wire.Packet{Header: wire.Header{Type: wire.TList, ReqID: reqID}})
+	if err != nil {
+		return nil, err
+	}
+	parts := make(map[int64][]string)
+	last := int64(-1)
+	complete := func() bool {
+		if last < 0 {
+			return false
+		}
+		for s := int64(0); s <= last; s++ {
+			if _, ok := parts[s]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rbuf := make([]byte, wire.MaxPacket)
+	var pkt wire.Packet
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if err := c.ctl.WriteTo(req, addr); err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(c.cfg.RetryTimeout)
+		for !complete() {
+			c.ctl.SetReadDeadline(deadline)
+			n, _, err := c.ctl.ReadFrom(rbuf)
+			if err != nil {
+				if transport.IsTimeout(err) {
+					break
+				}
+				return nil, err
+			}
+			if uerr := wire.Unmarshal(rbuf[:n], &pkt); uerr != nil || pkt.ReqID != reqID {
+				continue
+			}
+			if pkt.Type == wire.TError {
+				return nil, wire.ParseError(pkt.Payload)
+			}
+			if pkt.Type != wire.TListReply {
+				continue
+			}
+			names, perr := wire.ParseNames(pkt.Payload)
+			if perr != nil {
+				continue
+			}
+			parts[pkt.Offset] = names
+			if pkt.Flags&wire.FLast != 0 {
+				last = pkt.Offset
+			}
+		}
+		if complete() {
+			var out []string
+			for s := int64(0); s <= last; s++ {
+				out = append(out, parts[s]...)
+			}
+			return out, nil
+		}
+	}
+	return nil, ErrAgentDown
+}
+
+// AgentStatus is one agent's health probe result.
+type AgentStatus struct {
+	Addr     string
+	Alive    bool
+	RTT      time.Duration
+	Objects  uint32
+	Sessions uint32
+	Bytes    int64
+}
+
+// Ping probes every agent (including ones marked down) and returns their
+// statuses in agent order.
+func (c *Client) Ping() []AgentStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]AgentStatus, len(c.cfg.Agents))
+	for i, addr := range c.cfg.Agents {
+		out[i].Addr = addr
+		reqID := c.nextReq()
+		start := time.Now()
+		reply, err := c.rpcAttempts(c.ctl, addr, &wire.Packet{
+			Header: wire.Header{Type: wire.TPing, ReqID: reqID},
+		}, reqID, 2)
+		if err != nil || reply.Type != wire.TPingReply {
+			continue
+		}
+		pr, perr := wire.ParsePingReply(reply.Payload)
+		if perr != nil {
+			continue
+		}
+		out[i].Alive = true
+		out[i].RTT = time.Since(start)
+		out[i].Objects = pr.Objects
+		out[i].Sessions = pr.Sessions
+		out[i].Bytes = pr.Bytes
+	}
+	return out
+}
+
+// Remove deletes the named object's fragments from all reachable agents.
+func (c *Client) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var firstErr error
+	for i, addr := range c.cfg.Agents {
+		if c.down[i] {
+			continue
+		}
+		reqID := c.nextReq()
+		_, err := c.rpc(c.ctl, addr, &wire.Packet{
+			Header:  wire.Header{Type: wire.TRemove, ReqID: reqID},
+			Payload: wire.AppendOpenRequest(nil, &wire.OpenRequest{Name: name}),
+		}, reqID)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: remove %s on agent %d: %w", name, i, err)
+		}
+	}
+	return firstErr
+}

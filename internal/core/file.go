@@ -1,0 +1,779 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"swift/internal/extent"
+	"swift/internal/transport"
+	"swift/internal/wire"
+)
+
+// File is an open striped object with Unix file semantics. A File's
+// methods are safe for concurrent use; operations are serialized, matching
+// the prototype's library semantics.
+type File struct {
+	c    *Client
+	name string
+
+	mu       sync.Mutex
+	sessions []*agentSession // nil entries are failed agents
+	size     int64
+	pos      int64
+	closed   bool
+
+	// Read-ahead window (enabled by Config.ReadAhead).
+	raBuf   []byte
+	raOff   int64 // logical offset of raBuf[0]
+	raLen   int64 // valid bytes in raBuf
+	lastEnd int64 // end of the previous read, for sequential detection
+}
+
+// Name returns the object name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the logical object size.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// Seek implements io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = f.size
+	default:
+		return 0, fmt.Errorf("core: bad whence %d", whence)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, errors.New("core: negative seek position")
+	}
+	f.pos = np
+	return np, nil
+}
+
+// Read implements io.Reader at the current position.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	pos := f.pos
+	f.mu.Unlock()
+	n, err := f.ReadAt(p, pos)
+	f.mu.Lock()
+	f.pos = pos + int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// Write implements io.Writer at the current position.
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	pos := f.pos
+	f.mu.Unlock()
+	n, err := f.WriteAt(p, pos)
+	f.mu.Lock()
+	f.pos = pos + int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// ReadAt implements io.ReaderAt: it reads from all agents holding pieces
+// of [off, off+len(p)) in parallel.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, errors.New("core: negative offset")
+	}
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if off+n > f.size {
+		n = f.size - off
+	}
+	if err := f.readServe(p[:n], off); err != nil {
+		return 0, err
+	}
+	if n < int64(len(p)) {
+		return int(n), io.EOF
+	}
+	return int(n), nil
+}
+
+// readServe satisfies a clamped read, through the read-ahead window when
+// it is enabled and the access is sequential.
+func (f *File) readServe(dst []byte, off int64) error {
+	ra := f.c.cfg.ReadAhead
+	n := int64(len(dst))
+	sequential := off == f.lastEnd || f.raCovers(off)
+	f.lastEnd = off + n
+	if ra <= 0 || !sequential {
+		return f.readRange(dst, off, true)
+	}
+	for filled := int64(0); filled < n; {
+		pos := off + filled
+		if f.raCovers(pos) {
+			start := pos - f.raOff
+			m := f.raLen - start
+			if m > n-filled {
+				m = n - filled
+			}
+			copy(dst[filled:filled+m], f.raBuf[start:start+m])
+			filled += m
+			continue
+		}
+		// Refill the window at pos.
+		w := ra
+		if w < n-filled {
+			w = n - filled
+		}
+		if pos+w > f.size {
+			w = f.size - pos
+		}
+		if w <= 0 {
+			return io.ErrUnexpectedEOF // cannot happen: read is clamped
+		}
+		if int64(cap(f.raBuf)) < w {
+			f.raBuf = make([]byte, w)
+		}
+		f.raBuf = f.raBuf[:w]
+		if err := f.readRange(f.raBuf, pos, true); err != nil {
+			return err
+		}
+		f.raOff, f.raLen = pos, w
+	}
+	return nil
+}
+
+// raCovers reports whether the read-ahead window holds logical offset off.
+func (f *File) raCovers(off int64) bool {
+	return f.raLen > 0 && off >= f.raOff && off < f.raOff+f.raLen
+}
+
+// raInvalidate drops the read-ahead window (on any mutation).
+func (f *File) raInvalidate() { f.raLen = 0 }
+
+// readRange reads [off, off+len(dst)) into dst, unclamped by the logical
+// size (absent bytes arrive as zeros). With allowFailover set and parity
+// enabled, a single mid-operation agent failure triggers one degraded
+// retry.
+func (f *File) readRange(dst []byte, off int64, allowFailover bool) error {
+	failed, err := f.readRangeOnce(dst, off)
+	if err == nil {
+		return nil
+	}
+	if failed < 0 || !f.c.cfg.Parity || !allowFailover {
+		return err
+	}
+	f.failAgent(failed)
+	if f.liveCount() < len(f.sessions)-1 {
+		return ErrNoQuorum
+	}
+	f.c.cfg.Logf("core: read failing over around agent %d: %v", failed, err)
+	return f.readRange(dst, off, false)
+}
+
+// readRangeOnce performs one attempt; on error it reports which agent
+// failed (-1 when not attributable).
+func (f *File) readRangeOnce(dst []byte, off int64) (failedAgent int, err error) {
+	n := int64(len(dst))
+	if n == 0 {
+		return -1, nil
+	}
+	exts := f.c.layout.LocalExtents(off, n)
+
+	type result struct {
+		agent int
+		err   error
+	}
+	results := make(chan result, len(f.sessions))
+	workers := 0
+	var deadExts []extent.Set
+	for i, s := range f.sessions {
+		if exts[i].Len() == 0 {
+			continue
+		}
+		if s == nil {
+			if deadExts == nil {
+				deadExts = make([]extent.Set, len(f.sessions))
+			}
+			deadExts[i] = exts[i]
+			continue
+		}
+		workers++
+		go func(i int, s *agentSession, es []extent.Extent) {
+			var werr error
+			for _, e := range es {
+				if werr = f.agentRead(s, e, dst, off); werr != nil {
+					break
+				}
+			}
+			results <- result{agent: i, err: werr}
+		}(i, s, exts[i].Extents())
+	}
+	for ; workers > 0; workers-- {
+		r := <-results
+		if r.err != nil && err == nil {
+			failedAgent, err = r.agent, r.err
+		}
+	}
+	if err != nil {
+		return failedAgent, err
+	}
+	// Reconstruct anything that lived on failed agents.
+	for i := range deadExts {
+		if deadExts[i].Len() == 0 {
+			continue
+		}
+		if !f.c.cfg.Parity {
+			return -1, ErrAgentDown
+		}
+		if err := f.reconstructInto(i, deadExts[i].Extents(), dst, off); err != nil {
+			return -1, err
+		}
+	}
+	return -1, nil
+}
+
+// agentRead fetches one fragment extent from one agent in bursts, placing
+// payload bytes into the logical buffer dst (whose first byte is logical
+// offset base).
+func (f *File) agentRead(s *agentSession, e extent.Extent, dst []byte, base int64) error {
+	for lo := e.Off; lo < e.End(); {
+		n := f.c.cfg.RequestBytes
+		if lo+n > e.End() {
+			n = e.End() - lo
+		}
+		err := f.readBurst(s, lo, n, func(localOff int64, b []byte) {
+			f.placeGlobal(s.idx, localOff, b, dst, base)
+		})
+		if err != nil {
+			return err
+		}
+		lo += n
+	}
+	return nil
+}
+
+// placeGlobal copies fragment bytes into the logical buffer, splitting at
+// striping-unit boundaries (a datagram's payload may span two units of the
+// fragment, which are discontiguous in logical space).
+func (f *File) placeGlobal(agent int, localOff int64, b []byte, dst []byte, base int64) {
+	l := f.c.layout
+	for len(b) > 0 {
+		in := localOff % l.Unit
+		take := l.Unit - in
+		if take > int64(len(b)) {
+			take = int64(len(b))
+		}
+		if g, ok := l.GlobalOf(agent, localOff); ok {
+			di := g - base
+			if di >= 0 && di < int64(len(dst)) {
+				end := di + take
+				if end > int64(len(dst)) {
+					end = int64(len(dst))
+				}
+				copy(dst[di:end], b[:end-di])
+			}
+		}
+		b = b[take:]
+		localOff += take
+	}
+}
+
+// readBurst issues one read request for fragment range [lo, lo+n) and
+// collects the data packets, resubmitting requests for missing ranges on
+// timeout — the client-driven recovery of §3.1 ("the client keeps
+// sufficient state to determine what packets have been received and thus
+// can resubmit requests when packets are lost"). The engine keeps one
+// outstanding request per storage agent, as the prototype did. sink is
+// called with fragment-local offsets.
+func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64, b []byte)) error {
+	cfg := &f.c.cfg
+	accept := map[uint32]bool{}
+	var got extent.Set
+	var pkt wire.Packet
+
+	send := func(off, length int64) error {
+		reqID := f.c.nextReq()
+		accept[reqID] = true
+		return f.sendPacket(s, &wire.Packet{Header: wire.Header{
+			Type: wire.TRead, ReqID: reqID, Handle: s.handle,
+			Offset: off, Length: uint32(length),
+		}})
+	}
+	if err := send(lo, n); err != nil {
+		return err
+	}
+	f.c.metrics.ReadBursts.Add(1)
+	retries := 0
+	deadline := time.Now().Add(cfg.RetryTimeout)
+	for !got.Contains(lo, n) {
+		s.conn.SetReadDeadline(deadline)
+		rn, _, err := s.conn.ReadFrom(s.buf)
+		if err != nil {
+			if !transport.IsTimeout(err) {
+				return err
+			}
+			retries++
+			f.c.metrics.ReadTimeouts.Add(1)
+			if retries > cfg.MaxRetries {
+				return fmt.Errorf("%w: read %s[%d:%d] agent %d",
+					ErrRetriesSpent, f.name, lo, lo+n, s.idx)
+			}
+			missing := got.Missing(lo, n)
+			const maxResubmit = 8
+			if len(missing) > maxResubmit {
+				missing = missing[:maxResubmit]
+			}
+			for _, m := range missing {
+				if err := send(m.Off, m.Len); err != nil {
+					return err
+				}
+			}
+			deadline = time.Now().Add(cfg.RetryTimeout)
+			continue
+		}
+		if uerr := wire.Unmarshal(s.buf[:rn], &pkt); uerr != nil {
+			continue
+		}
+		if pkt.Type == wire.TError && accept[pkt.ReqID] {
+			return wire.ParseError(pkt.Payload)
+		}
+		if pkt.Type != wire.TData || !accept[pkt.ReqID] || len(pkt.Payload) == 0 {
+			continue
+		}
+		sink(pkt.Offset, pkt.Payload)
+		got.Add(pkt.Offset, int64(len(pkt.Payload)))
+		deadline = time.Now().Add(cfg.RetryTimeout)
+	}
+	return nil
+}
+
+// sendPacket marshals into the session's scratch buffer and transmits to
+// the agent's private port.
+func (f *File) sendPacket(s *agentSession, p *wire.Packet) error {
+	buf, err := wire.AppendPacket(s.sendBuf[:0], p)
+	if err != nil {
+		return err
+	}
+	s.sendBuf = buf[:0]
+	return s.conn.WriteTo(buf, s.dataAddr)
+}
+
+// WriteAt implements io.WriterAt: it streams to all affected agents in
+// parallel and, with parity enabled, maintains the computed copy.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, errors.New("core: negative offset")
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if err := f.writeRange(p, off, true); err != nil {
+		return 0, err
+	}
+	f.raInvalidate()
+	if end := off + int64(len(p)); end > f.size {
+		f.size = end
+	}
+	return len(p), nil
+}
+
+func (f *File) writeRange(src []byte, off int64, allowFailover bool) error {
+	failed, err := f.writeRangeOnce(src, off)
+	if err == nil {
+		return nil
+	}
+	if failed < 0 || !f.c.cfg.Parity || !allowFailover {
+		return err
+	}
+	f.failAgent(failed)
+	if f.liveCount() < len(f.sessions)-1 {
+		return ErrNoQuorum
+	}
+	f.c.cfg.Logf("core: write failing over around agent %d: %v", failed, err)
+	return f.writeRange(src, off, false)
+}
+
+func (f *File) writeRangeOnce(src []byte, off int64) (failedAgent int, err error) {
+	n := int64(len(src))
+	exts := f.c.layout.LocalExtents(off, n)
+
+	var pbufs map[int64][]byte
+	if f.c.cfg.Parity {
+		pbufs, err = f.computeParity(src, off)
+		if err != nil {
+			return -1, err
+		}
+		l := f.c.layout
+		for row := range pbufs {
+			a := l.ParityAgent(row)
+			exts[a].Add(l.ParityLocal(row), l.Unit)
+		}
+	}
+
+	type result struct {
+		agent int
+		err   error
+	}
+	results := make(chan result, len(f.sessions))
+	workers := 0
+	for i, s := range f.sessions {
+		if exts[i].Len() == 0 {
+			continue
+		}
+		if s == nil {
+			if !f.c.cfg.Parity {
+				return -1, ErrAgentDown
+			}
+			continue // degraded: this agent's units are covered by parity
+		}
+		workers++
+		go func(i int, s *agentSession, es []extent.Extent) {
+			results <- result{agent: i, err: f.agentWrite(s, es, src, off, pbufs)}
+		}(i, s, exts[i].Extents())
+	}
+	for ; workers > 0; workers-- {
+		r := <-results
+		if r.err != nil && err == nil {
+			failedAgent, err = r.agent, r.err
+		}
+	}
+	if err != nil {
+		return failedAgent, err
+	}
+	return -1, nil
+}
+
+// wburst is one in-flight write burst.
+type wburst struct {
+	reqID    uint32
+	lo, n    int64
+	lastSend time.Time
+	retries  int
+}
+
+// agentWrite streams the fragment extents to one agent: announce each
+// burst, blast its data packets, and collect acknowledgements, honouring
+// the agent's resend requests — the write protocol of §3.1 ("the client
+// sends out the data to be written as fast as it can ... each storage
+// agent ... either acknowledges receipt of all packets or sends requests
+// for packets lost").
+func (f *File) agentWrite(s *agentSession, es []extent.Extent, src []byte, base int64, pbufs map[int64][]byte) error {
+	cfg := &f.c.cfg
+	var bursts []span
+	for _, e := range es {
+		for lo := e.Off; lo < e.End(); {
+			n := cfg.RequestBytes
+			if lo+n > e.End() {
+				n = e.End() - lo
+			}
+			bursts = append(bursts, span{lo, n})
+			lo += n
+		}
+	}
+	return f.runWriteBursts(s, bursts, func(localOff int64, out []byte) {
+		f.gather(s.idx, localOff, out, src, base, pbufs)
+	})
+}
+
+// span is one write burst's fragment range.
+type span struct{ lo, n int64 }
+
+// runWriteBursts drives the windowed announce/data/ack/resend state
+// machine for a list of bursts on one agent. fill supplies the bytes for
+// any fragment range being (re)transmitted.
+func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff int64, out []byte)) error {
+	cfg := &f.c.cfg
+	pending := make(map[uint32]*wburst)
+	next := 0
+	var pkt wire.Packet
+	payload := make([]byte, wire.MaxPayload)
+
+	announce := func(b *wburst) error {
+		return f.sendPacket(s, &wire.Packet{Header: wire.Header{
+			Type: wire.TWrite, ReqID: b.reqID, Handle: s.handle,
+			Offset: b.lo, Length: uint32(b.n), Flags: f.writeFlags(),
+		}})
+	}
+	sendData := func(b *wburst, off, length int64) error {
+		for po := off; po < off+length; {
+			m := int64(wire.MaxPayload)
+			if po+m > off+length {
+				m = off + length - po
+			}
+			fill(po, payload[:m])
+			err := f.sendPacket(s, &wire.Packet{
+				Header: wire.Header{
+					Type: wire.TData, ReqID: b.reqID, Handle: s.handle,
+					Offset: po, Length: uint32(m),
+				},
+				Payload: payload[:m],
+			})
+			if err != nil {
+				return err
+			}
+			f.c.metrics.DataPackets.Add(1)
+			if cfg.WritePace > 0 {
+				cfg.Sleep(cfg.WritePace)
+			}
+			po += m
+		}
+		return nil
+	}
+
+	for next < len(bursts) || len(pending) > 0 {
+		// Keep the window full.
+		for len(pending) < cfg.WriteWindow && next < len(bursts) {
+			sp := bursts[next]
+			next++
+			b := &wburst{reqID: f.c.nextReq(), lo: sp.lo, n: sp.n, lastSend: time.Now()}
+			pending[b.reqID] = b
+			f.c.metrics.WriteBursts.Add(1)
+			if err := announce(b); err != nil {
+				return err
+			}
+			if err := sendData(b, b.lo, b.n); err != nil {
+				return err
+			}
+		}
+
+		// Earliest pending deadline.
+		oldest := time.Now().Add(cfg.RetryTimeout)
+		for _, b := range pending {
+			if d := b.lastSend.Add(cfg.RetryTimeout); d.Before(oldest) {
+				oldest = d
+			}
+		}
+		s.conn.SetReadDeadline(oldest)
+		rn, _, err := s.conn.ReadFrom(s.buf)
+		if err != nil {
+			if !transport.IsTimeout(err) {
+				return err
+			}
+			now := time.Now()
+			for _, b := range pending {
+				if now.Sub(b.lastSend) < cfg.RetryTimeout {
+					continue
+				}
+				b.retries++
+				f.c.metrics.WriteTimeouts.Add(1)
+				if b.retries > cfg.MaxRetries {
+					return fmt.Errorf("%w: write %s[%d:%d] agent %d",
+						ErrRetriesSpent, f.name, b.lo, b.lo+b.n, s.idx)
+				}
+				// Re-announce: the agent re-acks if complete or
+				// requests exactly what is missing.
+				b.lastSend = now
+				if err := announce(b); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if uerr := wire.Unmarshal(s.buf[:rn], &pkt); uerr != nil {
+			continue
+		}
+		switch pkt.Type {
+		case wire.TWriteAck:
+			delete(pending, pkt.ReqID)
+		case wire.TResend:
+			b := pending[pkt.ReqID]
+			if b == nil {
+				continue
+			}
+			ranges, perr := wire.ParseResend(pkt.Payload)
+			if perr != nil {
+				continue
+			}
+			b.lastSend = time.Now()
+			f.c.metrics.ResendAsks.Add(1)
+			for _, r := range ranges {
+				if err := sendData(b, r.Off, r.Len); err != nil {
+					return err
+				}
+			}
+		case wire.TError:
+			if pending[pkt.ReqID] != nil {
+				return wire.ParseError(pkt.Payload)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *File) writeFlags() uint16 {
+	if f.c.cfg.SyncWrites {
+		return wire.FSyncWrite
+	}
+	return 0
+}
+
+// gather fills payload with the fragment bytes [localOff, localOff+len)
+// of the given agent, sourcing data units from the logical buffer src
+// (first byte = logical offset base) and parity units from pbufs.
+func (f *File) gather(agent int, localOff int64, payload []byte, src []byte, base int64, pbufs map[int64][]byte) {
+	l := f.c.layout
+	for filled := 0; filled < len(payload); {
+		o := localOff + int64(filled)
+		in := o % l.Unit
+		take := l.Unit - in
+		if take > int64(len(payload)-filled) {
+			take = int64(len(payload) - filled)
+		}
+		out := payload[filled : filled+int(take)]
+		if g, ok := l.GlobalOf(agent, o); ok {
+			si := g - base
+			for i := range out {
+				j := si + int64(i)
+				if j >= 0 && j < int64(len(src)) {
+					out[i] = src[j]
+				} else {
+					out[i] = 0
+				}
+			}
+		} else {
+			row := o / l.Unit
+			pb := pbufs[row]
+			for i := range out {
+				j := in + int64(i)
+				if pb != nil && j < int64(len(pb)) {
+					out[i] = pb[j]
+				} else {
+					out[i] = 0
+				}
+			}
+		}
+		filled += int(take)
+	}
+}
+
+// Sync asks every live agent to commit the file to stable storage.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	for _, s := range f.sessions {
+		if s == nil {
+			continue
+		}
+		reqID := f.c.nextReq()
+		reply, err := f.c.rpc(s.conn, s.dataAddr, &wire.Packet{
+			Header: wire.Header{Type: wire.TSync, ReqID: reqID, Handle: s.handle},
+		}, reqID)
+		if err != nil {
+			return fmt.Errorf("core: sync agent %d: %w", s.idx, err)
+		}
+		if reply.Type != wire.TSyncReply {
+			return fmt.Errorf("core: unexpected %v to sync", reply.Type)
+		}
+	}
+	return nil
+}
+
+// Truncate sets the logical size, truncating every fragment accordingly.
+func (f *File) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if size < 0 {
+		return errors.New("core: negative size")
+	}
+	frags := f.c.layout.FragmentSizes(size)
+	for _, s := range f.sessions {
+		if s == nil {
+			continue
+		}
+		reqID := f.c.nextReq()
+		reply, err := f.c.rpc(s.conn, s.dataAddr, &wire.Packet{
+			Header: wire.Header{Type: wire.TTrunc, ReqID: reqID, Handle: s.handle, Offset: frags[s.idx]},
+		}, reqID)
+		if err != nil {
+			return fmt.Errorf("core: truncate agent %d: %w", s.idx, err)
+		}
+		if reply.Type != wire.TTruncReply {
+			return fmt.Errorf("core: unexpected %v to truncate", reply.Type)
+		}
+	}
+	f.raInvalidate()
+	f.size = size
+	if f.pos > size {
+		f.pos = size
+	}
+	return nil
+}
+
+// Close releases the file handle on every agent ("the client expires the
+// file handle and the storage agents release the ports and extinguish the
+// threads").
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	var firstErr error
+	for _, s := range f.sessions {
+		if s == nil {
+			continue
+		}
+		reqID := f.c.nextReq()
+		_, err := f.c.rpc(s.conn, s.dataAddr, &wire.Packet{
+			Header: wire.Header{Type: wire.TClose, ReqID: reqID, Handle: s.handle},
+		}, reqID)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: close agent %d: %w", s.idx, err)
+		}
+		s.close()
+	}
+	return firstErr
+}
+
+// failAgent tears down the session of a failed agent and marks it down.
+func (f *File) failAgent(i int) {
+	if i < 0 || i >= len(f.sessions) {
+		return
+	}
+	if s := f.sessions[i]; s != nil {
+		s.close()
+		f.sessions[i] = nil
+	}
+	f.c.MarkDown(i, true)
+}
+
+func (f *File) liveCount() int {
+	n := 0
+	for _, s := range f.sessions {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}

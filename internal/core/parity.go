@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"swift/internal/extent"
+	"swift/internal/parity"
+	"swift/internal/wire"
+)
+
+// computeParity builds the XOR parity units for every stripe row touched
+// by a write of src at logical offset off. Rows only partially covered by
+// the write are completed with a read-modify-write: the uncovered old
+// bytes are fetched (degraded-tolerant) before the parity is computed.
+// Parity units always span the full striping unit; logical bytes past the
+// object tail count as zeros.
+func (f *File) computeParity(src []byte, off int64) (map[int64][]byte, error) {
+	l := f.c.layout
+	rb := l.RowBytes()
+	end := off + int64(len(src))
+	r0, r1 := l.RowOfGlobal(off), l.RowOfGlobal(end-1)
+
+	pbufs := make(map[int64][]byte, r1-r0+1)
+	rowData := make([]byte, rb)
+	for r := r0; r <= r1; r++ {
+		rowOff := r * rb
+		covLo, covHi := rowOff, rowOff+rb
+		if covLo < off {
+			covLo = off
+		}
+		if covHi > end {
+			covHi = end
+		}
+		// Old data for the uncovered head and tail of the row
+		// (clamped to the current size; beyond it everything is zero).
+		for i := range rowData {
+			rowData[i] = 0
+		}
+		if err := f.fillOldRow(rowData, rowOff, covLo, covHi); err != nil {
+			return nil, err
+		}
+		copy(rowData[covLo-rowOff:covHi-rowOff], src[covLo-off:covHi-off])
+
+		pbuf := make([]byte, l.Unit)
+		for j := 0; j < l.DataPerRow(); j++ {
+			parity.XOR(pbuf, rowData[int64(j)*l.Unit:int64(j+1)*l.Unit])
+		}
+		pbufs[r] = pbuf
+	}
+	return pbufs, nil
+}
+
+// fillOldRow reads the pre-write content of row bytes outside [covLo,
+// covHi) into rowData (whose first byte is logical offset rowOff).
+func (f *File) fillOldRow(rowData []byte, rowOff, covLo, covHi int64) error {
+	rb := int64(len(rowData))
+	read := func(lo, hi int64) error {
+		if hi > f.size {
+			hi = f.size // beyond the tail is zeros already
+		}
+		if lo >= hi {
+			return nil
+		}
+		return f.readRange(rowData[lo-rowOff:hi-rowOff], lo, false)
+	}
+	if err := read(rowOff, covLo); err != nil {
+		return err
+	}
+	return read(covHi, rowOff+rb)
+}
+
+// reconstructInto rebuilds the fragment extents of a failed agent from the
+// surviving agents' units and parity, placing the recovered logical bytes
+// into dst (first byte = logical offset base). This is the degraded-mode
+// read path of computed-copy redundancy.
+func (f *File) reconstructInto(dead int, es []extent.Extent, dst []byte, base int64) error {
+	l := f.c.layout
+	seen := make(map[int64]bool)
+	for _, e := range es {
+		for r := e.Off / l.Unit; r <= (e.End()-1)/l.Unit; r++ {
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			unit, err := f.reconstructUnit(dead, r)
+			if err != nil {
+				return err
+			}
+			// Place the requested portion(s) of this unit.
+			uLo, uHi := r*l.Unit, (r+1)*l.Unit
+			lo, hi := e.Off, e.End()
+			if lo < uLo {
+				lo = uLo
+			}
+			if hi > uHi {
+				hi = uHi
+			}
+			if lo >= hi {
+				continue
+			}
+			g, ok := l.GlobalOf(dead, lo)
+			if !ok {
+				continue // parity unit: not logical data
+			}
+			di := g - base
+			if di < 0 || di >= int64(len(dst)) {
+				continue
+			}
+			n := hi - lo
+			if di+n > int64(len(dst)) {
+				n = int64(len(dst)) - di
+			}
+			copy(dst[di:di+n], unit[lo-uLo:lo-uLo+n])
+		}
+	}
+	return nil
+}
+
+// reconstructUnit XORs the units of row r held by all surviving agents,
+// yielding the failed agent's unit (data or parity alike).
+func (f *File) reconstructUnit(dead int, r int64) ([]byte, error) {
+	l := f.c.layout
+	unit := make([]byte, l.Unit)
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		firstEr error
+	)
+	for i, s := range f.sessions {
+		if i == dead || s == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(s *agentSession) {
+			defer wg.Done()
+			buf := make([]byte, l.Unit)
+			err := f.readBurst(s, r*l.Unit, l.Unit, func(localOff int64, b []byte) {
+				copy(buf[localOff-r*l.Unit:], b)
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstEr == nil {
+					firstEr = err
+				}
+				return
+			}
+			parity.XOR(unit, buf)
+		}(s)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return unit, nil
+}
+
+// VerifyParity scrubs the file: for every stripe row it reads all units
+// from all agents and checks that the parity unit equals the XOR of the
+// data units. It returns the rows that fail, in ascending order — the
+// maintenance pass a Swift installation would run after crashes.
+func (f *File) VerifyParity() ([]int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if !f.c.cfg.Parity {
+		return nil, fmt.Errorf("core: verify requires parity")
+	}
+	if f.liveCount() < len(f.sessions) {
+		return nil, fmt.Errorf("core: verify requires all agents up")
+	}
+	if f.size == 0 {
+		return nil, nil
+	}
+	l := f.c.layout
+	var bad []int64
+	lastRow := l.RowOfGlobal(f.size - 1)
+	unit := make([]byte, l.Unit)
+	for r := int64(0); r <= lastRow; r++ {
+		// XOR of all units of a consistent row is zero: the parity
+		// unit is the XOR of the data units.
+		got, err := f.xorRow(r, unit)
+		if err != nil {
+			return nil, fmt.Errorf("core: verify row %d: %w", r, err)
+		}
+		if !got {
+			bad = append(bad, r)
+		}
+	}
+	return bad, nil
+}
+
+// xorRow reads every agent's unit of row r and reports whether they XOR
+// to zero. scratch must be Unit bytes.
+func (f *File) xorRow(r int64, scratch []byte) (bool, error) {
+	l := f.c.layout
+	for i := range scratch {
+		scratch[i] = 0
+	}
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		firstEr error
+	)
+	for _, s := range f.sessions {
+		if s == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(s *agentSession) {
+			defer wg.Done()
+			buf := make([]byte, l.Unit)
+			err := f.readBurst(s, r*l.Unit, l.Unit, func(localOff int64, b []byte) {
+				copy(buf[localOff-r*l.Unit:], b)
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstEr == nil {
+					firstEr = err
+				}
+				return
+			}
+			parity.XOR(scratch, buf)
+		}(s)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return false, firstEr
+	}
+	for _, b := range scratch {
+		if b != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// RepairRow recomputes and rewrites the parity unit of one row from its
+// data units, fixing a scrub finding whose data is trusted.
+func (f *File) RepairRow(r int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if !f.c.cfg.Parity {
+		return fmt.Errorf("core: repair requires parity")
+	}
+	l := f.c.layout
+	pa := l.ParityAgent(r)
+	if pa >= len(f.sessions) || f.sessions[pa] == nil {
+		return fmt.Errorf("core: repair: parity agent %d down", pa)
+	}
+	// XOR the data units (everyone but the parity agent).
+	unit := make([]byte, l.Unit)
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		firstEr error
+	)
+	for i, s := range f.sessions {
+		if i == pa || s == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(s *agentSession) {
+			defer wg.Done()
+			buf := make([]byte, l.Unit)
+			err := f.readBurst(s, r*l.Unit, l.Unit, func(localOff int64, b []byte) {
+				copy(buf[localOff-r*l.Unit:], b)
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstEr == nil {
+				firstEr = err
+				return
+			}
+			parity.XOR(unit, buf)
+		}(s)
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return firstEr
+	}
+	lo := l.ParityLocal(r)
+	return f.runWriteBursts(f.sessions[pa], []span{{lo: lo, n: l.Unit}}, func(localOff int64, out []byte) {
+		copy(out, unit[localOff-lo:])
+	})
+}
+
+// Rebuild reconstructs every unit (data and parity) that agent idx should
+// hold for this file and writes it back to that agent, then trims the
+// fragment to its expected size. The caller must have restored the agent
+// (Client.MarkDown(idx, false)) and reopened the file so a session to it
+// exists.
+func (f *File) Rebuild(idx int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if !f.c.cfg.Parity {
+		return fmt.Errorf("core: rebuild requires parity")
+	}
+	if idx < 0 || idx >= len(f.sessions) || f.sessions[idx] == nil {
+		return fmt.Errorf("core: rebuild: no session to agent %d", idx)
+	}
+	s := f.sessions[idx]
+	l := f.c.layout
+	if f.size == 0 {
+		return nil
+	}
+	lastRow := l.RowOfGlobal(f.size - 1)
+	for r := int64(0); r <= lastRow; r++ {
+		unit, err := f.reconstructUnit(idx, r)
+		if err != nil {
+			return fmt.Errorf("core: rebuild row %d: %w", r, err)
+		}
+		lo := r * l.Unit
+		err = f.runWriteBursts(s, []span{{lo: lo, n: l.Unit}}, func(localOff int64, out []byte) {
+			copy(out, unit[localOff-lo:])
+		})
+		if err != nil {
+			return fmt.Errorf("core: rebuild row %d: %w", r, err)
+		}
+	}
+	// Trim the fragment: the tail data unit may be partial.
+	want := l.FragmentSizes(f.size)[idx]
+	reqID := f.c.nextReq()
+	reply, err := f.c.rpc(s.conn, s.dataAddr, &wire.Packet{
+		Header: wire.Header{Type: wire.TTrunc, ReqID: reqID, Handle: s.handle, Offset: want},
+	}, reqID)
+	if err != nil {
+		return fmt.Errorf("core: rebuild trim: %w", err)
+	}
+	if reply.Type != wire.TTruncReply {
+		return fmt.Errorf("core: unexpected %v to rebuild trim", reply.Type)
+	}
+	return nil
+}

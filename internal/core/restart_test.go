@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"swift/internal/agent"
+)
+
+// TestAgentRestartPreservesData: an agent process restarts (same store,
+// same well-known port); a client reopening the file reads everything
+// back. This is the operational story of swiftd on a rebooted machine.
+func TestAgentRestartPreservesData(t *testing.T) {
+	c := newCluster(t, clusterOpts{agents: 3, unit: 2048})
+	data := randBytes(80_000, 90)
+	f, err := c.client.Open("durable", OpenFlags{Create: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(data, 0)
+	f.Close()
+
+	// Restart agent 1 on its original host and port, with its store.
+	if err := c.agents[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := agent.New(c.hosts[1], c.stores[1], agent.Config{
+		ResendCheck: 5 * time.Millisecond,
+		ResendAfter: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	t.Cleanup(func() { fresh.Close() })
+	c.agents[1] = fresh
+
+	g, err := c.client.Open("durable", OpenFlags{})
+	if err != nil {
+		t.Fatalf("reopen after restart: %v", err)
+	}
+	defer g.Close()
+	out := make([]byte, len(data))
+	if _, err := g.ReadAt(out, 0); err != nil {
+		t.Fatalf("read after restart: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("data lost across agent restart")
+	}
+}
+
+// TestPingReportsStatus: the health probe reflects agent liveness, open
+// sessions, and stored bytes.
+func TestPingReportsStatus(t *testing.T) {
+	c := newCluster(t, clusterOpts{agents: 3, unit: 1024})
+	f, err := c.client.Open("pingable", OpenFlags{Create: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.WriteAt(randBytes(30_000, 93), 0)
+
+	sts := c.client.Ping()
+	if len(sts) != 3 {
+		t.Fatalf("statuses = %d", len(sts))
+	}
+	var total int64
+	for i, st := range sts {
+		if !st.Alive {
+			t.Fatalf("agent %d reported down", i)
+		}
+		if st.Objects != 1 || st.Sessions != 1 {
+			t.Fatalf("agent %d: objects=%d sessions=%d", i, st.Objects, st.Sessions)
+		}
+		total += st.Bytes
+	}
+	if total != 30_000 {
+		t.Fatalf("total fragment bytes = %d, want 30000", total)
+	}
+
+	// A dead agent shows as down; the others stay up.
+	c.agents[2].Close()
+	sts = c.client.Ping()
+	if sts[2].Alive {
+		t.Fatal("dead agent reported alive")
+	}
+	if !sts[0].Alive || !sts[1].Alive {
+		t.Fatal("live agents reported down")
+	}
+}
+
+// TestOpenSessionsSurviveOtherCloses: closing one file's sessions must not
+// disturb another open file on the same agents.
+func TestOpenSessionsSurviveOtherCloses(t *testing.T) {
+	c := newCluster(t, clusterOpts{})
+	a, err := c.client.Open("a", OpenFlags{Create: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.client.Open("b", OpenFlags{Create: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	da := randBytes(20_000, 91)
+	db := randBytes(20_000, 92)
+	a.WriteAt(da, 0)
+	b.WriteAt(db, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(db))
+	if _, err := b.ReadAt(out, 0); err != nil {
+		t.Fatalf("read b after closing a: %v", err)
+	}
+	if !bytes.Equal(out, db) {
+		t.Fatal("b corrupted by a's close")
+	}
+}

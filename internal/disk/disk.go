@@ -1,0 +1,193 @@
+// Package disk provides the parametric magnetic-disk model used everywhere
+// the paper needs a storage device: the storage agents' local SCSI disks,
+// the NFS server's IPI drives, and the six drive types swept by the §5
+// simulator. The model follows the paper's: the time to transfer a block
+// is the seek time plus the rotational delay plus the media transfer time,
+// with seek and rotational delay drawn as independent uniform random
+// variables. A per-operation overhead term models controller and driver
+// cost, and a sequential mode models read-ahead (no positioning cost).
+package disk
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Model holds the static parameters of a disk drive.
+type Model struct {
+	Name string
+
+	// AvgSeek is the mean random seek time. Random seeks are drawn
+	// uniformly from [0, 2*AvgSeek].
+	AvgSeek time.Duration
+	// TrackSeek is the track-to-track seek used for sequential
+	// synchronous operations.
+	TrackSeek time.Duration
+	// RotationPeriod is the time of one full revolution; the mean
+	// rotational delay is half of it, drawn uniformly from
+	// [0, RotationPeriod].
+	RotationPeriod time.Duration
+	// MediaRate is the sustained media transfer rate in bytes/second.
+	MediaRate float64
+	// SeqOverhead is the per-operation controller/driver overhead for
+	// sequential (read-ahead) transfers.
+	SeqOverhead time.Duration
+	// OpOverhead is the per-operation overhead for random transfers.
+	OpOverhead time.Duration
+	// SyncWriteOverhead is the per-operation overhead for synchronous
+	// writes (file-system bookkeeping included).
+	SyncWriteOverhead time.Duration
+}
+
+// AvgRotation returns the mean rotational delay (half a revolution).
+func (m Model) AvgRotation() time.Duration { return m.RotationPeriod / 2 }
+
+// TransferTime returns the media transfer time for n bytes.
+func (m Model) TransferTime(n int64) time.Duration {
+	return time.Duration(float64(n) / m.MediaRate * float64(time.Second))
+}
+
+// SeekTime draws a random seek time, uniform on [0, 2*AvgSeek].
+func (m Model) SeekTime(rng *rand.Rand) time.Duration {
+	if m.AvgSeek <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(2 * m.AvgSeek)))
+}
+
+// RotationDelay draws a random rotational delay, uniform on
+// [0, RotationPeriod].
+func (m Model) RotationDelay(rng *rand.Rand) time.Duration {
+	if m.RotationPeriod <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(m.RotationPeriod)))
+}
+
+// AccessTime returns the modeled service time for one block access. This
+// is the function the §5 simulator uses directly: positioning (seek +
+// rotation) plus media transfer.
+func (m Model) AccessTime(rng *rand.Rand, n int64) time.Duration {
+	return m.SeekTime(rng) + m.RotationDelay(rng) + m.TransferTime(n)
+}
+
+// MeanAccessTime returns the expected service time for one block access,
+// useful for closed-form sanity checks.
+func (m Model) MeanAccessTime(n int64) time.Duration {
+	return m.AvgSeek + m.AvgRotation() + m.TransferTime(n)
+}
+
+// Device is a stateful simulated drive: a single spindle that serializes
+// operations and charges modeled service times by sleeping. The sleep
+// function is injectable so a scaled clock (e.g. the memnet time scale)
+// can be used. A Device tracks the last accessed offset to recognize
+// sequential access, which models read-ahead and track-buffer behaviour.
+type Device struct {
+	model Model
+	sleep func(time.Duration)
+	rng   *rand.Rand
+
+	// AsyncWriteRate, when > 0, is the buffer-cache absorption rate in
+	// bytes/second for asynchronous writes (no positioning, no media
+	// transfer — the SunOS write-behind path the prototype's agents
+	// used). When 0, all writes are synchronous.
+	asyncWriteRate float64
+
+	mu      sync.Mutex
+	nextOff int64
+	busy    time.Duration // cumulative busy time, for utilization stats
+}
+
+// Option configures a Device.
+type Option func(*Device)
+
+// WithSleeper substitutes the function used to charge modeled time.
+func WithSleeper(sleep func(time.Duration)) Option {
+	return func(d *Device) { d.sleep = sleep }
+}
+
+// WithAsyncWrites enables buffered (asynchronous) writes absorbed at the
+// given rate in bytes/second.
+func WithAsyncWrites(rate float64) Option {
+	return func(d *Device) { d.asyncWriteRate = rate }
+}
+
+// WithSeed seeds the device's positioning RNG for reproducible runs.
+func WithSeed(seed int64) Option {
+	return func(d *Device) { d.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewDevice creates a simulated drive for the given model.
+func NewDevice(m Model, opts ...Option) *Device {
+	d := &Device{
+		model: m,
+		sleep: time.Sleep,
+		rng:   rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Model returns the device's drive parameters.
+func (d *Device) Model() Model { return d.model }
+
+// BusyTime returns the cumulative modeled service time charged so far.
+func (d *Device) BusyTime() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.busy
+}
+
+// charge sleeps for dur with the spindle lock held, serializing accesses.
+func (d *Device) charge(dur time.Duration, endOff int64) {
+	d.busy += dur
+	d.nextOff = endOff
+	d.mu.Unlock()
+	d.sleep(dur)
+}
+
+// Read charges the modeled time of reading n bytes at offset off.
+func (d *Device) Read(off, n int64) {
+	d.mu.Lock()
+	m := d.model
+	var dur time.Duration
+	if off == d.nextOff {
+		// Sequential: read-ahead hides positioning.
+		dur = m.SeqOverhead + m.TransferTime(n)
+	} else {
+		dur = m.OpOverhead + m.SeekTime(d.rng) + m.RotationDelay(d.rng) + m.TransferTime(n)
+	}
+	d.charge(dur, off+n) // unlocks
+}
+
+// Write charges the modeled time of writing n bytes at offset off. When
+// sync is false and the device has asynchronous writes enabled, only the
+// buffer-cache copy cost is charged.
+func (d *Device) Write(off, n int64, sync bool) {
+	d.mu.Lock()
+	m := d.model
+	var dur time.Duration
+	switch {
+	case !sync && d.asyncWriteRate > 0:
+		dur = time.Duration(float64(n) / d.asyncWriteRate * float64(time.Second))
+	case off == d.nextOff:
+		// Sequential sync write: track-to-track reposition plus
+		// rotational delay plus transfer.
+		dur = m.SyncWriteOverhead + m.TrackSeek + d.model.RotationDelay(d.rng) + m.TransferTime(n)
+	default:
+		dur = m.SyncWriteOverhead + m.SeekTime(d.rng) + m.RotationDelay(d.rng) + m.TransferTime(n)
+	}
+	d.charge(dur, off+n) // unlocks
+}
+
+// Sync charges the cost of flushing buffered data; with async writes this
+// models an fsync as a single sequential sync write of the given size.
+func (d *Device) Sync(n int64) {
+	d.mu.Lock()
+	m := d.model
+	dur := m.SyncWriteOverhead + m.TrackSeek + d.model.RotationDelay(d.rng) + m.TransferTime(n)
+	d.charge(dur, d.nextOff)
+}

@@ -1,0 +1,168 @@
+package disk
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeSleeper records charged durations instead of sleeping.
+type fakeSleeper struct {
+	mu    sync.Mutex
+	total time.Duration
+}
+
+func (f *fakeSleeper) sleep(d time.Duration) {
+	f.mu.Lock()
+	f.total += d
+	f.mu.Unlock()
+}
+
+func TestTransferTime(t *testing.T) {
+	m := Model{MediaRate: 1e6}
+	if got := m.TransferTime(1e6); got != time.Second {
+		t.Fatalf("transfer = %v", got)
+	}
+	if got := m.TransferTime(250_000); got != 250*time.Millisecond {
+		t.Fatalf("transfer = %v", got)
+	}
+}
+
+func TestSeekAndRotationDistributions(t *testing.T) {
+	m := Model{AvgSeek: 16 * time.Millisecond, RotationPeriod: 16600 * time.Microsecond}
+	rng := rand.New(rand.NewSource(1))
+	var seekSum, rotSum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s := m.SeekTime(rng)
+		if s < 0 || s >= 2*m.AvgSeek {
+			t.Fatalf("seek %v out of [0, 2*avg)", s)
+		}
+		seekSum += s
+		r := m.RotationDelay(rng)
+		if r < 0 || r >= m.RotationPeriod {
+			t.Fatalf("rotation %v out of [0, period)", r)
+		}
+		rotSum += r
+	}
+	// Means within 3% of the configured averages.
+	if mean := seekSum / n; mean < 15500*time.Microsecond || mean > 16500*time.Microsecond {
+		t.Fatalf("mean seek = %v", mean)
+	}
+	if mean := rotSum / n; mean < 8050*time.Microsecond || mean > 8550*time.Microsecond {
+		t.Fatalf("mean rotation = %v", mean)
+	}
+}
+
+func TestZeroParametersDrawZero(t *testing.T) {
+	var m Model
+	rng := rand.New(rand.NewSource(1))
+	if m.SeekTime(rng) != 0 || m.RotationDelay(rng) != 0 {
+		t.Fatal("zero model drew nonzero positioning")
+	}
+}
+
+func TestMeanAccessMatchesPaperFigure3(t *testing.T) {
+	// The paper: "transferring 32 kilobytes required about 37
+	// milliseconds on the average" for the M2372K.
+	m := FujitsuM2372K()
+	mean := m.MeanAccessTime(32 * 1024)
+	if mean < 36*time.Millisecond || mean > 38*time.Millisecond {
+		t.Fatalf("mean access for 32K = %v, paper says ≈37ms", mean)
+	}
+}
+
+func TestDeviceSequentialReadRate(t *testing.T) {
+	// The Sun SCSI profile must reproduce the paper's ≈654-682 KB/s
+	// sequential read band (Table 2).
+	fs := &fakeSleeper{}
+	d := NewDevice(ProfileSunSCSI(), WithSleeper(fs.sleep), WithSeed(2))
+	const total = 3 << 20
+	for off := int64(0); off < total; off += 8192 {
+		d.Read(off, 8192)
+	}
+	rate := float64(total) / fs.total.Seconds() / 1024
+	if rate < 640 || rate < 0 || rate > 700 {
+		t.Fatalf("sequential read rate = %.0f KB/s, want ≈654-682", rate)
+	}
+}
+
+func TestDeviceSyncWriteRate(t *testing.T) {
+	// And the ≈314-316 KB/s synchronous write band.
+	fs := &fakeSleeper{}
+	d := NewDevice(ProfileSunSCSI(), WithSleeper(fs.sleep), WithSeed(3))
+	const total = 3 << 20
+	for off := int64(0); off < total; off += 8192 {
+		d.Write(off, 8192, true)
+	}
+	rate := float64(total) / fs.total.Seconds() / 1024
+	if rate < 290 || rate > 345 {
+		t.Fatalf("sync write rate = %.0f KB/s, want ≈314-316", rate)
+	}
+}
+
+func TestDeviceAsyncWritesAreCheap(t *testing.T) {
+	fs := &fakeSleeper{}
+	d := NewDevice(ProfileSunSCSI(), WithSleeper(fs.sleep), WithAsyncWrites(10e6))
+	d.Write(0, 1e6, false)
+	if fs.total != 100*time.Millisecond {
+		t.Fatalf("async write charged %v, want 100ms", fs.total)
+	}
+	// Sync flag still forces the disk path.
+	before := fs.total
+	d.Write(2e6, 8192, true)
+	if fs.total-before < 10*time.Millisecond {
+		t.Fatal("sync write under async mode too cheap")
+	}
+}
+
+func TestRandomReadsCostMoreThanSequential(t *testing.T) {
+	seqS, rndS := &fakeSleeper{}, &fakeSleeper{}
+	seq := NewDevice(ProfileSunSCSI(), WithSleeper(seqS.sleep), WithSeed(4))
+	rnd := NewDevice(ProfileSunSCSI(), WithSleeper(rndS.sleep), WithSeed(4))
+	for i := int64(0); i < 64; i++ {
+		seq.Read(i*8192, 8192)
+		rnd.Read(((i*7)%64)*1_000_000, 8192) // scattered
+	}
+	if rndS.total < 2*seqS.total {
+		t.Fatalf("random %v not clearly slower than sequential %v", rndS.total, seqS.total)
+	}
+}
+
+func TestBusyTimeAccumulates(t *testing.T) {
+	fs := &fakeSleeper{}
+	d := NewDevice(ProfileSunSCSI(), WithSleeper(fs.sleep))
+	d.Read(0, 8192)
+	d.Read(8192, 8192)
+	if d.BusyTime() != fs.total {
+		t.Fatalf("busy %v != slept %v", d.BusyTime(), fs.total)
+	}
+}
+
+func TestSimulatorDriveOrdering(t *testing.T) {
+	// For 4 KB accesses (positioning-dominated), the 3380K must be the
+	// fastest drive and the RA82 the slowest, as in Figure 5.
+	drives := SimulatorDrives()
+	first := drives[0].MeanAccessTime(4096)
+	last := drives[len(drives)-1].MeanAccessTime(4096)
+	for _, m := range drives[1 : len(drives)-1] {
+		mid := m.MeanAccessTime(4096)
+		if mid < first {
+			t.Fatalf("%s faster than IBM 3380K", m.Name)
+		}
+		if mid > last {
+			t.Fatalf("%s slower than DEC RA82", m.Name)
+		}
+	}
+}
+
+func TestProfileNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range SimulatorDrives() {
+		if m.Name == "" || seen[m.Name] {
+			t.Fatalf("bad or duplicate drive name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}

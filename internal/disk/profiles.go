@@ -1,0 +1,124 @@
+package disk
+
+import "time"
+
+// Calibrated drive profiles.
+//
+// ProfileSunSCSI and ProfileSunIPI reproduce the paper's measured baseline
+// rates from first-principles parameters: the Sun SCSI profile yields
+// ≈ 680 KB/s sequential reads (synchronous-mode SCSI under SunOS 4.1.1)
+// and ≈ 315 KB/s synchronous 8 KB writes; the IPI profile is the Sun 4/390
+// NFS server's faster drive (rated "more than 3 megabytes/second").
+//
+// The six simulator drives are the ones swept in Figures 5 and 6. The
+// paper gives parameters only for the Fujitsu M2372K (16 ms seek, 8.3 ms
+// rotation, 2.5 MB/s); the remaining five carry nominal 1990 catalog
+// values, documented in DESIGN.md.
+
+// ProfileSunSCSI models the 104/207 MB local SCSI disks of the prototype's
+// SPARCstation hosts under SunOS 4.1.1.
+func ProfileSunSCSI() Model {
+	return Model{
+		Name:              "Sun-SCSI",
+		AvgSeek:           16 * time.Millisecond,
+		TrackSeek:         4 * time.Millisecond,
+		RotationPeriod:    16600 * time.Microsecond, // 3600 rpm
+		MediaRate:         1.30e6,
+		SeqOverhead:       5800 * time.Microsecond,
+		OpOverhead:        5800 * time.Microsecond,
+		SyncWriteOverhead: 7500 * time.Microsecond,
+	}
+}
+
+// ProfileSunIPI models the Sun 4/390 server's IPI drives.
+func ProfileSunIPI() Model {
+	return Model{
+		Name:              "Sun-IPI",
+		AvgSeek:           16 * time.Millisecond,
+		TrackSeek:         4 * time.Millisecond,
+		RotationPeriod:    16600 * time.Microsecond,
+		MediaRate:         3.0e6,
+		SeqOverhead:       3 * time.Millisecond,
+		OpOverhead:        3 * time.Millisecond,
+		SyncWriteOverhead: 5 * time.Millisecond,
+	}
+}
+
+// Simulator drives (Figures 3–6).
+
+// IBM3380K is the fastest drive of the Figure 5/6 sweep.
+func IBM3380K() Model {
+	return Model{
+		Name:           "IBM 3380K",
+		AvgSeek:        15 * time.Millisecond,
+		TrackSeek:      3 * time.Millisecond,
+		RotationPeriod: 16600 * time.Microsecond,
+		MediaRate:      3.0e6,
+	}
+}
+
+// FujitsuM2361A is the Fujitsu Eagle-class drive.
+func FujitsuM2361A() Model {
+	return Model{
+		Name:           "Fujitsu M2361A",
+		AvgSeek:        16700 * time.Microsecond,
+		TrackSeek:      4 * time.Millisecond,
+		RotationPeriod: 16600 * time.Microsecond,
+		MediaRate:      2.5e6,
+	}
+}
+
+// FujitsuM2351A is the older Fujitsu drive.
+func FujitsuM2351A() Model {
+	return Model{
+		Name:           "Fujitsu M2351A",
+		AvgSeek:        18 * time.Millisecond,
+		TrackSeek:      4 * time.Millisecond,
+		RotationPeriod: 16600 * time.Microsecond,
+		MediaRate:      2.2e6,
+	}
+}
+
+// WrenV is the CDC Wren V.
+func WrenV() Model {
+	return Model{
+		Name:           "Wren V",
+		AvgSeek:        19 * time.Millisecond,
+		TrackSeek:      4 * time.Millisecond,
+		RotationPeriod: 17200 * time.Microsecond,
+		MediaRate:      1.8e6,
+	}
+}
+
+// FujitsuM2372K is the drive of Figure 3, "typical for 1990 file servers":
+// average seek 16 ms, average rotational delay 8.3 ms, 2.5 MB/s.
+func FujitsuM2372K() Model {
+	return Model{
+		Name:           "Fujitsu M2372K",
+		AvgSeek:        16 * time.Millisecond,
+		TrackSeek:      4 * time.Millisecond,
+		RotationPeriod: 16600 * time.Microsecond,
+		MediaRate:      2.5e6,
+	}
+}
+
+// DECRA82 is the slowest drive of the sweep; Figure 4's "slower storage
+// device" (1.5 MB/s).
+func DECRA82() Model {
+	return Model{
+		Name:           "DEC RA82",
+		AvgSeek:        24 * time.Millisecond,
+		TrackSeek:      6 * time.Millisecond,
+		RotationPeriod: 16600 * time.Microsecond,
+		MediaRate:      1.5e6,
+	}
+}
+
+// SimulatorDrives returns the six drives of Figures 5 and 6, fastest
+// first, in the paper's legend order.
+func SimulatorDrives() []Model {
+	return []Model{
+		IBM3380K(), FujitsuM2361A(), FujitsuM2351A(),
+		WrenV(), FujitsuM2372K(), DECRA82(),
+	}
+}

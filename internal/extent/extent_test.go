@@ -1,0 +1,178 @@
+package extent
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddCoalesces(t *testing.T) {
+	var s Set
+	s.Add(10, 5) // [10,15)
+	s.Add(20, 5) // [20,25)
+	s.Add(15, 5) // bridges: [10,25)
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1: %v", s.Len(), s.String())
+	}
+	if !s.Contains(10, 15) {
+		t.Fatalf("missing coverage: %v", s.String())
+	}
+	if s.Total() != 15 {
+		t.Fatalf("total = %d, want 15", s.Total())
+	}
+}
+
+func TestAddOverlapVariants(t *testing.T) {
+	cases := []struct {
+		name string
+		adds [][2]int64
+		len  int
+		tot  int64
+	}{
+		{"disjoint", [][2]int64{{0, 5}, {10, 5}}, 2, 10},
+		{"adjacent", [][2]int64{{0, 5}, {5, 5}}, 1, 10},
+		{"contained", [][2]int64{{0, 20}, {5, 5}}, 1, 20},
+		{"containing", [][2]int64{{5, 5}, {0, 20}}, 1, 20},
+		{"left-overlap", [][2]int64{{5, 10}, {0, 7}}, 1, 15},
+		{"right-overlap", [][2]int64{{0, 10}, {7, 10}}, 1, 17},
+		{"empty", [][2]int64{{5, 0}, {7, -3}}, 0, 0},
+		{"multi-span", [][2]int64{{0, 2}, {4, 2}, {8, 2}, {1, 8}}, 1, 10},
+	}
+	for _, tc := range cases {
+		var s Set
+		for _, a := range tc.adds {
+			s.Add(a[0], a[1])
+		}
+		if s.Len() != tc.len || s.Total() != tc.tot {
+			t.Errorf("%s: len=%d total=%d, want len=%d total=%d (%v)",
+				tc.name, s.Len(), s.Total(), tc.len, tc.tot, s.String())
+		}
+	}
+}
+
+func TestMissing(t *testing.T) {
+	var s Set
+	s.Add(10, 10) // [10,20)
+	s.Add(30, 10) // [30,40)
+
+	miss := s.Missing(0, 50)
+	want := []Extent{{0, 10}, {20, 10}, {40, 10}}
+	if len(miss) != len(want) {
+		t.Fatalf("missing = %v, want %v", miss, want)
+	}
+	for i := range want {
+		if miss[i] != want[i] {
+			t.Fatalf("missing[%d] = %v, want %v", i, miss[i], want[i])
+		}
+	}
+	if got := s.Missing(12, 6); len(got) != 0 {
+		t.Fatalf("covered range reported missing: %v", got)
+	}
+	if got := s.Missing(15, 10); len(got) != 1 || got[0] != (Extent{20, 5}) {
+		t.Fatalf("partial missing = %v", got)
+	}
+}
+
+func TestContainsEdges(t *testing.T) {
+	var s Set
+	s.Add(100, 50)
+	checks := []struct {
+		off, n int64
+		want   bool
+	}{
+		{100, 50, true}, {100, 51, false}, {99, 2, false},
+		{149, 1, true}, {150, 1, false}, {120, 0, true},
+	}
+	for _, c := range checks {
+		if got := s.Contains(c.off, c.n); got != c.want {
+			t.Errorf("Contains(%d,%d) = %v, want %v", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestCovered(t *testing.T) {
+	var s Set
+	s.Add(0, 10)
+	s.Add(20, 10)
+	if got := s.Covered(5, 20); got != 10 {
+		t.Fatalf("covered = %d, want 10", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Set
+	s.Add(0, 10)
+	s.Reset()
+	if s.Len() != 0 || s.Total() != 0 {
+		t.Fatal("reset did not empty the set")
+	}
+}
+
+// TestQuickAgainstBitmap cross-checks the extent set against a brute-force
+// bitmap model under random operations.
+func TestQuickAgainstBitmap(t *testing.T) {
+	const space = 512
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Set
+		var bm [space]bool
+		for i := 0; i < 40; i++ {
+			off := rng.Int63n(space)
+			n := rng.Int63n(space - off)
+			s.Add(off, n)
+			for j := off; j < off+n; j++ {
+				bm[j] = true
+			}
+		}
+		// Total must match.
+		tot := int64(0)
+		for _, b := range bm {
+			if b {
+				tot++
+			}
+		}
+		if s.Total() != tot {
+			return false
+		}
+		// Random Contains / Missing probes must match.
+		for i := 0; i < 30; i++ {
+			off := rng.Int63n(space)
+			n := rng.Int63n(space - off)
+			all := true
+			missing := int64(0)
+			for j := off; j < off+n; j++ {
+				if !bm[j] {
+					all = false
+					missing++
+				}
+			}
+			if s.Contains(off, n) != all {
+				return false
+			}
+			var missTot int64
+			for _, m := range s.Missing(off, n) {
+				missTot += m.Len
+				// Every reported-missing byte really is missing.
+				for j := m.Off; j < m.End(); j++ {
+					if bm[j] {
+						return false
+					}
+				}
+			}
+			if missTot != missing {
+				return false
+			}
+		}
+		// Invariant: extents sorted, non-overlapping, non-adjacent.
+		es := s.Extents()
+		for i := 1; i < len(es); i++ {
+			if es[i-1].End() >= es[i].Off {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package localfs is the paper's local-disk baseline: direct sequential
+// access to one modeled SCSI drive through the file system, with
+// synchronous writes and read-ahead — the access path measured in Table 2.
+package localfs
+
+import (
+	"fmt"
+
+	"swift/internal/disk"
+	"swift/internal/store"
+)
+
+// FS is a local file system on a single modeled drive.
+type FS struct {
+	ds    *store.DiskStore
+	block int64
+}
+
+// New creates a local file system on the given device. Writes are
+// synchronous (the prototype's local measurements used synchronous SCSI
+// writes); reads benefit from the device's sequential read-ahead path.
+// block is the file-system transfer size (0 = 8192, SunOS's block size).
+func New(dev *disk.Device, block int64) *FS {
+	if block == 0 {
+		block = 8192
+	}
+	ds := store.NewDiskStore(store.NewMem(), dev)
+	ds.SyncWrites = true
+	return &FS{ds: ds, block: block}
+}
+
+// BlockSize returns the file-system transfer size.
+func (fs *FS) BlockSize() int64 { return fs.block }
+
+// WriteFile writes data sequentially, one file-system block per disk
+// operation, synchronously.
+func (fs *FS) WriteFile(name string, data []byte) error {
+	o, err := fs.ds.Open(name, true)
+	if err != nil {
+		return fmt.Errorf("localfs: %w", err)
+	}
+	defer o.Close()
+	for off := int64(0); off < int64(len(data)); off += fs.block {
+		end := off + fs.block
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		if _, err := o.WriteAt(data[off:end], off); err != nil {
+			return fmt.Errorf("localfs: write %s@%d: %w", name, off, err)
+		}
+	}
+	return nil
+}
+
+// ReadFile reads the file sequentially into buf, one block per disk
+// operation, returning the number of bytes read.
+func (fs *FS) ReadFile(name string, buf []byte) (int64, error) {
+	o, err := fs.ds.Open(name, false)
+	if err != nil {
+		return 0, fmt.Errorf("localfs: %w", err)
+	}
+	defer o.Close()
+	size, err := o.Size()
+	if err != nil {
+		return 0, err
+	}
+	n := int64(len(buf))
+	if n > size {
+		n = size
+	}
+	for off := int64(0); off < n; off += fs.block {
+		end := off + fs.block
+		if end > n {
+			end = n
+		}
+		if _, err := o.ReadAt(buf[off:end], off); err != nil {
+			return off, fmt.Errorf("localfs: read %s@%d: %w", name, off, err)
+		}
+	}
+	return n, nil
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(name string) error { return fs.ds.Remove(name) }
+
+// Stat returns a file's size.
+func (fs *FS) Stat(name string) (int64, error) { return fs.ds.Stat(name) }

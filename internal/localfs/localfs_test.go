@@ -1,0 +1,74 @@
+package localfs
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"swift/internal/disk"
+)
+
+func collector() (func(time.Duration), *time.Duration) {
+	var mu sync.Mutex
+	total := new(time.Duration)
+	return func(d time.Duration) {
+		mu.Lock()
+		*total += d
+		mu.Unlock()
+	}, total
+}
+
+func TestRoundTrip(t *testing.T) {
+	sleep, _ := collector()
+	fs := New(disk.NewDevice(disk.ProfileSunSCSI(), disk.WithSleeper(sleep)), 0)
+	data := make([]byte, 50_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if sz, err := fs.Stat("f"); err != nil || sz != int64(len(data)) {
+		t.Fatalf("stat = %d, %v", sz, err)
+	}
+	out := make([]byte, len(data)+100)
+	n, err := fs.ReadFile("f", out)
+	if err != nil || n != int64(len(data)) {
+		t.Fatalf("read = %d, %v", n, err)
+	}
+	if !bytes.Equal(out[:n], data) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := fs.Remove("f"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, err := fs.ReadFile("f", out); err == nil {
+		t.Fatal("read after remove succeeded")
+	}
+}
+
+// TestTable2Rates checks the local-SCSI baseline reproduces the paper's
+// Table 2 bands: reads ≈654-682 KB/s, synchronous writes ≈314-316 KB/s.
+func TestTable2Rates(t *testing.T) {
+	sleep, total := collector()
+	fs := New(disk.NewDevice(disk.ProfileSunSCSI(), disk.WithSleeper(sleep), disk.WithSeed(7)), 0)
+	data := make([]byte, 3<<20)
+
+	*total = 0
+	if err := fs.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	wrate := float64(len(data)) / total.Seconds() / 1024
+	if wrate < 290 || wrate > 345 {
+		t.Fatalf("write rate = %.0f KB/s, want ≈315", wrate)
+	}
+
+	*total = 0
+	if _, err := fs.ReadFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	rrate := float64(len(data)) / total.Seconds() / 1024
+	if rrate < 620 || rrate > 720 {
+		t.Fatalf("read rate = %.0f KB/s, want ≈654-682", rrate)
+	}
+}

@@ -1,0 +1,276 @@
+// Package mediator implements the Swift storage mediator: the component
+// that, per §2 of the paper, "reserves resources from all the necessary
+// storage agents and from the communication subsystem in a session-
+// oriented manner" and then hands the distribution agent a transfer plan.
+//
+// The mediator owns a capacity model of the installation — each storage
+// agent's deliverable data-rate and each interconnect's capacity — and
+// performs admission control: "resource preallocation implies that storage
+// mediators will reject any request with requirements it is unable to
+// satisfy." It also chooses the striping unit from the client's data-rate
+// requirement: "if the required transfer rate is low, then the striping
+// unit can be large and Swift can spread the data over only a few storage
+// agents. If the required data-rate is high, then the striping unit will
+// be chosen small enough to exploit all the parallelism needed."
+package mediator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors.
+var (
+	// ErrUnsatisfiable is returned when the installation cannot meet a
+	// request's requirements; the mediator rejects rather than degrades.
+	ErrUnsatisfiable = errors.New("mediator: requirements cannot be satisfied")
+	// ErrUnknownSession is returned for operations on absent sessions.
+	ErrUnknownSession = errors.New("mediator: unknown session")
+)
+
+// AgentInfo describes one storage agent's capacity.
+type AgentInfo struct {
+	Addr string  // well-known control address
+	Rate float64 // sustainable data-rate in bytes/second
+	Net  int     // index into Config.Nets of the segment it lives on
+}
+
+// NetInfo describes one interconnect.
+type NetInfo struct {
+	Name     string
+	Capacity float64 // effective payload capacity in bytes/second
+}
+
+// Config is the installation the mediator administers.
+type Config struct {
+	Agents []AgentInfo
+	Nets   []NetInfo
+	// MinUnit and MaxUnit bound the striping unit (defaults 4 KiB and
+	// 256 KiB). Units are powers of two.
+	MinUnit, MaxUnit int64
+}
+
+// Requirements is what a client asks for when opening a session.
+type Requirements struct {
+	// Rate is the required data-rate in bytes/second. Zero requests
+	// best effort and is admitted on a single agent with a large unit.
+	Rate float64
+	// Redundancy asks for computed-copy (parity) protection, which
+	// costs one extra agent per stripe row.
+	Redundancy bool
+}
+
+// Plan is a transfer plan: everything the distribution agent needs to
+// execute the session without further mediator involvement.
+type Plan struct {
+	SessionID uint64
+	Agents    []int    // selected agent indices, striping order
+	Addrs     []string // their control addresses
+	Unit      int64    // striping unit in bytes
+	Parity    bool
+	Rate      float64 // granted (reserved) data-rate, bytes/second
+}
+
+// Mediator tracks reservations against the installation's capacities.
+type Mediator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	agentLoad []float64
+	netLoad   []float64
+	sessions  map[uint64]*Plan
+	nextID    uint64
+}
+
+// New validates the installation description and returns a mediator.
+func New(cfg Config) (*Mediator, error) {
+	if len(cfg.Agents) == 0 {
+		return nil, errors.New("mediator: no agents")
+	}
+	if len(cfg.Nets) == 0 {
+		return nil, errors.New("mediator: no networks")
+	}
+	for i, a := range cfg.Agents {
+		if a.Rate <= 0 {
+			return nil, fmt.Errorf("mediator: agent %d has no capacity", i)
+		}
+		if a.Net < 0 || a.Net >= len(cfg.Nets) {
+			return nil, fmt.Errorf("mediator: agent %d on unknown net %d", i, a.Net)
+		}
+	}
+	if cfg.MinUnit == 0 {
+		cfg.MinUnit = 4 * 1024
+	}
+	if cfg.MaxUnit == 0 {
+		cfg.MaxUnit = 256 * 1024
+	}
+	if cfg.MinUnit > cfg.MaxUnit || cfg.MinUnit <= 0 {
+		return nil, fmt.Errorf("mediator: bad unit bounds [%d,%d]", cfg.MinUnit, cfg.MaxUnit)
+	}
+	return &Mediator{
+		cfg:       cfg,
+		agentLoad: make([]float64, len(cfg.Agents)),
+		netLoad:   make([]float64, len(cfg.Nets)),
+		sessions:  make(map[uint64]*Plan),
+	}, nil
+}
+
+// OpenSession admits or rejects a request, reserving agent and network
+// capacity and returning the transfer plan.
+func (m *Mediator) OpenSession(req Requirements) (*Plan, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Available capacity per agent, sorted descending; ties broken by
+	// index for determinism.
+	type avail struct {
+		idx  int
+		free float64
+	}
+	avails := make([]avail, 0, len(m.cfg.Agents))
+	for i, a := range m.cfg.Agents {
+		if free := a.Rate - m.agentLoad[i]; free > 0 {
+			avails = append(avails, avail{i, free})
+		}
+	}
+	sort.Slice(avails, func(i, j int) bool {
+		if avails[i].free != avails[j].free {
+			return avails[i].free > avails[j].free
+		}
+		return avails[i].idx < avails[j].idx
+	})
+
+	need := req.Rate
+	minAgents := 1
+	if req.Redundancy {
+		minAgents = 3
+	}
+
+	// Grow the agent set until the per-agent share fits in the least-
+	// capable chosen agent and the per-net traffic fits in every net.
+	for k := minAgents; k <= len(avails); k++ {
+		chosen := avails[:k]
+		dataAgents := k
+		if req.Redundancy {
+			dataAgents = k - 1
+		}
+		if dataAgents < 1 {
+			continue
+		}
+		// With rotating parity every agent carries ~ rate/dataAgents.
+		perAgent := need / float64(dataAgents)
+		if need == 0 {
+			perAgent = 0
+		}
+		if perAgent > chosen[k-1].free {
+			continue
+		}
+		// Network feasibility.
+		netTraffic := make([]float64, len(m.cfg.Nets))
+		for _, c := range chosen {
+			netTraffic[m.cfg.Agents[c.idx].Net] += perAgent
+		}
+		ok := true
+		for j, tr := range netTraffic {
+			if m.netLoad[j]+tr > m.cfg.Nets[j].Capacity {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+
+		// Admit: build the plan and reserve.
+		m.nextID++
+		p := &Plan{
+			SessionID: m.nextID,
+			Unit:      m.chooseUnit(k),
+			Parity:    req.Redundancy,
+			Rate:      need,
+		}
+		for _, c := range chosen {
+			p.Agents = append(p.Agents, c.idx)
+			p.Addrs = append(p.Addrs, m.cfg.Agents[c.idx].Addr)
+			m.agentLoad[c.idx] += perAgent
+			m.netLoad[m.cfg.Agents[c.idx].Net] += perAgent
+		}
+		sort.Ints(p.Agents) // deterministic striping order
+		p.Addrs = p.Addrs[:0]
+		for _, i := range p.Agents {
+			p.Addrs = append(p.Addrs, m.cfg.Agents[i].Addr)
+		}
+		m.sessions[p.SessionID] = p
+		return p, nil
+	}
+	return nil, fmt.Errorf("%w: rate %.0f B/s (redundancy=%v)",
+		ErrUnsatisfiable, req.Rate, req.Redundancy)
+}
+
+// chooseUnit picks the striping unit for a k-agent session: the largest
+// power of two not above MaxUnit/k, floored at MinUnit — large units for
+// low-parallelism sessions, small units for high-parallelism ones.
+func (m *Mediator) chooseUnit(k int) int64 {
+	u := m.cfg.MaxUnit
+	for u > m.cfg.MinUnit && u*int64(k) > m.cfg.MaxUnit {
+		u /= 2
+	}
+	if u < m.cfg.MinUnit {
+		u = m.cfg.MinUnit
+	}
+	return u
+}
+
+// CloseSession releases a session's reservations.
+func (m *Mediator) CloseSession(id uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.sessions[id]
+	if p == nil {
+		return ErrUnknownSession
+	}
+	delete(m.sessions, id)
+	dataAgents := len(p.Agents)
+	if p.Parity {
+		dataAgents--
+	}
+	if dataAgents < 1 {
+		dataAgents = 1
+	}
+	perAgent := p.Rate / float64(dataAgents)
+	for _, i := range p.Agents {
+		m.agentLoad[i] -= perAgent
+		if m.agentLoad[i] < 0 {
+			m.agentLoad[i] = 0
+		}
+		j := m.cfg.Agents[i].Net
+		m.netLoad[j] -= perAgent
+		if m.netLoad[j] < 0 {
+			m.netLoad[j] = 0
+		}
+	}
+	return nil
+}
+
+// Sessions reports the number of active sessions.
+func (m *Mediator) Sessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// AgentLoad returns the reserved data-rate on agent i.
+func (m *Mediator) AgentLoad(i int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.agentLoad[i]
+}
+
+// NetLoad returns the reserved data-rate on net j.
+func (m *Mediator) NetLoad(j int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.netLoad[j]
+}

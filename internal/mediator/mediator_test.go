@@ -1,0 +1,191 @@
+package mediator
+
+import (
+	"errors"
+	"testing"
+)
+
+// testInstall: 6 agents at 400 KB/s each, two 1.12 MB/s Ethernets,
+// 3 agents per segment — the paper's two-Ethernet setup.
+func testInstall() Config {
+	agents := make([]AgentInfo, 6)
+	for i := range agents {
+		agents[i] = AgentInfo{Addr: "agent" + string(rune('0'+i)) + ":7070", Rate: 400e3, Net: i / 3}
+	}
+	return Config{
+		Agents: agents,
+		Nets:   []NetInfo{{"lab", 1.12e6}, {"dept", 1.12e6}},
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := New(Config{Agents: []AgentInfo{{Rate: 1}}, Nets: nil}); err == nil {
+		t.Fatal("no nets accepted")
+	}
+	if _, err := New(Config{Agents: []AgentInfo{{Rate: 0, Net: 0}}, Nets: []NetInfo{{"n", 1}}}); err == nil {
+		t.Fatal("zero-rate agent accepted")
+	}
+	if _, err := New(Config{Agents: []AgentInfo{{Rate: 1, Net: 5}}, Nets: []NetInfo{{"n", 1}}}); err == nil {
+		t.Fatal("unknown net accepted")
+	}
+}
+
+func TestLowRateUsesFewAgentsLargeUnit(t *testing.T) {
+	m, _ := New(testInstall())
+	p, err := m.OpenSession(Requirements{Rate: 100e3})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if len(p.Agents) != 1 {
+		t.Fatalf("agents = %d, want 1", len(p.Agents))
+	}
+	if p.Unit != 256*1024 {
+		t.Fatalf("unit = %d, want 256K for a one-agent session", p.Unit)
+	}
+}
+
+func TestHighRateUsesManyAgentsSmallUnit(t *testing.T) {
+	m, _ := New(testInstall())
+	p, err := m.OpenSession(Requirements{Rate: 2e6})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if len(p.Agents) < 5 {
+		t.Fatalf("agents = %d, want >= 5 for 2 MB/s over 400 KB/s agents", len(p.Agents))
+	}
+	if p.Unit >= 256*1024 {
+		t.Fatalf("unit = %d, want smaller for high-parallelism session", p.Unit)
+	}
+	// The plan must span both networks: one Ethernet cannot carry 2 MB/s.
+	nets := map[int]bool{}
+	cfg := testInstall()
+	for _, a := range p.Agents {
+		nets[cfg.Agents[a].Net] = true
+	}
+	if len(nets) != 2 {
+		t.Fatal("2 MB/s session did not span both segments")
+	}
+}
+
+func TestRejectsImpossibleRate(t *testing.T) {
+	m, _ := New(testInstall())
+	if _, err := m.OpenSession(Requirements{Rate: 10e6}); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("err = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestReservationsAccumulateAndRelease(t *testing.T) {
+	m, _ := New(testInstall())
+	var ids []uint64
+	// Six 350 KB/s sessions fit (2.1 MB/s total against 2.24 MB/s of
+	// network and 2.4 MB/s of agents) and leave only 50 KB/s per agent.
+	for i := 0; i < 6; i++ {
+		p, err := m.OpenSession(Requirements{Rate: 350e3})
+		if err != nil {
+			t.Fatalf("session %d rejected: %v", i, err)
+		}
+		ids = append(ids, p.SessionID)
+	}
+	if _, err := m.OpenSession(Requirements{Rate: 350e3}); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("7th session: err = %v, want ErrUnsatisfiable", err)
+	}
+	// Release one; admission works again.
+	if err := m.CloseSession(ids[0]); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := m.OpenSession(Requirements{Rate: 350e3}); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	if m.Sessions() != 6 {
+		t.Fatalf("sessions = %d", m.Sessions())
+	}
+}
+
+func TestNetworkCapacityLimits(t *testing.T) {
+	// One segment, three fast agents: the network, not the agents, must
+	// gate admission.
+	cfg := Config{
+		Agents: []AgentInfo{
+			{Addr: "a:1", Rate: 1e6, Net: 0},
+			{Addr: "b:1", Rate: 1e6, Net: 0},
+			{Addr: "c:1", Rate: 1e6, Net: 0},
+		},
+		Nets: []NetInfo{{"ether", 1.12e6}},
+	}
+	m, _ := New(cfg)
+	if _, err := m.OpenSession(Requirements{Rate: 2e6}); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("err = %v, want ErrUnsatisfiable (network bound)", err)
+	}
+	if _, err := m.OpenSession(Requirements{Rate: 1e6}); err != nil {
+		t.Fatalf("1 MB/s should fit: %v", err)
+	}
+}
+
+func TestRedundancyAddsAgent(t *testing.T) {
+	m, _ := New(testInstall())
+	p, err := m.OpenSession(Requirements{Rate: 300e3, Redundancy: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if !p.Parity {
+		t.Fatal("plan not marked parity")
+	}
+	if len(p.Agents) < 3 {
+		t.Fatalf("agents = %d, want >= 3 with redundancy", len(p.Agents))
+	}
+}
+
+func TestBestEffortSession(t *testing.T) {
+	m, _ := New(testInstall())
+	p, err := m.OpenSession(Requirements{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if len(p.Agents) != 1 || p.Rate != 0 {
+		t.Fatalf("best effort plan = %+v", p)
+	}
+}
+
+func TestCloseUnknownSession(t *testing.T) {
+	m, _ := New(testInstall())
+	if err := m.CloseSession(99); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPlanDeterministicOrder(t *testing.T) {
+	m, _ := New(testInstall())
+	p, _ := m.OpenSession(Requirements{Rate: 1.1e6})
+	for i := 1; i < len(p.Agents); i++ {
+		if p.Agents[i-1] >= p.Agents[i] {
+			t.Fatal("agent order not ascending")
+		}
+	}
+	if len(p.Addrs) != len(p.Agents) {
+		t.Fatal("addrs/agents length mismatch")
+	}
+}
+
+func TestLoadAccounting(t *testing.T) {
+	m, _ := New(testInstall())
+	p, _ := m.OpenSession(Requirements{Rate: 400e3})
+	var total float64
+	for i := 0; i < 6; i++ {
+		total += m.AgentLoad(i)
+	}
+	if total < 399e3 || total > 401e3 {
+		t.Fatalf("total agent load = %.0f, want 400e3", total)
+	}
+	m.CloseSession(p.SessionID)
+	for i := 0; i < 6; i++ {
+		if m.AgentLoad(i) != 0 {
+			t.Fatalf("agent %d load %f after release", i, m.AgentLoad(i))
+		}
+	}
+	if m.NetLoad(0) != 0 || m.NetLoad(1) != 0 {
+		t.Fatal("net load not released")
+	}
+}

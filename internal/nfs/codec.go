@@ -1,0 +1,106 @@
+// Package nfs implements the paper's comparison system: a single-server
+// block-RPC file service with NFS v2 semantics — 8 KB transfers, stateless
+// retried RPCs over datagrams, and synchronous write-through on the server
+// ("the write data-rate measurements in NFS reflect the write-through
+// policy of the server"). Blocks larger than the wire MTU are carried as
+// application-level fragments, mirroring IP fragmentation of NFS/UDP,
+// including its failure mode: losing any fragment costs the whole RPC.
+package nfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol constants.
+const (
+	// BlockSize is the NFS transfer size.
+	BlockSize = 8192
+	// headerSize is the fixed RPC header length.
+	headerSize = 28
+	// FragSize is the data carried per wire fragment.
+	FragSize = 1344
+	// maxPacket bounds one datagram.
+	maxPacket = headerSize + FragSize
+)
+
+// Ops.
+const (
+	opLookup uint8 = iota + 1
+	opCreate
+	opRead
+	opWrite
+	opGetattr
+	opRemove
+)
+
+// Status codes.
+const (
+	stRequest uint8 = iota
+	stOK
+	stError
+)
+
+// message is one NFS datagram.
+//
+// Layout (big endian): op(1) status(1) xid(4) handle(4) offset(8)
+// count(4) frag(2) nfrags(2) plen(2) payload(plen).
+type message struct {
+	op      uint8
+	status  uint8
+	xid     uint32
+	handle  uint32
+	offset  int64
+	count   uint32
+	frag    uint16
+	nfrags  uint16
+	payload []byte
+}
+
+var errShort = errors.New("nfs: short message")
+
+func (m *message) marshal(dst []byte) ([]byte, error) {
+	if len(m.payload) > FragSize {
+		return nil, fmt.Errorf("nfs: payload %d exceeds fragment size", len(m.payload))
+	}
+	dst = dst[:0]
+	dst = append(dst, m.op, m.status)
+	dst = binary.BigEndian.AppendUint32(dst, m.xid)
+	dst = binary.BigEndian.AppendUint32(dst, m.handle)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.offset))
+	dst = binary.BigEndian.AppendUint32(dst, m.count)
+	dst = binary.BigEndian.AppendUint16(dst, m.frag)
+	dst = binary.BigEndian.AppendUint16(dst, m.nfrags)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.payload)))
+	dst = append(dst, m.payload...)
+	return dst, nil
+}
+
+func (m *message) unmarshal(b []byte) error {
+	if len(b) < headerSize {
+		return errShort
+	}
+	m.op = b[0]
+	m.status = b[1]
+	m.xid = binary.BigEndian.Uint32(b[2:6])
+	m.handle = binary.BigEndian.Uint32(b[6:10])
+	m.offset = int64(binary.BigEndian.Uint64(b[10:18]))
+	m.count = binary.BigEndian.Uint32(b[18:22])
+	m.frag = binary.BigEndian.Uint16(b[22:24])
+	m.nfrags = binary.BigEndian.Uint16(b[24:26])
+	plen := int(binary.BigEndian.Uint16(b[26:28]))
+	if len(b) < headerSize+plen {
+		return errShort
+	}
+	m.payload = b[headerSize : headerSize+plen]
+	return nil
+}
+
+// fragsFor returns the number of wire fragments for n payload bytes.
+func fragsFor(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + FragSize - 1) / FragSize
+}

@@ -1,0 +1,157 @@
+package nfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"swift/internal/store"
+	"swift/internal/transport/memnet"
+)
+
+func testSetup(t *testing.T, loss float64) (*Client, *store.Mem) {
+	t.Helper()
+	n := memnet.New(1)
+	seg := n.NewSegment("s", memnet.SegmentConfig{BandwidthBps: 1e10, FrameOverhead: 46, LossRate: loss, Seed: 3})
+	sh := n.MustHost("server", memnet.HostConfig{}, seg)
+	ch := n.MustHost("client", memnet.HostConfig{}, seg)
+	st := store.NewMem()
+	srv, err := NewServer(sh, st, nil, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(ch, ClientConfig{Server: srv.Addr(), RetryTimeout: 30 * time.Millisecond, MaxRetries: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cl.Close()
+		srv.Close()
+	})
+	return cl, st
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m := &message{
+		op: opRead, status: stOK, xid: 77, handle: 5,
+		offset: 1 << 40, count: 8192, frag: 2, nfrags: 6,
+		payload: []byte("data"),
+	}
+	buf, err := m.marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q message
+	if err := q.unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.op != m.op || q.xid != m.xid || q.offset != m.offset ||
+		q.frag != m.frag || q.nfrags != m.nfrags || !bytes.Equal(q.payload, m.payload) {
+		t.Fatalf("round trip mismatch: %+v", q)
+	}
+}
+
+func TestCodecShort(t *testing.T) {
+	var m message
+	if err := m.unmarshal(make([]byte, headerSize-1)); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestFragsFor(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, FragSize: 1, FragSize + 1: 2, BlockSize: 7}
+	for n, want := range cases {
+		if got := fragsFor(n); got != want {
+			t.Errorf("fragsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cl, st := testSetup(t, 0)
+	data := make([]byte, 50_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := cl.WriteFile("f", data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Server store agrees.
+	if sz, err := st.Stat("f"); err != nil || sz != int64(len(data)) {
+		t.Fatalf("server size = %d, %v", sz, err)
+	}
+	out := make([]byte, len(data))
+	n, err := cl.ReadFile("f", out)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if n != int64(len(data)) || !bytes.Equal(out, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	cl, _ := testSetup(t, 0)
+	if _, _, err := cl.Lookup("absent"); err == nil {
+		t.Fatal("lookup of absent file succeeded")
+	}
+}
+
+func TestGetattrAndRemove(t *testing.T) {
+	cl, _ := testSetup(t, 0)
+	if err := cl.WriteFile("f", make([]byte, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	h, size, err := cl.Lookup("f")
+	if err != nil || size != 10_000 {
+		t.Fatalf("lookup: %d, %v", size, err)
+	}
+	if sz, err := cl.Getattr(h); err != nil || sz != 10_000 {
+		t.Fatalf("getattr: %d, %v", sz, err)
+	}
+	if err := cl.Remove("f"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, _, err := cl.Lookup("f"); err == nil {
+		t.Fatal("lookup after remove succeeded")
+	}
+}
+
+func TestLossyRPCsRecover(t *testing.T) {
+	cl, _ := testSetup(t, 0.05)
+	data := make([]byte, 60_000)
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := cl.WriteFile("f", data); err != nil {
+		t.Fatalf("write under loss: %v", err)
+	}
+	out := make([]byte, len(data))
+	if _, err := cl.ReadFile("f", out); err != nil {
+		t.Fatalf("read under loss: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("lossy round trip mismatch")
+	}
+}
+
+func TestPartialTailBlock(t *testing.T) {
+	cl, _ := testSetup(t, 0)
+	data := make([]byte, BlockSize+123)
+	rand.New(rand.NewSource(3)).Read(data)
+	if err := cl.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(data)+500)
+	n, err := cl.ReadFile("f", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) || !bytes.Equal(out[:n], data) {
+		t.Fatalf("tail block mismatch (n=%d)", n)
+	}
+}
+
+func TestStaleHandle(t *testing.T) {
+	cl, _ := testSetup(t, 0)
+	if _, err := cl.Getattr(Handle(999)); err == nil {
+		t.Fatal("stale handle accepted")
+	}
+}

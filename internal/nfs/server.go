@@ -1,0 +1,377 @@
+package nfs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"swift/internal/disk"
+	"swift/internal/store"
+	"swift/internal/transport"
+)
+
+// DefaultPort is the server's well-known port.
+const DefaultPort = "2049"
+
+// ServerConfig tunes the file server.
+type ServerConfig struct {
+	// Port is the listening port (default DefaultPort).
+	Port string
+	// CPUPerRPC is the server processing cost charged per request
+	// (RPC decode, VFS, RPC encode). Default 0.
+	CPUPerRPC time.Duration
+	// Sleep charges modeled time (default time.Sleep).
+	Sleep func(time.Duration)
+	// MetaWritesPerBlock is the number of synchronous metadata disk
+	// writes charged per block write (inode and indirect-block updates;
+	// default 1). This is what makes NFS write-through so slow: the
+	// head seeks away from the data area for every block.
+	MetaWritesPerBlock int
+	// Logf receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server is a single-host NFS-like file server.
+type Server struct {
+	host transport.Host
+	st   store.Store
+	dev  *disk.Device // nil: no metadata charges
+	cfg  ServerConfig
+	conn transport.PacketConn
+
+	mu      sync.Mutex
+	handles map[uint32]store.Object
+	names   map[string]uint32
+	nextH   uint32
+	closed  bool
+
+	// Write reassembly and duplicate-reply cache.
+	pending map[uint32]*writeAsm
+	done    map[uint32]time.Time
+
+	metaOff int64
+
+	wg sync.WaitGroup
+}
+
+type writeAsm struct {
+	handle  uint32
+	offset  int64
+	count   uint32
+	data    []byte
+	gotMask []bool
+	got     int
+	when    time.Time
+}
+
+// NewServer starts an NFS server for st on host. dev, when non-nil, is
+// the underlying device used to charge metadata write time (it should be
+// the same device backing st's DiskStore).
+func NewServer(host transport.Host, st store.Store, dev *disk.Device, cfg ServerConfig) (*Server, error) {
+	if cfg.Port == "" {
+		cfg.Port = DefaultPort
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.MetaWritesPerBlock == 0 {
+		cfg.MetaWritesPerBlock = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	conn, err := host.Listen(cfg.Port)
+	if err != nil {
+		return nil, fmt.Errorf("nfs: %w", err)
+	}
+	s := &Server{
+		host:    host,
+		st:      st,
+		dev:     dev,
+		cfg:     cfg,
+		conn:    conn,
+		handles: make(map[uint32]store.Object),
+		names:   make(map[string]uint32),
+		pending: make(map[uint32]*writeAsm),
+		done:    make(map[uint32]time.Time),
+		metaOff: 512 << 20, // metadata area far from the data
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the server's address.
+func (s *Server) Addr() string { return s.conn.LocalAddr() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, o := range s.handles {
+		o.Close()
+	}
+	s.mu.Unlock()
+	s.conn.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) send(to string, m *message) {
+	buf := make([]byte, 0, maxPacket)
+	buf, err := m.marshal(buf)
+	if err != nil {
+		s.cfg.Logf("nfs: marshal: %v", err)
+		return
+	}
+	if err := s.conn.WriteTo(buf, to); err != nil {
+		s.cfg.Logf("nfs: send: %v", err)
+	}
+}
+
+func (s *Server) sendErr(to string, req *message, err error) {
+	s.send(to, &message{
+		op: req.op, status: stError, xid: req.xid,
+		payload: []byte(err.Error()),
+	})
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, maxPacket)
+	var m message
+	for {
+		s.conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, from, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			if transport.IsTimeout(err) {
+				if s.isClosed() {
+					return
+				}
+				s.gc()
+				continue
+			}
+			return
+		}
+		if err := m.unmarshal(buf[:n]); err != nil || m.status != stRequest {
+			continue
+		}
+		s.dispatch(&m, from)
+	}
+}
+
+func (s *Server) dispatch(m *message, from string) {
+	// Per-RPC processing cost. Write fragments are charged once per
+	// RPC, on completion, not per fragment.
+	if m.op != opWrite && s.cfg.CPUPerRPC > 0 {
+		s.cfg.Sleep(s.cfg.CPUPerRPC)
+	}
+	switch m.op {
+	case opLookup, opCreate:
+		s.handleLookup(m, from)
+	case opGetattr:
+		s.handleGetattr(m, from)
+	case opRead:
+		s.handleRead(m, from)
+	case opWrite:
+		s.handleWrite(m, from)
+	case opRemove:
+		s.handleRemove(m, from)
+	}
+}
+
+func (s *Server) object(h uint32) store.Object {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handles[h]
+}
+
+func (s *Server) handleLookup(m *message, from string) {
+	name := string(m.payload)
+	s.mu.Lock()
+	h, known := s.names[name]
+	s.mu.Unlock()
+	if !known {
+		o, err := s.st.Open(name, m.op == opCreate)
+		if err != nil {
+			s.sendErr(from, m, err)
+			return
+		}
+		s.mu.Lock()
+		// Re-check: a retransmitted lookup may have raced us.
+		if h2, known2 := s.names[name]; known2 {
+			h = h2
+			o.Close()
+		} else {
+			s.nextH++
+			h = s.nextH
+			s.names[name] = h
+			s.handles[h] = o
+		}
+		s.mu.Unlock()
+	}
+	o := s.object(h)
+	size, err := o.Size()
+	if err != nil {
+		s.sendErr(from, m, err)
+		return
+	}
+	s.send(from, &message{op: m.op, status: stOK, xid: m.xid, handle: h, offset: size})
+}
+
+func (s *Server) handleGetattr(m *message, from string) {
+	o := s.object(m.handle)
+	if o == nil {
+		s.sendErr(from, m, fmt.Errorf("stale handle %d", m.handle))
+		return
+	}
+	size, err := o.Size()
+	if err != nil {
+		s.sendErr(from, m, err)
+		return
+	}
+	s.send(from, &message{op: opGetattr, status: stOK, xid: m.xid, handle: m.handle, offset: size})
+}
+
+func (s *Server) handleRemove(m *message, from string) {
+	name := string(m.payload)
+	s.mu.Lock()
+	if h, known := s.names[name]; known {
+		if o := s.handles[h]; o != nil {
+			o.Close()
+		}
+		delete(s.handles, h)
+		delete(s.names, name)
+	}
+	s.mu.Unlock()
+	if err := s.st.Remove(name); err != nil && err != store.ErrNotExist {
+		s.sendErr(from, m, err)
+		return
+	}
+	s.send(from, &message{op: opRemove, status: stOK, xid: m.xid})
+}
+
+// handleRead serves one block: a sequential disk read followed by the
+// reply, fragmented to wire size.
+func (s *Server) handleRead(m *message, from string) {
+	o := s.object(m.handle)
+	if o == nil {
+		s.sendErr(from, m, fmt.Errorf("stale handle %d", m.handle))
+		return
+	}
+	count := int(m.count)
+	if count > BlockSize {
+		count = BlockSize
+	}
+	data := make([]byte, count)
+	n, _ := o.ReadAt(data, m.offset) // short reads/EOF report n
+	data = data[:n]
+	nf := fragsFor(n)
+	for f := 0; f < nf; f++ {
+		lo := f * FragSize
+		hi := lo + FragSize
+		if hi > n {
+			hi = n
+		}
+		s.send(from, &message{
+			op: opRead, status: stOK, xid: m.xid, handle: m.handle,
+			offset: m.offset, count: uint32(n),
+			frag: uint16(f), nfrags: uint16(nf),
+			payload: data[lo:hi],
+		})
+	}
+}
+
+// handleWrite reassembles a block's fragments, then writes through:
+// the data block synchronously plus the configured metadata updates,
+// seeking between the data and metadata areas as a real FFS would.
+func (s *Server) handleWrite(m *message, from string) {
+	s.mu.Lock()
+	if _, ok := s.done[m.xid]; ok {
+		s.mu.Unlock()
+		// Retransmission of a completed write: re-acknowledge.
+		s.send(from, &message{op: opWrite, status: stOK, xid: m.xid, handle: m.handle})
+		return
+	}
+	s.mu.Unlock()
+
+	s.mu.Lock()
+	w := s.pending[m.xid]
+	if w == nil {
+		w = &writeAsm{
+			handle:  m.handle,
+			offset:  m.offset,
+			count:   m.count,
+			data:    make([]byte, m.count),
+			gotMask: make([]bool, fragsFor(int(m.count))),
+			when:    time.Now(),
+		}
+		s.pending[m.xid] = w
+	}
+	if int(m.frag) < len(w.gotMask) && !w.gotMask[m.frag] {
+		w.gotMask[m.frag] = true
+		w.got++
+		copy(w.data[int(m.frag)*FragSize:], m.payload)
+	}
+	complete := w.got == len(w.gotMask)
+	if complete {
+		delete(s.pending, m.xid)
+	}
+	s.mu.Unlock()
+	if !complete {
+		return
+	}
+
+	if s.cfg.CPUPerRPC > 0 {
+		s.cfg.Sleep(s.cfg.CPUPerRPC)
+	}
+	o := s.object(w.handle)
+	if o == nil {
+		s.sendErr(from, m, fmt.Errorf("stale handle %d", w.handle))
+		return
+	}
+	// The data block: DiskStore.SyncWrites charges the synchronous
+	// write-through here.
+	if _, err := o.WriteAt(w.data, w.offset); err != nil {
+		s.sendErr(from, m, err)
+		return
+	}
+	// Metadata write-through.
+	if s.dev != nil {
+		for i := 0; i < s.cfg.MetaWritesPerBlock; i++ {
+			s.dev.Write(s.metaOff, 512, true)
+			s.metaOff += 512
+		}
+	}
+	s.mu.Lock()
+	s.done[m.xid] = time.Now()
+	s.mu.Unlock()
+	s.send(from, &message{op: opWrite, status: stOK, xid: m.xid, handle: w.handle})
+}
+
+// gc drops stale reassembly state and old duplicate-reply entries.
+func (s *Server) gc() {
+	cutoff := time.Now().Add(-5 * time.Second)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for xid, w := range s.pending {
+		if w.when.Before(cutoff) {
+			delete(s.pending, xid)
+		}
+	}
+	for xid, when := range s.done {
+		if when.Before(cutoff) {
+			delete(s.done, xid)
+		}
+	}
+}

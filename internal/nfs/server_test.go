@@ -1,0 +1,98 @@
+package nfs
+
+import (
+	"testing"
+	"time"
+
+	"swift/internal/disk"
+	"swift/internal/store"
+	"swift/internal/transport/memnet"
+)
+
+func TestConcurrentLookupsShareHandle(t *testing.T) {
+	cl, _ := testSetup(t, 0)
+	if err := cl.WriteFile("f", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	h1, _, err := cl.Lookup("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := cl.Lookup("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("handles differ: %d vs %d", h1, h2)
+	}
+}
+
+func TestServerChargesDiskTime(t *testing.T) {
+	// A server backed by a DiskStore with sync writes charges modeled
+	// time per block; verify the clock advances far more for writes
+	// than for reads, the write-through asymmetry of Table 3.
+	n := memnet.New(1)
+	seg := n.NewSegment("s", memnet.SegmentConfig{BandwidthBps: 1e10, FrameOverhead: 46})
+	sh := n.MustHost("server", memnet.HostConfig{}, seg)
+	ch := n.MustHost("client", memnet.HostConfig{}, seg)
+
+	var clock time.Duration
+	var clockMu = make(chan struct{}, 1)
+	clockMu <- struct{}{}
+	sleep := func(d time.Duration) {
+		<-clockMu
+		clock += d
+		clockMu <- struct{}{}
+	}
+	dev := disk.NewDevice(disk.ProfileSunIPI(), disk.WithSleeper(sleep), disk.WithSeed(1))
+	st := store.NewDiskStore(store.NewMem(), dev)
+	st.SyncWrites = true
+	srv, err := NewServer(sh, st, dev, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(ch, ClientConfig{Server: srv.Addr(), RetryTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	data := make([]byte, 10*BlockSize)
+	if err := cl.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	writeTime := clock
+	clock = 0
+	if _, err := cl.ReadFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	readTime := clock
+	if writeTime < 3*readTime {
+		t.Fatalf("write-through not dominating: write %v vs read %v", writeTime, readTime)
+	}
+}
+
+func TestWriteRetransmitIdempotent(t *testing.T) {
+	// Retransmitting a completed write (lost ack) must not duplicate
+	// disk work or corrupt data: the server re-acks from its done set.
+	cl, st := testSetup(t, 0)
+	h, _, err := cl.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, BlockSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := cl.WriteBlock(h, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Write the next block; first block stays intact.
+	if err := cl.WriteBlock(h, BlockSize, data); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := st.Stat("f"); sz != 2*BlockSize {
+		t.Fatalf("size = %d", sz)
+	}
+}

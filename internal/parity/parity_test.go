@@ -1,0 +1,107 @@
+package parity
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestXORBasics(t *testing.T) {
+	dst := []byte{0x00, 0xff, 0xaa}
+	src := []byte{0x0f, 0xf0, 0xaa}
+	if n := XOR(dst, src); n != 3 {
+		t.Fatalf("n = %d", n)
+	}
+	want := []byte{0x0f, 0x0f, 0x00}
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("dst = %x, want %x", dst, want)
+	}
+}
+
+func TestXORShortSource(t *testing.T) {
+	dst := []byte{1, 2, 3, 4}
+	if n := XOR(dst, []byte{0xff}); n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+	if dst[0] != 0xfe || dst[1] != 2 {
+		t.Fatalf("dst = %v", dst)
+	}
+}
+
+func TestComputeCheckReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const unit = 257
+	units := make([][]byte, 4)
+	for i := range units {
+		// Uneven lengths: zero-padding semantics.
+		units[i] = make([]byte, unit-i*13)
+		rng.Read(units[i])
+	}
+	p := make([]byte, unit)
+	Compute(p, units)
+	if err := Check(p, units); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+
+	// Reconstruct each unit from the others plus parity.
+	for lost := range units {
+		surviving := [][]byte{p}
+		for i, u := range units {
+			if i != lost {
+				surviving = append(surviving, u)
+			}
+		}
+		rec := make([]byte, unit)
+		Reconstruct(rec, surviving)
+		// The reconstruction is the lost unit zero-padded to unit size.
+		want := make([]byte, unit)
+		copy(want, units[lost])
+		if !bytes.Equal(rec, want) {
+			t.Fatalf("unit %d reconstruction mismatch", lost)
+		}
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	units := [][]byte{{1, 2, 3}, {4, 5, 6}}
+	p := make([]byte, 3)
+	Compute(p, units)
+	p[1] ^= 0x80
+	if err := Check(p, units); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+// TestQuickReconstructionIdentity: for random unit sets, XOR parity
+// reconstructs any single lost member exactly (zero-padded).
+func TestQuickReconstructionIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(6)
+		unit := 1 + rng.Intn(512)
+		units := make([][]byte, k)
+		for i := range units {
+			units[i] = make([]byte, 1+rng.Intn(unit))
+			rng.Read(units[i])
+		}
+		p := make([]byte, unit)
+		Compute(p, units)
+
+		lost := rng.Intn(k)
+		surviving := [][]byte{p}
+		for i, u := range units {
+			if i != lost {
+				surviving = append(surviving, u)
+			}
+		}
+		rec := make([]byte, unit)
+		Reconstruct(rec, surviving)
+		want := make([]byte, unit)
+		copy(want, units[lost])
+		return bytes.Equal(rec, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+// Package sim is a process-oriented discrete-event simulation kernel, the
+// substrate for the paper's §5 scalability study. Model code is written as
+// ordinary goroutines ("processes") that sleep in virtual time and queue on
+// FIFO resources; the kernel runs exactly one process at a time and
+// advances the clock between events, so runs are deterministic for a given
+// seed regardless of the host scheduler.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled wake-up.
+type event struct {
+	at   time.Duration
+	seq  uint64 // tie-break: FIFO among simultaneous events
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine is one simulation run.
+type Engine struct {
+	now  time.Duration
+	pq   eventHeap
+	seq  uint64
+	idle chan struct{} // the running process signals the kernel here
+	rng  *rand.Rand
+}
+
+// New creates an engine seeded for reproducibility.
+func New(seed int64) *Engine {
+	return &Engine{
+		idle: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from process context (the kernel serializes processes).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Proc is one simulated process.
+type Proc struct {
+	eng  *Engine
+	wake chan struct{}
+}
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.eng.now }
+
+// schedule enqueues a wake-up for proc at time at.
+func (e *Engine) schedule(at time.Duration, proc *Proc) {
+	e.seq++
+	heap.Push(&e.pq, event{at: at, seq: e.seq, proc: proc})
+}
+
+// Spawn creates a process that will first run at virtual time `at` (which
+// must be >= Now). It may be called before Run or from process context.
+func (e *Engine) Spawn(at time.Duration, fn func(p *Proc)) {
+	if at < e.now {
+		at = e.now
+	}
+	p := &Proc{eng: e, wake: make(chan struct{})}
+	go func() {
+		<-p.wake // wait to be scheduled
+		fn(p)
+		e.idle <- struct{}{} // process exit returns control to the kernel
+	}()
+	e.schedule(at, p)
+}
+
+// Go spawns a process at the current time.
+func (e *Engine) Go(fn func(p *Proc)) { e.Spawn(e.now, fn) }
+
+// block yields to the kernel until this process is woken.
+func (p *Proc) block() {
+	p.eng.idle <- struct{}{}
+	<-p.wake
+}
+
+// Sleep suspends the process for a virtual duration.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p.eng.now+d, p)
+	p.block()
+}
+
+// Run executes events until the horizon passes or no events remain, then
+// advances the clock to the horizon. It must not be called re-entrantly.
+func (e *Engine) Run(until time.Duration) {
+	e.run(until)
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes until no events remain, leaving the clock at the last
+// event.
+func (e *Engine) RunAll() { e.run(1<<62 - 1) }
+
+func (e *Engine) run(until time.Duration) {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(event)
+		if ev.at > until {
+			heap.Push(&e.pq, ev)
+			e.now = until
+			return
+		}
+		e.now = ev.at
+		ev.proc.wake <- struct{}{}
+		<-e.idle // wait for it to block, exit, or sleep
+	}
+}
+
+// Discipline selects how a Resource orders its queue.
+type Discipline int
+
+const (
+	// FIFO serves waiters in arrival order.
+	FIFO Discipline = iota
+	// EDF serves the waiter with the earliest deadline first — the
+	// real-time disk scheduling of the paper's §6.1.2 future work.
+	EDF
+)
+
+// Resource is a queued server with a fixed number of slots (e.g. a disk
+// spindle, a network medium). It tracks busy time for utilization.
+type Resource struct {
+	eng     *Engine
+	name    string
+	slots   int
+	disc    Discipline
+	inUse   int
+	waiters []waiter
+	wseq    uint64
+
+	busy      time.Duration
+	busySince time.Duration
+}
+
+type waiter struct {
+	proc     *Proc
+	deadline time.Duration
+	seq      uint64
+}
+
+// NewResource creates a FIFO resource with the given concurrency.
+func (e *Engine) NewResource(name string, slots int) *Resource {
+	return e.NewResourceDisc(name, slots, FIFO)
+}
+
+// NewResourceDisc creates a resource with an explicit queue discipline.
+func (e *Engine) NewResourceDisc(name string, slots int, disc Discipline) *Resource {
+	if slots < 1 {
+		panic(fmt.Sprintf("sim: resource %q needs at least one slot", name))
+	}
+	return &Resource{eng: e, name: name, slots: slots, disc: disc}
+}
+
+// Acquire obtains a slot, queuing behind earlier requesters. Under EDF it
+// is equivalent to AcquireDeadline with no deadline (lowest priority).
+func (r *Resource) Acquire(p *Proc) {
+	r.AcquireDeadline(p, 1<<62-1)
+}
+
+// AcquireDeadline obtains a slot; under the EDF discipline waiters with
+// earlier deadlines are served first.
+func (r *Resource) AcquireDeadline(p *Proc, deadline time.Duration) {
+	if r.inUse < r.slots && len(r.waiters) == 0 {
+		r.take()
+		return
+	}
+	r.wseq++
+	r.waiters = append(r.waiters, waiter{proc: p, deadline: deadline, seq: r.wseq})
+	p.block()
+	// Woken by Release with the slot already transferred.
+}
+
+// pop removes and returns the next waiter per the discipline.
+func (r *Resource) pop() *Proc {
+	best := 0
+	if r.disc == EDF {
+		for i := 1; i < len(r.waiters); i++ {
+			w, b := r.waiters[i], r.waiters[best]
+			if w.deadline < b.deadline || (w.deadline == b.deadline && w.seq < b.seq) {
+				best = i
+			}
+		}
+	}
+	p := r.waiters[best].proc
+	r.waiters = append(r.waiters[:best], r.waiters[best+1:]...)
+	return p
+}
+
+func (r *Resource) take() {
+	if r.inUse == 0 {
+		r.busySince = r.eng.now
+	}
+	r.inUse++
+}
+
+// Release frees a slot, handing it to the oldest waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
+	}
+	if len(r.waiters) > 0 {
+		// Transfer the slot: inUse stays constant.
+		r.eng.schedule(r.eng.now, r.pop())
+		return
+	}
+	r.inUse--
+	if r.inUse == 0 {
+		r.busy += r.eng.now - r.busySince
+	}
+}
+
+// Use acquires the resource, holds it for d, and releases it.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// BusyTime returns the cumulative time the resource had at least one slot
+// in use.
+func (r *Resource) BusyTime() time.Duration {
+	b := r.busy
+	if r.inUse > 0 {
+		b += r.eng.now - r.busySince
+	}
+	return b
+}
+
+// QueueLen returns the number of waiting processes.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Gate is a broadcast condition: processes Wait on it; Fire wakes all of
+// them. A counter variant (WaitN) implements joins.
+type Gate struct {
+	eng     *Engine
+	waiters []*Proc
+	count   int
+}
+
+// NewGate creates a gate.
+func (e *Engine) NewGate() *Gate { return &Gate{eng: e} }
+
+// Wait suspends the process until the next Fire.
+func (g *Gate) Wait(p *Proc) {
+	g.waiters = append(g.waiters, p)
+	p.block()
+}
+
+// Fire wakes all current waiters.
+func (g *Gate) Fire() {
+	for _, w := range g.waiters {
+		g.eng.schedule(g.eng.now, w)
+	}
+	g.waiters = nil
+}
+
+// Add increments the gate's join counter by n.
+func (g *Gate) Add(n int) { g.count += n }
+
+// Done decrements the join counter; at zero all waiters fire.
+func (g *Gate) Done() {
+	g.count--
+	if g.count <= 0 {
+		g.Fire()
+	}
+}
+
+// Pending reports the current join counter.
+func (g *Gate) Pending() int { return g.count }

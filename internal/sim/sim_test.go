@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.Spawn(0, func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		order = append(order, 1)
+		if p.Now() != 10*time.Millisecond {
+			t.Errorf("now = %v", p.Now())
+		}
+		p.Sleep(5 * time.Millisecond)
+		order = append(order, 3)
+	})
+	e.Spawn(0, func(p *Proc) {
+		p.Sleep(12 * time.Millisecond)
+		order = append(order, 2)
+	})
+	e.RunAll()
+	if e.Now() != 15*time.Millisecond {
+		t.Fatalf("final now = %v", e.Now())
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRunHorizonStops(t *testing.T) {
+	e := New(1)
+	ticks := 0
+	e.Spawn(0, func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+			ticks++
+		}
+	})
+	e.Run(10 * time.Millisecond)
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if e.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v", e.Now())
+	}
+	// Resuming continues from the horizon.
+	e.Run(15 * time.Millisecond)
+	if ticks != 15 {
+		t.Fatalf("ticks after resume = %d", ticks)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn(time.Millisecond, func(p *Proc) {
+			order = append(order, i)
+		})
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := New(1)
+	r := e.NewResource("disk", 1)
+	var finished []time.Duration
+	for i := 0; i < 3; i++ {
+		e.Spawn(0, func(p *Proc) {
+			r.Use(p, 10*time.Millisecond)
+			finished = append(finished, p.Now())
+		})
+	}
+	e.RunAll()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i, w := range want {
+		if finished[i] != w {
+			t.Fatalf("finished = %v", finished)
+		}
+	}
+	if r.BusyTime() != 30*time.Millisecond {
+		t.Fatalf("busy = %v", r.BusyTime())
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := New(1)
+	r := e.NewResource("r", 1)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Spawn(time.Duration(i)*time.Microsecond, func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, i)
+			p.Sleep(time.Millisecond)
+			r.Release()
+		})
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestMultiSlotResource(t *testing.T) {
+	e := New(1)
+	r := e.NewResource("r", 2)
+	var finished []time.Duration
+	for i := 0; i < 4; i++ {
+		e.Spawn(0, func(p *Proc) {
+			r.Use(p, 10*time.Millisecond)
+			finished = append(finished, p.Now())
+		})
+	}
+	e.RunAll()
+	// Two at a time: completions at 10,10,20,20ms.
+	if finished[1] != 10*time.Millisecond || finished[3] != 20*time.Millisecond {
+		t.Fatalf("finished = %v", finished)
+	}
+}
+
+func TestEDFOrdersByDeadline(t *testing.T) {
+	e := New(1)
+	r := e.NewResourceDisc("disk", 1, EDF)
+	var order []string
+	// A long-running holder, then three waiters with distinct deadlines
+	// arriving in reverse-deadline order.
+	e.Spawn(0, func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(10 * time.Millisecond)
+		r.Release()
+	})
+	type req struct {
+		name     string
+		deadline time.Duration
+		arrive   time.Duration
+	}
+	for _, q := range []req{
+		{"late", 90 * time.Millisecond, 1 * time.Millisecond},
+		{"mid", 50 * time.Millisecond, 2 * time.Millisecond},
+		{"urgent", 20 * time.Millisecond, 3 * time.Millisecond},
+	} {
+		q := q
+		e.Spawn(q.arrive, func(p *Proc) {
+			r.AcquireDeadline(p, q.deadline)
+			order = append(order, q.name)
+			p.Sleep(time.Millisecond)
+			r.Release()
+		})
+	}
+	e.RunAll()
+	want := []string{"urgent", "mid", "late"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEDFTieBreaksFIFO(t *testing.T) {
+	e := New(1)
+	r := e.NewResourceDisc("r", 1, EDF)
+	var order []int
+	e.Spawn(0, func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(5 * time.Millisecond)
+		r.Release()
+	})
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(time.Duration(i+1)*time.Microsecond, func(p *Proc) {
+			r.AcquireDeadline(p, 42*time.Millisecond)
+			order = append(order, i)
+			r.Release()
+		})
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestGateJoin(t *testing.T) {
+	e := New(1)
+	g := e.NewGate()
+	g.Add(3)
+	var joined time.Duration
+	e.Spawn(0, func(p *Proc) {
+		g.Wait(p)
+		joined = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * time.Millisecond
+		e.Spawn(0, func(p *Proc) {
+			p.Sleep(d)
+			g.Done()
+		})
+	}
+	e.RunAll()
+	if joined != 3*time.Millisecond {
+		t.Fatalf("joined at %v", joined)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := New(1)
+	var child time.Duration
+	e.Spawn(0, func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		e.Go(func(q *Proc) {
+			q.Sleep(2 * time.Millisecond)
+			child = q.Now()
+		})
+	})
+	e.RunAll()
+	if child != 7*time.Millisecond {
+		t.Fatalf("child at %v", child)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		e := New(42)
+		r := e.NewResource("r", 1)
+		var last time.Duration
+		for i := 0; i < 50; i++ {
+			e.Spawn(0, func(p *Proc) {
+				d := time.Duration(e.Rand().Intn(1000)) * time.Microsecond
+				p.Sleep(d)
+				r.Use(p, d/2)
+				last = p.Now()
+			})
+		}
+		e.RunAll()
+		return last
+	}
+	if run() != run() {
+		t.Fatal("simulation is not deterministic")
+	}
+}

@@ -1,0 +1,101 @@
+package simswift
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResponseCurveMonotoneInLoad(t *testing.T) {
+	cfg := small(8, 32*KB, 512*KB)
+	points := ResponseCurve(cfg, []float64{1, 4, 8})
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Lambda <= points[i-1].Lambda {
+			t.Fatal("lambdas not ascending")
+		}
+		if points[i].MeanResponse < points[i-1].MeanResponse/2 {
+			t.Fatalf("response dropped sharply with load: %v -> %v",
+				points[i-1].MeanResponse, points[i].MeanResponse)
+		}
+	}
+}
+
+func TestRingOverheadGrowsWithSmallUnits(t *testing.T) {
+	// At a fixed arrival rate the byte volume is identical, but small
+	// units cost a token acquisition and per-message protocol overhead
+	// for every 4 KB instead of every 32 KB, so the ring is occupied
+	// slightly longer.
+	smallU := Run(small(8, 4*KB, 512*KB), 2)
+	bigU := Run(small(8, 32*KB, 512*KB), 2)
+	if smallU.RingUtil < bigU.RingUtil {
+		t.Fatalf("ring util: 4K %.4f < 32K %.4f", smallU.RingUtil, bigU.RingUtil)
+	}
+	// And neither comes near saturation (§5: never above 22%).
+	if smallU.RingUtil > 0.22 || bigU.RingUtil > 0.22 {
+		t.Fatalf("ring unexpectedly loaded: %.3f / %.3f", smallU.RingUtil, bigU.RingUtil)
+	}
+}
+
+func TestClientDataRateConsistent(t *testing.T) {
+	cfg := small(16, 32*KB, 1<<20)
+	r := Run(cfg, 2)
+	want := float64(cfg.RequestBytes) / r.MeanResponse.Seconds()
+	if r.ClientDataRate < want*0.99 || r.ClientDataRate > want*1.01 {
+		t.Fatalf("client data rate %.0f inconsistent with response %v", r.ClientDataRate, r.MeanResponse)
+	}
+}
+
+func TestMaxSustainableFixedPoint(t *testing.T) {
+	// At the returned lambda, response ≈ interarrival (the definition).
+	cfg := Figure6Config(Figure3Drive(), 8)
+	cfg.Requests = 500
+	_, lambda := MaxSustainableRate(cfg)
+	r := Run(cfg, lambda)
+	product := r.MeanResponse.Seconds() * lambda
+	if product < 0.5 || product > 2.0 {
+		t.Fatalf("fixed point off: response*lambda = %.2f, want ≈1", product)
+	}
+}
+
+func TestSeqPlacementImprovesThroughput(t *testing.T) {
+	// The paper: "staging data in the cache and sequential preallocation
+	// of storage would greatly reduce the number of seeks and
+	// significantly improve performance. As it is, our model provides a
+	// lower bound." With sequential placement, multiblock requests on
+	// few disks (many units per disk) speed up dramatically.
+	cfg := small(4, 4*KB, 512*KB) // 32 units/disk: seek-dominated
+	lower := Run(cfg, 1)
+	cfg.SeqPlacement = true
+	better := Run(cfg, 1)
+	if better.MeanResponse >= lower.MeanResponse {
+		t.Fatalf("seq placement (%v) not faster than lower bound (%v)",
+			better.MeanResponse, lower.MeanResponse)
+	}
+	// 4 KB units on the M2372K: ≈25.9ms random vs ≈14ms sequential per
+	// unit — expect a large improvement, not a rounding error.
+	if better.MeanResponse > lower.MeanResponse*3/4 {
+		t.Fatalf("improvement too small: %v vs %v", better.MeanResponse, lower.MeanResponse)
+	}
+	// Max sustainable rate improves correspondingly.
+	c5 := Figure5Config(Figure3Drive(), 8)
+	c5.Requests = 400
+	rLower, _ := MaxSustainableRate(c5)
+	c5.SeqPlacement = true
+	rBetter, _ := MaxSustainableRate(c5)
+	if rBetter <= rLower {
+		t.Fatalf("max rate with placement (%.0f) not above lower bound (%.0f)", rBetter, rLower)
+	}
+}
+
+func TestRunHandlesSubMillisecondLoad(t *testing.T) {
+	cfg := small(4, 32*KB, 128*KB)
+	r := Run(cfg, 0.25)
+	if r.Completed == 0 {
+		t.Fatal("nothing completed at very light load")
+	}
+	if r.MeanResponse > 200*time.Millisecond {
+		t.Fatalf("light-load response %v too high", r.MeanResponse)
+	}
+}

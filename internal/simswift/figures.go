@@ -1,0 +1,106 @@
+package simswift
+
+import (
+	"time"
+
+	"swift/internal/disk"
+)
+
+// Parameter sets for the paper's Figures 3-6, exposed so the harness
+// (cmd/swift-sim), the benchmarks, and the tests regenerate exactly the
+// same experiments.
+
+// KB is one kilobyte, the unit the figures are stated in.
+const KB = 1024
+
+// Figure3Drive is the Fujitsu M2372K as the caption gives it: "average
+// seek time = 16 ms, average rotational delay = 8.3 ms, transfer rate =
+// 2.5 megabytes/second".
+func Figure3Drive() disk.Model { return disk.FujitsuM2372K() }
+
+// Figure4Drive is the caption's "slower storage device": same geometry
+// with a 1.5 MB/s transfer rate.
+func Figure4Drive() disk.Model {
+	m := disk.FujitsuM2372K()
+	m.Name = "slow-1.5MB/s"
+	m.MediaRate = 1.5e6
+	return m
+}
+
+// Figure3Config builds the Figure 3 configuration: 1-megabyte client
+// requests against the given number of disks and disk transfer unit
+// (4, 16, or 32 KB).
+func Figure3Config(disks int, unit int64) Config {
+	return Config{
+		Disks:        disks,
+		Drive:        Figure3Drive(),
+		RequestBytes: 1 << 20,
+		Unit:         unit,
+		Seed:         1,
+	}
+}
+
+// Figure3Disks and Figure3Units are the swept parameters.
+func Figure3Disks() []int   { return []int{4, 8, 16, 32} }
+func Figure3Units() []int64 { return []int64{4 * KB, 16 * KB, 32 * KB} }
+func Figure3Loads() []float64 {
+	return []float64{1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 25, 28, 30}
+}
+
+// Figure4Config builds the Figure 4 configuration: 128-kilobyte requests,
+// 4-kilobyte units, 1.5 MB/s drive.
+func Figure4Config(disks int) Config {
+	return Config{
+		Disks:        disks,
+		Drive:        Figure4Drive(),
+		RequestBytes: 128 * KB,
+		Unit:         4 * KB,
+		Seed:         1,
+	}
+}
+
+// Figure4Disks and Figure4Loads are the swept parameters.
+func Figure4Disks() []int { return []int{1, 2, 4, 8, 16, 32} }
+func Figure4Loads() []float64 {
+	return []float64{1, 2, 4, 6, 8, 10, 12, 15, 18, 21, 25, 30, 35, 40}
+}
+
+// Figure5Config builds the Figure 5 configuration for one drive type:
+// maximum sustainable data-rate with 128-kilobyte requests and
+// 4-kilobyte transfer units.
+func Figure5Config(drive disk.Model, disks int) Config {
+	return Config{
+		Disks:        disks,
+		Drive:        drive,
+		RequestBytes: 128 * KB,
+		Unit:         4 * KB,
+		Seed:         1,
+		Requests:     900,
+	}
+}
+
+// Figure6Config builds the Figure 6 configuration: 1-megabyte requests,
+// 32-kilobyte units.
+func Figure6Config(drive disk.Model, disks int) Config {
+	return Config{
+		Disks:        disks,
+		Drive:        drive,
+		RequestBytes: 1 << 20,
+		Unit:         32 * KB,
+		Seed:         1,
+		Requests:     900,
+	}
+}
+
+// Figure56Disks is the x axis of Figures 5 and 6.
+func Figure56Disks() []int { return []int{1, 2, 4, 8, 16, 24, 32} }
+
+// Figure56Drives returns the six drive models in legend order.
+func Figure56Drives() []disk.Model { return disk.SimulatorDrives() }
+
+// MeanUnitService is a closed-form check value: the expected disk service
+// time per transfer unit.
+func MeanUnitService(cfg Config) time.Duration {
+	c := cfg.filled()
+	return c.Drive.MeanAccessTime(c.Unit)
+}

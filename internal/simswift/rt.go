@@ -1,0 +1,194 @@
+package simswift
+
+import (
+	"time"
+
+	"swift/internal/sim"
+)
+
+// Real-time disk scheduling — the paper's §6.1.2 future work: "we intend
+// to extend the architecture with techniques for providing data-rate
+// guarantees for magnetic disk devices ... the problem of scheduling
+// real-time disk transfers has received considerably less attention."
+//
+// RunRT simulates periodic continuous-media streams (each must fetch one
+// request per period, deadline = the next period boundary) competing with
+// Poisson background traffic, under either FIFO or earliest-deadline-first
+// disk queues. The EDF runs show how deadline scheduling converts
+// background-induced stream misses into modest background slowdown.
+
+// RTConfig parameterizes a guarantees experiment.
+type RTConfig struct {
+	// Disks is the number of storage agents (one disk each).
+	Disks int
+
+	// Base carries the installation (drive, unit, network, CPU).
+	// Base.RequestBytes is the background request size.
+	Base Config
+
+	// Streams is the number of periodic continuous-media streams.
+	Streams int
+	// StreamBytes is the bytes each stream fetches per period.
+	StreamBytes int64
+	// Period is the stream period (deadline spacing).
+	Period time.Duration
+	// Periods is how many periods to simulate.
+	Periods int
+	// BackgroundRate is the Poisson background arrival rate (req/s).
+	BackgroundRate float64
+	// EDF selects earliest-deadline-first disk queues; false is FIFO.
+	EDF bool
+}
+
+// RTResult summarizes a guarantees run.
+type RTResult struct {
+	// StreamRequests and StreamMisses count periodic requests and the
+	// ones that completed after their deadline.
+	StreamRequests int
+	StreamMisses   int
+	// MissFraction is StreamMisses / StreamRequests.
+	MissFraction float64
+	// MeanStreamResponse is the periodic requests' mean response.
+	MeanStreamResponse time.Duration
+	// MeanBackgroundResponse is the background requests' mean response.
+	MeanBackgroundResponse time.Duration
+	// BackgroundCompleted counts finished background requests.
+	BackgroundCompleted int
+}
+
+// rtModel extends the §5 model with deadline-aware disk acquisition.
+type rtModel struct {
+	*model
+}
+
+// readWithDeadline is the read path with an explicit disk-queue deadline.
+// Background traffic passes an infinite deadline, which under EDF makes it
+// yield to stream requests at every disk.
+func (m *rtModel) readWithDeadline(p *sim.Proc, deadline time.Duration, done func()) {
+	per := m.unitsPerDisk()
+	totalUnits := 0
+	for _, n := range per {
+		totalUnits += n
+	}
+	join := m.eng.NewGate()
+	join.Add(totalUnits)
+
+	m.client.Use(p, m.procTime(requestMsgBytes))
+	token := time.Duration(m.eng.Rand().Int63n(int64(m.cfg.TokenDelayMax) + 1))
+	m.ring.Use(p, token+m.txTime(requestMsgBytes))
+
+	for i := 0; i < m.cfg.Disks; i++ {
+		if per[i] == 0 {
+			continue
+		}
+		i, n := i, per[i]
+		m.eng.Go(func(a *sim.Proc) {
+			m.disks[i].AcquireDeadline(a, deadline)
+			for u := 0; u < n; u++ {
+				a.Sleep(m.cfg.Drive.AccessTime(m.eng.Rand(), m.cfg.Unit))
+				m.eng.Go(func(tx *sim.Proc) {
+					m.sendMsg(tx, m.agents[i], m.client, m.cfg.Unit)
+					join.Done()
+				})
+			}
+			m.disks[i].Release()
+		})
+	}
+	join.Wait(p)
+	done()
+}
+
+// RunRT executes one guarantees experiment.
+func RunRT(cfg RTConfig) RTResult {
+	base := cfg.Base
+	base.Disks = cfg.Disks
+	base = base.filled()
+	if cfg.Periods == 0 {
+		cfg.Periods = 200
+	}
+	if cfg.Streams == 0 {
+		cfg.Streams = 1
+	}
+
+	eng := sim.New(base.Seed)
+	m := &rtModel{model: &model{cfg: base, eng: eng}}
+	m.ring = eng.NewResource("ring", 1)
+	m.client = eng.NewResource("client-cpu", 1)
+	disc := sim.FIFO
+	if cfg.EDF {
+		disc = sim.EDF
+	}
+	for i := 0; i < base.Disks; i++ {
+		m.disks = append(m.disks, eng.NewResourceDisc("disk", 1, disc))
+		m.agents = append(m.agents, eng.NewResource("agent-cpu", 1))
+	}
+
+	var res RTResult
+	var streamRespSum, bgRespSum time.Duration
+
+	// A stream-sized view of the model shares every resource with the
+	// base model but issues StreamBytes requests.
+	streamModel := &rtModel{model: &model{cfg: withRequest(base, cfg.StreamBytes), eng: eng}}
+	streamModel.disks, streamModel.agents = m.disks, m.agents
+	streamModel.ring, streamModel.client = m.ring, m.client
+
+	// Periodic streams. Each period issues one read sized StreamBytes
+	// with the next period boundary as its deadline.
+	for s := 0; s < cfg.Streams; s++ {
+		s := s
+		eng.Spawn(0, func(p *sim.Proc) {
+			// Stagger stream phases.
+			phase := time.Duration(s) * cfg.Period / time.Duration(cfg.Streams)
+			p.Sleep(phase)
+			for k := 0; k < cfg.Periods; k++ {
+				arrival := phase + time.Duration(k)*cfg.Period
+				deadline := arrival + cfg.Period
+				start := p.Now()
+				streamModel.readWithDeadline(p, deadline, func() {})
+				resp := p.Now() - start
+				res.StreamRequests++
+				streamRespSum += resp
+				if p.Now() > deadline {
+					res.StreamMisses++
+				}
+				// Sleep out the remainder of the period.
+				if next := arrival + cfg.Period; next > p.Now() {
+					p.Sleep(next - p.Now())
+				}
+			}
+		})
+	}
+
+	// Background Poisson readers, no deadline.
+	if cfg.BackgroundRate > 0 {
+		horizon := time.Duration(cfg.Periods) * cfg.Period
+		eng.Spawn(0, func(g *sim.Proc) {
+			for g.Now() < horizon {
+				ia := eng.Rand().ExpFloat64() / cfg.BackgroundRate
+				g.Sleep(time.Duration(ia * float64(time.Second)))
+				eng.Go(func(p *sim.Proc) {
+					start := p.Now()
+					m.readWithDeadline(p, 1<<62-1, func() {})
+					bgRespSum += p.Now() - start
+					res.BackgroundCompleted++
+				})
+			}
+		})
+	}
+
+	eng.RunAll()
+	if res.StreamRequests > 0 {
+		res.MissFraction = float64(res.StreamMisses) / float64(res.StreamRequests)
+		res.MeanStreamResponse = streamRespSum / time.Duration(res.StreamRequests)
+	}
+	if res.BackgroundCompleted > 0 {
+		res.MeanBackgroundResponse = bgRespSum / time.Duration(res.BackgroundCompleted)
+	}
+	return res
+}
+
+// withRequest returns base with a different request size.
+func withRequest(base Config, bytes int64) Config {
+	base.RequestBytes = bytes
+	return base
+}

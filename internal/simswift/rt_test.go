@@ -1,0 +1,109 @@
+package simswift
+
+import (
+	"testing"
+	"time"
+)
+
+// rtBase builds a guarantees experiment: 4 disks, one 512 KB/s stream
+// (128 KB every 250 ms), with tunable background load.
+func rtBase(bg float64, edf bool) RTConfig {
+	return RTConfig{
+		Disks: 4,
+		Base: Config{
+			Drive:        Figure3Drive(),
+			Unit:         32 * KB,
+			RequestBytes: 256 * KB, // background request size
+			Seed:         3,
+		},
+		Streams:        1,
+		StreamBytes:    128 * KB,
+		Period:         250 * time.Millisecond,
+		Periods:        120,
+		BackgroundRate: bg,
+		EDF:            edf,
+	}
+}
+
+func TestNoBackgroundMeetsDeadlines(t *testing.T) {
+	r := RunRT(rtBase(0, false))
+	if r.StreamRequests != 120 {
+		t.Fatalf("requests = %d", r.StreamRequests)
+	}
+	if r.MissFraction > 0.01 {
+		t.Fatalf("unloaded miss fraction = %.3f", r.MissFraction)
+	}
+}
+
+func TestBackgroundCausesMissesUnderFIFO(t *testing.T) {
+	r := RunRT(rtBase(12, false))
+	if r.BackgroundCompleted == 0 {
+		t.Fatal("no background completed")
+	}
+	if r.MissFraction < 0.05 {
+		t.Skipf("background too light to cause FIFO misses (%.3f); model drift", r.MissFraction)
+	}
+}
+
+func TestEDFProtectsStreams(t *testing.T) {
+	const bg = 12
+	fifo := RunRT(rtBase(bg, false))
+	edf := RunRT(rtBase(bg, true))
+	if fifo.MissFraction == 0 {
+		t.Skip("FIFO run had no misses; nothing to protect against")
+	}
+	if edf.MissFraction >= fifo.MissFraction {
+		t.Fatalf("EDF misses %.3f not better than FIFO %.3f",
+			edf.MissFraction, fifo.MissFraction)
+	}
+	// The stream's mean response improves too.
+	if edf.MeanStreamResponse >= fifo.MeanStreamResponse {
+		t.Fatalf("EDF stream response %v not better than FIFO %v",
+			edf.MeanStreamResponse, fifo.MeanStreamResponse)
+	}
+}
+
+func TestParityImpactCostsWrites(t *testing.T) {
+	// §6.1.1's planned study: redundancy slows a write-dominated
+	// workload (extra parity units + XOR time) but not catastrophically.
+	plain, par := ParityImpact(8, 32*KB, 512*KB, 2)
+	if plain.Completed == 0 || par.Completed == 0 {
+		t.Fatal("runs incomplete")
+	}
+	if par.MeanResponse <= plain.MeanResponse {
+		t.Fatalf("parity writes (%v) not slower than plain (%v)",
+			par.MeanResponse, plain.MeanResponse)
+	}
+	// 8 disks: one parity unit per 7 data units plus XOR time; the
+	// response hit should be well under 2x.
+	if par.MeanResponse > 2*plain.MeanResponse {
+		t.Fatalf("parity cost collapsed writes: %v vs %v",
+			par.MeanResponse, plain.MeanResponse)
+	}
+}
+
+func TestParityReadsUnaffected(t *testing.T) {
+	cfg := ParityConfig{
+		Config: Config{
+			Disks: 8, Drive: Figure3Drive(),
+			RequestBytes: 512 * KB, Unit: 32 * KB,
+			ReadFraction: 0.9999, Requests: 300, Seed: 2,
+		},
+		Parity: true,
+	}
+	withP := RunParity(cfg, 2)
+	cfg.Parity = false
+	without := RunParity(cfg, 2)
+	ratio := withP.MeanResponse.Seconds() / without.MeanResponse.Seconds()
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("read-dominated parity ratio = %.2f, want ≈1", ratio)
+	}
+}
+
+func TestEDFDeterministic(t *testing.T) {
+	a := RunRT(rtBase(8, true))
+	b := RunRT(rtBase(8, true))
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

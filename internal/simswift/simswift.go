@@ -1,0 +1,372 @@
+// Package simswift is the paper's §5 discrete-event model of a Swift
+// installation on a gigabit token-ring LAN, used "to show how the
+// architecture could exploit network and processor advances" and to locate
+// the components that limit I/O performance.
+//
+// Per §5.1, the model has: client requests generated with exponential
+// interarrival times and a 4:1 read-to-write ratio; diskless 100-MIPS
+// clients; storage agents with one disk each; disks as FIFO resources
+// whose block service time is seek + rotation + transfer with seek and
+// rotation drawn uniformly (multiblock requests hold the disk until they
+// finish); and network messages that cost protocol processing (1500
+// instructions plus one per byte), token acquisition, and transmission
+// time. Caching, parity computation, and resource preallocation are not
+// modeled, exactly as in the paper.
+package simswift
+
+import (
+	"time"
+
+	"swift/internal/disk"
+	"swift/internal/sim"
+)
+
+// Config parameterizes one simulated installation and workload.
+type Config struct {
+	// Disks is the number of storage agents (one disk each).
+	Disks int
+	// Drive is the disk model.
+	Drive disk.Model
+	// RequestBytes is the client request size.
+	RequestBytes int64
+	// Unit is the disk transfer unit (the striping unit).
+	Unit int64
+	// RingBandwidthBps is the token ring's raw bandwidth (default 1e9).
+	RingBandwidthBps float64
+	// MIPS is each host's processor speed in instructions/second
+	// (default 100e6).
+	MIPS float64
+	// ProtocolInstr is the fixed per-message protocol cost in
+	// instructions (default 1500).
+	ProtocolInstr float64
+	// InstrPerByte is the per-byte protocol cost (default 1: "for the
+	// most part unavoidable, since it is necessary data copying").
+	InstrPerByte float64
+	// ReadFraction is the probability a request is a read (default 0.8,
+	// the paper's conservative 4:1 estimate from the Berkeley study).
+	ReadFraction float64
+	// TokenDelayMax is the maximum token-acquisition delay, drawn
+	// uniformly (default 20µs).
+	TokenDelayMax time.Duration
+	// SeqPlacement enables the "advanced layout policies" the paper's
+	// model deliberately excludes ("our model provides a lower bound"):
+	// after the first unit of a multiblock disk request, subsequent
+	// units pay only a track-to-track seek plus rotation instead of a
+	// full random positioning.
+	SeqPlacement bool
+	// Requests is the number of requests to complete (default 1200).
+	Requests int
+	// Warmup is the number of initial requests excluded from statistics
+	// (default Requests/6).
+	Warmup int
+	// Seed seeds the run.
+	Seed int64
+}
+
+func (c Config) filled() Config {
+	if c.RingBandwidthBps == 0 {
+		c.RingBandwidthBps = 1e9
+	}
+	if c.MIPS == 0 {
+		c.MIPS = 100e6
+	}
+	if c.ProtocolInstr == 0 {
+		c.ProtocolInstr = 1500
+	}
+	if c.InstrPerByte == 0 {
+		c.InstrPerByte = 1
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.8
+	}
+	if c.TokenDelayMax == 0 {
+		c.TokenDelayMax = 20 * time.Microsecond
+	}
+	if c.Requests == 0 {
+		c.Requests = 1200
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Requests / 6
+	}
+	return c
+}
+
+// Result summarizes one run.
+type Result struct {
+	// MeanResponse is the average time to complete a request.
+	MeanResponse time.Duration
+	// Completed is the number of requests measured (after warmup).
+	Completed int
+	// DiskUtil is the mean disk utilization.
+	DiskUtil float64
+	// RingUtil is the ring utilization.
+	RingUtil float64
+	// ClientDataRate is RequestBytes divided by the mean response: the
+	// data-rate a client observes on its own requests.
+	ClientDataRate float64
+}
+
+// model is one constructed simulation.
+type model struct {
+	cfg    Config
+	eng    *sim.Engine
+	disks  []*sim.Resource
+	ring   *sim.Resource
+	client *sim.Resource // client host CPU
+	agents []*sim.Resource
+}
+
+func newModel(cfg Config) *model {
+	eng := sim.New(cfg.Seed)
+	m := &model{cfg: cfg, eng: eng}
+	m.ring = eng.NewResource("ring", 1)
+	m.client = eng.NewResource("client-cpu", 1)
+	for i := 0; i < cfg.Disks; i++ {
+		m.disks = append(m.disks, eng.NewResource("disk", 1))
+		m.agents = append(m.agents, eng.NewResource("agent-cpu", 1))
+	}
+	return m
+}
+
+// procTime is the protocol processing cost of an n-byte message.
+func (m *model) procTime(n int64) time.Duration {
+	instr := m.cfg.ProtocolInstr + m.cfg.InstrPerByte*float64(n)
+	return time.Duration(instr / m.cfg.MIPS * float64(time.Second))
+}
+
+// txTime is the ring transmission time of an n-byte message.
+func (m *model) txTime(n int64) time.Duration {
+	return time.Duration(float64(n) * 8 / m.cfg.RingBandwidthBps * float64(time.Second))
+}
+
+// sendMsg models one message: sender protocol processing, token
+// acquisition plus transmission on the ring, then receiver processing.
+func (m *model) sendMsg(p *sim.Proc, from, to *sim.Resource, n int64) {
+	from.Use(p, m.procTime(n))
+	token := time.Duration(m.eng.Rand().Int63n(int64(m.cfg.TokenDelayMax) + 1))
+	m.ring.Use(p, token+m.txTime(n))
+	to.Use(p, m.procTime(n))
+}
+
+// unitAccess returns the disk service time for the u-th unit of one
+// multiblock request on a disk: full positioning for the first unit;
+// with SeqPlacement, later units pay track-to-track positioning only.
+func (m *model) unitAccess(u int) time.Duration {
+	d := m.cfg.Drive
+	if u > 0 && m.cfg.SeqPlacement {
+		return d.TrackSeek + d.RotationDelay(m.eng.Rand()) + d.TransferTime(m.cfg.Unit)
+	}
+	return d.AccessTime(m.eng.Rand(), m.cfg.Unit)
+}
+
+// unitsPerDisk distributes the request's transfer units round-robin.
+func (m *model) unitsPerDisk() []int {
+	units := int((m.cfg.RequestBytes + m.cfg.Unit - 1) / m.cfg.Unit)
+	per := make([]int, m.cfg.Disks)
+	for u := 0; u < units; u++ {
+		per[u%m.cfg.Disks]++
+	}
+	return per
+}
+
+const requestMsgBytes = 128 // small multicast request packet
+
+// readRequest models §5.1's read path: "a small request packet is
+// multicast to the storage agents. The client then waits for the data to
+// be transmitted by the storage agents." Each agent reads its blocks with
+// the disk held across the multiblock request; each block is scheduled for
+// network transmission as soon as it has been read.
+func (m *model) readRequest(p *sim.Proc, done func()) {
+	per := m.unitsPerDisk()
+	totalUnits := 0
+	for _, n := range per {
+		totalUnits += n
+	}
+	join := m.eng.NewGate()
+	join.Add(totalUnits)
+
+	// Multicast request.
+	m.client.Use(p, m.procTime(requestMsgBytes))
+	token := time.Duration(m.eng.Rand().Int63n(int64(m.cfg.TokenDelayMax) + 1))
+	m.ring.Use(p, token+m.txTime(requestMsgBytes))
+
+	for i := 0; i < m.cfg.Disks; i++ {
+		if per[i] == 0 {
+			continue
+		}
+		i, n := i, per[i]
+		m.eng.Go(func(a *sim.Proc) {
+			m.disks[i].Acquire(a)
+			for u := 0; u < n; u++ {
+				a.Sleep(m.unitAccess(u))
+				// Ship this block while the remaining blocks are
+				// still being read.
+				m.eng.Go(func(tx *sim.Proc) {
+					m.sendMsg(tx, m.agents[i], m.client, m.cfg.Unit)
+					join.Done()
+				})
+			}
+			m.disks[i].Release()
+		})
+	}
+	join.Wait(p)
+	done()
+}
+
+// writeRequest models the write path: "a write request transmits the data
+// to each of the storage agents. Once the blocks have been transmitted the
+// client awaits an acknowledgement from the storage agents that the data
+// have been written to disk."
+func (m *model) writeRequest(p *sim.Proc, done func()) {
+	per := m.unitsPerDisk()
+	acks := m.eng.NewGate()
+	arrived := make([]*sim.Gate, m.cfg.Disks)
+	involved := 0
+	for i := 0; i < m.cfg.Disks; i++ {
+		if per[i] == 0 {
+			continue
+		}
+		involved++
+		arrived[i] = m.eng.NewGate()
+		arrived[i].Add(per[i])
+	}
+	acks.Add(involved)
+
+	// Each involved agent waits for its blocks, writes them with the
+	// disk held, and acknowledges.
+	for i := 0; i < m.cfg.Disks; i++ {
+		if per[i] == 0 {
+			continue
+		}
+		i, n := i, per[i]
+		m.eng.Go(func(a *sim.Proc) {
+			arrived[i].Wait(a)
+			m.disks[i].Acquire(a)
+			for u := 0; u < n; u++ {
+				a.Sleep(m.unitAccess(u))
+			}
+			m.disks[i].Release()
+			m.sendMsg(a, m.agents[i], m.client, requestMsgBytes) // ack
+			acks.Done()
+		})
+	}
+
+	// The client streams the data units round-robin.
+	units := 0
+	for _, n := range per {
+		units += n
+	}
+	for u := 0; u < units; u++ {
+		i := u % m.cfg.Disks
+		m.sendMsg(p, m.client, m.agents[i], m.cfg.Unit)
+		arrived[i].Done()
+	}
+	acks.Wait(p)
+	done()
+}
+
+// Run simulates the configuration under an open-loop Poisson arrival
+// process of lambda requests/second and reports steady-state statistics.
+func Run(cfg Config, lambda float64) Result {
+	cfg = cfg.filled()
+	m := newModel(cfg)
+	eng := m.eng
+
+	type rec struct {
+		start, end time.Duration
+	}
+	recs := make([]rec, cfg.Requests)
+	measStart := time.Duration(-1)
+
+	eng.Go(func(g *sim.Proc) {
+		for r := 0; r < cfg.Requests; r++ {
+			ia := eng.Rand().ExpFloat64() / lambda
+			g.Sleep(time.Duration(ia * float64(time.Second)))
+			r := r
+			isRead := eng.Rand().Float64() < cfg.ReadFraction
+			if r == cfg.Warmup && measStart < 0 {
+				measStart = g.Now()
+			}
+			eng.Go(func(p *sim.Proc) {
+				recs[r].start = p.Now()
+				done := func() { recs[r].end = p.Now() }
+				if isRead {
+					m.readRequest(p, done)
+				} else {
+					m.writeRequest(p, done)
+				}
+			})
+		}
+	})
+	eng.RunAll()
+
+	var sum time.Duration
+	counted := 0
+	for r := cfg.Warmup; r < cfg.Requests; r++ {
+		if recs[r].end > recs[r].start {
+			sum += recs[r].end - recs[r].start
+			counted++
+		}
+	}
+	res := Result{Completed: counted}
+	if counted > 0 {
+		res.MeanResponse = sum / time.Duration(counted)
+		res.ClientDataRate = float64(cfg.RequestBytes) / res.MeanResponse.Seconds()
+	}
+	elapsed := eng.Now()
+	if measStart > 0 {
+		elapsed -= measStart
+	}
+	if elapsed > 0 {
+		var diskBusy time.Duration
+		for _, d := range m.disks {
+			diskBusy += d.BusyTime()
+		}
+		res.DiskUtil = diskBusy.Seconds() / float64(cfg.Disks) / eng.Now().Seconds()
+		res.RingUtil = m.ring.BusyTime().Seconds() / eng.Now().Seconds()
+	}
+	return res
+}
+
+// LoadPoint is one point of a response-time-versus-load curve.
+type LoadPoint struct {
+	Lambda float64 // offered requests/second
+	Result
+}
+
+// ResponseCurve sweeps arrival rates, as Figures 3 and 4 do.
+func ResponseCurve(cfg Config, lambdas []float64) []LoadPoint {
+	out := make([]LoadPoint, 0, len(lambdas))
+	for _, l := range lambdas {
+		out = append(out, LoadPoint{Lambda: l, Result: Run(cfg, l)})
+	}
+	return out
+}
+
+// MaxSustainableRate finds the paper's Figure 5/6 metric: "the data-rate
+// observed by the client when the average time to complete a request is
+// the same as the average time between requests". It returns that
+// data-rate in bytes/second along with the fixed-point arrival rate.
+func MaxSustainableRate(cfg Config) (dataRate float64, lambda float64) {
+	cfg = cfg.filled()
+	over := func(l float64) bool {
+		r := Run(cfg, l)
+		return r.MeanResponse.Seconds()*l >= 1
+	}
+	// Exponential search for an overloaded rate, then bisection.
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 20 && !over(hi); i++ {
+		lo = hi
+		hi *= 2
+	}
+	for i := 0; i < 12; i++ {
+		mid := (lo + hi) / 2
+		if over(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	lambda = (lo + hi) / 2
+	return float64(cfg.RequestBytes) * lambda, lambda
+}

@@ -1,0 +1,157 @@
+package simswift
+
+import (
+	"testing"
+	"time"
+)
+
+// small returns a quick config for logic tests.
+func small(disks int, unit, req int64) Config {
+	return Config{
+		Disks: disks, Drive: Figure3Drive(),
+		RequestBytes: req, Unit: unit,
+		Requests: 300, Warmup: 50, Seed: 7,
+	}
+}
+
+func TestLightLoadResponseNearServiceTime(t *testing.T) {
+	// 32 disks, 1MB request, 32KB units: one unit per disk, so at light
+	// load the response is roughly one unit service time (~37ms) plus
+	// network; far below 100ms.
+	cfg := small(32, 32*KB, 1<<20)
+	r := Run(cfg, 0.5)
+	if r.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if r.MeanResponse < 20*time.Millisecond || r.MeanResponse > 120*time.Millisecond {
+		t.Fatalf("light-load response = %v, want ≈40-80ms", r.MeanResponse)
+	}
+}
+
+func TestResponseGrowsWithLoad(t *testing.T) {
+	cfg := small(8, 32*KB, 1<<20)
+	light := Run(cfg, 1)
+	heavy := Run(cfg, 6)
+	if heavy.MeanResponse <= light.MeanResponse {
+		t.Fatalf("response did not grow: light %v heavy %v",
+			light.MeanResponse, heavy.MeanResponse)
+	}
+}
+
+func TestMoreDisksLowerResponse(t *testing.T) {
+	// Figure 3's central claim at fixed load and unit size.
+	few := Run(small(4, 16*KB, 1<<20), 3)
+	many := Run(small(16, 16*KB, 1<<20), 3)
+	if many.MeanResponse >= few.MeanResponse {
+		t.Fatalf("16 disks (%v) not faster than 4 (%v)",
+			many.MeanResponse, few.MeanResponse)
+	}
+}
+
+func TestLargerUnitsLowerResponse(t *testing.T) {
+	// "As small transfer sizes require many seeks ... large transfer
+	// sizes have a significantly positive effect on the data-rates."
+	small4 := Run(small(8, 4*KB, 1<<20), 2)
+	big32 := Run(small(8, 32*KB, 1<<20), 2)
+	if big32.MeanResponse >= small4.MeanResponse {
+		t.Fatalf("32K units (%v) not faster than 4K (%v)",
+			big32.MeanResponse, small4.MeanResponse)
+	}
+}
+
+func TestUtilizationsSane(t *testing.T) {
+	r := Run(small(8, 32*KB, 1<<20), 4)
+	if r.DiskUtil <= 0 || r.DiskUtil > 1 {
+		t.Fatalf("disk util = %v", r.DiskUtil)
+	}
+	if r.RingUtil <= 0 || r.RingUtil > 1 {
+		t.Fatalf("ring util = %v", r.RingUtil)
+	}
+	// §5: "no more than 22% of the network capacity was ever used".
+	if r.RingUtil > 0.25 {
+		t.Fatalf("ring util = %v, should be far from saturation", r.RingUtil)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := small(4, 16*KB, 256*KB)
+	a := Run(cfg, 5)
+	b := Run(cfg, 5)
+	if a.MeanResponse != b.MeanResponse || a.Completed != b.Completed {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestMaxSustainableRateScalesWithDisks(t *testing.T) {
+	// Figure 5/6's claim: near-linear scaling in the number of disks.
+	cfg4 := Figure5Config(Figure3Drive(), 4)
+	cfg4.Requests = 400
+	cfg16 := Figure5Config(Figure3Drive(), 16)
+	cfg16.Requests = 400
+	r4, _ := MaxSustainableRate(cfg4)
+	r16, _ := MaxSustainableRate(cfg16)
+	if ratio := r16 / r4; ratio < 2.5 || ratio > 6 {
+		t.Fatalf("16/4 disk rate ratio = %.2f, want ≈4 (near-linear)", ratio)
+	}
+}
+
+func TestMaxSustainableRateScalesWithUnit(t *testing.T) {
+	// "The increase in effective data-rate is almost linear in the size
+	// of the transfer unit": 32K units deliver several times the 4K
+	// rate for the same disks.
+	c4 := Config{Disks: 16, Drive: Figure3Drive(), RequestBytes: 512 * KB,
+		Unit: 4 * KB, Requests: 400, Seed: 1}
+	c32 := c4
+	c32.Unit = 32 * KB
+	r4, _ := MaxSustainableRate(c4)
+	r32, _ := MaxSustainableRate(c32)
+	if ratio := r32 / r4; ratio < 2.5 {
+		t.Fatalf("32K/4K rate ratio = %.2f, want >= ~3", ratio)
+	}
+}
+
+func TestFasterDriveHigherRate(t *testing.T) {
+	slow := Figure5Config(Figure4Drive(), 8)
+	slow.Requests = 400
+	fast := Figure5Config(Figure3Drive(), 8)
+	fast.Requests = 400
+	rs, _ := MaxSustainableRate(slow)
+	rf, _ := MaxSustainableRate(fast)
+	if rf <= rs {
+		t.Fatalf("2.5MB/s drive (%.0f) not faster than 1.5MB/s (%.0f)", rf, rs)
+	}
+}
+
+func TestFigureParameterSets(t *testing.T) {
+	if len(Figure3Disks()) != 4 || len(Figure3Units()) != 3 {
+		t.Fatal("figure 3 sweep wrong")
+	}
+	if len(Figure56Drives()) != 6 {
+		t.Fatal("figure 5/6 needs six drives")
+	}
+	if Figure4Drive().MediaRate != 1.5e6 {
+		t.Fatal("figure 4 drive rate wrong")
+	}
+	// Paper: transferring 32KB takes ≈37ms on the M2372K.
+	ms := MeanUnitService(Figure3Config(4, 32*KB))
+	if ms < 36*time.Millisecond || ms > 38*time.Millisecond {
+		t.Fatalf("mean unit service = %v", ms)
+	}
+}
+
+func TestWriteOnlyWorkload(t *testing.T) {
+	cfg := small(4, 32*KB, 256*KB)
+	cfg.ReadFraction = 0.0001 // ~all writes
+	r := Run(cfg, 2)
+	if r.Completed == 0 || r.MeanResponse <= 0 {
+		t.Fatalf("write workload: %+v", r)
+	}
+}
+
+func TestSingleDisk(t *testing.T) {
+	cfg := small(1, 32*KB, 128*KB)
+	r := Run(cfg, 1)
+	if r.Completed == 0 {
+		t.Fatal("single-disk run failed")
+	}
+}

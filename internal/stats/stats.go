@@ -1,0 +1,185 @@
+// Package stats provides the summary statistics used throughout the Swift
+// measurement harness: mean, standard deviation, extrema, and the 90%
+// confidence intervals that the paper reports for its eight-sample runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations and produces summary statistics.
+// The zero value is ready to use.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns a copy of the observations in insertion order.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Std returns the sample standard deviation (n-1 denominator),
+// or 0 when fewer than two observations exist.
+func (s *Sample) Std() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median observation, or 0 for an empty sample.
+func (s *Sample) Median() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	xs := s.Values()
+	sort.Float64s(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics, or 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	xs := s.Values()
+	sort.Float64s(xs)
+	if p <= 0 {
+		return xs[0]
+	}
+	if p >= 100 {
+		return xs[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return xs[n-1]
+	}
+	return xs[lo]*(1-frac) + xs[lo+1]*frac
+}
+
+// t90 holds two-sided 90% Student-t critical values indexed by degrees of
+// freedom (1-based). Beyond the table the normal value 1.645 is used.
+var t90 = []float64{
+	0, // df = 0 unused
+	6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+	1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+	1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+}
+
+// TCritical90 returns the two-sided 90% Student-t critical value for the
+// given degrees of freedom.
+func TCritical90(df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(t90) {
+		return t90[df]
+	}
+	return 1.645
+}
+
+// CI90 returns the low and high bounds of the two-sided 90% confidence
+// interval for the mean, using the Student-t distribution as the paper does
+// for its eight-sample measurements. For fewer than two observations it
+// returns the mean for both bounds.
+func (s *Sample) CI90() (low, high float64) {
+	n := len(s.xs)
+	m := s.Mean()
+	if n < 2 {
+		return m, m
+	}
+	h := TCritical90(n-1) * s.Std() / math.Sqrt(float64(n))
+	return m - h, m + h
+}
+
+// Summary is a flattened snapshot of a Sample, convenient for tables.
+type Summary struct {
+	N        int
+	Mean     float64
+	Std      float64
+	Min      float64
+	Max      float64
+	CI90Low  float64
+	CI90High float64
+}
+
+// Summarize captures the sample's statistics.
+func (s *Sample) Summarize() Summary {
+	lo, hi := s.CI90()
+	return Summary{
+		N: s.N(), Mean: s.Mean(), Std: s.Std(),
+		Min: s.Min(), Max: s.Max(), CI90Low: lo, CI90High: hi,
+	}
+}
+
+// String formats the summary in the style of the paper's tables
+// (mean, sigma, min, max, 90% CI bounds).
+func (m Summary) String() string {
+	return fmt.Sprintf("x̄=%.0f σ=%.2f min=%.0f max=%.0f 90%%CI=[%.0f,%.0f]",
+		m.Mean, m.Std, m.Min, m.Max, m.CI90Low, m.CI90High)
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{893, 897, 876, 860, 882, 881, 890, 885} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if !almost(s.Mean(), 883, 0.01) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 860 || s.Max() != 897 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Std() <= 0 {
+		t.Fatalf("std = %v", s.Std())
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 {
+		t.Fatal("empty sample nonzero")
+	}
+	lo, hi := s.CI90()
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty CI nonzero")
+	}
+	s.Add(5)
+	if s.Mean() != 5 || s.Std() != 0 {
+		t.Fatal("single sample wrong")
+	}
+	lo, hi = s.CI90()
+	if lo != 5 || hi != 5 {
+		t.Fatal("single-sample CI should collapse to the mean")
+	}
+}
+
+func TestKnownStd(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if !almost(s.Std(), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("std = %v", s.Std())
+	}
+}
+
+func TestMedian(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{5, 1, 3} {
+		s.Add(x)
+	}
+	if s.Median() != 3 {
+		t.Fatalf("odd median = %v", s.Median())
+	}
+	s.Add(7)
+	if s.Median() != 4 {
+		t.Fatalf("even median = %v", s.Median())
+	}
+}
+
+func TestCI90EightSamples(t *testing.T) {
+	// With n=8, the t critical value is 1.895 (df=7); check the interval
+	// construction against a hand computation.
+	var s Sample
+	xs := []float64{10, 12, 9, 11, 10, 13, 8, 11}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	lo, hi := s.CI90()
+	h := 1.895 * s.Std() / math.Sqrt(8)
+	if !almost(hi-s.Mean(), h, 1e-9) || !almost(s.Mean()-lo, h, 1e-9) {
+		t.Fatalf("CI = [%v,%v], half-width want %v", lo, hi, h)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if TCritical90(7) != 1.895 {
+		t.Fatalf("t(7) = %v", TCritical90(7))
+	}
+	if TCritical90(100) != 1.645 {
+		t.Fatalf("t(100) = %v", TCritical90(100))
+	}
+	if !math.IsNaN(TCritical90(0)) {
+		t.Fatal("t(0) should be NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	m := s.Summarize()
+	if m.N != 2 || m.Mean != 2 || m.Min != 1 || m.Max != 3 {
+		t.Fatalf("summary = %+v", m)
+	}
+	if m.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 {
+		t.Fatal("empty percentile nonzero")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {95, 95.05}, {-5, 1}, {200, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); !almost(got, c.want, 1e-9) {
+			t.Errorf("p%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Percentiles are monotone.
+	prev := s.Percentile(0)
+	for p := 1.0; p <= 100; p++ {
+		cur := s.Percentile(p)
+		if cur < prev {
+			t.Fatalf("percentile not monotone at %v", p)
+		}
+		prev = cur
+	}
+}
+
+// Quick properties: mean within [min,max]; CI brackets the mean; adding a
+// constant shifts mean and CI but not std.
+func TestQuickProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		var s Sample
+		for i := 0; i < n; i++ {
+			s.Add(rng.NormFloat64()*100 + 500)
+		}
+		m := s.Mean()
+		if m < s.Min()-1e-9 || m > s.Max()+1e-9 {
+			return false
+		}
+		lo, hi := s.CI90()
+		if lo > m || hi < m {
+			return false
+		}
+		var shifted Sample
+		for _, x := range s.Values() {
+			shifted.Add(x + 1000)
+		}
+		return almost(shifted.Mean(), m+1000, 1e-6) &&
+			almost(shifted.Std(), s.Std(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

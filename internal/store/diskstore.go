@@ -1,0 +1,68 @@
+package store
+
+import (
+	"swift/internal/disk"
+)
+
+// DiskStore wraps an inner Store and charges the modeled access times of a
+// disk.Device for every read and write, so measured experiments see the
+// storage agent's local disk, not the speed of process memory. One Device
+// (one spindle) serves the whole store, as on the prototype's hosts.
+type DiskStore struct {
+	inner Store
+	dev   *disk.Device
+	// SyncWrites forces every write through the synchronous path,
+	// regardless of per-request flags (the local-SCSI baseline).
+	SyncWrites bool
+}
+
+// NewDiskStore wraps inner with the modeled device.
+func NewDiskStore(inner Store, dev *disk.Device) *DiskStore {
+	return &DiskStore{inner: inner, dev: dev}
+}
+
+// Device returns the modeled drive.
+func (d *DiskStore) Device() *disk.Device { return d.dev }
+
+// Open implements Store.
+func (d *DiskStore) Open(name string, create bool) (Object, error) {
+	o, err := d.inner.Open(name, create)
+	if err != nil {
+		return nil, err
+	}
+	return &diskObject{inner: o, s: d}, nil
+}
+
+// Stat implements Store.
+func (d *DiskStore) Stat(name string) (int64, error) { return d.inner.Stat(name) }
+
+// Remove implements Store.
+func (d *DiskStore) Remove(name string) error { return d.inner.Remove(name) }
+
+// List implements Store.
+func (d *DiskStore) List() ([]string, error) { return d.inner.List() }
+
+type diskObject struct {
+	inner Object
+	s     *DiskStore
+}
+
+func (o *diskObject) ReadAt(p []byte, off int64) (int, error) {
+	o.s.dev.Read(off, int64(len(p)))
+	return o.inner.ReadAt(p, off)
+}
+
+func (o *diskObject) WriteAt(p []byte, off int64) (int, error) {
+	o.s.dev.Write(off, int64(len(p)), o.s.SyncWrites)
+	return o.inner.WriteAt(p, off)
+}
+
+func (o *diskObject) Size() (int64, error)      { return o.inner.Size() }
+func (o *diskObject) Truncate(size int64) error { return o.inner.Truncate(size) }
+
+func (o *diskObject) Sync() error {
+	o.s.dev.Sync(8192)
+	return o.inner.Sync()
+}
+
+func (o *diskObject) Close() error { return o.inner.Close() }

@@ -1,0 +1,236 @@
+// Package stripe implements Swift's striping layout: the mapping between a
+// logical object's byte space and the per-agent fragment byte spaces.
+//
+// An object is divided into fixed-size striping units ("the amount of data
+// allocated to each storage agent per stripe"). Units are assigned to the
+// storage agents round-robin, and each agent packs its units densely into a
+// local fragment, so consecutive units on one agent occupy consecutive
+// fragment bytes. The storage mediator chooses the unit size from the
+// client's data-rate requirement: large units for low rates (few agents
+// touched), small units for high rates (maximum parallelism).
+//
+// With parity enabled, each stripe row holds Agents-1 data units plus one
+// computed-copy (XOR) parity unit. The parity unit rotates across agents,
+// left-symmetric, so no single agent becomes a parity bottleneck and the
+// system tolerates one failed agent per row.
+package stripe
+
+import (
+	"fmt"
+
+	"swift/internal/extent"
+)
+
+// Layout describes how an object is striped over a set of storage agents.
+type Layout struct {
+	// Unit is the striping unit in bytes (> 0).
+	Unit int64
+	// Agents is the number of storage agents (>= 1; >= 3 with parity).
+	Agents int
+	// Parity enables computed-copy redundancy: one rotating XOR parity
+	// unit per stripe row.
+	Parity bool
+}
+
+// Validate reports whether the layout parameters are usable.
+func (l Layout) Validate() error {
+	if l.Unit <= 0 {
+		return fmt.Errorf("stripe: unit must be positive, got %d", l.Unit)
+	}
+	if l.Agents < 1 {
+		return fmt.Errorf("stripe: need at least one agent, got %d", l.Agents)
+	}
+	if l.Parity && l.Agents < 3 {
+		return fmt.Errorf("stripe: parity requires at least 3 agents, got %d", l.Agents)
+	}
+	return nil
+}
+
+// DataPerRow returns the number of data units per stripe row.
+func (l Layout) DataPerRow() int {
+	if l.Parity {
+		return l.Agents - 1
+	}
+	return l.Agents
+}
+
+// RowBytes returns the number of logical (data) bytes per stripe row.
+func (l Layout) RowBytes() int64 { return l.Unit * int64(l.DataPerRow()) }
+
+// ParityAgent returns the agent holding the parity unit of the given row.
+// It is only meaningful when parity is enabled.
+func (l Layout) ParityAgent(row int64) int {
+	return int(int64(l.Agents-1) - row%int64(l.Agents))
+}
+
+// DataAgent returns the agent holding the j-th data unit (0-based) of the
+// given row.
+func (l Layout) DataAgent(row int64, j int) int {
+	if !l.Parity {
+		return j
+	}
+	return (l.ParityAgent(row) + 1 + j) % l.Agents
+}
+
+// dataPos returns the position j such that DataAgent(row, j) == agent, or
+// -1 if the agent holds parity in that row.
+func (l Layout) dataPos(row int64, agent int) int {
+	if !l.Parity {
+		return agent
+	}
+	p := l.ParityAgent(row)
+	if agent == p {
+		return -1
+	}
+	j := agent - p - 1
+	if j < 0 {
+		j += l.Agents
+	}
+	return j
+}
+
+// Locate maps a logical byte offset to (agent, fragment offset).
+func (l Layout) Locate(g int64) (agent int, local int64) {
+	u := g / l.Unit  // logical data unit index
+	in := g % l.Unit // offset within the unit
+	d := int64(l.DataPerRow())
+	row := u / d
+	j := int(u % d)
+	return l.DataAgent(row, j), row*l.Unit + in
+}
+
+// GlobalOf maps (agent, fragment offset) back to the logical byte offset.
+// isData is false when the fragment byte belongs to a parity unit, in which
+// case g is undefined.
+func (l Layout) GlobalOf(agent int, local int64) (g int64, isData bool) {
+	row := local / l.Unit
+	in := local % l.Unit
+	j := l.dataPos(row, agent)
+	if j < 0 {
+		return 0, false
+	}
+	u := row*int64(l.DataPerRow()) + int64(j)
+	return u*l.Unit + in, true
+}
+
+// ParityLocal returns the fragment offset of the parity unit of the given
+// row on its parity agent.
+func (l Layout) ParityLocal(row int64) int64 { return row * l.Unit }
+
+// RowOfGlobal returns the stripe row containing logical offset g.
+func (l Layout) RowOfGlobal(g int64) int64 { return g / l.RowBytes() }
+
+// RowGlobalSpan returns the logical byte range [off, off+n) covered by the
+// data units of the given row.
+func (l Layout) RowGlobalSpan(row int64) (off, n int64) {
+	return row * l.RowBytes(), l.RowBytes()
+}
+
+// Run is a contiguous piece of a logical request mapped onto one agent's
+// fragment space.
+type Run struct {
+	Agent  int
+	Local  int64 // fragment offset
+	Global int64 // logical offset of the first byte
+	Length int64
+}
+
+// Runs decomposes the logical range [off, off+n) into per-unit runs in
+// ascending logical order. Each run lies within a single striping unit.
+func (l Layout) Runs(off, n int64) []Run {
+	var out []Run
+	end := off + n
+	for g := off; g < end; {
+		agent, local := l.Locate(g)
+		in := g % l.Unit
+		take := l.Unit - in
+		if g+take > end {
+			take = end - g
+		}
+		out = append(out, Run{Agent: agent, Local: local, Global: g, Length: take})
+		g += take
+	}
+	return out
+}
+
+// LocalExtents maps the logical range [off, off+n) to per-agent fragment
+// extent sets, with adjacent fragment ranges merged. The result is indexed
+// by agent.
+func (l Layout) LocalExtents(off, n int64) []extent.Set {
+	sets := make([]extent.Set, l.Agents)
+	for _, r := range l.Runs(off, n) {
+		sets[r.Agent].Add(r.Local, r.Length)
+	}
+	return sets
+}
+
+// SizeFromFragments reconstructs the logical object size from the per-agent
+// fragment sizes. Fragment bytes belonging to parity units are ignored.
+//
+// In degraded mode (a fragment size unknown), pass -1 for that agent; the
+// reconstruction then reflects only the surviving fragments and may
+// understate the size if the failed agent held the final data unit.
+func (l Layout) SizeFromFragments(frag []int64) int64 {
+	var size int64
+	for a := 0; a < l.Agents && a < len(frag); a++ {
+		fa := frag[a]
+		if fa <= 0 {
+			continue
+		}
+		// Walk back at most Agents+1 rows to find this agent's last
+		// data byte (each agent holds parity at most once per Agents
+		// consecutive rows).
+		lastRow := (fa - 1) / l.Unit
+		for row := lastRow; row >= 0 && row > lastRow-int64(l.Agents)-1; row-- {
+			if l.dataPos(row, a) < 0 {
+				continue
+			}
+			localEnd := (row + 1) * l.Unit
+			if fa < localEnd {
+				localEnd = fa
+			}
+			if localEnd <= row*l.Unit {
+				continue
+			}
+			g, ok := l.GlobalOf(a, localEnd-1)
+			if ok && g+1 > size {
+				size = g + 1
+			}
+			break
+		}
+	}
+	return size
+}
+
+// FragmentSizes returns the expected fragment size for each agent of an
+// object whose logical size is size, assuming a densely written prefix.
+// Parity units are counted as full units (the engine always writes whole
+// parity units).
+func (l Layout) FragmentSizes(size int64) []int64 {
+	frag := make([]int64, l.Agents)
+	if size <= 0 {
+		return frag
+	}
+	// Data bytes.
+	for g := int64(0); g < size; {
+		agent, local := l.Locate(g)
+		take := l.Unit - g%l.Unit
+		if g+take > size {
+			take = size - g
+		}
+		if end := local + take; end > frag[agent] {
+			frag[agent] = end
+		}
+		g += take
+	}
+	if l.Parity {
+		lastRow := l.RowOfGlobal(size - 1)
+		for row := int64(0); row <= lastRow; row++ {
+			a := l.ParityAgent(row)
+			if end := (row + 1) * l.Unit; end > frag[a] {
+				frag[a] = end
+			}
+		}
+	}
+	return frag
+}

@@ -1,0 +1,224 @@
+package stripe
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func layouts() []Layout {
+	return []Layout{
+		{Unit: 4096, Agents: 1},
+		{Unit: 4096, Agents: 3},
+		{Unit: 1000, Agents: 4},
+		{Unit: 32768, Agents: 8},
+		{Unit: 4096, Agents: 3, Parity: true},
+		{Unit: 1000, Agents: 4, Parity: true},
+		{Unit: 8192, Agents: 7, Parity: true},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Layout{
+		{Unit: 0, Agents: 3},
+		{Unit: -5, Agents: 3},
+		{Unit: 4096, Agents: 0},
+		{Unit: 4096, Agents: 2, Parity: true},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("layout %+v validated", l)
+		}
+	}
+	for _, l := range layouts() {
+		if err := l.Validate(); err != nil {
+			t.Errorf("layout %+v rejected: %v", l, err)
+		}
+	}
+}
+
+func TestLocateGlobalOfRoundTrip(t *testing.T) {
+	for _, l := range layouts() {
+		for g := int64(0); g < 20*l.RowBytes(); g += l.Unit/3 + 1 {
+			a, local := l.Locate(g)
+			back, ok := l.GlobalOf(a, local)
+			if !ok {
+				t.Fatalf("%+v: Locate(%d) -> (%d,%d) lands on parity", l, g, a, local)
+			}
+			if back != g {
+				t.Fatalf("%+v: GlobalOf(Locate(%d)) = %d", l, g, back)
+			}
+		}
+	}
+}
+
+func TestLocateQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := layouts()[rng.Intn(len(layouts()))]
+		g := rng.Int63n(1 << 40)
+		a, local := l.Locate(g)
+		if a < 0 || a >= l.Agents || local < 0 {
+			return false
+		}
+		back, ok := l.GlobalOf(a, local)
+		return ok && back == g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParityAgentRotates(t *testing.T) {
+	l := Layout{Unit: 4096, Agents: 5, Parity: true}
+	seen := make(map[int]int)
+	for r := int64(0); r < 5; r++ {
+		seen[l.ParityAgent(r)]++
+	}
+	if len(seen) != 5 {
+		t.Fatalf("parity hit only %d agents in one cycle", len(seen))
+	}
+	// And the parity agent never coincides with a data agent of the row.
+	for r := int64(0); r < 20; r++ {
+		p := l.ParityAgent(r)
+		for j := 0; j < l.DataPerRow(); j++ {
+			if l.DataAgent(r, j) == p {
+				t.Fatalf("row %d: data agent %d equals parity agent", r, j)
+			}
+		}
+	}
+}
+
+func TestDataAgentsCoverRow(t *testing.T) {
+	for _, l := range layouts() {
+		for r := int64(0); r < 10; r++ {
+			used := make(map[int]bool)
+			for j := 0; j < l.DataPerRow(); j++ {
+				a := l.DataAgent(r, j)
+				if used[a] {
+					t.Fatalf("%+v row %d: agent %d used twice", l, r, a)
+				}
+				used[a] = true
+			}
+		}
+	}
+}
+
+// TestRunsPartition verifies that Runs exactly tiles the requested range:
+// runs are in ascending global order, contiguous, and map consistently.
+func TestRunsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := layouts()[rng.Intn(len(layouts()))]
+		off := rng.Int63n(1 << 30)
+		n := rng.Int63n(20*l.Unit) + 1
+		runs := l.Runs(off, n)
+		pos := off
+		for _, r := range runs {
+			if r.Global != pos || r.Length <= 0 || r.Length > l.Unit {
+				return false
+			}
+			a, local := l.Locate(r.Global)
+			if a != r.Agent || local != r.Local {
+				return false
+			}
+			// A run never crosses a unit boundary.
+			if r.Global/l.Unit != (r.Global+r.Length-1)/l.Unit {
+				return false
+			}
+			pos += r.Length
+		}
+		return pos == off+n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalExtentsMergeAndCover(t *testing.T) {
+	// A full-stripe-aligned request yields one contiguous extent per
+	// agent, and total extent bytes equal the request size.
+	l := Layout{Unit: 4096, Agents: 3}
+	sets := l.LocalExtents(0, 12*4096)
+	var total int64
+	for a, s := range sets {
+		if s.Len() != 1 {
+			t.Fatalf("agent %d extents = %d, want 1 (%s)", a, s.Len(), s.String())
+		}
+		total += s.Total()
+	}
+	if total != 12*4096 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestLocalExtentsTotalQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := layouts()[rng.Intn(len(layouts()))]
+		off := rng.Int63n(1 << 28)
+		n := rng.Int63n(30*l.Unit) + 1
+		var total int64
+		for _, s := range l.LocalExtents(off, n) {
+			total += s.Total()
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeFromFragmentsInvertsFragmentSizes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := layouts()[rng.Intn(len(layouts()))]
+		size := rng.Int63n(50*l.Unit) + 1
+		return l.SizeFromFragments(l.FragmentSizes(size)) == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeFromFragmentsDegraded(t *testing.T) {
+	// With one fragment unknown (-1), the size never overstates.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := layouts()[rng.Intn(len(layouts()))]
+		size := rng.Int63n(50*l.Unit) + 1
+		frag := l.FragmentSizes(size)
+		frag[rng.Intn(l.Agents)] = -1
+		return l.SizeFromFragments(frag) <= size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeZeroAndEmpty(t *testing.T) {
+	l := Layout{Unit: 4096, Agents: 3}
+	if got := l.SizeFromFragments(l.FragmentSizes(0)); got != 0 {
+		t.Fatalf("size(0) = %d", got)
+	}
+	if got := l.SizeFromFragments(nil); got != 0 {
+		t.Fatalf("size(nil) = %d", got)
+	}
+}
+
+func TestRowHelpers(t *testing.T) {
+	l := Layout{Unit: 1000, Agents: 4, Parity: true}
+	if l.RowBytes() != 3000 {
+		t.Fatalf("row bytes = %d", l.RowBytes())
+	}
+	if l.RowOfGlobal(2999) != 0 || l.RowOfGlobal(3000) != 1 {
+		t.Fatal("row of global wrong")
+	}
+	off, n := l.RowGlobalSpan(2)
+	if off != 6000 || n != 3000 {
+		t.Fatalf("row span = (%d,%d)", off, n)
+	}
+	if l.ParityLocal(5) != 5000 {
+		t.Fatalf("parity local = %d", l.ParityLocal(5))
+	}
+}

@@ -1,0 +1,98 @@
+package memnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNowAdvancesWithScale(t *testing.T) {
+	n := New(100)
+	start := n.Now()
+	time.Sleep(5 * time.Millisecond)
+	modeled := n.Now() - start
+	// 5ms real at scale 100 ≈ 500ms modeled (generous bounds for CI).
+	if modeled < 300*time.Millisecond || modeled > 2*time.Second {
+		t.Fatalf("modeled elapsed = %v, want ≈500ms", modeled)
+	}
+}
+
+func TestSleeperChargesModeledTime(t *testing.T) {
+	n := New(50)
+	sleep := n.Sleeper()
+	start := n.Now()
+	sleep(200 * time.Millisecond) // modeled
+	elapsed := n.Now() - start
+	if elapsed < 190*time.Millisecond || elapsed > 400*time.Millisecond {
+		t.Fatalf("modeled sleep = %v, want ≈200ms", elapsed)
+	}
+}
+
+func TestScaleDefaultsToOne(t *testing.T) {
+	if New(0).Scale() != 1 || New(-3).Scale() != 1 {
+		t.Fatal("non-positive scale not defaulted")
+	}
+	if New(25).Scale() != 25 {
+		t.Fatal("scale not stored")
+	}
+}
+
+func TestSegmentStatsAccumulate(t *testing.T) {
+	n := New(1)
+	seg := n.NewSegment("s", SegmentConfig{BandwidthBps: 1e9, FrameOverhead: 46})
+	a := n.MustHost("a", HostConfig{}, seg)
+	b := n.MustHost("b", HostConfig{}, seg)
+	ca, _ := a.Listen("1")
+	cb, _ := b.Listen("1")
+	const frames = 20
+	for i := 0; i < frames; i++ {
+		if err := ca.WriteTo(make([]byte, 1000), "b:1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 1500)
+	for i := 0; i < frames; i++ {
+		cb.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, _, err := cb.ReadFrom(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := seg.Stats()
+	if st.Frames != frames || st.Bytes != frames*1000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BusyTime <= 0 {
+		t.Fatal("no busy time recorded")
+	}
+}
+
+func TestHostCloseDropsTraffic(t *testing.T) {
+	n := New(1)
+	seg := n.NewSegment("s", SegmentConfig{BandwidthBps: 1e9})
+	a := n.MustHost("a", HostConfig{}, seg)
+	b := n.MustHost("b", HostConfig{}, seg)
+	ca, _ := a.Listen("1")
+	cb, _ := b.Listen("1")
+	b.Close()
+	// Reads on the closed host's conn fail.
+	if _, _, err := cb.ReadFrom(make([]byte, 8)); err == nil {
+		t.Fatal("read on closed host succeeded")
+	}
+	// Sends toward it do not wedge the sender.
+	for i := 0; i < 5; i++ {
+		if err := ca.WriteTo([]byte("x"), "b:1"); err != nil {
+			t.Fatalf("send to closed host errored hard: %v", err)
+		}
+	}
+	// Double close is safe.
+	b.Close()
+}
+
+func TestListenAfterHostClose(t *testing.T) {
+	n := New(1)
+	seg := n.NewSegment("s", SegmentConfig{BandwidthBps: 1e9})
+	a := n.MustHost("a", HostConfig{}, seg)
+	a.Close()
+	if _, err := a.Listen("0"); err == nil {
+		t.Fatal("listen on closed host succeeded")
+	}
+}

@@ -1,0 +1,563 @@
+// Package memnet is an in-memory datagram network with modeled media.
+// It reproduces the environment of the paper's prototype measurements:
+// one or more shared-bus Ethernet segments with finite bandwidth and
+// per-frame overhead, hosts with per-packet send/receive CPU costs and
+// bounded receive queues (the SunOS buffer-space losses the prototype
+// fought), and optional random loss.
+//
+// All medium and CPU bookkeeping is done in *modeled time* anchored to the
+// network's epoch; goroutines sleep until the real-time projection of a
+// modeled instant. A time-scale factor S runs the model S× faster than
+// wall-clock while keeping modeled rates exact: scheduling decisions are
+// made from the modeled timeline, so sleep jitter does not accumulate into
+// throughput error.
+//
+// The same protocol code that runs over real UDP runs over memnet
+// unchanged; only capacities and costs differ.
+package memnet
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"swift/internal/transport"
+)
+
+// Net is an in-memory network: a set of hosts attached to segments.
+type Net struct {
+	scale float64
+	epoch time.Time
+
+	mu    sync.Mutex
+	hosts map[string]*Host
+}
+
+// New creates a network whose modeled time runs scale× faster than real
+// time (scale >= 1; 1 means real time).
+func New(scale float64) *Net {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Net{
+		scale: scale,
+		epoch: time.Now(),
+		hosts: make(map[string]*Host),
+	}
+}
+
+// Scale returns the time-scale factor.
+func (n *Net) Scale() float64 { return n.scale }
+
+// Now returns the current modeled time since the network's epoch.
+func (n *Net) Now() time.Duration {
+	return time.Duration(float64(time.Since(n.epoch)) * n.scale)
+}
+
+// Sleep blocks for a modeled duration.
+func (n *Net) Sleep(d time.Duration) {
+	if d > 0 {
+		sleepReal(time.Now().Add(time.Duration(float64(d) / n.scale)))
+	}
+}
+
+// Sleeper returns Sleep as a plain function, for injecting into modeled
+// devices (e.g. disk.Device) so their delays share the network's clock.
+func (n *Net) Sleeper() func(time.Duration) { return n.Sleep }
+
+// sleepUntil blocks until the modeled instant t (since epoch).
+func (n *Net) sleepUntil(t time.Duration) {
+	sleepReal(n.epoch.Add(time.Duration(float64(t) / n.scale)))
+}
+
+// sleepReal blocks until the real instant target. The kernel timer floor
+// can exceed a millisecond, which would turn into large modeled idle gaps
+// at high time scales; so the tail of every wait is spun cooperatively
+// (Gosched keeps other model goroutines running on small machines).
+func sleepReal(target time.Time) {
+	const spinWindow = 2 * time.Millisecond
+	for {
+		d := time.Until(target)
+		if d <= 0 {
+			return
+		}
+		if d > spinWindow {
+			time.Sleep(d - spinWindow)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// SegmentConfig parameterizes a shared-bus medium.
+type SegmentConfig struct {
+	// BandwidthBps is the raw medium bandwidth in bits/second.
+	BandwidthBps float64
+	// FrameOverhead is the per-datagram framing overhead in bytes
+	// (preamble, MAC header/FCS, inter-frame gap, IP/UDP headers).
+	FrameOverhead int
+	// MTU is the largest datagram payload accepted (0 = 1500).
+	MTU int
+	// Latency is the one-way propagation delay added after transmission.
+	Latency time.Duration
+	// LossRate drops transmitted frames with this probability.
+	LossRate float64
+	// ReorderRate delays a frame's delivery by ReorderDelay with this
+	// probability, letting later frames overtake it — UDP reordering.
+	ReorderRate float64
+	// ReorderDelay is the extra delivery delay for reordered frames
+	// (0 = 2ms).
+	ReorderDelay time.Duration
+	// Seed seeds the segment's loss RNG.
+	Seed int64
+}
+
+// Segment is one shared-bus medium. Transmissions serialize on the bus in
+// modeled time; a sender occupies the bus for the frame's transmission
+// time, which is how saturation and contention emerge.
+type Segment struct {
+	net  *Net
+	name string
+	cfg  SegmentConfig
+
+	mu        sync.Mutex
+	busyUntil time.Duration
+	busyAccum time.Duration
+	frames    int64
+	bytes     int64
+	lost      int64
+	rng       *rand.Rand
+}
+
+// NewSegment creates a medium on the network.
+func (n *Net) NewSegment(name string, cfg SegmentConfig) *Segment {
+	if cfg.MTU == 0 {
+		cfg.MTU = 1500
+	}
+	return &Segment{
+		net:  n,
+		name: name,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+}
+
+// Name returns the segment's name.
+func (s *Segment) Name() string { return s.name }
+
+// frameTime returns the modeled transmission time of an n-byte datagram.
+func (s *Segment) frameTime(n int) time.Duration {
+	bits := float64(n+s.cfg.FrameOverhead) * 8
+	return time.Duration(bits / s.cfg.BandwidthBps * float64(time.Second))
+}
+
+// Stats reports the segment's cumulative traffic counters.
+type Stats struct {
+	Frames   int64
+	Bytes    int64 // payload bytes carried
+	Lost     int64
+	BusyTime time.Duration // modeled time the bus was occupied
+}
+
+// Stats returns a snapshot of the segment's counters.
+func (s *Segment) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Frames: s.frames, Bytes: s.bytes, Lost: s.lost, BusyTime: s.busyAccum}
+}
+
+// Capacity returns the effective payload capacity in bytes/second for
+// datagrams of the given payload size, i.e. the medium's maximum data-rate
+// as an application measures it.
+func (s *Segment) Capacity(payload int) float64 {
+	ft := s.frameTime(payload)
+	return float64(payload) / ft.Seconds()
+}
+
+// HostConfig parameterizes a machine's network processing.
+type HostConfig struct {
+	// SendCPU is the per-packet protocol processing cost on transmit.
+	SendCPU time.Duration
+	// RecvCPU is the per-packet protocol processing cost on receive.
+	// The prototype's SPARCstation 2 client is receive-bound; this is
+	// the knob that reproduces the paper's Table 4 read behaviour.
+	RecvCPU time.Duration
+	// SendPerByte / RecvPerByte add a per-byte cost (data copying).
+	SendPerByte time.Duration
+	RecvPerByte time.Duration
+	// IngressQueue bounds datagrams awaiting receive processing
+	// (0 = 512). Overflow is dropped, modeling kernel buffer exhaustion.
+	IngressQueue int
+	// PortQueue bounds datagrams queued on each port (0 = 256).
+	PortQueue int
+}
+
+// Host is one machine attached to one or more segments.
+type Host struct {
+	net  *Net
+	name string
+	cfg  HostConfig
+	segs []*Segment
+
+	mu        sync.Mutex
+	ports     map[string]*conn
+	ephemeral int
+	txUntil   time.Duration
+	closed    bool
+
+	ingress chan inPacket
+	done    chan struct{} // closed by Host.Close; stops the receive loop
+
+	drops int64 // ingress + port queue drops
+}
+
+type inPacket struct {
+	payload []byte
+	from    string
+	port    string
+	arrival time.Duration
+}
+
+// NewHost creates a host attached to the given segments. Host names must
+// be unique within the network.
+func (n *Net) NewHost(name string, cfg HostConfig, segs ...*Segment) (*Host, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("memnet: host %q needs at least one segment", name)
+	}
+	if cfg.IngressQueue == 0 {
+		cfg.IngressQueue = 512
+	}
+	if cfg.PortQueue == 0 {
+		cfg.PortQueue = 256
+	}
+	h := &Host{
+		net:     n,
+		name:    name,
+		cfg:     cfg,
+		segs:    segs,
+		ports:   make(map[string]*conn),
+		ingress: make(chan inPacket, cfg.IngressQueue),
+		done:    make(chan struct{}),
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hosts[name]; dup {
+		return nil, fmt.Errorf("memnet: duplicate host %q", name)
+	}
+	n.hosts[name] = h
+	go h.receiveLoop()
+	return h, nil
+}
+
+// MustHost is NewHost that panics on error, for test and harness setup.
+func (n *Net) MustHost(name string, cfg HostConfig, segs ...*Segment) *Host {
+	h, err := n.NewHost(name, cfg, segs...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Drops returns the number of datagrams this host discarded due to full
+// ingress or port queues.
+func (h *Host) Drops() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.drops
+}
+
+// receiveLoop models the host's receive-side protocol processing: packets
+// are handled one at a time, each charged the per-packet (and per-byte)
+// receive cost, then delivered to the destination port's queue.
+func (h *Host) receiveLoop() {
+	var cpuUntil time.Duration
+	for {
+		var pkt inPacket
+		select {
+		case pkt = <-h.ingress:
+		case <-h.done:
+			return
+		}
+		h.net.sleepUntil(pkt.arrival)
+		cost := h.cfg.RecvCPU + time.Duration(len(pkt.payload))*h.cfg.RecvPerByte
+		if cost > 0 {
+			start := h.net.Now()
+			if start < cpuUntil {
+				start = cpuUntil
+			}
+			cpuUntil = start + cost
+			h.net.sleepUntil(cpuUntil)
+		}
+		h.mu.Lock()
+		c := h.ports[pkt.port]
+		h.mu.Unlock()
+		if c == nil {
+			continue // no listener: silently dropped, like UDP
+		}
+		select {
+		case c.queue <- pkt:
+		default:
+			h.mu.Lock()
+			h.drops++
+			h.mu.Unlock()
+		}
+	}
+}
+
+// Close shuts down the host's receive processing. Intended for teardown in
+// tests; sends to a closed host are dropped.
+func (h *Host) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	conns := make([]*conn, 0, len(h.ports))
+	for _, c := range h.ports {
+		conns = append(conns, c)
+	}
+	h.ports = map[string]*conn{}
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.markClosed()
+	}
+	close(h.done)
+}
+
+// Listen opens a datagram endpoint on the given port ("0" = ephemeral).
+func (h *Host) Listen(port string) (transport.PacketConn, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, transport.ErrClosed
+	}
+	if port == "0" || port == "" {
+		for {
+			h.ephemeral++
+			port = fmt.Sprintf("%d", 40000+h.ephemeral)
+			if _, used := h.ports[port]; !used {
+				break
+			}
+		}
+	} else if _, used := h.ports[port]; used {
+		return nil, fmt.Errorf("memnet: port %s:%s already in use", h.name, port)
+	}
+	c := &conn{
+		host:  h,
+		port:  port,
+		queue: make(chan inPacket, h.cfg.PortQueue),
+		done:  make(chan struct{}),
+	}
+	h.ports[port] = c
+	return c, nil
+}
+
+// route finds the first segment shared with the destination host.
+func (h *Host) route(dst *Host) *Segment {
+	for _, s := range h.segs {
+		for _, d := range dst.segs {
+			if s == d {
+				return s
+			}
+		}
+	}
+	return nil
+}
+
+// send models the full transmission of one datagram: sender CPU, bus
+// acquisition and occupancy, propagation, then hand-off to the receiving
+// host's ingress queue. It blocks the caller for the modeled send time,
+// like a blocking sendto(2) on a saturated interface.
+func (h *Host) send(p []byte, dstHost *Host, dstPort, from string) error {
+	seg := h.route(dstHost)
+	if seg == nil {
+		return transport.ErrNoRoute
+	}
+	if len(p) > seg.cfg.MTU {
+		return transport.ErrTooLarge
+	}
+
+	// Sender protocol processing (serialized per host).
+	cost := h.cfg.SendCPU + time.Duration(len(p))*h.cfg.SendPerByte
+	var cpuDone time.Duration
+	h.mu.Lock()
+	start := h.net.Now()
+	if start < h.txUntil {
+		start = h.txUntil
+	}
+	cpuDone = start + cost
+	h.txUntil = cpuDone
+	h.mu.Unlock()
+
+	// Bus occupancy.
+	ft := seg.frameTime(len(p))
+	seg.mu.Lock()
+	busStart := cpuDone
+	if now := h.net.Now(); busStart < now {
+		busStart = now
+	}
+	if busStart < seg.busyUntil {
+		busStart = seg.busyUntil
+	}
+	txEnd := busStart + ft
+	seg.busyUntil = txEnd
+	seg.busyAccum += ft
+	seg.frames++
+	seg.bytes += int64(len(p))
+	lost := seg.cfg.LossRate > 0 && seg.rng.Float64() < seg.cfg.LossRate
+	if lost {
+		seg.lost++
+	}
+	reordered := !lost && seg.cfg.ReorderRate > 0 && seg.rng.Float64() < seg.cfg.ReorderRate
+	seg.mu.Unlock()
+
+	h.net.sleepUntil(txEnd)
+	if lost {
+		return nil // dropped on the wire; sender cannot tell
+	}
+
+	dstHost.mu.Lock()
+	dstClosed := dstHost.closed
+	dstHost.mu.Unlock()
+	if dstClosed {
+		return nil // like sending to a powered-off machine
+	}
+	pkt := inPacket{
+		payload: append([]byte(nil), p...),
+		from:    from,
+		port:    dstPort,
+		arrival: txEnd + seg.cfg.Latency,
+	}
+	if reordered {
+		// Hold the frame back so later traffic overtakes it, then
+		// inject it with its (past) arrival time.
+		delay := seg.cfg.ReorderDelay
+		if delay == 0 {
+			delay = 2 * time.Millisecond
+		}
+		late := pkt
+		late.arrival += delay
+		go func() {
+			h.net.sleepUntil(late.arrival)
+			deliver(dstHost, late)
+		}()
+		return nil
+	}
+	deliver(dstHost, pkt)
+	return nil
+}
+
+// deliver hands a frame to the destination host's ingress queue, counting
+// a drop on overflow.
+func deliver(dst *Host, pkt inPacket) {
+	select {
+	case dst.ingress <- pkt:
+	default:
+		dst.mu.Lock()
+		dst.drops++
+		dst.mu.Unlock()
+	}
+}
+
+// conn is a memnet datagram endpoint.
+type conn struct {
+	host  *Host
+	port  string
+	queue chan inPacket
+
+	mu       sync.Mutex
+	deadline time.Time
+	closed   bool
+	done     chan struct{}
+}
+
+func (c *conn) LocalAddr() string { return transport.JoinAddr(c.host.name, c.port) }
+
+func (c *conn) WriteTo(p []byte, addr string) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	dhost, dport, ok := transport.SplitAddr(addr)
+	if !ok {
+		return fmt.Errorf("memnet: bad address %q", addr)
+	}
+	c.host.net.mu.Lock()
+	dst := c.host.net.hosts[dhost]
+	c.host.net.mu.Unlock()
+	if dst == nil {
+		return transport.ErrNoRoute
+	}
+	return c.host.send(p, dst, dport, c.LocalAddr())
+}
+
+func (c *conn) ReadFrom(p []byte) (int, string, error) {
+	c.mu.Lock()
+	deadline := c.deadline
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, "", transport.ErrClosed
+	}
+
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			// Still drain a ready packet, like the socket API.
+			select {
+			case pkt := <-c.queue:
+				return copy(p, pkt.payload), pkt.from, nil
+			default:
+				return 0, "", transport.ErrTimeout
+			}
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+
+	select {
+	case pkt := <-c.queue:
+		return copy(p, pkt.payload), pkt.from, nil
+	case <-timeout:
+		return 0, "", transport.ErrTimeout
+	case <-c.done:
+		return 0, "", transport.ErrClosed
+	}
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *conn) Close() error {
+	c.host.mu.Lock()
+	if c.host.ports[c.port] == c {
+		delete(c.host.ports, c.port)
+	}
+	c.host.mu.Unlock()
+	c.markClosed()
+	return nil
+}
+
+// markClosed marks the conn closed and wakes blocked readers.
+func (c *conn) markClosed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+}

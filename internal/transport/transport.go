@@ -1,0 +1,76 @@
+// Package transport defines the datagram abstraction Swift's protocol runs
+// over. Two implementations exist: udpnet (real UDP sockets, for deployed
+// use) and memnet (an in-memory network with modeled Ethernet segments,
+// host CPU costs, bounded queues and packet loss, for the measured
+// experiments). The storage agents and the distribution agent are written
+// against these interfaces and run unchanged over either.
+package transport
+
+import (
+	"errors"
+	"strings"
+	"time"
+)
+
+// Sentinel errors.
+var (
+	// ErrTimeout is returned by ReadFrom when the read deadline passes.
+	ErrTimeout = errors.New("transport: read timeout")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("transport: connection closed")
+	// ErrNoRoute is returned when no path exists to the destination.
+	ErrNoRoute = errors.New("transport: no route to host")
+	// ErrTooLarge is returned for datagrams exceeding the medium's MTU.
+	ErrTooLarge = errors.New("transport: datagram exceeds MTU")
+)
+
+// PacketConn is an unreliable, unordered datagram endpoint. Addresses are
+// strings of the form "host:port".
+type PacketConn interface {
+	// WriteTo sends one datagram to addr. Delivery is best-effort.
+	WriteTo(p []byte, addr string) error
+	// ReadFrom receives one datagram into p, returning its length and
+	// source address. If the datagram is longer than p it is truncated.
+	// ReadFrom returns ErrTimeout when the deadline set by
+	// SetReadDeadline passes.
+	ReadFrom(p []byte) (n int, from string, err error)
+	// SetReadDeadline bounds future ReadFrom calls. The zero time means
+	// no deadline.
+	SetReadDeadline(t time.Time) error
+	// LocalAddr returns this endpoint's "host:port" address.
+	LocalAddr() string
+	// Close releases the endpoint; blocked reads return ErrClosed.
+	Close() error
+}
+
+// Host is a network endpoint factory representing one machine. Port "0"
+// requests an ephemeral port.
+type Host interface {
+	Listen(port string) (PacketConn, error)
+	Name() string
+}
+
+// IsTimeout reports whether err is a read-deadline expiry from either
+// transport implementation.
+func IsTimeout(err error) bool {
+	if errors.Is(err, ErrTimeout) {
+		return true
+	}
+	var ne interface{ Timeout() bool }
+	if errors.As(err, &ne) {
+		return ne.Timeout()
+	}
+	return false
+}
+
+// SplitAddr splits "host:port" into its components.
+func SplitAddr(addr string) (host, port string, ok bool) {
+	i := strings.LastIndexByte(addr, ':')
+	if i < 0 {
+		return "", "", false
+	}
+	return addr[:i], addr[i+1:], true
+}
+
+// JoinAddr composes "host:port".
+func JoinAddr(host, port string) string { return host + ":" + port }

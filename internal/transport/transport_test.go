@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSplitJoinAddr(t *testing.T) {
+	cases := []struct {
+		addr       string
+		host, port string
+		ok         bool
+	}{
+		{"host:7070", "host", "7070", true},
+		{"a.b.c:0", "a.b.c", "0", true},
+		{"noport", "", "", false},
+		{":", "", "", true},
+		{"h:p:q", "h:p", "q", true}, // last colon wins
+	}
+	for _, c := range cases {
+		h, p, ok := SplitAddr(c.addr)
+		if ok != c.ok || h != c.host || p != c.port {
+			t.Errorf("SplitAddr(%q) = (%q,%q,%v), want (%q,%q,%v)",
+				c.addr, h, p, ok, c.host, c.port, c.ok)
+		}
+	}
+	if JoinAddr("h", "1") != "h:1" {
+		t.Fatal("join wrong")
+	}
+	// Round trip.
+	h, p, ok := SplitAddr(JoinAddr("my-host", "40001"))
+	if !ok || h != "my-host" || p != "40001" {
+		t.Fatal("round trip failed")
+	}
+}
+
+type fakeTimeoutErr struct{}
+
+func (fakeTimeoutErr) Error() string { return "fake" }
+func (fakeTimeoutErr) Timeout() bool { return true }
+
+func TestIsTimeout(t *testing.T) {
+	if !IsTimeout(ErrTimeout) {
+		t.Fatal("ErrTimeout not a timeout")
+	}
+	if !IsTimeout(fakeTimeoutErr{}) {
+		t.Fatal("net-style timeout not recognized")
+	}
+	if IsTimeout(ErrClosed) || IsTimeout(errors.New("other")) || IsTimeout(nil) {
+		t.Fatal("false positive")
+	}
+}

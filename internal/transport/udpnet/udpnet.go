@@ -1,0 +1,69 @@
+// Package udpnet implements the transport interfaces over real UDP
+// sockets, for running Swift agents and clients on an actual network (or
+// the loopback interface). This is the deployment transport; the measured
+// experiments use memnet so that medium capacity is controlled.
+package udpnet
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"swift/internal/transport"
+)
+
+// Host binds endpoints on a single IP address (e.g. "127.0.0.1").
+type Host struct {
+	ip string
+}
+
+// NewHost returns a Host binding sockets on the given IP address.
+// An empty ip binds the unspecified address.
+func NewHost(ip string) *Host {
+	if ip == "" {
+		ip = "127.0.0.1"
+	}
+	return &Host{ip: ip}
+}
+
+// Name returns the host's IP address.
+func (h *Host) Name() string { return h.ip }
+
+// Listen opens a UDP socket on the given port ("0" for ephemeral).
+func (h *Host) Listen(port string) (transport.PacketConn, error) {
+	pc, err := net.ListenPacket("udp", net.JoinHostPort(h.ip, port))
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: listen %s:%s: %w", h.ip, port, err)
+	}
+	return &conn{pc: pc}, nil
+}
+
+type conn struct {
+	pc net.PacketConn
+}
+
+func (c *conn) WriteTo(p []byte, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("udpnet: resolve %q: %w", addr, err)
+	}
+	_, err = c.pc.WriteTo(p, ua)
+	return err
+}
+
+func (c *conn) ReadFrom(p []byte) (int, string, error) {
+	n, from, err := c.pc.ReadFrom(p)
+	if err != nil {
+		if te, ok := err.(net.Error); ok && te.Timeout() {
+			return n, "", transport.ErrTimeout
+		}
+		return n, "", err
+	}
+	return n, from.String(), nil
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error { return c.pc.SetReadDeadline(t) }
+
+func (c *conn) LocalAddr() string { return c.pc.LocalAddr().String() }
+
+func (c *conn) Close() error { return c.pc.Close() }

@@ -1,0 +1,79 @@
+package udpnet
+
+import (
+	"testing"
+	"time"
+
+	"swift/internal/transport"
+)
+
+func TestRoundTrip(t *testing.T) {
+	h := NewHost("127.0.0.1")
+	a, err := h.Listen("0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := h.Listen("0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.WriteTo([]byte("ping"), b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, from, err := b.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "ping" || from != a.LocalAddr() {
+		t.Fatalf("got %q from %q", buf[:n], from)
+	}
+}
+
+func TestTimeoutMapsToTransportError(t *testing.T) {
+	h := NewHost("127.0.0.1")
+	c, err := h.Listen("0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	if _, _, err := c.ReadFrom(make([]byte, 8)); !transport.IsTimeout(err) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestBadAddressRejected(t *testing.T) {
+	h := NewHost("127.0.0.1")
+	c, err := h.Listen("0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.WriteTo([]byte("x"), "not-an-address"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestEmptyHostDefaultsToLoopback(t *testing.T) {
+	if NewHost("").Name() != "127.0.0.1" {
+		t.Fatal("empty host did not default")
+	}
+}
+
+func TestDuplicateFixedPortFails(t *testing.T) {
+	h := NewHost("127.0.0.1")
+	a, err := h.Listen("0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	_, port, _ := transport.SplitAddr(a.LocalAddr())
+	if _, err := h.Listen(port); err == nil {
+		t.Fatal("duplicate bind succeeded")
+	}
+}

@@ -1,0 +1,193 @@
+// Package wire defines the packet format of Swift's light-weight
+// data-transfer protocol. The prototype in the paper abandoned TCP for a
+// thin protocol layered directly on UDP datagrams: every packet is
+// self-describing (type, file handle, request id, object offset, length),
+// so the kernel can scatter-gather payloads directly into user buffers and
+// either side can detect and re-request lost packets without per-packet
+// acknowledgements.
+//
+// Packet layout (big endian):
+//
+//	offset size field
+//	0      2    magic 0x5357 ("SW")
+//	2      1    version (1)
+//	3      1    type
+//	4      4    request id
+//	8      8    file handle
+//	16     8    object offset
+//	24     4    request length
+//	28     2    flags
+//	30     2    payload length
+//	32     n    payload
+//	32+n   4    CRC-32 (IEEE) over bytes [0, 32+n)
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Protocol constants.
+const (
+	Magic   = 0x5357 // "SW"
+	Version = 1
+
+	// HeaderSize is the fixed header length in bytes.
+	HeaderSize = 32
+	// TrailerSize is the CRC trailer length in bytes.
+	TrailerSize = 4
+	// MaxPacket is the largest datagram the protocol emits. It is chosen
+	// to fit in a single Ethernet frame with IP/UDP headers, as the
+	// prototype's packets did.
+	MaxPacket = 1400
+	// MaxPayload is the largest payload a single packet can carry.
+	MaxPayload = MaxPacket - HeaderSize - TrailerSize
+)
+
+// Type identifies the kind of a protocol packet.
+type Type uint8
+
+// Packet types. Open/Stat/Remove are served on the agent's well-known
+// port; the rest flow on the per-file private port established at open.
+const (
+	TInvalid     Type = iota
+	TOpen             // client→agent: open/create an object fragment
+	TOpenReply        // agent→client: handle + private port + fragment size
+	TRead             // client→agent: request [offset,offset+length) of the fragment
+	TData             // either direction: payload carrying part of a request
+	TWrite            // client→agent: announce a write burst [offset,offset+length)
+	TWriteAck         // agent→client: write burst fully received & applied
+	TResend           // agent→client: list of missing ranges in a write burst
+	TClose            // client→agent: release the handle and private port
+	TCloseReply       // agent→client: close acknowledged
+	TStat             // client→agent (well-known port): fragment size query
+	TStatReply        // agent→client: fragment size
+	TRemove           // client→agent (well-known port): delete an object fragment
+	TRemoveReply      // agent→client: remove acknowledged
+	TSync             // client→agent: flush the fragment to stable storage
+	TSyncReply        // agent→client: sync acknowledged
+	TTrunc            // client→agent: truncate fragment to request length
+	TTruncReply       // agent→client: truncate acknowledged
+	TList             // client→agent (well-known port): enumerate objects
+	TListReply        // agent→client: object names; FLast marks the final packet
+	TPing             // client→agent (well-known port): liveness + status probe
+	TPingReply        // agent→client: agent status
+	TError            // agent→client: request failed; payload holds message
+	tMax
+)
+
+var typeNames = [...]string{
+	"invalid", "open", "openreply", "read", "data", "write", "writeack",
+	"resend", "close", "closereply", "stat", "statreply", "remove",
+	"removereply", "sync", "syncreply", "trunc", "truncreply",
+	"list", "listreply", "ping", "pingreply", "error",
+}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Flag bits.
+const (
+	// FLast marks the final data packet of a read reply burst.
+	FLast uint16 = 1 << iota
+	// FCreate asks open to create the fragment if absent.
+	FCreate
+	// FTrunc asks open to truncate an existing fragment.
+	FTrunc
+	// FSyncWrite asks the agent to write this burst synchronously.
+	FSyncWrite
+)
+
+// Header is the fixed portion of every packet.
+type Header struct {
+	Type   Type
+	ReqID  uint32
+	Handle uint64
+	Offset int64
+	Length uint32
+	Flags  uint16
+}
+
+// Packet is a decoded protocol packet: header plus payload.
+type Packet struct {
+	Header
+	Payload []byte
+}
+
+// Decoding errors.
+var (
+	ErrTooShort   = errors.New("wire: packet too short")
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadCRC     = errors.New("wire: checksum mismatch")
+	ErrBadLength  = errors.New("wire: payload length mismatch")
+	ErrOversize   = errors.New("wire: payload exceeds MaxPayload")
+)
+
+// AppendPacket encodes the packet and appends it to dst, returning the
+// extended slice. It returns an error if the payload exceeds MaxPayload.
+func AppendPacket(dst []byte, p *Packet) ([]byte, error) {
+	if len(p.Payload) > MaxPayload {
+		return dst, ErrOversize
+	}
+	start := len(dst)
+	var hdr [HeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = uint8(p.Type)
+	binary.BigEndian.PutUint32(hdr[4:8], p.ReqID)
+	binary.BigEndian.PutUint64(hdr[8:16], p.Handle)
+	binary.BigEndian.PutUint64(hdr[16:24], uint64(p.Offset))
+	binary.BigEndian.PutUint32(hdr[24:28], p.Length)
+	binary.BigEndian.PutUint16(hdr[28:30], p.Flags)
+	binary.BigEndian.PutUint16(hdr[30:32], uint16(len(p.Payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, p.Payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	var tr [TrailerSize]byte
+	binary.BigEndian.PutUint32(tr[:], crc)
+	return append(dst, tr[:]...), nil
+}
+
+// Marshal encodes the packet into a fresh buffer.
+func Marshal(p *Packet) ([]byte, error) {
+	buf := make([]byte, 0, HeaderSize+len(p.Payload)+TrailerSize)
+	return AppendPacket(buf, p)
+}
+
+// Unmarshal decodes buf into p. The returned packet's Payload aliases buf;
+// callers that retain the packet past the buffer's reuse must copy it.
+func Unmarshal(buf []byte, p *Packet) error {
+	if len(buf) < HeaderSize+TrailerSize {
+		return ErrTooShort
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != Magic {
+		return ErrBadMagic
+	}
+	if buf[2] != Version {
+		return ErrBadVersion
+	}
+	body := buf[:len(buf)-TrailerSize]
+	want := binary.BigEndian.Uint32(buf[len(buf)-TrailerSize:])
+	if crc32.ChecksumIEEE(body) != want {
+		return ErrBadCRC
+	}
+	plen := int(binary.BigEndian.Uint16(buf[30:32]))
+	if HeaderSize+plen != len(body) {
+		return ErrBadLength
+	}
+	p.Type = Type(buf[3])
+	p.ReqID = binary.BigEndian.Uint32(buf[4:8])
+	p.Handle = binary.BigEndian.Uint64(buf[8:16])
+	p.Offset = int64(binary.BigEndian.Uint64(buf[16:24]))
+	p.Length = binary.BigEndian.Uint32(buf[24:28])
+	p.Flags = binary.BigEndian.Uint16(buf[28:30])
+	p.Payload = buf[HeaderSize : HeaderSize+plen]
+	return nil
+}

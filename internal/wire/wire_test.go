@@ -1,0 +1,272 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	p := &Packet{
+		Header: Header{
+			Type: TData, ReqID: 42, Handle: 7, Offset: 123456789,
+			Length: 999, Flags: FLast,
+		},
+		Payload: []byte("hello striped world"),
+	}
+	buf, err := Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var q Packet
+	if err := Unmarshal(buf, &q); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if q.Header != p.Header || !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", q, p)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(typ uint8, reqID uint32, handle uint64, off int64, length uint32, flags uint16, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		if off < 0 {
+			off = -off
+		}
+		p := &Packet{
+			Header: Header{
+				Type: Type(typ), ReqID: reqID, Handle: handle,
+				Offset: off, Length: length, Flags: flags,
+			},
+			Payload: payload,
+		}
+		buf, err := Marshal(p)
+		if err != nil {
+			return false
+		}
+		if len(buf) > MaxPacket {
+			return false
+		}
+		var q Packet
+		if err := Unmarshal(buf, &q); err != nil {
+			return false
+		}
+		return q.Header == p.Header && bytes.Equal(q.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	p := &Packet{Payload: make([]byte, MaxPayload+1)}
+	if _, err := Marshal(p); err != ErrOversize {
+		t.Fatalf("err = %v, want ErrOversize", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	p := &Packet{Header: Header{Type: TRead, ReqID: 1}, Payload: []byte("abcdef")}
+	good, _ := Marshal(p)
+	rng := rand.New(rand.NewSource(42))
+	var q Packet
+	for i := 0; i < 200; i++ {
+		buf := append([]byte(nil), good...)
+		buf[rng.Intn(len(buf))] ^= 1 << uint(rng.Intn(8))
+		if err := Unmarshal(buf, &q); err == nil {
+			t.Fatalf("flip %d: corruption not detected", i)
+		}
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	p := &Packet{Header: Header{Type: TRead}, Payload: []byte("abcdef")}
+	good, _ := Marshal(p)
+	var q Packet
+	for n := 0; n < len(good); n++ {
+		if err := Unmarshal(good[:n], &q); err == nil {
+			t.Fatalf("truncation to %d bytes not detected", n)
+		}
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	p := &Packet{Header: Header{Type: TRead}}
+	good, _ := Marshal(p)
+	var q Packet
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if err := Unmarshal(bad, &q); err != ErrBadMagic {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[2] = 99
+	if err := Unmarshal(bad, &q); err != ErrBadVersion {
+		t.Fatalf("bad version: err = %v", err)
+	}
+}
+
+func TestOpenPayloads(t *testing.T) {
+	req := &OpenRequest{Name: "videos/clip.mpg"}
+	b := AppendOpenRequest(nil, req)
+	got, err := ParseOpenRequest(b)
+	if err != nil || got != *req {
+		t.Fatalf("open request: %v %v", got, err)
+	}
+
+	rep := &OpenReply{Port: "40123", Size: 1 << 33}
+	b = AppendOpenReply(nil, rep)
+	gr, err := ParseOpenReply(b)
+	if err != nil || gr != *rep {
+		t.Fatalf("open reply: %v %v", gr, err)
+	}
+}
+
+func TestStatReplyPayload(t *testing.T) {
+	for _, exists := range []bool{true, false} {
+		b := AppendStatReply(nil, &StatReply{Size: 12345, Exists: exists})
+		got, err := ParseStatReply(b)
+		if err != nil || got.Size != 12345 || got.Exists != exists {
+			t.Fatalf("stat reply: %+v %v", got, err)
+		}
+	}
+}
+
+func TestResendPayload(t *testing.T) {
+	in := []Range{{0, 100}, {500, 1364}, {1 << 40, 7}}
+	b := AppendResend(nil, in)
+	out, err := ParseResend(b)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("range %d = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestResendCapped(t *testing.T) {
+	in := make([]Range, MaxResendRanges+50)
+	b := AppendResend(nil, in)
+	if len(b) > MaxPayload {
+		t.Fatalf("resend payload %d exceeds MaxPayload", len(b))
+	}
+	out, err := ParseResend(b)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(out) != MaxResendRanges {
+		t.Fatalf("len = %d, want %d", len(out), MaxResendRanges)
+	}
+}
+
+func TestErrorPayload(t *testing.T) {
+	b := AppendError(nil, "fragment missing")
+	err := ParseError(b)
+	if err == nil || err.Error() != "agent: fragment missing" {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestShortControlPayloads(t *testing.T) {
+	if _, err := ParseOpenReply([]byte{0, 3, 'a'}); err == nil {
+		t.Fatal("short open reply accepted")
+	}
+	if _, err := ParseStatReply([]byte{1, 2}); err == nil {
+		t.Fatal("short stat reply accepted")
+	}
+	if _, err := ParseResend([]byte{0, 9}); err == nil {
+		t.Fatal("short resend accepted")
+	}
+}
+
+func TestNamesPayload(t *testing.T) {
+	names := []string{"a", "videos/clip.mpg", "", "z"}
+	b, consumed := AppendNames(nil, names)
+	if consumed != len(names) {
+		t.Fatalf("consumed = %d", consumed)
+	}
+	got, err := ParseNames(b)
+	if err != nil || len(got) != len(names) {
+		t.Fatalf("parse: %v %v", got, err)
+	}
+	for i := range names {
+		if got[i] != names[i] {
+			t.Fatalf("name %d = %q", i, got[i])
+		}
+	}
+}
+
+func TestNamesPayloadCapacity(t *testing.T) {
+	// More names than fit in one packet: AppendNames must stop at the
+	// payload limit and report how many it consumed.
+	var names []string
+	for i := 0; i < 2000; i++ {
+		names = append(names, fmt.Sprintf("object-%04d-with-padding-padding", i))
+	}
+	b, consumed := AppendNames(nil, names)
+	if len(b) > MaxPayload {
+		t.Fatalf("payload %d exceeds max", len(b))
+	}
+	if consumed == 0 || consumed >= len(names) {
+		t.Fatalf("consumed = %d of %d", consumed, len(names))
+	}
+	got, err := ParseNames(b)
+	if err != nil || len(got) != consumed {
+		t.Fatalf("parse: %d, %v", len(got), err)
+	}
+	// The remainder fits in subsequent packets.
+	rest := names[consumed:]
+	total := consumed
+	for len(rest) > 0 {
+		_, c := AppendNames(nil, rest)
+		if c == 0 {
+			t.Fatal("no progress")
+		}
+		total += c
+		rest = rest[c:]
+	}
+	if total != len(names) {
+		t.Fatalf("total consumed %d != %d", total, len(names))
+	}
+}
+
+func TestPingReplyPayload(t *testing.T) {
+	in := &PingReply{Objects: 42, Sessions: 7, Bytes: 9 << 30}
+	b := AppendPingReply(nil, in)
+	got, err := ParsePingReply(b)
+	if err != nil || got != *in {
+		t.Fatalf("ping reply = %+v, %v", got, err)
+	}
+	if _, err := ParsePingReply(b[:15]); err == nil {
+		t.Fatal("short ping reply accepted")
+	}
+}
+
+func TestParseNamesShort(t *testing.T) {
+	if _, err := ParseNames([]byte{0}); err == nil {
+		t.Fatal("short names accepted")
+	}
+	if _, err := ParseNames([]byte{0, 2, 0, 9, 'x'}); err == nil {
+		t.Fatal("truncated name accepted")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TData.String() != "data" || TOpen.String() != "open" {
+		t.Fatal("type names wrong")
+	}
+	if Type(200).String() == "" {
+		t.Fatal("unknown type produced empty string")
+	}
+}

@@ -1,0 +1,152 @@
+// Package workload generates synthetic request streams for driving Swift
+// installations and the simulator: Poisson arrivals (the paper's
+// exponential interarrival times), read/write mixes (its conservative 4:1
+// ratio from the Berkeley trace study), and request-size distributions.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Op is one generated request.
+type Op struct {
+	// Read distinguishes reads from writes.
+	Read bool
+	// Object names the target object.
+	Object string
+	// Offset and Size delimit the transfer.
+	Offset int64
+	Size   int64
+	// Start is the arrival time relative to the stream's origin.
+	Start time.Duration
+}
+
+// SizeDist draws request sizes.
+type SizeDist interface {
+	Draw(rng *rand.Rand) int64
+}
+
+// Fixed is a constant request size.
+type Fixed int64
+
+// Draw implements SizeDist.
+func (f Fixed) Draw(*rand.Rand) int64 { return int64(f) }
+
+// Uniform draws sizes uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max int64
+}
+
+// Draw implements SizeDist.
+func (u Uniform) Draw(rng *rand.Rand) int64 {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Int63n(u.Max-u.Min+1)
+}
+
+// Exponential draws sizes exponentially with the given mean, clamped to
+// [Min, Max]. File-size distributions are heavy-tailed; this is the
+// classic simple stand-in.
+type Exponential struct {
+	Mean     float64
+	Min, Max int64
+}
+
+// Draw implements SizeDist.
+func (e Exponential) Draw(rng *rand.Rand) int64 {
+	s := int64(rng.ExpFloat64() * e.Mean)
+	if s < e.Min {
+		s = e.Min
+	}
+	if e.Max > 0 && s > e.Max {
+		s = e.Max
+	}
+	return s
+}
+
+// Config parameterizes a generated stream.
+type Config struct {
+	// Rate is the arrival rate in requests/second (Poisson).
+	Rate float64
+	// ReadFraction is the probability a request is a read
+	// (default 0.8: the paper's 4:1).
+	ReadFraction float64
+	// Sizes draws request sizes (default Fixed(128 KiB)).
+	Sizes SizeDist
+	// Objects is the number of distinct objects addressed
+	// (default 16).
+	Objects int
+	// ObjectSize bounds request offsets within each object
+	// (default 8 MiB).
+	ObjectSize int64
+	// Seed seeds the stream.
+	Seed int64
+}
+
+func (c Config) filled() Config {
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.8
+	}
+	if c.Sizes == nil {
+		c.Sizes = Fixed(128 * 1024)
+	}
+	if c.Objects == 0 {
+		c.Objects = 16
+	}
+	if c.ObjectSize == 0 {
+		c.ObjectSize = 8 << 20
+	}
+	return c
+}
+
+// Generator produces a deterministic request stream.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	now time.Duration
+}
+
+// New creates a generator.
+func New(cfg Config) (*Generator, error) {
+	cfg = cfg.filled()
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("workload: rate must be positive, got %v", cfg.Rate)
+	}
+	if cfg.ReadFraction < 0 || cfg.ReadFraction > 1 {
+		return nil, fmt.Errorf("workload: read fraction %v out of [0,1]", cfg.ReadFraction)
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Next returns the next request in arrival order.
+func (g *Generator) Next() Op {
+	g.now += time.Duration(g.rng.ExpFloat64() / g.cfg.Rate * float64(time.Second))
+	size := g.cfg.Sizes.Draw(g.rng)
+	if size < 1 {
+		size = 1
+	}
+	maxOff := g.cfg.ObjectSize - size
+	var off int64
+	if maxOff > 0 {
+		off = g.rng.Int63n(maxOff + 1)
+	}
+	return Op{
+		Read:   g.rng.Float64() < g.cfg.ReadFraction,
+		Object: fmt.Sprintf("obj%03d", g.rng.Intn(g.cfg.Objects)),
+		Offset: off,
+		Size:   size,
+		Start:  g.now,
+	}
+}
+
+// Take returns the next n requests.
+func (g *Generator) Take(n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

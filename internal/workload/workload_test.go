@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Rate: 0}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := New(Config{Rate: 1, ReadFraction: 1.5}); err == nil {
+		t.Fatal("bad read fraction accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := New(Config{Rate: 10, Seed: 5})
+	b, _ := New(Config{Rate: 10, Seed: 5})
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("generators diverged")
+		}
+	}
+}
+
+func TestArrivalRate(t *testing.T) {
+	g, _ := New(Config{Rate: 50, Seed: 1})
+	ops := g.Take(5000)
+	elapsed := ops[len(ops)-1].Start
+	rate := float64(len(ops)) / elapsed.Seconds()
+	if rate < 45 || rate > 55 {
+		t.Fatalf("measured rate %.1f, want ≈50", rate)
+	}
+	// Arrivals are monotone.
+	var prev time.Duration
+	for _, op := range ops {
+		if op.Start < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		prev = op.Start
+	}
+}
+
+func TestReadFraction(t *testing.T) {
+	g, _ := New(Config{Rate: 10, ReadFraction: 0.8, Seed: 2})
+	reads := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if g.Next().Read {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if math.Abs(frac-0.8) > 0.03 {
+		t.Fatalf("read fraction = %.3f, want ≈0.8", frac)
+	}
+}
+
+func TestSizeDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Fixed(4096).Draw(rng) != 4096 {
+		t.Fatal("fixed size wrong")
+	}
+	u := Uniform{Min: 10, Max: 20}
+	for i := 0; i < 1000; i++ {
+		s := u.Draw(rng)
+		if s < 10 || s > 20 {
+			t.Fatalf("uniform draw %d out of range", s)
+		}
+	}
+	e := Exponential{Mean: 1000, Min: 1, Max: 10000}
+	sum := 0.0
+	for i := 0; i < 20000; i++ {
+		s := e.Draw(rng)
+		if s < 1 || s > 10000 {
+			t.Fatalf("exp draw %d out of range", s)
+		}
+		sum += float64(s)
+	}
+	if mean := sum / 20000; mean < 850 || mean > 1150 {
+		t.Fatalf("exp mean %.0f, want ≈1000 (minus clamp effects)", mean)
+	}
+}
+
+func TestOpsWithinObjectBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := New(Config{
+			Rate:       5,
+			Sizes:      Uniform{Min: 1, Max: 1 << 20},
+			ObjectSize: 4 << 20,
+			Seed:       seed,
+		})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			op := g.Next()
+			if op.Offset < 0 || op.Size < 1 || op.Offset+op.Size > 4<<20 {
+				return false
+			}
+			if op.Object == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package swift is a Go implementation of the Swift I/O architecture from
+// Cabrera & Long, "Exploiting Multiple I/O Streams to Provide High
+// Data-Rates" (USENIX 1991).
+//
+// Swift addresses data-rate mismatches between applications, storage
+// devices, and the interconnect by striping objects over many (slow)
+// storage agents and driving them in parallel, presenting the aggregate as
+// one fast logical store with Unix file semantics. The package provides:
+//
+//   - the distribution agent (client library): Open/Create/Read/Write/
+//     Seek/Close on striped objects over a light-weight datagram protocol;
+//   - the storage agent server (StartAgent), deployable over real UDP or
+//     the in-memory modeled network in internal/transport/memnet;
+//   - computed-copy redundancy: rotating XOR parity with degraded-mode
+//     operation and fragment rebuild;
+//   - a storage mediator (internal/mediator) that reserves agent and
+//     network capacity and picks striping parameters from a client's
+//     data-rate requirement.
+//
+// # Quickstart
+//
+//	host := udpnet.NewHost("127.0.0.1")
+//	// start three storage agents (normally separate machines)
+//	for i := 0; i < 3; i++ {
+//	    st := store.NewMem()
+//	    a, _ := agent.New(host, st, agent.Config{Port: fmt.Sprint(7070+i)})
+//	    defer a.Close()
+//	}
+//	fs, _ := swift.Dial(swift.Config{
+//	    Host:   host,
+//	    Agents: []string{"127.0.0.1:7070", "127.0.0.1:7071", "127.0.0.1:7072"},
+//	})
+//	f, _ := fs.Create("demo")
+//	f.Write([]byte("striped across three servers"))
+//	f.Close()
+//
+// See the examples directory for complete programs.
+package swift
+
+import (
+	"time"
+
+	"swift/internal/agent"
+	"swift/internal/core"
+	"swift/internal/store"
+	"swift/internal/transport"
+)
+
+// Config configures a Swift client (the distribution agent).
+type Config struct {
+	// Host is the client machine's network attachment.
+	Host transport.Host
+	// Agents lists the storage agents' control addresses ("host:port").
+	// Order matters: it defines the striping order.
+	Agents []string
+	// StripeUnit is the striping unit in bytes (default 32 KiB).
+	StripeUnit int64
+	// Parity enables computed-copy redundancy (requires >= 3 agents):
+	// one rotating XOR parity unit per stripe row, tolerating a single
+	// failed agent.
+	Parity bool
+	// SyncWrites makes agents commit each write burst to stable storage
+	// before acknowledging.
+	SyncWrites bool
+	// RequestBytes, WriteWindow, RetryTimeout and MaxRetries tune the
+	// data-transfer protocol; zero values select defaults.
+	RequestBytes int64
+	WriteWindow  int
+	RetryTimeout time.Duration
+	MaxRetries   int
+	// ReadAhead fetches sequential reads in windows of this many bytes
+	// (0 disables). Small sequential readers gain large-burst rates.
+	ReadAhead int64
+	// WritePace inserts a delay between outgoing data packets (the
+	// prototype's kernel-friendly wait loop); Sleep implements it.
+	WritePace time.Duration
+	Sleep     func(time.Duration)
+	// Logf receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// FS is a handle to a striped object store: the Swift distribution agent.
+type FS struct {
+	c *core.Client
+}
+
+// File is an open striped object with Unix file semantics: it implements
+// io.Reader, io.Writer, io.Seeker, io.ReaderAt, io.WriterAt and io.Closer.
+type File = core.File
+
+// OpenFlags control FS.OpenFile.
+type OpenFlags = core.OpenFlags
+
+// Dial creates a Swift client for the given agent set.
+func Dial(cfg Config) (*FS, error) {
+	c, err := core.Dial(core.Config{
+		Host:         cfg.Host,
+		Agents:       cfg.Agents,
+		Unit:         cfg.StripeUnit,
+		Parity:       cfg.Parity,
+		SyncWrites:   cfg.SyncWrites,
+		RequestBytes: cfg.RequestBytes,
+		WriteWindow:  cfg.WriteWindow,
+		RetryTimeout: cfg.RetryTimeout,
+		MaxRetries:   cfg.MaxRetries,
+		ReadAhead:    cfg.ReadAhead,
+		WritePace:    cfg.WritePace,
+		Sleep:        cfg.Sleep,
+		Logf:         cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FS{c: c}, nil
+}
+
+// Open opens an existing object for reading and writing.
+func (fs *FS) Open(name string) (*File, error) {
+	return fs.c.Open(name, core.OpenFlags{})
+}
+
+// Create opens an object, creating it if absent and truncating it
+// otherwise.
+func (fs *FS) Create(name string) (*File, error) {
+	return fs.c.Open(name, core.OpenFlags{Create: true, Truncate: true})
+}
+
+// OpenFile opens an object with explicit flags.
+func (fs *FS) OpenFile(name string, flags OpenFlags) (*File, error) {
+	return fs.c.Open(name, flags)
+}
+
+// Stat returns the logical size of the named object.
+func (fs *FS) Stat(name string) (int64, error) { return fs.c.Stat(name) }
+
+// Remove deletes the named object from all agents.
+func (fs *FS) Remove(name string) error { return fs.c.Remove(name) }
+
+// List returns the names of all objects, sorted.
+func (fs *FS) List() ([]string, error) { return fs.c.List() }
+
+// AgentStatus is one storage agent's health probe result.
+type AgentStatus = core.AgentStatus
+
+// Ping probes every agent and returns their statuses in agent order.
+func (fs *FS) Ping() []AgentStatus { return fs.c.Ping() }
+
+// MarkDown marks agent i failed (true) or restored (false). With parity
+// enabled the client operates in degraded mode around one failed agent.
+func (fs *FS) MarkDown(i int, down bool) { fs.c.MarkDown(i, down) }
+
+// Down reports whether agent i is marked failed.
+func (fs *FS) Down(i int) bool { return fs.c.Down(i) }
+
+// Close releases the client's network resources. Files opened from the
+// FS must be closed separately.
+func (fs *FS) Close() error { return fs.c.Close() }
+
+// AgentConfig configures a storage agent server.
+type AgentConfig = agent.Config
+
+// Agent is a running storage agent server.
+type Agent = agent.Agent
+
+// StartAgent starts a storage agent serving st on the host's well-known
+// port. It is the server-side entry point; cmd/swiftd wraps it.
+func StartAgent(host transport.Host, st store.Store, cfg AgentConfig) (*Agent, error) {
+	return agent.New(host, st, cfg)
+}
+
+// NewMemStore returns an in-memory object store for agents.
+func NewMemStore() store.Store { return store.NewMem() }
+
+// NewFileStore returns a directory-backed object store for agents.
+func NewFileStore(dir string) (store.Store, error) { return store.NewFileStore(dir) }
