@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables figures ablations examples clean
+.PHONY: all build vet test race fuzz bench tables figures ablations examples clean
 
 all: build vet test
 
@@ -16,7 +16,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/transport/... ./internal/nfs/ ./internal/sim/
+	$(GO) test -race ./...
+
+# Short fuzz pass over the wire codecs (CI smoke; go native fuzzing).
+fuzz:
+	$(GO) test ./internal/wire/ -run XXX -fuzz FuzzUnmarshal -fuzztime 20s
+	$(GO) test ./internal/wire/ -run XXX -fuzz FuzzControlPayloads -fuzztime 20s
 
 # One benchmark per paper table/figure plus micro-benchmarks.
 bench:

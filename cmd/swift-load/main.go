@@ -4,10 +4,17 @@
 // throughput — the "normal file system" traffic of the paper's §7, as
 // opposed to the large sequential transfers of Tables 1-4.
 //
+// With -chaos, a deterministic seeded fault schedule (agent crashes,
+// partitions, host pauses, latency spikes, loss and corruption bursts)
+// runs against the installation while the load is applied, the client's
+// background health monitor re-admits recovered agents automatically, and
+// per-operation errors are counted rather than fatal — a chaos soak.
+//
 // Usage:
 //
 //	swift-load -agents 3 -rate 20 -requests 400 -size 64K
 //	swift-load -agents 4 -parity -mix 0.5 -dist exp
+//	swift-load -agents 4 -parity -chaos -chaos-seed 7
 package main
 
 import (
@@ -16,9 +23,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"swift/internal/bench"
 	"swift/internal/core"
+	"swift/internal/faultinject"
 	"swift/internal/stats"
 	"swift/internal/workload"
 )
@@ -35,7 +44,13 @@ func main() {
 	objects := flag.Int("objects", 8, "distinct objects")
 	scale := flag.Float64("scale", 6, "modeled time scale")
 	seed := flag.Int64("seed", 1, "random seed")
+	chaos := flag.Bool("chaos", false, "run a randomized fault schedule against the load")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed")
 	flag.Parse()
+
+	if *chaos && !*parity {
+		fmt.Fprintln(os.Stderr, "swift-load: note: -chaos without -parity will surface errors (no redundancy to mask faults)")
+	}
 
 	size, err := parseSize(*sizeStr)
 	if err != nil {
@@ -55,13 +70,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	cluster, err := bench.NewSwiftCluster(bench.Options{
+	copts := bench.Options{
 		Agents:   *agents,
 		Segments: *segments,
 		Parity:   *parity,
 		Scale:    *scale,
 		Seed:     *seed,
-	})
+	}
+	if *chaos {
+		// The monitor drives automatic suspect/down demotion and
+		// re-admission while faults fly. The give-up budget is cut from
+		// the measurement default (80 modeled seconds of no progress) to
+		// ~3, so failure attribution outpaces the fault schedule.
+		copts.HealthInterval = 300 * time.Millisecond
+		copts.MaxRetries = 8
+	}
+	cluster, err := bench.NewSwiftCluster(copts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "swift-load: %v\n", err)
 		os.Exit(1)
@@ -108,11 +132,44 @@ func main() {
 	fmt.Printf("prefilled %d objects of %d MB; starting %d requests at %.1f req/s (reads %.0f%%)\n",
 		*objects, len(fill)>>20, *requests, *rate, *mix*100)
 
+	// Chaos: walk a deterministic fault schedule in modeled time while
+	// the load runs, healing everything when the load finishes.
+	var ctl *faultinject.Controller
+	var chaosStop, chaosDone chan struct{}
+	if *chaos {
+		ctl = faultinject.New(faultinject.Cluster{
+			Net:        cluster.Net,
+			Segments:   cluster.Segments,
+			AgentHosts: cluster.AgentHosts,
+			Crash:      cluster.CrashAgent,
+			Restart:    cluster.RestartAgent,
+		}, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+		dur := time.Duration(float64(*requests) / *rate * float64(time.Second))
+		sched := faultinject.RandomSchedule(*chaosSeed, faultinject.ScheduleOpts{
+			Agents:   *agents,
+			Segments: *segments,
+			Duration: dur,
+		})
+		fmt.Printf("chaos: %d fault events over %v modeled (seed %d)\n",
+			len(sched), dur, *chaosSeed)
+		chaosStop = make(chan struct{})
+		chaosDone = make(chan struct{})
+		go func() {
+			defer close(chaosDone)
+			if err := ctl.Run(sched, chaosStop); err != nil {
+				fmt.Fprintf(os.Stderr, "swift-load: chaos: %v\n", err)
+			}
+		}()
+	}
+
 	// Replay the stream in modeled time: arrivals are honored against
 	// the modeled clock (open-loop), each request runs to completion
 	// before the next is issued once it has arrived.
 	var readLat, writeLat, allLat stats.Sample
 	var bytesMoved int64
+	opErrs := 0
 	buf := make([]byte, 16<<20)
 	start := cluster.Net.Now()
 	for i := 0; i < *requests; i++ {
@@ -123,16 +180,25 @@ func main() {
 		}
 		f := files[op.Object]
 		t0 := cluster.Net.Now()
+		var opErr error
 		if op.Read {
-			if _, err := f.ReadAt(buf[:op.Size], op.Offset); err != nil {
-				fmt.Fprintf(os.Stderr, "swift-load: read: %v\n", err)
-				os.Exit(1)
-			}
+			_, opErr = f.ReadAt(buf[:op.Size], op.Offset)
 		} else {
-			if _, err := f.WriteAt(buf[:op.Size], op.Offset); err != nil {
-				fmt.Fprintf(os.Stderr, "swift-load: write: %v\n", err)
+			_, opErr = f.WriteAt(buf[:op.Size], op.Offset)
+		}
+		if opErr != nil {
+			kind := "write"
+			if op.Read {
+				kind = "read"
+			}
+			if !*chaos {
+				fmt.Fprintf(os.Stderr, "swift-load: %s: %v\n", kind, opErr)
 				os.Exit(1)
 			}
+			// Under chaos, errors are an outcome, not a crash.
+			opErrs++
+			fmt.Fprintf(os.Stderr, "swift-load: chaos %s error: %v\n", kind, opErr)
+			continue
 		}
 		lat := (cluster.Net.Now() - t0).Seconds() * 1000
 		allLat.Add(lat)
@@ -144,6 +210,14 @@ func main() {
 		bytesMoved += op.Size
 	}
 	elapsed := cluster.Net.Now() - start
+	if *chaos {
+		close(chaosStop)
+		<-chaosDone
+		fmt.Printf("\nchaos: %d faults applied, %d operation errors\n", len(ctl.Log()), opErrs)
+		for _, h := range cluster.Client.ProbeOnce() {
+			fmt.Printf("chaos: agent %-14s %-8v failures=%d\n", h.Addr, h.State, h.Failures)
+		}
+	}
 
 	fmt.Printf("\n%d requests, %.1f MB in %.1f modeled seconds (%.0f KB/s)\n",
 		*requests, float64(bytesMoved)/1e6, elapsed.Seconds(),

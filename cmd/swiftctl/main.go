@@ -15,6 +15,7 @@
 //	ls                    list objects
 //	rm OBJECT             remove an object
 //	status                probe each agent: liveness, RTT, objects, bytes
+//	health                run one health round: lifecycle state per agent
 //	scrub OBJECT          verify parity consistency; -repair fixes rows
 //	bench [-mb N]         measure read & write data-rates against the agents
 //
@@ -38,7 +39,7 @@ import (
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: swiftctl -agents HOST:PORT,... [flags] COMMAND [args]")
-	fmt.Fprintln(os.Stderr, "commands: put get cat stat ls rm status scrub bench")
+	fmt.Fprintln(os.Stderr, "commands: put get cat stat ls rm status health scrub bench")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -117,6 +118,8 @@ func main() {
 		err = cmdRm(fs, args[1:])
 	case "status":
 		err = cmdStatus(fs)
+	case "health":
+		err = cmdHealth(fs)
 	case "scrub":
 		err = cmdScrub(fs, args[1:])
 	case "bench":
@@ -235,6 +238,20 @@ func cmdStatus(fs *swift.FS) error {
 		}
 		fmt.Printf("agent %d  %-22s up  rtt=%-10v objects=%-5d sessions=%-3d bytes=%d\n",
 			i, st.Addr, st.RTT.Round(time.Microsecond), st.Objects, st.Sessions, st.Bytes)
+	}
+	return nil
+}
+
+func cmdHealth(fs *swift.FS) error {
+	for i, h := range fs.CheckHealth() {
+		line := fmt.Sprintf("agent %d  %-22s %-8v", i, h.Addr, h.State)
+		if h.Failures > 0 {
+			line += fmt.Sprintf("  failures=%d", h.Failures)
+		}
+		if h.LastErr != "" {
+			line += fmt.Sprintf("  last=%q", h.LastErr)
+		}
+		fmt.Println(line)
 	}
 	return nil
 }

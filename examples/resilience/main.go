@@ -1,9 +1,15 @@
-// Resilience: computed-copy redundancy surviving an agent failure.
+// Resilience: computed-copy redundancy surviving an agent failure, with
+// detection and recovery fully automatic.
 //
 // Four storage agents hold a striped object with rotating XOR parity.
-// One agent is killed mid-session; reads continue in degraded mode by
-// reconstructing the lost units from the survivors. The agent is then
-// replaced with an empty store and its fragment is rebuilt.
+// One agent is killed mid-session; the next read discovers the failure,
+// reconstructs the lost units from the survivors, and feeds the failure
+// into the client's health lifecycle (healthy → suspect → down). Degraded
+// writes keep the parity consistent. The agent is then restarted, and the
+// client's background health monitor re-admits it on its own: it probes
+// the agent back to life, reopens the file's session, and rebuilds the
+// stale fragment from parity before the agent serves reads again. No
+// manual intervention — no MarkDown, no explicit Rebuild.
 //
 //	go run ./examples/resilience
 package main
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"swift"
 	"swift/internal/transport/udpnet"
@@ -51,6 +58,10 @@ func main() {
 		Agents:     addrs,
 		StripeUnit: 8 * 1024,
 		Parity:     true, // one rotating parity unit per stripe row
+		// The background health monitor: probe every 200ms, and rebuild a
+		// returning agent's fragments from parity before re-admitting it.
+		HealthInterval: 200 * time.Millisecond,
+		AutoRebuild:    true,
 	})
 	if err != nil {
 		log.Fatalf("dial: %v", err)
@@ -63,6 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("create: %v", err)
 	}
+	defer f.Close()
 	if _, err := f.Write(data); err != nil {
 		log.Fatalf("write: %v", err)
 	}
@@ -73,7 +85,8 @@ func main() {
 	agents[victim] = nil
 	fmt.Printf("agent %d killed\n", victim)
 
-	// The next read discovers the failure and reconstructs.
+	// The next read discovers the failure, reconstructs, and marks the
+	// agent in the failure-domain lifecycle.
 	back := make([]byte, len(data))
 	if _, err := f.ReadAt(back, 0); err != nil {
 		log.Fatalf("degraded read: %v", err)
@@ -81,10 +94,11 @@ func main() {
 	if !bytes.Equal(back, data) {
 		log.Fatal("degraded read mismatch")
 	}
-	fmt.Printf("degraded read OK — %d KB reconstructed via XOR parity (agent %d marked down: %v)\n",
-		len(back)>>10, victim, fs.Down(victim))
+	fmt.Printf("degraded read OK — %d KB reconstructed via XOR parity (agent %d now %v)\n",
+		len(back)>>10, victim, fs.Health()[victim].State)
 
-	// Degraded writes keep the parity consistent.
+	// Degraded writes keep the parity consistent; the victim's units go
+	// stale and will need a rebuild before it can serve reads again.
 	patch := make([]byte, 64<<10)
 	rand.New(rand.NewSource(8)).Read(patch)
 	if _, err := f.WriteAt(patch, 100_000); err != nil {
@@ -98,29 +112,29 @@ func main() {
 		log.Fatal("degraded write mismatch")
 	}
 	fmt.Println("degraded write OK — parity kept consistent around the failed agent")
-	if err := f.Close(); err != nil {
-		log.Fatalf("close: %v", err)
-	}
 
-	// Replace the agent with an empty store and rebuild its fragment.
+	// Restart the agent (empty store: the machine came back reimaged).
+	// The health monitor notices on its own: it probes the agent, reopens
+	// the file's session, rebuilds the fragment from the survivors, and
+	// returns the agent to service.
 	start(victim)
-	fs.MarkDown(victim, false)
-	g, err := fs.OpenFile("survivor", swift.OpenFlags{Create: true})
-	if err != nil {
-		log.Fatalf("reopen for rebuild: %v", err)
+	fmt.Printf("agent %d restarted; waiting for automatic re-admission...\n", victim)
+	deadline := time.Now().Add(10 * time.Second)
+	for fs.Health()[victim].State != swift.StateHealthy {
+		if time.Now().After(deadline) {
+			log.Fatalf("agent %d never re-admitted: %+v", victim, fs.Health()[victim])
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
-	if err := g.Rebuild(victim); err != nil {
-		log.Fatalf("rebuild: %v", err)
-	}
-	fmt.Printf("agent %d replaced and its fragment rebuilt from the survivors\n", victim)
+	fmt.Printf("agent %d re-admitted automatically — session reopened, fragment rebuilt\n", victim)
 
-	// A fully healthy read now succeeds without reconstruction.
-	if _, err := g.ReadAt(back, 0); err != nil {
+	// A fully healthy read now succeeds without reconstruction, through
+	// the same open file handle.
+	if _, err := f.ReadAt(back, 0); err != nil {
 		log.Fatalf("healthy read: %v", err)
 	}
 	if !bytes.Equal(back, data) {
-		log.Fatal("post-rebuild mismatch")
+		log.Fatal("post-readmit mismatch")
 	}
-	g.Close()
-	fmt.Println("post-rebuild read OK — installation fully healthy again")
+	fmt.Println("post-readmit read OK — installation fully healthy again")
 }

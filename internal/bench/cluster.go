@@ -39,6 +39,20 @@ type Options struct {
 	SendCPU time.Duration
 	// Seed seeds loss and disk positioning.
 	Seed int64
+	// HealthInterval, when > 0, starts the client's background health
+	// monitor at this modeled-time period (scaled like the protocol
+	// timers).
+	HealthInterval time.Duration
+	// HealthRebuild makes re-admission rebuild a returning agent's
+	// fragments from parity first. At paper-faithful Ethernet rates a
+	// full rebuild takes minutes of modeled time, so soak harnesses
+	// usually leave it off and let re-admission just reopen sessions.
+	HealthRebuild bool
+	// MaxRetries overrides the client's no-progress give-up budget
+	// (≈ MaxRetries × RetryTimeout). The default 200 suits measurement
+	// runs where an op must survive deep loss; chaos soaks set it much
+	// lower so failure attribution outpaces the fault schedule.
+	MaxRetries int
 }
 
 func (o *Options) fill() {
@@ -56,11 +70,13 @@ func (o *Options) fill() {
 // SwiftCluster is a measured Swift installation: a client and N storage
 // agents with modeled SCSI disks on one or more modeled Ethernets.
 type SwiftCluster struct {
-	Net      *memnet.Net
-	Segments []*memnet.Segment
-	Client   *core.Client
-	Agents   []*agent.Agent
-	opts     Options
+	Net        *memnet.Net
+	Segments   []*memnet.Segment
+	Client     *core.Client
+	Agents     []*agent.Agent
+	AgentHosts []*memnet.Host
+	stores     []*store.DiskStore
+	opts       Options
 }
 
 // scaled converts a modeled duration to the real duration protocol timers
@@ -102,6 +118,8 @@ func NewSwiftCluster(opts Options) (*SwiftCluster, error) {
 			return nil, err
 		}
 		c.Agents = append(c.Agents, a)
+		c.AgentHosts = append(c.AgentHosts, host)
+		c.stores = append(c.stores, st)
 		addrs[i] = a.Addr()
 	}
 
@@ -124,6 +142,10 @@ func NewSwiftCluster(opts Options) (*SwiftCluster, error) {
 	if opts.Unit != 0 {
 		unit = opts.Unit
 	}
+	maxRetries := 200
+	if opts.MaxRetries != 0 {
+		maxRetries = opts.MaxRetries
+	}
 	cl, err := core.Dial(core.Config{
 		Host:         clientHost,
 		Agents:       addrs,
@@ -132,7 +154,7 @@ func NewSwiftCluster(opts Options) (*SwiftCluster, error) {
 		RequestBytes: reqBytes,
 		WriteWindow:  2,
 		RetryTimeout: scaled(400*time.Millisecond, opts.Scale),
-		MaxRetries:   200,
+		MaxRetries:   maxRetries,
 		ReadAhead:    opts.ReadAhead,
 		WritePace:    WritePace,
 		Sleep:        n.Sleep,
@@ -141,7 +163,49 @@ func NewSwiftCluster(opts Options) (*SwiftCluster, error) {
 		return nil, err
 	}
 	c.Client = cl
+	if opts.HealthInterval > 0 {
+		err = cl.StartMonitor(core.MonitorConfig{
+			Interval: scaled(opts.HealthInterval, opts.Scale),
+			Rebuild:  opts.HealthRebuild && opts.Parity,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// CrashAgent kills storage agent i's server process: its sessions, handles
+// and private ports die with it; the host and its store survive.
+func (c *SwiftCluster) CrashAgent(i int) error {
+	if i < 0 || i >= len(c.Agents) || c.Agents[i] == nil {
+		return fmt.Errorf("bench: no agent %d to crash", i)
+	}
+	c.Agents[i].Close()
+	c.Agents[i] = nil
+	return nil
+}
+
+// RestartAgent brings a crashed agent back on the same host, store and
+// well-known port, as a rebooted machine would.
+func (c *SwiftCluster) RestartAgent(i int) error {
+	if i < 0 || i >= len(c.Agents) {
+		return fmt.Errorf("bench: no agent %d to restart", i)
+	}
+	if c.Agents[i] != nil {
+		return nil // still running
+	}
+	a, err := agent.New(c.AgentHosts[i], c.stores[i], agent.Config{
+		ResendCheck: scaled(60*time.Millisecond, c.opts.Scale),
+		ResendAfter: scaled(120*time.Millisecond, c.opts.Scale),
+		SessionIdle: scaled(120*time.Second, c.opts.Scale),
+	})
+	if err != nil {
+		return err
+	}
+	c.Agents[i] = a
+	return nil
 }
 
 // Close tears the installation down.
@@ -150,7 +214,9 @@ func (c *SwiftCluster) Close() {
 		c.Client.Close()
 	}
 	for _, a := range c.Agents {
-		a.Close()
+		if a != nil {
+			a.Close()
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -53,10 +54,17 @@ type Config struct {
 	// WriteWindow is the number of write bursts kept in flight per
 	// agent (default 2).
 	WriteWindow int
-	// RetryTimeout is how long to wait for progress on a burst before
-	// resubmitting (default 250ms).
+	// RetryTimeout is the base wait for progress on a burst before
+	// resubmitting (default 250ms). Consecutive silent timeouts back off
+	// exponentially (with jitter) up to MaxRetryTimeout, so a dead agent
+	// is not bombarded on the shared medium.
 	RetryTimeout time.Duration
-	// MaxRetries bounds resubmissions per burst (default 40).
+	// MaxRetryTimeout caps the per-attempt backoff (default
+	// 8×RetryTimeout).
+	MaxRetryTimeout time.Duration
+	// MaxRetries sizes the retransmission budget: an operation gives up
+	// on an agent once roughly MaxRetries×RetryTimeout elapses with no
+	// progress (default 40). Progress refreshes the budget.
 	MaxRetries int
 	// ReadAhead, when > 0, fetches sequential reads in windows of this
 	// many bytes and serves subsequent reads from the window — the
@@ -96,6 +104,9 @@ func (c *Config) fill() error {
 	if c.RetryTimeout == 0 {
 		c.RetryTimeout = 250 * time.Millisecond
 	}
+	if c.MaxRetryTimeout == 0 {
+		c.MaxRetryTimeout = 8 * c.RetryTimeout
+	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 40
 	}
@@ -114,10 +125,16 @@ type Client struct {
 	cfg    Config
 	layout stripe.Layout
 
-	mu   sync.Mutex
-	ctl  transport.PacketConn // shared control conn for stat/remove
-	down []bool               // agents observed unreachable
-	req  atomic.Uint32
+	mu     sync.Mutex
+	ctl    transport.PacketConn // shared control conn for stat/remove
+	health []agentHealth        // per-agent failure-domain state
+	files  map[*File]struct{}   // open files, for automatic re-admission
+	req    atomic.Uint32
+
+	// Background health monitor (see health.go).
+	monCfg  MonitorConfig
+	monStop chan struct{}
+	monDone chan struct{}
 
 	metrics Metrics
 }
@@ -130,6 +147,9 @@ type Metrics struct {
 	WriteTimeouts atomic.Int64 // write bursts re-announced after silence
 	ResendAsks    atomic.Int64 // agent resend requests honoured
 	DataPackets   atomic.Int64 // data packets sent (including resends)
+	Backoffs      atomic.Int64 // retransmission waits grown beyond the base timeout
+	Probes        atomic.Int64 // health probes sent (monitor and Ping)
+	Readmissions  atomic.Int64 // agents automatically returned to service
 }
 
 // Metrics returns the client's protocol counters.
@@ -149,39 +169,78 @@ func Dial(cfg Config) (*Client, error) {
 		cfg:    cfg,
 		layout: stripe.Layout{Unit: cfg.Unit, Agents: len(cfg.Agents), Parity: cfg.Parity},
 		ctl:    ctl,
-		down:   make([]bool, len(cfg.Agents)),
+		health: make([]agentHealth, len(cfg.Agents)),
+		files:  make(map[*File]struct{}),
 	}, nil
 }
 
 // Layout returns the client's striping layout.
 func (c *Client) Layout() stripe.Layout { return c.layout }
 
-// Close releases the client's control endpoint. Open files remain usable
-// until closed individually.
-func (c *Client) Close() error { return c.ctl.Close() }
+// Close stops the health monitor (if running) and releases the client's
+// control endpoint. Open files remain usable until closed individually.
+func (c *Client) Close() error {
+	c.StopMonitor()
+	return c.ctl.Close()
+}
 
-// MarkDown records agent i as failed (true) or recovered (false). With
-// parity enabled, reads and writes continue in degraded mode around a
-// single failed agent.
+// MarkDown forces agent i's state: failed (true) or recovered (false).
+// With parity enabled, reads and writes continue in degraded mode around
+// a single failed agent. Normally the failure-domain lifecycle manages
+// states automatically; MarkDown remains for drills and administrative
+// fencing.
 func (c *Client) MarkDown(i int, down bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if i >= 0 && i < len(c.down) {
-		c.down[i] = down
+	if i < 0 || i >= len(c.health) {
+		return
+	}
+	if down {
+		c.setStateLocked(i, StateDown, "administratively marked down")
+	} else {
+		c.setStateLocked(i, StateHealthy, "")
 	}
 }
 
-// Down reports whether agent i is marked failed.
+// Down reports whether agent i is in the Down state.
 func (c *Client) Down(i int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.down[i]
+	return c.health[i].state == StateDown
 }
 
-func (c *Client) downs() []bool {
+// downSnapshot returns per-agent Down flags.
+func (c *Client) downSnapshot() []bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]bool(nil), c.down...)
+	out := make([]bool, len(c.health))
+	for i := range c.health {
+		out[i] = c.health[i].state == StateDown
+	}
+	return out
+}
+
+// backoff returns the retransmission wait for the given consecutive
+// silent-timeout count (0 = base RetryTimeout): capped exponential growth
+// with ±25% jitter so colliding clients desynchronize.
+func (c *Client) backoff(level int) time.Duration {
+	d := c.cfg.RetryTimeout
+	for i := 0; i < level && d < c.cfg.MaxRetryTimeout; i++ {
+		d *= 2
+	}
+	if d > c.cfg.MaxRetryTimeout {
+		d = c.cfg.MaxRetryTimeout
+	}
+	if j := int64(d / 4); j > 0 {
+		d += time.Duration(rand.Int63n(2*j+1) - j)
+	}
+	return d
+}
+
+// retryBudget is the no-progress interval after which an operation gives
+// up on an agent.
+func (c *Client) retryBudget() time.Duration {
+	return time.Duration(c.cfg.MaxRetries) * c.cfg.RetryTimeout
 }
 
 func (c *Client) nextReq() uint32 { return c.req.Add(1) }
@@ -196,7 +255,7 @@ type OpenFlags struct {
 // File with Unix semantics. With parity enabled, Open tolerates one
 // unreachable agent and enters degraded mode.
 func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
-	down := c.downs()
+	down := c.downSnapshot()
 	sessions := make([]*agentSession, len(c.cfg.Agents))
 	errs := make([]error, len(c.cfg.Agents))
 	var wg sync.WaitGroup
@@ -217,7 +276,9 @@ func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
 	for i := range errs {
 		if errs[i] != nil {
 			failed++
-			c.MarkDown(i, true)
+			if !down[i] {
+				c.noteFailure(i, errs[i])
+			}
 			c.cfg.Logf("core: open %s on agent %d: %v", name, i, errs[i])
 		}
 	}
@@ -255,7 +316,28 @@ func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
 	if flags.Truncate {
 		f.size = 0
 	}
+	c.mu.Lock()
+	c.files[f] = struct{}{}
+	c.mu.Unlock()
 	return f, nil
+}
+
+// dropFile unregisters a closed file from the re-admission set.
+func (c *Client) dropFile(f *File) {
+	c.mu.Lock()
+	delete(c.files, f)
+	c.mu.Unlock()
+}
+
+// openFiles snapshots the registered open files.
+func (c *Client) openFiles() []*File {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*File, 0, len(c.files))
+	for f := range c.files {
+		out = append(out, f)
+	}
+	return out
 }
 
 // agentSession is the client side of one open file on one agent: a
@@ -329,7 +411,11 @@ func (c *Client) rpc(conn transport.PacketConn, addr string, req *wire.Packet, r
 	return c.rpcAttempts(conn, addr, req, reqID, c.cfg.MaxRetries)
 }
 
-// rpcAttempts is rpc with an explicit retransmission budget.
+// rpcAttempts is rpc with an explicit retransmission budget of roughly
+// retries×RetryTimeout. Consecutive timeouts retransmit with capped
+// exponential backoff and jitter so a dead agent is not hammered at a
+// fixed cadence — the control plane shares the data path's storm
+// avoidance.
 func (c *Client) rpcAttempts(conn transport.PacketConn, addr string, req *wire.Packet, reqID uint32, retries int) (*wire.Packet, error) {
 	buf, err := wire.Marshal(req)
 	if err != nil {
@@ -337,11 +423,15 @@ func (c *Client) rpcAttempts(conn transport.PacketConn, addr string, req *wire.P
 	}
 	rbuf := make([]byte, wire.MaxPacket)
 	var pkt wire.Packet
-	for attempt := 0; attempt <= retries; attempt++ {
+	giveUp := time.Now().Add(time.Duration(retries) * c.cfg.RetryTimeout)
+	for attempt := 0; ; attempt++ {
 		if err := conn.WriteTo(buf, addr); err != nil {
 			return nil, err
 		}
-		deadline := time.Now().Add(c.cfg.RetryTimeout)
+		if attempt > 0 {
+			c.metrics.Backoffs.Add(1)
+		}
+		deadline := time.Now().Add(c.backoff(attempt))
 		for {
 			conn.SetReadDeadline(deadline)
 			n, _, err := conn.ReadFrom(rbuf)
@@ -364,8 +454,10 @@ func (c *Client) rpcAttempts(conn transport.PacketConn, addr string, req *wire.P
 			out.Payload = append([]byte(nil), pkt.Payload...)
 			return &out, nil
 		}
+		if !time.Now().Before(giveUp) {
+			return nil, ErrAgentDown
+		}
 	}
-	return nil, ErrAgentDown
 }
 
 // Stat returns the logical size of the named object, or store.ErrNotExist
@@ -376,7 +468,7 @@ func (c *Client) Stat(name string) (int64, error) {
 	frag := make([]int64, len(c.cfg.Agents))
 	exists := false
 	for i, addr := range c.cfg.Agents {
-		if c.down[i] {
+		if c.health[i].state == StateDown {
 			frag[i] = -1
 			continue
 		}
@@ -410,7 +502,7 @@ func (c *Client) List() ([]string, error) {
 	defer c.mu.Unlock()
 	set := make(map[string]bool)
 	for i, addr := range c.cfg.Agents {
-		if c.down[i] {
+		if c.health[i].state == StateDown {
 			continue
 		}
 		names, err := c.listAgent(addr)
@@ -505,33 +597,59 @@ type AgentStatus struct {
 	Bytes    int64
 }
 
-// Ping probes every agent (including ones marked down) and returns their
-// statuses in agent order.
+// Ping probes every agent (including ones marked down) concurrently and
+// returns their statuses in agent order. It holds no client lock and uses
+// a private endpoint per probe, so a dead agent delays the result by at
+// most its own probe budget and never stalls other client operations.
 func (c *Client) Ping() []AgentStatus {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make([]AgentStatus, len(c.cfg.Agents))
+	var wg sync.WaitGroup
 	for i, addr := range c.cfg.Agents {
 		out[i].Addr = addr
-		reqID := c.nextReq()
-		start := time.Now()
-		reply, err := c.rpcAttempts(c.ctl, addr, &wire.Packet{
-			Header: wire.Header{Type: wire.TPing, ReqID: reqID},
-		}, reqID, 2)
-		if err != nil || reply.Type != wire.TPingReply {
-			continue
-		}
-		pr, perr := wire.ParsePingReply(reply.Payload)
-		if perr != nil {
-			continue
-		}
-		out[i].Alive = true
-		out[i].RTT = time.Since(start)
-		out[i].Objects = pr.Objects
-		out[i].Sessions = pr.Sessions
-		out[i].Bytes = pr.Bytes
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			pr, rtt, err := c.probeAgent(addr, 2)
+			if err != nil {
+				return
+			}
+			out[i].Alive = true
+			out[i].RTT = rtt
+			out[i].Objects = pr.Objects
+			out[i].Sessions = pr.Sessions
+			out[i].Bytes = pr.Bytes
+		}(i, addr)
 	}
+	wg.Wait()
 	return out
+}
+
+// probeAgent sends one TPing to addr on a private ephemeral endpoint with
+// the given retry budget. It is safe to call concurrently and takes no
+// client lock.
+func (c *Client) probeAgent(addr string, retries int) (wire.PingReply, time.Duration, error) {
+	conn, err := c.cfg.Host.Listen("0")
+	if err != nil {
+		return wire.PingReply{}, 0, err
+	}
+	defer conn.Close()
+	c.metrics.Probes.Add(1)
+	reqID := c.nextReq()
+	start := time.Now()
+	reply, err := c.rpcAttempts(conn, addr, &wire.Packet{
+		Header: wire.Header{Type: wire.TPing, ReqID: reqID},
+	}, reqID, retries)
+	if err != nil {
+		return wire.PingReply{}, 0, err
+	}
+	if reply.Type != wire.TPingReply {
+		return wire.PingReply{}, 0, fmt.Errorf("core: unexpected %v to ping", reply.Type)
+	}
+	pr, err := wire.ParsePingReply(reply.Payload)
+	if err != nil {
+		return wire.PingReply{}, 0, err
+	}
+	return pr, time.Since(start), nil
 }
 
 // Remove deletes the named object's fragments from all reachable agents.
@@ -540,7 +658,7 @@ func (c *Client) Remove(name string) error {
 	defer c.mu.Unlock()
 	var firstErr error
 	for i, addr := range c.cfg.Agents {
-		if c.down[i] {
+		if c.health[i].state == StateDown {
 			continue
 		}
 		reqID := c.nextReq()

@@ -179,9 +179,14 @@ func (f *File) readRange(dst []byte, off int64, allowFailover bool) error {
 		return nil
 	}
 	if failed < 0 || !f.c.cfg.Parity || !allowFailover {
+		if failed >= 0 {
+			// No failover possible, but the failure is attributable:
+			// feed the lifecycle so the monitor starts probing.
+			f.failAgent(failed, err)
+		}
 		return err
 	}
-	f.failAgent(failed)
+	f.failAgent(failed, err)
 	if f.liveCount() < len(f.sessions)-1 {
 		return ErrNoQuorum
 	}
@@ -322,7 +327,8 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 		return err
 	}
 	f.c.metrics.ReadBursts.Add(1)
-	retries := 0
+	level := 0 // consecutive silent timeouts; drives the backoff
+	giveUp := time.Now().Add(f.c.retryBudget())
 	deadline := time.Now().Add(cfg.RetryTimeout)
 	for !got.Contains(lo, n) {
 		s.conn.SetReadDeadline(deadline)
@@ -331,9 +337,8 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 			if !transport.IsTimeout(err) {
 				return err
 			}
-			retries++
 			f.c.metrics.ReadTimeouts.Add(1)
-			if retries > cfg.MaxRetries {
+			if !time.Now().Before(giveUp) {
 				return fmt.Errorf("%w: read %s[%d:%d] agent %d",
 					ErrRetriesSpent, f.name, lo, lo+n, s.idx)
 			}
@@ -347,7 +352,13 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 					return err
 				}
 			}
-			deadline = time.Now().Add(cfg.RetryTimeout)
+			// Resubmissions back off exponentially (with jitter) so a
+			// silent agent is not hammered on the shared medium.
+			if level > 0 {
+				f.c.metrics.Backoffs.Add(1)
+			}
+			deadline = time.Now().Add(f.c.backoff(level))
+			level++
 			continue
 		}
 		if uerr := wire.Unmarshal(s.buf[:rn], &pkt); uerr != nil {
@@ -361,6 +372,9 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 		}
 		sink(pkt.Offset, pkt.Payload)
 		got.Add(pkt.Offset, int64(len(pkt.Payload)))
+		// Progress: reset the backoff and refresh the give-up budget.
+		level = 0
+		giveUp = time.Now().Add(f.c.retryBudget())
 		deadline = time.Now().Add(cfg.RetryTimeout)
 	}
 	return nil
@@ -407,9 +421,12 @@ func (f *File) writeRange(src []byte, off int64, allowFailover bool) error {
 		return nil
 	}
 	if failed < 0 || !f.c.cfg.Parity || !allowFailover {
+		if failed >= 0 {
+			f.failAgent(failed, err)
+		}
 		return err
 	}
-	f.failAgent(failed)
+	f.failAgent(failed, err)
 	if f.liveCount() < len(f.sessions)-1 {
 		return ErrNoQuorum
 	}
@@ -471,8 +488,9 @@ func (f *File) writeRangeOnce(src []byte, off int64) (failedAgent int, err error
 type wburst struct {
 	reqID    uint32
 	lo, n    int64
-	lastSend time.Time
-	retries  int
+	deadline time.Time // next retransmission time (backed off)
+	giveUp   time.Time // abandon the agent if no progress by then
+	retries  int       // consecutive silent re-announces; drives backoff
 }
 
 // agentWrite streams the fragment extents to one agent: announce each
@@ -549,7 +567,12 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 		for len(pending) < cfg.WriteWindow && next < len(bursts) {
 			sp := bursts[next]
 			next++
-			b := &wburst{reqID: f.c.nextReq(), lo: sp.lo, n: sp.n, lastSend: time.Now()}
+			now := time.Now()
+			b := &wburst{
+				reqID: f.c.nextReq(), lo: sp.lo, n: sp.n,
+				deadline: now.Add(cfg.RetryTimeout),
+				giveUp:   now.Add(f.c.retryBudget()),
+			}
 			pending[b.reqID] = b
 			f.c.metrics.WriteBursts.Add(1)
 			if err := announce(b); err != nil {
@@ -563,8 +586,8 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 		// Earliest pending deadline.
 		oldest := time.Now().Add(cfg.RetryTimeout)
 		for _, b := range pending {
-			if d := b.lastSend.Add(cfg.RetryTimeout); d.Before(oldest) {
-				oldest = d
+			if b.deadline.Before(oldest) {
+				oldest = b.deadline
 			}
 		}
 		s.conn.SetReadDeadline(oldest)
@@ -575,18 +598,22 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 			}
 			now := time.Now()
 			for _, b := range pending {
-				if now.Sub(b.lastSend) < cfg.RetryTimeout {
+				if now.Before(b.deadline) {
 					continue
 				}
-				b.retries++
 				f.c.metrics.WriteTimeouts.Add(1)
-				if b.retries > cfg.MaxRetries {
+				if !now.Before(b.giveUp) {
 					return fmt.Errorf("%w: write %s[%d:%d] agent %d",
 						ErrRetriesSpent, f.name, b.lo, b.lo+b.n, s.idx)
 				}
 				// Re-announce: the agent re-acks if complete or
-				// requests exactly what is missing.
-				b.lastSend = now
+				// requests exactly what is missing. Consecutive silent
+				// re-announces back off exponentially with jitter.
+				if b.retries > 0 {
+					f.c.metrics.Backoffs.Add(1)
+				}
+				b.deadline = now.Add(f.c.backoff(b.retries))
+				b.retries++
 				if err := announce(b); err != nil {
 					return err
 				}
@@ -608,7 +635,11 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 			if perr != nil {
 				continue
 			}
-			b.lastSend = time.Now()
+			// The agent is alive and told us what it wants: progress.
+			// Reset the backoff and refresh the give-up budget.
+			b.retries = 0
+			b.deadline = time.Now().Add(cfg.RetryTimeout)
+			b.giveUp = time.Now().Add(f.c.retryBudget())
 			f.c.metrics.ResendAsks.Add(1)
 			for _, r := range ranges {
 				if err := sendData(b, r.Off, r.Len); err != nil {
@@ -739,15 +770,19 @@ func (f *File) Close() error {
 		return nil
 	}
 	f.closed = true
+	f.c.dropFile(f)
 	var firstErr error
 	for _, s := range f.sessions {
 		if s == nil {
 			continue
 		}
 		reqID := f.c.nextReq()
-		_, err := f.c.rpc(s.conn, s.dataAddr, &wire.Packet{
+		// Best-effort with a small budget: a dead agent reaps the
+		// session on its idle timer anyway, and a full retry budget per
+		// dead agent would stall the caller for seconds.
+		_, err := f.c.rpcAttempts(s.conn, s.dataAddr, &wire.Packet{
 			Header: wire.Header{Type: wire.TClose, ReqID: reqID, Handle: s.handle},
-		}, reqID)
+		}, reqID, 2)
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("core: close agent %d: %w", s.idx, err)
 		}
@@ -756,8 +791,11 @@ func (f *File) Close() error {
 	return firstErr
 }
 
-// failAgent tears down the session of a failed agent and marks it down.
-func (f *File) failAgent(i int) {
+// failAgent tears down the session of a failed agent and feeds the
+// attributable error into the failure-domain lifecycle (healthy → suspect
+// → down; see health.go). The health monitor re-opens the session when the
+// agent answers probes again.
+func (f *File) failAgent(i int, err error) {
 	if i < 0 || i >= len(f.sessions) {
 		return
 	}
@@ -765,7 +803,38 @@ func (f *File) failAgent(i int) {
 		s.close()
 		f.sessions[i] = nil
 	}
-	f.c.MarkDown(i, true)
+	f.c.noteFailure(i, err)
+}
+
+// readmit re-opens this file's session on a recovered agent and, when
+// rebuild is set and parity is enabled, reconstructs the agent's fragment
+// from the survivors before the session becomes visible — units written
+// degraded while the agent was out would otherwise be served stale. File
+// operations serialize under f.mu, so no read can observe the fresh
+// session before the rebuild completes.
+func (f *File) readmit(idx int, rebuild bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	if idx < 0 || idx >= len(f.sessions) || f.sessions[idx] != nil {
+		return nil // nothing to re-open
+	}
+	s, err := f.c.openSession(idx, f.c.cfg.Agents[idx], f.name, OpenFlags{Create: true})
+	if err != nil {
+		return err
+	}
+	f.sessions[idx] = s
+	if rebuild && f.c.cfg.Parity {
+		if err := f.rebuildLocked(idx); err != nil {
+			f.sessions[idx] = nil
+			s.close()
+			return err
+		}
+	}
+	f.raInvalidate()
+	return nil
 }
 
 func (f *File) liveCount() int {

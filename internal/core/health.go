@@ -1,0 +1,254 @@
+package core
+
+import (
+	"time"
+)
+
+// This file implements the client's automatic failure-domain lifecycle.
+//
+// Each storage agent moves through three states:
+//
+//	Healthy ──(attributable error)──▶ Suspect ──(second strike or
+//	    ▲                                          failed probe)──▶ Down
+//	    └──────────(probe succeeds; sessions reopened, fragment
+//	                rebuilt under parity)───────────────────────────┘
+//
+// Attributable errors (ErrRetriesSpent, ErrAgentDown from a specific
+// agent) feed the lifecycle with no caller intervention: the data path
+// reports them via noteFailure as it fails over. A background health
+// monitor (StartMonitor) probes non-healthy agents, and on recovery
+// re-opens every open file's session on that agent — handles die with the
+// agent process, so fresh ones are negotiated — optionally rebuilds the
+// agent's fragments from parity, and returns the agent to service.
+
+// AgentState is one agent's position in the failure-domain lifecycle.
+type AgentState int
+
+// Lifecycle states.
+const (
+	// StateHealthy: the agent is answering and carries traffic.
+	StateHealthy AgentState = iota
+	// StateSuspect: an attributable error was observed; the data path
+	// has failed over and the monitor is probing for a verdict.
+	StateSuspect
+	// StateDown: repeated strikes or a failed probe confirmed the agent
+	// unreachable. Control-plane operations skip it; parity masks it.
+	StateDown
+)
+
+var stateNames = [...]string{"healthy", "suspect", "down"}
+
+func (s AgentState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "state(?)"
+}
+
+// agentHealth is the client's internal per-agent lifecycle record.
+type agentHealth struct {
+	state    AgentState
+	since    time.Time // when state last changed
+	failures int64     // attributable failures observed since last healthy
+	lastErr  string    // most recent attributable error
+}
+
+// AgentHealth is one agent's lifecycle snapshot.
+type AgentHealth struct {
+	Addr     string
+	State    AgentState
+	Since    time.Time // when the state was entered
+	Failures int64     // attributable failures since last healthy
+	LastErr  string    // most recent attributable error ("" if none)
+}
+
+// Health returns every agent's lifecycle snapshot, in agent order.
+func (c *Client) Health() []AgentHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]AgentHealth, len(c.health))
+	for i, h := range c.health {
+		out[i] = AgentHealth{
+			Addr:     c.cfg.Agents[i],
+			State:    h.state,
+			Since:    h.since,
+			Failures: h.failures,
+			LastErr:  h.lastErr,
+		}
+	}
+	return out
+}
+
+// setStateLocked transitions agent i; c.mu must be held.
+func (c *Client) setStateLocked(i int, s AgentState, why string) {
+	h := &c.health[i]
+	if h.state == s {
+		return
+	}
+	c.cfg.Logf("core: agent %d (%s): %v -> %v (%s)",
+		i, c.cfg.Agents[i], h.state, s, why)
+	h.state = s
+	h.since = time.Now()
+	if s == StateHealthy {
+		h.failures = 0
+		h.lastErr = ""
+	}
+}
+
+// noteFailure records an attributable error against agent i: a healthy
+// agent becomes suspect; a suspect agent's second strike takes it down.
+func (c *Client) noteFailure(i int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.health) {
+		return
+	}
+	h := &c.health[i]
+	h.failures++
+	if err != nil {
+		h.lastErr = err.Error()
+	}
+	switch h.state {
+	case StateHealthy:
+		c.setStateLocked(i, StateSuspect, "attributable error")
+	case StateSuspect:
+		c.setStateLocked(i, StateDown, "repeated attributable errors")
+	}
+}
+
+// MonitorConfig tunes the background health monitor.
+type MonitorConfig struct {
+	// Interval is the probe period (default 500ms).
+	Interval time.Duration
+	// ProbeRetries sizes each probe's retry budget (default 2, i.e.
+	// roughly 2×RetryTimeout per probe before an agent is written off
+	// for the round).
+	ProbeRetries int
+	// Rebuild, with parity enabled, reconstructs a re-admitted agent's
+	// fragments from the survivors before the agent serves reads again,
+	// so units written degraded while it was out are never served stale.
+	Rebuild bool
+}
+
+func (mc *MonitorConfig) fill() {
+	if mc.Interval == 0 {
+		mc.Interval = 500 * time.Millisecond
+	}
+	if mc.ProbeRetries == 0 {
+		mc.ProbeRetries = 2
+	}
+}
+
+// StartMonitor launches the background health monitor: every Interval it
+// probes every agent, demotes silent ones (healthy→suspect→down) even
+// when no traffic is flowing, and re-admits recovered ones — reopening
+// per-file sessions and, with Rebuild set, reconstructing their fragments
+// first. Stop with StopMonitor or Client.Close.
+func (c *Client) StartMonitor(mc MonitorConfig) error {
+	mc.fill()
+	c.mu.Lock()
+	if c.monStop != nil {
+		c.mu.Unlock()
+		return nil // already running
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.monCfg = mc
+	c.monStop = stop
+	c.monDone = done
+	c.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(mc.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.ProbeOnce()
+			}
+		}
+	}()
+	return nil
+}
+
+// StopMonitor stops the background health monitor, if running, and waits
+// for its current round to finish.
+func (c *Client) StopMonitor() {
+	c.mu.Lock()
+	stop, done := c.monStop, c.monDone
+	c.monStop, c.monDone = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// ProbeOnce runs one synchronous health round: it pings every agent
+// concurrently, applies lifecycle transitions, re-admits recovered
+// agents, and returns the resulting snapshot. The monitor calls it on a
+// timer; swiftctl's health command calls it directly.
+func (c *Client) ProbeOnce() []AgentHealth {
+	c.mu.Lock()
+	mc := c.monCfg
+	c.mu.Unlock()
+	mc.fill()
+
+	type verdict struct{ ok bool }
+	verdicts := make([]verdict, len(c.cfg.Agents))
+	var wgDone = make(chan int, len(c.cfg.Agents))
+	for i, addr := range c.cfg.Agents {
+		go func(i int, addr string) {
+			_, _, err := c.probeAgent(addr, mc.ProbeRetries)
+			verdicts[i] = verdict{ok: err == nil}
+			wgDone <- i
+		}(i, addr)
+	}
+	for range c.cfg.Agents {
+		<-wgDone
+	}
+
+	for i := range verdicts {
+		c.mu.Lock()
+		state := c.health[i].state
+		c.mu.Unlock()
+		switch {
+		case verdicts[i].ok && state != StateHealthy:
+			c.readmit(i, mc.Rebuild)
+		case !verdicts[i].ok:
+			c.mu.Lock()
+			switch state {
+			case StateHealthy:
+				c.health[i].failures++
+				c.health[i].lastErr = "health probe unanswered"
+				c.setStateLocked(i, StateSuspect, "health probe unanswered")
+			case StateSuspect:
+				c.setStateLocked(i, StateDown, "health probe unanswered")
+			}
+			c.mu.Unlock()
+		}
+	}
+	return c.Health()
+}
+
+// readmit returns a recovered agent to service: every registered open
+// file re-opens its session on the agent (the old handle died with the
+// agent process) and, when rebuild is set and parity is on, rebuilds the
+// agent's fragment from the survivors before the session becomes visible.
+// Only when every file succeeds is the agent marked healthy; otherwise it
+// stays in its current state and the next round retries.
+func (c *Client) readmit(i int, rebuild bool) {
+	for _, f := range c.openFiles() {
+		if err := f.readmit(i, rebuild); err != nil {
+			c.cfg.Logf("core: readmit agent %d: %s: %v", i, f.Name(), err)
+			return
+		}
+	}
+	c.mu.Lock()
+	c.setStateLocked(i, StateHealthy, "probe answered; sessions reopened")
+	c.mu.Unlock()
+	c.metrics.Readmissions.Add(1)
+}

@@ -52,7 +52,10 @@ func (f *File) computeParity(src []byte, off int64) (map[int64][]byte, error) {
 }
 
 // fillOldRow reads the pre-write content of row bytes outside [covLo,
-// covHi) into rowData (whose first byte is logical offset rowOff).
+// covHi) into rowData (whose first byte is logical offset rowOff). The
+// read is failover-capable: a write's read-modify-write must survive a
+// single agent failure (reading the old bytes degraded) or a mid-write
+// crash would fail the whole write even though parity covers it.
 func (f *File) fillOldRow(rowData []byte, rowOff, covLo, covHi int64) error {
 	rb := int64(len(rowData))
 	read := func(lo, hi int64) error {
@@ -62,7 +65,7 @@ func (f *File) fillOldRow(rowData []byte, rowOff, covLo, covHi int64) error {
 		if lo >= hi {
 			return nil
 		}
-		return f.readRange(rowData[lo-rowOff:hi-rowOff], lo, false)
+		return f.readRange(rowData[lo-rowOff:hi-rowOff], lo, true)
 	}
 	if err := read(rowOff, covLo); err != nil {
 		return err
@@ -294,15 +297,21 @@ func (f *File) RepairRow(r int64) error {
 
 // Rebuild reconstructs every unit (data and parity) that agent idx should
 // hold for this file and writes it back to that agent, then trims the
-// fragment to its expected size. The caller must have restored the agent
-// (Client.MarkDown(idx, false)) and reopened the file so a session to it
-// exists.
+// fragment to its expected size. A session to the agent must exist; the
+// health monitor performs this automatically on re-admission when
+// MonitorConfig.Rebuild is set.
 func (f *File) Rebuild(idx int) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
 		return ErrClosed
 	}
+	return f.rebuildLocked(idx)
+}
+
+// rebuildLocked is Rebuild with f.mu held (re-admission calls it before
+// the fresh session becomes visible to reads).
+func (f *File) rebuildLocked(idx int) error {
 	if !f.c.cfg.Parity {
 		return fmt.Errorf("core: rebuild requires parity")
 	}

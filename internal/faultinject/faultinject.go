@@ -1,0 +1,392 @@
+// Package faultinject is a runtime fault controller for modeled Swift
+// installations on internal/transport/memnet. It turns the static knobs a
+// test could only set at construction time (a segment's LossRate, a
+// manually Close()d agent) into faults that can be injected and healed
+// while traffic is flowing:
+//
+//   - crash and restart an agent process (file handles die with it);
+//   - pause and resume an agent's host (frozen protocol stack, frames
+//     queue in its ingress buffer);
+//   - partition an agent off its segments and heal the partition;
+//   - spike a segment's latency;
+//   - flip a segment's frame-loss rate (a loss burst);
+//   - corrupt payload bytes in transit (exercising wire's CRC and the
+//     control-payload parsers).
+//
+// Faults are described by Events and applied either one at a time
+// (Controller.Apply) or as a deterministic, seeded schedule walked in
+// modeled time (Controller.Run). RandomSchedule generates serialized
+// fault windows — at most one fault active at any instant — so a
+// parity-protected installation should mask every window.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"swift/internal/transport/memnet"
+)
+
+// Kind identifies a fault (or its healing counterpart).
+type Kind int
+
+// Fault kinds. Each *Burst/Spike/Crash/Pause/Partition kind has a healing
+// counterpart that restores normal operation.
+const (
+	KindInvalid Kind = iota
+	KindCrashAgent     // kill the agent process; its sessions and handles die
+	KindRestartAgent   // restart the agent process on the same host and store
+	KindPauseHost      // freeze the agent host's protocol stack
+	KindResumeHost     // thaw it
+	KindPartition      // isolate the agent's host on all its segments
+	KindHealPartition  // clear every isolation on the agent's segments
+	KindLatencySpike   // add Event.Latency to the segment's delivery time
+	KindLatencyClear   // restore normal latency
+	KindLossBurst      // set the segment's loss rate to Event.Rate
+	KindLossClear      // restore zero injected loss
+	KindCorruptBurst   // flip payload bytes with probability Event.Rate
+	KindCorruptClear   // stop corrupting
+)
+
+var kindNames = [...]string{
+	"invalid", "crash-agent", "restart-agent", "pause-host", "resume-host",
+	"partition", "heal-partition", "latency-spike", "latency-clear",
+	"loss-burst", "loss-clear", "corrupt-burst", "corrupt-clear",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fault transition.
+type Event struct {
+	// At is the modeled instant (offset from Run's start) to apply the
+	// event.
+	At time.Duration
+	// Kind selects the fault.
+	Kind Kind
+	// Agent is the target agent index for agent/host faults.
+	Agent int
+	// Segment is the target segment index for medium faults.
+	Segment int
+	// Rate parameterizes loss and corruption bursts.
+	Rate float64
+	// Latency parameterizes latency spikes.
+	Latency time.Duration
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case KindLatencySpike:
+		return fmt.Sprintf("%v seg%d +%v @%v", e.Kind, e.Segment, e.Latency, e.At)
+	case KindLossBurst, KindCorruptBurst:
+		return fmt.Sprintf("%v seg%d %.0f%% @%v", e.Kind, e.Segment, e.Rate*100, e.At)
+	case KindLatencyClear, KindLossClear, KindCorruptClear:
+		return fmt.Sprintf("%v seg%d @%v", e.Kind, e.Segment, e.At)
+	default:
+		return fmt.Sprintf("%v agent%d @%v", e.Kind, e.Agent, e.At)
+	}
+}
+
+// Cluster names the injectable parts of an installation. Crash and
+// Restart are callbacks because agent processes are owned by the harness,
+// not the network model.
+type Cluster struct {
+	// Net provides the modeled clock the schedule is walked against.
+	Net *memnet.Net
+	// Segments are the media that latency/loss/corruption faults target.
+	Segments []*memnet.Segment
+	// AgentHosts holds each agent's host, index-aligned with the
+	// client's agent order.
+	AgentHosts []*memnet.Host
+	// Crash kills agent i's server process (e.g. agent.Close). Nil
+	// disables crash/restart events.
+	Crash func(i int) error
+	// Restart brings agent i's server process back on the same host and
+	// store, with fresh (empty) session state.
+	Restart func(i int) error
+}
+
+// Controller applies fault events to a cluster and keeps a log of what it
+// did, for failure forensics in soak harnesses.
+type Controller struct {
+	c    Cluster
+	logf func(format string, args ...any)
+
+	mu  sync.Mutex
+	log []string
+}
+
+// New creates a controller. logf (may be nil) receives one line per
+// applied event.
+func New(c Cluster, logf func(format string, args ...any)) *Controller {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Controller{c: c, logf: logf}
+}
+
+// Log returns the events applied so far, oldest first.
+func (ctl *Controller) Log() []string {
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	return append([]string(nil), ctl.log...)
+}
+
+func (ctl *Controller) record(e Event) {
+	line := e.String()
+	ctl.mu.Lock()
+	ctl.log = append(ctl.log, line)
+	ctl.mu.Unlock()
+	ctl.logf("faultinject: %s", line)
+}
+
+func (ctl *Controller) segment(i int) (*memnet.Segment, error) {
+	if i < 0 || i >= len(ctl.c.Segments) {
+		return nil, fmt.Errorf("faultinject: no segment %d", i)
+	}
+	return ctl.c.Segments[i], nil
+}
+
+func (ctl *Controller) host(i int) (*memnet.Host, error) {
+	if i < 0 || i >= len(ctl.c.AgentHosts) {
+		return nil, fmt.Errorf("faultinject: no agent host %d", i)
+	}
+	return ctl.c.AgentHosts[i], nil
+}
+
+// Apply executes one event immediately.
+func (ctl *Controller) Apply(e Event) error {
+	switch e.Kind {
+	case KindCrashAgent:
+		if ctl.c.Crash == nil {
+			return fmt.Errorf("faultinject: no Crash callback")
+		}
+		if err := ctl.c.Crash(e.Agent); err != nil {
+			return fmt.Errorf("faultinject: crash agent %d: %w", e.Agent, err)
+		}
+	case KindRestartAgent:
+		if ctl.c.Restart == nil {
+			return fmt.Errorf("faultinject: no Restart callback")
+		}
+		if err := ctl.c.Restart(e.Agent); err != nil {
+			return fmt.Errorf("faultinject: restart agent %d: %w", e.Agent, err)
+		}
+	case KindPauseHost, KindResumeHost:
+		h, err := ctl.host(e.Agent)
+		if err != nil {
+			return err
+		}
+		h.SetPaused(e.Kind == KindPauseHost)
+	case KindPartition:
+		h, err := ctl.host(e.Agent)
+		if err != nil {
+			return err
+		}
+		for _, s := range ctl.c.Segments {
+			s.Isolate(h.Name())
+		}
+	case KindHealPartition:
+		for _, s := range ctl.c.Segments {
+			s.Heal()
+		}
+	case KindLatencySpike, KindLatencyClear:
+		s, err := ctl.segment(e.Segment)
+		if err != nil {
+			return err
+		}
+		if e.Kind == KindLatencySpike {
+			s.SetExtraLatency(e.Latency)
+		} else {
+			s.SetExtraLatency(0)
+		}
+	case KindLossBurst, KindLossClear:
+		s, err := ctl.segment(e.Segment)
+		if err != nil {
+			return err
+		}
+		if e.Kind == KindLossBurst {
+			s.SetLossRate(e.Rate)
+		} else {
+			s.SetLossRate(0)
+		}
+	case KindCorruptBurst, KindCorruptClear:
+		s, err := ctl.segment(e.Segment)
+		if err != nil {
+			return err
+		}
+		if e.Kind == KindCorruptBurst {
+			s.SetCorruptRate(e.Rate)
+		} else {
+			s.SetCorruptRate(0)
+		}
+	default:
+		return fmt.Errorf("faultinject: unknown event kind %v", e.Kind)
+	}
+	ctl.record(e)
+	return nil
+}
+
+// Run walks the schedule in modeled time: it sleeps until each event's
+// instant (relative to the modeled clock at the call) and applies it.
+// Closing stop (may be nil) abandons the remaining events; Run then heals
+// everything it can so the installation is left fault-free. The first
+// apply error aborts the walk (after healing) and is returned.
+func (ctl *Controller) Run(schedule []Event, stop <-chan struct{}) error {
+	evs := append([]Event(nil), schedule...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	start := ctl.c.Net.Now()
+	var firstErr error
+	for _, e := range evs {
+		for {
+			if stopped(stop) {
+				ctl.HealAll()
+				return firstErr
+			}
+			now := ctl.c.Net.Now() - start
+			if now >= e.At {
+				break
+			}
+			d := e.At - now
+			if d > 5*time.Millisecond {
+				d = 5 * time.Millisecond // stay responsive to stop
+			}
+			ctl.c.Net.Sleep(d)
+		}
+		if err := ctl.Apply(e); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		ctl.HealAll()
+	}
+	return firstErr
+}
+
+func stopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// HealAll clears every medium fault and partition and resumes every
+// paused host. It does not restart crashed agents (the harness owns
+// process lifecycle).
+func (ctl *Controller) HealAll() {
+	for _, s := range ctl.c.Segments {
+		s.Heal()
+		s.SetLossRate(0)
+		s.SetExtraLatency(0)
+		s.SetCorruptRate(0)
+	}
+	for _, h := range ctl.c.AgentHosts {
+		h.SetPaused(false)
+	}
+}
+
+// ScheduleOpts shapes RandomSchedule.
+type ScheduleOpts struct {
+	// Agents and Segments size the target space (required, >= 1 each).
+	Agents   int
+	Segments int
+	// Duration is the total schedule length (required).
+	Duration time.Duration
+	// MinFault/MaxFault bound each fault window (defaults Duration/20
+	// and Duration/8).
+	MinFault time.Duration
+	MaxFault time.Duration
+	// Gap is the fault-free recovery window between faults (default
+	// MaxFault). It must comfortably exceed the health monitor's probe
+	// interval for automatic re-admission to finish between windows.
+	Gap time.Duration
+	// Kinds restricts the fault families used (default: crash,
+	// partition, pause, latency, loss, corrupt).
+	Kinds []Kind
+}
+
+// RandomSchedule builds a deterministic, seeded schedule of serialized
+// fault windows: each window applies one fault and heals it before the
+// next begins, so at most one agent is ever impaired — the regime in
+// which computed-copy redundancy guarantees availability. Every requested
+// fault family occurs at least once if the duration allows.
+func RandomSchedule(seed int64, o ScheduleOpts) []Event {
+	if o.MinFault == 0 {
+		o.MinFault = o.Duration / 20
+	}
+	if o.MaxFault == 0 {
+		o.MaxFault = o.Duration / 8
+	}
+	if o.MaxFault < o.MinFault {
+		o.MaxFault = o.MinFault
+	}
+	if o.Gap == 0 {
+		o.Gap = o.MaxFault
+	}
+	kinds := o.Kinds
+	if kinds == nil {
+		kinds = []Kind{KindCrashAgent, KindPartition, KindPauseHost,
+			KindLatencySpike, KindLossBurst, KindCorruptBurst}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var evs []Event
+	t := o.Gap // let traffic establish itself first
+	for i := 0; ; i++ {
+		window := o.MinFault
+		if o.MaxFault > o.MinFault {
+			window += time.Duration(rng.Int63n(int64(o.MaxFault - o.MinFault)))
+		}
+		if t+window+o.Gap > o.Duration {
+			break
+		}
+		// Round-robin through the families first so each occurs at
+		// least once, then draw at random.
+		kind := kinds[i%len(kinds)]
+		if i >= len(kinds) {
+			kind = kinds[rng.Intn(len(kinds))]
+		}
+		agent := rng.Intn(o.Agents)
+		seg := rng.Intn(o.Segments)
+		switch kind {
+		case KindCrashAgent:
+			evs = append(evs,
+				Event{At: t, Kind: KindCrashAgent, Agent: agent},
+				Event{At: t + window, Kind: KindRestartAgent, Agent: agent})
+		case KindPartition:
+			evs = append(evs,
+				Event{At: t, Kind: KindPartition, Agent: agent},
+				Event{At: t + window, Kind: KindHealPartition, Agent: agent})
+		case KindPauseHost:
+			evs = append(evs,
+				Event{At: t, Kind: KindPauseHost, Agent: agent},
+				Event{At: t + window, Kind: KindResumeHost, Agent: agent})
+		case KindLatencySpike:
+			lat := time.Duration(1+rng.Int63n(8)) * time.Millisecond
+			evs = append(evs,
+				Event{At: t, Kind: KindLatencySpike, Segment: seg, Latency: lat},
+				Event{At: t + window, Kind: KindLatencyClear, Segment: seg})
+		case KindLossBurst:
+			evs = append(evs,
+				Event{At: t, Kind: KindLossBurst, Segment: seg, Rate: 0.05 + 0.20*rng.Float64()},
+				Event{At: t + window, Kind: KindLossClear, Segment: seg})
+		case KindCorruptBurst:
+			evs = append(evs,
+				Event{At: t, Kind: KindCorruptBurst, Segment: seg, Rate: 0.02 + 0.08*rng.Float64()},
+				Event{At: t + window, Kind: KindCorruptClear, Segment: seg})
+		}
+		t += window + o.Gap
+	}
+	return evs
+}

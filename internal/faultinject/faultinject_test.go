@@ -1,0 +1,194 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"swift/internal/transport/memnet"
+)
+
+func testCluster(t *testing.T) (Cluster, *memnet.Host, *memnet.Host) {
+	t.Helper()
+	n := memnet.New(1)
+	seg := n.NewSegment("s", memnet.SegmentConfig{BandwidthBps: 1e10, FrameOverhead: 46})
+	a := n.MustHost("agent0", memnet.HostConfig{}, seg)
+	b := n.MustHost("client", memnet.HostConfig{}, seg)
+	return Cluster{
+		Net:        n,
+		Segments:   []*memnet.Segment{seg},
+		AgentHosts: []*memnet.Host{a},
+	}, a, b
+}
+
+// TestApplyMediumFaults: medium events flip the segment's runtime state
+// and their heal counterparts restore it.
+func TestApplyMediumFaults(t *testing.T) {
+	c, host, _ := testCluster(t)
+	ctl := New(c, t.Logf)
+	seg := c.Segments[0]
+
+	cases := []struct {
+		fault, heal Event
+	}{
+		{Event{Kind: KindLossBurst, Rate: 0.5}, Event{Kind: KindLossClear}},
+		{Event{Kind: KindLatencySpike, Latency: 5 * time.Millisecond}, Event{Kind: KindLatencyClear}},
+		{Event{Kind: KindCorruptBurst, Rate: 0.1}, Event{Kind: KindCorruptClear}},
+	}
+	for _, tc := range cases {
+		if err := ctl.Apply(tc.fault); err != nil {
+			t.Fatalf("apply %v: %v", tc.fault.Kind, err)
+		}
+		if err := ctl.Apply(tc.heal); err != nil {
+			t.Fatalf("apply %v: %v", tc.heal.Kind, err)
+		}
+	}
+
+	if err := ctl.Apply(Event{Kind: KindPartition, Agent: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Isolated(host.Name()) {
+		t.Fatal("partition did not isolate the agent host")
+	}
+	if err := ctl.Apply(Event{Kind: KindHealPartition, Agent: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Isolated(host.Name()) {
+		t.Fatal("heal did not clear the partition")
+	}
+
+	if err := ctl.Apply(Event{Kind: KindPauseHost, Agent: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !host.Paused() {
+		t.Fatal("pause did not freeze the host")
+	}
+	if err := ctl.Apply(Event{Kind: KindResumeHost, Agent: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if host.Paused() {
+		t.Fatal("resume did not thaw the host")
+	}
+
+	if n := len(ctl.Log()); n != 10 {
+		t.Fatalf("event log has %d entries, want 10", n)
+	}
+}
+
+// TestApplyCrashCallbacks: crash/restart route through the harness
+// callbacks; missing callbacks are an error.
+func TestApplyCrashCallbacks(t *testing.T) {
+	c, _, _ := testCluster(t)
+	var crashed, restarted int
+	c.Crash = func(i int) error { crashed = i + 1; return nil }
+	c.Restart = func(i int) error { restarted = i + 1; return nil }
+	ctl := New(c, nil)
+	if err := ctl.Apply(Event{Kind: KindCrashAgent, Agent: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Apply(Event{Kind: KindRestartAgent, Agent: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if crashed != 1 || restarted != 1 {
+		t.Fatalf("crashed=%d restarted=%d", crashed, restarted)
+	}
+
+	c.Crash = nil
+	ctl2 := New(c, nil)
+	if err := ctl2.Apply(Event{Kind: KindCrashAgent}); err == nil {
+		t.Fatal("crash without callback did not error")
+	}
+}
+
+// TestRunWalksScheduleAndHeals: Run applies events in modeled-time order
+// and a stop mid-walk heals outstanding faults.
+func TestRunWalksScheduleAndHeals(t *testing.T) {
+	c, host, _ := testCluster(t)
+	ctl := New(c, t.Logf)
+	sched := []Event{
+		{At: 20 * time.Millisecond, Kind: KindHealPartition},
+		{At: 5 * time.Millisecond, Kind: KindPartition, Agent: 0},
+	}
+	if err := ctl.Run(sched, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if c.Segments[0].Isolated(host.Name()) {
+		t.Fatal("schedule left the partition in place")
+	}
+	log := ctl.Log()
+	if len(log) != 2 || log[0] != (Event{At: 5 * time.Millisecond, Kind: KindPartition}).String() {
+		t.Fatalf("log order wrong: %v", log)
+	}
+
+	// Stop before the heal event: Run must heal on the way out.
+	ctl2 := New(c, t.Logf)
+	stop := make(chan struct{})
+	close(stop)
+	err := ctl2.Run([]Event{
+		{At: 0, Kind: KindPauseHost, Agent: 0},
+		{At: time.Hour, Kind: KindResumeHost, Agent: 0},
+	}, stop)
+	if err != nil {
+		t.Fatalf("stopped run: %v", err)
+	}
+	if host.Paused() {
+		t.Fatal("stop did not heal the paused host")
+	}
+}
+
+// TestRandomScheduleDeterministicSerialized: same seed, same schedule;
+// fault windows never overlap; every requested family appears; every
+// fault has its heal.
+func TestRandomScheduleDeterministicSerialized(t *testing.T) {
+	o := ScheduleOpts{
+		Agents: 4, Segments: 2, Duration: 10 * time.Second,
+		MinFault: 200 * time.Millisecond, MaxFault: 500 * time.Millisecond,
+		Gap: 500 * time.Millisecond,
+	}
+	s1 := RandomSchedule(42, o)
+	s2 := RandomSchedule(42, o)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(s1) == 0 || len(s1)%2 != 0 {
+		t.Fatalf("schedule has %d events, want a positive even count", len(s1))
+	}
+
+	heal := map[Kind]Kind{
+		KindCrashAgent:   KindRestartAgent,
+		KindPartition:    KindHealPartition,
+		KindPauseHost:    KindResumeHost,
+		KindLatencySpike: KindLatencyClear,
+		KindLossBurst:    KindLossClear,
+		KindCorruptBurst: KindCorruptClear,
+	}
+	seen := map[Kind]bool{}
+	var prevEnd time.Duration
+	for i := 0; i < len(s1); i += 2 {
+		f, h := s1[i], s1[i+1]
+		want, ok := heal[f.Kind]
+		if !ok {
+			t.Fatalf("event %d: unexpected fault kind %v", i, f.Kind)
+		}
+		if h.Kind != want {
+			t.Fatalf("fault %v healed by %v", f.Kind, h.Kind)
+		}
+		if f.At < prevEnd {
+			t.Fatalf("fault window at %v overlaps previous ending %v", f.At, prevEnd)
+		}
+		if h.At <= f.At {
+			t.Fatalf("heal at %v not after fault at %v", h.At, f.At)
+		}
+		prevEnd = h.At
+		seen[f.Kind] = true
+	}
+	for k := range heal {
+		if !seen[k] {
+			t.Fatalf("family %v missing from schedule", k)
+		}
+	}
+
+	if s3 := RandomSchedule(43, o); reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

@@ -1,0 +1,209 @@
+package memnet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"swift/internal/transport"
+)
+
+// recv reads one packet with a deadline, returning nil payload on timeout.
+func recv(t *testing.T, c transport.PacketConn, d time.Duration) []byte {
+	t.Helper()
+	buf := make([]byte, 256)
+	c.SetReadDeadline(time.Now().Add(d))
+	n, _, err := c.ReadFrom(buf)
+	if err != nil {
+		if transport.IsTimeout(err) {
+			return nil
+		}
+		t.Fatalf("read: %v", err)
+	}
+	return append([]byte(nil), buf[:n]...)
+}
+
+// TestRuntimeLossRate: the loss rate can be flipped while the segment is
+// carrying traffic — a loss burst — and restored.
+func TestRuntimeLossRate(t *testing.T) {
+	n := New(1)
+	seg := fastSeg(n, "s")
+	a := n.MustHost("a", HostConfig{}, seg)
+	b := n.MustHost("b", HostConfig{}, seg)
+	ca, _ := a.Listen("1")
+	cb, _ := b.Listen("2")
+
+	ca.WriteTo([]byte("before"), "b:2")
+	if got := recv(t, cb, time.Second); string(got) != "before" {
+		t.Fatalf("pre-burst delivery = %q", got)
+	}
+
+	seg.SetLossRate(1.0)
+	lost0 := seg.Stats().Lost
+	ca.WriteTo([]byte("burst"), "b:2")
+	if got := recv(t, cb, 50*time.Millisecond); got != nil {
+		t.Fatalf("frame delivered through 100%% loss: %q", got)
+	}
+	if seg.Stats().Lost <= lost0 {
+		t.Fatal("loss burst not counted")
+	}
+
+	seg.SetLossRate(0)
+	ca.WriteTo([]byte("after"), "b:2")
+	if got := recv(t, cb, time.Second); string(got) != "after" {
+		t.Fatalf("post-burst delivery = %q", got)
+	}
+}
+
+// TestIsolateHeal: an isolated host is cut off in both directions; Heal
+// restores it.
+func TestIsolateHeal(t *testing.T) {
+	n := New(1)
+	seg := fastSeg(n, "s")
+	a := n.MustHost("a", HostConfig{}, seg)
+	b := n.MustHost("b", HostConfig{}, seg)
+	ca, _ := a.Listen("1")
+	cb, _ := b.Listen("2")
+
+	seg.Isolate("b")
+	if !seg.Isolated("b") {
+		t.Fatal("b not reported isolated")
+	}
+	ca.WriteTo([]byte("to-b"), "b:2")
+	if got := recv(t, cb, 50*time.Millisecond); got != nil {
+		t.Fatalf("frame crossed partition to b: %q", got)
+	}
+	cb.WriteTo([]byte("from-b"), "a:1")
+	if got := recv(t, ca, 50*time.Millisecond); got != nil {
+		t.Fatalf("frame crossed partition from b: %q", got)
+	}
+
+	seg.Heal()
+	if seg.Isolated("b") {
+		t.Fatal("b still isolated after heal")
+	}
+	ca.WriteTo([]byte("healed"), "b:2")
+	if got := recv(t, cb, time.Second); string(got) != "healed" {
+		t.Fatalf("post-heal delivery = %q", got)
+	}
+}
+
+// TestLinkLoss: per-link loss affects only the configured direction.
+func TestLinkLoss(t *testing.T) {
+	n := New(1)
+	seg := fastSeg(n, "s")
+	a := n.MustHost("a", HostConfig{}, seg)
+	b := n.MustHost("b", HostConfig{}, seg)
+	ca, _ := a.Listen("1")
+	cb, _ := b.Listen("2")
+
+	seg.SetLinkLoss("a", "b", 1.0)
+	ca.WriteTo([]byte("a-to-b"), "b:2")
+	if got := recv(t, cb, 50*time.Millisecond); got != nil {
+		t.Fatalf("frame survived a>b link loss: %q", got)
+	}
+	// The reverse direction is unaffected.
+	cb.WriteTo([]byte("b-to-a"), "a:1")
+	if got := recv(t, ca, time.Second); string(got) != "b-to-a" {
+		t.Fatalf("reverse link delivery = %q", got)
+	}
+	seg.SetLinkLoss("a", "b", 0)
+	ca.WriteTo([]byte("cleared"), "b:2")
+	if got := recv(t, cb, time.Second); string(got) != "cleared" {
+		t.Fatalf("post-clear delivery = %q", got)
+	}
+}
+
+// TestExtraLatency: a latency spike delays delivery by about the extra
+// amount in modeled time.
+func TestExtraLatency(t *testing.T) {
+	n := New(1)
+	seg := fastSeg(n, "s")
+	a := n.MustHost("a", HostConfig{}, seg)
+	b := n.MustHost("b", HostConfig{}, seg)
+	ca, _ := a.Listen("1")
+	cb, _ := b.Listen("2")
+
+	const extra = 80 * time.Millisecond
+	seg.SetExtraLatency(extra)
+	t0 := n.Now()
+	ca.WriteTo([]byte("slow"), "b:2")
+	if got := recv(t, cb, 2*time.Second); string(got) != "slow" {
+		t.Fatalf("delivery under latency spike = %q", got)
+	}
+	if d := n.Now() - t0; d < extra {
+		t.Fatalf("delivered after %v, want >= %v", d, extra)
+	}
+
+	seg.SetExtraLatency(0)
+	t0 = n.Now()
+	ca.WriteTo([]byte("fast"), "b:2")
+	if got := recv(t, cb, 2*time.Second); string(got) != "fast" {
+		t.Fatalf("post-spike delivery = %q", got)
+	}
+	if d := n.Now() - t0; d >= extra {
+		t.Fatalf("delivery still slow after clear: %v", d)
+	}
+}
+
+// TestCorruptRate: corruption flips payload bytes in transit and counts
+// the frames; clearing stops it.
+func TestCorruptRate(t *testing.T) {
+	n := New(1)
+	seg := fastSeg(n, "s")
+	a := n.MustHost("a", HostConfig{}, seg)
+	b := n.MustHost("b", HostConfig{}, seg)
+	ca, _ := a.Listen("1")
+	cb, _ := b.Listen("2")
+
+	payload := bytes.Repeat([]byte{0xAA}, 64)
+	seg.SetCorruptRate(1.0)
+	ca.WriteTo(payload, "b:2")
+	got := recv(t, cb, time.Second)
+	if got == nil {
+		t.Fatal("corrupted frame not delivered")
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("frame not corrupted at rate 1.0")
+	}
+	if seg.Stats().Corrupted == 0 {
+		t.Fatal("corruption not counted")
+	}
+
+	seg.SetCorruptRate(0)
+	ca.WriteTo(payload, "b:2")
+	if got := recv(t, cb, time.Second); !bytes.Equal(got, payload) {
+		t.Fatalf("frame corrupted after clear: %x", got)
+	}
+}
+
+// TestPauseResume: a paused host neither sends nor delivers; resuming
+// releases queued ingress frames.
+func TestPauseResume(t *testing.T) {
+	n := New(1)
+	seg := fastSeg(n, "s")
+	a := n.MustHost("a", HostConfig{}, seg)
+	b := n.MustHost("b", HostConfig{}, seg)
+	ca, _ := a.Listen("1")
+	cb, _ := b.Listen("2")
+
+	b.SetPaused(true)
+	if !b.Paused() {
+		t.Fatal("b not reported paused")
+	}
+	ca.WriteTo([]byte("queued"), "b:2")
+	if got := recv(t, cb, 50*time.Millisecond); got != nil {
+		t.Fatalf("paused host delivered %q", got)
+	}
+	// A paused host's own sends vanish (its protocol stack is frozen).
+	cb.WriteTo([]byte("frozen"), "a:1")
+	if got := recv(t, ca, 50*time.Millisecond); got != nil {
+		t.Fatalf("paused host transmitted %q", got)
+	}
+
+	b.SetPaused(false)
+	// The queued frame is released to the application.
+	if got := recv(t, cb, time.Second); string(got) != "queued" {
+		t.Fatalf("post-resume delivery = %q", got)
+	}
+}

@@ -117,6 +117,10 @@ type SegmentConfig struct {
 // Segment is one shared-bus medium. Transmissions serialize on the bus in
 // modeled time; a sender occupies the bus for the frame's transmission
 // time, which is how saturation and contention emerge.
+//
+// A segment's loss rate, extra latency, payload-corruption rate, per-link
+// loss and host isolation set are adjustable at runtime while traffic is
+// flowing — the injection points used by internal/faultinject.
 type Segment struct {
 	net  *Net
 	name string
@@ -128,7 +132,15 @@ type Segment struct {
 	frames    int64
 	bytes     int64
 	lost      int64
+	corrupted int64
 	rng       *rand.Rand
+
+	// Runtime fault state (initialized from cfg, mutable while running).
+	lossRate     float64
+	extraLatency time.Duration
+	corruptRate  float64
+	linkLoss     map[string]float64 // "src>dst" host pair → loss probability
+	isolated     map[string]bool    // hosts cut off from the segment
 }
 
 // NewSegment creates a medium on the network.
@@ -137,11 +149,79 @@ func (n *Net) NewSegment(name string, cfg SegmentConfig) *Segment {
 		cfg.MTU = 1500
 	}
 	return &Segment{
-		net:  n,
-		name: name,
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed + 1)),
+		net:      n,
+		name:     name,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		lossRate: cfg.LossRate,
 	}
+}
+
+// SetLossRate replaces the segment's frame loss probability at runtime.
+func (s *Segment) SetLossRate(p float64) {
+	s.mu.Lock()
+	s.lossRate = p
+	s.mu.Unlock()
+}
+
+// SetExtraLatency adds d to every frame's delivery time — a runtime
+// latency spike (0 restores normal propagation delay).
+func (s *Segment) SetExtraLatency(d time.Duration) {
+	s.mu.Lock()
+	s.extraLatency = d
+	s.mu.Unlock()
+}
+
+// SetCorruptRate makes the segment flip one payload byte of transmitted
+// frames with probability p. Corrupted frames are delivered; detecting and
+// rejecting them is the protocol's job (wire's CRC).
+func (s *Segment) SetCorruptRate(p float64) {
+	s.mu.Lock()
+	s.corruptRate = p
+	s.mu.Unlock()
+}
+
+// SetLinkLoss sets an additional loss probability for frames from host src
+// to host dst (0 removes the entry). This models a single bad cable or
+// transceiver rather than a congested bus.
+func (s *Segment) SetLinkLoss(src, dst string, p float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p <= 0 {
+		delete(s.linkLoss, src+">"+dst)
+		return
+	}
+	if s.linkLoss == nil {
+		s.linkLoss = make(map[string]float64)
+	}
+	s.linkLoss[src+">"+dst] = p
+}
+
+// Isolate partitions the named hosts off the segment: frames to or from
+// them are dropped on the wire until Heal. Other hosts keep communicating.
+func (s *Segment) Isolate(hosts ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.isolated == nil {
+		s.isolated = make(map[string]bool)
+	}
+	for _, h := range hosts {
+		s.isolated[h] = true
+	}
+}
+
+// Heal removes every host isolation on the segment.
+func (s *Segment) Heal() {
+	s.mu.Lock()
+	s.isolated = nil
+	s.mu.Unlock()
+}
+
+// Isolated reports whether the named host is currently partitioned off.
+func (s *Segment) Isolated(host string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.isolated[host]
 }
 
 // Name returns the segment's name.
@@ -155,17 +235,19 @@ func (s *Segment) frameTime(n int) time.Duration {
 
 // Stats reports the segment's cumulative traffic counters.
 type Stats struct {
-	Frames   int64
-	Bytes    int64 // payload bytes carried
-	Lost     int64
-	BusyTime time.Duration // modeled time the bus was occupied
+	Frames    int64
+	Bytes     int64 // payload bytes carried
+	Lost      int64
+	Corrupted int64 // frames delivered with a flipped payload byte
+	BusyTime  time.Duration // modeled time the bus was occupied
 }
 
 // Stats returns a snapshot of the segment's counters.
 func (s *Segment) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{Frames: s.frames, Bytes: s.bytes, Lost: s.lost, BusyTime: s.busyAccum}
+	return Stats{Frames: s.frames, Bytes: s.bytes, Lost: s.lost,
+		Corrupted: s.corrupted, BusyTime: s.busyAccum}
 }
 
 // Capacity returns the effective payload capacity in bytes/second for
@@ -206,6 +288,7 @@ type Host struct {
 	ephemeral int
 	txUntil   time.Duration
 	closed    bool
+	paused    bool
 
 	ingress chan inPacket
 	done    chan struct{} // closed by Host.Close; stops the receive loop
@@ -271,6 +354,24 @@ func (h *Host) Drops() int64 {
 	return h.drops
 }
 
+// SetPaused freezes (true) or thaws (false) the host, like SIGSTOP on the
+// machine's protocol stack: while paused it transmits nothing and
+// processes no ingress. Arriving frames queue in the ingress buffer (and
+// overflow drops, modeling kernel buffer exhaustion); they are processed
+// after resume.
+func (h *Host) SetPaused(p bool) {
+	h.mu.Lock()
+	h.paused = p
+	h.mu.Unlock()
+}
+
+// Paused reports whether the host is currently frozen.
+func (h *Host) Paused() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.paused
+}
+
 // receiveLoop models the host's receive-side protocol processing: packets
 // are handled one at a time, each charged the per-packet (and per-byte)
 // receive cost, then delivered to the destination port's queue.
@@ -284,6 +385,14 @@ func (h *Host) receiveLoop() {
 			return
 		}
 		h.net.sleepUntil(pkt.arrival)
+		for h.Paused() { // frozen: hold processing until resumed
+			select {
+			case <-h.done:
+				return
+			default:
+			}
+			h.net.Sleep(200 * time.Microsecond)
+		}
 		cost := h.cfg.RecvCPU + time.Duration(len(pkt.payload))*h.cfg.RecvPerByte
 		if cost > 0 {
 			start := h.net.Now()
@@ -382,6 +491,9 @@ func (h *Host) send(p []byte, dstHost *Host, dstPort, from string) error {
 	if len(p) > seg.cfg.MTU {
 		return transport.ErrTooLarge
 	}
+	if h.Paused() {
+		return nil // a stopped machine transmits nothing
+	}
 
 	// Sender protocol processing (serialized per host).
 	cost := h.cfg.SendCPU + time.Duration(len(p))*h.cfg.SendPerByte
@@ -410,10 +522,26 @@ func (h *Host) send(p []byte, dstHost *Host, dstPort, from string) error {
 	seg.busyAccum += ft
 	seg.frames++
 	seg.bytes += int64(len(p))
-	lost := seg.cfg.LossRate > 0 && seg.rng.Float64() < seg.cfg.LossRate
+	lost := seg.lossRate > 0 && seg.rng.Float64() < seg.lossRate
+	if !lost && seg.isolated != nil && (seg.isolated[h.name] || seg.isolated[dstHost.name]) {
+		lost = true // partitioned: the frame never reaches the far side
+	}
+	if !lost && seg.linkLoss != nil {
+		if lp, ok := seg.linkLoss[h.name+">"+dstHost.name]; ok && seg.rng.Float64() < lp {
+			lost = true
+		}
+	}
 	if lost {
 		seg.lost++
 	}
+	corruptAt := -1
+	var corruptMask byte
+	if !lost && seg.corruptRate > 0 && len(p) > 0 && seg.rng.Float64() < seg.corruptRate {
+		corruptAt = seg.rng.Intn(len(p))
+		corruptMask = byte(1 + seg.rng.Intn(255)) // never a no-op flip
+		seg.corrupted++
+	}
+	extraLat := seg.extraLatency
 	reordered := !lost && seg.cfg.ReorderRate > 0 && seg.rng.Float64() < seg.cfg.ReorderRate
 	seg.mu.Unlock()
 
@@ -428,11 +556,15 @@ func (h *Host) send(p []byte, dstHost *Host, dstPort, from string) error {
 	if dstClosed {
 		return nil // like sending to a powered-off machine
 	}
+	payload := append([]byte(nil), p...)
+	if corruptAt >= 0 {
+		payload[corruptAt] ^= corruptMask
+	}
 	pkt := inPacket{
-		payload: append([]byte(nil), p...),
+		payload: payload,
 		from:    from,
 		port:    dstPort,
-		arrival: txEnd + seg.cfg.Latency,
+		arrival: txEnd + seg.cfg.Latency + extraLat,
 	}
 	if reordered {
 		// Hold the frame back so later traffic overtakes it, then

@@ -75,6 +75,17 @@ type Config struct {
 	// prototype's kernel-friendly wait loop); Sleep implements it.
 	WritePace time.Duration
 	Sleep     func(time.Duration)
+	// HealthInterval, when > 0, starts the background health monitor:
+	// every interval it probes all agents, demotes silent ones through the
+	// failure-domain lifecycle (healthy → suspect → down), and re-admits
+	// recovered ones automatically — reopening each open file's sessions
+	// and, with AutoRebuild, reconstructing the agent's fragments from
+	// parity first.
+	HealthInterval time.Duration
+	// AutoRebuild makes re-admission rebuild a returning agent's
+	// fragments from the survivors before it serves reads again
+	// (requires Parity).
+	AutoRebuild bool
 	// Logf receives diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -111,6 +122,15 @@ func Dial(cfg Config) (*FS, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.HealthInterval > 0 {
+		if err := c.StartMonitor(core.MonitorConfig{
+			Interval: cfg.HealthInterval,
+			Rebuild:  cfg.AutoRebuild,
+		}); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return &FS{c: c}, nil
 }
 
@@ -145,12 +165,37 @@ type AgentStatus = core.AgentStatus
 // Ping probes every agent and returns their statuses in agent order.
 func (fs *FS) Ping() []AgentStatus { return fs.c.Ping() }
 
-// MarkDown marks agent i failed (true) or restored (false). With parity
-// enabled the client operates in degraded mode around one failed agent.
+// MarkDown forces agent i failed (true) or restored (false). The
+// failure-domain lifecycle normally manages agent states automatically
+// (see Health); MarkDown remains for drills and administrative fencing.
 func (fs *FS) MarkDown(i int, down bool) { fs.c.MarkDown(i, down) }
 
-// Down reports whether agent i is marked failed.
+// Down reports whether agent i is in the down state.
 func (fs *FS) Down(i int) bool { return fs.c.Down(i) }
+
+// AgentState is one agent's position in the failure-domain lifecycle:
+// healthy, suspect, or down.
+type AgentState = core.AgentState
+
+// Lifecycle states.
+const (
+	StateHealthy = core.StateHealthy
+	StateSuspect = core.StateSuspect
+	StateDown    = core.StateDown
+)
+
+// AgentHealth is one agent's lifecycle snapshot.
+type AgentHealth = core.AgentHealth
+
+// Health returns every agent's failure-domain lifecycle snapshot, in
+// agent order, without touching the network.
+func (fs *FS) Health() []AgentHealth { return fs.c.Health() }
+
+// CheckHealth runs one synchronous health round — probing every agent,
+// applying lifecycle transitions, and re-admitting recovered agents — and
+// returns the resulting snapshot. The background monitor (see
+// Config.HealthInterval) calls the same machinery on a timer.
+func (fs *FS) CheckHealth() []AgentHealth { return fs.c.ProbeOnce() }
 
 // Close releases the client's network resources. Files opened from the
 // FS must be closed separately.
