@@ -2,9 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench tables figures ablations examples clean
+.PHONY: all build vet test race fuzz bench tables figures ablations examples \
+	obs-test obs-smoke clean
 
-all: build vet test
+all: build vet test obs-test
 
 build:
 	$(GO) build ./...
@@ -17,6 +18,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Telemetry-focused tests under the race detector: the obs primitives,
+# exporter goldens, and the instrumentation hooks in every layer.
+obs-test:
+	$(GO) test -race ./internal/obs/ ./internal/mediator/ ./internal/transport/...
+	$(GO) test -race ./internal/core/ -run 'Stats|Telemetry|HealthTransitionsObserved|SharedRegistry'
+	$(GO) test -race ./internal/agent/ -run 'Telemetry|RejectCounted'
+
+# End-to-end observability smoke: live /metrics, /trace and pprof on
+# swift-load and swiftd while traffic flows.
+obs-smoke:
+	sh scripts/obs-smoke.sh
 
 # Short fuzz pass over the wire codecs (CI smoke; go native fuzzing).
 fuzz:

@@ -28,6 +28,7 @@ import (
 	"swift/internal/bench"
 	"swift/internal/core"
 	"swift/internal/faultinject"
+	"swift/internal/obs"
 	"swift/internal/stats"
 	"swift/internal/workload"
 )
@@ -46,6 +47,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	chaos := flag.Bool("chaos", false, "run a randomized fault schedule against the load")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed")
+	verbose := flag.Bool("v", false, "log diagnostics and burst-level trace events to stderr")
+	metrics := flag.String("metrics", "", "HTTP address for /metrics, /trace and /debug/pprof while the load runs (e.g. :9090; empty = off)")
 	flag.Parse()
 
 	if *chaos && !*parity {
@@ -70,12 +73,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := obs.NewRegistry()
 	copts := bench.Options{
 		Agents:   *agents,
 		Segments: *segments,
 		Parity:   *parity,
 		Scale:    *scale,
 		Seed:     *seed,
+		Obs:      reg,
+	}
+	if *verbose {
+		copts.Verbose = true
+		copts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
 	}
 	if *chaos {
 		// The monitor drives automatic suspect/down demotion and
@@ -91,6 +102,16 @@ func main() {
 		os.Exit(1)
 	}
 	defer cluster.Close()
+
+	if *metrics != "" {
+		msrv, err := obs.Serve(*metrics, reg, cluster.Client.Trace())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swift-load: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("metrics on http://%s/metrics (trace at /trace, pprof at /debug/pprof)\n", msrv.Addr())
+	}
 
 	gen, err := workload.New(workload.Config{
 		Rate:         *rate,
@@ -233,6 +254,24 @@ func main() {
 	printLat("all", &allLat)
 	printLat("read", &readLat)
 	printLat("write", &writeLat)
+
+	// Per-agent attribution and medium occupancy from the telemetry layer.
+	snap := cluster.Client.Stats()
+	fmt.Printf("\nprotocol: %d read bursts (%d timeouts), %d write bursts (%d timeouts), %d resend asks, %d backoffs\n",
+		snap.Counters.ReadBursts, snap.Counters.ReadTimeouts,
+		snap.Counters.WriteBursts, snap.Counters.WriteTimeouts,
+		snap.Counters.ResendAsks, snap.Counters.Backoffs)
+	for i, as := range snap.Agents {
+		fmt.Printf("agent %d %-14s %-8v rb=%-5d rto=%-3d wb=%-5d wto=%-3d rp50=%-8v wp50=%-8v\n",
+			i, as.Addr, as.State, as.ReadBursts, as.ReadTimeouts,
+			as.WriteBursts, as.WriteTimeouts,
+			as.ReadBurstLat.P50, as.WriteBurstLat.P50)
+	}
+	for _, seg := range cluster.Segments {
+		st := seg.Stats()
+		fmt.Printf("net %-8s frames=%-7d lost=%-5d deferrals=%-6d utilization=%.1f%%\n",
+			seg.Name(), st.Frames, st.Lost, st.Deferrals, 100*seg.Utilization())
+	}
 }
 
 func parseSize(s string) (int64, error) {

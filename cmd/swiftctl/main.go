@@ -16,6 +16,9 @@
 //	rm OBJECT             remove an object
 //	status                probe each agent: liveness, RTT, objects, bytes
 //	health                run one health round: lifecycle state per agent
+//	stats [-watch]        client telemetry: counters, latency percentiles,
+//	                      per-agent attribution; -watch refreshes, -mb N
+//	                      drives a background transfer loop while watching
 //	scrub OBJECT          verify parity consistency; -repair fixes rows
 //	bench [-mb N]         measure read & write data-rates against the agents
 //
@@ -39,7 +42,7 @@ import (
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: swiftctl -agents HOST:PORT,... [flags] COMMAND [args]")
-	fmt.Fprintln(os.Stderr, "commands: put get cat stat ls rm status health scrub bench")
+	fmt.Fprintln(os.Stderr, "commands: put get cat stat ls rm status health stats scrub bench")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -120,6 +123,8 @@ func main() {
 		err = cmdStatus(fs)
 	case "health":
 		err = cmdHealth(fs)
+	case "stats":
+		err = cmdStats(fs, args[1:])
 	case "scrub":
 		err = cmdScrub(fs, args[1:])
 	case "bench":
@@ -254,6 +259,123 @@ func cmdHealth(fs *swift.FS) error {
 		fmt.Println(line)
 	}
 	return nil
+}
+
+// cmdStats prints the client's telemetry snapshot. With -watch it
+// refreshes every -every, showing counter deltas per interval; with -mb N
+// it drives a background read/write loop so the numbers move.
+func cmdStats(fs *swift.FS, args []string) error {
+	statsFlags := flag.NewFlagSet("stats", flag.ExitOnError)
+	watch := statsFlags.Bool("watch", false, "refresh continuously until interrupted")
+	every := statsFlags.Duration("every", time.Second, "refresh period with -watch")
+	mb := statsFlags.Int("mb", 0, "drive a background transfer loop of this many MB per pass")
+	rounds := statsFlags.Int("rounds", 0, "with -watch, stop after this many refreshes (0 = until interrupted)")
+	if err := statsFlags.Parse(args); err != nil {
+		return err
+	}
+
+	if !*watch {
+		// One-shot: optionally run one traffic pass, then snapshot.
+		if *mb > 0 {
+			stop := make(chan struct{})
+			close(stop) // statsLoad's first pass always runs, then it sees stop
+			if err := statsLoad(fs, *mb, stop); err != nil {
+				return err
+			}
+			defer fs.Remove("swiftctl-stats")
+		}
+		printStats(fs.Stats(), swift.MetricsSnapshot{}, 0)
+		return nil
+	}
+
+	// Watch: optional background traffic so the numbers move.
+	stop := make(chan struct{})
+	loadDone := make(chan error, 1)
+	if *mb > 0 {
+		go func() {
+			loadDone <- statsLoad(fs, *mb, stop)
+		}()
+		defer func() {
+			close(stop)
+			<-loadDone
+			fs.Remove("swiftctl-stats")
+		}()
+	}
+
+	prev := fs.Metrics()
+	for n := 0; *rounds == 0 || n < *rounds; n++ {
+		time.Sleep(*every)
+		s := fs.Stats()
+		fmt.Printf("--- %s\n", time.Now().Format("15:04:05"))
+		printStats(s, prev, *every)
+		prev = s.Counters
+	}
+	return nil
+}
+
+// statsLoad loops read/write passes of mb MB against a scratch object
+// until stop closes. The first pass always completes, so one-shot stats
+// have traffic to report.
+func statsLoad(fs *swift.FS, mb int, stop chan struct{}) error {
+	size := mb << 20
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 2654435761)
+	}
+	f, err := fs.Create("swiftctl-stats")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, size)
+	for first := true; ; first = false {
+		if !first {
+			select {
+			case <-stop:
+				return nil
+			default:
+			}
+		}
+		if _, err := f.WriteAt(data, 0); err != nil {
+			return err
+		}
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return err
+		}
+	}
+}
+
+// printStats renders one telemetry snapshot. With a non-zero interval the
+// counter line shows per-interval deltas against prev.
+func printStats(s swift.Stats, prev swift.MetricsSnapshot, interval time.Duration) {
+	c := s.Counters.Sub(prev)
+	suffix := ""
+	if interval > 0 {
+		suffix = fmt.Sprintf("/%v", interval)
+	}
+	fmt.Printf("bursts: read=%d%s (timeouts %d)  write=%d%s (timeouts %d)  resends=%d  backoffs=%d  probes=%d\n",
+		c.ReadBursts, suffix, c.ReadTimeouts, c.WriteBursts, suffix,
+		c.WriteTimeouts, c.ResendAsks, c.Backoffs, c.Probes)
+	printHist := func(label string, h swift.LatencySnapshot) {
+		if h.Count == 0 {
+			return
+		}
+		fmt.Printf("%-6s n=%-6d mean=%-10v p50=%-10v p90=%-10v p99=%-10v max=%v\n",
+			label, h.Count, h.Mean.Round(time.Microsecond),
+			h.P50.Round(time.Microsecond), h.P90.Round(time.Microsecond),
+			h.P99.Round(time.Microsecond), h.Max.Round(time.Microsecond))
+	}
+	printHist("open", s.OpenLat)
+	printHist("read", s.ReadLat)
+	printHist("write", s.WriteLat)
+	printHist("probe", s.ProbeLat)
+	for i, as := range s.Agents {
+		fmt.Printf("agent %d %-22s %-8v rb=%-6d rto=%-4d wb=%-6d wto=%-4d rp50=%-10v wp50=%v\n",
+			i, as.Addr, as.State, as.ReadBursts, as.ReadTimeouts,
+			as.WriteBursts, as.WriteTimeouts,
+			as.ReadBurstLat.P50.Round(time.Microsecond),
+			as.WriteBurstLat.P50.Round(time.Microsecond))
+	}
 }
 
 func cmdScrub(fs *swift.FS, args []string) error {

@@ -19,6 +19,7 @@ import (
 	"syscall"
 
 	"swift/internal/agent"
+	"swift/internal/obs"
 	"swift/internal/store"
 	"swift/internal/transport/udpnet"
 )
@@ -32,7 +33,8 @@ func main() {
 	dir := flag.String("dir", "", "directory for the object store (required unless -mem)")
 	mem := flag.Bool("mem", false, "keep objects in memory instead of on disk")
 	sync := flag.Bool("sync", false, "write through to stable storage before acknowledging")
-	verbose := flag.Bool("v", false, "log protocol diagnostics")
+	verbose := flag.Bool("v", false, "log protocol diagnostics and burst-level trace events")
+	metrics := flag.String("metrics", "", "HTTP address for /metrics, /trace and /debug/pprof (e.g. :9090; empty = off)")
 	flag.Parse()
 
 	var st store.Store
@@ -50,16 +52,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := agent.Config{Port: *port, SyncWrites: *sync}
+	reg := obs.NewRegistry()
+	host := udpnet.NewHost(*addr)
+	host.Register(reg)
+	cfg := agent.Config{Port: *port, SyncWrites: *sync, Obs: reg, Verbose: *verbose}
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
-	a, err := agent.New(udpnet.NewHost(*addr), st, cfg)
+	a, err := agent.New(host, st, cfg)
 	if err != nil {
 		log.Fatalf("start: %v", err)
 	}
 	log.Printf("storage agent serving on %s (store=%s sync=%v)",
 		a.Addr(), storeDesc(*mem, *dir), *sync)
+
+	if *metrics != "" {
+		msrv, err := obs.Serve(*metrics, reg, a.Trace())
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer msrv.Close()
+		log.Printf("metrics on http://%s/metrics (trace at /trace, pprof at /debug/pprof)", msrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

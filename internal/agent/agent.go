@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"swift/internal/extent"
+	"swift/internal/obs"
 	"swift/internal/store"
 	"swift/internal/transport"
 	"swift/internal/wire"
@@ -62,6 +63,14 @@ type Config struct {
 	MaxSessions int
 	// Logf receives diagnostic messages (default: none).
 	Logf func(format string, args ...any)
+	// Verbose additionally routes burst-level trace events (session
+	// lifecycle, resend prompts, stalled bursts) to Logf, prefixed
+	// "trace:".
+	Verbose bool
+	// Obs, when non-nil, is the metric registry the agent registers its
+	// telemetry in (swiftd's /metrics endpoint). Nil gets a private
+	// registry; telemetry is always recorded.
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -103,6 +112,8 @@ type Agent struct {
 	nextH    uint64
 	closed   bool
 
+	tel *telemetry
+
 	wg sync.WaitGroup
 }
 
@@ -120,6 +131,11 @@ func New(host transport.Host, st store.Store, cfg Config) (*Agent, error) {
 		cfg:      cfg,
 		ctl:      ctl,
 		sessions: make(map[uint64]*session),
+		tel:      newAgentTelemetry(cfg.Obs),
+	}
+	if cfg.Verbose {
+		logf := a.cfg.Logf
+		a.tel.trace.SetSink(func(e obs.Event) { logf("trace: %s", e.String()) })
 	}
 	a.wg.Add(1)
 	go a.controlLoop()
@@ -194,6 +210,7 @@ func (a *Agent) controlLoop() {
 			return // closed
 		}
 		if err := wire.Unmarshal(buf[:n], &pkt); err != nil {
+			a.tel.badPackets.Inc()
 			a.cfg.Logf("agent %s: bad packet from %s: %v", a.host.Name(), from, err)
 			continue
 		}
@@ -217,11 +234,13 @@ func (a *Agent) controlLoop() {
 func (a *Agent) handleOpen(pkt *wire.Packet, from string) {
 	req, err := wire.ParseOpenRequest(pkt.Payload)
 	if err != nil {
+		a.tel.openRejects.Inc()
 		a.sendError(a.ctl, from, pkt, err)
 		return
 	}
 	obj, err := a.st.Open(req.Name, pkt.Flags&wire.FCreate != 0)
 	if err != nil {
+		a.tel.openRejects.Inc()
 		a.sendError(a.ctl, from, pkt, err)
 		return
 	}
@@ -242,6 +261,8 @@ func (a *Agent) handleOpen(pkt *wire.Packet, from string) {
 	if len(a.sessions) >= a.cfg.MaxSessions {
 		a.mu.Unlock()
 		obj.Close()
+		a.tel.openRejects.Inc()
+		a.traceEvent("open_reject", "%s: too many open files (%d)", req.Name, a.cfg.MaxSessions)
 		a.sendError(a.ctl, from, pkt, fmt.Errorf("too many open files (%d)", a.cfg.MaxSessions))
 		return
 	}
@@ -269,7 +290,11 @@ func (a *Agent) handleOpen(pkt *wire.Packet, from string) {
 		writes: make(map[uint32]*writeState),
 	}
 	a.sessions[h] = s
+	live := len(a.sessions)
 	a.mu.Unlock()
+	a.tel.opens.Inc()
+	a.tel.sessions.Set(int64(live))
+	a.traceEvent("open", "%s: session %d opened (%d live)", req.Name, h, live)
 	a.wg.Add(1)
 	go s.run()
 
@@ -380,7 +405,9 @@ func (a *Agent) SessionCount() int {
 func (a *Agent) dropSession(s *session) {
 	a.mu.Lock()
 	delete(a.sessions, s.handle)
+	live := len(a.sessions)
 	a.mu.Unlock()
+	a.tel.sessions.Set(int64(live))
 }
 
 // writeState tracks one announced write burst.
@@ -390,6 +417,7 @@ type writeState struct {
 	length    int64
 	flags     uint16
 	received  extent.Set
+	first     time.Time // when the burst was first seen (announce or data)
 	progress  time.Time // last time new data arrived
 	prompted  time.Time // last time a resend was requested
 	done      bool
@@ -425,6 +453,7 @@ func (s *session) run() {
 		case err == nil:
 			s.lastSeen = now
 			if uerr := wire.Unmarshal(buf[:n], &pkt); uerr != nil {
+				s.agent.tel.badPackets.Inc()
 				cfg.Logf("agent %s session %d: bad packet: %v", s.agent.host.Name(), s.handle, uerr)
 				continue
 			}
@@ -434,6 +463,10 @@ func (s *session) run() {
 			}
 		case transport.IsTimeout(err):
 			if now.Sub(s.lastSeen) > cfg.SessionIdle || s.agent.isClosed() {
+				if !s.agent.isClosed() {
+					s.agent.tel.idleReaps.Inc()
+					s.agent.traceEvent("idle_reap", "session %d idle for %v, reaped", s.handle, now.Sub(s.lastSeen))
+				}
 				s.agent.dropSession(s)
 				return
 			}
@@ -455,7 +488,7 @@ func (s *session) dispatch(pkt *wire.Packet, from string) (closed bool) {
 	case wire.TData:
 		s.handleData(pkt, from)
 	case wire.TSync:
-		if err := s.obj.Sync(); err != nil {
+		if err := s.agent.syncTimed(s.obj.Sync); err != nil {
 			s.agent.sendError(s.conn, from, pkt, err)
 			return false
 		}
@@ -489,6 +522,10 @@ func (s *session) dispatch(pkt *wire.Packet, from string) (closed bool) {
 // convention and what parity reconstruction expects.
 func (s *session) serveRead(pkt *wire.Packet, from string) {
 	cfg := &s.agent.cfg
+	tel := s.agent.tel
+	tel.readReqs.Inc()
+	start := time.Now()
+	defer func() { tel.readServeLat.Observe(time.Since(start)) }()
 	type chunk struct {
 		off  int64
 		data []byte
@@ -539,6 +576,7 @@ func (s *session) serveRead(pkt *wire.Packet, from string) {
 				},
 				Payload: c.data[sent : sent+p],
 			})
+			tel.readBytes.Add(p)
 			sent += p
 		}
 	}
@@ -550,7 +588,8 @@ func isEOF(err error) bool { return errors.Is(err, io.EOF) }
 func (s *session) handleWriteAnnounce(pkt *wire.Packet, from string) {
 	w := s.writes[pkt.ReqID]
 	if w == nil {
-		w = &writeState{progress: time.Now()}
+		now := time.Now()
+		w = &writeState{first: now, progress: now}
 		s.writes[pkt.ReqID] = w
 	}
 	if w.done {
@@ -575,9 +614,11 @@ func (s *session) handleData(pkt *wire.Packet, from string) {
 		s.agent.sendError(s.conn, from, pkt, err)
 		return
 	}
+	s.agent.tel.dataPackets.Inc()
+	s.agent.tel.writeBytes.Add(int64(len(pkt.Payload)))
 	w := s.writes[pkt.ReqID]
 	if w == nil {
-		w = &writeState{}
+		w = &writeState{first: time.Now()}
 		s.writes[pkt.ReqID] = w
 	}
 	w.received.Add(pkt.Offset, int64(len(pkt.Payload)))
@@ -592,12 +633,16 @@ func (s *session) completeIfReady(reqID uint32, w *writeState, from string) {
 		return
 	}
 	if s.agent.cfg.SyncWrites || w.flags&wire.FSyncWrite != 0 {
-		if err := s.obj.Sync(); err != nil {
+		if err := s.agent.syncTimed(s.obj.Sync); err != nil {
 			s.agent.cfg.Logf("agent %s: sync: %v", s.agent.host.Name(), err)
 		}
 	}
 	w.done = true
 	w.doneAt = time.Now()
+	s.agent.tel.writeBursts.Inc()
+	if !w.first.IsZero() {
+		s.agent.tel.writeLat.Observe(w.doneAt.Sub(w.first))
+	}
 	s.ackWrite(reqID, w, from)
 }
 
@@ -639,6 +684,9 @@ func (s *session) checkWrites(now time.Time) {
 			ranges = append(ranges, wire.Range{Off: m.Off, Len: m.Len})
 		}
 		w.prompted = now
+		s.agent.tel.resendReqs.Inc()
+		s.agent.traceEvent("resend_prompt", "session %d req %d: %d missing ranges after %v stall",
+			s.handle, reqID, len(ranges), idle)
 		s.agent.send(s.conn, w.from, &wire.Packet{
 			Header: wire.Header{
 				Type: wire.TResend, ReqID: reqID, Handle: s.handle,

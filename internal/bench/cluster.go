@@ -8,6 +8,7 @@ import (
 	"swift/internal/core"
 	"swift/internal/disk"
 	"swift/internal/nfs"
+	"swift/internal/obs"
 	"swift/internal/store"
 	"swift/internal/transport/memnet"
 )
@@ -53,6 +54,15 @@ type Options struct {
 	// runs where an op must survive deep loss; chaos soaks set it much
 	// lower so failure attribution outpaces the fault schedule.
 	MaxRetries int
+	// Logf receives client and agent diagnostics (default: none).
+	Logf func(format string, args ...any)
+	// Verbose additionally routes burst-level trace events to Logf.
+	Verbose bool
+	// Obs, when non-nil, is the metric registry the client's telemetry
+	// and every segment's and host's traffic counters are registered in
+	// (swift-load's -metrics endpoint). Agents keep private registries —
+	// their unlabeled series would collide in a shared one.
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -92,8 +102,11 @@ func NewSwiftCluster(opts Options) (*SwiftCluster, error) {
 	c := &SwiftCluster{Net: n, opts: opts}
 
 	for s := 0; s < opts.Segments; s++ {
-		c.Segments = append(c.Segments, n.NewSegment(
-			fmt.Sprintf("ether%d", s), EthernetSegment(opts.Seed+int64(s))))
+		seg := n.NewSegment(fmt.Sprintf("ether%d", s), EthernetSegment(opts.Seed+int64(s)))
+		if opts.Obs != nil {
+			seg.Register(opts.Obs)
+		}
+		c.Segments = append(c.Segments, seg)
 	}
 
 	addrs := make([]string, opts.Agents)
@@ -113,9 +126,14 @@ func NewSwiftCluster(opts Options) (*SwiftCluster, error) {
 			ResendCheck: scaled(60*time.Millisecond, opts.Scale),
 			ResendAfter: scaled(120*time.Millisecond, opts.Scale),
 			SessionIdle: scaled(120*time.Second, opts.Scale),
+			Logf:        opts.Logf,
+			Verbose:     opts.Verbose,
 		})
 		if err != nil {
 			return nil, err
+		}
+		if opts.Obs != nil {
+			host.Register(opts.Obs)
 		}
 		c.Agents = append(c.Agents, a)
 		c.AgentHosts = append(c.AgentHosts, host)
@@ -133,6 +151,9 @@ func NewSwiftCluster(opts Options) (*SwiftCluster, error) {
 	clientHost, err := n.NewHost("sparc2", clientProfile, c.Segments...)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Obs != nil {
+		clientHost.Register(opts.Obs)
 	}
 	reqBytes := int64(RequestBytes)
 	if opts.RequestBytes != 0 {
@@ -158,6 +179,9 @@ func NewSwiftCluster(opts Options) (*SwiftCluster, error) {
 		ReadAhead:    opts.ReadAhead,
 		WritePace:    WritePace,
 		Sleep:        n.Sleep,
+		Logf:         opts.Logf,
+		Verbose:      opts.Verbose,
+		Obs:          opts.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -200,6 +224,8 @@ func (c *SwiftCluster) RestartAgent(i int) error {
 		ResendCheck: scaled(60*time.Millisecond, c.opts.Scale),
 		ResendAfter: scaled(120*time.Millisecond, c.opts.Scale),
 		SessionIdle: scaled(120*time.Second, c.opts.Scale),
+		Logf:        c.opts.Logf,
+		Verbose:     c.opts.Verbose,
 	})
 	if err != nil {
 		return err

@@ -38,12 +38,12 @@ func TestDiagnoseTable1(t *testing.T) {
 	}
 	welapsed := cl.Net.Now() - start
 	st := cl.Segments[0].Stats()
-	m := cl.Client.Metrics()
+	m := cl.Client.MetricsSnapshot()
 	fmt.Printf("WRITE: %.0f KB/s modeled=%v\n", float64(size)/1024/welapsed.Seconds(), welapsed)
 	fmt.Printf("  seg frames=%d bytes=%d lost=%d busy=%v busyFrac=%.2f\n",
 		st.Frames, st.Bytes, st.Lost, st.BusyTime, st.BusyTime.Seconds()/welapsed.Seconds())
 	fmt.Printf("  bursts=%d wtimeouts=%d resendAsks=%d data=%d\n",
-		m.WriteBursts.Load(), m.WriteTimeouts.Load(), m.ResendAsks.Load(), m.DataPackets.Load())
+		m.WriteBursts, m.WriteTimeouts, m.ResendAsks, m.DataPackets)
 
 	start = cl.Net.Now()
 	buf := make([]byte, size)

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"swift/internal/obs"
 	"swift/internal/stripe"
 	"swift/internal/transport"
 	"swift/internal/wire"
@@ -83,6 +84,15 @@ type Config struct {
 	Sleep func(time.Duration)
 	// Logf receives diagnostics (default: none).
 	Logf func(format string, args ...any)
+	// Verbose additionally routes burst-level trace events (timeouts,
+	// resends, failovers, lifecycle transitions) to Logf, prefixed
+	// "trace:". Without it, events only land in the trace ring.
+	Verbose bool
+	// Obs, when non-nil, is the metric registry the client registers its
+	// telemetry in — so a process can aggregate client, transport and
+	// mediator metrics behind one /metrics endpoint. Nil gets a private
+	// registry (telemetry is always recorded).
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() error {
@@ -137,6 +147,7 @@ type Client struct {
 	monDone chan struct{}
 
 	metrics Metrics
+	tel     *telemetry
 }
 
 // Metrics counts protocol events, for diagnostics and calibration.
@@ -152,7 +163,12 @@ type Metrics struct {
 	Readmissions  atomic.Int64 // agents automatically returned to service
 }
 
-// Metrics returns the client's protocol counters.
+// Metrics returns a pointer to the client's live protocol counters.
+//
+// Deprecated: the atomics behind the pointer keep mutating, so there is no
+// coherent read across fields. Use MetricsSnapshot (a value copy) or
+// Stats (the full telemetry snapshot) instead. Retained as an alias for
+// existing callers.
 func (c *Client) Metrics() *Metrics { return &c.metrics }
 
 // Dial creates a client. It performs no network traffic; agents are
@@ -165,13 +181,19 @@ func Dial(cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Client{
+	c := &Client{
 		cfg:    cfg,
 		layout: stripe.Layout{Unit: cfg.Unit, Agents: len(cfg.Agents), Parity: cfg.Parity},
 		ctl:    ctl,
 		health: make([]agentHealth, len(cfg.Agents)),
 		files:  make(map[*File]struct{}),
-	}, nil
+	}
+	c.tel = newTelemetry(cfg.Obs, cfg.Agents, &c.metrics)
+	if cfg.Verbose {
+		logf := c.cfg.Logf
+		c.tel.trace.SetSink(func(e obs.Event) { logf("trace: %s", e.String()) })
+	}
+	return c, nil
 }
 
 // Layout returns the client's striping layout.
@@ -255,6 +277,7 @@ type OpenFlags struct {
 // File with Unix semantics. With parity enabled, Open tolerates one
 // unreachable agent and enters degraded mode.
 func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
+	start := time.Now()
 	down := c.downSnapshot()
 	sessions := make([]*agentSession, len(c.cfg.Agents))
 	errs := make([]error, len(c.cfg.Agents))
@@ -279,6 +302,7 @@ func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
 			if !down[i] {
 				c.noteFailure(i, errs[i])
 			}
+			c.traceEvent("open_fail", i, "open %s: %v", name, errs[i])
 			c.cfg.Logf("core: open %s on agent %d: %v", name, i, errs[i])
 		}
 	}
@@ -319,6 +343,8 @@ func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
 	c.mu.Lock()
 	c.files[f] = struct{}{}
 	c.mu.Unlock()
+	c.tel.openFiles.Add(1)
+	observe(c.tel.openLat, start)
 	return f, nil
 }
 
@@ -327,6 +353,7 @@ func (c *Client) dropFile(f *File) {
 	c.mu.Lock()
 	delete(c.files, f)
 	c.mu.Unlock()
+	c.tel.openFiles.Add(-1)
 }
 
 // openFiles snapshots the registered open files.
@@ -649,7 +676,9 @@ func (c *Client) probeAgent(addr string, retries int) (wire.PingReply, time.Dura
 	if err != nil {
 		return wire.PingReply{}, 0, err
 	}
-	return pr, time.Since(start), nil
+	rtt := time.Since(start)
+	c.tel.probeLat.Observe(rtt)
+	return pr, rtt, nil
 }
 
 // Remove deletes the named object's fragments from all reachable agents.

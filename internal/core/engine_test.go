@@ -269,8 +269,8 @@ func TestMetricsAdvance(t *testing.T) {
 	defer f.Close()
 	f.WriteAt(randBytes(100_000, 70), 0)
 	f.ReadAt(make([]byte, 100_000), 0)
-	m := c.client.Metrics()
-	if m.WriteBursts.Load() == 0 || m.ReadBursts.Load() == 0 || m.DataPackets.Load() == 0 {
+	m := c.client.MetricsSnapshot()
+	if m.WriteBursts == 0 || m.ReadBursts == 0 || m.DataPackets == 0 {
 		t.Fatalf("metrics did not advance: %+v", m)
 	}
 }

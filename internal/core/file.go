@@ -92,6 +92,7 @@ func (f *File) Write(p []byte) (int, error) {
 // ReadAt implements io.ReaderAt: it reads from all agents holding pieces
 // of [off, off+len(p)) in parallel.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	start := time.Now()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -110,6 +111,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if err := f.readServe(p[:n], off); err != nil {
 		return 0, err
 	}
+	observe(f.c.tel.readLat, start)
 	if n < int64(len(p)) {
 		return int(n), io.EOF
 	}
@@ -190,6 +192,7 @@ func (f *File) readRange(dst []byte, off int64, allowFailover bool) error {
 	if f.liveCount() < len(f.sessions)-1 {
 		return ErrNoQuorum
 	}
+	f.c.traceEvent("read_failover", failed, "%s: %v", f.name, err)
 	f.c.cfg.Logf("core: read failing over around agent %d: %v", failed, err)
 	return f.readRange(dst, off, false)
 }
@@ -311,6 +314,8 @@ func (f *File) placeGlobal(agent int, localOff int64, b []byte, dst []byte, base
 // called with fragment-local offsets.
 func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64, b []byte)) error {
 	cfg := &f.c.cfg
+	at := f.c.tel.agent(s.idx)
+	start := time.Now()
 	accept := map[uint32]bool{}
 	var got extent.Set
 	var pkt wire.Packet
@@ -327,6 +332,7 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 		return err
 	}
 	f.c.metrics.ReadBursts.Add(1)
+	at.readBursts.Inc()
 	level := 0 // consecutive silent timeouts; drives the backoff
 	giveUp := time.Now().Add(f.c.retryBudget())
 	deadline := time.Now().Add(cfg.RetryTimeout)
@@ -338,7 +344,9 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 				return err
 			}
 			f.c.metrics.ReadTimeouts.Add(1)
+			at.readTimeouts.Inc()
 			if !time.Now().Before(giveUp) {
+				f.c.traceEvent("read_giveup", s.idx, "%s[%d:%d] retries exhausted", f.name, lo, lo+n)
 				return fmt.Errorf("%w: read %s[%d:%d] agent %d",
 					ErrRetriesSpent, f.name, lo, lo+n, s.idx)
 			}
@@ -347,6 +355,8 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 			if len(missing) > maxResubmit {
 				missing = missing[:maxResubmit]
 			}
+			f.c.traceEvent("read_timeout", s.idx, "%s[%d:%d] resubmitting %d ranges (level %d)",
+				f.name, lo, lo+n, len(missing), level)
 			for _, m := range missing {
 				if err := send(m.Off, m.Len); err != nil {
 					return err
@@ -356,6 +366,7 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 			// silent agent is not hammered on the shared medium.
 			if level > 0 {
 				f.c.metrics.Backoffs.Add(1)
+				at.backoffs.Inc()
 			}
 			deadline = time.Now().Add(f.c.backoff(level))
 			level++
@@ -377,6 +388,7 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 		giveUp = time.Now().Add(f.c.retryBudget())
 		deadline = time.Now().Add(cfg.RetryTimeout)
 	}
+	at.readBurstLat.Observe(time.Since(start))
 	return nil
 }
 
@@ -394,6 +406,7 @@ func (f *File) sendPacket(s *agentSession, p *wire.Packet) error {
 // WriteAt implements io.WriterAt: it streams to all affected agents in
 // parallel and, with parity enabled, maintains the computed copy.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	start := time.Now()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -408,6 +421,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if err := f.writeRange(p, off, true); err != nil {
 		return 0, err
 	}
+	observe(f.c.tel.writeLat, start)
 	f.raInvalidate()
 	if end := off + int64(len(p)); end > f.size {
 		f.size = end
@@ -430,6 +444,7 @@ func (f *File) writeRange(src []byte, off int64, allowFailover bool) error {
 	if f.liveCount() < len(f.sessions)-1 {
 		return ErrNoQuorum
 	}
+	f.c.traceEvent("write_failover", failed, "%s: %v", f.name, err)
 	f.c.cfg.Logf("core: write failing over around agent %d: %v", failed, err)
 	return f.writeRange(src, off, false)
 }
@@ -488,6 +503,7 @@ func (f *File) writeRangeOnce(src []byte, off int64) (failedAgent int, err error
 type wburst struct {
 	reqID    uint32
 	lo, n    int64
+	start    time.Time // announce time, for burst completion latency
 	deadline time.Time // next retransmission time (backed off)
 	giveUp   time.Time // abandon the agent if no progress by then
 	retries  int       // consecutive silent re-announces; drives backoff
@@ -525,6 +541,7 @@ type span struct{ lo, n int64 }
 // any fragment range being (re)transmitted.
 func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff int64, out []byte)) error {
 	cfg := &f.c.cfg
+	at := f.c.tel.agent(s.idx)
 	pending := make(map[uint32]*wburst)
 	next := 0
 	var pkt wire.Packet
@@ -554,6 +571,7 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 				return err
 			}
 			f.c.metrics.DataPackets.Add(1)
+			at.dataPackets.Inc()
 			if cfg.WritePace > 0 {
 				cfg.Sleep(cfg.WritePace)
 			}
@@ -570,11 +588,13 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 			now := time.Now()
 			b := &wburst{
 				reqID: f.c.nextReq(), lo: sp.lo, n: sp.n,
+				start:    now,
 				deadline: now.Add(cfg.RetryTimeout),
 				giveUp:   now.Add(f.c.retryBudget()),
 			}
 			pending[b.reqID] = b
 			f.c.metrics.WriteBursts.Add(1)
+			at.writeBursts.Inc()
 			if err := announce(b); err != nil {
 				return err
 			}
@@ -602,7 +622,9 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 					continue
 				}
 				f.c.metrics.WriteTimeouts.Add(1)
+				at.writeTimeouts.Inc()
 				if !now.Before(b.giveUp) {
+					f.c.traceEvent("write_giveup", s.idx, "%s[%d:%d] retries exhausted", f.name, b.lo, b.lo+b.n)
 					return fmt.Errorf("%w: write %s[%d:%d] agent %d",
 						ErrRetriesSpent, f.name, b.lo, b.lo+b.n, s.idx)
 				}
@@ -611,6 +633,9 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 				// re-announces back off exponentially with jitter.
 				if b.retries > 0 {
 					f.c.metrics.Backoffs.Add(1)
+					at.backoffs.Inc()
+					f.c.traceEvent("write_timeout", s.idx, "%s[%d:%d] re-announce (retry %d)",
+						f.name, b.lo, b.lo+b.n, b.retries)
 				}
 				b.deadline = now.Add(f.c.backoff(b.retries))
 				b.retries++
@@ -625,6 +650,9 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 		}
 		switch pkt.Type {
 		case wire.TWriteAck:
+			if b := pending[pkt.ReqID]; b != nil {
+				at.writeBurstLat.Observe(time.Since(b.start))
+			}
 			delete(pending, pkt.ReqID)
 		case wire.TResend:
 			b := pending[pkt.ReqID]
@@ -641,6 +669,9 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 			b.deadline = time.Now().Add(cfg.RetryTimeout)
 			b.giveUp = time.Now().Add(f.c.retryBudget())
 			f.c.metrics.ResendAsks.Add(1)
+			at.resendAsks.Inc()
+			f.c.traceEvent("resend_ask", s.idx, "%s[%d:%d] %d ranges",
+				f.name, b.lo, b.lo+b.n, len(ranges))
 			for _, r := range ranges {
 				if err := sendData(b, r.Off, r.Len); err != nil {
 					return err

@@ -87,6 +87,10 @@ func (c *Client) setStateLocked(i int, s AgentState, why string) {
 	}
 	c.cfg.Logf("core: agent %d (%s): %v -> %v (%s)",
 		i, c.cfg.Agents[i], h.state, s, why)
+	at := c.tel.agent(i)
+	at.transitions.Inc()
+	at.state.Set(int64(s))
+	c.traceEvent("health", i, "%v -> %v (%s)", h.state, s, why)
 	h.state = s
 	h.since = time.Now()
 	if s == StateHealthy {
@@ -251,4 +255,5 @@ func (c *Client) readmit(i int, rebuild bool) {
 	c.setStateLocked(i, StateHealthy, "probe answered; sessions reopened")
 	c.mu.Unlock()
 	c.metrics.Readmissions.Add(1)
+	c.traceEvent("readmit", i, "agent returned to service (rebuild=%v)", rebuild)
 }

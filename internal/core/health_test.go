@@ -61,7 +61,7 @@ func TestLifecycleStrikes(t *testing.T) {
 	if h := cl.Health()[1]; h.State != StateHealthy || h.Failures != 0 || h.LastErr != "" {
 		t.Fatalf("after re-admission: %+v", h)
 	}
-	if cl.Metrics().Readmissions.Load() == 0 {
+	if cl.MetricsSnapshot().Readmissions == 0 {
 		t.Fatal("re-admission not counted")
 	}
 }
@@ -186,7 +186,7 @@ func TestMonitorStartStopIdempotent(t *testing.T) {
 			t.Fatalf("agent %d demoted by monitor on a healthy cluster: %+v", i, h)
 		}
 	}
-	if c.client.Metrics().Probes.Load() == 0 {
+	if c.client.MetricsSnapshot().Probes == 0 {
 		t.Fatal("monitor sent no probes")
 	}
 }

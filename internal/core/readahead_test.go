@@ -117,14 +117,14 @@ func TestReadAheadReducesRequests(t *testing.T) {
 	defer f.Close()
 	f.WriteAt(data, 0)
 
-	before := cl.Metrics().ReadBursts.Load()
+	before := cl.MetricsSnapshot().ReadBursts
 	buf := make([]byte, 8192)
 	for off := int64(0); off < int64(len(data)); off += 8192 {
 		if _, err := f.ReadAt(buf, off); err != nil {
 			t.Fatal(err)
 		}
 	}
-	bursts := cl.Metrics().ReadBursts.Load() - before
+	bursts := cl.MetricsSnapshot().ReadBursts - before
 	// 256 KB / 128 KB windows over 3 agents ≈ 6 bursts; without
 	// read-ahead each 8 KB read costs >= 2 bursts (32 reads).
 	if bursts > 12 {

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"swift/internal/obs"
+)
+
+// telemetry is the client's observability surface: per-operation latency
+// histograms, per-agent protocol attribution, lifecycle transition
+// counters and a trace-event ring. Everything recorded on the data path
+// is an atomic add into pre-resolved instruments; registration happens
+// once in Dial.
+type telemetry struct {
+	reg   *obs.Registry
+	trace *obs.TraceRing
+
+	// Per-operation latency (whole client calls).
+	openLat  *obs.Histogram
+	readLat  *obs.Histogram
+	writeLat *obs.Histogram
+	probeLat *obs.Histogram
+
+	openFiles *obs.Gauge
+
+	agents []agentTelemetry
+}
+
+// agentTelemetry attributes protocol events and burst latency to one
+// storage agent.
+type agentTelemetry struct {
+	readBursts    *obs.Counter
+	readTimeouts  *obs.Counter
+	writeBursts   *obs.Counter
+	writeTimeouts *obs.Counter
+	backoffs      *obs.Counter
+	resendAsks    *obs.Counter
+	dataPackets   *obs.Counter
+	transitions   *obs.Counter // lifecycle state changes
+	state         *obs.Gauge   // current AgentState as integer
+	readBurstLat  *obs.Histogram
+	writeBurstLat *obs.Histogram
+}
+
+// newTelemetry builds and registers the client's instruments. When reg is
+// nil a private registry is created, so every client always records.
+func newTelemetry(reg *obs.Registry, agents []string, m *Metrics) *telemetry {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	t := &telemetry{
+		reg:       reg,
+		trace:     obs.NewTraceRing(1024),
+		openLat:   reg.Histogram("swift_client_open_seconds", "Latency of Open calls.", nil),
+		readLat:   reg.Histogram("swift_client_read_seconds", "Latency of ReadAt calls.", nil),
+		writeLat:  reg.Histogram("swift_client_write_seconds", "Latency of WriteAt calls.", nil),
+		probeLat:  reg.Histogram("swift_client_probe_seconds", "Latency of agent health probes.", nil),
+		openFiles: reg.Gauge("swift_client_open_files", "Currently open striped files.", nil),
+	}
+
+	// Global protocol counters: exported from the live atomics rather than
+	// double-booked.
+	global := []struct {
+		name, help string
+		load       func() int64
+	}{
+		{"swift_client_read_bursts_total", "Read burst requests issued.", m.ReadBursts.Load},
+		{"swift_client_read_timeouts_total", "Read bursts that needed resubmission.", m.ReadTimeouts.Load},
+		{"swift_client_write_bursts_total", "Write bursts issued.", m.WriteBursts.Load},
+		{"swift_client_write_timeouts_total", "Write bursts re-announced after silence.", m.WriteTimeouts.Load},
+		{"swift_client_resend_asks_total", "Agent resend requests honoured.", m.ResendAsks.Load},
+		{"swift_client_data_packets_total", "Data packets sent, including resends.", m.DataPackets.Load},
+		{"swift_client_backoffs_total", "Retransmission waits grown beyond the base timeout.", m.Backoffs.Load},
+		{"swift_client_probes_total", "Health probes sent.", m.Probes.Load},
+		{"swift_client_readmissions_total", "Agents automatically returned to service.", m.Readmissions.Load},
+	}
+	for _, g := range global {
+		load := g.load
+		reg.CounterFunc(g.name, g.help, nil, func() float64 { return float64(load()) })
+	}
+
+	t.agents = make([]agentTelemetry, len(agents))
+	for i := range agents {
+		l := obs.Labels{"agent": strconv.Itoa(i)}
+		at := &t.agents[i]
+		at.readBursts = reg.Counter("swift_client_agent_read_bursts_total", "Read bursts issued to this agent.", l)
+		at.readTimeouts = reg.Counter("swift_client_agent_read_timeouts_total", "Read burst timeouts on this agent.", l)
+		at.writeBursts = reg.Counter("swift_client_agent_write_bursts_total", "Write bursts issued to this agent.", l)
+		at.writeTimeouts = reg.Counter("swift_client_agent_write_timeouts_total", "Write burst timeouts on this agent.", l)
+		at.backoffs = reg.Counter("swift_client_agent_backoffs_total", "Backed-off retransmissions to this agent.", l)
+		at.resendAsks = reg.Counter("swift_client_agent_resend_asks_total", "Resend requests honoured from this agent.", l)
+		at.dataPackets = reg.Counter("swift_client_agent_data_packets_total", "Data packets sent to this agent.", l)
+		at.transitions = reg.Counter("swift_client_agent_transitions_total", "Failure-domain lifecycle transitions.", l)
+		at.state = reg.Gauge("swift_client_agent_state", "Lifecycle state: 0 healthy, 1 suspect, 2 down.", l)
+		at.readBurstLat = reg.Histogram("swift_client_agent_read_burst_seconds", "Read burst completion latency per agent.", l)
+		at.writeBurstLat = reg.Histogram("swift_client_agent_write_burst_seconds", "Write burst completion latency per agent.", l)
+	}
+	return t
+}
+
+// agent returns agent i's instrument set (never nil for valid i).
+func (t *telemetry) agent(i int) *agentTelemetry {
+	if i < 0 || i >= len(t.agents) {
+		return &agentTelemetry{}
+	}
+	return &t.agents[i]
+}
+
+// Obs returns the client's metric registry, for export (swift-load's
+// /metrics endpoint, the swift facade's Stats snapshot).
+func (c *Client) Obs() *obs.Registry { return c.tel.reg }
+
+// Trace returns the client's trace-event ring.
+func (c *Client) Trace() *obs.TraceRing { return c.tel.trace }
+
+// TraceEvents returns up to n recent trace events, oldest first.
+func (c *Client) TraceEvents(n int) []obs.Event { return c.tel.trace.Last(n) }
+
+// MetricsSnapshot is a coherent value copy of the client's protocol
+// counters. Unlike the deprecated Metrics method it hands out plain
+// integers, so callers can difference, print and compare snapshots
+// without touching live atomics.
+type MetricsSnapshot struct {
+	ReadBursts    int64
+	ReadTimeouts  int64
+	WriteBursts   int64
+	WriteTimeouts int64
+	ResendAsks    int64
+	DataPackets   int64
+	Backoffs      int64
+	Probes        int64
+	Readmissions  int64
+}
+
+// Sub returns the counter deltas s - prev.
+func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		ReadBursts:    s.ReadBursts - prev.ReadBursts,
+		ReadTimeouts:  s.ReadTimeouts - prev.ReadTimeouts,
+		WriteBursts:   s.WriteBursts - prev.WriteBursts,
+		WriteTimeouts: s.WriteTimeouts - prev.WriteTimeouts,
+		ResendAsks:    s.ResendAsks - prev.ResendAsks,
+		DataPackets:   s.DataPackets - prev.DataPackets,
+		Backoffs:      s.Backoffs - prev.Backoffs,
+		Probes:        s.Probes - prev.Probes,
+		Readmissions:  s.Readmissions - prev.Readmissions,
+	}
+}
+
+// MetricsSnapshot returns a value copy of the protocol counters.
+func (c *Client) MetricsSnapshot() MetricsSnapshot {
+	m := &c.metrics
+	return MetricsSnapshot{
+		ReadBursts:    m.ReadBursts.Load(),
+		ReadTimeouts:  m.ReadTimeouts.Load(),
+		WriteBursts:   m.WriteBursts.Load(),
+		WriteTimeouts: m.WriteTimeouts.Load(),
+		ResendAsks:    m.ResendAsks.Load(),
+		DataPackets:   m.DataPackets.Load(),
+		Backoffs:      m.Backoffs.Load(),
+		Probes:        m.Probes.Load(),
+		Readmissions:  m.Readmissions.Load(),
+	}
+}
+
+// AgentStats is one agent's telemetry snapshot: protocol attribution and
+// burst latency percentiles.
+type AgentStats struct {
+	Addr          string
+	State         AgentState
+	ReadBursts    int64
+	ReadTimeouts  int64
+	WriteBursts   int64
+	WriteTimeouts int64
+	Backoffs      int64
+	ResendAsks    int64
+	DataPackets   int64
+	Transitions   int64
+	ReadBurstLat  obs.Snapshot
+	WriteBurstLat obs.Snapshot
+}
+
+// StatsSnapshot is the whole client's telemetry at one instant: protocol
+// counters, per-operation latency and the per-agent breakdown.
+type StatsSnapshot struct {
+	Counters  MetricsSnapshot
+	OpenLat   obs.Snapshot
+	ReadLat   obs.Snapshot
+	WriteLat  obs.Snapshot
+	ProbeLat  obs.Snapshot
+	OpenFiles int64
+	Agents    []AgentStats
+}
+
+// Stats snapshots the client's telemetry. It is safe to call during live
+// transfers; recording is never blocked.
+func (c *Client) Stats() StatsSnapshot {
+	s := StatsSnapshot{
+		Counters:  c.MetricsSnapshot(),
+		OpenLat:   c.tel.openLat.Snapshot(),
+		ReadLat:   c.tel.readLat.Snapshot(),
+		WriteLat:  c.tel.writeLat.Snapshot(),
+		ProbeLat:  c.tel.probeLat.Snapshot(),
+		OpenFiles: c.tel.openFiles.Load(),
+	}
+	health := c.Health()
+	s.Agents = make([]AgentStats, len(c.tel.agents))
+	for i := range c.tel.agents {
+		at := &c.tel.agents[i]
+		as := &s.Agents[i]
+		as.Addr = c.cfg.Agents[i]
+		if i < len(health) {
+			as.State = health[i].State
+		}
+		as.ReadBursts = at.readBursts.Load()
+		as.ReadTimeouts = at.readTimeouts.Load()
+		as.WriteBursts = at.writeBursts.Load()
+		as.WriteTimeouts = at.writeTimeouts.Load()
+		as.Backoffs = at.backoffs.Load()
+		as.ResendAsks = at.resendAsks.Load()
+		as.DataPackets = at.dataPackets.Load()
+		as.Transitions = at.transitions.Load()
+		as.ReadBurstLat = at.readBurstLat.Snapshot()
+		as.WriteBurstLat = at.writeBurstLat.Snapshot()
+	}
+	return s
+}
+
+// traceEvent emits a structured trace event; with Verbose configured the
+// event also reaches Config.Logf (wired up in Dial via the ring's sink).
+func (c *Client) traceEvent(kind string, agent int, format string, args ...any) {
+	c.tel.trace.Emitf("core", kind, agent, format, args...)
+}
+
+// observe is a small helper: record elapsed time since start into h.
+func observe(h *obs.Histogram, start time.Time) { h.Observe(time.Since(start)) }

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"swift/internal/obs"
 )
 
 // Errors.
@@ -50,6 +52,10 @@ type Config struct {
 	// MinUnit and MaxUnit bound the striping unit (defaults 4 KiB and
 	// 256 KiB). Units are powers of two.
 	MinUnit, MaxUnit int64
+	// Obs, when non-nil, is the metric registry the mediator registers
+	// its admission counters and reservation-utilization gauges in. Nil
+	// gets a private registry; telemetry is always recorded.
+	Obs *obs.Registry
 }
 
 // Requirements is what a client asks for when opening a session.
@@ -76,6 +82,8 @@ type Plan struct {
 // Mediator tracks reservations against the installation's capacities.
 type Mediator struct {
 	cfg Config
+
+	tel *telemetry
 
 	mu        sync.Mutex
 	agentLoad []float64
@@ -109,12 +117,14 @@ func New(cfg Config) (*Mediator, error) {
 	if cfg.MinUnit > cfg.MaxUnit || cfg.MinUnit <= 0 {
 		return nil, fmt.Errorf("mediator: bad unit bounds [%d,%d]", cfg.MinUnit, cfg.MaxUnit)
 	}
-	return &Mediator{
+	m := &Mediator{
 		cfg:       cfg,
 		agentLoad: make([]float64, len(cfg.Agents)),
 		netLoad:   make([]float64, len(cfg.Nets)),
 		sessions:  make(map[uint64]*Plan),
-	}, nil
+	}
+	m.initTelemetry(cfg.Obs)
+	return m, nil
 }
 
 // OpenSession admits or rejects a request, reserving agent and network
@@ -203,8 +213,10 @@ func (m *Mediator) OpenSession(req Requirements) (*Plan, error) {
 			p.Addrs = append(p.Addrs, m.cfg.Agents[i].Addr)
 		}
 		m.sessions[p.SessionID] = p
+		m.tel.admits.Inc()
 		return p, nil
 	}
+	m.tel.rejects.Inc()
 	return nil, fmt.Errorf("%w: rate %.0f B/s (redundancy=%v)",
 		ErrUnsatisfiable, req.Rate, req.Redundancy)
 }
@@ -251,6 +263,7 @@ func (m *Mediator) CloseSession(id uint64) error {
 			m.netLoad[j] = 0
 		}
 	}
+	m.tel.closes.Inc()
 	return nil
 }
 

@@ -1,0 +1,62 @@
+package mediator
+
+import (
+	"strconv"
+
+	"swift/internal/obs"
+)
+
+// telemetry is the mediator's observability surface: admission counters
+// and export-time reservation-utilization gauges computed straight from
+// the load tables (never double-booked).
+type telemetry struct {
+	reg     *obs.Registry
+	admits  *obs.Counter // sessions admitted
+	rejects *obs.Counter // sessions rejected (ErrUnsatisfiable)
+	closes  *obs.Counter // sessions closed
+}
+
+// initTelemetry registers the mediator's instruments. The reservation
+// gauges are GaugeFuncs over the live load tables, so exports always see
+// the current utilization without a second bookkeeping path.
+func (m *Mediator) initTelemetry(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m.tel = &telemetry{
+		reg:     reg,
+		admits:  reg.Counter("swift_mediator_admits_total", "Sessions admitted.", nil),
+		rejects: reg.Counter("swift_mediator_rejects_total", "Sessions rejected as unsatisfiable.", nil),
+		closes:  reg.Counter("swift_mediator_closes_total", "Sessions closed.", nil),
+	}
+	reg.GaugeFunc("swift_mediator_sessions", "Active reserved sessions.", nil, func() float64 {
+		return float64(m.Sessions())
+	})
+	for i := range m.cfg.Agents {
+		i := i
+		cap := m.cfg.Agents[i].Rate
+		reg.GaugeFunc("swift_mediator_agent_reserved_ratio",
+			"Fraction of the agent's deliverable rate currently reserved.",
+			obs.Labels{"agent": strconv.Itoa(i)}, func() float64 {
+				if cap <= 0 {
+					return 0
+				}
+				return m.AgentLoad(i) / cap
+			})
+	}
+	for j := range m.cfg.Nets {
+		j := j
+		cap := m.cfg.Nets[j].Capacity
+		reg.GaugeFunc("swift_mediator_net_reserved_ratio",
+			"Fraction of the interconnect's capacity currently reserved.",
+			obs.Labels{"net": m.cfg.Nets[j].Name}, func() float64 {
+				if cap <= 0 {
+					return 0
+				}
+				return m.NetLoad(j) / cap
+			})
+	}
+}
+
+// Obs returns the mediator's metric registry, for export.
+func (m *Mediator) Obs() *obs.Registry { return m.tel.reg }

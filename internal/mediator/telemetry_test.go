@@ -1,0 +1,67 @@
+package mediator
+
+import (
+	"strings"
+	"testing"
+
+	"swift/internal/obs"
+)
+
+// TestMediatorTelemetry: admissions, rejections and reservation
+// utilization must be visible through the registry.
+func TestMediatorTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	m, err := New(Config{
+		Agents: []AgentInfo{
+			{Addr: "a:1", Rate: 1000, Net: 0},
+			{Addr: "b:1", Rate: 1000, Net: 0},
+		},
+		Nets: []NetInfo{{Name: "ether0", Capacity: 1500}},
+		Obs:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := m.OpenSession(Requirements{Rate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OpenSession(Requirements{Rate: 1e9}); err == nil {
+		t.Fatal("expected rejection")
+	}
+	if m.tel.admits.Load() != 1 || m.tel.rejects.Load() != 1 {
+		t.Fatalf("admits=%d rejects=%d, want 1/1",
+			m.tel.admits.Load(), m.tel.rejects.Load())
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"swift_mediator_admits_total 1",
+		"swift_mediator_rejects_total 1",
+		"swift_mediator_sessions 1",
+		"swift_mediator_agent_reserved_ratio",
+		`net="ether0"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q", want)
+		}
+	}
+
+	if err := m.CloseSession(p.SessionID); err != nil {
+		t.Fatal(err)
+	}
+	if m.tel.closes.Load() != 1 {
+		t.Fatalf("closes = %d, want 1", m.tel.closes.Load())
+	}
+	// Reservations released: every agent ratio back to zero.
+	for i := range m.cfg.Agents {
+		if l := m.AgentLoad(i); l != 0 {
+			t.Errorf("agent %d load = %v after close", i, l)
+		}
+	}
+}

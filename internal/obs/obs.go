@@ -1,0 +1,230 @@
+// Package obs is Swift's low-overhead telemetry layer: atomic counters
+// and gauges, log-bucketed latency histograms with percentile snapshots,
+// a structured trace-event ring buffer, and a registry that exports
+// everything in Prometheus text format and JSON.
+//
+// The design constraint is the data path: the Swift engine moves one
+// datagram every few modeled microseconds, so every primitive that can be
+// touched per packet or per burst is a plain atomic operation — no locks,
+// no allocation, no map lookups. Registration (naming a metric, attaching
+// labels) happens once at setup time under a registry mutex; recording is
+// an atomic add into pre-resolved memory.
+//
+// The paper's argument is quantitative — Tables 1-4 exist to locate the
+// bottleneck (client CPU, bus saturation, disk arms) as the system scales.
+// This package is how the grown system keeps answering the same question
+// at runtime: where does the time go, per agent and per session.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+// The zero value is ready to use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+// The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram bucket geometry: values (nanoseconds) are binned into
+// geometric buckets with four sub-buckets per octave, giving a worst-case
+// relative quantization error of about 1/8 of the value — plenty for
+// locating a bottleneck, at the cost of a fixed 2 KiB array per histogram.
+//
+// Values 0..7 ns map exactly to buckets 0..7; larger values v with
+// 2^e <= v < 2^(e+1) map to bucket 4e + (the next two mantissa bits).
+const histBuckets = 256
+
+// bucketOf returns the bucket index for a non-negative value.
+func bucketOf(v int64) int {
+	if v < 8 {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // 2^e <= v < 2^(e+1), e >= 3
+	sub := int(v>>(uint(e)-2)) & 3
+	idx := e*4 + sub
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketBounds returns the [lo, hi) value range covered by bucket idx.
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx < 8 {
+		return int64(idx), int64(idx) + 1
+	}
+	e := idx / 4
+	sub := int64(idx % 4)
+	width := int64(1) << (uint(e) - 2)
+	lo = int64(1)<<uint(e) + sub*width
+	return lo, lo + width
+}
+
+// Histogram is a log-bucketed latency histogram safe for concurrent
+// recording with no locks: every Observe is a handful of atomic adds.
+// The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds+1; 0 means "no observations yet"
+	max     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	// min is stored as v+1 so that 0 can mean "unset".
+	for {
+		cur := h.min.Load()
+		if cur != 0 && v+1 >= cur {
+			break
+		}
+		if h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot is a coherent-enough summary of a histogram: counts, sum and
+// the standard latency percentiles. Percentile values carry the bucket
+// quantization error (≤ ~12.5% relative).
+type Snapshot struct {
+	Count int64
+	Sum   time.Duration
+	Mean  time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot summarizes the histogram. Concurrent recording may skew the
+// snapshot by in-flight observations; it never blocks recorders.
+func (h *Histogram) Snapshot() Snapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	s := Snapshot{Count: total, Sum: time.Duration(h.sum.Load())}
+	if total == 0 {
+		return s
+	}
+	s.Mean = s.Sum / time.Duration(total)
+	if m := h.min.Load(); m > 0 {
+		s.Min = time.Duration(m - 1)
+	}
+	s.Max = time.Duration(h.max.Load())
+	s.P50 = percentileFrom(counts[:], total, 50)
+	s.P90 = percentileFrom(counts[:], total, 90)
+	s.P99 = percentileFrom(counts[:], total, 99)
+	return s
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) from the live
+// buckets.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return percentileFrom(counts[:], total, p)
+}
+
+// percentileFrom walks the cumulative bucket counts to the rank of the
+// requested percentile and interpolates linearly inside the bucket.
+func percentileFrom(counts []int64, total int64, p float64) time.Duration {
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo, hi := bucketBounds(i)
+			// Position of the target rank within this bucket.
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			v := float64(lo) + frac*float64(hi-lo)
+			return time.Duration(math.Round(v))
+		}
+		cum += c
+	}
+	// All counts consumed (rounding): the top occupied bucket's upper edge.
+	for i := len(counts) - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			_, hi := bucketBounds(i)
+			return time.Duration(hi)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace event: a burst-level or lifecycle-level
+// occurrence worth seeing when diagnosing a transfer. Events are emitted
+// off the per-packet hot path (timeouts, failovers, state transitions,
+// session lifecycle) so the ring can afford a mutex.
+type Event struct {
+	Time  time.Time
+	Layer string // emitting layer: "core", "agent", "mediator", ...
+	Kind  string // event class: "read_timeout", "health", "failover", ...
+	Agent int    // agent index when attributable, else -1
+	Msg   string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	if e.Agent >= 0 {
+		return fmt.Sprintf("%s %s/%s agent=%d %s",
+			e.Time.Format("15:04:05.000"), e.Layer, e.Kind, e.Agent, e.Msg)
+	}
+	return fmt.Sprintf("%s %s/%s %s",
+		e.Time.Format("15:04:05.000"), e.Layer, e.Kind, e.Msg)
+}
+
+// TraceRing is a bounded ring buffer of recent trace events. Writers
+// overwrite the oldest entries; Snapshot returns the retained window in
+// order. An optional sink receives every event as it is emitted (the
+// Verbose log hookup).
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events emitted
+	sink func(Event)
+}
+
+// NewTraceRing returns a ring retaining the last n events (minimum 16).
+func NewTraceRing(n int) *TraceRing {
+	if n < 16 {
+		n = 16
+	}
+	return &TraceRing{buf: make([]Event, n)}
+}
+
+// SetSink installs a function that receives every emitted event (nil
+// removes it). The sink is called synchronously after the event is
+// recorded, outside the ring's lock.
+func (r *TraceRing) SetSink(fn func(Event)) {
+	r.mu.Lock()
+	r.sink = fn
+	r.mu.Unlock()
+}
+
+// Emit records one event, stamping the time if unset.
+func (r *TraceRing) Emit(e Event) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	r.mu.Lock()
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink(e)
+	}
+}
+
+// Emitf is Emit with a formatted message.
+func (r *TraceRing) Emitf(layer, kind string, agent int, format string, args ...any) {
+	r.Emit(Event{Layer: layer, Kind: kind, Agent: agent, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Total returns the number of events emitted over the ring's lifetime.
+func (r *TraceRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot returns the retained events, oldest first.
+func (r *TraceRing) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	start := uint64(0)
+	count := r.next
+	if count > n {
+		start = r.next - n
+		count = n
+	}
+	out := make([]Event, 0, count)
+	for i := start; i < r.next; i++ {
+		out = append(out, r.buf[i%n])
+	}
+	return out
+}
+
+// Last returns up to n most recent events, oldest first.
+func (r *TraceRing) Last(n int) []Event {
+	all := r.Snapshot()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}

@@ -126,14 +126,16 @@ type Segment struct {
 	name string
 	cfg  SegmentConfig
 
-	mu        sync.Mutex
-	busyUntil time.Duration
-	busyAccum time.Duration
-	frames    int64
-	bytes     int64
-	lost      int64
-	corrupted int64
-	rng       *rand.Rand
+	mu           sync.Mutex
+	busyUntil    time.Duration
+	busyAccum    time.Duration
+	frames       int64
+	bytes        int64
+	lost         int64
+	corrupted    int64
+	deferrals    int64         // frames that found the bus busy
+	deferredTime time.Duration // modeled time spent waiting for the bus
+	rng          *rand.Rand
 
 	// Runtime fault state (initialized from cfg, mutable while running).
 	lossRate     float64
@@ -235,11 +237,13 @@ func (s *Segment) frameTime(n int) time.Duration {
 
 // Stats reports the segment's cumulative traffic counters.
 type Stats struct {
-	Frames    int64
-	Bytes     int64 // payload bytes carried
-	Lost      int64
-	Corrupted int64 // frames delivered with a flipped payload byte
-	BusyTime  time.Duration // modeled time the bus was occupied
+	Frames       int64
+	Bytes        int64 // payload bytes carried
+	Lost         int64
+	Corrupted    int64         // frames delivered with a flipped payload byte
+	BusyTime     time.Duration // modeled time the bus was occupied
+	Deferrals    int64         // frames that found the bus busy and waited
+	DeferredTime time.Duration // modeled time frames spent waiting for the bus
 }
 
 // Stats returns a snapshot of the segment's counters.
@@ -247,7 +251,22 @@ func (s *Segment) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{Frames: s.frames, Bytes: s.bytes, Lost: s.lost,
-		Corrupted: s.corrupted, BusyTime: s.busyAccum}
+		Corrupted: s.corrupted, BusyTime: s.busyAccum,
+		Deferrals: s.deferrals, DeferredTime: s.deferredTime}
+}
+
+// Utilization returns the fraction of modeled time since the network's
+// epoch that the bus has been occupied — the figure the paper reports for
+// its saturated Ethernet runs.
+func (s *Segment) Utilization() float64 {
+	now := s.net.Now()
+	if now <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	busy := s.busyAccum
+	s.mu.Unlock()
+	return float64(busy) / float64(now)
 }
 
 // Capacity returns the effective payload capacity in bytes/second for
@@ -515,6 +534,10 @@ func (h *Host) send(p []byte, dstHost *Host, dstPort, from string) error {
 		busStart = now
 	}
 	if busStart < seg.busyUntil {
+		// Contention: another sender holds the bus; this frame defers
+		// until the medium frees up (CSMA deference, minus collisions).
+		seg.deferrals++
+		seg.deferredTime += seg.busyUntil - busStart
 		busStart = seg.busyUntil
 	}
 	txEnd := busStart + ft

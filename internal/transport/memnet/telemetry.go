@@ -1,0 +1,36 @@
+package memnet
+
+import (
+	"swift/internal/obs"
+)
+
+// Register exports the segment's traffic counters and bus utilization
+// into reg. All series are computed at export time from the segment's own
+// bookkeeping — registering adds no cost to the modeled data path.
+func (s *Segment) Register(reg *obs.Registry) {
+	l := obs.Labels{"segment": s.name}
+	reg.CounterFunc("swift_net_frames_total", "Frames carried by the segment.", l,
+		func() float64 { return float64(s.Stats().Frames) })
+	reg.CounterFunc("swift_net_bytes_total", "Payload bytes carried by the segment.", l,
+		func() float64 { return float64(s.Stats().Bytes) })
+	reg.CounterFunc("swift_net_lost_total", "Frames dropped on the wire.", l,
+		func() float64 { return float64(s.Stats().Lost) })
+	reg.CounterFunc("swift_net_corrupted_total", "Frames delivered with a flipped payload byte.", l,
+		func() float64 { return float64(s.Stats().Corrupted) })
+	reg.CounterFunc("swift_net_deferrals_total", "Frames that found the bus busy and deferred.", l,
+		func() float64 { return float64(s.Stats().Deferrals) })
+	reg.GaugeFunc("swift_net_deferred_seconds", "Cumulative modeled time frames waited for the bus.", l,
+		func() float64 { return s.Stats().DeferredTime.Seconds() })
+	reg.GaugeFunc("swift_net_busy_seconds", "Cumulative modeled time the bus was occupied.", l,
+		func() float64 { return s.Stats().BusyTime.Seconds() })
+	reg.GaugeFunc("swift_net_utilization", "Fraction of modeled time the bus has been occupied.", l,
+		func() float64 { return s.Utilization() })
+}
+
+// Register exports the host's queue-drop counter into reg.
+func (h *Host) Register(reg *obs.Registry) {
+	l := obs.Labels{"host": h.name}
+	reg.CounterFunc("swift_net_host_drops_total",
+		"Datagrams the host discarded from full ingress or port queues.", l,
+		func() float64 { return float64(h.Drops()) })
+}

@@ -7,14 +7,50 @@ package udpnet
 import (
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
+	"swift/internal/obs"
 	"swift/internal/transport"
 )
 
 // Host binds endpoints on a single IP address (e.g. "127.0.0.1").
+// It keeps atomic traffic totals across all its sockets.
 type Host struct {
 	ip string
+
+	pktsIn, pktsOut   atomic.Int64
+	bytesIn, bytesOut atomic.Int64
+}
+
+// Stats is a snapshot of a Host's cumulative socket traffic.
+type Stats struct {
+	PacketsIn, PacketsOut int64
+	BytesIn, BytesOut     int64
+}
+
+// Stats returns the host's cumulative traffic totals.
+func (h *Host) Stats() Stats {
+	return Stats{
+		PacketsIn:  h.pktsIn.Load(),
+		PacketsOut: h.pktsOut.Load(),
+		BytesIn:    h.bytesIn.Load(),
+		BytesOut:   h.bytesOut.Load(),
+	}
+}
+
+// Register exports the host's traffic totals into reg, computed at export
+// time from the live atomics.
+func (h *Host) Register(reg *obs.Registry) {
+	l := obs.Labels{"host": h.ip}
+	reg.CounterFunc("swift_udp_packets_in_total", "UDP datagrams received.", l,
+		func() float64 { return float64(h.pktsIn.Load()) })
+	reg.CounterFunc("swift_udp_packets_out_total", "UDP datagrams sent.", l,
+		func() float64 { return float64(h.pktsOut.Load()) })
+	reg.CounterFunc("swift_udp_bytes_in_total", "UDP payload bytes received.", l,
+		func() float64 { return float64(h.bytesIn.Load()) })
+	reg.CounterFunc("swift_udp_bytes_out_total", "UDP payload bytes sent.", l,
+		func() float64 { return float64(h.bytesOut.Load()) })
 }
 
 // NewHost returns a Host binding sockets on the given IP address.
@@ -35,11 +71,12 @@ func (h *Host) Listen(port string) (transport.PacketConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udpnet: listen %s:%s: %w", h.ip, port, err)
 	}
-	return &conn{pc: pc}, nil
+	return &conn{host: h, pc: pc}, nil
 }
 
 type conn struct {
-	pc net.PacketConn
+	host *Host
+	pc   net.PacketConn
 }
 
 func (c *conn) WriteTo(p []byte, addr string) error {
@@ -48,6 +85,10 @@ func (c *conn) WriteTo(p []byte, addr string) error {
 		return fmt.Errorf("udpnet: resolve %q: %w", addr, err)
 	}
 	_, err = c.pc.WriteTo(p, ua)
+	if err == nil {
+		c.host.pktsOut.Add(1)
+		c.host.bytesOut.Add(int64(len(p)))
+	}
 	return err
 }
 
@@ -59,6 +100,8 @@ func (c *conn) ReadFrom(p []byte) (int, string, error) {
 		}
 		return n, "", err
 	}
+	c.host.pktsIn.Add(1)
+	c.host.bytesIn.Add(int64(n))
 	return n, from.String(), nil
 }
 

@@ -1,0 +1,88 @@
+#!/bin/sh
+# Observability smoke: boot the load harness and a storage agent daemon
+# with their HTTP telemetry endpoints, and verify that live series from
+# every layer (client, modeled network, storage agent) are scrapeable in
+# both export formats while traffic is flowing.
+set -eu
+
+LOAD_ADDR=127.0.0.1:19090
+AGENT_ADDR=127.0.0.1:19091
+TMP=$(mktemp -d)
+LOAD_PID=
+SWIFTD_PID=
+trap 'kill $LOAD_PID $SWIFTD_PID 2>/dev/null; rm -rf "$TMP"' EXIT
+
+fetch() { # fetch URL FILE
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS -o "$2" "$1"
+	else
+		wget -q -O "$2" "$1"
+	fi
+}
+
+wait_for() { # wait_for URL
+	i=0
+	while ! fetch "$1" "$TMP/probe" 2>/dev/null; do
+		i=$((i + 1))
+		[ "$i" -ge 50 ] && { echo "timeout waiting for $1" >&2; exit 1; }
+		sleep 0.2
+	done
+}
+
+# Run the built binaries directly (not `go run`) so the cleanup trap
+# kills the server processes themselves, not a wrapper.
+go build -o "$TMP/swift-load" ./cmd/swift-load
+go build -o "$TMP/swiftd" ./cmd/swiftd
+
+echo "== swift-load telemetry endpoint"
+"$TMP/swift-load" -requests 1500 -rate 40 -metrics "$LOAD_ADDR" \
+	>"$TMP/load.out" 2>&1 &
+LOAD_PID=$!
+
+echo "== swiftd telemetry endpoint"
+"$TMP/swiftd" -mem -port 17070 -metrics "$AGENT_ADDR" \
+	>"$TMP/swiftd.out" 2>&1 &
+SWIFTD_PID=$!
+
+wait_for "http://$LOAD_ADDR/metrics"
+
+# The load must be observable mid-flight: poll until the client write
+# series (advancing from the prefill phase onward) has moved past zero.
+i=0
+while :; do
+	fetch "http://$LOAD_ADDR/metrics" "$TMP/metrics"
+	grep -q 'swift_client_write_seconds_count [1-9]' "$TMP/metrics" && break
+	i=$((i + 1))
+	[ "$i" -ge 100 ] && { echo "client series never advanced" >&2; cat "$TMP/metrics" >&2; exit 1; }
+	sleep 0.2
+done
+
+for series in \
+	swift_client_read_seconds \
+	swift_client_agent_read_bursts_total \
+	swift_net_frames_total \
+	swift_net_utilization; do
+	grep -q "$series" "$TMP/metrics" || { echo "missing $series" >&2; exit 1; }
+done
+# Prometheus text framing.
+grep -q '^# TYPE swift_client_read_seconds summary' "$TMP/metrics"
+
+fetch "http://$LOAD_ADDR/metrics?format=json" "$TMP/metrics.json"
+grep -q '"name":"swift_client_read_seconds"' "$TMP/metrics.json"
+fetch "http://$LOAD_ADDR/trace" "$TMP/trace"
+fetch "http://$LOAD_ADDR/debug/pprof/" "$TMP/pprof"
+grep -q goroutine "$TMP/pprof"
+
+wait_for "http://$AGENT_ADDR/metrics"
+fetch "http://$AGENT_ADDR/metrics" "$TMP/agent.metrics"
+for series in swift_agent_sessions swift_udp_packets_in_total; do
+	grep -q "$series" "$TMP/agent.metrics" || { echo "missing $series (swiftd)" >&2; exit 1; }
+done
+
+# The load run itself must finish cleanly and print its telemetry epilogue.
+wait "$LOAD_PID"
+LOAD_PID=
+grep -q 'protocol:' "$TMP/load.out"
+grep -q '^net ' "$TMP/load.out"
+
+echo "observability smoke OK"

@@ -42,6 +42,7 @@ import (
 
 	"swift/internal/agent"
 	"swift/internal/core"
+	"swift/internal/obs"
 	"swift/internal/store"
 	"swift/internal/transport"
 )
@@ -88,6 +89,14 @@ type Config struct {
 	AutoRebuild bool
 	// Logf receives diagnostics.
 	Logf func(format string, args ...any)
+	// Verbose additionally routes burst-level trace events (failovers,
+	// timeouts, lifecycle transitions) to Logf, prefixed "trace:".
+	Verbose bool
+	// Obs, when non-nil, is the metric registry the client registers its
+	// telemetry in, for export over HTTP (see internal/obs.Serve). Nil
+	// gets a private registry; telemetry is always recorded and available
+	// through FS.Stats.
+	Obs *obs.Registry
 }
 
 // FS is a handle to a striped object store: the Swift distribution agent.
@@ -118,6 +127,8 @@ func Dial(cfg Config) (*FS, error) {
 		WritePace:    cfg.WritePace,
 		Sleep:        cfg.Sleep,
 		Logf:         cfg.Logf,
+		Verbose:      cfg.Verbose,
+		Obs:          cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -196,6 +207,37 @@ func (fs *FS) Health() []AgentHealth { return fs.c.Health() }
 // returns the resulting snapshot. The background monitor (see
 // Config.HealthInterval) calls the same machinery on a timer.
 func (fs *FS) CheckHealth() []AgentHealth { return fs.c.ProbeOnce() }
+
+// Stats is the client's full telemetry snapshot: protocol counters,
+// per-operation latency percentiles, and the per-agent breakdown.
+type Stats = core.StatsSnapshot
+
+// AgentStats is one agent's telemetry snapshot within Stats.
+type AgentStats = core.AgentStats
+
+// MetricsSnapshot is a value copy of the client's protocol counters.
+type MetricsSnapshot = core.MetricsSnapshot
+
+// LatencySnapshot summarizes one latency histogram: count, mean, min,
+// max and the p50/p90/p99 percentiles.
+type LatencySnapshot = obs.Snapshot
+
+// TraceEvent is one retained burst-level trace event.
+type TraceEvent = obs.Event
+
+// Stats snapshots the client's telemetry. Safe to call during live
+// transfers; recording is never blocked.
+func (fs *FS) Stats() Stats { return fs.c.Stats() }
+
+// Metrics returns a value copy of the client's protocol counters.
+func (fs *FS) Metrics() MetricsSnapshot { return fs.c.MetricsSnapshot() }
+
+// TraceEvents returns up to n recent trace events, oldest first.
+func (fs *FS) TraceEvents(n int) []TraceEvent { return fs.c.TraceEvents(n) }
+
+// Obs returns the client's metric registry, for HTTP export or custom
+// instrument registration.
+func (fs *FS) Obs() *obs.Registry { return fs.c.Obs() }
 
 // Close releases the client's network resources. Files opened from the
 // FS must be closed separately.
