@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test race fuzz bench tables figures ablations examples \
-	obs-test obs-smoke clean
+	obs-test obs-smoke scrub-smoke clean
 
 all: build vet test obs-test
 
@@ -31,10 +31,17 @@ obs-test:
 obs-smoke:
 	sh scripts/obs-smoke.sh
 
-# Short fuzz pass over the wire codecs (CI smoke; go native fuzzing).
+# End-to-end data-integrity smoke: rot a fragment on disk beneath the
+# checksum envelope, then detect, repair, and verify through swiftctl.
+scrub-smoke:
+	sh scripts/scrub-smoke.sh
+
+# Short fuzz pass over the wire codecs and the at-rest integrity
+# envelope (CI smoke; go native fuzzing).
 fuzz:
 	$(GO) test ./internal/wire/ -run XXX -fuzz FuzzUnmarshal -fuzztime 20s
 	$(GO) test ./internal/wire/ -run XXX -fuzz FuzzControlPayloads -fuzztime 20s
+	$(GO) test ./internal/integrity/ -run XXX -fuzz FuzzIntegrityEnvelope -fuzztime 20s
 
 # One benchmark per paper table/figure plus micro-benchmarks.
 bench:

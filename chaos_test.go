@@ -10,6 +10,7 @@ import (
 
 	"swift"
 	"swift/internal/faultinject"
+	"swift/internal/integrity"
 	"swift/internal/store"
 	"swift/internal/transport/memnet"
 )
@@ -17,15 +18,19 @@ import (
 // TestChaosSoak is the tier-1 robustness proof: a parity-protected
 // installation absorbs a deterministic, seeded schedule of serialized
 // faults — agent crashes with restarts, partitions with heals, latency
-// spikes, loss bursts — while continuous read/write traffic flows, and
+// spikes, loss bursts, and at-rest bitrot beneath the integrity
+// envelope — while continuous read/write traffic flows, and
 //
-//   - every read returns exactly the bytes the in-memory mirror predicts;
+//   - every read returns exactly the bytes the in-memory mirror predicts:
+//     corrupt blocks are detected by the envelope and never served;
 //   - no operation errors, because at most one agent is impaired at a
 //     time and computed-copy redundancy masks a single failure;
 //   - every crashed or partitioned agent is re-admitted automatically by
 //     the background health monitor (observed via FS.Health()), with its
 //     fragments rebuilt from parity — the test never calls a manual
-//     recovery entry point.
+//     recovery entry point;
+//   - seeded bitrot is fully healed: after a scrub-and-repair pass, a
+//     verification scrub finds zero corruptions and zero mismatches.
 func TestChaosSoak(t *testing.T) {
 	const (
 		nAgents = 4
@@ -43,13 +48,19 @@ func TestChaosSoak(t *testing.T) {
 		ResendCheck: 5 * time.Millisecond,
 		ResendAfter: 10 * time.Millisecond,
 	}
+	// Each agent keeps its fragments in the integrity envelope over a raw
+	// in-memory store; bitrot events flip bytes in the raw image, beneath
+	// the checksums, exactly like decaying media.
+	const blockSize = 4096
 	agents := make([]*swift.Agent, nAgents)
 	hosts := make([]*memnet.Host, nAgents)
+	raw := make([]*store.Mem, nAgents)
 	sts := make([]store.Store, nAgents)
 	addrs := make([]string, nAgents)
 	for i := 0; i < nAgents; i++ {
 		hosts[i] = n.MustHost(fmt.Sprintf("agent%d", i), memnet.HostConfig{}, seg)
-		sts[i] = swift.NewMemStore()
+		raw[i] = store.NewMem()
+		sts[i] = integrity.NewStore(raw[i], blockSize)
 		a, err := swift.StartAgent(hosts[i], sts[i], agentCfg)
 		if err != nil {
 			t.Fatalf("agent %d: %v", i, err)
@@ -78,6 +89,10 @@ func TestChaosSoak(t *testing.T) {
 		MaxRetries:     20,
 		HealthInterval: 25 * time.Millisecond,
 		AutoRebuild:    true,
+		// Background scrubbing heals bitrot between fault windows, so
+		// damage cannot accumulate into a same-row double corruption.
+		ScrubInterval: 100 * time.Millisecond,
+		Logf:          t.Logf,
 	})
 	if err != nil {
 		t.Fatalf("dial: %v", err)
@@ -128,11 +143,43 @@ func TestChaosSoak(t *testing.T) {
 			agents[i] = a
 			return nil
 		},
+		// Bitrot: flip a few bytes of one object's raw fragment image on
+		// agent i — beneath the integrity envelope, like decaying media.
+		// Deterministic in the event seed.
+		Bitrot: func(i int, seed int64) error {
+			r := rand.New(rand.NewSource(seed))
+			names, err := raw[i].List()
+			if err != nil || len(names) == 0 {
+				return err
+			}
+			obj, err := raw[i].Open(names[r.Intn(len(names))], false)
+			if err != nil {
+				return err
+			}
+			defer obj.Close()
+			size, err := obj.Size()
+			if err != nil || size == 0 {
+				return err
+			}
+			flips := 1 + r.Intn(3)
+			b := make([]byte, 1)
+			for k := 0; k < flips; k++ {
+				off := r.Int63n(size)
+				if _, err := obj.ReadAt(b, off); err != nil {
+					return err
+				}
+				b[0] ^= byte(1 + r.Intn(255))
+				if _, err := obj.WriteAt(b, off); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
 	}, t.Logf)
 	sched := faultinject.RandomSchedule(11, faultinject.ScheduleOpts{
 		Agents:   nAgents,
 		Segments: 1,
-		Duration: 3500 * time.Millisecond,
+		Duration: 4200 * time.Millisecond,
 		MinFault: 150 * time.Millisecond,
 		MaxFault: 300 * time.Millisecond,
 		Gap:      400 * time.Millisecond,
@@ -141,6 +188,7 @@ func TestChaosSoak(t *testing.T) {
 			faultinject.KindPartition,
 			faultinject.KindLatencySpike,
 			faultinject.KindLossBurst,
+			faultinject.KindBitrot,
 		},
 	})
 	if len(sched) < 8 {
@@ -201,9 +249,9 @@ soak:
 		t.Fatalf("soak performed only %d operations", ops)
 	}
 
-	// All four fault families must actually have fired.
+	// All five fault families must actually have fired.
 	applied := strings.Join(ctl.Log(), "\n")
-	for _, family := range []string{"crash-agent", "partition", "latency-spike", "loss-burst"} {
+	for _, family := range []string{"crash-agent", "partition", "latency-spike", "loss-burst", "bitrot"} {
 		if !strings.Contains(applied, family) {
 			t.Fatalf("fault family %s never applied:\n%s", family, applied)
 		}
@@ -229,6 +277,85 @@ soak:
 		time.Sleep(10 * time.Millisecond)
 	}
 
+	// Health says every agent answers probes, but per-file sessions to a
+	// restarted agent are re-established asynchronously. A scrub pass
+	// only counts a row when every session is live and every agent
+	// healthy, so a clean (skip-free, finding-free) pass over the open
+	// set proves the stripe is whole before the drill seeds new damage.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		rep := fs.ScrubOpen()
+		if rep.Clean() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Logf("health at timeout: %+v", fs.Health())
+			t.Fatalf("stripe never quiesced after the soak: %s", rep)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Deterministic bitrot drill. Flip one byte in a data unit of every
+	// agent's fragment of obj0 — agent i at stripe row i, and with four
+	// agents ParityAgent(i) = 3-i is never i, so each flip lands in data —
+	// plus one byte in a parity unit (agent 3 holds row 4's parity). All
+	// five flips sit in distinct rows, so single-parity repair covers
+	// every one.
+	flip := func(agent int, localOff int64) {
+		b := localOff / blockSize
+		phys := b*(blockSize+integrity.HeaderSize) + integrity.HeaderSize + localOff%blockSize
+		obj, err := raw[agent].Open("obj0", false)
+		if err != nil {
+			t.Fatalf("drill: open raw obj0 on agent %d: %v", agent, err)
+		}
+		defer obj.Close()
+		var one [1]byte
+		if _, err := obj.ReadAt(one[:], phys); err != nil {
+			t.Fatalf("drill: read raw byte on agent %d: %v", agent, err)
+		}
+		one[0] ^= 0xA5
+		if _, err := obj.WriteAt(one[:], phys); err != nil {
+			t.Fatalf("drill: flip raw byte on agent %d: %v", agent, err)
+		}
+	}
+	before := fs.Metrics()
+	for i := 0; i < nAgents; i++ {
+		flip(i, int64(i)*4096+137)
+	}
+	flip(3, 4*4096+512) // row 4's parity unit lives on agent 3
+
+	// The rotten bytes must never be served: the envelope detects them
+	// and read-repair reconstructs from parity on the fly.
+	got := make([]byte, objSize)
+	if _, err := files[0].ReadAt(got, 0); err != nil {
+		t.Fatalf("bitrot drill read: %v", err)
+	}
+	if !bytes.Equal(got, mirrors[0]) {
+		t.Fatal("bitrot drill read returned corrupt bytes")
+	}
+	// Scrub-and-repair heals what reads do not touch (the parity unit);
+	// the verification pass must then be spotless.
+	if _, err := files[0].Scrub(swift.ScrubOptions{Repair: true}); err != nil {
+		t.Fatalf("scrub repair: %v", err)
+	}
+	rep, err := files[0].Scrub(swift.ScrubOptions{})
+	if err != nil {
+		t.Fatalf("verification scrub: %v", err)
+	}
+	if rep.Corruptions != 0 || rep.ParityMismatches != 0 || rep.Unrepairable != 0 {
+		t.Fatalf("verification scrub not clean: %s", rep)
+	}
+	delta := fs.Metrics().Sub(before)
+	if delta.Corruptions == 0 {
+		t.Fatal("drill: no corruption detected (flips were served or missed)")
+	}
+	if delta.Repairs == 0 {
+		t.Fatal("drill: no unit repaired")
+	}
+	if m := fs.Metrics(); m.Unrepairable != 0 {
+		t.Fatalf("unrepairable corruption events: %d", m.Unrepairable)
+	}
+
 	// Final end-to-end audit: every object reads back exactly as the
 	// mirror predicts, through the healthy (non-degraded) path.
 	for i, f := range files {
@@ -240,5 +367,6 @@ soak:
 			t.Fatalf("final read obj%d does not match mirror", i)
 		}
 	}
-	t.Logf("soak: %d ops, %d faults applied, all agents re-admitted", ops, len(ctl.Log()))
+	t.Logf("soak: %d ops, %d faults applied, %d corruptions detected, %d units repaired, all agents re-admitted",
+		ops, len(ctl.Log()), fs.Metrics().Corruptions, fs.Metrics().Repairs)
 }

@@ -19,12 +19,15 @@
 //	stats [-watch]        client telemetry: counters, latency percentiles,
 //	                      per-agent attribution; -watch refreshes, -mb N
 //	                      drives a background transfer loop while watching
-//	scrub OBJECT          verify parity consistency; -repair fixes rows
+//	scrub [OBJECT]        verify at-rest integrity and parity row by row;
+//	                      -repair heals from parity, -all scrubs every object
 //	bench [-mb N]         measure read & write data-rates against the agents
 //
 // Flags -unit, -parity and -rate select the striping parameters; -rate
 // asks the built-in mediator policy to pick agents and unit size for a
-// required data-rate in KB/s.
+// required data-rate in KB/s. With -lease-ttl the mediator reservation
+// is leased: swiftctl heartbeats it in the background for as long as the
+// command runs, and the reservation self-releases if the process dies.
 package main
 
 import (
@@ -54,6 +57,7 @@ func main() {
 	parity := flag.Bool("parity", false, "enable computed-copy redundancy")
 	rate := flag.Float64("rate", 0, "required data-rate in KB/s (mediator picks agents and unit)")
 	agentRate := flag.Float64("agent-rate", 400, "per-agent deliverable rate in KB/s, for -rate")
+	leaseTTL := flag.Duration("lease-ttl", 0, "with -rate, lease the mediator reservation and heartbeat it")
 	syncw := flag.Bool("sync", false, "synchronous writes")
 	flag.Usage = usage
 	flag.Parse()
@@ -81,12 +85,14 @@ func main() {
 			infos[i] = mediator.AgentInfo{Addr: a, Rate: *agentRate * 1024, Net: 0}
 		}
 		med, err := mediator.New(mediator.Config{
-			Agents: infos,
-			Nets:   []mediator.NetInfo{{Name: "net", Capacity: 1e12}},
+			Agents:   infos,
+			Nets:     []mediator.NetInfo{{Name: "net", Capacity: 1e12}},
+			LeaseTTL: *leaseTTL,
 		})
 		if err != nil {
 			fatal(err)
 		}
+		defer med.Close()
 		plan, err := med.OpenSession(mediator.Requirements{
 			Rate:       *rate * 1024,
 			Redundancy: *parity,
@@ -97,6 +103,36 @@ func main() {
 		cfg.Agents = plan.Addrs
 		cfg.StripeUnit = plan.Unit
 		fmt.Fprintf(os.Stderr, "swiftctl: plan: %d agents, unit %d\n", len(plan.Addrs), plan.Unit)
+		if *leaseTTL > 0 {
+			// Heartbeat the reservation while the command runs; stopping
+			// lets the lease lapse and the mediator reclaim the rate.
+			for _, s := range med.SessionList() {
+				fmt.Fprintf(os.Stderr, "swiftctl: session %d leased, expires %s\n",
+					s.ID, s.Expires.Format(time.RFC3339))
+			}
+			stopRenew := make(chan struct{})
+			defer close(stopRenew)
+			go func() {
+				iv := *leaseTTL / 3
+				if iv <= 0 {
+					iv = time.Millisecond
+				}
+				tick := time.NewTicker(iv)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stopRenew:
+						return
+					case <-tick.C:
+						if err := med.Renew(plan.SessionID); err != nil {
+							fmt.Fprintf(os.Stderr, "swiftctl: lease renewal: %v\n", err)
+							return
+						}
+					}
+				}
+			}()
+			defer med.CloseSession(plan.SessionID)
+		}
 	}
 
 	fs, err := swift.Dial(cfg)
@@ -356,6 +392,8 @@ func printStats(s swift.Stats, prev swift.MetricsSnapshot, interval time.Duratio
 	fmt.Printf("bursts: read=%d%s (timeouts %d)  write=%d%s (timeouts %d)  resends=%d  backoffs=%d  probes=%d\n",
 		c.ReadBursts, suffix, c.ReadTimeouts, c.WriteBursts, suffix,
 		c.WriteTimeouts, c.ResendAsks, c.Backoffs, c.Probes)
+	fmt.Printf("integrity: corruptions=%d repairs=%d unrepairable=%d scrubbed_rows=%d\n",
+		c.Corruptions, c.Repairs, c.Unrepairable, c.ScrubRows)
 	printHist := func(label string, h swift.LatencySnapshot) {
 		if h.Count == 0 {
 			return
@@ -378,39 +416,48 @@ func printStats(s swift.Stats, prev swift.MetricsSnapshot, interval time.Duratio
 	}
 }
 
+// cmdScrub verifies at-rest integrity (checksum envelopes) and parity
+// consistency row by row — the maintenance pass an installation runs on a
+// schedule. With -repair, damaged units are rewritten from parity and
+// stale parity is recomputed from the data. The exit status reflects the
+// verdict: an error is returned when damage was found but not healed.
 func cmdScrub(fs *swift.FS, args []string) error {
 	scrubFlags := flag.NewFlagSet("scrub", flag.ExitOnError)
-	repair := scrubFlags.Bool("repair", false, "recompute parity for inconsistent rows")
+	repair := scrubFlags.Bool("repair", false, "rewrite corrupt units from parity; recompute stale parity")
+	all := scrubFlags.Bool("all", false, "scrub every object on the agent set")
+	pause := scrubFlags.Duration("pause", 0, "pause between stripe rows (rate-limit the pass)")
 	if err := scrubFlags.Parse(args); err != nil {
 		return err
 	}
-	if scrubFlags.NArg() < 1 {
-		return fmt.Errorf("scrub needs an object name")
+	opts := swift.ScrubOptions{Repair: *repair, RowPause: *pause}
+
+	var (
+		rep  swift.ScrubReport
+		err  error
+		what string
+	)
+	switch {
+	case *all:
+		what = "all objects"
+		rep, err = fs.ScrubAll(opts)
+	case scrubFlags.NArg() >= 1:
+		what = scrubFlags.Arg(0)
+		rep, err = fs.ScrubObject(what, opts)
+	default:
+		return fmt.Errorf("scrub needs an object name (or -all)")
 	}
-	name := scrubFlags.Arg(0)
-	f, err := fs.Open(name)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	bad, err := f.VerifyParity()
-	if err != nil {
-		return err
+	fmt.Printf("%s: %s\n", what, rep)
+	switch {
+	case rep.Unrepairable > 0:
+		return fmt.Errorf("%d corrupt units exceed parity redundancy", rep.Unrepairable)
+	case (rep.Corruptions > 0 || rep.ParityMismatches > 0) && !*repair:
+		return fmt.Errorf("damage found; run with -repair to heal from parity")
+	case rep.Skipped > 0:
+		return fmt.Errorf("%d rows skipped (agent out or unsettled); re-run once healthy", rep.Skipped)
 	}
-	if len(bad) == 0 {
-		fmt.Printf("%s: parity consistent (%d bytes)\n", name, f.Size())
-		return nil
-	}
-	fmt.Printf("%s: %d inconsistent stripe rows: %v\n", name, len(bad), bad)
-	if !*repair {
-		return fmt.Errorf("run with -repair to recompute parity from the data units")
-	}
-	for _, r := range bad {
-		if err := f.RepairRow(r); err != nil {
-			return fmt.Errorf("repair row %d: %w", r, err)
-		}
-	}
-	fmt.Printf("repaired %d rows\n", len(bad))
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"syscall"
 
 	"swift/internal/agent"
+	"swift/internal/integrity"
 	"swift/internal/obs"
 	"swift/internal/store"
 	"swift/internal/transport/udpnet"
@@ -33,6 +34,8 @@ func main() {
 	dir := flag.String("dir", "", "directory for the object store (required unless -mem)")
 	mem := flag.Bool("mem", false, "keep objects in memory instead of on disk")
 	sync := flag.Bool("sync", false, "write through to stable storage before acknowledging")
+	withIntegrity := flag.Bool("integrity", false, "store fragments in the block-checksum envelope (detects at-rest corruption)")
+	blockSize := flag.Int64("blocksize", 0, "integrity envelope block size in bytes (default 4096; implies -integrity)")
 	verbose := flag.Bool("v", false, "log protocol diagnostics and burst-level trace events")
 	metrics := flag.String("metrics", "", "HTTP address for /metrics, /trace and /debug/pprof (e.g. :9090; empty = off)")
 	flag.Parse()
@@ -53,6 +56,13 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	if *withIntegrity || *blockSize > 0 {
+		ist := integrity.NewStore(st, *blockSize)
+		reg.CounterFunc("swift_store_corruptions_total",
+			"At-rest corruption detected by the integrity envelope.", nil,
+			func() float64 { return float64(ist.Corruptions()) })
+		st = ist
+	}
 	host := udpnet.NewHost(*addr)
 	host.Register(reg)
 	cfg := agent.Config{Port: *port, SyncWrites: *sync, Obs: reg, Verbose: *verbose}
@@ -63,8 +73,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("start: %v", err)
 	}
-	log.Printf("storage agent serving on %s (store=%s sync=%v)",
-		a.Addr(), storeDesc(*mem, *dir), *sync)
+	log.Printf("storage agent serving on %s (store=%s sync=%v integrity=%v)",
+		a.Addr(), storeDesc(*mem, *dir), *sync, *withIntegrity || *blockSize > 0)
 
 	if *metrics != "" {
 		msrv, err := obs.Serve(*metrics, reg, a.Trace())

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"swift/internal/extent"
+	"swift/internal/integrity"
 	"swift/internal/obs"
 	"swift/internal/store"
 	"swift/internal/transport"
@@ -61,6 +62,12 @@ type Config struct {
 	// beyond it are rejected, like a process running out of
 	// descriptors.
 	MaxSessions int
+	// MaxBurstBytes bounds one announced write burst (default 8 MiB).
+	// Bursts are buffered in memory until complete and applied to the
+	// store in one piece, so a partially received burst never leaves
+	// a torn range on disk; announcements beyond the bound are
+	// rejected.
+	MaxBurstBytes int64
 	// Logf receives diagnostic messages (default: none).
 	Logf func(format string, args ...any)
 	// Verbose additionally routes burst-level trace events (session
@@ -94,6 +101,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxSessions == 0 {
 		c.MaxSessions = 256
+	}
+	if c.MaxBurstBytes == 0 {
+		c.MaxBurstBytes = 8 << 20
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -184,8 +194,14 @@ func (a *Agent) send(c transport.PacketConn, to string, p *wire.Packet) {
 	}
 }
 
-// sendError reports a failed request to the client.
+// sendError reports a failed request to the client. Corruption errors
+// are additionally counted: they mean the store detected damaged bytes
+// at rest and refused to serve them.
 func (a *Agent) sendError(c transport.PacketConn, to string, req *wire.Packet, err error) {
+	if integrity.IsCorrupt(err) {
+		a.tel.corruptErrs.Inc()
+		a.traceEvent("corrupt", "req %d: %v", req.ReqID, err)
+	}
 	a.send(c, to, &wire.Packet{
 		Header:  wire.Header{Type: wire.TError, ReqID: req.ReqID, Handle: req.Handle},
 		Payload: wire.AppendError(nil, err.Error()),
@@ -410,19 +426,35 @@ func (a *Agent) dropSession(s *session) {
 	a.tel.sessions.Set(int64(live))
 }
 
-// writeState tracks one announced write burst.
+// writeState tracks one announced write burst. Arriving data packets
+// are buffered in data (sized at announce time) and applied to the
+// store in one WriteAt once every expected byte is present, so the
+// store never sees a torn burst — which also lets a checksumming store
+// treat unit-aligned bursts as whole-block overwrites.
 type writeState struct {
 	announced bool
 	off       int64
 	length    int64
 	flags     uint16
-	received  extent.Set
-	first     time.Time // when the burst was first seen (announce or data)
-	progress  time.Time // last time new data arrived
-	prompted  time.Time // last time a resend was requested
-	done      bool
-	doneAt    time.Time
-	from      string
+	data      []byte
+	// early holds data packets that overtook the announcement
+	// (datagrams reorder); they are replayed into data once the
+	// announcement sizes the buffer.
+	early      []earlyData
+	earlyBytes int64
+	received   extent.Set
+	first      time.Time // when the burst was first seen (announce or data)
+	progress   time.Time // last time new data arrived
+	prompted   time.Time // last time a resend was requested
+	done       bool
+	doneAt     time.Time
+	from       string
+}
+
+// earlyData is one buffered pre-announcement data packet.
+type earlyData struct {
+	off int64
+	b   []byte
 }
 
 // session is the secondary thread of control serving one open file.
@@ -597,41 +629,101 @@ func (s *session) handleWriteAnnounce(pkt *wire.Packet, from string) {
 		s.ackWrite(pkt.ReqID, w, from)
 		return
 	}
+	if int64(pkt.Length) > s.agent.cfg.MaxBurstBytes {
+		delete(s.writes, pkt.ReqID)
+		s.agent.sendError(s.conn, from, pkt,
+			fmt.Errorf("write burst of %d bytes exceeds limit %d", pkt.Length, s.agent.cfg.MaxBurstBytes))
+		return
+	}
 	w.announced = true
 	w.off = pkt.Offset
 	w.length = int64(pkt.Length)
 	w.flags = pkt.Flags
 	w.from = from
+	if int64(len(w.data)) != w.length {
+		w.data = make([]byte, w.length)
+		w.received.Reset()
+	}
+	// Replay data packets that overtook this announcement.
+	for _, e := range w.early {
+		s.bufferData(w, e.off, e.b)
+	}
+	w.early, w.earlyBytes = nil, 0
 	s.completeIfReady(pkt.ReqID, w, from)
 }
 
-// handleData applies one write data packet.
+// bufferData copies one data payload into its burst buffer, rejecting
+// ranges outside the announced burst.
+func (s *session) bufferData(w *writeState, off int64, payload []byte) bool {
+	rel := off - w.off
+	if rel < 0 || rel+int64(len(payload)) > w.length {
+		s.agent.tel.badPackets.Inc()
+		s.agent.cfg.Logf("agent %s session %d: data [%d,+%d) outside burst [%d,+%d)",
+			s.agent.host.Name(), s.handle, off, len(payload), w.off, w.length)
+		return false
+	}
+	copy(w.data[rel:], payload)
+	s.agent.tel.dataPackets.Inc()
+	s.agent.tel.writeBytes.Add(int64(len(payload)))
+	w.received.Add(off, int64(len(payload)))
+	w.progress = time.Now()
+	return true
+}
+
+// handleData buffers one write data packet into its announced burst.
+// Packets that overtake the announcement are kept aside (the buffer
+// cannot be sized without it) and replayed when it arrives; should the
+// early stash overflow, the resend machinery recovers the payload.
 func (s *session) handleData(pkt *wire.Packet, from string) {
 	if len(pkt.Payload) == 0 {
 		return
 	}
-	if _, err := s.obj.WriteAt(pkt.Payload, pkt.Offset); err != nil {
-		s.agent.sendError(s.conn, from, pkt, err)
-		return
-	}
-	s.agent.tel.dataPackets.Inc()
-	s.agent.tel.writeBytes.Add(int64(len(pkt.Payload)))
 	w := s.writes[pkt.ReqID]
 	if w == nil {
-		w = &writeState{first: time.Now()}
+		now := time.Now()
+		w = &writeState{first: now, progress: now}
 		s.writes[pkt.ReqID] = w
 	}
-	w.received.Add(pkt.Offset, int64(len(pkt.Payload)))
-	w.progress = time.Now()
+	if w.done {
+		return
+	}
+	if !w.announced {
+		if w.earlyBytes+int64(len(pkt.Payload)) > s.agent.cfg.MaxBurstBytes {
+			s.agent.tel.earlyData.Inc()
+			return
+		}
+		b := make([]byte, len(pkt.Payload))
+		copy(b, pkt.Payload)
+		w.early = append(w.early, earlyData{off: pkt.Offset, b: b})
+		w.earlyBytes += int64(len(b))
+		w.progress = time.Now()
+		return
+	}
+	if !s.bufferData(w, pkt.Offset, pkt.Payload) {
+		return
+	}
 	w.from = from
 	s.completeIfReady(pkt.ReqID, w, from)
 }
 
-// completeIfReady acknowledges the burst once every expected byte arrived.
+// completeIfReady applies and acknowledges the burst once every
+// expected byte arrived. Apply failures (a full store, or a corrupt
+// neighbouring block the merge would have to trust) are reported to
+// the client and the burst state discarded so a retry starts clean.
 func (s *session) completeIfReady(reqID uint32, w *writeState, from string) {
 	if !w.announced || w.done || !w.received.Contains(w.off, w.length) {
 		return
 	}
+	if w.length > 0 {
+		if _, err := s.obj.WriteAt(w.data, w.off); err != nil {
+			delete(s.writes, reqID)
+			s.agent.sendError(s.conn, from, &wire.Packet{
+				Header: wire.Header{Type: wire.TWrite, ReqID: reqID, Handle: s.handle},
+			}, err)
+			return
+		}
+	}
+	w.data = nil
 	if s.agent.cfg.SyncWrites || w.flags&wire.FSyncWrite != 0 {
 		if err := s.agent.syncTimed(s.obj.Sync); err != nil {
 			s.agent.cfg.Logf("agent %s: sync: %v", s.agent.host.Name(), err)

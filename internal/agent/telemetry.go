@@ -27,6 +27,8 @@ type telemetry struct {
 	dataPackets  *obs.Counter   // data packets received
 	badPackets   *obs.Counter   // undecodable packets
 	idleReaps    *obs.Counter   // sessions torn down by the idle timer
+	corruptErrs  *obs.Counter   // at-rest corruption detected by the store
+	earlyData    *obs.Counter   // data packets dropped for lack of an announce
 }
 
 // newAgentTelemetry builds and registers the agent's instruments.
@@ -51,6 +53,8 @@ func newAgentTelemetry(reg *obs.Registry) *telemetry {
 		dataPackets:  reg.Counter("swift_agent_data_packets_total", "Data packets received.", nil),
 		badPackets:   reg.Counter("swift_agent_bad_packets_total", "Undecodable packets dropped.", nil),
 		idleReaps:    reg.Counter("swift_agent_idle_reaps_total", "Sessions torn down by the idle timer.", nil),
+		corruptErrs:  reg.Counter("swift_agent_corruptions_total", "At-rest corruption errors surfaced by the store.", nil),
+		earlyData:    reg.Counter("swift_agent_early_data_total", "Write data packets dropped for lack of an announce.", nil),
 	}
 }
 

@@ -161,6 +161,10 @@ type Metrics struct {
 	Backoffs      atomic.Int64 // retransmission waits grown beyond the base timeout
 	Probes        atomic.Int64 // health probes sent (monitor and Ping)
 	Readmissions  atomic.Int64 // agents automatically returned to service
+	Corruptions   atomic.Int64 // at-rest corruption events reported by agents
+	Repairs       atomic.Int64 // stripe units rewritten from parity (read-repair and scrub)
+	Unrepairable  atomic.Int64 // corruption events parity could not repair
+	ScrubRows     atomic.Int64 // stripe rows verified by the scrubber
 }
 
 // Metrics returns a pointer to the client's live protocol counters.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"swift/internal/agent"
+	"swift/internal/integrity"
 	"swift/internal/store"
 	"swift/internal/transport/memnet"
 )
@@ -32,6 +33,11 @@ type clusterOpts struct {
 	syncW    bool
 	window   int
 	reqBytes int64
+
+	// integrityBS wraps each agent's store in an integrity envelope with
+	// the given block size. c.stores keeps the raw inner Mems, so tests
+	// can corrupt bytes beneath the envelope.
+	integrityBS int64
 }
 
 func newCluster(t *testing.T, o clusterOpts) *cluster {
@@ -54,7 +60,11 @@ func newCluster(t *testing.T, o clusterOpts) *cluster {
 	for i := 0; i < o.agents; i++ {
 		h := n.MustHost(agentName(i), memnet.HostConfig{}, seg)
 		st := store.NewMem()
-		a, err := agent.New(h, st, agent.Config{
+		var as store.Store = st
+		if o.integrityBS > 0 {
+			as = integrity.NewStore(st, o.integrityBS)
+		}
+		a, err := agent.New(h, as, agent.Config{
 			ResendCheck: 5 * time.Millisecond,
 			ResendAfter: 10 * time.Millisecond,
 		})

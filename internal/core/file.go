@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"swift/internal/extent"
+	"swift/internal/integrity"
 	"swift/internal/transport"
 	"swift/internal/wire"
 )
@@ -175,26 +176,55 @@ func (f *File) raInvalidate() { f.raLen = 0 }
 // size (absent bytes arrive as zeros). With allowFailover set and parity
 // enabled, a single mid-operation agent failure triggers one degraded
 // retry.
+//
+// Corruption reported by an agent is handled before failover: the client
+// repairs the damaged rows from parity (read-repair) and retries against
+// clean data, keeping the agent in service. Only when repair is
+// impossible — parity off, a second agent out, budget spent — does the
+// error fall through to the ordinary failover path or the caller.
 func (f *File) readRange(dst []byte, off int64, allowFailover bool) error {
-	failed, err := f.readRangeOnce(dst, off)
-	if err == nil {
-		return nil
-	}
-	if failed < 0 || !f.c.cfg.Parity || !allowFailover {
-		if failed >= 0 {
-			// No failover possible, but the failure is attributable:
-			// feed the lifecycle so the monitor starts probing.
-			f.failAgent(failed, err)
+	repairs := 0
+	budget := f.repairBudget(off, int64(len(dst)))
+	for {
+		failed, err := f.readRangeOnce(dst, off)
+		if err == nil {
+			return nil
 		}
-		return err
+		corrupt := failed >= 0 && integrity.IsCorrupt(err)
+		if corrupt {
+			f.noteCorrupt(failed, err)
+			if repairs < budget {
+				repairs++
+				rerr := f.repairCorrupt(failed, err, off, int64(len(dst)))
+				if rerr == nil {
+					continue // repaired in place; retry clean
+				}
+				f.c.cfg.Logf("core: read repair of agent %d failed: %v", failed, rerr)
+			}
+		}
+		if failed < 0 || !f.c.cfg.Parity || !allowFailover {
+			if corrupt {
+				// The agent is alive; only its media is bad. Do not
+				// feed the failure-domain lifecycle — surface the
+				// corruption to the caller instead.
+				f.noteUnrepairable(failed, err)
+				return err
+			}
+			if failed >= 0 {
+				// No failover possible, but the failure is attributable:
+				// feed the lifecycle so the monitor starts probing.
+				f.failAgent(failed, err)
+			}
+			return err
+		}
+		f.failAgent(failed, err)
+		if f.liveCount() < len(f.sessions)-1 {
+			return ErrNoQuorum
+		}
+		f.c.traceEvent("read_failover", failed, "%s: %v", f.name, err)
+		f.c.cfg.Logf("core: read failing over around agent %d: %v", failed, err)
+		allowFailover = false
 	}
-	f.failAgent(failed, err)
-	if f.liveCount() < len(f.sessions)-1 {
-		return ErrNoQuorum
-	}
-	f.c.traceEvent("read_failover", failed, "%s: %v", f.name, err)
-	f.c.cfg.Logf("core: read failing over around agent %d: %v", failed, err)
-	return f.readRange(dst, off, false)
 }
 
 // readRangeOnce performs one attempt; on error it reports which agent
@@ -429,27 +459,53 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
+// writeRange writes src at logical offset off. Corruption reported by an
+// agent (a partial-block write must merge-read its neighbours, and those
+// may be rotten) triggers read-repair-then-retry, but only when exactly
+// one agent failed: every other agent then completed its bursts, so the
+// XOR of the survivors is the intended new unit. Anything else falls to
+// the ordinary degraded-mode failover.
 func (f *File) writeRange(src []byte, off int64, allowFailover bool) error {
-	failed, err := f.writeRangeOnce(src, off)
-	if err == nil {
-		return nil
-	}
-	if failed < 0 || !f.c.cfg.Parity || !allowFailover {
-		if failed >= 0 {
-			f.failAgent(failed, err)
+	repairs := 0
+	budget := f.repairBudget(off, int64(len(src)))
+	for {
+		failed, nerrs, err := f.writeRangeOnce(src, off)
+		if err == nil {
+			return nil
 		}
-		return err
+		corrupt := failed >= 0 && nerrs == 1 && integrity.IsCorrupt(err)
+		if corrupt {
+			f.noteCorrupt(failed, err)
+			if repairs < budget {
+				repairs++
+				rerr := f.repairCorrupt(failed, err, off, int64(len(src)))
+				if rerr == nil {
+					continue // damaged rows healed; retry the write
+				}
+				f.c.cfg.Logf("core: write repair of agent %d failed: %v", failed, rerr)
+			}
+		}
+		if failed < 0 || !f.c.cfg.Parity || !allowFailover {
+			if corrupt {
+				f.noteUnrepairable(failed, err)
+				return err
+			}
+			if failed >= 0 {
+				f.failAgent(failed, err)
+			}
+			return err
+		}
+		f.failAgent(failed, err)
+		if f.liveCount() < len(f.sessions)-1 {
+			return ErrNoQuorum
+		}
+		f.c.traceEvent("write_failover", failed, "%s: %v", f.name, err)
+		f.c.cfg.Logf("core: write failing over around agent %d: %v", failed, err)
+		allowFailover = false
 	}
-	f.failAgent(failed, err)
-	if f.liveCount() < len(f.sessions)-1 {
-		return ErrNoQuorum
-	}
-	f.c.traceEvent("write_failover", failed, "%s: %v", f.name, err)
-	f.c.cfg.Logf("core: write failing over around agent %d: %v", failed, err)
-	return f.writeRange(src, off, false)
 }
 
-func (f *File) writeRangeOnce(src []byte, off int64) (failedAgent int, err error) {
+func (f *File) writeRangeOnce(src []byte, off int64) (failedAgent, nerrs int, err error) {
 	n := int64(len(src))
 	exts := f.c.layout.LocalExtents(off, n)
 
@@ -457,7 +513,7 @@ func (f *File) writeRangeOnce(src []byte, off int64) (failedAgent int, err error
 	if f.c.cfg.Parity {
 		pbufs, err = f.computeParity(src, off)
 		if err != nil {
-			return -1, err
+			return -1, 0, err
 		}
 		l := f.c.layout
 		for row := range pbufs {
@@ -478,7 +534,7 @@ func (f *File) writeRangeOnce(src []byte, off int64) (failedAgent int, err error
 		}
 		if s == nil {
 			if !f.c.cfg.Parity {
-				return -1, ErrAgentDown
+				return -1, 0, ErrAgentDown
 			}
 			continue // degraded: this agent's units are covered by parity
 		}
@@ -489,14 +545,17 @@ func (f *File) writeRangeOnce(src []byte, off int64) (failedAgent int, err error
 	}
 	for ; workers > 0; workers-- {
 		r := <-results
-		if r.err != nil && err == nil {
-			failedAgent, err = r.agent, r.err
+		if r.err != nil {
+			nerrs++
+			if err == nil {
+				failedAgent, err = r.agent, r.err
+			}
 		}
 	}
 	if err != nil {
-		return failedAgent, err
+		return failedAgent, nerrs, err
 	}
-	return -1, nil
+	return -1, 0, nil
 }
 
 // wburst is one in-flight write burst.
@@ -849,8 +908,16 @@ func (f *File) readmit(idx int, rebuild bool) error {
 	if f.closed {
 		return nil
 	}
-	if idx < 0 || idx >= len(f.sessions) || f.sessions[idx] != nil {
-		return nil // nothing to re-open
+	if idx < 0 || idx >= len(f.sessions) {
+		return nil
+	}
+	if old := f.sessions[idx]; old != nil {
+		// The agent may have died and restarted between probe rounds
+		// without this file ever touching it, leaving a session whose
+		// handle died with the old process. Handles are only valid for
+		// the process that issued them, so always negotiate afresh.
+		old.close()
+		f.sessions[idx] = nil
 	}
 	s, err := f.c.openSession(idx, f.c.cfg.Agents[idx], f.name, OpenFlags{Create: true})
 	if err != nil {

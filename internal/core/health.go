@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 )
 
@@ -132,6 +133,14 @@ type MonitorConfig struct {
 	// fragments from the survivors before the agent serves reads again,
 	// so units written degraded while it was out are never served stale.
 	Rebuild bool
+	// ScrubInterval, when > 0, runs a background scrub-and-repair pass
+	// over every open file at this period (see Client.ScrubOnce). Zero
+	// disables background scrubbing.
+	ScrubInterval time.Duration
+	// Heartbeat, when non-nil, is called once per probe round — the hook
+	// the swift facade uses to renew its mediator session lease while the
+	// client is alive.
+	Heartbeat func()
 }
 
 func (mc *MonitorConfig) fill() {
@@ -161,8 +170,10 @@ func (c *Client) StartMonitor(mc MonitorConfig) error {
 	c.monStop = stop
 	c.monDone = done
 	c.mu.Unlock()
+	var wg sync.WaitGroup
+	wg.Add(1)
 	go func() {
-		defer close(done)
+		defer wg.Done()
 		t := time.NewTicker(mc.Interval)
 		defer t.Stop()
 		for {
@@ -170,9 +181,35 @@ func (c *Client) StartMonitor(mc MonitorConfig) error {
 			case <-stop:
 				return
 			case <-t.C:
+				if mc.Heartbeat != nil {
+					mc.Heartbeat()
+				}
 				c.ProbeOnce()
 			}
 		}
+	}()
+	if mc.ScrubInterval > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(mc.ScrubInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					rep := c.ScrubOnce()
+					if !rep.Clean() {
+						c.cfg.Logf("core: background scrub: %s", rep)
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
 	}()
 	return nil
 }

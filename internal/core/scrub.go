@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"swift/internal/integrity"
+	"swift/internal/parity"
+)
+
+// This file implements the background scrubber: a maintenance pass that
+// walks a striped object row by row, reads every agent's unit, verifies
+// that nothing reports at-rest corruption and that the row XORs to zero
+// (the parity unit is the XOR of the data units), and — when repair is
+// enabled — heals what it finds: a single corrupt unit is rewritten from
+// the XOR of its peers; a parity mismatch with trusted data is fixed by
+// recomputing the parity unit. The health monitor drives it periodically
+// (MonitorConfig.ScrubInterval); swiftctl scrub drives it on demand.
+
+// ScrubOptions tune one scrub pass.
+type ScrubOptions struct {
+	// Repair rewrites what the scrub can heal: corrupt units (from the
+	// XOR of their peers) and stale parity units (from the data units).
+	// Requires parity; without it the scrub only detects.
+	Repair bool
+	// RowPause inserts a delay between rows so a background scrub yields
+	// the medium to foreground transfers. Zero scrubs flat out.
+	RowPause time.Duration
+}
+
+// ScrubReport totals one scrub pass.
+type ScrubReport struct {
+	Objects          int64 // objects visited
+	Rows             int64 // stripe rows verified
+	Bytes            int64 // unit bytes read and checked
+	Corruptions      int64 // units whose agent reported at-rest corruption
+	ParityMismatches int64 // rows whose units did not XOR to zero
+	Repaired         int64 // units rewritten (corrupt units and parity units)
+	Unrepairable     int64 // corrupt units parity could not reconstruct
+	Skipped          int64 // rows skipped (agent out, lifecycle unsettled, read error)
+}
+
+func (r *ScrubReport) add(o ScrubReport) {
+	r.Objects += o.Objects
+	r.Rows += o.Rows
+	r.Bytes += o.Bytes
+	r.Corruptions += o.Corruptions
+	r.ParityMismatches += o.ParityMismatches
+	r.Repaired += o.Repaired
+	r.Unrepairable += o.Unrepairable
+	r.Skipped += o.Skipped
+}
+
+// Clean reports whether the pass found nothing wrong and skipped nothing.
+func (r ScrubReport) Clean() bool {
+	return r.Corruptions == 0 && r.ParityMismatches == 0 &&
+		r.Unrepairable == 0 && r.Skipped == 0
+}
+
+// String renders the report for logs and swiftctl.
+func (r ScrubReport) String() string {
+	return fmt.Sprintf(
+		"objects=%d rows=%d bytes=%d corrupt=%d parity_mismatch=%d repaired=%d unrepairable=%d skipped=%d",
+		r.Objects, r.Rows, r.Bytes, r.Corruptions, r.ParityMismatches,
+		r.Repaired, r.Unrepairable, r.Skipped)
+}
+
+// Scrub verifies this file row by row. The file lock is taken per row, so
+// foreground reads and writes interleave with a running scrub; the row
+// count is re-derived from the live size each step, and the pass ends
+// early if the file shrinks or closes underneath it.
+func (f *File) Scrub(opts ScrubOptions) (ScrubReport, error) {
+	var rep ScrubReport
+	for r := int64(0); ; r++ {
+		done, err := f.scrubRow(r, opts, &rep)
+		if err != nil {
+			return rep, err
+		}
+		if done {
+			return rep, nil
+		}
+		if opts.RowPause > 0 {
+			f.c.cfg.Sleep(opts.RowPause)
+		}
+	}
+}
+
+// scrubRow verifies (and optionally repairs) stripe row r under f.mu. It
+// reports done when the row is past the object tail or the file closed.
+// Rows the scrub cannot judge — an agent out, a lifecycle mid-transition,
+// a transient read failure — are skipped, not failed: the next pass sees
+// them again.
+func (f *File) scrubRow(r int64, opts ScrubOptions, rep *ScrubReport) (done bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || f.size == 0 {
+		return true, nil
+	}
+	l := f.c.layout
+	if r > l.RowOfGlobal(f.size-1) {
+		return true, nil
+	}
+	// Judging a row needs every unit: any missing agent makes both the
+	// corruption verdict and the XOR check meaningless. An unsettled
+	// lifecycle (suspect/down) also defers to the monitor's rebuild.
+	for i, s := range f.sessions {
+		if s == nil || f.c.agentState(i) != StateHealthy {
+			rep.Skipped++
+			return false, nil
+		}
+	}
+
+	bufs := make([][]byte, len(f.sessions))
+	errs := make([]error, len(f.sessions))
+	var wg sync.WaitGroup
+	for i, s := range f.sessions {
+		wg.Add(1)
+		go func(i int, s *agentSession) {
+			defer wg.Done()
+			buf := make([]byte, l.Unit)
+			errs[i] = f.readBurst(s, r*l.Unit, l.Unit, func(localOff int64, b []byte) {
+				copy(buf[localOff-r*l.Unit:], b)
+			})
+			bufs[i] = buf
+		}(i, s)
+	}
+	wg.Wait()
+
+	var corrupt, failed []int
+	for i, e := range errs {
+		if e == nil {
+			continue
+		}
+		if integrity.IsCorrupt(e) {
+			corrupt = append(corrupt, i)
+			rep.Corruptions++
+			f.noteCorrupt(i, e)
+			continue
+		}
+		failed = append(failed, i)
+	}
+	if len(failed) > 0 {
+		// The row was not judged; revisit on the next pass. When
+		// exactly one agent failed, the error is attributable — feed
+		// the lifecycle so the monitor probes it and renegotiates the
+		// session (an agent that restarts between probe rounds leaves
+		// behind sessions with dead handles, and without foreground
+		// traffic nothing else would ever notice). A multi-agent
+		// failure looks like a network event: leave the verdict to the
+		// health probes.
+		if len(failed) == 1 {
+			f.failAgent(failed[0], errs[failed[0]])
+		}
+		rep.Skipped++
+		return false, nil
+	}
+	rep.Rows++
+	rep.Bytes += l.Unit * int64(len(f.sessions))
+	f.c.metrics.ScrubRows.Add(1)
+
+	switch {
+	case len(corrupt) == 0:
+		if !f.c.cfg.Parity {
+			return false, nil
+		}
+		x := make([]byte, l.Unit)
+		for _, b := range bufs {
+			parity.XOR(x, b)
+		}
+		if allZero(x) {
+			return false, nil
+		}
+		rep.ParityMismatches++
+		f.c.traceEvent("scrub_mismatch", -1, "%s row %d does not XOR to zero", f.name, r)
+		f.c.cfg.Logf("core: scrub: %s row %d parity mismatch", f.name, r)
+		if !opts.Repair {
+			return false, nil
+		}
+		// The data units read back clean; the parity unit is the liar
+		// (a crash between data and parity writes leaves exactly this).
+		// Recompute it from the data.
+		pa := l.ParityAgent(r)
+		unit := make([]byte, l.Unit)
+		for i, b := range bufs {
+			if i != pa {
+				parity.XOR(unit, b)
+			}
+		}
+		if werr := f.writeRowUnit(pa, r, unit); werr != nil {
+			return false, fmt.Errorf("core: scrub: rewrite parity row %d: %w", r, werr)
+		}
+		rep.Repaired++
+		f.c.metrics.Repairs.Add(1)
+		f.c.tel.agent(pa).repairs.Inc()
+		f.c.traceEvent("repair", pa, "%s row %d parity recomputed", f.name, r)
+
+	case len(corrupt) == 1 && f.c.cfg.Parity:
+		if !opts.Repair {
+			return false, nil
+		}
+		dead := corrupt[0]
+		unit := make([]byte, l.Unit)
+		for i, b := range bufs {
+			if i != dead {
+				parity.XOR(unit, b)
+			}
+		}
+		if werr := f.writeRowUnit(dead, r, unit); werr != nil {
+			return false, fmt.Errorf("core: scrub: rewrite agent %d row %d: %w", dead, r, werr)
+		}
+		rep.Repaired++
+		f.c.metrics.Repairs.Add(1)
+		f.c.tel.agent(dead).repairs.Inc()
+		f.c.traceEvent("repair", dead, "%s row %d rewritten from parity", f.name, r)
+		f.c.cfg.Logf("core: scrub: repaired %s row %d on agent %d", f.name, r, dead)
+
+	default:
+		// Multiple corrupt units in one row (or no parity at all):
+		// single-parity XOR cannot reconstruct them.
+		rep.Unrepairable += int64(len(corrupt))
+		for _, i := range corrupt {
+			f.noteUnrepairable(i, errs[i])
+		}
+	}
+	return false, nil
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// agentState returns agent i's lifecycle state.
+func (c *Client) agentState(i int) AgentState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.health) {
+		return StateDown
+	}
+	return c.health[i].state
+}
+
+// ScrubOnce scrubs every open file once, repairing (when parity is
+// enabled) what it finds. The health monitor calls it on the
+// ScrubInterval tick; it is also safe to call directly.
+func (c *Client) ScrubOnce() ScrubReport {
+	var rep ScrubReport
+	for _, f := range c.openFiles() {
+		r, err := f.Scrub(ScrubOptions{Repair: c.cfg.Parity})
+		rep.add(r)
+		rep.Objects++
+		if err != nil {
+			c.cfg.Logf("core: scrub %s: %v", f.Name(), err)
+		}
+	}
+	return rep
+}
+
+// ScrubObject opens the named object, scrubs it, and closes it again —
+// the on-demand maintenance entry point (swiftctl scrub NAME).
+func (c *Client) ScrubObject(name string, opts ScrubOptions) (ScrubReport, error) {
+	f, err := c.Open(name, OpenFlags{})
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	defer f.Close()
+	rep, err := f.Scrub(opts)
+	rep.Objects = 1
+	return rep, err
+}
+
+// ScrubAll lists every object on the agent set and scrubs each in turn.
+func (c *Client) ScrubAll(opts ScrubOptions) (ScrubReport, error) {
+	names, err := c.List()
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	var rep ScrubReport
+	for _, name := range names {
+		r, rerr := c.ScrubObject(name, opts)
+		rep.add(r)
+		if rerr != nil && err == nil {
+			err = fmt.Errorf("core: scrub %s: %w", name, rerr)
+		}
+	}
+	return rep, err
+}

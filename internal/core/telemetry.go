@@ -37,6 +37,8 @@ type agentTelemetry struct {
 	backoffs      *obs.Counter
 	resendAsks    *obs.Counter
 	dataPackets   *obs.Counter
+	corruptions   *obs.Counter // corrupt reads/writes reported by this agent
+	repairs       *obs.Counter // units rewritten on this agent from parity
 	transitions   *obs.Counter // lifecycle state changes
 	state         *obs.Gauge   // current AgentState as integer
 	readBurstLat  *obs.Histogram
@@ -74,6 +76,10 @@ func newTelemetry(reg *obs.Registry, agents []string, m *Metrics) *telemetry {
 		{"swift_client_backoffs_total", "Retransmission waits grown beyond the base timeout.", m.Backoffs.Load},
 		{"swift_client_probes_total", "Health probes sent.", m.Probes.Load},
 		{"swift_client_readmissions_total", "Agents automatically returned to service.", m.Readmissions.Load},
+		{"swift_client_corruptions_total", "At-rest corruption events reported by agents.", m.Corruptions.Load},
+		{"swift_client_repairs_total", "Stripe units rewritten from parity (read-repair and scrub).", m.Repairs.Load},
+		{"swift_client_unrepairable_total", "Corruption events parity could not repair.", m.Unrepairable.Load},
+		{"swift_client_scrub_rows_total", "Stripe rows verified by the scrubber.", m.ScrubRows.Load},
 	}
 	for _, g := range global {
 		load := g.load
@@ -91,6 +97,8 @@ func newTelemetry(reg *obs.Registry, agents []string, m *Metrics) *telemetry {
 		at.backoffs = reg.Counter("swift_client_agent_backoffs_total", "Backed-off retransmissions to this agent.", l)
 		at.resendAsks = reg.Counter("swift_client_agent_resend_asks_total", "Resend requests honoured from this agent.", l)
 		at.dataPackets = reg.Counter("swift_client_agent_data_packets_total", "Data packets sent to this agent.", l)
+		at.corruptions = reg.Counter("swift_client_agent_corruptions_total", "Corruption events reported by this agent.", l)
+		at.repairs = reg.Counter("swift_client_agent_repairs_total", "Units rewritten on this agent from parity.", l)
 		at.transitions = reg.Counter("swift_client_agent_transitions_total", "Failure-domain lifecycle transitions.", l)
 		at.state = reg.Gauge("swift_client_agent_state", "Lifecycle state: 0 healthy, 1 suspect, 2 down.", l)
 		at.readBurstLat = reg.Histogram("swift_client_agent_read_burst_seconds", "Read burst completion latency per agent.", l)
@@ -131,6 +139,10 @@ type MetricsSnapshot struct {
 	Backoffs      int64
 	Probes        int64
 	Readmissions  int64
+	Corruptions   int64
+	Repairs       int64
+	Unrepairable  int64
+	ScrubRows     int64
 }
 
 // Sub returns the counter deltas s - prev.
@@ -145,6 +157,10 @@ func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 		Backoffs:      s.Backoffs - prev.Backoffs,
 		Probes:        s.Probes - prev.Probes,
 		Readmissions:  s.Readmissions - prev.Readmissions,
+		Corruptions:   s.Corruptions - prev.Corruptions,
+		Repairs:       s.Repairs - prev.Repairs,
+		Unrepairable:  s.Unrepairable - prev.Unrepairable,
+		ScrubRows:     s.ScrubRows - prev.ScrubRows,
 	}
 }
 
@@ -161,6 +177,10 @@ func (c *Client) MetricsSnapshot() MetricsSnapshot {
 		Backoffs:      m.Backoffs.Load(),
 		Probes:        m.Probes.Load(),
 		Readmissions:  m.Readmissions.Load(),
+		Corruptions:   m.Corruptions.Load(),
+		Repairs:       m.Repairs.Load(),
+		Unrepairable:  m.Unrepairable.Load(),
+		ScrubRows:     m.ScrubRows.Load(),
 	}
 }
 
@@ -176,6 +196,8 @@ type AgentStats struct {
 	Backoffs      int64
 	ResendAsks    int64
 	DataPackets   int64
+	Corruptions   int64
+	Repairs       int64
 	Transitions   int64
 	ReadBurstLat  obs.Snapshot
 	WriteBurstLat obs.Snapshot
@@ -220,6 +242,8 @@ func (c *Client) Stats() StatsSnapshot {
 		as.Backoffs = at.backoffs.Load()
 		as.ResendAsks = at.resendAsks.Load()
 		as.DataPackets = at.dataPackets.Load()
+		as.Corruptions = at.corruptions.Load()
+		as.Repairs = at.repairs.Load()
 		as.Transitions = at.transitions.Load()
 		as.ReadBurstLat = at.readBurstLat.Snapshot()
 		as.WriteBurstLat = at.writeBurstLat.Snapshot()

@@ -36,25 +36,26 @@ type Kind int
 // Fault kinds. Each *Burst/Spike/Crash/Pause/Partition kind has a healing
 // counterpart that restores normal operation.
 const (
-	KindInvalid Kind = iota
-	KindCrashAgent     // kill the agent process; its sessions and handles die
-	KindRestartAgent   // restart the agent process on the same host and store
-	KindPauseHost      // freeze the agent host's protocol stack
-	KindResumeHost     // thaw it
-	KindPartition      // isolate the agent's host on all its segments
-	KindHealPartition  // clear every isolation on the agent's segments
-	KindLatencySpike   // add Event.Latency to the segment's delivery time
-	KindLatencyClear   // restore normal latency
-	KindLossBurst      // set the segment's loss rate to Event.Rate
-	KindLossClear      // restore zero injected loss
-	KindCorruptBurst   // flip payload bytes with probability Event.Rate
-	KindCorruptClear   // stop corrupting
+	KindInvalid       Kind = iota
+	KindCrashAgent         // kill the agent process; its sessions and handles die
+	KindRestartAgent       // restart the agent process on the same host and store
+	KindPauseHost          // freeze the agent host's protocol stack
+	KindResumeHost         // thaw it
+	KindPartition          // isolate the agent's host on all its segments
+	KindHealPartition      // clear every isolation on the agent's segments
+	KindLatencySpike       // add Event.Latency to the segment's delivery time
+	KindLatencyClear       // restore normal latency
+	KindLossBurst          // set the segment's loss rate to Event.Rate
+	KindLossClear          // restore zero injected loss
+	KindCorruptBurst       // flip payload bytes with probability Event.Rate
+	KindCorruptClear       // stop corrupting
+	KindBitrot             // flip bytes at rest in the agent's store (beneath the integrity envelope)
 )
 
 var kindNames = [...]string{
 	"invalid", "crash-agent", "restart-agent", "pause-host", "resume-host",
 	"partition", "heal-partition", "latency-spike", "latency-clear",
-	"loss-burst", "loss-clear", "corrupt-burst", "corrupt-clear",
+	"loss-burst", "loss-clear", "corrupt-burst", "corrupt-clear", "bitrot",
 }
 
 func (k Kind) String() string {
@@ -79,6 +80,9 @@ type Event struct {
 	Rate float64
 	// Latency parameterizes latency spikes.
 	Latency time.Duration
+	// Seed parameterizes bitrot events: it makes the byte flips the
+	// Cluster.Bitrot callback performs deterministic per event.
+	Seed int64
 }
 
 func (e Event) String() string {
@@ -89,6 +93,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v seg%d %.0f%% @%v", e.Kind, e.Segment, e.Rate*100, e.At)
 	case KindLatencyClear, KindLossClear, KindCorruptClear:
 		return fmt.Sprintf("%v seg%d @%v", e.Kind, e.Segment, e.At)
+	case KindBitrot:
+		return fmt.Sprintf("%v agent%d seed=%d @%v", e.Kind, e.Agent, e.Seed, e.At)
 	default:
 		return fmt.Sprintf("%v agent%d @%v", e.Kind, e.Agent, e.At)
 	}
@@ -111,6 +117,11 @@ type Cluster struct {
 	// Restart brings agent i's server process back on the same host and
 	// store, with fresh (empty) session state.
 	Restart func(i int) error
+	// Bitrot flips bytes at rest in agent i's raw store, beneath any
+	// integrity envelope, deterministically in seed. Nil disables bitrot
+	// events. The harness owns the stores, so it decides which objects
+	// and offsets rot.
+	Bitrot func(i int, seed int64) error
 }
 
 // Controller applies fault events to a cluster and keeps a log of what it
@@ -215,6 +226,13 @@ func (ctl *Controller) Apply(e Event) error {
 			s.SetLossRate(e.Rate)
 		} else {
 			s.SetLossRate(0)
+		}
+	case KindBitrot:
+		if ctl.c.Bitrot == nil {
+			return fmt.Errorf("faultinject: no Bitrot callback")
+		}
+		if err := ctl.c.Bitrot(e.Agent, e.Seed); err != nil {
+			return fmt.Errorf("faultinject: bitrot agent %d: %w", e.Agent, err)
 		}
 	case KindCorruptBurst, KindCorruptClear:
 		s, err := ctl.segment(e.Segment)
@@ -385,6 +403,11 @@ func RandomSchedule(seed int64, o ScheduleOpts) []Event {
 			evs = append(evs,
 				Event{At: t, Kind: KindCorruptBurst, Segment: seg, Rate: 0.02 + 0.08*rng.Float64()},
 				Event{At: t + window, Kind: KindCorruptClear, Segment: seg})
+		case KindBitrot:
+			// One-shot: at-rest damage has no healing counterpart here;
+			// the client's read-repair and scrubber are the cure. The
+			// window passes fault-free, giving them room to run.
+			evs = append(evs, Event{At: t, Kind: KindBitrot, Agent: agent, Seed: rng.Int63()})
 		}
 		t += window + o.Gap
 	}

@@ -1,0 +1,379 @@
+package integrity
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"swift/internal/store"
+)
+
+func openObj(t *testing.T, s *Store, name string) store.Object {
+	t.Helper()
+	o, err := s.Open(name, true)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	return o
+}
+
+func readAll(t *testing.T, o store.Object) []byte {
+	t.Helper()
+	n, err := o.Size()
+	if err != nil {
+		t.Fatalf("size: %v", err)
+	}
+	buf := make([]byte, n)
+	if n == 0 {
+		return buf
+	}
+	got, err := o.ReadAt(buf, 0)
+	if err != nil && err != io.EOF {
+		t.Fatalf("read: %v", err)
+	}
+	if int64(got) != n {
+		t.Fatalf("read %d of %d bytes", got, n)
+	}
+	return buf
+}
+
+// TestSizeMapping checks PhysicalSize/LogicalSize are inverse over a
+// range of sizes and block sizes.
+func TestSizeMapping(t *testing.T) {
+	for _, bs := range []int64{1, 7, 64, DefaultBlockSize} {
+		for n := int64(0); n < 4*bs+3; n++ {
+			p := PhysicalSize(n, bs)
+			if got := LogicalSize(p, bs); got != n {
+				t.Fatalf("bs=%d n=%d phys=%d logical=%d", bs, n, p, got)
+			}
+		}
+	}
+	// Damaged trailers clamp down, never panic or over-report.
+	if got := LogicalSize(HeaderSize-3, 64); got != 0 {
+		t.Fatalf("clamped logical = %d, want 0", got)
+	}
+	if got := LogicalSize((HeaderSize+64)+HeaderSize, 64); got != 64 {
+		t.Fatalf("clamped logical = %d, want 64", got)
+	}
+}
+
+// TestHeaderRoundTrip checks Marshal/Unmarshal are inverse and that an
+// all-zero header decodes as a hole.
+func TestHeaderRoundTrip(t *testing.T) {
+	h := BlockHeader{Version: Version, Flags: 0, Length: 1234, Index: 56, Sum: 0xdeadbeef}
+	enc := MarshalHeader(h)
+	if len(enc) != HeaderSize {
+		t.Fatalf("encoded %d bytes", len(enc))
+	}
+	got, hole, err := UnmarshalHeader(enc)
+	if err != nil || hole {
+		t.Fatalf("unmarshal: hole=%v err=%v", hole, err)
+	}
+	if got != h {
+		t.Fatalf("round trip: %+v != %+v", got, h)
+	}
+	if _, hole, err := UnmarshalHeader(make([]byte, HeaderSize)); err != nil || !hole {
+		t.Fatalf("zero header: hole=%v err=%v", hole, err)
+	}
+	if _, _, err := UnmarshalHeader([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short header accepted")
+	}
+	bad := MarshalHeader(h)
+	bad[0] ^= 0xff
+	if _, _, err := UnmarshalHeader(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestRandomOpsModel drives the envelope over an in-memory inner store
+// with random writes, reads, and truncates, comparing against a plain
+// byte-slice model.
+func TestRandomOpsModel(t *testing.T) {
+	for _, bs := range []int64{16, 100, 4096} {
+		t.Run(fmt.Sprintf("bs=%d", bs), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			s := NewStore(store.NewMem(), bs)
+			o := openObj(t, s, "obj")
+			var model []byte
+			for op := 0; op < 400; op++ {
+				switch rng.Intn(4) {
+				case 0, 1: // write
+					off := int64(rng.Intn(int(5 * bs)))
+					n := rng.Intn(int(3*bs)) + 1
+					p := make([]byte, n)
+					rng.Read(p)
+					if _, err := o.WriteAt(p, off); err != nil {
+						t.Fatalf("op %d write: %v", op, err)
+					}
+					if end := off + int64(n); end > int64(len(model)) {
+						model = append(model, make([]byte, end-int64(len(model)))...)
+					}
+					copy(model[off:], p)
+				case 2: // read
+					off := int64(rng.Intn(int(6 * bs)))
+					n := rng.Intn(int(3*bs)) + 1
+					p := make([]byte, n)
+					got, err := o.ReadAt(p, off)
+					wantN := int64(len(model)) - off
+					if wantN < 0 {
+						wantN = 0
+					}
+					if wantN > int64(n) {
+						wantN = int64(n)
+					}
+					if int64(got) != wantN {
+						t.Fatalf("op %d read at %d: n=%d want %d (err %v)", op, off, got, wantN, err)
+					}
+					if wantN < int64(n) && err != io.EOF {
+						t.Fatalf("op %d short read err = %v, want EOF", op, err)
+					}
+					if !bytes.Equal(p[:got], model[off:off+wantN]) {
+						t.Fatalf("op %d read mismatch at %d", op, off)
+					}
+				case 3: // truncate
+					size := int64(rng.Intn(int(5 * bs)))
+					if err := o.Truncate(size); err != nil {
+						t.Fatalf("op %d truncate %d: %v", op, size, err)
+					}
+					if size <= int64(len(model)) {
+						model = model[:size]
+					} else {
+						model = append(model, make([]byte, size-int64(len(model)))...)
+					}
+				}
+				sz, err := o.Size()
+				if err != nil || sz != int64(len(model)) {
+					t.Fatalf("op %d size = %d (%v), want %d", op, sz, err, len(model))
+				}
+			}
+			if !bytes.Equal(readAll(t, o), model) {
+				t.Fatal("final content mismatch")
+			}
+			if s.Corruptions() != 0 {
+				t.Fatalf("clean run counted %d corruptions", s.Corruptions())
+			}
+		})
+	}
+}
+
+// TestFileStoreBacking runs a round trip over a directory-backed inner
+// store, including reopen with a fresh wrapper.
+func TestFileStoreBacking(t *testing.T) {
+	inner, err := store.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(inner, 512)
+	o := openObj(t, s, "a/b")
+	data := make([]byte, 3000)
+	rand.New(rand.NewSource(7)).Read(data)
+	if _, err := o.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := s.Stat("a/b"); err != nil || sz != 3000 {
+		t.Fatalf("stat = %d, %v", sz, err)
+	}
+	names, err := s.List()
+	if err != nil || len(names) != 1 || names[0] != "a/b" {
+		t.Fatalf("list = %v, %v", names, err)
+	}
+	o2 := openObj(t, s, "a/b")
+	if !bytes.Equal(readAll(t, o2), data) {
+		t.Fatal("reopen content mismatch")
+	}
+	if err := s.Remove("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stat("a/b"); !errors.Is(err, store.ErrNotExist) {
+		t.Fatalf("stat after remove: %v", err)
+	}
+}
+
+// corruptSetup writes a 4-block object and returns the store, wrapper
+// object, inner raw object, and the content.
+func corruptSetup(t *testing.T, bs int64) (*Store, store.Object, store.Object, []byte) {
+	t.Helper()
+	inner := store.NewMem()
+	s := NewStore(inner, bs)
+	o := openObj(t, s, "obj")
+	data := make([]byte, 3*bs+bs/2)
+	rand.New(rand.NewSource(3)).Read(data)
+	if _, err := o.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := inner.Open("obj", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, o, raw, data
+}
+
+// TestDetectsDataFlip flips one payload byte and checks the read fails
+// with a typed CorruptError naming the right block range.
+func TestDetectsDataFlip(t *testing.T) {
+	const bs = 256
+	s, o, raw, data := corruptSetup(t, bs)
+	// Flip a byte in block 2's payload.
+	flipAt := int64(2)*(HeaderSize+bs) + HeaderSize + 17
+	flipRaw(t, raw, flipAt)
+	buf := make([]byte, len(data))
+	_, err := o.ReadAt(buf, 0)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("read err = %v, want CorruptError", err)
+	}
+	if !errors.Is(err, ErrCorrupt) || !IsCorrupt(err) {
+		t.Fatalf("err %v does not match ErrCorrupt", err)
+	}
+	if ce.Offset != 2*bs || ce.Length != bs {
+		t.Fatalf("corrupt range [%d,+%d), want [%d,+%d)", ce.Offset, ce.Length, 2*bs, bs)
+	}
+	// Reads that avoid the bad block still succeed.
+	ok := make([]byte, bs)
+	if _, err := o.ReadAt(ok, 0); err != nil {
+		t.Fatalf("read clean block: %v", err)
+	}
+	if !bytes.Equal(ok, data[:bs]) {
+		t.Fatal("clean block content mismatch")
+	}
+	if s.Corruptions() == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+func flipRaw(t *testing.T, raw store.Object, off int64) {
+	t.Helper()
+	b := make([]byte, 1)
+	if _, err := raw.ReadAt(b, off); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := raw.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetectsHeaderDamage damages header fields and checks detection.
+func TestDetectsHeaderDamage(t *testing.T) {
+	const bs = 256
+	for _, hdrOff := range []int64{0 /* magic */, 2 /* version */, 5 /* length */, 9 /* index */, 13 /* sum */} {
+		_, o, raw, _ := corruptSetup(t, bs)
+		flipRaw(t, raw, int64(1)*(HeaderSize+bs)+hdrOff)
+		buf := make([]byte, 2*bs)
+		if _, err := o.ReadAt(buf, bs); !IsCorrupt(err) {
+			t.Fatalf("hdr byte %d: read err = %v, want corrupt", hdrOff, err)
+		}
+	}
+}
+
+// TestDetectsTruncation cuts the inner fragment and checks the tail
+// rule catches it.
+func TestDetectsTruncation(t *testing.T) {
+	const bs = 256
+	_, o, raw, data := corruptSetup(t, bs)
+	phys := PhysicalSize(int64(len(data)), bs)
+	if err := raw.Truncate(phys - 10); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if _, err := o.ReadAt(buf, 0); !IsCorrupt(err) {
+		t.Fatalf("read after truncation: %v, want corrupt", err)
+	}
+}
+
+// TestFullBlockOverwriteRepairs checks that a whole-block write
+// replaces a corrupt block without tripping on it (the repair path),
+// while a partial write over the corrupt block fails.
+func TestFullBlockOverwriteRepairs(t *testing.T) {
+	const bs = 256
+	_, o, raw, data := corruptSetup(t, bs)
+	flipRaw(t, raw, int64(1)*(HeaderSize+bs)+HeaderSize+5)
+
+	// Partial write into the corrupt block must refuse.
+	if _, err := o.WriteAt([]byte{1, 2, 3}, bs+10); !IsCorrupt(err) {
+		t.Fatalf("partial write over corrupt block: %v, want corrupt", err)
+	}
+	// Full-block overwrite succeeds and heals.
+	fresh := make([]byte, bs)
+	rand.New(rand.NewSource(9)).Read(fresh)
+	if _, err := o.WriteAt(fresh, bs); err != nil {
+		t.Fatalf("full overwrite: %v", err)
+	}
+	copy(data[bs:], fresh)
+	if !bytes.Equal(readAll(t, o), data) {
+		t.Fatal("content after repair mismatch")
+	}
+}
+
+// TestHoleSemantics seeks past EOF and checks holes read as zeros and
+// that non-zero bytes under a hole header are corruption.
+func TestHoleSemantics(t *testing.T) {
+	const bs = 128
+	inner := store.NewMem()
+	s := NewStore(inner, bs)
+	o := openObj(t, s, "obj")
+	// Sparse write: blocks 0..2 are holes.
+	payload := []byte("tail")
+	if _, err := o.WriteAt(payload, 3*bs); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 3*bs+int64(len(payload)))
+	copy(want[3*bs:], payload)
+	if !bytes.Equal(readAll(t, o), want) {
+		t.Fatal("sparse content mismatch")
+	}
+	// Poison a hole's data region: read must fail.
+	raw, err := inner.Open("obj", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipRaw(t, raw, int64(1)*(HeaderSize+bs)+HeaderSize+3)
+	buf := make([]byte, bs)
+	if _, err := o.ReadAt(buf, bs); !IsCorrupt(err) {
+		t.Fatalf("read poisoned hole: %v, want corrupt", err)
+	}
+}
+
+// TestParseCorrupt checks the wire round trip: a CorruptError message
+// wrapped the way agents forward errors is still recoverable.
+func TestParseCorrupt(t *testing.T) {
+	orig := &CorruptError{Offset: 8192, Length: 4096, Detail: "checksum mismatch: stored 0x1, computed 0x2"}
+	remote := fmt.Errorf("agent: %s", orig.Error())
+	if !IsCorrupt(remote) {
+		t.Fatalf("remote form not recognized: %v", remote)
+	}
+	got, ok := ParseCorrupt(remote.Error())
+	if !ok {
+		t.Fatal("ParseCorrupt failed")
+	}
+	if got.Offset != orig.Offset || got.Length != orig.Length || got.Detail != orig.Detail {
+		t.Fatalf("parsed %+v, want %+v", got, orig)
+	}
+	for _, bad := range []string{"", "agent: timeout", "integrity: corrupt range [x,+1): d", "integrity: corrupt range [1,2): d"} {
+		if _, ok := ParseCorrupt(bad); ok {
+			t.Fatalf("ParseCorrupt accepted %q", bad)
+		}
+	}
+}
+
+// TestStatLogical checks Store.Stat reports logical sizes for both
+// fresh and enveloped objects.
+func TestStatLogical(t *testing.T) {
+	s := NewStore(store.NewMem(), 512)
+	o := openObj(t, s, "x")
+	if _, err := o.WriteAt(make([]byte, 1300), 0); err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := s.Stat("x"); err != nil || sz != 1300 {
+		t.Fatalf("stat = %d, %v; want 1300", sz, err)
+	}
+	if sz, err := o.Size(); err != nil || sz != 1300 {
+		t.Fatalf("size = %d, %v; want 1300", sz, err)
+	}
+}

@@ -1,0 +1,329 @@
+package integrity
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"swift/internal/store"
+)
+
+// Object wraps a store.Object with the block-checksum envelope: WriteAt
+// checksums, ReadAt verifies, and verification failures surface as
+// *CorruptError. It implements store.Object with logical (unveloped)
+// offsets and sizes, so it is a drop-in replacement for the raw object.
+type Object struct {
+	inner   store.Object
+	bs      int64 // block size
+	stride  int64 // HeaderSize + bs
+	mu      sync.RWMutex
+	corrupt *atomic.Int64 // shared with the owning Store; may be nil
+}
+
+// NewObject wraps inner with the envelope at the given block size
+// (DefaultBlockSize when <= 0).
+func NewObject(inner store.Object, blockSize int64) *Object {
+	return newObject(inner, blockSize, nil)
+}
+
+func newObject(inner store.Object, blockSize int64, corrupt *atomic.Int64) *Object {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &Object{
+		inner:   inner,
+		bs:      blockSize,
+		stride:  HeaderSize + blockSize,
+		corrupt: corrupt,
+	}
+}
+
+// BlockSize returns the envelope's checksum granularity.
+func (o *Object) BlockSize() int64 { return o.bs }
+
+func (o *Object) corruptErr(b, logical int64, detail string) error {
+	if o.corrupt != nil {
+		o.corrupt.Add(1)
+	}
+	off := b * o.bs
+	n := logical - off
+	if n > o.bs {
+		n = o.bs
+	}
+	if n < 0 {
+		n = 0
+	}
+	return &CorruptError{Offset: off, Length: n, Detail: detail}
+}
+
+// blockBuf is one decoded block: its header (zero for holes) and the
+// raw data-region bytes as stored.
+type blockBuf struct {
+	hole bool
+	hdr  BlockHeader
+	data []byte
+}
+
+// valid returns the number of checksummed bytes the block holds.
+func (bb blockBuf) valid() int64 {
+	if bb.hole {
+		return 0
+	}
+	return int64(bb.hdr.Length)
+}
+
+// loadBlock reads and verifies block b. logical and phys are the
+// object's current logical and physical sizes.
+func (o *Object) loadBlock(b, logical, phys int64) (blockBuf, error) {
+	start := b * o.stride
+	end := start + o.stride
+	if end > phys {
+		end = phys
+	}
+	if end <= start {
+		return blockBuf{hole: true}, nil
+	}
+	raw := make([]byte, end-start)
+	n, err := o.inner.ReadAt(raw, start)
+	if n < len(raw) {
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return blockBuf{}, fmt.Errorf("integrity: read block %d: %w", b, err)
+	}
+	if len(raw) < HeaderSize {
+		return blockBuf{}, o.corruptErr(b, logical, "truncated block header")
+	}
+	hdr, hole, err := UnmarshalHeader(raw)
+	if err != nil {
+		return blockBuf{}, o.corruptErr(b, logical, err.Error())
+	}
+	data := raw[HeaderSize:]
+	if hole {
+		for _, c := range data {
+			if c != 0 {
+				return blockBuf{}, o.corruptErr(b, logical, "data under hole header")
+			}
+		}
+		return blockBuf{hole: true, data: data}, nil
+	}
+	if int64(hdr.Length) > o.bs {
+		return blockBuf{}, o.corruptErr(b, logical,
+			fmt.Sprintf("block length %d exceeds block size %d", hdr.Length, o.bs))
+	}
+	if int64(hdr.Length) > int64(len(data)) {
+		return blockBuf{}, o.corruptErr(b, logical,
+			fmt.Sprintf("block length %d beyond stored bytes %d", hdr.Length, len(data)))
+	}
+	if int64(hdr.Index) != b {
+		return blockBuf{}, o.corruptErr(b, logical,
+			fmt.Sprintf("block index %d, want %d", hdr.Index, b))
+	}
+	if sum := Checksum(data[:hdr.Length]); sum != hdr.Sum {
+		return blockBuf{}, o.corruptErr(b, logical,
+			fmt.Sprintf("checksum mismatch: stored %#08x, computed %#08x", hdr.Sum, sum))
+	}
+	// The tail block's stored length is pinned to the physical size;
+	// a mismatch means the fragment was truncated or extended behind
+	// the envelope's back.
+	if nb := (logical + o.bs - 1) / o.bs; b == nb-1 {
+		if tail := logical - (nb-1)*o.bs; int64(hdr.Length) != tail {
+			return blockBuf{}, o.corruptErr(b, logical,
+				fmt.Sprintf("tail block length %d, want %d", hdr.Length, tail))
+		}
+	}
+	return blockBuf{hdr: hdr, data: data}, nil
+}
+
+// copyBlock fills dst with block content starting at block-local offset
+// lo: checksummed bytes first, zeros beyond the stored length (sparse
+// blocks read as zeros).
+func copyBlock(dst []byte, blk blockBuf, lo int64) {
+	var n int
+	if v := blk.valid(); lo < v {
+		n = copy(dst, blk.data[lo:v])
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
+// storeBlock writes block b: header plus data, checksummed. len(data)
+// becomes the block's valid length.
+func (o *Object) storeBlock(b int64, data []byte) error {
+	out := make([]byte, HeaderSize+len(data))
+	h := BlockHeader{
+		Version: Version,
+		Length:  uint32(len(data)),
+		Index:   uint32(b),
+		Sum:     Checksum(data),
+	}
+	copy(out, MarshalHeader(h))
+	copy(out[HeaderSize:], data)
+	_, err := o.inner.WriteAt(out, b*o.stride)
+	return err
+}
+
+// ReadAt implements io.ReaderAt over logical offsets, verifying every
+// touched block. Like the raw stores it returns (n, io.EOF) when the
+// read extends past the logical size.
+func (o *Object) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("integrity: negative offset")
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	phys, err := o.inner.Size()
+	if err != nil {
+		return 0, err
+	}
+	logical := LogicalSize(phys, o.bs)
+	if off >= logical {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	if off+want > logical {
+		want = logical - off
+	}
+	var done int64
+	for done < want {
+		at := off + done
+		b := at / o.bs
+		lo := at - b*o.bs
+		n := o.bs - lo
+		if n > want-done {
+			n = want - done
+		}
+		blk, err := o.loadBlock(b, logical, phys)
+		if err != nil {
+			return int(done), err
+		}
+		copyBlock(p[done:done+n], blk, lo)
+		done += n
+	}
+	if done < int64(len(p)) {
+		return int(done), io.EOF
+	}
+	return int(done), nil
+}
+
+// WriteAt implements io.WriterAt over logical offsets. Whole-block
+// overwrites skip the merge read entirely, so rewriting a corrupt block
+// in full (the repair path) always succeeds; a partial write over a
+// corrupt block fails with *CorruptError because the merge would have
+// to trust poisoned bytes.
+func (o *Object) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("integrity: negative offset")
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	phys, err := o.inner.Size()
+	if err != nil {
+		return 0, err
+	}
+	logical := LogicalSize(phys, o.bs)
+	total := int64(len(p))
+	var done int64
+	for done < total {
+		at := off + done
+		b := at / o.bs
+		lo := at - b*o.bs
+		n := o.bs - lo
+		if n > total-done {
+			n = total - done
+		}
+		hi := lo + n
+		existLen := logical - b*o.bs
+		if existLen < 0 {
+			existLen = 0
+		}
+		if existLen > o.bs {
+			existLen = o.bs
+		}
+		var buf []byte
+		if lo == 0 && hi >= existLen {
+			// Full cover: the write replaces every previously
+			// valid byte of the block; no merge read needed.
+			buf = p[done : done+n]
+		} else {
+			blk, err := o.loadBlock(b, logical, phys)
+			if err != nil {
+				return int(done), err
+			}
+			newLen := hi
+			if existLen > newLen {
+				newLen = existLen
+			}
+			buf = make([]byte, newLen)
+			copyBlock(buf, blk, 0)
+			copy(buf[lo:hi], p[done:done+n])
+		}
+		if err := o.storeBlock(b, buf); err != nil {
+			return int(done), err
+		}
+		done += n
+	}
+	return int(done), nil
+}
+
+// Size returns the logical size.
+func (o *Object) Size() (int64, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	phys, err := o.inner.Size()
+	if err != nil {
+		return 0, err
+	}
+	return LogicalSize(phys, o.bs), nil
+}
+
+// Truncate sets the logical size, rewriting the (new) tail block's
+// header so its stored length stays pinned to the physical size.
+func (o *Object) Truncate(size int64) error {
+	if size < 0 {
+		return errors.New("integrity: negative size")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	phys, err := o.inner.Size()
+	if err != nil {
+		return err
+	}
+	logical := LogicalSize(phys, o.bs)
+	if size == logical {
+		return nil
+	}
+	if size == 0 {
+		return o.inner.Truncate(0)
+	}
+	nb := (size + o.bs - 1) / o.bs
+	tb := nb - 1
+	tailLen := size - tb*o.bs
+	blk, err := o.loadBlock(tb, logical, phys)
+	if err != nil {
+		return err
+	}
+	if !blk.hole && int64(blk.hdr.Length) != tailLen {
+		buf := make([]byte, tailLen)
+		copyBlock(buf, blk, 0)
+		if err := o.storeBlock(tb, buf); err != nil {
+			return err
+		}
+	}
+	return o.inner.Truncate(PhysicalSize(size, o.bs))
+}
+
+// Sync flushes the inner object.
+func (o *Object) Sync() error { return o.inner.Sync() }
+
+// Close closes the inner object.
+func (o *Object) Close() error { return o.inner.Close() }

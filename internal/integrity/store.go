@@ -1,0 +1,63 @@
+package integrity
+
+import (
+	"sync/atomic"
+
+	"swift/internal/store"
+)
+
+// Store wraps an inner object store so every object it opens carries
+// the block-checksum envelope. Stat and Size report logical sizes, so
+// the wrapped store is a drop-in replacement for the raw one; only the
+// on-store representation changes.
+type Store struct {
+	inner   store.Store
+	bs      int64
+	corrupt atomic.Int64
+}
+
+// NewStore wraps inner at the given block size (DefaultBlockSize when
+// <= 0). The block size must stay constant for the lifetime of the
+// backing data: reading an envelope written at a different block size
+// reports corruption.
+func NewStore(inner store.Store, blockSize int64) *Store {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &Store{inner: inner, bs: blockSize}
+}
+
+// BlockSize returns the envelope's checksum granularity.
+func (s *Store) BlockSize() int64 { return s.bs }
+
+// Inner returns the wrapped store, giving tests and fault injectors
+// access to the raw (enveloped) bytes.
+func (s *Store) Inner() store.Store { return s.inner }
+
+// Corruptions returns the number of verification failures detected so
+// far across all objects opened from this store.
+func (s *Store) Corruptions() int64 { return s.corrupt.Load() }
+
+// Open implements store.Store.
+func (s *Store) Open(name string, create bool) (store.Object, error) {
+	obj, err := s.inner.Open(name, create)
+	if err != nil {
+		return nil, err
+	}
+	return newObject(obj, s.bs, &s.corrupt), nil
+}
+
+// Stat implements store.Store, reporting the logical size.
+func (s *Store) Stat(name string) (int64, error) {
+	phys, err := s.inner.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return LogicalSize(phys, s.bs), nil
+}
+
+// Remove implements store.Store.
+func (s *Store) Remove(name string) error { return s.inner.Remove(name) }
+
+// List implements store.Store.
+func (s *Store) List() ([]string, error) { return s.inner.List() }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"swift/internal/obs"
 )
@@ -28,7 +29,8 @@ var (
 	// ErrUnsatisfiable is returned when the installation cannot meet a
 	// request's requirements; the mediator rejects rather than degrades.
 	ErrUnsatisfiable = errors.New("mediator: requirements cannot be satisfied")
-	// ErrUnknownSession is returned for operations on absent sessions.
+	// ErrUnknownSession is returned for operations on absent sessions
+	// (never opened, already closed, or lease-expired).
 	ErrUnknownSession = errors.New("mediator: unknown session")
 )
 
@@ -52,6 +54,14 @@ type Config struct {
 	// MinUnit and MaxUnit bound the striping unit (defaults 4 KiB and
 	// 256 KiB). Units are powers of two.
 	MinUnit, MaxUnit int64
+	// LeaseTTL bounds how long an admitted session may hold its
+	// reservations without a Renew heartbeat from the distribution
+	// agent. An expired lease releases the session's agent and network
+	// reservations automatically — a crashed client cannot pin capacity
+	// forever. Zero disables leases (sessions live until closed).
+	LeaseTTL time.Duration
+	// Now is the lease clock (default time.Now). Tests inject a fake.
+	Now func() time.Time
 	// Obs, when non-nil, is the metric registry the mediator registers
 	// its admission counters and reservation-utilization gauges in. Nil
 	// gets a private registry; telemetry is always recorded.
@@ -79,6 +89,12 @@ type Plan struct {
 	Rate      float64 // granted (reserved) data-rate, bytes/second
 }
 
+// session is one admitted plan plus its lease state.
+type session struct {
+	plan    *Plan
+	expires time.Time // zero when leases are disabled
+}
+
 // Mediator tracks reservations against the installation's capacities.
 type Mediator struct {
 	cfg Config
@@ -88,8 +104,11 @@ type Mediator struct {
 	mu        sync.Mutex
 	agentLoad []float64
 	netLoad   []float64
-	sessions  map[uint64]*Plan
+	sessions  map[uint64]*session
 	nextID    uint64
+
+	janStop chan struct{}
+	janDone chan struct{}
 }
 
 // New validates the installation description and returns a mediator.
@@ -117,14 +136,87 @@ func New(cfg Config) (*Mediator, error) {
 	if cfg.MinUnit > cfg.MaxUnit || cfg.MinUnit <= 0 {
 		return nil, fmt.Errorf("mediator: bad unit bounds [%d,%d]", cfg.MinUnit, cfg.MaxUnit)
 	}
+	if cfg.LeaseTTL < 0 {
+		return nil, fmt.Errorf("mediator: negative lease TTL %v", cfg.LeaseTTL)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	m := &Mediator{
 		cfg:       cfg,
 		agentLoad: make([]float64, len(cfg.Agents)),
 		netLoad:   make([]float64, len(cfg.Nets)),
-		sessions:  make(map[uint64]*Plan),
+		sessions:  make(map[uint64]*session),
 	}
 	m.initTelemetry(cfg.Obs)
+	if cfg.LeaseTTL > 0 {
+		m.startJanitor()
+	}
 	return m, nil
+}
+
+// startJanitor launches the background lease reaper. Expiry is also
+// applied lazily on every mediator operation, so the janitor only bounds
+// how long a dead client's reservations linger on an otherwise idle
+// mediator. Stopped by Close.
+func (m *Mediator) startJanitor() {
+	interval := m.cfg.LeaseTTL / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	m.janStop = make(chan struct{})
+	m.janDone = make(chan struct{})
+	go func() {
+		defer close(m.janDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.janStop:
+				return
+			case <-t.C:
+				m.ExpireNow()
+			}
+		}
+	}()
+}
+
+// Close stops the lease janitor, if running. The mediator's bookkeeping
+// remains usable afterwards (expiry still applies lazily).
+func (m *Mediator) Close() error {
+	if m.janStop != nil {
+		close(m.janStop)
+		<-m.janDone
+		m.janStop, m.janDone = nil, nil
+	}
+	return nil
+}
+
+// ExpireNow sweeps expired leases, releasing their reservations, and
+// returns how many sessions it reaped.
+func (m *Mediator) ExpireNow() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.expireLocked()
+}
+
+// expireLocked releases every session whose lease has lapsed; m.mu held.
+func (m *Mediator) expireLocked() int {
+	if m.cfg.LeaseTTL <= 0 {
+		return 0
+	}
+	now := m.cfg.Now()
+	n := 0
+	for id, s := range m.sessions {
+		if s.expires.After(now) {
+			continue
+		}
+		delete(m.sessions, id)
+		m.releaseLocked(s.plan)
+		m.tel.expirations.Inc()
+		n++
+	}
+	return n
 }
 
 // OpenSession admits or rejects a request, reserving agent and network
@@ -132,6 +224,7 @@ func New(cfg Config) (*Mediator, error) {
 func (m *Mediator) OpenSession(req Requirements) (*Plan, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.expireLocked()
 
 	// Available capacity per agent, sorted descending; ties broken by
 	// index for determinism.
@@ -212,7 +305,11 @@ func (m *Mediator) OpenSession(req Requirements) (*Plan, error) {
 		for _, i := range p.Agents {
 			p.Addrs = append(p.Addrs, m.cfg.Agents[i].Addr)
 		}
-		m.sessions[p.SessionID] = p
+		s := &session{plan: p}
+		if m.cfg.LeaseTTL > 0 {
+			s.expires = m.cfg.Now().Add(m.cfg.LeaseTTL)
+		}
+		m.sessions[p.SessionID] = s
 		m.tel.admits.Inc()
 		return p, nil
 	}
@@ -235,15 +332,27 @@ func (m *Mediator) chooseUnit(k int) int64 {
 	return u
 }
 
-// CloseSession releases a session's reservations.
+// CloseSession releases a session's reservations. It is idempotent:
+// closing a session that is already closed (or was reaped by lease
+// expiry) is a no-op, so release paths can be retried safely and a
+// heartbeat racing a close cannot double-release capacity.
 func (m *Mediator) CloseSession(id uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	p := m.sessions[id]
-	if p == nil {
-		return ErrUnknownSession
+	m.expireLocked()
+	s := m.sessions[id]
+	if s == nil {
+		return nil // idempotent: nothing to release
 	}
 	delete(m.sessions, id)
+	m.releaseLocked(s.plan)
+	m.tel.closes.Inc()
+	return nil
+}
+
+// releaseLocked returns a plan's reservations to the capacity model;
+// m.mu must be held.
+func (m *Mediator) releaseLocked(p *Plan) {
 	dataAgents := len(p.Agents)
 	if p.Parity {
 		dataAgents--
@@ -263,14 +372,63 @@ func (m *Mediator) CloseSession(id uint64) error {
 			m.netLoad[j] = 0
 		}
 	}
-	m.tel.closes.Inc()
+}
+
+// Renew extends a session's lease by the configured TTL — the
+// distribution agent's heartbeat. With leases disabled it only verifies
+// that the session exists. Renewing an unknown (or already expired)
+// session returns ErrUnknownSession: the client's reservations are gone
+// and it must re-open a session.
+func (m *Mediator) Renew(id uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLocked()
+	s := m.sessions[id]
+	if s == nil {
+		return ErrUnknownSession
+	}
+	if m.cfg.LeaseTTL > 0 {
+		s.expires = m.cfg.Now().Add(m.cfg.LeaseTTL)
+	}
+	m.tel.renewals.Inc()
 	return nil
 }
 
-// Sessions reports the number of active sessions.
+// SessionStatus is one live session's plan and lease, for operators.
+type SessionStatus struct {
+	ID      uint64
+	Agents  []int
+	Unit    int64
+	Parity  bool
+	Rate    float64
+	Expires time.Time // zero when leases are disabled
+}
+
+// SessionList snapshots the live sessions, sorted by ID.
+func (m *Mediator) SessionList() []SessionStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLocked()
+	out := make([]SessionStatus, 0, len(m.sessions))
+	for id, s := range m.sessions {
+		out = append(out, SessionStatus{
+			ID:      id,
+			Agents:  append([]int(nil), s.plan.Agents...),
+			Unit:    s.plan.Unit,
+			Parity:  s.plan.Parity,
+			Rate:    s.plan.Rate,
+			Expires: s.expires,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Sessions reports the number of active (unexpired) sessions.
 func (m *Mediator) Sessions() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.expireLocked()
 	return len(m.sessions)
 }
 
@@ -278,6 +436,7 @@ func (m *Mediator) Sessions() int {
 func (m *Mediator) AgentLoad(i int) float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.expireLocked()
 	return m.agentLoad[i]
 }
 
@@ -285,5 +444,6 @@ func (m *Mediator) AgentLoad(i int) float64 {
 func (m *Mediator) NetLoad(j int) float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.expireLocked()
 	return m.netLoad[j]
 }

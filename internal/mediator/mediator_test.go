@@ -2,7 +2,9 @@ package mediator
 
 import (
 	"errors"
+	"sync"
 	"testing"
+	"time"
 )
 
 // testInstall: 6 agents at 400 KB/s each, two 1.12 MB/s Ethernets,
@@ -150,9 +152,174 @@ func TestBestEffortSession(t *testing.T) {
 }
 
 func TestCloseUnknownSession(t *testing.T) {
+	// Close is idempotent: unknown (never opened, already closed, or
+	// lease-reaped) sessions are a no-op, not an error.
 	m, _ := New(testInstall())
-	if err := m.CloseSession(99); !errors.Is(err, ErrUnknownSession) {
-		t.Fatalf("err = %v", err)
+	if err := m.CloseSession(99); err != nil {
+		t.Fatalf("err = %v, want nil (idempotent close)", err)
+	}
+}
+
+func TestCloseSessionIdempotent(t *testing.T) {
+	m, _ := New(testInstall())
+	p, err := m.OpenSession(Requirements{Rate: 350e3})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := m.CloseSession(p.SessionID); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	// Second close must not error and must not double-release capacity.
+	if err := m.CloseSession(p.SessionID); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		if m.AgentLoad(i) < 0 || m.AgentLoad(i) != 0 {
+			t.Fatalf("agent %d load %f after double close", i, m.AgentLoad(i))
+		}
+	}
+	if m.NetLoad(0) != 0 || m.NetLoad(1) != 0 {
+		t.Fatal("net load wrong after double close")
+	}
+}
+
+// fakeClock is a manually advanced lease clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func leaseInstall(ttl time.Duration, clk *fakeClock) Config {
+	cfg := testInstall()
+	cfg.LeaseTTL = ttl
+	cfg.Now = clk.Now
+	return cfg
+}
+
+func TestLeaseExpiryReleasesReservations(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	m, err := New(leaseInstall(time.Minute, clk))
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	defer m.Close()
+	// Saturate the installation, then let every lease lapse.
+	var ids []uint64
+	for i := 0; i < 6; i++ {
+		p, err := m.OpenSession(Requirements{Rate: 350e3})
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		ids = append(ids, p.SessionID)
+	}
+	if _, err := m.OpenSession(Requirements{Rate: 350e3}); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("7th session: err = %v, want ErrUnsatisfiable", err)
+	}
+	clk.Advance(2 * time.Minute)
+	if n := m.ExpireNow(); n != 6 {
+		t.Fatalf("expired %d sessions, want 6", n)
+	}
+	if m.Sessions() != 0 {
+		t.Fatalf("sessions = %d after expiry", m.Sessions())
+	}
+	// 100% of the reservations must be back.
+	for i := 0; i < 6; i++ {
+		if m.AgentLoad(i) != 0 {
+			t.Fatalf("agent %d load %f after expiry", i, m.AgentLoad(i))
+		}
+	}
+	if m.NetLoad(0) != 0 || m.NetLoad(1) != 0 {
+		t.Fatal("net load not released by expiry")
+	}
+	// Capacity is admittable again; the dead clients' closes are no-ops.
+	if _, err := m.OpenSession(Requirements{Rate: 350e3}); err != nil {
+		t.Fatalf("post-expiry admission: %v", err)
+	}
+	for _, id := range ids {
+		if err := m.CloseSession(id); err != nil {
+			t.Fatalf("close of expired session %d: %v", id, err)
+		}
+	}
+}
+
+func TestRenewKeepsLeaseAlive(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	m, err := New(leaseInstall(time.Minute, clk))
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	defer m.Close()
+	p, err := m.OpenSession(Requirements{Rate: 100e3})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Heartbeat every 30s for five minutes: the session must survive.
+	for i := 0; i < 10; i++ {
+		clk.Advance(30 * time.Second)
+		if err := m.Renew(p.SessionID); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	if m.Sessions() != 1 {
+		t.Fatalf("sessions = %d, want 1", m.Sessions())
+	}
+	// Stop the heartbeat; the lease lapses and renewal is refused.
+	clk.Advance(2 * time.Minute)
+	if err := m.Renew(p.SessionID); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("renew after expiry: err = %v, want ErrUnknownSession", err)
+	}
+	if m.Sessions() != 0 {
+		t.Fatalf("sessions = %d after lapse", m.Sessions())
+	}
+}
+
+func TestLazyExpiryOnOpen(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	m, err := New(leaseInstall(time.Minute, clk))
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	defer m.Close()
+	// Saturate, lapse, then admit without an explicit sweep: OpenSession
+	// must reap lazily.
+	for i := 0; i < 6; i++ {
+		if _, err := m.OpenSession(Requirements{Rate: 350e3}); err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	clk.Advance(2 * time.Minute)
+	if _, err := m.OpenSession(Requirements{Rate: 350e3}); err != nil {
+		t.Fatalf("admission after lapse: %v", err)
+	}
+}
+
+func TestSessionListShowsLease(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	m, err := New(leaseInstall(time.Minute, clk))
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	defer m.Close()
+	p, _ := m.OpenSession(Requirements{Rate: 100e3})
+	ss := m.SessionList()
+	if len(ss) != 1 || ss[0].ID != p.SessionID {
+		t.Fatalf("session list = %+v", ss)
+	}
+	want := clk.Now().Add(time.Minute)
+	if !ss[0].Expires.Equal(want) {
+		t.Fatalf("expires = %v, want %v", ss[0].Expires, want)
 	}
 }
 

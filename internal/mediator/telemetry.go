@@ -10,10 +10,12 @@ import (
 // and export-time reservation-utilization gauges computed straight from
 // the load tables (never double-booked).
 type telemetry struct {
-	reg     *obs.Registry
-	admits  *obs.Counter // sessions admitted
-	rejects *obs.Counter // sessions rejected (ErrUnsatisfiable)
-	closes  *obs.Counter // sessions closed
+	reg         *obs.Registry
+	admits      *obs.Counter // sessions admitted
+	rejects     *obs.Counter // sessions rejected (ErrUnsatisfiable)
+	closes      *obs.Counter // sessions closed
+	renewals    *obs.Counter // lease heartbeats honoured
+	expirations *obs.Counter // sessions reaped by lease expiry
 }
 
 // initTelemetry registers the mediator's instruments. The reservation
@@ -28,6 +30,10 @@ func (m *Mediator) initTelemetry(reg *obs.Registry) {
 		admits:  reg.Counter("swift_mediator_admits_total", "Sessions admitted.", nil),
 		rejects: reg.Counter("swift_mediator_rejects_total", "Sessions rejected as unsatisfiable.", nil),
 		closes:  reg.Counter("swift_mediator_closes_total", "Sessions closed.", nil),
+		renewals: reg.Counter("swift_mediator_lease_renewals_total",
+			"Session lease heartbeats honoured.", nil),
+		expirations: reg.Counter("swift_mediator_lease_expirations_total",
+			"Sessions reaped because their lease lapsed.", nil),
 	}
 	reg.GaugeFunc("swift_mediator_sessions", "Active reserved sessions.", nil, func() float64 {
 		return float64(m.Sessions())

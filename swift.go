@@ -42,6 +42,7 @@ import (
 
 	"swift/internal/agent"
 	"swift/internal/core"
+	"swift/internal/integrity"
 	"swift/internal/obs"
 	"swift/internal/store"
 	"swift/internal/transport"
@@ -87,6 +88,17 @@ type Config struct {
 	// fragments from the survivors before it serves reads again
 	// (requires Parity).
 	AutoRebuild bool
+	// ScrubInterval, when > 0 together with HealthInterval, runs a
+	// background scrub over every open file at this period: each stripe
+	// row is read from all agents, verified against the integrity
+	// envelope and the parity equation, and (with Parity) repaired in
+	// place — corrupt units rewritten from the XOR of their peers, stale
+	// parity recomputed from the data.
+	ScrubInterval time.Duration
+	// Heartbeat, when non-nil together with HealthInterval, is invoked
+	// once per health-probe round — the hook for renewing a storage
+	// mediator session lease (mediator.Renew) while this client lives.
+	Heartbeat func()
 	// Logf receives diagnostics.
 	Logf func(format string, args ...any)
 	// Verbose additionally routes burst-level trace events (failovers,
@@ -135,8 +147,10 @@ func Dial(cfg Config) (*FS, error) {
 	}
 	if cfg.HealthInterval > 0 {
 		if err := c.StartMonitor(core.MonitorConfig{
-			Interval: cfg.HealthInterval,
-			Rebuild:  cfg.AutoRebuild,
+			Interval:      cfg.HealthInterval,
+			Rebuild:       cfg.AutoRebuild,
+			ScrubInterval: cfg.ScrubInterval,
+			Heartbeat:     cfg.Heartbeat,
 		}); err != nil {
 			c.Close()
 			return nil, err
@@ -207,6 +221,51 @@ func (fs *FS) Health() []AgentHealth { return fs.c.Health() }
 // returns the resulting snapshot. The background monitor (see
 // Config.HealthInterval) calls the same machinery on a timer.
 func (fs *FS) CheckHealth() []AgentHealth { return fs.c.ProbeOnce() }
+
+// ScrubOptions tune a scrub pass (see FS.ScrubObject and File.Scrub).
+type ScrubOptions = core.ScrubOptions
+
+// ScrubReport totals one scrub pass: rows verified, corruption and
+// parity mismatches found, units repaired, and what could not be healed.
+type ScrubReport = core.ScrubReport
+
+// ScrubObject opens the named object, verifies it row by row against the
+// integrity envelope and the parity equation, optionally repairs what it
+// finds, and closes it again.
+func (fs *FS) ScrubObject(name string, opts ScrubOptions) (ScrubReport, error) {
+	return fs.c.ScrubObject(name, opts)
+}
+
+// ScrubAll scrubs every object on the agent set in turn.
+func (fs *FS) ScrubAll(opts ScrubOptions) (ScrubReport, error) {
+	return fs.c.ScrubAll(opts)
+}
+
+// ScrubOpen scrubs every currently open file once, repairing (when
+// Parity is enabled) what it finds — the same pass the background
+// scrubber (Config.ScrubInterval) runs on its timer.
+func (fs *FS) ScrubOpen() ScrubReport { return fs.c.ScrubOnce() }
+
+// ErrCorrupt is the sentinel all at-rest corruption errors match with
+// errors.Is: data failed its integrity checksum and was not served.
+var ErrCorrupt = integrity.ErrCorrupt
+
+// CorruptError reports the byte range of an object that failed its
+// at-rest integrity check.
+type CorruptError = integrity.CorruptError
+
+// IsCorrupt reports whether err (possibly a RemoteError that crossed the
+// wire) describes at-rest corruption.
+func IsCorrupt(err error) bool { return integrity.IsCorrupt(err) }
+
+// NewIntegrityStore wraps a store so every fragment is kept in a
+// block-checksum envelope: writes are checksummed per block, reads are
+// verified, and damaged ranges surface as CorruptError instead of bad
+// bytes. blockSize 0 selects the default (4 KiB); it should divide the
+// striping unit so parity repair can overwrite whole blocks.
+func NewIntegrityStore(inner store.Store, blockSize int64) store.Store {
+	return integrity.NewStore(inner, blockSize)
+}
 
 // Stats is the client's full telemetry snapshot: protocol counters,
 // per-operation latency percentiles, and the per-agent breakdown.
