@@ -2,16 +2,35 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench tables figures ablations examples \
-	obs-test obs-smoke scrub-smoke clean
+.PHONY: all build vet lint test race fuzz bench tables figures ablations \
+	examples obs-test obs-smoke scrub-smoke clean
 
 all: build vet test obs-test
 
 build:
 	$(GO) build ./...
 
+# vet = the standard toolchain checks plus swiftvet, the project's own
+# analyzers (injected clocks, lock/IO discipline, error attribution,
+# metric naming, goroutine shutdown paths).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/swiftvet ./...
+
+# lint = the full static gate run by CI's lint job: swiftvet, gofmt
+# cleanliness, and (when the tool is on PATH, e.g. installed by CI)
+# govulncheck over the module.
+lint:
+	$(GO) run ./cmd/swiftvet ./...
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$fmtout"; exit 1; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI installs it)"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,125 @@
+// Command swiftvet runs swift's project-specific static-analysis suite
+// (internal/lint) over the module: injected-clock discipline, the
+// zero-lock data path, error attribution across layer boundaries, metric
+// naming, and goroutine shutdown paths.
+//
+// Usage:
+//
+//	swiftvet [-json] [-run analyzer[,analyzer...]] [packages]
+//
+// Package patterns are module-relative ("./...", "./internal/...",
+// "./internal/core"); the default is "./...". Exit status: 0 when clean,
+// 1 when findings are reported, 2 when the module fails to load.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"swift/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("swiftvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	runList := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("dir", "", "directory to resolve the module from (default: cwd)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *runList != "" {
+		analyzers = lint.ByName(strings.Split(*runList, ",")...)
+		if len(analyzers) == 0 {
+			fmt.Fprintf(stderr, "swiftvet: no analyzers match -run=%s\n", *runList)
+			return 2
+		}
+	}
+
+	start := *dir
+	if start == "" {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(stderr, "swiftvet:", err)
+			return 2
+		}
+		start = cwd
+	}
+	root, err := lint.FindModuleRoot(start)
+	if err != nil {
+		fmt.Fprintln(stderr, "swiftvet:", err)
+		return 2
+	}
+	module, err := lint.ModulePath(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "swiftvet:", err)
+		return 2
+	}
+	pkgs, err := lint.Load(root, module)
+	if err != nil {
+		fmt.Fprintln(stderr, "swiftvet:", err)
+		return 2
+	}
+	for _, p := range pkgs {
+		if len(p.Errs) > 0 {
+			fmt.Fprintf(stderr, "swiftvet: package %s does not type-check:\n", p.Path)
+			for _, e := range p.Errs {
+				fmt.Fprintf(stderr, "  %v\n", e)
+			}
+			return 2
+		}
+	}
+
+	patterns := lint.NormalizePatterns(fs.Args())
+	var selected []*lint.Package
+	for _, p := range pkgs {
+		if p.Match(module, patterns) {
+			selected = append(selected, p)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(stderr, "swiftvet: no packages match %v\n", fs.Args())
+		return 2
+	}
+
+	diags := lint.Run(selected, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "swiftvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "swiftvet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

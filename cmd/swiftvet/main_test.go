@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for exit-code tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module demo\n\ngo 1.22\n"
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const violating = `package memnet
+
+import "time"
+
+// Now leaks the wall clock.
+func Now() time.Time { return time.Now() }
+`
+
+// TestTreeClean is the acceptance gate: the committed tree carries no
+// findings, so swiftvet over the whole module exits 0.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load is slow")
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("swiftvet ./... = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestExitCodeFindings: a seeded violation exits 1 and prints the finding.
+func TestExitCodeFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{"memnet/m.go": violating})
+	var out, errb strings.Builder
+	if code := run([]string{"-dir", dir, "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[clockcheck]") {
+		t.Errorf("stdout missing clockcheck finding:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "1 finding(s)") {
+		t.Errorf("stderr missing summary: %s", errb.String())
+	}
+}
+
+// TestJSONOutput: -json emits a machine-readable array with positions.
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{"memnet/m.go": violating})
+	var out, errb strings.Builder
+	if code := run([]string{"-json", "-dir", dir, "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "clockcheck" || d.File != "memnet/m.go" || d.Line != 6 || d.Col == 0 || d.Message == "" {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+}
+
+// TestJSONClean: a clean module still emits a (empty) JSON array.
+func TestJSONClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{"util/u.go": "package util\n\n// Nop does nothing.\nfunc Nop() {}\n"})
+	var out, errb strings.Builder
+	if code := run([]string{"-json", "-dir", dir, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("stdout = %q, want []", got)
+	}
+}
+
+// TestExitCodeLoadError: a module that fails to type-check exits 2.
+func TestExitCodeLoadError(t *testing.T) {
+	dir := writeModule(t, map[string]string{"broken/b.go": "package broken\n\nfunc f() { undefined() }\n"})
+	var out, errb strings.Builder
+	if code := run([]string{"-dir", dir, "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "does not type-check") {
+		t.Errorf("stderr missing type-check report: %s", errb.String())
+	}
+}
+
+// TestRunSubset: -run filters analyzers; unknown names exit 2.
+func TestRunSubset(t *testing.T) {
+	dir := writeModule(t, map[string]string{"memnet/m.go": violating})
+	var out, errb strings.Builder
+	if code := run([]string{"-run", "goexit", "-dir", dir, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("-run goexit exit = %d, want 0 (clockcheck filtered out)\n%s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-run", "nosuch", "-dir", dir, "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("-run nosuch exit = %d, want 2", code)
+	}
+}
+
+// TestList names every analyzer.
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"clockcheck", "lockio", "errattr", "metricname", "goexit"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestBadPattern: patterns matching nothing exit 2.
+func TestBadPattern(t *testing.T) {
+	dir := writeModule(t, map[string]string{"util/u.go": "package util\n\n// Nop does nothing.\nfunc Nop() {}\n"})
+	var out, errb strings.Builder
+	if code := run([]string{"-dir", dir, "./nonexistent/..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr: %s", code, errb.String())
+	}
+}

@@ -48,6 +48,7 @@ func newRig(t *testing.T, cfg Config) *testRig {
 	t.Cleanup(func() {
 		conn.Close()
 		a.Close()
+		n.Close()
 	})
 	return &testRig{t: t, agent: a, st: st, conn: conn, buf: make([]byte, wire.MaxPacket)}
 }

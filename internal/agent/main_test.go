@@ -1,0 +1,11 @@
+package agent
+
+import (
+	"testing"
+
+	"swift/internal/testutil/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine: every agent
+// serve loop must exit when its test closes the agent or its listener.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

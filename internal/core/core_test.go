@@ -97,6 +97,7 @@ func newCluster(t *testing.T, o clusterOpts) *cluster {
 		for _, a := range c.agents {
 			a.Close()
 		}
+		n.Close()
 	})
 	return c
 }
@@ -406,6 +407,7 @@ func TestReorderedNetworkRoundTrip(t *testing.T) {
 	// Datagram reordering: the protocol's offset-addressed packets and
 	// extent bookkeeping tolerate out-of-order delivery.
 	n := memnet.New(1)
+	defer n.Close()
 	seg := n.NewSegment("lab", memnet.SegmentConfig{
 		BandwidthBps:  1e10,
 		FrameOverhead: 46,

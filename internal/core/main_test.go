@@ -1,0 +1,12 @@
+package core
+
+import (
+	"testing"
+
+	"swift/internal/testutil/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine: every
+// client, scrubber, and read-ahead worker must be shut down by the
+// test that started it.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

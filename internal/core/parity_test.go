@@ -13,6 +13,7 @@ import (
 func memnetTestHost(t *testing.T) transport.Host {
 	t.Helper()
 	n := memnet.New(1)
+	t.Cleanup(n.Close)
 	seg := n.NewSegment("s", memnet.SegmentConfig{BandwidthBps: 1e9})
 	return n.MustHost("h", memnet.HostConfig{}, seg)
 }

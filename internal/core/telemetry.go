@@ -83,6 +83,7 @@ func newTelemetry(reg *obs.Registry, agents []string, m *Metrics) *telemetry {
 	}
 	for _, g := range global {
 		load := g.load
+		//lint:allow metricname names and help strings are literals in the table above; the loop only threads the closure
 		reg.CounterFunc(g.name, g.help, nil, func() float64 { return float64(load()) })
 	}
 

@@ -122,6 +122,7 @@ func WithSeed(seed int64) Option {
 func NewDevice(m Model, opts ...Option) *Device {
 	d := &Device{
 		model: m,
+		//lint:allow clockcheck default sleeper for standalone devices; harnesses inject the scaled clock via WithSleeper
 		sleep: time.Sleep,
 		rng:   rand.New(rand.NewSource(1)),
 	}

@@ -1,0 +1,23 @@
+package lint
+
+// All returns swift's analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{ClockCheck, LockIO, ErrAttr, MetricName, GoExit}
+}
+
+// ByName returns the named analyzers (nil entries for unknown names are
+// omitted); with no names it returns All().
+func ByName(names ...string) []*Analyzer {
+	if len(names) == 0 {
+		return All()
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

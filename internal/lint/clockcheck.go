@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// clockTargets are the model/simulation packages whose determinism under
+// the time-scale knob (PAPER.md §4) depends on never reading the wall
+// clock outside the injected-clock seam.
+var clockTargets = map[string]bool{
+	"memnet":   true,
+	"disk":     true,
+	"sim":      true,
+	"simswift": true,
+	"mediator": true,
+}
+
+// clockFuncs are the wall-clock entry points of package time.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// ClockCheck flags wall-clock access (time.Now, time.Sleep, timers,
+// tickers) in model packages. Model code must go through the injected
+// clock — memnet's scaled epoch, disk's Sleeper, mediator's Config.Now,
+// sim's virtual time — or the paper's tables stop being reproducible.
+// Both calls and value references (assigning time.Now as a default) are
+// flagged; the deliberate seams carry //lint:allow clockcheck comments.
+var ClockCheck = &Analyzer{
+	Name: "clockcheck",
+	Doc:  "model packages must use the injected clock, never the wall clock",
+	Run:  runClockCheck,
+}
+
+func runClockCheck(pass *Pass) {
+	if !clockTargets[pass.Pkg.Base()] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || !clockFuncs[sel.Sel.Name] || !pass.PkgIdent(x, "time") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s bypasses the injected clock in model package %q; use the package's clock seam or justify with //lint:allow clockcheck <reason>",
+				sel.Sel.Name, pass.Pkg.Base())
+			return true
+		})
+	}
+}

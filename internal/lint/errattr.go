@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errAttrTargets are the packages whose errors cross layer boundaries and
+// feed the healthy→suspect→down lifecycle and ParseCorrupt: losing the
+// error chain there turns an attributable failure into an anonymous one.
+var errAttrTargets = map[string]bool{
+	"core":     true,
+	"agent":    true,
+	"wire":     true,
+	"mediator": true,
+}
+
+// ErrAttr enforces error attribution across the core/agent/wire boundary:
+// fmt.Errorf must wrap error operands with %w (not flatten them through
+// %v/%s), and errors.New must not rebuild an error from another error's
+// text. Typed attribution errors (integrity.CorruptError and friends) and
+// fresh sentinel errors are untouched.
+var ErrAttr = &Analyzer{
+	Name: "errattr",
+	Doc:  "boundary errors must stay attributable: wrap with %w, never re-stringify",
+	Run:  runErrAttr,
+}
+
+func runErrAttr(pass *Pass) {
+	if !errAttrTargets[pass.Pkg.Base()] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.Callee(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+				checkErrorf(pass, call)
+			case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+				checkErrorsNew(pass, call)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error operand without
+// a %w verb in the format string.
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return // non-literal format: out of scope
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorExpr(pass, arg) {
+			pass.Reportf(arg.Pos(),
+				"errattr: error operand %s formatted without %%w; the chain (and lifecycle attribution) is lost — wrap with %%w or return a typed error",
+				exprString(arg))
+		}
+	}
+}
+
+// checkErrorsNew flags errors.New calls whose message is derived from an
+// existing error (err.Error(), Sprintf over an error, ...): the original
+// chain is discarded.
+func checkErrorsNew(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	found := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if isErrorExpr(pass, e) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		pass.Reportf(call.Pos(),
+			"errattr: errors.New rebuilt from an existing error discards its chain; wrap with fmt.Errorf(...%%w...) or a typed attribution error")
+	}
+}
+
+// isErrorExpr reports whether e's static type implements the error
+// interface (and is not the untyped nil).
+func isErrorExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if errIface == nil {
+		return false
+	}
+	return types.Implements(t, errIface)
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoExit flags fire-and-forget goroutines in internal packages: a
+// goroutine whose body loops forever must have a visible shutdown path
+// (a return or break reachable inside the loop — typically a select on a
+// done channel or context — or a range over a closeable channel).
+// Ranging over a ticker or timer channel is flagged outright: those
+// channels never close, so Stop does not end the loop. Goroutines that
+// would survive FS Close leak across every open/close cycle and poison
+// the leakcheck gate in tests.
+var GoExit = &Analyzer{
+	Name: "goexit",
+	Doc:  "goroutines must have a shutdown path; no unbounded fire-and-forget loops",
+	Run:  runGoExit,
+}
+
+func runGoExit(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path+"/", "/internal/") &&
+		!strings.HasPrefix(pass.Pkg.Path, "internal/") {
+		return
+	}
+	decls := funcDeclIndex(pass)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, label := goBody(pass, g, decls)
+			if body == nil {
+				return true
+			}
+			if why := leakyLoop(pass, body); why != "" {
+				pass.Reportf(g.Pos(),
+					"goexit: goroutine %s %s; add a done channel/context (or //lint:allow goexit <reason>)",
+					label, why)
+			}
+			return true
+		})
+	}
+}
+
+// funcDeclIndex maps each function object defined in the package to its
+// declaration, so `go x.loop()` can be checked at the launch site.
+func funcDeclIndex(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	idx := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = fd
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// goBody resolves the body the go statement will execute: a function
+// literal, or a function/method declared in this package. Launches of
+// foreign functions are skipped.
+func goBody(pass *Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) (*ast.BlockStmt, string) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, "func literal"
+	}
+	if fn := pass.Callee(g.Call); fn != nil {
+		if fd := decls[fn]; fd != nil && fd.Body != nil {
+			return fd.Body, fn.Name()
+		}
+	}
+	return nil, ""
+}
+
+// leakyLoop scans body (not descending into nested function literals) for
+// a loop with no shutdown path. It returns a description of the first
+// offending loop, or "".
+func leakyLoop(pass *Pass, body *ast.BlockStmt) string {
+	var why string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			if isTickerChan(pass, s.X) {
+				why = "ranges over a ticker/timer channel that never closes, so it can never exit"
+				return false
+			}
+		case *ast.ForStmt:
+			if s.Cond == nil && !hasExit(s.Body) {
+				why = "loops forever with no reachable return or break"
+				return false
+			}
+		}
+		return true
+	})
+	return why
+}
+
+// hasExit reports whether the loop body contains a return, a break, or a
+// goto (not inside a nested function literal). A loop that can only be
+// left through one of these has at least one designed exit; loops without
+// any can never stop.
+func hasExit(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			// break/goto leave the loop; continue does not.
+			if s.Tok == token.BREAK || s.Tok == token.GOTO {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isTickerChan reports whether e is the C field of a time.Ticker or
+// time.Timer.
+func isTickerChan(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "C" {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "time" &&
+		(named.Obj().Name() == "Ticker" || named.Obj().Name() == "Timer")
+}

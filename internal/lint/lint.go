@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in module-relative coordinates.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // relative to the module root
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(p.Pkg.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     file,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// Callee resolves the function or method a call invokes, or nil.
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	return f
+}
+
+// PkgIdent reports whether id names the import of the package with the
+// given path.
+func (p *Pass) PkgIdent(id *ast.Ident, path string) bool {
+	pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}
+
+// allow is one parsed //lint:allow comment.
+type allow struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+const allowPrefix = "lint:allow"
+
+// collectAllows parses the //lint:allow comments of a package, keyed by
+// (relative file, line).
+func collectAllows(p *Package) map[string][]allow {
+	out := make(map[string][]allow)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := p.Fset.Position(c.Pos())
+				a := allow{analyzer: name, reason: strings.TrimSpace(reason), pos: pos}
+				key := allowKey(p, pos.Filename, pos.Line)
+				out[key] = append(out[key], a)
+			}
+		}
+	}
+	return out
+}
+
+func allowKey(p *Package, file string, line int) string {
+	if rel, err := filepath.Rel(p.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// diagnostics sorted by position. Findings carrying a justified
+// //lint:allow comment on their line (or the line above) are suppressed;
+// malformed allow comments — no justification, or naming an unknown
+// analyzer — are themselves reported.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg == nil || pkg.Types == nil {
+			continue
+		}
+		allows := collectAllows(pkg)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) { raw = append(raw, d) }}
+			a.Run(pass)
+		}
+		used := make(map[*allow]bool)
+		for _, d := range raw {
+			if a := matchAllow(allows, d, used); a != nil {
+				continue
+			}
+			diags = append(diags, d)
+		}
+		// Report malformed allow comments once per package, whether or
+		// not they shadowed a finding: a bare allow silently rotting in
+		// the tree is exactly the kind of unchecked exception this suite
+		// exists to prevent.
+		for key, list := range allows {
+			for i := range list {
+				a := &list[i]
+				d := Diagnostic{Analyzer: "lint", Message: ""}
+				file, line := splitKey(key)
+				d.File, d.Line, d.Col = file, line, a.pos.Column
+				switch {
+				case a.analyzer == "" || a.reason == "":
+					d.Message = fmt.Sprintf("malformed %s comment: want //lint:allow <analyzer> <justification>", allowPrefix)
+				case !known[a.analyzer] && len(analyzers) == len(All()):
+					d.Message = fmt.Sprintf("//lint:allow names unknown analyzer %q", a.analyzer)
+				default:
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+func splitKey(key string) (string, int) {
+	i := strings.LastIndexByte(key, ':')
+	var line int
+	fmt.Sscanf(key[i+1:], "%d", &line)
+	return key[:i], line
+}
+
+// matchAllow finds a justified allow for d on its own line or the line
+// above.
+func matchAllow(allows map[string][]allow, d Diagnostic, used map[*allow]bool) *allow {
+	for _, line := range []int{d.Line, d.Line - 1} {
+		key := fmt.Sprintf("%s:%d", d.File, line)
+		for i := range allows[key] {
+			a := &allows[key][i]
+			if a.analyzer == d.Analyzer && a.reason != "" {
+				used[a] = true
+				return a
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,368 @@
+// Package lint is swift's project-specific static-analysis suite. It
+// loads the module from source using only the standard library (go/ast,
+// go/parser, go/types, go/build), runs a set of bespoke analyzers that
+// encode the repository's unwritten invariants (injected clocks, the
+// zero-lock data path, error attribution across layer boundaries, metric
+// naming, goroutine shutdown paths), and reports findings with exact
+// positions. The cmd/swiftvet binary is a thin CLI over this package.
+//
+// Deliberate violations are annotated in source with
+//
+//	//lint:allow <analyzer> <justification>
+//
+// on the offending line or the line directly above it. The justification
+// is mandatory: an allow comment without one does not suppress anything
+// and is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string // import path ("swift/internal/core")
+	Dir   string // absolute directory
+	Root  string // module root directory (for relative positions)
+	Name  string // package name
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Errs  []error // type-check errors (load is best-effort; Run refuses broken packages)
+}
+
+// Base returns the last element of the package's import path.
+func (p *Package) Base() string {
+	if i := strings.LastIndexByte(p.Path, '/'); i >= 0 {
+		return p.Path[i+1:]
+	}
+	return p.Path
+}
+
+// loader resolves imports: module-internal packages come from the
+// in-progress load, everything else is type-checked from GOROOT source
+// with function bodies ignored (signatures are all the analyzers need).
+type loader struct {
+	root    string
+	module  string
+	fset    *token.FileSet
+	bctx    build.Context
+	pkgs    map[string]*Package       // module packages by import path
+	std     map[string]*types.Package // stdlib cache by directory
+	loading map[string]bool           // cycle guard for stdlib
+}
+
+// Load scans root for Go packages (skipping testdata, vendor and hidden
+// directories), type-checks them in dependency order under the given
+// module path, and returns them sorted by import path. Test files
+// (_test.go) are not analyzed: the invariants guard production code, and
+// tests legitimately use wall clocks and ad-hoc goroutines.
+func Load(root, module string) ([]*Package, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		root:    abs,
+		module:  module,
+		fset:    token.NewFileSet(),
+		bctx:    build.Default,
+		pkgs:    make(map[string]*Package),
+		std:     make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+	// Pure-Go view of the standard library: cgo-guarded files are
+	// excluded, so packages like net type-check from their portable
+	// fallbacks without invoking the cgo tool.
+	l.bctx.CgoEnabled = false
+
+	dirs, err := l.scan()
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		if _, err := l.loadModulePkg(dir); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// ModulePath reads the module directive from root/go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// scan returns the directories under root holding buildable Go packages.
+func (l *loader) scan() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a module directory to its import path.
+func (l *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.module, nil
+	}
+	return l.module + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirForImport maps a module import path back to a directory.
+func (l *loader) dirForImport(path string) string {
+	if path == l.module {
+		return l.root
+	}
+	rel := strings.TrimPrefix(path, l.module+"/")
+	return filepath.Join(l.root, filepath.FromSlash(rel))
+}
+
+// loadModulePkg parses and type-checks the package in dir (loading its
+// module-internal dependencies first) and caches it.
+func (l *loader) loadModulePkg(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	bp, err := l.bctx.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("lint: %s: %v", dir, err)
+	}
+	// Register a placeholder early to break accidental cycles cleanly.
+	l.pkgs[path] = nil
+
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+	}
+	// Load module-internal dependencies first (topological order).
+	for _, imp := range bp.Imports {
+		if imp == l.module || strings.HasPrefix(imp, l.module+"/") {
+			if _, err := l.loadModulePkg(l.dirForImport(imp)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	p := &Package{
+		Path: path, Dir: dir, Root: l.root, Name: bp.Name,
+		Fset: l.fset, Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer:    (*moduleImporter)(l),
+		FakeImportC: true,
+		Error:       func(err error) { p.Errs = append(p.Errs, err) },
+	}
+	p.Types, _ = conf.Check(path, l.fset, files, p.Info)
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// moduleImporter resolves imports for module packages.
+type moduleImporter loader
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, m.root, 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	l := (*loader)(m)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		p := l.pkgs[path]
+		if p == nil || p.Types == nil {
+			return nil, fmt.Errorf("lint: module package %q not loaded", path)
+		}
+		return p.Types, nil
+	}
+	return l.importStd(path, srcDir)
+}
+
+// importStd type-checks a non-module (standard library) package from
+// GOROOT source with function bodies ignored.
+func (l *loader) importStd(path, srcDir string) (*types.Package, error) {
+	bp, err := l.bctx.Import(path, srcDir, 0)
+	if err != nil {
+		return nil, err
+	}
+	if cached, ok := l.std[bp.Dir]; ok {
+		if cached == nil {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		return cached, nil
+	}
+	if l.loading[bp.Dir] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[bp.Dir] = true
+	defer delete(l.loading, bp.Dir)
+
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(bp.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:         (*stdImporter)(l),
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Error:            func(error) {}, // signatures-only check of foreign code: best effort
+	}
+	pkg, _ := conf.Check(bp.ImportPath, l.fset, files, nil)
+	l.std[bp.Dir] = pkg
+	return pkg, nil
+}
+
+// stdImporter resolves imports found while checking stdlib source; srcDir
+// threading keeps GOROOT vendor resolution working.
+type stdImporter loader
+
+func (s *stdImporter) Import(path string) (*types.Package, error) {
+	return s.ImportFrom(path, "", 0)
+}
+
+func (s *stdImporter) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	l := (*loader)(s)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return l.importStd(path, srcDir)
+}
+
+// Match reports whether the package matches any of the path patterns
+// ("./...", "./internal/...", "./cmd/swiftvet", "internal/lint"). An
+// empty pattern list matches everything.
+func (p *Package) Match(module string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(p.Path, module), "/")
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		pat = strings.TrimSuffix(pat, "/")
+		if pat == "..." || pat == "" {
+			return true
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == sub || strings.HasPrefix(rel, sub+"/") {
+				return true
+			}
+			continue
+		}
+		if rel == pat {
+			return true
+		}
+	}
+	return false
+}
+
+var patternRE = regexp.MustCompile(`^\.{0,2}/`)
+
+// NormalizePatterns strips leading "./" markers so patterns compare
+// against module-relative paths.
+func NormalizePatterns(patterns []string) []string {
+	out := make([]string, 0, len(patterns))
+	for _, p := range patterns {
+		out = append(out, patternRE.ReplaceAllString(p, ""))
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockIO machine-checks the zero-lock data path: no sync.Mutex or
+// sync.RWMutex may be held across a blocking transport, store, disk or
+// integrity call. The analysis is intra-procedural and linear: within
+// each function (and each function literal, analyzed as its own scope) it
+// tracks Lock/RLock acquisitions, honors defer Unlock (the lock stays
+// held to the end of the function), and flags any blocking call reached
+// with a lock still held.
+//
+// The I/O packages themselves (store, disk, memnet, ...) are exempt:
+// their mutexes model the medium — a disk.Device's lock is the disk arm,
+// serving one request at a time — so holding them across the modeled
+// transfer is the point, not a bug. The invariant binds the consumers:
+// core, agent, mediator and everything above them must never pin a lock
+// while waiting on I/O.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "no mutex may be held across blocking transport/disk/store calls",
+	Run:  runLockIO,
+}
+
+// blockingPkgBases are package basenames whose exported calls can block
+// on I/O (network, disk, or a store behind either).
+var blockingPkgBases = map[string]bool{
+	"transport": true,
+	"memnet":    true,
+	"udpnet":    true,
+	"store":     true,
+	"disk":      true,
+	"integrity": true,
+	"localfs":   true,
+	"nfs":       true,
+}
+
+// pureHelpers are calls into blocking packages that never touch the
+// medium: error predicates/parsers, address helpers, stringers.
+func pureHelper(name string) bool {
+	for _, prefix := range []string{"Is", "Parse", "Split"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	switch name {
+	case "String", "Name", "LocalAddr", "Addr", "Error", "Scale":
+		return true
+	}
+	return false
+}
+
+func runLockIO(pass *Pass) {
+	if blockingPkgBases[pass.Pkg.Base()] {
+		return // the medium's own serialization is by design
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					lw := &lockWalker{pass: pass}
+					lw.stmts(fn.Body.List, lockState{})
+				}
+			case *ast.FuncLit:
+				// Each literal is its own synchronous scope; the outer
+				// walk does not descend into it (see lockWalker.expr).
+				lw := &lockWalker{pass: pass}
+				lw.stmts(fn.Body.List, lockState{})
+			}
+			return true
+		})
+	}
+}
+
+// lockState maps the printed receiver of a held lock to its Lock position.
+type lockState map[string]token.Pos
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// stmts walks a statement list in source order, threading lock state.
+func (w *lockWalker) stmts(list []ast.Stmt, held lockState) {
+	for _, st := range list {
+		w.stmt(st, held)
+	}
+}
+
+// stmt processes one statement: expressions are scanned for blocking
+// calls under the current lock set, then lock transitions are applied.
+func (w *lockWalker) stmt(st ast.Stmt, held lockState) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if name, op := w.lockOp(s.X); op != opNone {
+			// The Lock/Unlock call itself is never "blocking I/O".
+			switch op {
+			case opLock:
+				held[name] = s.X.Pos()
+			case opUnlock:
+				delete(held, name)
+			}
+			return
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases only at return: the lock stays held
+		// for the rest of this walk. Argument expressions evaluate now.
+		if _, op := w.lockOp(s.Call); op != opNone {
+			return
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.GoStmt:
+		// The spawned call runs asynchronously; only its arguments are
+		// evaluated under the current locks.
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, held.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		inner := held.clone()
+		w.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, held.clone())
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e, held)
+				}
+				w.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := held.clone()
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, inner)
+				}
+				w.stmts(cc.Body, inner)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.expr(e, held)
+				return false
+			}
+			return true
+		})
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	}
+}
+
+// expr scans an expression for blocking calls while locks are held. It
+// does not descend into function literals (their bodies do not execute
+// here).
+func (w *lockWalker) expr(e ast.Expr, held lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if len(held) == 0 {
+			return true
+		}
+		if fn := w.pass.Callee(call); fn != nil && blockingFunc(fn) {
+			for name, pos := range held {
+				w.pass.Reportf(call.Pos(),
+					"lockio: %s (locked at %s) held across blocking call %s.%s; release the lock before I/O",
+					name, w.pass.Pkg.Fset.Position(pos), pkgBase(fn.Pkg().Path()), fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+type lockOp int
+
+const (
+	opNone lockOp = iota
+	opLock
+	opUnlock
+)
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock calls on sync mutexes
+// (including promoted methods of embedded mutexes) and returns the
+// printed receiver as the lock's identity.
+func (w *lockWalker) lockOp(e ast.Expr) (string, lockOp) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", opNone
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	fn, ok := w.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return exprString(sel.X), opLock
+	case "Unlock", "RUnlock":
+		return exprString(sel.X), opUnlock
+	}
+	return "", opNone
+}
+
+// blockingFunc reports whether fn belongs to a package that performs
+// blocking I/O on swift's data path.
+func blockingFunc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return blockingPkgBases[pkgBase(pkg.Path())] && !pureHelper(fn.Name())
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// exprString renders a receiver expression compactly (c.mu, s.agent.mu).
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	default:
+		return "lock"
+	}
+}

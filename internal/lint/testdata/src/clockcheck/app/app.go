@@ -1,0 +1,11 @@
+// Package app mirrors consumer code: it is not a model package, so the
+// wall clock is fair game and nothing here may be flagged.
+package app
+
+import "time"
+
+// Uptime reads the wall clock freely outside the model set.
+func Uptime(start time.Time) time.Duration {
+	time.Sleep(time.Microsecond)
+	return time.Since(start)
+}

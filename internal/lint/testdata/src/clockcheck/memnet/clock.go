@@ -1,0 +1,34 @@
+// Package memnet is a seeded-violation fixture: its basename places it
+// in clockcheck's model-package set.
+package memnet
+
+import "time"
+
+// Net stands in for the real scaled network.
+type Net struct{ epoch time.Time }
+
+// New seeds a wall-clock read inside a composite literal.
+func New() *Net {
+	return &Net{epoch: time.Now()} // want `time\.Now bypasses the injected clock`
+}
+
+// Wait seeds sleep, channel, timer and ticker wall-clock access.
+func Wait() {
+	time.Sleep(time.Millisecond)         // want `time\.Sleep bypasses the injected clock`
+	<-time.After(time.Millisecond)       // want `time\.After bypasses the injected clock`
+	t := time.NewTimer(time.Millisecond) // want `time\.NewTimer bypasses the injected clock`
+	t.Stop()
+	tick := time.NewTicker(time.Millisecond) // want `time\.NewTicker bypasses the injected clock`
+	tick.Stop()
+}
+
+// Age seeds a time.Since read.
+func (n *Net) Age() time.Duration {
+	return time.Since(n.epoch) // want `time\.Since bypasses the injected clock`
+}
+
+// Allowed is the justified seam: suppressed, no diagnostic.
+func (n *Net) Allowed() time.Time {
+	//lint:allow clockcheck fixture seam: pacing maps modeled time onto the wall clock
+	return time.Now()
+}

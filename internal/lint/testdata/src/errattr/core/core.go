@@ -1,0 +1,38 @@
+// Package core is a seeded-violation fixture: its basename places it on
+// the error-attribution boundary.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// wrapV flattens an error through %v.
+func wrapV(err error) error {
+	return fmt.Errorf("open failed: %v", err) // want `error operand err formatted without %w`
+}
+
+// wrapS flattens an error through %s with other operands present.
+func wrapS(name string, err error) error {
+	return fmt.Errorf("agent %s: %s", name, err) // want `error operand err formatted without %w`
+}
+
+// restring rebuilds an error from its text.
+func restring(err error) error {
+	return errors.New(err.Error()) // want `errors\.New rebuilt from an existing error`
+}
+
+// restringf hides the rebuild behind Sprintf.
+func restringf(err error) error {
+	return errors.New(fmt.Sprintf("failed: %v", err)) // want `errors\.New rebuilt from an existing error`
+}
+
+// good wraps with %w: attribution survives.
+func good(err error) error {
+	return fmt.Errorf("open failed: %w", err)
+}
+
+// goodSentinel mints a fresh sentinel, which is legal anywhere.
+var goodSentinel = errors.New("core: fixture sentinel")
+
+var _ = []any{wrapV, wrapS, restring, restringf, good, goodSentinel}

@@ -1,0 +1,14 @@
+// Package cmdapp sits outside internal/: goexit does not apply, so the
+// unbounded goroutine below must not be flagged.
+package cmdapp
+
+func spin() {}
+
+// Fire launches an unbounded goroutine; exempt outside internal/.
+func Fire() {
+	go func() {
+		for {
+			spin()
+		}
+	}()
+}

@@ -1,0 +1,53 @@
+// Package worker seeds goroutine-leak violations; its import path keeps
+// it inside goexit's internal/ scope.
+package worker
+
+import "time"
+
+func poll() {}
+
+// Start seeds three leaks and three clean launches.
+func Start(done chan struct{}, work chan int) {
+	go func() { // want `loops forever with no reachable return or break`
+		for {
+			poll()
+		}
+	}()
+	go leaky()  // want `goroutine leaky loops forever`
+	go func() { // want `ranges over a ticker/timer channel`
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for range t.C {
+			poll()
+		}
+	}()
+	go func() { // good: select with a return on the done channel
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				poll()
+			}
+		}
+	}()
+	go func() { // good: bounded loop
+		for i := 0; i < 3; i++ {
+			poll()
+		}
+	}()
+	go func() { // good: range over a closeable channel
+		for range work {
+			poll()
+		}
+	}()
+}
+
+// leaky spins with no exit; flagged at its launch site.
+func leaky() {
+	for {
+		poll()
+	}
+}

@@ -1,0 +1,61 @@
+// Package app seeds lock-across-I/O violations against the stub store,
+// plus the repo's real release-before-I/O idioms as no-false-positive
+// cases.
+package app
+
+import (
+	"sync"
+
+	"fixture/store"
+)
+
+type cache struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	st *store.Store
+	n  int64
+}
+
+// badRead holds mu across a blocking read.
+func (c *cache) badRead(p []byte) {
+	c.mu.Lock()
+	c.st.ReadAt(p, 0) // want `c\.mu .* held across blocking call store\.ReadAt`
+	c.mu.Unlock()
+}
+
+// badDefer: defer Unlock keeps the lock until return, so the sync under
+// it still counts as held.
+func (c *cache) badDefer() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.Sync() // want `c\.mu .* held across blocking call store\.Sync`
+}
+
+// badRLock: read locks pin the data path too.
+func (c *cache) badRLock(p []byte) {
+	c.rw.RLock()
+	c.st.ReadAt(p, c.n) // want `c\.rw .* held across blocking call store\.ReadAt`
+	c.rw.RUnlock()
+}
+
+// good releases before I/O (the repo's standard idiom).
+func (c *cache) good(p []byte) {
+	c.mu.Lock()
+	off := c.n
+	c.mu.Unlock()
+	c.st.ReadAt(p, off)
+}
+
+// goodAsync: a spawned goroutine does not run under the caller's lock.
+func (c *cache) goodAsync() {
+	c.mu.Lock()
+	go func() { _ = c.st.Sync() }()
+	c.mu.Unlock()
+}
+
+// goodPure: predicates from blocking packages are not I/O.
+func (c *cache) goodPure(err error) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return store.IsNotExist(err)
+}

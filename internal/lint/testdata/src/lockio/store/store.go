@@ -1,0 +1,15 @@
+// Package store is a stub whose basename marks its calls as blocking
+// I/O for the lockio fixture.
+package store
+
+// Store pretends to be a blocking object store.
+type Store struct{}
+
+// ReadAt models a blocking read.
+func (s *Store) ReadAt(p []byte, off int64) (int, error) { return len(p), nil }
+
+// Sync models a blocking stable-write.
+func (s *Store) Sync() error { return nil }
+
+// IsNotExist is a pure predicate: never blocking.
+func IsNotExist(err error) bool { return err == nil }

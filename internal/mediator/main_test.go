@@ -1,0 +1,11 @@
+package mediator
+
+import (
+	"testing"
+
+	"swift/internal/testutil/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine: the
+// mediator's session janitor must stop when its test closes it.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

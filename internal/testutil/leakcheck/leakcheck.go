@@ -1,0 +1,159 @@
+// Package leakcheck detects goroutines leaked by a test binary using
+// only the standard library: it snapshots runtime stacks before the
+// tests run and diffs them afterwards, retrying with a short grace
+// period so goroutines that are mid-shutdown (closing nets, draining
+// tickers) are not misreported.
+//
+// Wire it into a package with a TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// It complements the goexit static analyzer: goexit proves every
+// goroutine launch has a visible shutdown path in the source, and
+// leakcheck proves those paths actually run under `go test`.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long Check waits, in total, for stragglers to exit.
+const grace = 2 * time.Second
+
+// Main runs m and exits non-zero if the run leaked goroutines. Use it
+// as the body of a package's TestMain.
+func Main(m *testing.M) {
+	os.Exit(Run(m))
+}
+
+// Run runs m and returns its exit code, forced to 1 when goroutines
+// leak. Split from Main for testability.
+func Run(m *testing.M) int {
+	before := snapshot()
+	code := m.Run()
+	if leaked := Check(before); len(leaked) > 0 {
+		fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) leaked by this test binary:\n", len(leaked))
+		for _, g := range leaked {
+			fmt.Fprintf(os.Stderr, "--- leaked goroutine ---\n%s\n", g)
+		}
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// Check diffs the current goroutines against a snapshot taken earlier,
+// retrying over a grace period, and returns the stacks of survivors
+// that are neither in the baseline nor benign runtime helpers.
+func Check(before map[string]bool) []string {
+	deadline := time.Now().Add(grace)
+	var leaked []string
+	for {
+		leaked = leaked[:0]
+		for id, stack := range current() {
+			if before[id] || benign(stack) {
+				continue
+			}
+			leaked = append(leaked, stack)
+		}
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			sort.Strings(leaked)
+			return leaked
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Snapshot records the identities of all currently live goroutines.
+// Capture it before starting the code under test.
+func Snapshot() map[string]bool { return snapshot() }
+
+func snapshot() map[string]bool {
+	ids := make(map[string]bool)
+	for id := range current() {
+		ids[id] = true
+	}
+	return ids
+}
+
+// current returns the live goroutines keyed by identity ("goroutine N"
+// plus creation site) with their full stacks as values.
+func current() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		out[identity(g)] = g
+	}
+	return out
+}
+
+// identity keys a goroutine by its stable id ("goroutine N"), ignoring
+// the bracketed state, which changes as the goroutine blocks and runs.
+func identity(stack string) string {
+	head := stack
+	if i := strings.IndexByte(head, '\n'); i >= 0 {
+		head = head[:i]
+	}
+	if i := strings.IndexByte(head, '['); i > 0 {
+		head = strings.TrimSpace(head[:i])
+	}
+	return head
+}
+
+// benign reports stacks owned by the runtime or the testing harness
+// that come and go on their own schedule.
+func benign(stack string) bool {
+	for _, marker := range []string{
+		"testing.(*T).Run",        // parallel subtest parents
+		"testing.tRunner",         // the running test itself
+		"testing.runTests",        // testing.Main driver
+		"testing.(*M).startAlarm", // test deadline timer
+		"runtime.goexit0",         // exiting as we look
+		"runtime.gc",              // collector workers
+		"runtime.bgsweep",         // collector workers
+		"runtime.bgscavenge",      // collector workers
+		"runtime.forcegchelper",   // collector workers
+		"runtime.ReadTrace",       // tracer
+		"os/signal.signal_recv",   // signal handler
+		"os/signal.loop",          // signal handler
+		"runtime/pprof.profileWriter",
+		"leakcheck.Check", // ourselves
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	// Goroutines parked in a syscall by the poller.
+	return strings.HasPrefix(stack, "goroutine ") && strings.Contains(stack, "[syscall") && strings.Contains(stack, "runtime.ensureSigM")
+}
+
+// T verifies a single test leaks nothing: call at the top of the test
+// and it registers a cleanup that diffs goroutines at test exit.
+func T(t *testing.T) {
+	t.Helper()
+	before := snapshot()
+	t.Cleanup(func() {
+		if leaked := Check(before); len(leaked) > 0 {
+			t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n---\n"))
+		}
+	})
+}
