@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet lint test race fuzz bench tables figures ablations \
-	examples obs-test obs-smoke scrub-smoke clean
+	ec-bench examples obs-test obs-smoke scrub-smoke clean
 
 all: build vet test obs-test
 
@@ -55,12 +55,13 @@ obs-smoke:
 scrub-smoke:
 	sh scripts/scrub-smoke.sh
 
-# Short fuzz pass over the wire codecs and the at-rest integrity
-# envelope (CI smoke; go native fuzzing).
+# Short fuzz pass over the wire codecs, the at-rest integrity
+# envelope, and the erasure codec (CI smoke; go native fuzzing).
 fuzz:
 	$(GO) test ./internal/wire/ -run XXX -fuzz FuzzUnmarshal -fuzztime 20s
 	$(GO) test ./internal/wire/ -run XXX -fuzz FuzzControlPayloads -fuzztime 20s
 	$(GO) test ./internal/integrity/ -run XXX -fuzz FuzzIntegrityEnvelope -fuzztime 20s
+	$(GO) test ./internal/ec/ -run XXX -fuzz FuzzECRoundTrip -fuzztime 20s
 
 # One benchmark per paper table/figure plus micro-benchmarks.
 bench:
@@ -75,6 +76,11 @@ figures:
 
 ablations:
 	$(GO) run ./cmd/swift-bench -table ablations
+
+# Erasure-coding codec microbench: encode/reconstruct MB/s, XOR vs
+# Reed–Solomon, across striping-unit sizes. Writes BENCH_ec.json.
+ec-bench:
+	$(GO) run ./cmd/swift-bench -table ec
 
 edf:
 	$(GO) run ./cmd/swift-sim -figure edf

@@ -369,4 +369,214 @@ soak:
 	}
 	t.Logf("soak: %d ops, %d faults applied, %d corruptions detected, %d units repaired, all agents re-admitted",
 		ops, len(ctl.Log()), fs.Metrics().Corruptions, fs.Metrics().Repairs)
+
+	// Sixth drill: double failure under Reed-Solomon. A fresh five-agent
+	// 3+2 volume loses TWO agents mid-traffic — damage beyond the
+	// single-XOR ceiling — and must keep serving exact bytes.
+	chaosDoubleKillK2(t)
+}
+
+// chaosDoubleKillK2 is TestChaosSoak's sixth drill. It boots a
+// five-agent 3+2 Reed-Solomon volume, streams mirrored traffic, and
+// kills two agents at staggered points while operations continue:
+//
+//   - zero operation errors — k=2 masks both failures, reads and writes
+//     run degraded through matrix reconstruction;
+//   - every degraded read is byte-identical to the in-memory mirror;
+//   - both agents restart and the background monitor re-admits them
+//     with fragments rebuilt from the surviving three — no manual
+//     recovery call;
+//   - a verification scrub over the open set comes back spotless and
+//     the unrepairable counter never moves.
+func chaosDoubleKillK2(t *testing.T) {
+	const (
+		nAgents = 5
+		objSize = 96 * 1024
+		nObjs   = 3
+		nOps    = 150
+	)
+	n := memnet.New(2)
+	seg := n.NewSegment("rs-lab", memnet.SegmentConfig{
+		BandwidthBps:  1e10,
+		FrameOverhead: 46,
+		Seed:          7,
+	})
+	agentCfg := swift.AgentConfig{
+		ResendCheck: 5 * time.Millisecond,
+		ResendAfter: 10 * time.Millisecond,
+	}
+	const blockSize = 4096
+	agents := make([]*swift.Agent, nAgents)
+	hosts := make([]*memnet.Host, nAgents)
+	sts := make([]store.Store, nAgents)
+	addrs := make([]string, nAgents)
+	for i := 0; i < nAgents; i++ {
+		hosts[i] = n.MustHost(fmt.Sprintf("rs-agent%d", i), memnet.HostConfig{}, seg)
+		sts[i] = integrity.NewStore(store.NewMem(), blockSize)
+		a, err := swift.StartAgent(hosts[i], sts[i], agentCfg)
+		if err != nil {
+			t.Fatalf("drill6: agent %d: %v", i, err)
+		}
+		agents[i] = a
+		addrs[i] = a.Addr()
+	}
+	defer func() {
+		for _, a := range agents {
+			if a != nil {
+				a.Close()
+			}
+		}
+	}()
+
+	clientHost := n.MustHost("rs-client", memnet.HostConfig{}, seg)
+	fs, err := swift.Dial(swift.Config{
+		Host:           clientHost,
+		Agents:         addrs,
+		StripeUnit:     4096,
+		DataShards:     3,
+		ParityShards:   2,
+		RetryTimeout:   15 * time.Millisecond,
+		MaxRetries:     20,
+		HealthInterval: 25 * time.Millisecond,
+		AutoRebuild:    true,
+		ScrubInterval:  100 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("drill6: dial: %v", err)
+	}
+	defer fs.Close()
+	if got := fs.Scheme(); got != "3+2" {
+		t.Fatalf("drill6: scheme = %q, want 3+2", got)
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	files := make([]*swift.File, nObjs)
+	mirrors := make([][]byte, nObjs)
+	for i := range files {
+		f, err := fs.Create(fmt.Sprintf("rs-obj%d", i))
+		if err != nil {
+			t.Fatalf("drill6: create rs-obj%d: %v", i, err)
+		}
+		defer f.Close()
+		m := make([]byte, objSize)
+		rng.Read(m)
+		if _, err := f.WriteAt(m, 0); err != nil {
+			t.Fatalf("drill6: prefill rs-obj%d: %v", i, err)
+		}
+		files[i], mirrors[i] = f, m
+	}
+
+	// Traffic with two staggered kills. Both victims stay down for the
+	// back half of the loop, so reads and writes run doubly degraded.
+	victims := []int{1, 3}
+	ops, opErrs := 0, 0
+	buf := make([]byte, 16*1024)
+	for ops < nOps {
+		switch ops {
+		case nOps / 3:
+			t.Logf("drill6: killing agent %d mid-traffic", victims[0])
+			agents[victims[0]].Close()
+			agents[victims[0]] = nil
+		case nOps / 2:
+			t.Logf("drill6: killing agent %d mid-traffic", victims[1])
+			agents[victims[1]].Close()
+			agents[victims[1]] = nil
+		}
+		obj := rng.Intn(nObjs)
+		off := rng.Intn(objSize - len(buf))
+		sz := 1 + rng.Intn(len(buf))
+		ops++
+		if rng.Float64() < 0.5 {
+			got := buf[:sz]
+			if _, err := files[obj].ReadAt(got, int64(off)); err != nil {
+				opErrs++
+				t.Errorf("drill6 op %d: read rs-obj%d[%d:+%d]: %v", ops, obj, off, sz, err)
+				continue
+			}
+			if !bytes.Equal(got, mirrors[obj][off:off+sz]) {
+				t.Fatalf("drill6 op %d: read rs-obj%d[%d:+%d] returned wrong bytes", ops, obj, off, sz)
+			}
+		} else {
+			rng.Read(buf[:sz])
+			if _, err := files[obj].WriteAt(buf[:sz], int64(off)); err != nil {
+				opErrs++
+				t.Errorf("drill6 op %d: write rs-obj%d[%d:+%d]: %v", ops, obj, off, sz, err)
+				continue
+			}
+			copy(mirrors[obj][off:off+sz], buf[:sz])
+		}
+	}
+	if opErrs != 0 {
+		t.Fatalf("drill6: %d of %d operations failed with two agents down under k=2", opErrs, ops)
+	}
+
+	// Full doubly-degraded audit before recovery: every object must read
+	// back exactly through three survivors and matrix reconstruction.
+	for i, f := range files {
+		got := make([]byte, objSize)
+		if _, err := f.ReadAt(got, 0); err != nil {
+			t.Fatalf("drill6: degraded read rs-obj%d: %v", i, err)
+		}
+		if !bytes.Equal(got, mirrors[i]) {
+			t.Fatalf("drill6: degraded read rs-obj%d does not match mirror", i)
+		}
+	}
+
+	// Restart both victims; the monitor must re-admit them and
+	// AutoRebuild must reconstruct their stale fragments from the
+	// survivors — the test never calls a manual recovery entry point.
+	for _, v := range victims {
+		a, err := swift.StartAgent(hosts[v], sts[v], agentCfg)
+		if err != nil {
+			t.Fatalf("drill6: restart agent %d: %v", v, err)
+		}
+		agents[v] = a
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		healthy := 0
+		for _, h := range fs.Health() {
+			if h.State == swift.StateHealthy {
+				healthy++
+			}
+		}
+		if healthy == nAgents {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drill6: agents never all re-admitted: %+v", fs.Health())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Spotless verification scrub after readmit: rebuilt fragments,
+	// fresh parity, nothing corrupt, nothing unrepairable.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		rep := fs.ScrubOpen()
+		if rep.Clean() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Logf("drill6: health at timeout: %+v", fs.Health())
+			t.Fatalf("drill6: stripe never quiesced after double kill: %s", rep)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if m := fs.Metrics(); m.Unrepairable != 0 {
+		t.Fatalf("drill6: unrepairable corruption events: %d", m.Unrepairable)
+	}
+
+	// Final audit through the healthy path.
+	for i, f := range files {
+		got := make([]byte, objSize)
+		if _, err := f.ReadAt(got, 0); err != nil {
+			t.Fatalf("drill6: final read rs-obj%d: %v", i, err)
+		}
+		if !bytes.Equal(got, mirrors[i]) {
+			t.Fatalf("drill6: final read rs-obj%d does not match mirror", i)
+		}
+	}
+	t.Logf("drill6: %d ops with two agents killed under 3+2, zero errors, rebuilt and spotless", ops)
 }

@@ -23,9 +23,11 @@
 //	                      -repair heals from parity, -all scrubs every object
 //	bench [-mb N]         measure read & write data-rates against the agents
 //
-// Flags -unit, -parity and -rate select the striping parameters; -rate
-// asks the built-in mediator policy to pick agents and unit size for a
-// required data-rate in KB/s. With -lease-ttl the mediator reservation
+// Flags -unit, -parity, -parity-shards and -rate select the striping
+// parameters; -parity-shards k selects an m+k Reed–Solomon scheme whose
+// rows survive k simultaneous agent failures (k=1 is the classic XOR
+// computed copy). -rate asks the built-in mediator policy to pick agents
+// and unit size for a required data-rate in KB/s. With -lease-ttl the mediator reservation
 // is leased: swiftctl heartbeats it in the background for as long as the
 // command runs, and the reservation self-releases if the process dies.
 package main
@@ -40,6 +42,7 @@ import (
 
 	"swift"
 	"swift/internal/mediator"
+	"swift/internal/stripe"
 	"swift/internal/transport/udpnet"
 )
 
@@ -55,6 +58,7 @@ func main() {
 	bind := flag.String("bind", "127.0.0.1", "local IP to bind")
 	unit := flag.Int64("unit", 32*1024, "striping unit in bytes")
 	parity := flag.Bool("parity", false, "enable computed-copy redundancy")
+	parityShards := flag.Int("parity-shards", 0, "parity units per stripe row (the k of an m+k Reed-Solomon scheme; implies -parity)")
 	rate := flag.Float64("rate", 0, "required data-rate in KB/s (mediator picks agents and unit)")
 	agentRate := flag.Float64("agent-rate", 400, "per-agent deliverable rate in KB/s, for -rate")
 	leaseTTL := flag.Duration("lease-ttl", 0, "with -rate, lease the mediator reservation and heartbeat it")
@@ -71,11 +75,12 @@ func main() {
 	}
 
 	cfg := swift.Config{
-		Host:       udpnet.NewHost(*bind),
-		Agents:     addrs,
-		StripeUnit: *unit,
-		Parity:     *parity,
-		SyncWrites: *syncw,
+		Host:         udpnet.NewHost(*bind),
+		Agents:       addrs,
+		StripeUnit:   *unit,
+		Parity:       *parity,
+		ParityShards: *parityShards,
+		SyncWrites:   *syncw,
 	}
 
 	// With a rate requirement, let the mediator build the transfer plan.
@@ -94,15 +99,19 @@ func main() {
 		}
 		defer med.Close()
 		plan, err := med.OpenSession(mediator.Requirements{
-			Rate:       *rate * 1024,
-			Redundancy: *parity,
+			Rate:         *rate * 1024,
+			Redundancy:   *parity,
+			ParityShards: *parityShards,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		cfg.Agents = plan.Addrs
 		cfg.StripeUnit = plan.Unit
-		fmt.Fprintf(os.Stderr, "swiftctl: plan: %d agents, unit %d\n", len(plan.Addrs), plan.Unit)
+		cfg.Parity = plan.Parity
+		cfg.ParityShards = plan.ParityShards
+		fmt.Fprintf(os.Stderr, "swiftctl: plan: %d agents, unit %d, parity shards %d\n",
+			len(plan.Addrs), plan.Unit, plan.ParityShards)
 		if *leaseTTL > 0 {
 			// Heartbeat the reservation while the command runs; stopping
 			// lets the lease lapse and the mediator reclaim the rate.
@@ -249,7 +258,27 @@ func cmdStat(fs *swift.FS, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s\t%d bytes\n", args[0], size)
+	li := fs.Layout()
+	if li.ParityShards == 0 {
+		fmt.Printf("%s\t%d bytes\tscheme=%s\n", args[0], size, li.Scheme)
+		return nil
+	}
+	// Per-file redundancy: what the fragments actually occupy across the
+	// agent set, parity units included.
+	stored := stripe.Layout{
+		Unit: li.Unit, Agents: li.Agents,
+		Parity: true, ParityUnits: li.ParityShards,
+	}.FragmentSizes(size)
+	var total int64
+	for _, s := range stored {
+		total += s
+	}
+	overhead := 0.0
+	if size > 0 {
+		overhead = 100 * float64(total-size) / float64(size)
+	}
+	fmt.Printf("%s\t%d bytes\tscheme=%s\tstored=%d bytes (redundancy overhead %.0f%%)\n",
+		args[0], size, li.Scheme, total, overhead)
 	return nil
 }
 
@@ -272,6 +301,9 @@ func cmdRm(fs *swift.FS, args []string) error {
 }
 
 func cmdStatus(fs *swift.FS) error {
+	li := fs.Layout()
+	fmt.Printf("scheme %s  unit %d  agents %d (%d data + %d parity units per row)\n",
+		li.Scheme, li.Unit, li.Agents, li.DataShards, li.ParityShards)
 	for i, st := range fs.Ping() {
 		if !st.Alive {
 			fmt.Printf("agent %d  %-22s DOWN\n", i, st.Addr)
@@ -392,8 +424,18 @@ func printStats(s swift.Stats, prev swift.MetricsSnapshot, interval time.Duratio
 	fmt.Printf("bursts: read=%d%s (timeouts %d)  write=%d%s (timeouts %d)  resends=%d  backoffs=%d  probes=%d\n",
 		c.ReadBursts, suffix, c.ReadTimeouts, c.WriteBursts, suffix,
 		c.WriteTimeouts, c.ResendAsks, c.Backoffs, c.Probes)
-	fmt.Printf("integrity: corruptions=%d repairs=%d unrepairable=%d scrubbed_rows=%d\n",
-		c.Corruptions, c.Repairs, c.Unrepairable, c.ScrubRows)
+	fmt.Printf("integrity[%s]: corruptions=%d repairs=%d unrepairable=%d scrubbed_rows=%d\n",
+		s.Scheme, c.Corruptions, c.Repairs, c.Unrepairable, c.ScrubRows)
+	if s.Scheme != "" && s.Scheme != "none" {
+		line := fmt.Sprintf("ec[%s]: encodes=%d (%.1f MB) reconstructs=%d (%.1f MB) inv_cache=%d/%d",
+			s.Scheme, s.EC.EncodeCalls, float64(s.EC.EncodeBytes)/1e6,
+			s.EC.ReconstructCalls, float64(s.EC.ReconstructBytes)/1e6,
+			s.EC.InvCacheHits, s.EC.InvCacheHits+s.EC.InvCacheMisses)
+		for n := 1; n < len(s.EC.ByMissing); n++ {
+			line += fmt.Sprintf(" rebuilt_%dmiss=%d", n, s.EC.ByMissing[n])
+		}
+		fmt.Println(line)
+	}
 	printHist := func(label string, h swift.LatencySnapshot) {
 		if h.Count == 0 {
 			return

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"swift/internal/ec"
 	"swift/internal/obs"
 	"swift/internal/stripe"
 	"swift/internal/transport"
@@ -49,6 +50,11 @@ type Config struct {
 	Unit int64
 	// Parity enables computed-copy redundancy (requires >= 3 agents).
 	Parity bool
+	// ParityShards is the number of parity units per stripe row (k).
+	// Zero means 1 when Parity is set (the legacy rotating-XOR layout);
+	// values >= 2 select Reed–Solomon coding and tolerate up to k
+	// simultaneous agent failures. Setting ParityShards implies Parity.
+	ParityShards int
 	// RequestBytes is the largest read or write burst requested from
 	// one agent at a time (default 57344 = 42 full packets).
 	RequestBytes int64
@@ -126,14 +132,32 @@ func (c *Config) fill() error {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
-	l := stripe.Layout{Unit: c.Unit, Agents: len(c.Agents), Parity: c.Parity}
-	return l.Validate()
+	// Normalize the redundancy knobs both ways: ParityShards implies
+	// Parity, and Parity alone means the legacy single parity unit. All
+	// boolean cfg.Parity checks in the engine stay valid for any k.
+	if c.ParityShards > 0 {
+		c.Parity = true
+	} else if c.Parity {
+		c.ParityShards = 1
+	}
+	return c.layout().Validate()
+}
+
+// layout derives the striping layout from the filled config.
+func (c *Config) layout() stripe.Layout {
+	return stripe.Layout{
+		Unit:        c.Unit,
+		Agents:      len(c.Agents),
+		Parity:      c.Parity,
+		ParityUnits: c.ParityShards,
+	}
 }
 
 // Client is a distribution agent bound to a fixed set of storage agents.
 type Client struct {
 	cfg    Config
 	layout stripe.Layout
+	codec  ec.Codec // row erasure codec; nil without parity
 
 	mu     sync.Mutex
 	ctl    transport.PacketConn // shared control conn for stat/remove
@@ -187,12 +211,19 @@ func Dial(cfg Config) (*Client, error) {
 	}
 	c := &Client{
 		cfg:    cfg,
-		layout: stripe.Layout{Unit: cfg.Unit, Agents: len(cfg.Agents), Parity: cfg.Parity},
+		layout: cfg.layout(),
 		ctl:    ctl,
 		health: make([]agentHealth, len(cfg.Agents)),
 		files:  make(map[*File]struct{}),
 	}
-	c.tel = newTelemetry(cfg.Obs, cfg.Agents, &c.metrics)
+	if k := c.layout.ParityPerRow(); k > 0 {
+		c.codec, err = ec.New(c.layout.DataPerRow(), k)
+		if err != nil {
+			ctl.Close()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	c.tel = newTelemetry(cfg.Obs, cfg.Agents, &c.metrics, c.codec)
 	if cfg.Verbose {
 		logf := c.cfg.Logf
 		c.tel.trace.SetSink(func(e obs.Event) { logf("trace: %s", e.String()) })
@@ -202,6 +233,28 @@ func Dial(cfg Config) (*Client, error) {
 
 // Layout returns the client's striping layout.
 func (c *Client) Layout() stripe.Layout { return c.layout }
+
+// parityK returns the number of parity units per stripe row (0 without
+// parity) — the number of simultaneous agent failures the layout masks.
+func (c *Client) parityK() int { return c.layout.ParityPerRow() }
+
+// Scheme describes the redundancy scheme: "m+k" (data+parity units per
+// row) with parity enabled, "none" without.
+func (c *Client) Scheme() string {
+	if c.codec == nil {
+		return "none"
+	}
+	return c.codec.String()
+}
+
+// ECStats snapshots the erasure codec's work counters. Without parity
+// it returns zeros.
+func (c *Client) ECStats() ec.Stats {
+	if c.codec == nil {
+		return ec.Stats{}
+	}
+	return c.codec.Stats()
+}
 
 // Close stops the health monitor (if running) and releases the client's
 // control endpoint. Open files remain usable until closed individually.
@@ -278,8 +331,8 @@ type OpenFlags struct {
 }
 
 // Open establishes per-agent sessions for the named object and returns a
-// File with Unix semantics. With parity enabled, Open tolerates one
-// unreachable agent and enters degraded mode.
+// File with Unix semantics. With parity enabled, Open tolerates up to k
+// (= ParityShards) unreachable agents and enters degraded mode.
 func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
 	start := time.Now()
 	down := c.downSnapshot()
@@ -317,7 +370,7 @@ func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
 			}
 		}
 	}
-	if failed > 0 && (!c.cfg.Parity || failed > 1) {
+	if failed > 0 && (!c.cfg.Parity || failed > c.parityK()) {
 		closeAll()
 		for i, err := range errs {
 			if err != nil {

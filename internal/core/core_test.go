@@ -26,13 +26,14 @@ type cluster struct {
 }
 
 type clusterOpts struct {
-	agents   int
-	parity   bool
-	unit     int64
-	loss     float64
-	syncW    bool
-	window   int
-	reqBytes int64
+	agents       int
+	parity       bool
+	parityShards int // number of parity units per row (implies parity when > 0)
+	unit         int64
+	loss         float64
+	syncW        bool
+	window       int
+	reqBytes     int64
 
 	// integrityBS wraps each agent's store in an integrity envelope with
 	// the given block size. c.stores keeps the raw inner Mems, so tests
@@ -82,6 +83,7 @@ func newCluster(t *testing.T, o clusterOpts) *cluster {
 		Agents:       addrs,
 		Unit:         o.unit,
 		Parity:       o.parity,
+		ParityShards: o.parityShards,
 		SyncWrites:   o.syncW,
 		WriteWindow:  o.window,
 		RequestBytes: o.reqBytes,

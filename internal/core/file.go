@@ -174,16 +174,18 @@ func (f *File) raInvalidate() { f.raLen = 0 }
 
 // readRange reads [off, off+len(dst)) into dst, unclamped by the logical
 // size (absent bytes arrive as zeros). With allowFailover set and parity
-// enabled, a single mid-operation agent failure triggers one degraded
-// retry.
+// enabled, up to k (= ParityShards) mid-operation agent failures trigger
+// degraded retries under a progress budget; every retry is covered by
+// the codec's correction power, so the operation completes as long as at
+// most k agents are out.
 //
 // Corruption reported by an agent is handled before failover: the client
-// repairs the damaged rows from parity (read-repair) and retries against
-// clean data, keeping the agent in service. Only when repair is
-// impossible — parity off, a second agent out, budget spent — does the
+// repairs the damaged rows through the codec (read-repair) and retries
+// against clean data, keeping the agent in service. Only when repair is
+// impossible — parity off, too many agents out, budget spent — does the
 // error fall through to the ordinary failover path or the caller.
 func (f *File) readRange(dst []byte, off int64, allowFailover bool) error {
-	repairs := 0
+	repairs, failovers := 0, 0
 	budget := f.repairBudget(off, int64(len(dst)))
 	for {
 		failed, err := f.readRangeOnce(dst, off)
@@ -214,16 +216,22 @@ func (f *File) readRange(dst []byte, off int64, allowFailover bool) error {
 				// No failover possible, but the failure is attributable:
 				// feed the lifecycle so the monitor starts probing.
 				f.failAgent(failed, err)
+				if f.quorumLost() {
+					return ErrNoQuorum
+				}
 			}
 			return err
 		}
 		f.failAgent(failed, err)
-		if f.liveCount() < len(f.sessions)-1 {
+		if f.quorumLost() {
 			return ErrNoQuorum
 		}
 		f.c.traceEvent("read_failover", failed, "%s: %v", f.name, err)
 		f.c.cfg.Logf("core: read failing over around agent %d: %v", failed, err)
-		allowFailover = false
+		failovers++
+		if failovers >= f.c.parityK() {
+			allowFailover = false
+		}
 	}
 }
 
@@ -463,10 +471,11 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 // agent (a partial-block write must merge-read its neighbours, and those
 // may be rotten) triggers read-repair-then-retry, but only when exactly
 // one agent failed: every other agent then completed its bursts, so the
-// XOR of the survivors is the intended new unit. Anything else falls to
-// the ordinary degraded-mode failover.
+// codec reconstruction from the survivors is the intended new unit.
+// Anything else falls to the ordinary degraded-mode failover, which
+// tolerates up to k (= ParityShards) failed agents.
 func (f *File) writeRange(src []byte, off int64, allowFailover bool) error {
-	repairs := 0
+	repairs, failovers := 0, 0
 	budget := f.repairBudget(off, int64(len(src)))
 	for {
 		failed, nerrs, err := f.writeRangeOnce(src, off)
@@ -492,16 +501,22 @@ func (f *File) writeRange(src []byte, off int64, allowFailover bool) error {
 			}
 			if failed >= 0 {
 				f.failAgent(failed, err)
+				if f.quorumLost() {
+					return ErrNoQuorum
+				}
 			}
 			return err
 		}
 		f.failAgent(failed, err)
-		if f.liveCount() < len(f.sessions)-1 {
+		if f.quorumLost() {
 			return ErrNoQuorum
 		}
 		f.c.traceEvent("write_failover", failed, "%s: %v", f.name, err)
 		f.c.cfg.Logf("core: write failing over around agent %d: %v", failed, err)
-		allowFailover = false
+		failovers++
+		if failovers >= f.c.parityK() {
+			allowFailover = false
+		}
 	}
 }
 
@@ -509,16 +524,19 @@ func (f *File) writeRangeOnce(src []byte, off int64) (failedAgent, nerrs int, er
 	n := int64(len(src))
 	exts := f.c.layout.LocalExtents(off, n)
 
-	var pbufs map[int64][]byte
+	var pbufs map[int64][][]byte
 	if f.c.cfg.Parity {
 		pbufs, err = f.computeParity(src, off)
 		if err != nil {
 			return -1, 0, err
 		}
 		l := f.c.layout
+		k := f.c.parityK()
 		for row := range pbufs {
-			a := l.ParityAgent(row)
-			exts[a].Add(l.ParityLocal(row), l.Unit)
+			for j := 0; j < k; j++ {
+				a := l.ParityAgentAt(row, j)
+				exts[a].Add(l.ParityLocal(row), l.Unit)
+			}
 		}
 	}
 
@@ -574,7 +592,7 @@ type wburst struct {
 // sends out the data to be written as fast as it can ... each storage
 // agent ... either acknowledges receipt of all packets or sends requests
 // for packets lost").
-func (f *File) agentWrite(s *agentSession, es []extent.Extent, src []byte, base int64, pbufs map[int64][]byte) error {
+func (f *File) agentWrite(s *agentSession, es []extent.Extent, src []byte, base int64, pbufs map[int64][][]byte) error {
 	cfg := &f.c.cfg
 	var bursts []span
 	for _, e := range es {
@@ -754,8 +772,9 @@ func (f *File) writeFlags() uint16 {
 
 // gather fills payload with the fragment bytes [localOff, localOff+len)
 // of the given agent, sourcing data units from the logical buffer src
-// (first byte = logical offset base) and parity units from pbufs.
-func (f *File) gather(agent int, localOff int64, payload []byte, src []byte, base int64, pbufs map[int64][]byte) {
+// (first byte = logical offset base) and parity units from pbufs (k
+// buffers per row, in parity position order).
+func (f *File) gather(agent int, localOff int64, payload []byte, src []byte, base int64, pbufs map[int64][][]byte) {
 	l := f.c.layout
 	for filled := 0; filled < len(payload); {
 		o := localOff + int64(filled)
@@ -777,7 +796,12 @@ func (f *File) gather(agent int, localOff int64, payload []byte, src []byte, bas
 			}
 		} else {
 			row := o / l.Unit
-			pb := pbufs[row]
+			var pb []byte
+			if bufs := pbufs[row]; bufs != nil {
+				if p := l.ParityPos(row, agent); p >= 0 && p < len(bufs) {
+					pb = bufs[p]
+				}
+			}
 			for i := range out {
 				j := in + int64(i)
 				if pb != nil && j < int64(len(pb)) {
@@ -943,4 +967,11 @@ func (f *File) liveCount() int {
 		}
 	}
 	return n
+}
+
+// quorumLost reports whether more agents are out than the redundancy
+// scheme tolerates: fewer than Agents-k live sessions means some rows
+// have more than k units unavailable, and no codec can cover that.
+func (f *File) quorumLost() bool {
+	return f.c.cfg.Parity && f.liveCount() < len(f.sessions)-f.c.parityK()
 }

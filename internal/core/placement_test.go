@@ -69,7 +69,7 @@ func TestGatherParityUnits(t *testing.T) {
 	for i := range pbuf {
 		pbuf[i] = byte(i + 1)
 	}
-	pbufs := map[int64][]byte{0: pbuf}
+	pbufs := map[int64][][]byte{0: {pbuf}}
 	pa := l.ParityAgent(0)
 
 	out := make([]byte, 100)

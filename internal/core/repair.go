@@ -34,15 +34,16 @@ func (f *File) noteUnrepairable(i int, err error) {
 }
 
 // repairCorrupt rewrites the stripe rows of agent i's fragment implicated
-// by the corruption error cerr, reconstructing each row's unit by XOR of
-// every other agent's unit (data and parity alike). The logical operation
-// range [off, off+n) bounds the rows repaired when the error does not
-// carry a parseable corrupt range. f.mu must be held.
+// by the corruption error cerr, reconstructing each row's unit through
+// the erasure codec from the surviving agents' units (data and parity
+// alike). The logical operation range [off, off+n) bounds the rows
+// repaired when the error does not carry a parseable corrupt range. f.mu
+// must be held.
 //
-// Reconstruction is only sound when agent i is the row's sole impairment:
-// every other agent must hold a live session, or the XOR would fold in a
-// missing unit. Callers fall back to degraded-mode failover when repair
-// is refused.
+// Reconstruction is sound as long as the corrupt unit plus the dead
+// agents stay within the codec's correction power: with k parity units,
+// up to k-1 agents may be out while agent i's media is repaired. Callers
+// fall back to degraded-mode failover when repair is refused.
 func (f *File) repairCorrupt(i int, cerr error, off, n int64) error {
 	if !f.c.cfg.Parity {
 		return fmt.Errorf("core: repair agent %d: parity disabled", i)
@@ -50,10 +51,14 @@ func (f *File) repairCorrupt(i int, cerr error, off, n int64) error {
 	if i < 0 || i >= len(f.sessions) || f.sessions[i] == nil {
 		return fmt.Errorf("core: repair: no session to agent %d", i)
 	}
+	out := 1 // agent i's corrupt unit is excluded from reconstruction
 	for j, s := range f.sessions {
 		if j != i && s == nil {
-			return fmt.Errorf("core: repair agent %d: agent %d is also out", i, j)
+			out++
 		}
+	}
+	if k := f.c.parityK(); out > k {
+		return fmt.Errorf("core: repair agent %d: %d units unavailable, scheme tolerates %d", i, out, k)
 	}
 	r0, r1 := f.corruptRows(cerr, off, n)
 	if r1 < r0 {

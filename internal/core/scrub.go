@@ -1,28 +1,30 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"time"
 
 	"swift/internal/integrity"
-	"swift/internal/parity"
 )
 
 // This file implements the background scrubber: a maintenance pass that
 // walks a striped object row by row, reads every agent's unit, verifies
-// that nothing reports at-rest corruption and that the row XORs to zero
-// (the parity unit is the XOR of the data units), and — when repair is
-// enabled — heals what it finds: a single corrupt unit is rewritten from
-// the XOR of its peers; a parity mismatch with trusted data is fixed by
-// recomputing the parity unit. The health monitor drives it periodically
+// that nothing reports at-rest corruption and that the row's parity
+// units match the erasure codec's encoding of its data units, and —
+// when repair is enabled — heals what it finds: up to k corrupt units
+// per row are reconstructed through the codec from the surviving units;
+// a parity mismatch with trusted data is fixed by re-encoding the stale
+// parity units. The health monitor drives it periodically
 // (MonitorConfig.ScrubInterval); swiftctl scrub drives it on demand.
 
 // ScrubOptions tune one scrub pass.
 type ScrubOptions struct {
-	// Repair rewrites what the scrub can heal: corrupt units (from the
-	// XOR of their peers) and stale parity units (from the data units).
-	// Requires parity; without it the scrub only detects.
+	// Repair rewrites what the scrub can heal: corrupt units
+	// (reconstructed through the erasure codec from their peers) and
+	// stale parity units (re-encoded from the data units). Requires
+	// parity; without it the scrub only detects.
 	Repair bool
 	// RowPause inserts a delay between rows so a background scrub yields
 	// the medium to foreground transfers. Zero scrubs flat out.
@@ -31,17 +33,21 @@ type ScrubOptions struct {
 
 // ScrubReport totals one scrub pass.
 type ScrubReport struct {
-	Objects          int64 // objects visited
-	Rows             int64 // stripe rows verified
-	Bytes            int64 // unit bytes read and checked
-	Corruptions      int64 // units whose agent reported at-rest corruption
-	ParityMismatches int64 // rows whose units did not XOR to zero
-	Repaired         int64 // units rewritten (corrupt units and parity units)
-	Unrepairable     int64 // corrupt units parity could not reconstruct
-	Skipped          int64 // rows skipped (agent out, lifecycle unsettled, read error)
+	Scheme           string // redundancy scheme, e.g. "7+1" or "6+2" ("none" without parity)
+	Objects          int64  // objects visited
+	Rows             int64  // stripe rows verified
+	Bytes            int64  // unit bytes read and checked
+	Corruptions      int64  // units whose agent reported at-rest corruption
+	ParityMismatches int64  // rows whose parity units disagreed with the data units
+	Repaired         int64  // units rewritten (corrupt units and parity units)
+	Unrepairable     int64  // corrupt units the codec could not reconstruct
+	Skipped          int64  // rows skipped (agent out, lifecycle unsettled, read error)
 }
 
 func (r *ScrubReport) add(o ScrubReport) {
+	if r.Scheme == "" {
+		r.Scheme = o.Scheme
+	}
 	r.Objects += o.Objects
 	r.Rows += o.Rows
 	r.Bytes += o.Bytes
@@ -60,7 +66,11 @@ func (r ScrubReport) Clean() bool {
 
 // String renders the report for logs and swiftctl.
 func (r ScrubReport) String() string {
-	return fmt.Sprintf(
+	prefix := ""
+	if r.Scheme != "" {
+		prefix = fmt.Sprintf("scheme=%s ", r.Scheme)
+	}
+	return prefix + fmt.Sprintf(
 		"objects=%d rows=%d bytes=%d corrupt=%d parity_mismatch=%d repaired=%d unrepairable=%d skipped=%d",
 		r.Objects, r.Rows, r.Bytes, r.Corruptions, r.ParityMismatches,
 		r.Repaired, r.Unrepairable, r.Skipped)
@@ -71,7 +81,7 @@ func (r ScrubReport) String() string {
 // count is re-derived from the live size each step, and the pass ends
 // early if the file shrinks or closes underneath it.
 func (f *File) Scrub(opts ScrubOptions) (ScrubReport, error) {
-	var rep ScrubReport
+	rep := ScrubReport{Scheme: f.c.Scheme()}
 	for r := int64(0); ; r++ {
 		done, err := f.scrubRow(r, opts, &rep)
 		if err != nil {
@@ -159,65 +169,82 @@ func (f *File) scrubRow(r int64, opts ScrubOptions, rep *ScrubReport) (done bool
 	rep.Bytes += l.Unit * int64(len(f.sessions))
 	f.c.metrics.ScrubRows.Add(1)
 
+	k := f.c.parityK()
 	switch {
 	case len(corrupt) == 0:
 		if !f.c.cfg.Parity {
 			return false, nil
 		}
-		x := make([]byte, l.Unit)
-		for _, b := range bufs {
-			parity.XOR(x, b)
+		// All units read back clean: audit the row through the codec.
+		shards := f.shardsOfBufs(r, bufs)
+		ok, verr := f.c.codec.Verify(shards)
+		if verr != nil {
+			return false, fmt.Errorf("core: scrub: verify row %d: %w", r, verr)
 		}
-		if allZero(x) {
+		if ok {
 			return false, nil
 		}
 		rep.ParityMismatches++
-		f.c.traceEvent("scrub_mismatch", -1, "%s row %d does not XOR to zero", f.name, r)
+		f.c.traceEvent("scrub_mismatch", -1, "%s row %d parity disagrees with data", f.name, r)
 		f.c.cfg.Logf("core: scrub: %s row %d parity mismatch", f.name, r)
 		if !opts.Repair {
 			return false, nil
 		}
-		// The data units read back clean; the parity unit is the liar
+		// The data units read back clean; the parity units are the liars
 		// (a crash between data and parity writes leaves exactly this).
-		// Recompute it from the data.
-		pa := l.ParityAgent(r)
-		unit := make([]byte, l.Unit)
-		for i, b := range bufs {
-			if i != pa {
-				parity.XOR(unit, b)
+		// Re-encode from the data and rewrite only the units that
+		// actually disagree.
+		m := l.DataPerRow()
+		fresh := make([][]byte, m+k)
+		copy(fresh, shards[:m])
+		for j := 0; j < k; j++ {
+			fresh[m+j] = make([]byte, l.Unit)
+		}
+		if eerr := f.ecEncode(fresh); eerr != nil {
+			return false, fmt.Errorf("core: scrub: re-encode row %d: %w", r, eerr)
+		}
+		for j := 0; j < k; j++ {
+			if bytes.Equal(fresh[m+j], shards[m+j]) {
+				continue
 			}
+			pa := l.ParityAgentAt(r, j)
+			if werr := f.writeRowUnit(pa, r, fresh[m+j]); werr != nil {
+				return false, fmt.Errorf("core: scrub: rewrite parity row %d: %w", r, werr)
+			}
+			rep.Repaired++
+			f.c.metrics.Repairs.Add(1)
+			f.c.tel.agent(pa).repairs.Inc()
+			f.c.traceEvent("repair", pa, "%s row %d parity recomputed", f.name, r)
 		}
-		if werr := f.writeRowUnit(pa, r, unit); werr != nil {
-			return false, fmt.Errorf("core: scrub: rewrite parity row %d: %w", r, werr)
-		}
-		rep.Repaired++
-		f.c.metrics.Repairs.Add(1)
-		f.c.tel.agent(pa).repairs.Inc()
-		f.c.traceEvent("repair", pa, "%s row %d parity recomputed", f.name, r)
 
-	case len(corrupt) == 1 && f.c.cfg.Parity:
+	case len(corrupt) <= k && f.c.cfg.Parity:
 		if !opts.Repair {
 			return false, nil
 		}
-		dead := corrupt[0]
-		unit := make([]byte, l.Unit)
-		for i, b := range bufs {
-			if i != dead {
-				parity.XOR(unit, b)
+		// Up to k corrupt units: drop them from the row and let the
+		// codec reconstruct the holes from the survivors.
+		shards := f.shardsOfBufs(r, bufs)
+		for _, i := range corrupt {
+			shards[f.shardOfAgent(r, i)] = nil
+		}
+		if rerr := f.ecReconstruct(shards); rerr != nil {
+			return false, fmt.Errorf("core: scrub: reconstruct row %d: %w", r, rerr)
+		}
+		for _, dead := range corrupt {
+			unit := shards[f.shardOfAgent(r, dead)]
+			if werr := f.writeRowUnit(dead, r, unit); werr != nil {
+				return false, fmt.Errorf("core: scrub: rewrite agent %d row %d: %w", dead, r, werr)
 			}
+			rep.Repaired++
+			f.c.metrics.Repairs.Add(1)
+			f.c.tel.agent(dead).repairs.Inc()
+			f.c.traceEvent("repair", dead, "%s row %d rewritten from parity", f.name, r)
+			f.c.cfg.Logf("core: scrub: repaired %s row %d on agent %d", f.name, r, dead)
 		}
-		if werr := f.writeRowUnit(dead, r, unit); werr != nil {
-			return false, fmt.Errorf("core: scrub: rewrite agent %d row %d: %w", dead, r, werr)
-		}
-		rep.Repaired++
-		f.c.metrics.Repairs.Add(1)
-		f.c.tel.agent(dead).repairs.Inc()
-		f.c.traceEvent("repair", dead, "%s row %d rewritten from parity", f.name, r)
-		f.c.cfg.Logf("core: scrub: repaired %s row %d on agent %d", f.name, r, dead)
 
 	default:
-		// Multiple corrupt units in one row (or no parity at all):
-		// single-parity XOR cannot reconstruct them.
+		// More corrupt units in one row than the scheme has parity (or
+		// no parity at all): the codec cannot reconstruct them.
 		rep.Unrepairable += int64(len(corrupt))
 		for _, i := range corrupt {
 			f.noteUnrepairable(i, errs[i])
@@ -226,13 +253,14 @@ func (f *File) scrubRow(r int64, opts ScrubOptions, rep *ScrubReport) (done bool
 	return false, nil
 }
 
-func allZero(b []byte) bool {
-	for _, v := range b {
-		if v != 0 {
-			return false
-		}
+// shardsOfBufs reorders the per-agent unit buffers of row r into code
+// order (data shards first, then parity shards).
+func (f *File) shardsOfBufs(r int64, bufs [][]byte) [][]byte {
+	shards := make([][]byte, len(bufs))
+	for i, b := range bufs {
+		shards[f.shardOfAgent(r, i)] = b
 	}
-	return true
+	return shards
 }
 
 // agentState returns agent i's lifecycle state.

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"time"
 
+	"swift/internal/ec"
 	"swift/internal/obs"
 )
 
@@ -23,6 +24,11 @@ type telemetry struct {
 	probeLat *obs.Histogram
 
 	openFiles *obs.Gauge
+
+	// Erasure-codec latency (row encode on the write path, row
+	// reconstruct on degraded reads, repair, rebuild and scrub).
+	ecEncodeLat      *obs.Histogram
+	ecReconstructLat *obs.Histogram
 
 	agents []agentTelemetry
 }
@@ -47,7 +53,9 @@ type agentTelemetry struct {
 
 // newTelemetry builds and registers the client's instruments. When reg is
 // nil a private registry is created, so every client always records.
-func newTelemetry(reg *obs.Registry, agents []string, m *Metrics) *telemetry {
+// codec, when non-nil, additionally exports the erasure-coding work
+// counters as swift_ec_* metrics.
+func newTelemetry(reg *obs.Registry, agents []string, m *Metrics, codec ec.Codec) *telemetry {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
@@ -59,6 +67,47 @@ func newTelemetry(reg *obs.Registry, agents []string, m *Metrics) *telemetry {
 		writeLat:  reg.Histogram("swift_client_write_seconds", "Latency of WriteAt calls.", nil),
 		probeLat:  reg.Histogram("swift_client_probe_seconds", "Latency of agent health probes.", nil),
 		openFiles: reg.Gauge("swift_client_open_files", "Currently open striped files.", nil),
+		ecEncodeLat: reg.Histogram("swift_ec_encode_seconds",
+			"Latency of erasure-codec row encodes on the write path.", nil),
+		ecReconstructLat: reg.Histogram("swift_ec_reconstruct_seconds",
+			"Latency of erasure-codec row reconstructions (degraded reads, repair, rebuild).", nil),
+	}
+	if codec != nil {
+		ecLoads := []struct {
+			name, help string
+			load       func(ec.Stats) int64
+		}{
+			{"swift_ec_encode_rows_total", "Stripe rows encoded by the erasure codec.",
+				func(s ec.Stats) int64 { return s.EncodeCalls }},
+			{"swift_ec_encode_bytes_total", "Data bytes consumed by erasure-codec encodes.",
+				func(s ec.Stats) int64 { return s.EncodeBytes }},
+			{"swift_ec_reconstruct_rows_total", "Stripe rows reconstructed by the erasure codec.",
+				func(s ec.Stats) int64 { return s.ReconstructCalls }},
+			{"swift_ec_reconstruct_bytes_total", "Shard bytes rebuilt by erasure-codec reconstructions.",
+				func(s ec.Stats) int64 { return s.ReconstructBytes }},
+			{"swift_ec_matrix_cache_hits_total", "Decode-matrix inversions served from the submatrix cache.",
+				func(s ec.Stats) int64 { return s.InvCacheHits }},
+			{"swift_ec_matrix_cache_misses_total", "Decode-matrix inversions computed and cached.",
+				func(s ec.Stats) int64 { return s.InvCacheMisses }},
+		}
+		for _, g := range ecLoads {
+			load := g.load
+			//lint:allow metricname names and help strings are literals in the table above; the loop only threads the closure
+			reg.CounterFunc(g.name, g.help, nil, func() float64 { return float64(load(codec.Stats())) })
+		}
+		for n := 1; n <= codec.ParityShards(); n++ {
+			n := n
+			reg.CounterFunc("swift_ec_reconstructions_total",
+				"Row reconstructions by number of missing shards.",
+				obs.Labels{"failures": strconv.Itoa(n)},
+				func() float64 {
+					s := codec.Stats()
+					if n < len(s.ByMissing) {
+						return float64(s.ByMissing[n])
+					}
+					return 0
+				})
+		}
 	}
 
 	// Global protocol counters: exported from the live atomics rather than
@@ -214,6 +263,13 @@ type StatsSnapshot struct {
 	ProbeLat  obs.Snapshot
 	OpenFiles int64
 	Agents    []AgentStats
+
+	// Scheme is the redundancy scheme ("m+k" or "none"); EC holds the
+	// erasure codec's work counters (zero without parity).
+	Scheme           string
+	EC               ec.Stats
+	ECEncodeLat      obs.Snapshot
+	ECReconstructLat obs.Snapshot
 }
 
 // Stats snapshots the client's telemetry. It is safe to call during live
@@ -226,6 +282,11 @@ func (c *Client) Stats() StatsSnapshot {
 		WriteLat:  c.tel.writeLat.Snapshot(),
 		ProbeLat:  c.tel.probeLat.Snapshot(),
 		OpenFiles: c.tel.openFiles.Load(),
+
+		Scheme:           c.Scheme(),
+		EC:               c.ECStats(),
+		ECEncodeLat:      c.tel.ecEncodeLat.Snapshot(),
+		ECReconstructLat: c.tel.ecReconstructLat.Snapshot(),
 	}
 	health := c.Health()
 	s.Agents = make([]AgentStats, len(c.tel.agents))
@@ -250,6 +311,25 @@ func (c *Client) Stats() StatsSnapshot {
 		as.WriteBurstLat = at.writeBurstLat.Snapshot()
 	}
 	return s
+}
+
+// ecEncode runs the client's codec over one row's shards, timing the
+// call into swift_ec_encode_seconds. The codec itself is clock-free; all
+// timing lives here on the client.
+func (f *File) ecEncode(shards [][]byte) error {
+	start := time.Now()
+	err := f.c.codec.Encode(shards)
+	f.c.tel.ecEncodeLat.Observe(time.Since(start))
+	return err
+}
+
+// ecReconstruct rebuilds one row's missing shards through the codec,
+// timing the call into swift_ec_reconstruct_seconds.
+func (f *File) ecReconstruct(shards [][]byte) error {
+	start := time.Now()
+	err := f.c.codec.Reconstruct(shards)
+	f.c.tel.ecReconstructLat.Observe(time.Since(start))
+	return err
 }
 
 // traceEvent emits a structured trace event; with Verbose configured the

@@ -1,0 +1,8 @@
+//go:build race
+
+package ec
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation slows the GF(2^8) kernels by more
+// than an order of magnitude — performance gates are meaningless there.
+const raceEnabled = true

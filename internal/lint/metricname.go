@@ -16,7 +16,7 @@ var metricNameRE = regexp.MustCompile(`^swift_[a-z]+(_[a-z0-9]+)*(_total|_second
 // dashboard query like swift_client_* can never silently miss a series
 // registered from the wrong layer.
 var metricPrefixes = map[string][]string{
-	"core":     {"swift_client_"},
+	"core":     {"swift_client_", "swift_ec_"}, // core also instruments the erasure codec
 	"agent":    {"swift_agent_", "swift_store_"},
 	"mediator": {"swift_mediator_"},
 	"memnet":   {"swift_net_"},

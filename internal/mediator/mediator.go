@@ -74,19 +74,26 @@ type Requirements struct {
 	// best effort and is admitted on a single agent with a large unit.
 	Rate float64
 	// Redundancy asks for computed-copy (parity) protection, which
-	// costs one extra agent per stripe row.
+	// costs ParityShards extra agents per stripe row.
 	Redundancy bool
+	// ParityShards is the number of parity units per stripe row (the k
+	// of an m+k erasure scheme). Zero with Redundancy means one (the
+	// single-XOR computed copy of the paper); values above one buy
+	// tolerance of that many simultaneous agent failures at the cost of
+	// as many extra agents. Setting it implies Redundancy.
+	ParityShards int
 }
 
 // Plan is a transfer plan: everything the distribution agent needs to
 // execute the session without further mediator involvement.
 type Plan struct {
-	SessionID uint64
-	Agents    []int    // selected agent indices, striping order
-	Addrs     []string // their control addresses
-	Unit      int64    // striping unit in bytes
-	Parity    bool
-	Rate      float64 // granted (reserved) data-rate, bytes/second
+	SessionID    uint64
+	Agents       []int    // selected agent indices, striping order
+	Addrs        []string // their control addresses
+	Unit         int64    // striping unit in bytes
+	Parity       bool
+	ParityShards int     // parity units per stripe row (0 without parity)
+	Rate         float64 // granted (reserved) data-rate, bytes/second
 }
 
 // session is one admitted plan plus its lease state.
@@ -228,6 +235,20 @@ func (m *Mediator) OpenSession(req Requirements) (*Plan, error) {
 	defer m.mu.Unlock()
 	m.expireLocked()
 
+	// Normalize the redundancy scheme: ParityShards implies Redundancy,
+	// and plain Redundancy means the single computed copy.
+	shards := req.ParityShards
+	if shards < 0 {
+		m.tel.rejects.Inc()
+		return nil, fmt.Errorf("%w: negative parity shards %d", ErrUnsatisfiable, shards)
+	}
+	if shards > 0 {
+		req.Redundancy = true
+	}
+	if req.Redundancy && shards == 0 {
+		shards = 1
+	}
+
 	// Available capacity per agent, sorted descending; ties broken by
 	// index for determinism.
 	type avail struct {
@@ -250,17 +271,16 @@ func (m *Mediator) OpenSession(req Requirements) (*Plan, error) {
 	need := req.Rate
 	minAgents := 1
 	if req.Redundancy {
-		minAgents = 3
+		// An m+k scheme needs at least two data units per row (one would
+		// be replication, not striping) on top of the k parity units.
+		minAgents = shards + 2
 	}
 
 	// Grow the agent set until the per-agent share fits in the least-
 	// capable chosen agent and the per-net traffic fits in every net.
 	for k := minAgents; k <= len(avails); k++ {
 		chosen := avails[:k]
-		dataAgents := k
-		if req.Redundancy {
-			dataAgents = k - 1
-		}
+		dataAgents := k - shards
 		if dataAgents < 1 {
 			continue
 		}
@@ -291,10 +311,11 @@ func (m *Mediator) OpenSession(req Requirements) (*Plan, error) {
 		// Admit: build the plan and reserve.
 		m.nextID++
 		p := &Plan{
-			SessionID: m.nextID,
-			Unit:      m.chooseUnit(k),
-			Parity:    req.Redundancy,
-			Rate:      need,
+			SessionID:    m.nextID,
+			Unit:         m.chooseUnit(k),
+			Parity:       req.Redundancy,
+			ParityShards: shards,
+			Rate:         need,
 		}
 		for _, c := range chosen {
 			p.Agents = append(p.Agents, c.idx)
@@ -316,8 +337,8 @@ func (m *Mediator) OpenSession(req Requirements) (*Plan, error) {
 		return p, nil
 	}
 	m.tel.rejects.Inc()
-	return nil, fmt.Errorf("%w: rate %.0f B/s (redundancy=%v)",
-		ErrUnsatisfiable, req.Rate, req.Redundancy)
+	return nil, fmt.Errorf("%w: rate %.0f B/s (redundancy=%v parity_shards=%d)",
+		ErrUnsatisfiable, req.Rate, req.Redundancy, shards)
 }
 
 // chooseUnit picks the striping unit for a k-agent session: the largest
@@ -355,10 +376,7 @@ func (m *Mediator) CloseSession(id uint64) error {
 // releaseLocked returns a plan's reservations to the capacity model;
 // m.mu must be held.
 func (m *Mediator) releaseLocked(p *Plan) {
-	dataAgents := len(p.Agents)
-	if p.Parity {
-		dataAgents--
-	}
+	dataAgents := len(p.Agents) - p.ParityShards
 	if dataAgents < 1 {
 		dataAgents = 1
 	}
@@ -398,12 +416,13 @@ func (m *Mediator) Renew(id uint64) error {
 
 // SessionStatus is one live session's plan and lease, for operators.
 type SessionStatus struct {
-	ID      uint64
-	Agents  []int
-	Unit    int64
-	Parity  bool
-	Rate    float64
-	Expires time.Time // zero when leases are disabled
+	ID           uint64
+	Agents       []int
+	Unit         int64
+	Parity       bool
+	ParityShards int
+	Rate         float64
+	Expires      time.Time // zero when leases are disabled
 }
 
 // SessionList snapshots the live sessions, sorted by ID.
@@ -414,12 +433,13 @@ func (m *Mediator) SessionList() []SessionStatus {
 	out := make([]SessionStatus, 0, len(m.sessions))
 	for id, s := range m.sessions {
 		out = append(out, SessionStatus{
-			ID:      id,
-			Agents:  append([]int(nil), s.plan.Agents...),
-			Unit:    s.plan.Unit,
-			Parity:  s.plan.Parity,
-			Rate:    s.plan.Rate,
-			Expires: s.expires,
+			ID:           id,
+			Agents:       append([]int(nil), s.plan.Agents...),
+			Unit:         s.plan.Unit,
+			Parity:       s.plan.Parity,
+			ParityShards: s.plan.ParityShards,
+			Rate:         s.plan.Rate,
+			Expires:      s.expires,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

@@ -356,3 +356,72 @@ func TestLoadAccounting(t *testing.T) {
 		t.Fatal("net load not released")
 	}
 }
+
+func TestParityShardsReserveExtraAgents(t *testing.T) {
+	m, _ := New(testInstall())
+	// 600 KB/s over 400 KB/s agents needs 2 data agents; k=2 adds two
+	// parity agents, so the plan must hold at least 4.
+	p, err := m.OpenSession(Requirements{Rate: 600e3, ParityShards: 2})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if !p.Parity || p.ParityShards != 2 {
+		t.Fatalf("plan parity=%v shards=%d, want true/2", p.Parity, p.ParityShards)
+	}
+	if len(p.Agents) < 4 {
+		t.Fatalf("plan has %d agents, want >= 4 (2 data + 2 parity)", len(p.Agents))
+	}
+	// Every selected agent carries rate/(n-k): the reservation must
+	// account for parity traffic on all n agents.
+	data := len(p.Agents) - p.ParityShards
+	perAgent := p.Rate / float64(data)
+	for _, i := range p.Agents {
+		if got := m.AgentLoad(i); got < perAgent*0.99 {
+			t.Fatalf("agent %d load %.0f, want ~%.0f", i, got, perAgent)
+		}
+	}
+	// Closing releases the m+k reservation exactly.
+	if err := m.CloseSession(p.SessionID); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for _, i := range p.Agents {
+		if got := m.AgentLoad(i); got != 0 {
+			t.Fatalf("agent %d load %.0f after close, want 0", i, got)
+		}
+	}
+}
+
+func TestRejectsUnsatisfiableRedundancy(t *testing.T) {
+	m, _ := New(testInstall())
+	// 6 agents cannot host a k=5 scheme (needs >= 7).
+	if _, err := m.OpenSession(Requirements{ParityShards: 5}); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("k=5 over 6 agents = %v, want ErrUnsatisfiable", err)
+	}
+	// Negative shard counts are nonsense, not best effort.
+	if _, err := m.OpenSession(Requirements{ParityShards: -1}); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("k=-1 = %v, want ErrUnsatisfiable", err)
+	}
+	// A rate needing all 6 agents for data leaves no room for parity.
+	if _, err := m.OpenSession(Requirements{Rate: 2e6, ParityShards: 2}); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("rate+k over capacity = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestParityShardsImplyRedundancy(t *testing.T) {
+	m, _ := New(testInstall())
+	p, err := m.OpenSession(Requirements{ParityShards: 1})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if !p.Parity || p.ParityShards != 1 {
+		t.Fatalf("plan parity=%v shards=%d, want true/1", p.Parity, p.ParityShards)
+	}
+	// Legacy Redundancy without an explicit count is one parity shard.
+	q, err := m.OpenSession(Requirements{Redundancy: true})
+	if err != nil {
+		t.Fatalf("open legacy: %v", err)
+	}
+	if q.ParityShards != 1 {
+		t.Fatalf("legacy redundancy shards = %d, want 1", q.ParityShards)
+	}
+}

@@ -9,10 +9,12 @@
 // client's data-rate requirement: large units for low rates (few agents
 // touched), small units for high rates (maximum parallelism).
 //
-// With parity enabled, each stripe row holds Agents-1 data units plus one
-// computed-copy (XOR) parity unit. The parity unit rotates across agents,
-// left-symmetric, so no single agent becomes a parity bottleneck and the
-// system tolerates one failed agent per row.
+// With parity enabled, each stripe row holds Agents-k data units plus k
+// computed-copy parity units (XOR for k=1, Reed–Solomon for k>=2). The
+// parity units rotate across agents, left-symmetric, so no single agent
+// becomes a parity bottleneck and the system tolerates up to k failed
+// agents per row. The legacy single-parity layout is exactly the k=1
+// case: agent assignments and fragment offsets are unchanged.
 package stripe
 
 import (
@@ -25,11 +27,29 @@ import (
 type Layout struct {
 	// Unit is the striping unit in bytes (> 0).
 	Unit int64
-	// Agents is the number of storage agents (>= 1; >= 3 with parity).
+	// Agents is the number of storage agents (>= 1; >= ParityPerRow()+2
+	// with parity).
 	Agents int
-	// Parity enables computed-copy redundancy: one rotating XOR parity
-	// unit per stripe row.
+	// Parity enables computed-copy redundancy: rotating parity units in
+	// every stripe row. With ParityUnits zero this is the legacy single
+	// XOR unit per row.
 	Parity bool
+	// ParityUnits is the number of parity units per row (k). Zero means
+	// 1 when Parity is set. Values >= 2 select Reed–Solomon coding and
+	// tolerate up to k failed agents per row.
+	ParityUnits int
+}
+
+// ParityPerRow returns the effective number of parity units per stripe
+// row: 0 without parity, max(1, ParityUnits) with it.
+func (l Layout) ParityPerRow() int {
+	if !l.Parity && l.ParityUnits == 0 {
+		return 0
+	}
+	if l.ParityUnits > 0 {
+		return l.ParityUnits
+	}
+	return 1
 }
 
 // Validate reports whether the layout parameters are usable.
@@ -40,53 +60,92 @@ func (l Layout) Validate() error {
 	if l.Agents < 1 {
 		return fmt.Errorf("stripe: need at least one agent, got %d", l.Agents)
 	}
-	if l.Parity && l.Agents < 3 {
-		return fmt.Errorf("stripe: parity requires at least 3 agents, got %d", l.Agents)
+	if l.ParityUnits < 0 {
+		return fmt.Errorf("stripe: parity units must be non-negative, got %d", l.ParityUnits)
+	}
+	if k := l.ParityPerRow(); k > 0 && l.Agents < k+2 {
+		if k == 1 {
+			return fmt.Errorf("stripe: parity requires at least 3 agents, got %d", l.Agents)
+		}
+		return fmt.Errorf("stripe: %d parity units require at least %d agents (2+ data units), got %d",
+			k, k+2, l.Agents)
 	}
 	return nil
 }
 
 // DataPerRow returns the number of data units per stripe row.
-func (l Layout) DataPerRow() int {
-	if l.Parity {
-		return l.Agents - 1
-	}
-	return l.Agents
-}
+func (l Layout) DataPerRow() int { return l.Agents - l.ParityPerRow() }
 
 // RowBytes returns the number of logical (data) bytes per stripe row.
 func (l Layout) RowBytes() int64 { return l.Unit * int64(l.DataPerRow()) }
 
-// ParityAgent returns the agent holding the parity unit of the given row.
-// It is only meaningful when parity is enabled.
-func (l Layout) ParityAgent(row int64) int {
-	return int(int64(l.Agents-1) - row%int64(l.Agents))
+// parityBase returns the agent holding the row's first parity unit. The
+// base rotates left by k agents per row so every parity unit moves and
+// no agent becomes a parity bottleneck; at k=1 this is exactly the
+// legacy left-symmetric rotation Agents-1 - row%Agents.
+func (l Layout) parityBase(row int64) int {
+	k := int64(l.ParityPerRow())
+	a := int64(l.Agents)
+	return int((int64(l.Agents-1) - (row*k)%a + a) % a)
+}
+
+// ParityAgent returns the agent holding the first parity unit of the
+// given row. It is only meaningful when parity is enabled.
+func (l Layout) ParityAgent(row int64) int { return l.parityBase(row) }
+
+// ParityAgentAt returns the agent holding the j-th parity unit (0-based,
+// j < ParityPerRow) of the given row.
+func (l Layout) ParityAgentAt(row int64, j int) int {
+	return (l.parityBase(row) + j) % l.Agents
 }
 
 // DataAgent returns the agent holding the j-th data unit (0-based) of the
 // given row.
 func (l Layout) DataAgent(row int64, j int) int {
-	if !l.Parity {
+	k := l.ParityPerRow()
+	if k == 0 {
 		return j
 	}
-	return (l.ParityAgent(row) + 1 + j) % l.Agents
+	return (l.parityBase(row) + k + j) % l.Agents
 }
 
 // dataPos returns the position j such that DataAgent(row, j) == agent, or
 // -1 if the agent holds parity in that row.
 func (l Layout) dataPos(row int64, agent int) int {
-	if !l.Parity {
+	k := l.ParityPerRow()
+	if k == 0 {
 		return agent
 	}
-	p := l.ParityAgent(row)
-	if agent == p {
+	d := agent - l.parityBase(row)
+	if d < 0 {
+		d += l.Agents
+	}
+	if d < k {
 		return -1
 	}
-	j := agent - p - 1
-	if j < 0 {
-		j += l.Agents
+	return d - k
+}
+
+// DataPos returns the data position j such that DataAgent(row, j) ==
+// agent, or -1 if the agent holds parity in that row.
+func (l Layout) DataPos(row int64, agent int) int { return l.dataPos(row, agent) }
+
+// ParityPos returns the parity position j such that
+// ParityAgentAt(row, j) == agent, or -1 if the agent holds data in that
+// row (or parity is disabled).
+func (l Layout) ParityPos(row int64, agent int) int {
+	k := l.ParityPerRow()
+	if k == 0 {
+		return -1
 	}
-	return j
+	d := agent - l.parityBase(row)
+	if d < 0 {
+		d += l.Agents
+	}
+	if d < k {
+		return d
+	}
+	return -1
 }
 
 // Locate maps a logical byte offset to (agent, fragment offset).
@@ -178,8 +237,10 @@ func (l Layout) SizeFromFragments(frag []int64) int64 {
 			continue
 		}
 		// Walk back at most Agents+1 rows to find this agent's last
-		// data byte (each agent holds parity at most once per Agents
-		// consecutive rows).
+		// data byte. The rotation gives every agent (Agents-k)/gcd(k,
+		// Agents) >= 1 data rows per period of Agents/gcd(k, Agents)
+		// <= Agents rows, so an agent never holds parity for more than
+		// Agents consecutive rows.
 		lastRow := (fa - 1) / l.Unit
 		for row := lastRow; row >= 0 && row > lastRow-int64(l.Agents)-1; row-- {
 			if l.dataPos(row, a) < 0 {
@@ -223,12 +284,14 @@ func (l Layout) FragmentSizes(size int64) []int64 {
 		}
 		g += take
 	}
-	if l.Parity {
+	if k := l.ParityPerRow(); k > 0 {
 		lastRow := l.RowOfGlobal(size - 1)
 		for row := int64(0); row <= lastRow; row++ {
-			a := l.ParityAgent(row)
-			if end := (row + 1) * l.Unit; end > frag[a] {
-				frag[a] = end
+			for j := 0; j < k; j++ {
+				a := l.ParityAgentAt(row, j)
+				if end := (row + 1) * l.Unit; end > frag[a] {
+					frag[a] = end
+				}
 			}
 		}
 	}

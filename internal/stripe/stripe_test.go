@@ -15,6 +15,11 @@ func layouts() []Layout {
 		{Unit: 4096, Agents: 3, Parity: true},
 		{Unit: 1000, Agents: 4, Parity: true},
 		{Unit: 8192, Agents: 7, Parity: true},
+		{Unit: 4096, Agents: 4, Parity: true, ParityUnits: 2},
+		{Unit: 1000, Agents: 5, Parity: true, ParityUnits: 2},
+		{Unit: 8192, Agents: 6, Parity: true, ParityUnits: 2},
+		{Unit: 2048, Agents: 7, Parity: true, ParityUnits: 3},
+		{Unit: 512, Agents: 6, Parity: true, ParityUnits: 4},
 	}
 }
 
@@ -24,6 +29,9 @@ func TestValidate(t *testing.T) {
 		{Unit: -5, Agents: 3},
 		{Unit: 4096, Agents: 0},
 		{Unit: 4096, Agents: 2, Parity: true},
+		{Unit: 4096, Agents: 3, Parity: true, ParityUnits: 2},
+		{Unit: 4096, Agents: 5, Parity: true, ParityUnits: 4},
+		{Unit: 4096, Agents: 5, ParityUnits: -1},
 	}
 	for _, l := range bad {
 		if err := l.Validate(); err == nil {
@@ -84,6 +92,95 @@ func TestParityAgentRotates(t *testing.T) {
 		for j := 0; j < l.DataPerRow(); j++ {
 			if l.DataAgent(r, j) == p {
 				t.Fatalf("row %d: data agent %d equals parity agent", r, j)
+			}
+		}
+	}
+}
+
+// TestLegacyParityPlacementUnchanged pins the k=1 layout to the legacy
+// formulas: objects written by the single-XOR engine keep their exact
+// unit placement under the generalized rotation.
+func TestLegacyParityPlacementUnchanged(t *testing.T) {
+	for _, agents := range []int{3, 4, 5, 7, 8} {
+		l := Layout{Unit: 4096, Agents: agents, Parity: true}
+		for r := int64(0); r < int64(4*agents); r++ {
+			legacyP := int(int64(agents-1) - r%int64(agents))
+			if got := l.ParityAgent(r); got != legacyP {
+				t.Fatalf("agents=%d row=%d: ParityAgent=%d want legacy %d", agents, r, got, legacyP)
+			}
+			if got := l.ParityAgentAt(r, 0); got != legacyP {
+				t.Fatalf("agents=%d row=%d: ParityAgentAt(0)=%d want %d", agents, r, got, legacyP)
+			}
+			for j := 0; j < agents-1; j++ {
+				legacyD := (legacyP + 1 + j) % agents
+				if got := l.DataAgent(r, j); got != legacyD {
+					t.Fatalf("agents=%d row=%d j=%d: DataAgent=%d want legacy %d", agents, r, j, got, legacyD)
+				}
+			}
+		}
+	}
+}
+
+// TestRowPartition verifies that in every row the k parity agents and
+// m data agents partition the agent set: each agent holds exactly one
+// unit per row, and ParityPos/dataPos agree on which kind.
+func TestRowPartition(t *testing.T) {
+	for _, l := range layouts() {
+		k := l.ParityPerRow()
+		for r := int64(0); r < 3*int64(l.Agents); r++ {
+			kind := make(map[int]string)
+			for j := 0; j < k; j++ {
+				a := l.ParityAgentAt(r, j)
+				if kind[a] != "" {
+					t.Fatalf("%+v row %d: agent %d assigned twice", l, r, a)
+				}
+				kind[a] = "parity"
+				if got := l.ParityPos(r, a); got != j {
+					t.Fatalf("%+v row %d: ParityPos(%d)=%d want %d", l, r, a, got, j)
+				}
+				if l.dataPos(r, a) != -1 {
+					t.Fatalf("%+v row %d: parity agent %d has dataPos", l, r, a)
+				}
+			}
+			for j := 0; j < l.DataPerRow(); j++ {
+				a := l.DataAgent(r, j)
+				if kind[a] != "" {
+					t.Fatalf("%+v row %d: agent %d assigned twice (%s)", l, r, a, kind[a])
+				}
+				kind[a] = "data"
+				if got := l.dataPos(r, a); got != j {
+					t.Fatalf("%+v row %d: dataPos(%d)=%d want %d", l, r, a, got, j)
+				}
+				if l.ParityPos(r, a) != -1 {
+					t.Fatalf("%+v row %d: data agent %d has ParityPos", l, r, a)
+				}
+			}
+			if len(kind) != l.Agents {
+				t.Fatalf("%+v row %d: %d agents assigned, want %d", l, r, len(kind), l.Agents)
+			}
+		}
+	}
+}
+
+// TestParityRotationCoverage: over enough rows every agent holds data at
+// least once per Agents consecutive rows — the invariant backing the
+// SizeFromFragments walk-back bound.
+func TestParityRotationCoverage(t *testing.T) {
+	for _, l := range layouts() {
+		if l.ParityPerRow() == 0 {
+			continue
+		}
+		run := make(map[int]int)
+		for r := int64(0); r < 10*int64(l.Agents); r++ {
+			for a := 0; a < l.Agents; a++ {
+				if l.ParityPos(r, a) >= 0 {
+					run[a]++
+					if run[a] > l.Agents {
+						t.Fatalf("%+v: agent %d holds parity for > %d consecutive rows", l, a, l.Agents)
+					}
+				} else {
+					run[a] = 0
+				}
 			}
 		}
 	}

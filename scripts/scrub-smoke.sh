@@ -9,6 +9,11 @@
 #   - a verification scrub comes back spotless;
 #   - the retrieved object is byte-identical to the original;
 #   - the corrupted agent's /metrics export counts the corruption.
+#
+# A second act repeats the story on a five-agent k=2 (3+2 Reed-Solomon)
+# volume with TWO fragments rotted in the same stripe row — damage that
+# exceeds single XOR — and asserts the same verdict exit codes: detect
+# non-zero, repair zero, verification spotless, payload byte-identical.
 set -eu
 
 PORT_BASE=18070
@@ -101,5 +106,78 @@ grep -q 'swift_store_corruptions_total [1-9]' "$TMP/agent.metrics" || {
 	grep swift_store "$TMP/agent.metrics" >&2 || true
 	exit 1
 }
+
+# ---- Act 2: a 3+2 Reed-Solomon volume survives double corruption ----
+
+echo "== boot 5 integrity-enveloped agents for the k=2 volume"
+RS_PORT_BASE=18080
+RS_AGENTS=
+i=0
+while [ "$i" -lt 5 ]; do
+	port=$((RS_PORT_BASE + i))
+	"$TMP/swiftd" -port "$port" -dir "$TMP/rs-agent$i" -integrity \
+		>"$TMP/rs-swiftd$i.out" 2>&1 &
+	PIDS="$PIDS $!"
+	RS_AGENTS="$RS_AGENTS${RS_AGENTS:+,}127.0.0.1:$port"
+	i=$((i + 1))
+done
+sleep 0.3
+
+RSCTL="$TMP/swiftctl -agents $RS_AGENTS -parity-shards 2 -unit 4096"
+
+echo "== store an object on the 3+2 volume"
+$RSCTL put "$TMP/payload" rs-obj
+
+echo "== stat must report the 3+2 scheme"
+$RSCTL stat rs-obj | tee "$TMP/rs-stat.out"
+grep -Fq 'scheme=3+2' "$TMP/rs-stat.out" || {
+	echo "stat did not report the 3+2 scheme" >&2
+	exit 1
+}
+
+echo "== baseline k=2 scrub must be clean and exit zero"
+$RSCTL scrub rs-obj
+
+echo "== rot TWO fragments in the same stripe row (beyond single XOR)"
+for a in 1 2; do
+	FRAG="$TMP/rs-agent$a/rs-obj"
+	[ -f "$FRAG" ] || { echo "fragment $FRAG not found" >&2; exit 1; }
+	printf '\377\377\377\377\377\377\377\377\377\377\377\377\377\377\377\377' |
+		dd of="$FRAG" bs=1 seek=5000 count=16 conv=notrunc 2>/dev/null
+done
+
+echo "== k=2 scrub must detect the double rot and exit non-zero"
+if $RSCTL scrub rs-obj >"$TMP/rs-scrub.out" 2>&1; then
+	echo "scrub exited 0 over doubly-corrupt media" >&2
+	cat "$TMP/rs-scrub.out" >&2
+	exit 1
+fi
+grep -q 'corrupt=[1-9]' "$TMP/rs-scrub.out" || {
+	echo "k=2 scrub did not report corruption" >&2
+	cat "$TMP/rs-scrub.out" >&2
+	exit 1
+}
+
+echo "== k=2 scrub -repair must heal both units and exit zero"
+$RSCTL scrub -repair rs-obj | tee "$TMP/rs-repair.out"
+grep -q 'repaired=[1-9]' "$TMP/rs-repair.out" || {
+	echo "k=2 repair pass repaired nothing" >&2
+	exit 1
+}
+grep -q 'unrepairable=0' "$TMP/rs-repair.out" || {
+	echo "k=2 repair pass left unrepairable units" >&2
+	exit 1
+}
+
+echo "== k=2 verification scrub must be spotless"
+$RSCTL scrub rs-obj | tee "$TMP/rs-verify.out"
+grep -q 'corrupt=0 parity_mismatch=0 repaired=0 unrepairable=0 skipped=0' "$TMP/rs-verify.out" || {
+	echo "k=2 verification scrub not clean" >&2
+	exit 1
+}
+
+echo "== retrieved k=2 object must match the original byte for byte"
+$RSCTL get rs-obj "$TMP/payload.rs.back"
+cmp "$TMP/payload" "$TMP/payload.rs.back"
 
 echo "scrub smoke OK"

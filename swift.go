@@ -11,8 +11,9 @@
 //     Seek/Close on striped objects over a light-weight datagram protocol;
 //   - the storage agent server (StartAgent), deployable over real UDP or
 //     the in-memory modeled network in internal/transport/memnet;
-//   - computed-copy redundancy: rotating XOR parity with degraded-mode
-//     operation and fragment rebuild;
+//   - computed-copy redundancy: rotating parity — single XOR or an m+k
+//     Reed–Solomon scheme (internal/ec) — with degraded-mode operation
+//     and fragment rebuild through up to k simultaneous failures;
 //   - a storage mediator (internal/mediator) that reserves agent and
 //     network capacity and picks striping parameters from a client's
 //     data-rate requirement.
@@ -38,6 +39,7 @@
 package swift
 
 import (
+	"fmt"
 	"time"
 
 	"swift/internal/agent"
@@ -58,9 +60,21 @@ type Config struct {
 	// StripeUnit is the striping unit in bytes (default 32 KiB).
 	StripeUnit int64
 	// Parity enables computed-copy redundancy (requires >= 3 agents):
-	// one rotating XOR parity unit per stripe row, tolerating a single
-	// failed agent.
+	// rotating parity units per stripe row. With ParityShards unset this
+	// is the paper's single XOR computed copy, tolerating one failed
+	// agent.
 	Parity bool
+	// ParityShards selects the m+k erasure scheme: the number of parity
+	// units per stripe row (k), each on its own agent. Zero with Parity
+	// set means 1 (plain XOR); 2 or more selects Reed–Solomon coding
+	// tolerating that many simultaneous agent failures. Setting it
+	// implies Parity. Requires len(Agents) >= ParityShards+2.
+	ParityShards int
+	// DataShards, when non-zero, asserts the number of data units per
+	// stripe row (m). It is always len(Agents)-ParityShards; Dial
+	// rejects a mismatch so a misconfigured agent list fails loudly
+	// instead of silently changing the layout.
+	DataShards int
 	// SyncWrites makes agents commit each write burst to stable storage
 	// before acknowledging.
 	SyncWrites bool
@@ -125,11 +139,22 @@ type OpenFlags = core.OpenFlags
 
 // Dial creates a Swift client for the given agent set.
 func Dial(cfg Config) (*FS, error) {
+	if cfg.DataShards > 0 {
+		k := cfg.ParityShards
+		if k == 0 && cfg.Parity {
+			k = 1
+		}
+		if cfg.DataShards+k != len(cfg.Agents) {
+			return nil, fmt.Errorf("swift: %d data + %d parity shards need %d agents, have %d",
+				cfg.DataShards, k, cfg.DataShards+k, len(cfg.Agents))
+		}
+	}
 	c, err := core.Dial(core.Config{
 		Host:         cfg.Host,
 		Agents:       cfg.Agents,
 		Unit:         cfg.StripeUnit,
 		Parity:       cfg.Parity,
+		ParityShards: cfg.ParityShards,
 		SyncWrites:   cfg.SyncWrites,
 		RequestBytes: cfg.RequestBytes,
 		WriteWindow:  cfg.WriteWindow,
@@ -287,6 +312,33 @@ type TraceEvent = obs.Event
 // Stats snapshots the client's telemetry. Safe to call during live
 // transfers; recording is never blocked.
 func (fs *FS) Stats() Stats { return fs.c.Stats() }
+
+// Scheme describes the redundancy scheme as "m+k" (data+parity units per
+// stripe row), or "none" when parity is disabled.
+func (fs *FS) Scheme() string { return fs.c.Scheme() }
+
+// LayoutInfo describes the striping layout: the unit size, the agent
+// count, and the redundancy scheme split into data and parity units per
+// stripe row.
+type LayoutInfo struct {
+	Unit         int64
+	Agents       int
+	DataShards   int
+	ParityShards int
+	Scheme       string // "m+k", or "none" without parity
+}
+
+// Layout reports the client's striping layout and redundancy scheme.
+func (fs *FS) Layout() LayoutInfo {
+	l := fs.c.Layout()
+	return LayoutInfo{
+		Unit:         l.Unit,
+		Agents:       l.Agents,
+		DataShards:   l.DataPerRow(),
+		ParityShards: l.ParityPerRow(),
+		Scheme:       fs.c.Scheme(),
+	}
+}
 
 // Metrics returns a value copy of the client's protocol counters.
 func (fs *FS) Metrics() MetricsSnapshot { return fs.c.MetricsSnapshot() }

@@ -166,3 +166,78 @@ func TestSeekSemantics(t *testing.T) {
 		t.Fatalf("tail = %q", tail)
 	}
 }
+
+func TestFacadeRSDoubleFailureOverUDP(t *testing.T) {
+	host := udpnet.NewHost("127.0.0.1")
+	agents := make([]*swift.Agent, 5)
+	var addrs []string
+	for i := range agents {
+		a, err := swift.StartAgent(host, swift.NewMemStore(), swift.AgentConfig{Port: "0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+		addrs = append(addrs, a.Addr())
+	}
+	defer func() {
+		for _, a := range agents {
+			if a != nil {
+				a.Close()
+			}
+		}
+	}()
+	fs, err := swift.Dial(swift.Config{
+		Host: host, Agents: addrs,
+		StripeUnit: 4 * 1024, DataShards: 3, ParityShards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if s := fs.Scheme(); s != "3+2" {
+		t.Fatalf("scheme = %q, want 3+2", s)
+	}
+
+	data := make([]byte, 150_000)
+	rand.New(rand.NewSource(3)).Read(data)
+	f, err := fs.Create("rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Two agents die; the 3+2 scheme still serves exact bytes.
+	for _, i := range []int{1, 3} {
+		agents[i].Close()
+		agents[i] = nil
+		fs.MarkDown(i, true)
+	}
+	g, err := fs.Open("rs")
+	if err != nil {
+		t.Fatalf("double-degraded open: %v", err)
+	}
+	defer g.Close()
+	back := make([]byte, len(data))
+	if _, err := g.ReadAt(back, 0); err != nil {
+		t.Fatalf("double-degraded read: %v", err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("double-degraded read mismatch")
+	}
+}
+
+func TestFacadeShardMismatchRejected(t *testing.T) {
+	host := udpnet.NewHost("127.0.0.1")
+	_, err := swift.Dial(swift.Config{
+		Host:   host,
+		Agents: []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"},
+		// 3 agents cannot be 3 data + 2 parity.
+		DataShards: 3, ParityShards: 2,
+	})
+	if err == nil {
+		t.Fatal("shard/agent mismatch accepted")
+	}
+}
