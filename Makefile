@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet lint test race fuzz bench tables figures ablations \
-	ec-bench examples obs-test obs-smoke scrub-smoke clean
+	ec-bench examples obs-test obs-smoke scrub-smoke failover-smoke clean
 
 all: build vet test obs-test
 
@@ -54,6 +54,12 @@ obs-smoke:
 # checksum envelope, then detect, repair, and verify through swiftctl.
 scrub-smoke:
 	sh scripts/scrub-smoke.sh
+
+# End-to-end mediator-federation smoke: SIGKILL and SIGTERM (drain)
+# mediator replicas under live leased sessions; clients must fail over
+# with zero lapsed leases.
+failover-smoke:
+	sh scripts/failover-smoke.sh
 
 # Short fuzz pass over the wire codecs, the at-rest integrity
 # envelope, and the erasure codec (CI smoke; go native fuzzing).

@@ -374,6 +374,12 @@ soak:
 	// 3+2 volume loses TWO agents mid-traffic — damage beyond the
 	// single-XOR ceiling — and must keep serving exact bytes.
 	chaosDoubleKillK2(t)
+
+	// Seventh drill: mediator federation failover. The active mediator
+	// replica is killed (and later drained) mid-traffic under 3+2; the
+	// client's lease must survive on a surviving replica with zero
+	// operation errors and convergent reservation accounting.
+	chaosMediatorFailover(t)
 }
 
 // chaosDoubleKillK2 is TestChaosSoak's sixth drill. It boots a
@@ -579,4 +585,324 @@ func chaosDoubleKillK2(t *testing.T) {
 		}
 	}
 	t.Logf("drill6: %d ops with two agents killed under 3+2, zero errors, rebuilt and spotless", ops)
+}
+
+// chaosMediatorFailover is TestChaosSoak's seventh drill: the federated
+// mediator tier under fire. A five-agent 3+2 volume is admitted through a
+// three-replica mediator federation; the session's home replica is killed
+// mid-traffic, later restarted (reconciling from peers), and finally the
+// new home is gracefully drained — all through the faultinject mediator
+// fault family — while continuous mirrored traffic flows:
+//
+//   - zero operation errors: the data path never depends on a live
+//     mediator, and the lease heartbeat transparently re-targets;
+//   - the session resumes on a surviving replica (broker failover >= 1,
+//     renew failures == 0) and no replica ever reaps the lease
+//     (expirations == 0 everywhere) — zero leases lapse;
+//   - after the killed replica is readmitted, session counts and
+//     reservation accounting (AgentLoad/NetLoad) converge across all
+//     three replicas;
+//   - the drain hands the session off (handoffs >= 1) with zero rejected
+//     renewals, and the client follows to the new home;
+//   - a verification scrub over the open set comes back spotless, and
+//     closing the session returns every replica to zero load.
+func chaosMediatorFailover(t *testing.T) {
+	const (
+		nAgents  = 5
+		nMeds    = 3
+		objSize  = 96 * 1024
+		nObjs    = 2
+		nOps     = 150
+		leaseTTL = 500 * time.Millisecond
+	)
+	n := memnet.New(2)
+	seg := n.NewSegment("fed-lab", memnet.SegmentConfig{
+		BandwidthBps:  1e10,
+		FrameOverhead: 46,
+		Seed:          23,
+	})
+	agentCfg := swift.AgentConfig{
+		ResendCheck: 5 * time.Millisecond,
+		ResendAfter: 10 * time.Millisecond,
+	}
+	const blockSize = 4096
+	agents := make([]*swift.Agent, nAgents)
+	hosts := make([]*memnet.Host, nAgents)
+	addrs := make([]string, nAgents)
+	for i := 0; i < nAgents; i++ {
+		hosts[i] = n.MustHost(fmt.Sprintf("fed-agent%d", i), memnet.HostConfig{}, seg)
+		st := integrity.NewStore(store.NewMem(), blockSize)
+		a, err := swift.StartAgent(hosts[i], st, agentCfg)
+		if err != nil {
+			t.Fatalf("drill7: agent %d: %v", i, err)
+		}
+		agents[i] = a
+		addrs[i] = a.Addr()
+	}
+	defer func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}()
+
+	// Three federated mediator replicas over the shared installation
+	// model, real-clock leases short enough that a stalled heartbeat
+	// would visibly lapse inside the drill.
+	medAgents := make([]swift.MediatorAgentInfo, nAgents)
+	for i, addr := range addrs {
+		medAgents[i] = swift.MediatorAgentInfo{Addr: addr, Rate: 1e6, Net: 0}
+	}
+	fed, err := swift.NewMediatorFederation([]string{"med-a", "med-b", "med-c"}, swift.MediatorConfig{
+		Agents:   medAgents,
+		Nets:     []swift.MediatorNetInfo{{Name: "fed-lab", Capacity: 1e9}},
+		LeaseTTL: leaseTTL,
+	})
+	if err != nil {
+		t.Fatalf("drill7: federation: %v", err)
+	}
+	defer fed.Close()
+	medIdx := func(name string) int {
+		for i, nm := range fed.Names() {
+			if nm == name {
+				return i
+			}
+		}
+		t.Fatalf("drill7: unknown replica %q", name)
+		return -1
+	}
+
+	var endpoints []swift.MediatorEndpoint
+	for _, m := range fed.Mediators() {
+		endpoints = append(endpoints, m)
+	}
+	broker, err := swift.NewMediatorBroker(swift.BrokerConfig{
+		Endpoints:    endpoints,
+		Key:          "drill7",
+		RetryTimeout: 5 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("drill7: broker: %v", err)
+	}
+
+	// Admit a 3+2 session through the tier and dial from its plan. 2.5
+	// MB/s over 1 MB/s agents needs 3 data agents; +2 parity = all five.
+	rec, err := broker.OpenSession(swift.MediatorRequirements{Rate: 2.5e6, ParityShards: 2})
+	if err != nil {
+		t.Fatalf("drill7: open session: %v", err)
+	}
+	if got := len(rec.Plan.Addrs); got != nAgents {
+		t.Fatalf("drill7: plan spans %d agents, want %d", got, nAgents)
+	}
+	clientHost := n.MustHost("fed-client", memnet.HostConfig{}, seg)
+	cfg := swift.Config{
+		Host:           clientHost,
+		RetryTimeout:   15 * time.Millisecond,
+		MaxRetries:     20,
+		HealthInterval: 25 * time.Millisecond,
+		AutoRebuild:    true,
+		ScrubInterval:  100 * time.Millisecond,
+		Heartbeat:      broker.Heartbeat,
+		Logf:           t.Logf,
+	}
+	cfg.ApplyPlan(&rec.Plan)
+	fs, err := swift.Dial(cfg)
+	if err != nil {
+		t.Fatalf("drill7: dial: %v", err)
+	}
+	defer fs.Close()
+	if got := fs.Scheme(); got != "3+2" {
+		t.Fatalf("drill7: scheme = %q, want 3+2", got)
+	}
+
+	// The mediator fault family routes through the same controller the
+	// agent faults use.
+	ctl := faultinject.New(faultinject.Cluster{
+		Net:      n,
+		Segments: []*memnet.Segment{seg},
+		KillMediator: func(i int) error {
+			fed.Kill(i)
+			return nil
+		},
+		RestartMediator: func(i int) error {
+			return fed.Restart(i)
+		},
+		DrainMediator: func(i int) error {
+			_, err := fed.Drain(i)
+			return err
+		},
+	}, t.Logf)
+
+	rng := rand.New(rand.NewSource(29))
+	files := make([]*swift.File, nObjs)
+	mirrors := make([][]byte, nObjs)
+	for i := range files {
+		f, err := fs.Create(fmt.Sprintf("fed-obj%d", i))
+		if err != nil {
+			t.Fatalf("drill7: create fed-obj%d: %v", i, err)
+		}
+		defer f.Close()
+		m := make([]byte, objSize)
+		rng.Read(m)
+		if _, err := f.WriteAt(m, 0); err != nil {
+			t.Fatalf("drill7: prefill fed-obj%d: %v", i, err)
+		}
+		files[i], mirrors[i] = f, m
+	}
+
+	firstHome := broker.Home()
+	killed := medIdx(firstHome)
+	t.Logf("drill7: session homed on %s", firstHome)
+
+	// Traffic with the home replica killed a third of the way in and
+	// restarted at two thirds. Ops are paced so the drill spans many
+	// heartbeat rounds and a healthy fraction of the lease TTL.
+	ops, opErrs := 0, 0
+	buf := make([]byte, 16*1024)
+	for ops < nOps {
+		switch ops {
+		case nOps / 3:
+			t.Logf("drill7: killing home mediator %s mid-traffic", firstHome)
+			if err := ctl.Apply(faultinject.Event{Kind: faultinject.KindKillMediator, Mediator: killed}); err != nil {
+				t.Fatalf("drill7: kill mediator: %v", err)
+			}
+		case 2 * nOps / 3:
+			// By now the heartbeat must have re-targeted; readmit the
+			// crashed replica, which reconciles from the survivors.
+			if broker.Home() == firstHome {
+				t.Fatalf("drill7: session still homed on killed replica %s", firstHome)
+			}
+			if err := ctl.Apply(faultinject.Event{Kind: faultinject.KindRestartMediator, Mediator: killed}); err != nil {
+				t.Fatalf("drill7: restart mediator: %v", err)
+			}
+		}
+		obj := rng.Intn(nObjs)
+		off := rng.Intn(objSize - len(buf))
+		sz := 1 + rng.Intn(len(buf))
+		ops++
+		if rng.Float64() < 0.5 {
+			got := buf[:sz]
+			if _, err := files[obj].ReadAt(got, int64(off)); err != nil {
+				opErrs++
+				t.Errorf("drill7 op %d: read fed-obj%d[%d:+%d]: %v", ops, obj, off, sz, err)
+				continue
+			}
+			if !bytes.Equal(got, mirrors[obj][off:off+sz]) {
+				t.Fatalf("drill7 op %d: read fed-obj%d[%d:+%d] returned wrong bytes", ops, obj, off, sz)
+			}
+		} else {
+			rng.Read(buf[:sz])
+			if _, err := files[obj].WriteAt(buf[:sz], int64(off)); err != nil {
+				opErrs++
+				t.Errorf("drill7 op %d: write fed-obj%d[%d:+%d]: %v", ops, obj, off, sz, err)
+				continue
+			}
+			copy(mirrors[obj][off:off+sz], buf[:sz])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if opErrs != 0 {
+		t.Fatalf("drill7: %d of %d operations failed across a mediator crash", opErrs, ops)
+	}
+	if broker.Failovers() < 1 {
+		t.Fatalf("drill7: failovers = %d, want >= 1", broker.Failovers())
+	}
+	if broker.RenewFailures() != 0 {
+		t.Fatalf("drill7: %d renew rounds exhausted every replica", broker.RenewFailures())
+	}
+
+	// Readmission convergence: all three replicas know the session and
+	// agree on the reservation accounting, and none ever reaped the lease.
+	fed.WaitMirrors()
+	ref := fed.Mediator(0)
+	for i, med := range fed.Mediators() {
+		if got := med.Sessions(); got != 1 {
+			t.Fatalf("drill7: replica %d tracks %d sessions, want 1", i, got)
+		}
+		for a := 0; a < nAgents; a++ {
+			if med.AgentLoad(a) != ref.AgentLoad(a) {
+				t.Fatalf("drill7: replica %d agent %d load %g diverges from %g",
+					i, a, med.AgentLoad(a), ref.AgentLoad(a))
+			}
+		}
+		if med.NetLoad(0) != ref.NetLoad(0) {
+			t.Fatalf("drill7: replica %d net load diverges", i)
+		}
+		st, err := med.Status()
+		if err != nil {
+			t.Fatalf("drill7: replica %d status: %v", i, err)
+		}
+		if st.Expirations != 0 {
+			t.Fatalf("drill7: replica %d reaped %d leases — a lease lapsed", i, st.Expirations)
+		}
+	}
+
+	// Drain the current home mid-traffic: the session is handed to a peer
+	// before the replica goes away, and the heartbeat follows it.
+	drainHome := broker.Home()
+	drainIdx := medIdx(drainHome)
+	t.Logf("drill7: draining home mediator %s", drainHome)
+	if err := ctl.Apply(faultinject.Event{Kind: faultinject.KindDrainMediator, Mediator: drainIdx}); err != nil {
+		t.Fatalf("drill7: drain mediator: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := files[i%nObjs].ReadAt(buf[:4096], 0); err != nil {
+			t.Fatalf("drill7: read during drain: %v", err)
+		}
+		broker.Heartbeat()
+	}
+	if broker.Home() == drainHome {
+		t.Fatalf("drill7: session still heartbeats drained replica %s", drainHome)
+	}
+	if broker.RenewFailures() != 0 {
+		t.Fatalf("drill7: renewals rejected during drain: %d", broker.RenewFailures())
+	}
+	st, err := fed.Mediator(drainIdx).Status()
+	if err != nil {
+		t.Fatalf("drill7: drained replica status: %v", err)
+	}
+	if st.Role != "draining" || st.Handoffs < 1 || st.LastHandoff.IsZero() {
+		t.Fatalf("drill7: drain did not hand off: %+v", st)
+	}
+
+	// Spotless verification scrub, then byte-exact final audit.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rep := fs.ScrubOpen()
+		if rep.Clean() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drill7: stripe never quiesced: %s", rep)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, f := range files {
+		got := make([]byte, objSize)
+		if _, err := f.ReadAt(got, 0); err != nil {
+			t.Fatalf("drill7: final read fed-obj%d: %v", i, err)
+		}
+		if !bytes.Equal(got, mirrors[i]) {
+			t.Fatalf("drill7: final read fed-obj%d does not match mirror", i)
+		}
+	}
+
+	// Close the session through the broker: every replica must return to
+	// exactly zero reserved capacity — accounting converged, nothing leaked.
+	if err := broker.CloseSession(); err != nil {
+		t.Fatalf("drill7: close session: %v", err)
+	}
+	fed.WaitMirrors()
+	for i, med := range fed.Mediators() {
+		if got := med.Sessions(); got != 0 {
+			t.Fatalf("drill7: replica %d still tracks %d sessions after close", i, got)
+		}
+		for a := 0; a < nAgents; a++ {
+			if l := med.AgentLoad(a); l != 0 {
+				t.Fatalf("drill7: replica %d agent %d load %g after close", i, a, l)
+			}
+		}
+	}
+	t.Logf("drill7: %d ops across mediator kill+restart+drain, zero errors, %d failovers, leases never lapsed",
+		ops, broker.Failovers())
 }

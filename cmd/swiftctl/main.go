@@ -22,6 +22,9 @@
 //	scrub [OBJECT]        verify at-rest integrity and parity row by row;
 //	                      -repair heals from parity, -all scrubs every object
 //	bench [-mb N]         measure read & write data-rates against the agents
+//	mediators             probe each mediator replica: role, sessions,
+//	                      reserved ratios, failovers, handoffs (needs
+//	                      -mediators; no -agents required)
 //
 // Flags -unit, -parity, -parity-shards and -rate select the striping
 // parameters; -parity-shards k selects an m+k Reed–Solomon scheme whose
@@ -30,6 +33,14 @@
 // and unit size for a required data-rate in KB/s. With -lease-ttl the mediator reservation
 // is leased: swiftctl heartbeats it in the background for as long as the
 // command runs, and the reservation self-releases if the process dies.
+//
+// With -mediators NAME=HOST:PORT,... the session is opened against a
+// federated mediator tier (swiftd replicas started with -mediator)
+// instead of the built-in policy: the failover broker picks the key's
+// home replica, heartbeats the lease over the wire, and re-targets to a
+// surviving replica if the home crashes or drains mid-command. In that
+// mode -agents is optional for -rate commands — the tier's installation
+// model supplies the agent set.
 package main
 
 import (
@@ -42,16 +53,21 @@ import (
 
 	"swift"
 	"swift/internal/mediator"
+	"swift/internal/medrpc"
 	"swift/internal/stripe"
 	"swift/internal/transport/udpnet"
 )
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: swiftctl -agents HOST:PORT,... [flags] COMMAND [args]")
-	fmt.Fprintln(os.Stderr, "commands: put get cat stat ls rm status health stats scrub bench")
+	fmt.Fprintln(os.Stderr, "commands: put get cat stat ls rm status health stats scrub bench mediators")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
+
+// medClients are the wire stubs for the federated mediator tier, set
+// when -mediators is given; stats and the mediators command read them.
+var medClients []*medrpc.Client
 
 func main() {
 	agents := flag.String("agents", "", "comma-separated storage agent addresses")
@@ -62,20 +78,50 @@ func main() {
 	rate := flag.Float64("rate", 0, "required data-rate in KB/s (mediator picks agents and unit)")
 	agentRate := flag.Float64("agent-rate", 400, "per-agent deliverable rate in KB/s, for -rate")
 	leaseTTL := flag.Duration("lease-ttl", 0, "with -rate, lease the mediator reservation and heartbeat it")
+	mediators := flag.String("mediators", "", "federated mediator replicas as NAME=HOST:PORT,... (replaces the built-in policy for -rate)")
 	syncw := flag.Bool("sync", false, "synchronous writes")
 	flag.Usage = usage
 	flag.Parse()
 
-	if *agents == "" || flag.NArg() == 0 {
+	if flag.NArg() == 0 {
 		usage()
 	}
-	addrs := strings.Split(*agents, ",")
-	for i := range addrs {
-		addrs[i] = strings.TrimSpace(addrs[i])
+	host := udpnet.NewHost(*bind)
+	if *mediators != "" {
+		var err error
+		medClients, err = parseMediators(host, *mediators)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	// The mediators command talks only to the mediator tier: it must not
+	// require -agents or dial the storage set.
+	if flag.Arg(0) == "mediators" {
+		if len(medClients) == 0 {
+			fatal(fmt.Errorf("mediators needs -mediators NAME=HOST:PORT,..."))
+		}
+		if err := cmdMediators(medClients); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// With a federated tier and a rate requirement the agent set comes
+	// from the tier's installation model, so -agents may be omitted.
+	if *agents == "" && !(len(medClients) > 0 && *rate > 0) {
+		usage()
+	}
+	var addrs []string
+	if *agents != "" {
+		addrs = strings.Split(*agents, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
 	}
 
 	cfg := swift.Config{
-		Host:         udpnet.NewHost(*bind),
+		Host:         host,
 		Agents:       addrs,
 		StripeUnit:   *unit,
 		Parity:       *parity,
@@ -83,8 +129,63 @@ func main() {
 		SyncWrites:   *syncw,
 	}
 
-	// With a rate requirement, let the mediator build the transfer plan.
-	if *rate > 0 {
+	// With a rate requirement and a federated tier, open the session via
+	// the failover broker: the key's home replica builds the plan, the
+	// broker heartbeats the lease and re-targets if the home dies.
+	if *rate > 0 && len(medClients) > 0 {
+		eps := make([]swift.MediatorEndpoint, len(medClients))
+		for i, c := range medClients {
+			eps[i] = c
+		}
+		key, _ := os.Hostname()
+		if key == "" {
+			key = "swiftctl"
+		}
+		broker, err := swift.NewMediatorBroker(swift.BrokerConfig{
+			Endpoints: eps,
+			Key:       key,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "swiftctl: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rec, err := broker.OpenSession(swift.MediatorRequirements{
+			Rate:         *rate * 1024,
+			Redundancy:   *parity,
+			ParityShards: *parityShards,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ApplyPlan(&rec.Plan)
+		fmt.Fprintf(os.Stderr, "swiftctl: plan: %d agents, unit %d, parity shards %d via %s\n",
+			len(rec.Plan.Addrs), rec.Plan.Unit, rec.Plan.ParityShards, broker.Home())
+		fmt.Fprintf(os.Stderr, "swiftctl: session %d leased, expires %s\n",
+			rec.ID, rec.Expires.Format(time.RFC3339))
+		// Heartbeat over the wire while the command runs; the broker
+		// rotates to a surviving replica if the home crashes or drains.
+		stopRenew := make(chan struct{})
+		defer close(stopRenew)
+		go func() {
+			iv := *leaseTTL / 3
+			if iv <= 0 {
+				iv = 2 * time.Second
+			}
+			tick := time.NewTicker(iv)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopRenew:
+					return
+				case <-tick.C:
+					broker.Heartbeat()
+				}
+			}
+		}()
+		defer broker.CloseSession()
+	} else if *rate > 0 {
 		infos := make([]mediator.AgentInfo, len(addrs))
 		for i, a := range addrs {
 			infos[i] = mediator.AgentInfo{Addr: a, Rate: *agentRate * 1024, Net: 0}
@@ -185,6 +286,85 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "swiftctl: %v\n", err)
 	os.Exit(1)
+}
+
+// parseMediators parses NAME=HOST:PORT replica entries into wire stubs.
+func parseMediators(host *udpnet.Host, s string) ([]*medrpc.Client, error) {
+	var clients []*medrpc.Client
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(ent, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mediators entry %q (want NAME=HOST:PORT)", ent)
+		}
+		c, err := medrpc.NewClient(medrpc.ClientConfig{Host: host, Name: name, Addr: addr})
+		if err != nil {
+			return nil, fmt.Errorf("mediator %q: %w", name, err)
+		}
+		clients = append(clients, c)
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("empty -mediators")
+	}
+	return clients, nil
+}
+
+// cmdMediators probes each replica of the federated tier and prints its
+// operator-facing state: role, session counts, reservation headroom and
+// the failover/handoff history.
+func cmdMediators(clients []*medrpc.Client) error {
+	fmt.Printf("%-12s %-9s %8s %6s %8s %7s %10s %9s %8s  %s\n",
+		"replica", "role", "sessions", "home", "agents%", "net%",
+		"failovers", "handoffs", "expired", "last-handoff")
+	down := 0
+	for _, c := range clients {
+		st, err := c.Status()
+		if err != nil {
+			fmt.Printf("%-12s DOWN (%v)\n", c.Name(), err)
+			down++
+			continue
+		}
+		last := "-"
+		if !st.LastHandoff.IsZero() {
+			last = st.LastHandoff.Format(time.RFC3339)
+		}
+		fmt.Printf("%-12s %-9s %8d %6d %7.0f%% %6.0f%% %10d %9d %8d  %s\n",
+			st.Name, st.Role, st.Sessions, st.HomeSessions,
+			100*maxFrac(st.AgentReserved), 100*maxFrac(st.NetReserved),
+			st.Failovers, st.Handoffs, st.Expirations, last)
+	}
+	if down == len(clients) {
+		return fmt.Errorf("all %d mediator replicas are down", down)
+	}
+	return nil
+}
+
+func maxFrac(fs []float64) float64 {
+	var m float64
+	for _, f := range fs {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// printFederation appends the mediator tier's view to a stats snapshot:
+// one line per replica, DOWN for unreachable ones.
+func printFederation(clients []*medrpc.Client) {
+	for _, c := range clients {
+		st, err := c.Status()
+		if err != nil {
+			fmt.Printf("federation: %-12s DOWN (%v)\n", c.Name(), err)
+			continue
+		}
+		fmt.Printf("federation: %-12s %-9s sessions=%d home=%d failovers=%d handoffs=%d expired=%d\n",
+			st.Name, st.Role, st.Sessions, st.HomeSessions,
+			st.Failovers, st.Handoffs, st.Expirations)
+	}
 }
 
 func cmdPut(fs *swift.FS, args []string) error {
@@ -353,6 +533,7 @@ func cmdStats(fs *swift.FS, args []string) error {
 			defer fs.Remove("swiftctl-stats")
 		}
 		printStats(fs.Stats(), swift.MetricsSnapshot{}, 0)
+		printFederation(medClients)
 		return nil
 	}
 
@@ -376,6 +557,7 @@ func cmdStats(fs *swift.FS, args []string) error {
 		s := fs.Stats()
 		fmt.Printf("--- %s\n", time.Now().Format("15:04:05"))
 		printStats(s, prev, *every)
+		printFederation(medClients)
 		prev = s.Counters
 	}
 	return nil

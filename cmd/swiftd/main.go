@@ -3,11 +3,22 @@
 // clients. Deploy one per storage machine and point clients (swiftctl or
 // the swift package) at the set.
 //
+// It can also host a mediator replica — the admission-control tier — on
+// its own control port, either alongside the agent or standalone
+// (mediator-only, no store). Replicas given peers with -mediator-peers
+// federate: sessions admitted on any replica are mirrored to the others,
+// so clients fail over when a replica dies. On SIGTERM a mediator replica
+// drains first — live sessions are handed to peers so no lease lapses —
+// while SIGINT exits immediately (a crash, for drills).
+//
 // Usage:
 //
-//	swiftd -addr 127.0.0.1 -port 7070 -dir /var/swift  # file-backed
-//	swiftd -port 7071 -mem                             # memory-backed
-//	swiftd -port 7072 -sync                            # synchronous writes
+//	swiftd -addr 127.0.0.1 -port 7070 -dir /var/swift  # file-backed agent
+//	swiftd -port 7071 -mem                             # memory-backed agent
+//	swiftd -mediator 7060 -mediator-name med-a \
+//	       -mediator-peers med-b=h2:7060,med-c=h3:7060 \
+//	       -mediator-agents h1:7070@400,h2:7070@400 \
+//	       -lease-ttl 30s                              # mediator-only replica
 package main
 
 import (
@@ -16,10 +27,15 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
+	"time"
 
 	"swift/internal/agent"
 	"swift/internal/integrity"
+	"swift/internal/mediator"
+	"swift/internal/medrpc"
 	"swift/internal/obs"
 	"swift/internal/store"
 	"swift/internal/transport/udpnet"
@@ -31,17 +47,26 @@ func main() {
 
 	addr := flag.String("addr", "127.0.0.1", "IP address to bind")
 	port := flag.String("port", agent.DefaultPort, "well-known control port")
-	dir := flag.String("dir", "", "directory for the object store (required unless -mem)")
+	dir := flag.String("dir", "", "directory for the object store (required unless -mem or mediator-only)")
 	mem := flag.Bool("mem", false, "keep objects in memory instead of on disk")
 	sync := flag.Bool("sync", false, "write through to stable storage before acknowledging")
 	withIntegrity := flag.Bool("integrity", false, "store fragments in the block-checksum envelope (detects at-rest corruption)")
 	blockSize := flag.Int64("blocksize", 0, "integrity envelope block size in bytes (default 4096; implies -integrity)")
 	verbose := flag.Bool("v", false, "log protocol diagnostics and burst-level trace events")
 	metrics := flag.String("metrics", "", "HTTP address for /metrics, /trace and /debug/pprof (e.g. :9090; empty = off)")
+	medPort := flag.String("mediator", "", "serve a mediator replica on this control port (standalone when no store is given)")
+	medName := flag.String("mediator-name", "", "this replica's name within the federated tier (default ADDR:PORT)")
+	medPeers := flag.String("mediator-peers", "", "peer replicas as NAME=HOST:PORT,... (enables session mirroring)")
+	medAgents := flag.String("mediator-agents", "", "installation agents as ADDR@RATEKB,... for the admission model (required with -mediator)")
+	medNet := flag.Float64("mediator-net", 1<<20, "interconnect capacity in KB/s for the admission model")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "mediator session lease TTL (0 = sessions never expire)")
 	flag.Parse()
+
+	mediatorOnly := *medPort != "" && !*mem && *dir == ""
 
 	var st store.Store
 	switch {
+	case mediatorOnly:
 	case *mem:
 		st = store.NewMem()
 	case *dir != "":
@@ -51,33 +76,80 @@ func main() {
 		}
 		st = fs
 	default:
-		fmt.Fprintln(os.Stderr, "swiftd: need -dir DIR or -mem")
+		fmt.Fprintln(os.Stderr, "swiftd: need -dir DIR, -mem, or -mediator PORT")
 		os.Exit(2)
 	}
 
 	reg := obs.NewRegistry()
-	if *withIntegrity || *blockSize > 0 {
-		ist := integrity.NewStore(st, *blockSize)
-		reg.CounterFunc("swift_store_corruptions_total",
-			"At-rest corruption detected by the integrity envelope.", nil,
-			func() float64 { return float64(ist.Corruptions()) })
-		st = ist
-	}
 	host := udpnet.NewHost(*addr)
 	host.Register(reg)
-	cfg := agent.Config{Port: *port, SyncWrites: *sync, Obs: reg, Verbose: *verbose}
-	if *verbose {
-		cfg.Logf = log.Printf
+
+	var a *agent.Agent
+	if !mediatorOnly {
+		if *withIntegrity || *blockSize > 0 {
+			ist := integrity.NewStore(st, *blockSize)
+			reg.CounterFunc("swift_store_corruptions_total",
+				"At-rest corruption detected by the integrity envelope.", nil,
+				func() float64 { return float64(ist.Corruptions()) })
+			st = ist
+		}
+		cfg := agent.Config{Port: *port, SyncWrites: *sync, Obs: reg, Verbose: *verbose}
+		if *verbose {
+			cfg.Logf = log.Printf
+		}
+		var err error
+		a, err = agent.New(host, st, cfg)
+		if err != nil {
+			log.Fatalf("start: %v", err)
+		}
+		log.Printf("storage agent serving on %s (store=%s sync=%v integrity=%v)",
+			a.Addr(), storeDesc(*mem, *dir), *sync, *withIntegrity || *blockSize > 0)
 	}
-	a, err := agent.New(host, st, cfg)
-	if err != nil {
-		log.Fatalf("start: %v", err)
+
+	var med *mediator.Mediator
+	var medSrv *medrpc.Server
+	if *medPort != "" {
+		infos, err := parseMedAgents(*medAgents)
+		if err != nil {
+			log.Fatalf("mediator: %v", err)
+		}
+		name := *medName
+		if name == "" {
+			name = *addr + ":" + *medPort
+		}
+		med, err = mediator.New(mediator.Config{
+			Agents:   infos,
+			Nets:     []mediator.NetInfo{{Name: "net", Capacity: *medNet * 1024}},
+			Self:     name,
+			LeaseTTL: *leaseTTL,
+			Obs:      reg,
+		})
+		if err != nil {
+			log.Fatalf("mediator: %v", err)
+		}
+		peers, err := parseMedPeers(host, *medPeers)
+		if err != nil {
+			log.Fatalf("mediator: %v", err)
+		}
+		med.SetPeers(peers)
+		logf := func(string, ...any) {}
+		if *verbose {
+			logf = log.Printf
+		}
+		medSrv, err = medrpc.Serve(medrpc.ServerConfig{Host: host, Port: *medPort, Med: med, Logf: logf})
+		if err != nil {
+			log.Fatalf("mediator: %v", err)
+		}
+		log.Printf("mediator replica %q serving on %s (agents=%d peers=%d lease=%v)",
+			name, medSrv.Addr(), len(infos), len(peers), *leaseTTL)
 	}
-	log.Printf("storage agent serving on %s (store=%s sync=%v integrity=%v)",
-		a.Addr(), storeDesc(*mem, *dir), *sync, *withIntegrity || *blockSize > 0)
 
 	if *metrics != "" {
-		msrv, err := obs.Serve(*metrics, reg, a.Trace())
+		var tr *obs.TraceRing
+		if a != nil {
+			tr = a.Trace()
+		}
+		msrv, err := obs.Serve(*metrics, reg, tr)
 		if err != nil {
 			log.Fatalf("metrics: %v", err)
 		}
@@ -87,11 +159,81 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Printf("shutting down")
-	if err := a.Close(); err != nil {
-		log.Fatalf("close: %v", err)
+	s := <-sig
+	log.Printf("shutting down (%v)", s)
+	// SIGTERM is the graceful path: a mediator replica drains first,
+	// handing its live sessions to peers so zero leases lapse. SIGINT
+	// skips the drain — the crash path, which drills rely on.
+	if med != nil && s == syscall.SIGTERM {
+		handed, err := med.Drain()
+		if err != nil {
+			log.Printf("mediator drain: %v", err)
+		}
+		log.Printf("mediator drained: %d sessions handed to peers", handed)
 	}
+	if medSrv != nil {
+		medSrv.Close()
+	}
+	if med != nil {
+		med.Close()
+	}
+	if a != nil {
+		if err := a.Close(); err != nil {
+			log.Fatalf("close: %v", err)
+		}
+	}
+}
+
+// parseMedAgents parses the admission model's agent list: ADDR@RATEKB
+// entries, comma-separated, all on the single modeled interconnect.
+func parseMedAgents(s string) ([]mediator.AgentInfo, error) {
+	if s == "" {
+		return nil, fmt.Errorf("need -mediator-agents ADDR@RATEKB,...")
+	}
+	var infos []mediator.AgentInfo
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		addr, rateStr, ok := strings.Cut(ent, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -mediator-agents entry %q (want ADDR@RATEKB)", ent)
+		}
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("bad rate in -mediator-agents entry %q", ent)
+		}
+		infos = append(infos, mediator.AgentInfo{Addr: addr, Rate: rate * 1024, Net: 0})
+	}
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("empty -mediator-agents")
+	}
+	return infos, nil
+}
+
+// parseMedPeers parses NAME=HOST:PORT peer entries into wire stubs.
+func parseMedPeers(host *udpnet.Host, s string) ([]mediator.Peer, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var peers []mediator.Peer
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(ent, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mediator-peers entry %q (want NAME=HOST:PORT)", ent)
+		}
+		c, err := medrpc.NewClient(medrpc.ClientConfig{Host: host, Name: name, Addr: addr})
+		if err != nil {
+			return nil, fmt.Errorf("peer %q: %w", name, err)
+		}
+		peers = append(peers, c)
+	}
+	return peers, nil
 }
 
 func storeDesc(mem bool, dir string) string {

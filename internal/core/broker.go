@@ -1,0 +1,343 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"swift/internal/mediator"
+	"swift/internal/obs"
+)
+
+// MediatorEndpoint is one mediator replica as the client sees it. Both
+// *mediator.Mediator (in-process) and *medrpc.Client (wire) satisfy it,
+// so the failover logic is transport-agnostic.
+type MediatorEndpoint interface {
+	Name() string
+	Admit(req mediator.Requirements) (*mediator.SessionRecord, error)
+	RenewSession(rec mediator.SessionRecord) (string, error)
+	CloseSession(id uint64) error
+	Status() (mediator.ReplicaStatus, error)
+}
+
+// Broker errors.
+var (
+	// ErrNoMediatorSession is returned by Renew/CloseSession before a
+	// session has been opened (or after it was closed).
+	ErrNoMediatorSession = errors.New("core: no mediator session")
+	// ErrMediatorsDown is returned when every replica failed an
+	// operation across the whole retry budget.
+	ErrMediatorsDown = errors.New("core: all mediator replicas failed")
+)
+
+// BrokerConfig configures a MediatorBroker.
+type BrokerConfig struct {
+	// Endpoints are the mediator replicas, in any order; the broker
+	// derives the per-key placement order itself.
+	Endpoints []MediatorEndpoint
+	// Key is the client's placement key: it decides the home replica and
+	// the failover sequence. Empty falls back to "client".
+	Key string
+	// RetryTimeout is the pause before re-walking the whole replica set
+	// after every endpoint failed once (default 50ms); it doubles per
+	// walk, capped at MaxRetryTimeout (default 1s), with Attempts
+	// (default 3) full walks before giving up.
+	RetryTimeout    time.Duration
+	MaxRetryTimeout time.Duration
+	Attempts        int
+	// Sleep implements the backoff pause (default time.Sleep); tests
+	// inject a fake.
+	Sleep func(time.Duration)
+	Logf  func(format string, args ...any)
+	// Obs, when non-nil, receives the broker's failover counters.
+	Obs *obs.Registry
+}
+
+// MediatorBroker is the client-side mediator failover layer: it opens a
+// session against the key's home replica, heartbeats it, and — when the
+// home stops answering — rotates through the surviving replicas in
+// placement order, re-targeting renewals (or re-adopting the session from
+// the record the client holds) so a mediator crash or drain never costs
+// the client its reservations.
+type MediatorBroker struct {
+	cfg   BrokerConfig
+	order []MediatorEndpoint // placement order for cfg.Key
+
+	mu        sync.Mutex
+	rec       *mediator.SessionRecord
+	home      string
+	failovers int64
+	renewErrs int64
+
+	telFailovers *obs.Counter
+	telRetries   *obs.Counter
+}
+
+// NewMediatorBroker validates the replica set and derives the placement
+// order for the broker's key.
+func NewMediatorBroker(cfg BrokerConfig) (*MediatorBroker, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, errors.New("core: broker needs at least one mediator endpoint")
+	}
+	if cfg.Key == "" {
+		cfg.Key = "client"
+	}
+	if cfg.RetryTimeout <= 0 {
+		cfg.RetryTimeout = 50 * time.Millisecond
+	}
+	if cfg.MaxRetryTimeout <= 0 {
+		cfg.MaxRetryTimeout = time.Second
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 3
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	byName := make(map[string]MediatorEndpoint, len(cfg.Endpoints))
+	names := make([]string, 0, len(cfg.Endpoints))
+	for _, ep := range cfg.Endpoints {
+		if _, dup := byName[ep.Name()]; dup {
+			return nil, fmt.Errorf("core: duplicate mediator replica name %q", ep.Name())
+		}
+		byName[ep.Name()] = ep
+		names = append(names, ep.Name())
+	}
+	b := &MediatorBroker{cfg: cfg}
+	for _, name := range mediator.PlaceOrder(cfg.Key, names) {
+		b.order = append(b.order, byName[name])
+	}
+	if reg := cfg.Obs; reg != nil {
+		b.telFailovers = reg.Counter("swift_client_mediator_failovers_total",
+			"Times the client re-targeted its mediator session to a different replica.", nil)
+		b.telRetries = reg.Counter("swift_client_mediator_retries_total",
+			"Full replica-set walks repeated after every replica failed once.", nil)
+	}
+	return b, nil
+}
+
+// backoff is the pause before retry walk number attempt (1-based):
+// capped exponential with ±25% jitter.
+func (b *MediatorBroker) backoff(attempt int) time.Duration {
+	d := b.cfg.RetryTimeout
+	for i := 1; i < attempt && d < b.cfg.MaxRetryTimeout; i++ {
+		d *= 2
+	}
+	if d > b.cfg.MaxRetryTimeout {
+		d = b.cfg.MaxRetryTimeout
+	}
+	if j := int64(d / 4); j > 0 {
+		d += time.Duration(rand.Int63n(2*j+1) - j)
+	}
+	return d
+}
+
+// candidates returns the endpoints to try, the current home first and
+// the rest in placement order.
+func (b *MediatorBroker) candidates(home string) []MediatorEndpoint {
+	if home == "" {
+		return b.order
+	}
+	out := make([]MediatorEndpoint, 0, len(b.order))
+	for _, ep := range b.order {
+		if ep.Name() == home {
+			out = append(out, ep)
+		}
+	}
+	for _, ep := range b.order {
+		if ep.Name() != home {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// setHome records the session's home, counting a failover when it moved.
+func (b *MediatorBroker) setHome(home string, viaFailure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.home != "" && home != b.home {
+		b.failovers++
+		if viaFailure {
+			b.cfg.Logf("swift: mediator failover: %s -> %s", b.home, home)
+		} else {
+			b.cfg.Logf("swift: mediator handoff: %s -> %s", b.home, home)
+		}
+		if b.telFailovers != nil {
+			b.telFailovers.Inc()
+		}
+	}
+	b.home = home
+	if b.rec != nil {
+		b.rec.Home = home
+	}
+}
+
+// OpenSession admits a session on the key's home replica, failing over
+// through the placement order. A genuine admission rejection
+// (ErrUnsatisfiable) is returned immediately — every replica runs the
+// same admission arithmetic, so rotating cannot help.
+func (b *MediatorBroker) OpenSession(req mediator.Requirements) (*mediator.SessionRecord, error) {
+	if req.Key == "" {
+		req.Key = b.cfg.Key
+	}
+	var lastErr error
+	for attempt := 1; attempt <= b.cfg.Attempts; attempt++ {
+		if attempt > 1 {
+			if b.telRetries != nil {
+				b.telRetries.Inc()
+			}
+			b.cfg.Sleep(b.backoff(attempt))
+		}
+		for _, ep := range b.order {
+			rec, err := ep.Admit(req)
+			if err == nil {
+				b.mu.Lock()
+				cp := *rec
+				b.rec = &cp
+				b.home = rec.Home
+				if b.home == "" {
+					b.home = ep.Name()
+				}
+				b.mu.Unlock()
+				out := *rec
+				return &out, nil
+			}
+			if errors.Is(err, mediator.ErrUnsatisfiable) {
+				return nil, err
+			}
+			lastErr = err
+			b.cfg.Logf("swift: mediator open on %s: %v", ep.Name(), err)
+		}
+	}
+	return nil, fmt.Errorf("%w: open: %w", ErrMediatorsDown, lastErr)
+}
+
+// Renew heartbeats the session: the home replica first, then — on any
+// failure — the surviving replicas in placement order, each of which
+// will renew its mirrored copy or adopt the session outright from the
+// record the broker carries. A healthy home that answers with a
+// different replica name (because it is draining and handed the session
+// off) re-targets the broker without counting a failover.
+func (b *MediatorBroker) Renew() error {
+	b.mu.Lock()
+	rec := b.rec
+	home := b.home
+	var recCopy mediator.SessionRecord
+	if rec != nil {
+		recCopy = *rec
+	}
+	b.mu.Unlock()
+	if rec == nil {
+		return ErrNoMediatorSession
+	}
+	var lastErr error
+	for attempt := 1; attempt <= b.cfg.Attempts; attempt++ {
+		if attempt > 1 {
+			if b.telRetries != nil {
+				b.telRetries.Inc()
+			}
+			b.cfg.Sleep(b.backoff(attempt))
+		}
+		for _, ep := range b.candidates(home) {
+			newHome, err := ep.RenewSession(recCopy)
+			if err == nil {
+				if newHome == "" {
+					newHome = ep.Name()
+				}
+				b.setHome(newHome, ep.Name() != home)
+				return nil
+			}
+			lastErr = err
+			if !errors.Is(err, mediator.ErrDraining) {
+				b.cfg.Logf("swift: mediator renew on %s: %v", ep.Name(), err)
+			}
+		}
+	}
+	b.mu.Lock()
+	b.renewErrs++
+	b.mu.Unlock()
+	return fmt.Errorf("%w: renew session %d: %w", ErrMediatorsDown, recCopy.ID, lastErr)
+}
+
+// Heartbeat is Renew shaped for Config.Heartbeat: failures are logged
+// and counted (RenewFailures) rather than returned.
+func (b *MediatorBroker) Heartbeat() {
+	if err := b.Renew(); err != nil && !errors.Is(err, ErrNoMediatorSession) {
+		b.cfg.Logf("swift: mediator heartbeat: %v", err)
+	}
+}
+
+// CloseSession releases the session, rotating to a survivor when the
+// home replica is gone (the survivor holds a mirrored copy). Closing
+// with no session open is a no-op.
+func (b *MediatorBroker) CloseSession() error {
+	b.mu.Lock()
+	rec := b.rec
+	home := b.home
+	b.rec = nil
+	b.home = ""
+	b.mu.Unlock()
+	if rec == nil {
+		return nil
+	}
+	var lastErr error
+	for attempt := 1; attempt <= b.cfg.Attempts; attempt++ {
+		if attempt > 1 {
+			b.cfg.Sleep(b.backoff(attempt))
+		}
+		for _, ep := range b.candidates(home) {
+			err := ep.CloseSession(rec.ID)
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+		}
+	}
+	// The lease janitor will reap the reservations within one TTL.
+	return fmt.Errorf("%w: close session %d: %w", ErrMediatorsDown, rec.ID, lastErr)
+}
+
+// Record returns a copy of the session record the broker holds, or nil
+// before OpenSession.
+func (b *MediatorBroker) Record() *mediator.SessionRecord {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rec == nil {
+		return nil
+	}
+	cp := *b.rec
+	return &cp
+}
+
+// Home returns the replica currently holding the session's lease.
+func (b *MediatorBroker) Home() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.home
+}
+
+// Failovers returns how many times the session re-targeted to a
+// different replica (failovers and drain handoffs).
+func (b *MediatorBroker) Failovers() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failovers
+}
+
+// RenewFailures returns how many renew rounds exhausted every replica.
+func (b *MediatorBroker) RenewFailures() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.renewErrs
+}
+
+// Endpoints returns the replicas in placement order for the broker's key.
+func (b *MediatorBroker) Endpoints() []MediatorEndpoint {
+	return append([]MediatorEndpoint(nil), b.order...)
+}

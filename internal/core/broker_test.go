@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"swift/internal/mediator"
+)
+
+// brokerFed builds a 3-replica in-process federation with leases on a
+// fake clock and a broker over it that never sleeps.
+func brokerFed(t *testing.T, key string) (*mediator.Federation, *MediatorBroker) {
+	t.Helper()
+	agents := make([]mediator.AgentInfo, 6)
+	for i := range agents {
+		agents[i] = mediator.AgentInfo{Addr: "agent:7070", Rate: 400e3, Net: i / 3}
+	}
+	clk := struct {
+		mu  sync.Mutex
+		now time.Time
+	}{now: time.Unix(1000, 0)}
+	base := mediator.Config{
+		Agents:   agents,
+		Nets:     []mediator.NetInfo{{Name: "lab", Capacity: 1.12e6}, {Name: "dept", Capacity: 1.12e6}},
+		LeaseTTL: time.Minute,
+		Now: func() time.Time {
+			clk.mu.Lock()
+			defer clk.mu.Unlock()
+			return clk.now
+		},
+	}
+	f, err := mediator.NewFederation([]string{"med-a", "med-b", "med-c"}, base)
+	if err != nil {
+		t.Fatalf("federation: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	var eps []MediatorEndpoint
+	for _, m := range f.Mediators() {
+		eps = append(eps, m)
+	}
+	b, err := NewMediatorBroker(BrokerConfig{
+		Endpoints: eps,
+		Key:       key,
+		Sleep:     func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatalf("broker: %v", err)
+	}
+	return f, b
+}
+
+// fedIndex maps a replica name to its federation index.
+func fedIndex(t *testing.T, f *mediator.Federation, name string) int {
+	t.Helper()
+	for i, n := range f.Names() {
+		if n == name {
+			return i
+		}
+	}
+	t.Fatalf("no replica named %q", name)
+	return -1
+}
+
+func TestBrokerOpensOnHomeReplica(t *testing.T) {
+	f, b := brokerFed(t, "tenant-a")
+	rec, err := b.OpenSession(mediator.Requirements{Rate: 400e3})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	want := mediator.Place("tenant-a", f.Names())
+	if b.Home() != want || rec.Home != want {
+		t.Fatalf("home = %q/%q, want %q", b.Home(), rec.Home, want)
+	}
+	if b.Failovers() != 0 {
+		t.Fatalf("failovers = %d on a clean open", b.Failovers())
+	}
+	if err := b.CloseSession(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	f.WaitMirrors()
+	for i, m := range f.Mediators() {
+		if n := m.Sessions(); n != 0 {
+			t.Fatalf("replica %d: %d sessions after close", i, n)
+		}
+	}
+}
+
+// TestBrokerFailoverMatrix kills the home replica at each stage of the
+// session life cycle and asserts the broker lands on a survivor without
+// losing the session.
+func TestBrokerFailoverMatrix(t *testing.T) {
+	t.Run("home dead before open", func(t *testing.T) {
+		f, b := brokerFed(t, "tenant-a")
+		home := mediator.Place("tenant-a", f.Names())
+		f.Kill(fedIndex(t, f, home))
+		rec, err := b.OpenSession(mediator.Requirements{Rate: 400e3})
+		if err != nil {
+			t.Fatalf("open with dead home: %v", err)
+		}
+		if rec.Home == home || b.Home() == home {
+			t.Fatalf("session homed on the dead replica %q", home)
+		}
+		if err := b.Renew(); err != nil {
+			t.Fatalf("renew: %v", err)
+		}
+	})
+
+	t.Run("home dead after open, mirror arrived", func(t *testing.T) {
+		f, b := brokerFed(t, "tenant-a")
+		if _, err := b.OpenSession(mediator.Requirements{Rate: 400e3}); err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		home := b.Home()
+		f.WaitMirrors() // the mirror reached the survivors
+		f.Kill(fedIndex(t, f, home))
+		if err := b.Renew(); err != nil {
+			t.Fatalf("renew after home crash: %v", err)
+		}
+		if b.Home() == home {
+			t.Fatal("renew did not re-target off the dead home")
+		}
+		if b.Failovers() != 1 {
+			t.Fatalf("failovers = %d, want 1", b.Failovers())
+		}
+		if b.RenewFailures() != 0 {
+			t.Fatalf("renew failures = %d, want 0", b.RenewFailures())
+		}
+		// The survivor adopted; its accounting carries the session.
+		surv := fedIndex(t, f, b.Home())
+		st, err := f.Mediator(surv).Status()
+		if err != nil {
+			t.Fatalf("survivor status: %v", err)
+		}
+		if st.HomeSessions != 1 || st.Failovers != 1 {
+			t.Fatalf("survivor status after adoption: %+v", st)
+		}
+	})
+
+	t.Run("home dead before first mirror flushed", func(t *testing.T) {
+		// Worst case: the home crashed before replicating the session.
+		// The broker still holds the record, so a survivor adopts it
+		// wholesale from the renewal.
+		f, b := brokerFed(t, "tenant-a")
+		if _, err := b.OpenSession(mediator.Requirements{Rate: 400e3}); err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		home := b.Home()
+		// Kill without WaitMirrors: with the fan-out loop dead the queued
+		// mirror is never offered, simulating a crash before replication.
+		f.Kill(fedIndex(t, f, home))
+		if err := b.Renew(); err != nil {
+			t.Fatalf("renew with unreplicated session: %v", err)
+		}
+		if b.Home() == home {
+			t.Fatal("renew did not re-target")
+		}
+		surv := fedIndex(t, f, b.Home())
+		if n := f.Mediator(surv).Sessions(); n != 1 {
+			t.Fatalf("survivor sessions = %d, want the adopted 1", n)
+		}
+	})
+
+	t.Run("drain re-targets without failures", func(t *testing.T) {
+		f, b := brokerFed(t, "tenant-a")
+		if _, err := b.OpenSession(mediator.Requirements{Rate: 400e3}); err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		home := b.Home()
+		idx := fedIndex(t, f, home)
+		// Renewals race the drain from several goroutines; none may fail.
+		var wg sync.WaitGroup
+		errs := make(chan error, 64)
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					if err := b.Renew(); err != nil {
+						errs <- err
+					}
+				}
+			}()
+		}
+		handed, err := f.Drain(idx)
+		wg.Wait()
+		close(errs)
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		if handed != 1 {
+			t.Fatalf("handed = %d, want 1", handed)
+		}
+		for err := range errs {
+			t.Fatalf("renew rejected during drain: %v", err)
+		}
+		// The next heartbeat follows the handoff to the new home.
+		if err := b.Renew(); err != nil {
+			t.Fatalf("post-drain renew: %v", err)
+		}
+		if b.Home() == home {
+			t.Fatal("broker still heartbeats the drained replica")
+		}
+		if b.RenewFailures() != 0 {
+			t.Fatalf("renew failures = %d during drain", b.RenewFailures())
+		}
+	})
+}
+
+func TestBrokerSurfacesUnsatisfiableImmediately(t *testing.T) {
+	_, b := brokerFed(t, "tenant-a")
+	walks := 0
+	b.cfg.Sleep = func(time.Duration) { walks++ }
+	if _, err := b.OpenSession(mediator.Requirements{Rate: 1e9}); !errors.Is(err, mediator.ErrUnsatisfiable) {
+		t.Fatalf("err = %v, want ErrUnsatisfiable", err)
+	}
+	if walks != 0 {
+		t.Fatalf("broker backed off %d times on a hopeless request", walks)
+	}
+}
+
+func TestBrokerAllReplicasDown(t *testing.T) {
+	f, b := brokerFed(t, "tenant-a")
+	rec, err := b.OpenSession(mediator.Requirements{Rate: 100e3})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f.WaitMirrors()
+	for i := range f.Names() {
+		f.Kill(i)
+	}
+	if err := b.Renew(); !errors.Is(err, ErrMediatorsDown) {
+		t.Fatalf("renew err = %v, want ErrMediatorsDown", err)
+	}
+	if b.RenewFailures() != 1 {
+		t.Fatalf("renew failures = %d, want 1", b.RenewFailures())
+	}
+	if err := b.CloseSession(); !errors.Is(err, ErrMediatorsDown) {
+		t.Fatalf("close err = %v, want ErrMediatorsDown", err)
+	}
+	_ = rec
+}
+
+func TestBrokerRenewWithoutSession(t *testing.T) {
+	_, b := brokerFed(t, "k")
+	if err := b.Renew(); !errors.Is(err, ErrNoMediatorSession) {
+		t.Fatalf("err = %v, want ErrNoMediatorSession", err)
+	}
+	if err := b.CloseSession(); err != nil {
+		t.Fatalf("close without session: %v", err)
+	}
+}

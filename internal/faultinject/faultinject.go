@@ -36,26 +36,30 @@ type Kind int
 // Fault kinds. Each *Burst/Spike/Crash/Pause/Partition kind has a healing
 // counterpart that restores normal operation.
 const (
-	KindInvalid       Kind = iota
-	KindCrashAgent         // kill the agent process; its sessions and handles die
-	KindRestartAgent       // restart the agent process on the same host and store
-	KindPauseHost          // freeze the agent host's protocol stack
-	KindResumeHost         // thaw it
-	KindPartition          // isolate the agent's host on all its segments
-	KindHealPartition      // clear every isolation on the agent's segments
-	KindLatencySpike       // add Event.Latency to the segment's delivery time
-	KindLatencyClear       // restore normal latency
-	KindLossBurst          // set the segment's loss rate to Event.Rate
-	KindLossClear          // restore zero injected loss
-	KindCorruptBurst       // flip payload bytes with probability Event.Rate
-	KindCorruptClear       // stop corrupting
-	KindBitrot             // flip bytes at rest in the agent's store (beneath the integrity envelope)
+	KindInvalid         Kind = iota
+	KindCrashAgent           // kill the agent process; its sessions and handles die
+	KindRestartAgent         // restart the agent process on the same host and store
+	KindPauseHost            // freeze the agent host's protocol stack
+	KindResumeHost           // thaw it
+	KindPartition            // isolate the agent's host on all its segments
+	KindHealPartition        // clear every isolation on the agent's segments
+	KindLatencySpike         // add Event.Latency to the segment's delivery time
+	KindLatencyClear         // restore normal latency
+	KindLossBurst            // set the segment's loss rate to Event.Rate
+	KindLossClear            // restore zero injected loss
+	KindCorruptBurst         // flip payload bytes with probability Event.Rate
+	KindCorruptClear         // stop corrupting
+	KindBitrot               // flip bytes at rest in the agent's store (beneath the integrity envelope)
+	KindKillMediator         // crash mediator replica Event.Mediator; its leases freeze in place
+	KindRestartMediator      // restart the replica empty; it reconciles from surviving peers
+	KindDrainMediator        // gracefully drain the replica: hand its sessions to peers
 )
 
 var kindNames = [...]string{
 	"invalid", "crash-agent", "restart-agent", "pause-host", "resume-host",
 	"partition", "heal-partition", "latency-spike", "latency-clear",
 	"loss-burst", "loss-clear", "corrupt-burst", "corrupt-clear", "bitrot",
+	"kill-mediator", "restart-mediator", "drain-mediator",
 }
 
 func (k Kind) String() string {
@@ -83,6 +87,8 @@ type Event struct {
 	// Seed parameterizes bitrot events: it makes the byte flips the
 	// Cluster.Bitrot callback performs deterministic per event.
 	Seed int64
+	// Mediator is the target replica index for mediator faults.
+	Mediator int
 }
 
 func (e Event) String() string {
@@ -95,6 +101,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v seg%d @%v", e.Kind, e.Segment, e.At)
 	case KindBitrot:
 		return fmt.Sprintf("%v agent%d seed=%d @%v", e.Kind, e.Agent, e.Seed, e.At)
+	case KindKillMediator, KindRestartMediator, KindDrainMediator:
+		return fmt.Sprintf("%v med%d @%v", e.Kind, e.Mediator, e.At)
 	default:
 		return fmt.Sprintf("%v agent%d @%v", e.Kind, e.Agent, e.At)
 	}
@@ -122,6 +130,16 @@ type Cluster struct {
 	// events. The harness owns the stores, so it decides which objects
 	// and offsets rot.
 	Bitrot func(i int, seed int64) error
+	// KillMediator crashes mediator replica i in place: every subsequent
+	// operation on it fails until RestartMediator. Nil disables mediator
+	// fault events.
+	KillMediator func(i int) error
+	// RestartMediator replaces a killed replica with a fresh, empty one
+	// that reconciles its session state from surviving peers.
+	RestartMediator func(i int) error
+	// DrainMediator gracefully drains replica i, handing its live
+	// sessions to peers before it goes away.
+	DrainMediator func(i int) error
 }
 
 // Controller applies fault events to a cluster and keeps a log of what it
@@ -244,6 +262,27 @@ func (ctl *Controller) Apply(e Event) error {
 		} else {
 			s.SetCorruptRate(0)
 		}
+	case KindKillMediator:
+		if ctl.c.KillMediator == nil {
+			return fmt.Errorf("faultinject: no KillMediator callback")
+		}
+		if err := ctl.c.KillMediator(e.Mediator); err != nil {
+			return fmt.Errorf("faultinject: kill mediator %d: %w", e.Mediator, err)
+		}
+	case KindRestartMediator:
+		if ctl.c.RestartMediator == nil {
+			return fmt.Errorf("faultinject: no RestartMediator callback")
+		}
+		if err := ctl.c.RestartMediator(e.Mediator); err != nil {
+			return fmt.Errorf("faultinject: restart mediator %d: %w", e.Mediator, err)
+		}
+	case KindDrainMediator:
+		if ctl.c.DrainMediator == nil {
+			return fmt.Errorf("faultinject: no DrainMediator callback")
+		}
+		if err := ctl.c.DrainMediator(e.Mediator); err != nil {
+			return fmt.Errorf("faultinject: drain mediator %d: %w", e.Mediator, err)
+		}
 	default:
 		return fmt.Errorf("faultinject: unknown event kind %v", e.Kind)
 	}
@@ -320,6 +359,9 @@ type ScheduleOpts struct {
 	// Agents and Segments size the target space (required, >= 1 each).
 	Agents   int
 	Segments int
+	// Mediators sizes the mediator replica tier; required (>= 1) only
+	// when Kinds includes KindKillMediator.
+	Mediators int
 	// Duration is the total schedule length (required).
 	Duration time.Duration
 	// MinFault/MaxFault bound each fault window (defaults Duration/20
@@ -408,6 +450,14 @@ func RandomSchedule(seed int64, o ScheduleOpts) []Event {
 			// the client's read-repair and scrubber are the cure. The
 			// window passes fault-free, giving them room to run.
 			evs = append(evs, Event{At: t, Kind: KindBitrot, Agent: agent, Seed: rng.Int63()})
+		case KindKillMediator:
+			med := 0
+			if o.Mediators > 0 {
+				med = rng.Intn(o.Mediators)
+			}
+			evs = append(evs,
+				Event{At: t, Kind: KindKillMediator, Mediator: med},
+				Event{At: t + window, Kind: KindRestartMediator, Mediator: med})
 		}
 		t += window + o.Gap
 	}

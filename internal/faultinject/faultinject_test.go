@@ -192,3 +192,64 @@ func TestRandomScheduleDeterministicSerialized(t *testing.T) {
 		t.Fatal("different seeds produced identical schedules")
 	}
 }
+
+func TestApplyMediatorCallbacks(t *testing.T) {
+	c, _, _ := testCluster(t)
+	var killed, restarted, drained int
+	c.KillMediator = func(i int) error { killed = i + 1; return nil }
+	c.RestartMediator = func(i int) error { restarted = i + 1; return nil }
+	c.DrainMediator = func(i int) error { drained = i + 1; return nil }
+	ctl := New(c, nil)
+	for _, e := range []Event{
+		{Kind: KindKillMediator, Mediator: 1},
+		{Kind: KindRestartMediator, Mediator: 1},
+		{Kind: KindDrainMediator, Mediator: 2},
+	} {
+		if err := ctl.Apply(e); err != nil {
+			t.Fatalf("%v: %v", e.Kind, err)
+		}
+	}
+	if killed != 2 || restarted != 2 || drained != 3 {
+		t.Fatalf("killed=%d restarted=%d drained=%d", killed, restarted, drained)
+	}
+	log := ctl.Log()
+	if len(log) != 3 || log[0] != "kill-mediator med1 @0s" {
+		t.Fatalf("log: %v", log)
+	}
+
+	c.KillMediator = nil
+	ctl2 := New(c, nil)
+	if err := ctl2.Apply(Event{Kind: KindKillMediator}); err == nil {
+		t.Fatal("kill-mediator without callback did not error")
+	}
+}
+
+func TestRandomScheduleMediatorKills(t *testing.T) {
+	evs := RandomSchedule(5, ScheduleOpts{
+		Agents: 4, Segments: 1, Mediators: 3,
+		Duration: 10 * time.Second,
+		MinFault: 200 * time.Millisecond, MaxFault: 400 * time.Millisecond,
+		Kinds: []Kind{KindKillMediator},
+	})
+	if len(evs) == 0 {
+		t.Fatal("no events scheduled")
+	}
+	if len(evs)%2 != 0 {
+		t.Fatalf("kill without restart: %d events", len(evs))
+	}
+	for i := 0; i < len(evs); i += 2 {
+		kill, restart := evs[i], evs[i+1]
+		if kill.Kind != KindKillMediator || restart.Kind != KindRestartMediator {
+			t.Fatalf("window %d: %v then %v", i/2, kill.Kind, restart.Kind)
+		}
+		if kill.Mediator != restart.Mediator {
+			t.Fatalf("window %d kills med%d but restarts med%d", i/2, kill.Mediator, restart.Mediator)
+		}
+		if kill.Mediator < 0 || kill.Mediator >= 3 {
+			t.Fatalf("window %d targets mediator %d of 3", i/2, kill.Mediator)
+		}
+		if restart.At <= kill.At {
+			t.Fatalf("window %d restart not after kill", i/2)
+		}
+	}
+}

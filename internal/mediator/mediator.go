@@ -51,6 +51,12 @@ type NetInfo struct {
 type Config struct {
 	Agents []AgentInfo
 	Nets   []NetInfo
+	// Self is this replica's name within a federated mediator tier.
+	// Empty means an unfederated, single mediator (the pre-federation
+	// behaviour). Federated replicas namespace their session ids with a
+	// hash of Self so ids admitted on different replicas never collide,
+	// and label their metrics with {replica="Self"}.
+	Self string
 	// MinUnit and MaxUnit bound the striping unit (defaults 4 KiB and
 	// 256 KiB). Units are powers of two.
 	MinUnit, MaxUnit int64
@@ -82,6 +88,10 @@ type Requirements struct {
 	// tolerance of that many simultaneous agent failures at the cost of
 	// as many extra agents. Setting it implies Redundancy.
 	ParityShards int
+	// Key is the client's placement key within a federated tier: it
+	// decides which replica is the session's home and the failover order
+	// (see PlaceOrder). Empty is allowed; drains then place by session id.
+	Key string
 }
 
 // Plan is a transfer plan: everything the distribution agent needs to
@@ -96,26 +106,44 @@ type Plan struct {
 	Rate         float64 // granted (reserved) data-rate, bytes/second
 }
 
-// session is one admitted plan plus its lease state.
+// session is one admitted plan plus its lease and federation state.
 type session struct {
 	plan    *Plan
 	expires time.Time // zero when leases are disabled
+	key     string    // placement key (federation)
+	home    string    // replica responsible for the lease
 }
+
+// Session-id namespacing for federated replicas: the top 16 bits hash the
+// replica name, the low 48 carry the per-replica sequence.
+const (
+	idBaseMask = uint64(0xFFFF) << 48
+	idSeqMask  = ^idBaseMask
+)
 
 // Mediator tracks reservations against the installation's capacities.
 type Mediator struct {
-	cfg Config
+	cfg    Config
+	self   string // cfg.Self
+	idBase uint64 // session-id namespace, 0 when unfederated
 
 	tel *telemetry
 
-	mu        sync.Mutex
-	agentLoad []float64
-	netLoad   []float64
-	sessions  map[uint64]*session
-	nextID    uint64
+	mu          sync.Mutex
+	agentLoad   []float64
+	netLoad     []float64
+	sessions    map[uint64]*session
+	nextID      uint64
+	peers       []Peer
+	outbox      chan mirrorMsg
+	draining    bool
+	killed      bool
+	lastHandoff time.Time
 
 	janStop chan struct{}
 	janDone chan struct{}
+	mirStop chan struct{}
+	mirDone chan struct{}
 }
 
 // New validates the installation description and returns a mediator.
@@ -152,9 +180,16 @@ func New(cfg Config) (*Mediator, error) {
 	}
 	m := &Mediator{
 		cfg:       cfg,
+		self:      cfg.Self,
 		agentLoad: make([]float64, len(cfg.Agents)),
 		netLoad:   make([]float64, len(cfg.Nets)),
 		sessions:  make(map[uint64]*session),
+	}
+	if cfg.Self != "" {
+		m.idBase = (placeScore("", cfg.Self) & 0xFFFF) << 48
+		if m.idBase == 0 {
+			m.idBase = 1 << 48 // keep federated ids out of the unfederated space
+		}
 	}
 	m.initTelemetry(cfg.Obs)
 	if cfg.LeaseTTL > 0 {
@@ -172,16 +207,17 @@ func (m *Mediator) startJanitor() {
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
 	}
-	m.janStop = make(chan struct{})
-	m.janDone = make(chan struct{})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	m.janStop, m.janDone = stop, done
 	go func() {
-		defer close(m.janDone)
+		defer close(done)
 		//lint:allow clockcheck the janitor ticker only bounds reap latency; lease expiry itself is judged with cfg.Now
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
 			select {
-			case <-m.janStop:
+			case <-stop:
 				return
 			case <-t.C:
 				m.ExpireNow()
@@ -190,15 +226,30 @@ func (m *Mediator) startJanitor() {
 	}()
 }
 
-// Close stops the lease janitor, if running. The mediator's bookkeeping
-// remains usable afterwards (expiry still applies lazily).
+// Close stops the lease janitor and the mirror fan-out loop, if running.
+// The mediator's bookkeeping remains usable afterwards (expiry still
+// applies lazily).
 func (m *Mediator) Close() error {
-	if m.janStop != nil {
-		close(m.janStop)
-		<-m.janDone
-		m.janStop, m.janDone = nil, nil
-	}
+	m.stopLoops()
 	return nil
+}
+
+// stopLoops shuts the janitor and mirror goroutines down, idempotently.
+func (m *Mediator) stopLoops() {
+	m.mu.Lock()
+	janStop, janDone := m.janStop, m.janDone
+	m.janStop = nil
+	mirStop, mirDone := m.mirStop, m.mirDone
+	m.mirStop = nil
+	m.mu.Unlock()
+	if janStop != nil {
+		close(janStop)
+		<-janDone
+	}
+	if mirStop != nil {
+		close(mirStop)
+		<-mirDone
+	}
 }
 
 // ExpireNow sweeps expired leases, releasing their reservations, and
@@ -210,14 +261,19 @@ func (m *Mediator) ExpireNow() int {
 }
 
 // expireLocked releases every session whose lease has lapsed; m.mu held.
+// A lease is valid through its deadline instant: a renew arriving at
+// exactly expires must win over the reaper, so reaping requires
+// now.After(expires), strictly. Each reaped session is taken out of the
+// map before its reservations are released, so no concurrent path can
+// observe (and double-release) a half-expired session.
 func (m *Mediator) expireLocked() int {
-	if m.cfg.LeaseTTL <= 0 {
+	if m.cfg.LeaseTTL <= 0 || m.killed {
 		return 0
 	}
 	now := m.cfg.Now()
 	n := 0
 	for id, s := range m.sessions {
-		if s.expires.After(now) {
+		if !now.After(s.expires) {
 			continue
 		}
 		delete(m.sessions, id)
@@ -231,10 +287,40 @@ func (m *Mediator) expireLocked() int {
 // OpenSession admits or rejects a request, reserving agent and network
 // capacity and returning the transfer plan.
 func (m *Mediator) OpenSession(req Requirements) (*Plan, error) {
+	rec, err := m.Admit(req)
+	if err != nil {
+		return nil, err
+	}
+	p := rec.Plan
+	return &p, nil
+}
+
+// Admit is OpenSession in its federated form: it returns the full session
+// record — plan, home replica, placement key, lease deadline — that a
+// client needs in order to fail over to a peer replica later, and queues
+// the new session for mirroring to the peers.
+func (m *Mediator) Admit(req Requirements) (*SessionRecord, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.killed {
+		return nil, ErrReplicaDown
+	}
+	if m.draining {
+		m.tel.rejects.Inc()
+		return nil, ErrDraining
+	}
 	m.expireLocked()
+	p, err := m.admitLocked(req)
+	if err != nil {
+		return nil, err
+	}
+	rec := m.recordLocked(p.SessionID, m.sessions[p.SessionID])
+	m.mirrorLocked(MirrorUpsert, rec)
+	return &rec, nil
+}
 
+// admitLocked runs admission control; m.mu held.
+func (m *Mediator) admitLocked(req Requirements) (*Plan, error) {
 	// Normalize the redundancy scheme: ParityShards implies Redundancy,
 	// and plain Redundancy means the single computed copy.
 	shards := req.ParityShards
@@ -308,10 +394,15 @@ func (m *Mediator) OpenSession(req Requirements) (*Plan, error) {
 			continue
 		}
 
-		// Admit: build the plan and reserve.
+		// Admit: build the plan and reserve. Federated replicas namespace
+		// the id so concurrently-admitting replicas never collide.
 		m.nextID++
+		id := m.nextID
+		if m.idBase != 0 {
+			id = m.idBase | (m.nextID & idSeqMask)
+		}
 		p := &Plan{
-			SessionID:    m.nextID,
+			SessionID:    id,
 			Unit:         m.chooseUnit(k),
 			Parity:       req.Redundancy,
 			ParityShards: shards,
@@ -328,7 +419,7 @@ func (m *Mediator) OpenSession(req Requirements) (*Plan, error) {
 		for _, i := range p.Agents {
 			p.Addrs = append(p.Addrs, m.cfg.Agents[i].Addr)
 		}
-		s := &session{plan: p}
+		s := &session{plan: p, key: req.Key, home: m.selfName()}
 		if m.cfg.LeaseTTL > 0 {
 			s.expires = m.cfg.Now().Add(m.cfg.LeaseTTL)
 		}
@@ -362,14 +453,21 @@ func (m *Mediator) chooseUnit(k int) int64 {
 func (m *Mediator) CloseSession(id uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.killed {
+		return ErrReplicaDown
+	}
 	m.expireLocked()
 	s := m.sessions[id]
 	if s == nil {
 		return nil // idempotent: nothing to release
 	}
+	// Out of the map first, then release: a racing janitor pass or renew
+	// can no longer find the session, so capacity cannot double-release.
+	rec := m.recordLocked(id, s)
 	delete(m.sessions, id)
 	m.releaseLocked(s.plan)
 	m.tel.closes.Inc()
+	m.mirrorLocked(MirrorDelete, rec)
 	return nil
 }
 
@@ -402,6 +500,9 @@ func (m *Mediator) releaseLocked(p *Plan) {
 func (m *Mediator) Renew(id uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.killed {
+		return ErrReplicaDown
+	}
 	m.expireLocked()
 	s := m.sessions[id]
 	if s == nil {
@@ -411,6 +512,9 @@ func (m *Mediator) Renew(id uint64) error {
 		s.expires = m.cfg.Now().Add(m.cfg.LeaseTTL)
 	}
 	m.tel.renewals.Inc()
+	if s.home == m.selfName() {
+		m.mirrorLocked(MirrorUpsert, m.recordLocked(id, s))
+	}
 	return nil
 }
 
@@ -423,6 +527,8 @@ type SessionStatus struct {
 	ParityShards int
 	Rate         float64
 	Expires      time.Time // zero when leases are disabled
+	Home         string    // replica responsible for the lease
+	Key          string    // placement key
 }
 
 // SessionList snapshots the live sessions, sorted by ID.
@@ -440,6 +546,8 @@ func (m *Mediator) SessionList() []SessionStatus {
 			ParityShards: s.plan.ParityShards,
 			Rate:         s.plan.Rate,
 			Expires:      s.expires,
+			Home:         s.home,
+			Key:          s.key,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

@@ -1,0 +1,59 @@
+package mediator
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) placement of sessions over mediator
+// replicas. Every participant — replicas deciding where to hand a drained
+// session, clients deciding which replica to open against or fail over to
+// — computes the same ordering from nothing but the session key and the
+// replica names, so placement needs no coordination and no shared state.
+//
+// The defining property, verified by TestPlacementStability, is minimal
+// disruption: adding or removing one replica re-homes only the ~1/N of
+// keys whose top-scoring replica changed; every other key's ordering is
+// untouched. A modulo scheme would re-home nearly all of them.
+
+// placeScore is the rendezvous weight of one (key, replica) pair: a
+// 64-bit FNV-1a over the replica name and the key, separated by a NUL so
+// ("ab","c") and ("a","bc") cannot collide.
+func placeScore(key, replica string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(replica))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// PlaceOrder returns the replicas ordered by descending rendezvous score
+// for key: the first entry is the key's home, the rest are its failover
+// sequence. Ties break by name for determinism. The input is not modified.
+func PlaceOrder(key string, replicas []string) []string {
+	out := append([]string(nil), replicas...)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := placeScore(key, out[i]), placeScore(key, out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Place returns the home replica for key, or "" with no replicas.
+func Place(key string, replicas []string) string {
+	if len(replicas) == 0 {
+		return ""
+	}
+	best := replicas[0]
+	bestScore := placeScore(key, best)
+	for _, r := range replicas[1:] {
+		s := placeScore(key, r)
+		if s > bestScore || (s == bestScore && r < best) {
+			best, bestScore = r, s
+		}
+	}
+	return best
+}

@@ -6,16 +6,37 @@ import (
 	"swift/internal/obs"
 )
 
-// telemetry is the mediator's observability surface: admission counters
-// and export-time reservation-utilization gauges computed straight from
-// the load tables (never double-booked).
+// telemetry is the mediator's observability surface: admission counters,
+// federation counters, and export-time reservation-utilization gauges
+// computed straight from the load tables (never double-booked). Federated
+// replicas label every instrument with {replica="<Self>"} so a tier
+// sharing one registry exports one series per replica.
 type telemetry struct {
-	reg         *obs.Registry
-	admits      *obs.Counter // sessions admitted
-	rejects     *obs.Counter // sessions rejected (ErrUnsatisfiable)
-	closes      *obs.Counter // sessions closed
-	renewals    *obs.Counter // lease heartbeats honoured
-	expirations *obs.Counter // sessions reaped by lease expiry
+	reg            *obs.Registry
+	admits         *obs.Counter // sessions admitted
+	rejects        *obs.Counter // sessions rejected (ErrUnsatisfiable or ErrDraining)
+	closes         *obs.Counter // sessions closed
+	renewals       *obs.Counter // lease heartbeats honoured
+	expirations    *obs.Counter // sessions reaped by lease expiry
+	failovers      *obs.Counter // sessions adopted from a failed peer
+	handoffs       *obs.Counter // sessions handed to peers by Drain
+	mirrorsSent    *obs.Counter // replication updates delivered to peers
+	mirrorsApplied *obs.Counter // replication updates applied from peers
+	mirrorDrops    *obs.Counter // replication updates dropped or refused
+}
+
+// lbl builds an instrument's label set, adding the replica label on
+// federated mediators. Returning the extra labels untouched for the
+// unfederated case keeps the pre-federation export format byte-identical.
+func (m *Mediator) lbl(extra obs.Labels) obs.Labels {
+	if m.cfg.Self == "" {
+		return extra
+	}
+	out := obs.Labels{"replica": m.cfg.Self}
+	for k, v := range extra {
+		out[k] = v
+	}
+	return out
 }
 
 // initTelemetry registers the mediator's instruments. The reservation
@@ -27,23 +48,43 @@ func (m *Mediator) initTelemetry(reg *obs.Registry) {
 	}
 	m.tel = &telemetry{
 		reg:     reg,
-		admits:  reg.Counter("swift_mediator_admits_total", "Sessions admitted.", nil),
-		rejects: reg.Counter("swift_mediator_rejects_total", "Sessions rejected as unsatisfiable.", nil),
-		closes:  reg.Counter("swift_mediator_closes_total", "Sessions closed.", nil),
+		admits:  reg.Counter("swift_mediator_admits_total", "Sessions admitted.", m.lbl(nil)),
+		rejects: reg.Counter("swift_mediator_rejects_total", "Sessions rejected as unsatisfiable.", m.lbl(nil)),
+		closes:  reg.Counter("swift_mediator_closes_total", "Sessions closed.", m.lbl(nil)),
 		renewals: reg.Counter("swift_mediator_lease_renewals_total",
-			"Session lease heartbeats honoured.", nil),
+			"Session lease heartbeats honoured.", m.lbl(nil)),
 		expirations: reg.Counter("swift_mediator_lease_expirations_total",
-			"Sessions reaped because their lease lapsed.", nil),
+			"Sessions reaped because their lease lapsed.", m.lbl(nil)),
+		failovers: reg.Counter("swift_mediator_failovers_total",
+			"Sessions adopted after their home replica failed and the client re-targeted.", m.lbl(nil)),
+		handoffs: reg.Counter("swift_mediator_handoffs_total",
+			"Live sessions handed to a peer replica by Drain.", m.lbl(nil)),
+		mirrorsSent: reg.Counter("swift_mediator_mirrors_sent_total",
+			"Session replication updates delivered to peer replicas.", m.lbl(nil)),
+		mirrorsApplied: reg.Counter("swift_mediator_mirrors_applied_total",
+			"Session replication updates applied from peer replicas.", m.lbl(nil)),
+		mirrorDrops: reg.Counter("swift_mediator_mirrors_dropped_total",
+			"Session replication updates dropped (full outbox) or refused by a peer.", m.lbl(nil)),
 	}
-	reg.GaugeFunc("swift_mediator_sessions", "Active reserved sessions.", nil, func() float64 {
-		return float64(m.Sessions())
-	})
+	reg.GaugeFunc("swift_mediator_sessions", "Active reserved sessions known to this replica.",
+		m.lbl(nil), func() float64 {
+			return float64(m.Sessions())
+		})
+	reg.GaugeFunc("swift_mediator_home_sessions",
+		"Active sessions this replica is the lease home for.",
+		m.lbl(nil), func() float64 {
+			st, err := m.Status()
+			if err != nil {
+				return 0
+			}
+			return float64(st.HomeSessions)
+		})
 	for i := range m.cfg.Agents {
 		i := i
 		cap := m.cfg.Agents[i].Rate
 		reg.GaugeFunc("swift_mediator_agent_reserved_ratio",
 			"Fraction of the agent's deliverable rate currently reserved.",
-			obs.Labels{"agent": strconv.Itoa(i)}, func() float64 {
+			m.lbl(obs.Labels{"agent": strconv.Itoa(i)}), func() float64 {
 				if cap <= 0 {
 					return 0
 				}
@@ -55,7 +96,7 @@ func (m *Mediator) initTelemetry(reg *obs.Registry) {
 		cap := m.cfg.Nets[j].Capacity
 		reg.GaugeFunc("swift_mediator_net_reserved_ratio",
 			"Fraction of the interconnect's capacity currently reserved.",
-			obs.Labels{"net": m.cfg.Nets[j].Name}, func() float64 {
+			m.lbl(obs.Labels{"net": m.cfg.Nets[j].Name}), func() float64 {
 				if cap <= 0 {
 					return 0
 				}

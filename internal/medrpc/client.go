@@ -1,0 +1,244 @@
+package medrpc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sync/atomic"
+	"time"
+
+	"swift/internal/mediator"
+	"swift/internal/transport"
+	"swift/internal/wire"
+)
+
+// ErrMediatorDown is returned when a replica stops answering within the
+// client's retry budget.
+var ErrMediatorDown = errors.New("medrpc: mediator not responding")
+
+// ClientConfig configures one replica's client stub.
+type ClientConfig struct {
+	Host transport.Host // local machine to open the endpoint on
+	Name string         // replica name (placement identity)
+	Addr string         // replica control address
+
+	// RetryTimeout is the initial retransmission timeout (default 50ms);
+	// it backs off exponentially, capped at MaxRetryTimeout (default
+	// 400ms), with Retries (default 4) retransmissions before giving up.
+	// Mediator RPCs fail fast by design: a dead replica must be detected
+	// well inside a lease TTL so the broker can rotate to a peer.
+	RetryTimeout    time.Duration
+	MaxRetryTimeout time.Duration
+	Retries         int
+	Logf            func(format string, args ...any)
+}
+
+// Client is the wire stub for one mediator replica. It satisfies the
+// client-side endpoint surface (Admit/RenewSession/CloseSession/Status)
+// and mediator.Peer (Mirror), so replicas federate over the same stub
+// clients use.
+type Client struct {
+	cfg   ClientConfig
+	reqID atomic.Uint32
+}
+
+// NewClient builds a stub for the replica at cfg.Addr. Each RPC opens an
+// ephemeral endpoint, so concurrent RPCs (a heartbeat racing a status
+// query) never serialize or interleave replies.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.RetryTimeout <= 0 {
+		cfg.RetryTimeout = 50 * time.Millisecond
+	}
+	if cfg.MaxRetryTimeout <= 0 {
+		cfg.MaxRetryTimeout = 400 * time.Millisecond
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 4
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Name == "" {
+		cfg.Name = cfg.Addr
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// Name returns the replica's placement name.
+func (c *Client) Name() string { return c.cfg.Name }
+
+// Addr returns the replica's control address.
+func (c *Client) Addr() string { return c.cfg.Addr }
+
+// Close releases the stub. RPC endpoints are per-call, so there is
+// nothing persistent to tear down; Close exists for lifecycle symmetry.
+func (c *Client) Close() error { return nil }
+
+// backoff is the retransmission timeout for the given attempt: capped
+// exponential with ±25% jitter, like the data-path client's.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.RetryTimeout
+	for i := 0; i < attempt && d < c.cfg.MaxRetryTimeout; i++ {
+		d *= 2
+	}
+	if d > c.cfg.MaxRetryTimeout {
+		d = c.cfg.MaxRetryTimeout
+	}
+	if j := int64(d / 4); j > 0 {
+		d += time.Duration(rand.Int63n(2*j+1) - j)
+	}
+	return d
+}
+
+// rpc sends one request and waits for its reply, retransmitting on
+// timeout until the retry budget is spent.
+func (c *Client) rpc(req *wire.Packet) (*wire.Packet, error) {
+	reqID := c.reqID.Add(1)
+	req.ReqID = reqID
+	buf, err := wire.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("medrpc: marshal %v: %w", req.Type, err)
+	}
+	conn, err := c.cfg.Host.Listen("0")
+	if err != nil {
+		return nil, fmt.Errorf("medrpc: open endpoint: %w", err)
+	}
+	defer conn.Close()
+	rbuf := make([]byte, wire.MaxPacket)
+	var pkt wire.Packet
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if err := conn.WriteTo(buf, c.cfg.Addr); err != nil {
+			return nil, fmt.Errorf("medrpc: send %v to %s: %w", req.Type, c.cfg.Addr, err)
+		}
+		deadline := time.Now().Add(c.backoff(attempt))
+		for {
+			conn.SetReadDeadline(deadline)
+			n, _, err := conn.ReadFrom(rbuf)
+			if err != nil {
+				if transport.IsTimeout(err) {
+					break // retransmit
+				}
+				return nil, fmt.Errorf("medrpc: recv from %s: %w", c.cfg.Addr, err)
+			}
+			if err := wire.Unmarshal(rbuf[:n], &pkt); err != nil {
+				continue
+			}
+			if pkt.ReqID != reqID {
+				continue // stale reply from an earlier attempt
+			}
+			if pkt.Type == wire.TError {
+				return nil, mapRemote(wire.ParseError(pkt.Payload))
+			}
+			out := pkt
+			out.Payload = append([]byte(nil), pkt.Payload...)
+			return &out, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s (%s)", ErrMediatorDown, c.cfg.Name, c.cfg.Addr)
+}
+
+// mapRemote re-sentinels mediator errors that crossed the wire as text,
+// so callers can errors.Is them exactly as with an in-process mediator.
+func mapRemote(err error) error {
+	var re *wire.RemoteError
+	if !errors.As(err, &re) {
+		return err
+	}
+	for _, sentinel := range []error{
+		mediator.ErrDraining,
+		mediator.ErrReplicaDown,
+		mediator.ErrUnknownSession,
+		mediator.ErrUnsatisfiable,
+	} {
+		if strings.Contains(re.Msg, sentinel.Error()) {
+			return fmt.Errorf("%w (via %s)", sentinel, "medrpc")
+		}
+	}
+	return fmt.Errorf("medrpc: remote: %w", err)
+}
+
+// Admit opens a session on the replica.
+func (c *Client) Admit(req mediator.Requirements) (*mediator.SessionRecord, error) {
+	shards := req.ParityShards
+	if shards < 0 || shards > 0xFFFF {
+		return nil, fmt.Errorf("%w: parity shards %d not encodable", mediator.ErrUnsatisfiable, shards)
+	}
+	reply, err := c.rpc(&wire.Packet{
+		Header: wire.Header{Type: wire.TMedOpen},
+		Payload: wire.AppendMedOpenRequest(nil, &wire.MedOpenRequest{
+			Rate:         req.Rate,
+			Redundancy:   req.Redundancy,
+			ParityShards: uint16(shards),
+			Key:          req.Key,
+		}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	w, err := wire.ParseMedRecord(reply.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("medrpc: open reply: %w", err)
+	}
+	rec := fromWireRecord(&w)
+	return &rec, nil
+}
+
+// RenewSession renews-or-adopts the session on the replica, returning
+// the replica name now responsible for the lease.
+func (c *Client) RenewSession(rec mediator.SessionRecord) (string, error) {
+	w := toWireRecord(&rec)
+	reply, err := c.rpc(&wire.Packet{
+		Header:  wire.Header{Type: wire.TMedRenew, Handle: rec.ID},
+		Payload: wire.AppendMedRecord(nil, &w),
+	})
+	if err != nil {
+		return "", err
+	}
+	h, err := wire.ParseMedHome(reply.Payload)
+	if err != nil {
+		return "", fmt.Errorf("medrpc: renew reply: %w", err)
+	}
+	return h.Home, nil
+}
+
+// CloseSession releases the session on the replica.
+func (c *Client) CloseSession(id uint64) error {
+	_, err := c.rpc(&wire.Packet{Header: wire.Header{Type: wire.TMedClose, Handle: id}})
+	return err
+}
+
+// Status queries the replica's operator-facing state.
+func (c *Client) Status() (mediator.ReplicaStatus, error) {
+	reply, err := c.rpc(&wire.Packet{Header: wire.Header{Type: wire.TMedStatus}})
+	if err != nil {
+		return mediator.ReplicaStatus{}, err
+	}
+	w, err := wire.ParseMedStatus(reply.Payload)
+	if err != nil {
+		return mediator.ReplicaStatus{}, fmt.Errorf("medrpc: status reply: %w", err)
+	}
+	return fromWireStatus(&w), nil
+}
+
+// Drain asks the replica to hand its live sessions to peers, returning
+// how many it handed off.
+func (c *Client) Drain() (int, error) {
+	reply, err := c.rpc(&wire.Packet{Header: wire.Header{Type: wire.TMedDrain}})
+	if err != nil {
+		return 0, err
+	}
+	return int(reply.Length), nil
+}
+
+// Mirror delivers one replication update — the mediator.Peer
+// implementation that federates replicas over the wire.
+func (c *Client) Mirror(u mediator.MirrorUpdate) error {
+	w := wire.MedMirror{Op: uint8(u.Op), From: u.From, Rec: toWireRecord(&u.Rec)}
+	_, err := c.rpc(&wire.Packet{
+		Header:  wire.Header{Type: wire.TMedMirror, Handle: u.Rec.ID},
+		Payload: wire.AppendMedMirror(nil, &w),
+	})
+	return err
+}

@@ -1,0 +1,263 @@
+package medrpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"swift/internal/mediator"
+	"swift/internal/transport/memnet"
+)
+
+// testTier stands up nReplicas federated mediator replicas, each served
+// over its own memnet host, peered through wire Mirror RPCs — the full
+// deployment shape, minus real sockets.
+type testTier struct {
+	net     *memnet.Net
+	meds    []*mediator.Mediator
+	servers []*Server
+	clients []*Client // stubs from the test-client host
+}
+
+func newTestTier(t *testing.T, nReplicas int, ttl time.Duration) *testTier {
+	t.Helper()
+	n := memnet.New(1)
+	seg := n.NewSegment("lab", memnet.SegmentConfig{BandwidthBps: 1e9})
+	agents := make([]mediator.AgentInfo, 6)
+	for i := range agents {
+		agents[i] = mediator.AgentInfo{Addr: "agent:7070", Rate: 400e3, Net: 0}
+	}
+	tier := &testTier{net: n}
+	t.Cleanup(func() {
+		for _, s := range tier.servers {
+			s.Close()
+		}
+		for _, m := range tier.meds {
+			m.Close()
+		}
+		n.Close()
+	})
+	names := make([]string, nReplicas)
+	for i := range names {
+		names[i] = "med-" + string(rune('a'+i))
+	}
+	for _, name := range names {
+		cfg := mediator.Config{
+			Agents:   agents,
+			Nets:     []mediator.NetInfo{{Name: "lab", Capacity: 1e9}},
+			Self:     name,
+			LeaseTTL: ttl,
+		}
+		med, err := mediator.New(cfg)
+		if err != nil {
+			t.Fatalf("mediator %s: %v", name, err)
+		}
+		tier.meds = append(tier.meds, med)
+		host := n.MustHost(name, memnet.HostConfig{}, seg)
+		srv, err := Serve(ServerConfig{Host: host, Port: "7060", Med: med, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("serve %s: %v", name, err)
+		}
+		tier.servers = append(tier.servers, srv)
+	}
+	// Peer each replica to the others over the wire.
+	for i, med := range tier.meds {
+		var peers []mediator.Peer
+		for j, name := range names {
+			if j == i {
+				continue
+			}
+			pc, err := NewClient(ClientConfig{
+				Host: n.MustHost(names[i]+"-to-"+name, memnet.HostConfig{}, seg),
+				Name: name,
+				Addr: name + ":7060",
+				Logf: t.Logf,
+			})
+			if err != nil {
+				t.Fatalf("peer stub %s->%s: %v", names[i], name, err)
+			}
+			peers = append(peers, pc)
+		}
+		med.SetPeers(peers)
+	}
+	ch := n.MustHost("client", memnet.HostConfig{}, seg)
+	for _, name := range names {
+		c, err := NewClient(ClientConfig{Host: ch, Name: name, Addr: name + ":7060", Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("client stub %s: %v", name, err)
+		}
+		tier.clients = append(tier.clients, c)
+	}
+	return tier
+}
+
+func TestRPCRoundTrips(t *testing.T) {
+	tier := newTestTier(t, 1, 0)
+	c := tier.clients[0]
+
+	rec, err := c.Admit(mediator.Requirements{Rate: 800e3, Redundancy: true, ParityShards: 2, Key: "tenant-a"})
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if rec.Home != "med-a" || rec.Key != "tenant-a" {
+		t.Fatalf("record home=%q key=%q", rec.Home, rec.Key)
+	}
+	if !rec.Plan.Parity || rec.Plan.ParityShards != 2 || len(rec.Plan.Agents) < 3 {
+		t.Fatalf("plan did not survive the wire: %+v", rec.Plan)
+	}
+	if len(rec.Plan.Addrs) != len(rec.Plan.Agents) {
+		t.Fatalf("addrs/agents mismatch: %d vs %d", len(rec.Plan.Addrs), len(rec.Plan.Agents))
+	}
+
+	home, err := c.RenewSession(*rec)
+	if err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	if home != "med-a" {
+		t.Fatalf("renew home = %q", home)
+	}
+
+	st, err := c.Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Name != "med-a" || st.Role != "active" || st.Sessions != 1 || st.HomeSessions != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if len(st.AgentReserved) != 6 || st.AgentReserved[rec.Plan.Agents[0]] == 0 {
+		t.Fatalf("reservation ratios did not survive the wire: %v", st.AgentReserved)
+	}
+
+	if err := c.CloseSession(rec.ID); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if tier.meds[0].Sessions() != 0 {
+		t.Fatal("session survived the wire close")
+	}
+}
+
+func TestRPCErrorSentinelsSurviveTheWire(t *testing.T) {
+	tier := newTestTier(t, 1, 0)
+	c := tier.clients[0]
+	if _, err := c.Admit(mediator.Requirements{Rate: 1e12}); !errors.Is(err, mediator.ErrUnsatisfiable) {
+		t.Fatalf("unsatisfiable came back as: %v", err)
+	}
+	if err := c.CloseSession(999); err != nil {
+		t.Fatalf("close is idempotent in-process; over the wire: %v", err)
+	}
+	if _, err := tier.meds[0].Drain(); err == nil {
+		// One replica, no peers, no sessions: drain succeeds trivially.
+	}
+	tier.meds[0].Kill()
+	if _, err := c.Admit(mediator.Requirements{Rate: 1e3}); !errors.Is(err, mediator.ErrReplicaDown) {
+		t.Fatalf("replica-down came back as: %v", err)
+	}
+}
+
+func TestWireFederationMirrorsAndFailsOver(t *testing.T) {
+	tier := newTestTier(t, 3, time.Minute)
+	rec, err := tier.clients[0].Admit(mediator.Requirements{Rate: 400e3, Key: "tenant-a"})
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	tier.meds[0].WaitMirrors()
+	for i, med := range tier.meds {
+		if n := med.Sessions(); n != 1 {
+			t.Fatalf("replica %d: sessions = %d after wire mirror", i, n)
+		}
+	}
+	// Crash the home: the server stops answering, the client stub times
+	// out, and a renewal against a survivor adopts the session.
+	tier.servers[0].Close()
+	tier.meds[0].Kill()
+	if _, err := tier.clients[0].RenewSession(*rec); !errors.Is(err, ErrMediatorDown) {
+		t.Fatalf("renew against crashed replica: %v", err)
+	}
+	home, err := tier.clients[1].RenewSession(*rec)
+	if err != nil {
+		t.Fatalf("renew on survivor: %v", err)
+	}
+	if home != "med-b" {
+		t.Fatalf("adopted home = %q, want med-b", home)
+	}
+	st, err := tier.clients[1].Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Failovers != 1 || st.HomeSessions != 1 {
+		t.Fatalf("survivor status = %+v", st)
+	}
+}
+
+func TestWireDrainHandsOff(t *testing.T) {
+	tier := newTestTier(t, 3, time.Minute)
+	rec, err := tier.clients[0].Admit(mediator.Requirements{Rate: 400e3, Key: "tenant-a"})
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	tier.meds[0].WaitMirrors()
+	handed, err := tier.clients[0].Drain()
+	if err != nil {
+		t.Fatalf("drain rpc: %v", err)
+	}
+	if handed != 1 {
+		t.Fatalf("handed = %d, want 1", handed)
+	}
+	home, err := tier.clients[0].RenewSession(*rec)
+	if err != nil {
+		t.Fatalf("renew on draining replica: %v", err)
+	}
+	if home == "med-a" {
+		t.Fatal("drained replica still claims the session")
+	}
+	st, err := tier.clients[0].Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Role != "draining" || st.Handoffs != 1 {
+		t.Fatalf("status after drain = %+v", st)
+	}
+	if _, err := tier.clients[0].Admit(mediator.Requirements{Rate: 1e3}); !errors.Is(err, mediator.ErrDraining) {
+		t.Fatalf("admit on draining came back as: %v", err)
+	}
+}
+
+func TestClientRetransmitsThroughLoss(t *testing.T) {
+	n := memnet.New(1)
+	defer n.Close()
+	seg := n.NewSegment("lossy", memnet.SegmentConfig{BandwidthBps: 1e9})
+	med, err := mediator.New(mediator.Config{
+		Agents: []mediator.AgentInfo{{Addr: "a:1", Rate: 1e6, Net: 0}},
+		Nets:   []mediator.NetInfo{{Name: "lossy", Capacity: 1e9}},
+		Self:   "med-a",
+	})
+	if err != nil {
+		t.Fatalf("mediator: %v", err)
+	}
+	defer med.Close()
+	srv, err := Serve(ServerConfig{Host: n.MustHost("med-a", memnet.HostConfig{}, seg), Port: "7060", Med: med, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+	c, err := NewClient(ClientConfig{
+		Host:    n.MustHost("client", memnet.HostConfig{}, seg),
+		Name:    "med-a",
+		Addr:    "med-a:7060",
+		Retries: 10,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	seg.SetLossRate(0.3)
+	for i := 0; i < 5; i++ {
+		rec, err := c.Admit(mediator.Requirements{Rate: 1e3})
+		if err != nil {
+			t.Fatalf("admit %d through loss: %v", i, err)
+		}
+		if err := c.CloseSession(rec.ID); err != nil {
+			t.Fatalf("close %d through loss: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package medrpc puts a mediator replica on the wire. It serves the
+// TMed* control packets over the same datagram transport the storage
+// agents use (one request, one reply, client-driven retransmission), and
+// provides the matching client stub, which doubles as the mediator.Peer
+// transport for inter-replica session mirroring.
+//
+// The mediator package itself stays transport-free (and under the
+// clockcheck analyzer's no-wall-clock rule); everything that touches
+// sockets, deadlines, or retransmission timers lives here.
+package medrpc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"swift/internal/mediator"
+	"swift/internal/transport"
+	"swift/internal/wire"
+)
+
+// ServerConfig configures a mediator replica's wire endpoint.
+type ServerConfig struct {
+	Host transport.Host     // machine to listen on
+	Port string             // well-known control port
+	Med  *mediator.Mediator // the replica being served
+	Logf func(format string, args ...any)
+}
+
+// Server serves one mediator replica's control port.
+type Server struct {
+	cfg ServerConfig
+	ctl transport.PacketConn
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving cfg.Med on cfg.Host:cfg.Port.
+func Serve(cfg ServerConfig) (*Server, error) {
+	if cfg.Med == nil {
+		return nil, fmt.Errorf("medrpc: no mediator to serve")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctl, err := cfg.Host.Listen(cfg.Port)
+	if err != nil {
+		return nil, fmt.Errorf("medrpc: listen %s: %w", cfg.Port, err)
+	}
+	s := &Server{cfg: cfg, ctl: ctl}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the server's control address.
+func (s *Server) Addr() string { return s.ctl.LocalAddr() }
+
+// Close stops serving. The mediator itself is not closed — the owner
+// decides whether the replica drains, dies, or moves.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ctl.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) send(to string, p *wire.Packet) {
+	buf, err := wire.Marshal(p)
+	if err != nil {
+		s.cfg.Logf("medrpc %s: marshal %v: %v", s.Addr(), p.Type, err)
+		return
+	}
+	if err := s.ctl.WriteTo(buf, to); err != nil {
+		s.cfg.Logf("medrpc %s: send %v to %s: %v", s.Addr(), p.Type, to, err)
+	}
+}
+
+func (s *Server) sendError(to string, req *wire.Packet, err error) {
+	s.send(to, &wire.Packet{
+		Header:  wire.Header{Type: wire.TError, ReqID: req.ReqID, Handle: req.Handle},
+		Payload: wire.AppendError(nil, err.Error()),
+	})
+}
+
+// loop serves the control port until Close.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, wire.MaxPacket)
+	var pkt wire.Packet
+	for {
+		s.ctl.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, from, err := s.ctl.ReadFrom(buf)
+		if err != nil {
+			if transport.IsTimeout(err) {
+				if s.isClosed() {
+					return
+				}
+				continue
+			}
+			return // closed
+		}
+		if err := wire.Unmarshal(buf[:n], &pkt); err != nil {
+			s.cfg.Logf("medrpc %s: bad packet from %s: %v", s.Addr(), from, err)
+			continue
+		}
+		s.handle(from, &pkt)
+	}
+}
+
+// handle dispatches one request. Every request gets exactly one reply
+// (or a TError); retransmitted requests are re-executed, which is safe
+// because every mediator operation here is idempotent or
+// last-writer-wins.
+func (s *Server) handle(from string, pkt *wire.Packet) {
+	med := s.cfg.Med
+	switch pkt.Type {
+	case wire.TMedOpen:
+		req, err := wire.ParseMedOpenRequest(pkt.Payload)
+		if err != nil {
+			s.sendError(from, pkt, err)
+			return
+		}
+		rec, err := med.Admit(mediator.Requirements{
+			Rate:         req.Rate,
+			Redundancy:   req.Redundancy,
+			ParityShards: int(req.ParityShards),
+			Key:          req.Key,
+		})
+		if err != nil {
+			s.sendError(from, pkt, err)
+			return
+		}
+		w := toWireRecord(rec)
+		s.send(from, &wire.Packet{
+			Header:  wire.Header{Type: wire.TMedOpenReply, ReqID: pkt.ReqID, Handle: rec.ID},
+			Payload: wire.AppendMedRecord(nil, &w),
+		})
+	case wire.TMedRenew:
+		w, err := wire.ParseMedRecord(pkt.Payload)
+		if err != nil {
+			s.sendError(from, pkt, err)
+			return
+		}
+		home, err := med.RenewSession(fromWireRecord(&w))
+		if err != nil {
+			s.sendError(from, pkt, err)
+			return
+		}
+		s.send(from, &wire.Packet{
+			Header:  wire.Header{Type: wire.TMedRenewReply, ReqID: pkt.ReqID, Handle: pkt.Handle},
+			Payload: wire.AppendMedHome(nil, &wire.MedHome{Home: home}),
+		})
+	case wire.TMedClose:
+		if err := med.CloseSession(pkt.Handle); err != nil {
+			s.sendError(from, pkt, err)
+			return
+		}
+		s.send(from, &wire.Packet{
+			Header: wire.Header{Type: wire.TMedCloseReply, ReqID: pkt.ReqID, Handle: pkt.Handle},
+		})
+	case wire.TMedMirror:
+		u, err := wire.ParseMedMirror(pkt.Payload)
+		if err != nil {
+			s.sendError(from, pkt, err)
+			return
+		}
+		err = med.ApplyMirror(mediator.MirrorUpdate{
+			Op:   mediator.MirrorOp(u.Op),
+			Rec:  fromWireRecord(&u.Rec),
+			From: u.From,
+		})
+		if err != nil {
+			s.sendError(from, pkt, err)
+			return
+		}
+		s.send(from, &wire.Packet{
+			Header: wire.Header{Type: wire.TMedMirrorReply, ReqID: pkt.ReqID, Handle: pkt.Handle},
+		})
+	case wire.TMedStatus:
+		st, err := med.Status()
+		if err != nil {
+			s.sendError(from, pkt, err)
+			return
+		}
+		w := toWireStatus(&st)
+		s.send(from, &wire.Packet{
+			Header:  wire.Header{Type: wire.TMedStatusReply, ReqID: pkt.ReqID},
+			Payload: wire.AppendMedStatus(nil, &w),
+		})
+	case wire.TMedDrain:
+		handed, err := med.Drain()
+		if err != nil {
+			s.sendError(from, pkt, err)
+			return
+		}
+		s.send(from, &wire.Packet{
+			Header: wire.Header{Type: wire.TMedDrainReply, ReqID: pkt.ReqID, Length: uint32(handed)},
+		})
+	default:
+		s.sendError(from, pkt, fmt.Errorf("medrpc: unexpected %v on mediator port", pkt.Type))
+	}
+}
+
+// toWireRecord flattens a session record for the wire.
+func toWireRecord(r *mediator.SessionRecord) wire.MedRecord {
+	w := wire.MedRecord{
+		ID:     r.ID,
+		Key:    r.Key,
+		Home:   r.Home,
+		Unit:   r.Plan.Unit,
+		Parity: r.Plan.Parity,
+		Shards: uint16(r.Plan.ParityShards),
+		Rate:   r.Plan.Rate,
+		Addrs:  append([]string(nil), r.Plan.Addrs...),
+	}
+	if !r.Expires.IsZero() {
+		w.Expires = r.Expires.UnixNano()
+	}
+	w.Agents = make([]uint16, len(r.Plan.Agents))
+	for i, a := range r.Plan.Agents {
+		w.Agents[i] = uint16(a)
+	}
+	return w
+}
+
+// fromWireRecord rebuilds a session record from its wire form.
+func fromWireRecord(w *wire.MedRecord) mediator.SessionRecord {
+	r := mediator.SessionRecord{
+		ID:   w.ID,
+		Key:  w.Key,
+		Home: w.Home,
+		Plan: mediator.Plan{
+			SessionID:    w.ID,
+			Unit:         w.Unit,
+			Parity:       w.Parity,
+			ParityShards: int(w.Shards),
+			Rate:         w.Rate,
+			Addrs:        append([]string(nil), w.Addrs...),
+		},
+	}
+	if w.Expires != 0 {
+		r.Expires = time.Unix(0, w.Expires)
+	}
+	r.Plan.Agents = make([]int, len(w.Agents))
+	for i, a := range w.Agents {
+		r.Plan.Agents[i] = int(a)
+	}
+	return r
+}
+
+// toWireStatus flattens a replica status for the wire.
+func toWireStatus(st *mediator.ReplicaStatus) wire.MedStatus {
+	w := wire.MedStatus{
+		Name:          st.Name,
+		Role:          st.Role,
+		Sessions:      uint32(st.Sessions),
+		HomeSessions:  uint32(st.HomeSessions),
+		Failovers:     uint64(st.Failovers),
+		Handoffs:      uint64(st.Handoffs),
+		Expirations:   uint64(st.Expirations),
+		AgentReserved: append([]float64(nil), st.AgentReserved...),
+		NetReserved:   append([]float64(nil), st.NetReserved...),
+	}
+	if !st.LastHandoff.IsZero() {
+		w.LastHandoff = st.LastHandoff.UnixNano()
+	}
+	return w
+}
+
+// fromWireStatus rebuilds a replica status from its wire form.
+func fromWireStatus(w *wire.MedStatus) mediator.ReplicaStatus {
+	st := mediator.ReplicaStatus{
+		Name:          w.Name,
+		Role:          w.Role,
+		Sessions:      int(w.Sessions),
+		HomeSessions:  int(w.HomeSessions),
+		Failovers:     int64(w.Failovers),
+		Handoffs:      int64(w.Handoffs),
+		Expirations:   int64(w.Expirations),
+		AgentReserved: append([]float64(nil), w.AgentReserved...),
+		NetReserved:   append([]float64(nil), w.NetReserved...),
+	}
+	if w.LastHandoff != 0 {
+		st.LastHandoff = time.Unix(0, w.LastHandoff)
+	}
+	return st
+}

@@ -75,6 +75,21 @@ const (
 	TPing             // client→agent (well-known port): liveness + status probe
 	TPingReply        // agent→client: agent status
 	TError            // agent→client: request failed; payload holds message
+
+	// Mediator control plane (served by medrpc on a mediator replica's
+	// well-known port; same packet envelope, different port).
+	TMedOpen        // client→mediator: admit a session (requirements)
+	TMedOpenReply   // mediator→client: the admitted session record
+	TMedRenew       // client→mediator: renew-or-adopt; payload carries the record
+	TMedRenewReply  // mediator→client: the session's current home replica
+	TMedClose       // client→mediator: release session Handle
+	TMedCloseReply  // mediator→client: close acknowledged
+	TMedMirror      // mediator→mediator: session replication update
+	TMedMirrorReply // mediator→mediator: update applied
+	TMedStatus      // client→mediator: replica status query
+	TMedStatusReply // mediator→client: replica status
+	TMedDrain       // admin→mediator: hand live sessions to peers
+	TMedDrainReply  // mediator→admin: drain done; Length counts handoffs
 	tMax
 )
 
@@ -83,6 +98,9 @@ var typeNames = [...]string{
 	"resend", "close", "closereply", "stat", "statreply", "remove",
 	"removereply", "sync", "syncreply", "trunc", "truncreply",
 	"list", "listreply", "ping", "pingreply", "error",
+	"medopen", "medopenreply", "medrenew", "medrenewreply",
+	"medclose", "medclosereply", "medmirror", "medmirrorreply",
+	"medstatus", "medstatusreply", "meddrain", "meddrainreply",
 }
 
 func (t Type) String() string {

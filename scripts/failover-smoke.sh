@@ -1,0 +1,199 @@
+#!/bin/sh
+# Mediator-federation smoke: boot a real deployment — four storage agents
+# plus three mediator-only swiftd replicas peered into a federated tier —
+# and verify the failover story end to end over actual UDP sockets:
+#
+#   Act 1 (crash): a leased client heartbeats its session while the home
+#   replica is SIGKILLed mid-run. The broker must rotate to a survivor
+#   (client logs a failover), the run must finish with zero errors, a
+#   fresh put/get through the surviving tier must round-trip
+#   byte-identically, and `swiftctl mediators` must show the dead replica
+#   DOWN, a survivor with failovers >= 1, and zero lapsed leases.
+#
+#   Act 2 (drain): the new home replica is SIGTERMed while a session is
+#   live. swiftd must drain — its exit log counts sessions handed to
+#   peers — the client must re-target without a single failed heartbeat,
+#   and the last replica standing must still show zero expirations.
+set -eu
+
+AGENT_PORT_BASE=19070
+MED_PORT_BASE=19060
+LEASE_TTL=5s
+TMP=$(mktemp -d)
+PIDS=
+trap 'kill $PIDS 2>/dev/null; rm -rf "$TMP"' EXIT
+
+# Run the built binaries directly (not `go run`) so the cleanup trap
+# kills the server processes themselves, not a wrapper.
+go build -o "$TMP/swiftd" ./cmd/swiftd
+go build -o "$TMP/swiftctl" ./cmd/swiftctl
+
+echo "== boot 4 storage agents"
+AGENTS=
+MED_AGENTS=
+i=0
+while [ "$i" -lt 4 ]; do
+	port=$((AGENT_PORT_BASE + i))
+	"$TMP/swiftd" -port "$port" -mem >"$TMP/agent$i.out" 2>&1 &
+	PIDS="$PIDS $!"
+	AGENTS="$AGENTS${AGENTS:+,}127.0.0.1:$port"
+	MED_AGENTS="$MED_AGENTS${MED_AGENTS:+,}127.0.0.1:$port@400"
+	i=$((i + 1))
+done
+
+echo "== boot 3 federated mediator-only replicas"
+MEDIATORS=
+for r in a b c; do
+	case $r in
+	a) port=$MED_PORT_BASE ;;
+	b) port=$((MED_PORT_BASE + 1)) ;;
+	c) port=$((MED_PORT_BASE + 2)) ;;
+	esac
+	MEDIATORS="$MEDIATORS${MEDIATORS:+,}med-$r=127.0.0.1:$port"
+done
+for r in a b c; do
+	case $r in
+	a) port=$MED_PORT_BASE ;;
+	b) port=$((MED_PORT_BASE + 1)) ;;
+	c) port=$((MED_PORT_BASE + 2)) ;;
+	esac
+	# Peers: the other two replicas.
+	peers=$(echo "$MEDIATORS" | tr ',' '\n' | grep -v "^med-$r=" | paste -sd, -)
+	"$TMP/swiftd" -mediator "$port" -mediator-name "med-$r" \
+		-mediator-peers "$peers" -mediator-agents "$MED_AGENTS" \
+		-lease-ttl "$LEASE_TTL" >"$TMP/med-$r.out" 2>&1 &
+	case $r in
+	a) MPID_A=$! ;;
+	b) MPID_B=$! ;;
+	c) MPID_C=$! ;;
+	esac
+	PIDS="$PIDS $!"
+done
+sleep 0.5
+
+CTL="$TMP/swiftctl -mediators $MEDIATORS -rate 800 -lease-ttl $LEASE_TTL"
+
+medpid() { # medpid med-x -> pid
+	case $1 in
+	med-a) echo "$MPID_A" ;;
+	med-b) echo "$MPID_B" ;;
+	med-c) echo "$MPID_C" ;;
+	*) echo "unknown replica $1" >&2; exit 1 ;;
+	esac
+}
+
+# ---- Act 1: SIGKILL the home replica under a live leased session ----
+
+echo "== run a leased, heartbeating client against the tier"
+$CTL stats -watch -every 1s -rounds 8 -mb 1 \
+	>"$TMP/act1-stats.out" 2>"$TMP/act1-stats.err" &
+STATS_PID=$!
+sleep 2
+
+HOME_MED=$(grep -o 'via med-[abc]' "$TMP/act1-stats.err" | head -1 | cut -d' ' -f2)
+[ -n "$HOME_MED" ] || {
+	echo "client never printed its home replica" >&2
+	cat "$TMP/act1-stats.err" >&2
+	exit 1
+}
+echo "== SIGKILL the home replica ($HOME_MED) mid-session"
+kill -9 "$(medpid "$HOME_MED")"
+
+wait $STATS_PID || {
+	echo "leased client failed after the home replica crashed" >&2
+	cat "$TMP/act1-stats.err" >&2
+	exit 1
+}
+
+echo "== client must have re-targeted the lease to a survivor"
+grep -q 'mediator failover' "$TMP/act1-stats.err" || {
+	echo "client never logged a mediator failover" >&2
+	cat "$TMP/act1-stats.err" >&2
+	exit 1
+}
+if grep -q 'mediator heartbeat:' "$TMP/act1-stats.err"; then
+	echo "a heartbeat exhausted every replica (lease at risk)" >&2
+	cat "$TMP/act1-stats.err" >&2
+	exit 1
+fi
+
+echo "== put/get through the surviving tier must round-trip"
+head -c 1048576 /dev/urandom >"$TMP/payload" 2>/dev/null ||
+	dd if=/dev/urandom of="$TMP/payload" bs=4096 count=256 2>/dev/null
+$CTL put "$TMP/payload" fo-obj 2>"$TMP/put.err"
+grep -q 'via med-' "$TMP/put.err" || {
+	echo "put did not report its serving replica" >&2
+	cat "$TMP/put.err" >&2
+	exit 1
+}
+$CTL get fo-obj "$TMP/payload.back" 2>/dev/null
+cmp "$TMP/payload" "$TMP/payload.back"
+
+echo "== mediators report: dead replica DOWN, survivor adopted, no lapses"
+$CTL mediators >"$TMP/act1-meds.out" 2>&1 || true
+cat "$TMP/act1-meds.out"
+grep -q "^$HOME_MED *DOWN" "$TMP/act1-meds.out" || {
+	echo "dead replica not reported DOWN" >&2
+	exit 1
+}
+awk -v dead="$HOME_MED" '
+	$1 ~ /^med-/ && $1 != dead && $2 != "DOWN" {
+		live++
+		fo += $7
+		if ($9 != 0) { print "replica " $1 " reaped " $9 " leases" > "/dev/stderr"; bad = 1 }
+	}
+	END {
+		if (live != 2) { print "expected 2 live replicas, saw " live > "/dev/stderr"; exit 1 }
+		if (fo < 1) { print "no survivor adopted the session (failovers=0)" > "/dev/stderr"; exit 1 }
+		exit bad
+	}' "$TMP/act1-meds.out"
+
+# ---- Act 2: SIGTERM (drain) the adopted home under a live session ----
+
+echo "== run another leased client, then drain its home with SIGTERM"
+$CTL stats -watch -every 1s -rounds 8 -mb 1 \
+	>"$TMP/act2-stats.out" 2>"$TMP/act2-stats.err" &
+STATS_PID=$!
+sleep 2
+
+DRAIN_MED=$(grep -o 'via med-[abc]' "$TMP/act2-stats.err" | head -1 | cut -d' ' -f2)
+[ -n "$DRAIN_MED" ] || {
+	echo "act-2 client never printed its home replica" >&2
+	cat "$TMP/act2-stats.err" >&2
+	exit 1
+}
+echo "== SIGTERM the home replica ($DRAIN_MED): drain, hand off, exit"
+kill -TERM "$(medpid "$DRAIN_MED")"
+wait "$(medpid "$DRAIN_MED")" 2>/dev/null || true
+
+grep -q 'mediator drained: [1-9][0-9]* sessions handed to peers' "$TMP/med-${DRAIN_MED#med-}.out" || {
+	echo "draining replica handed off no sessions" >&2
+	cat "$TMP/med-${DRAIN_MED#med-}.out" >&2
+	exit 1
+}
+
+wait $STATS_PID || {
+	echo "leased client failed across the drain" >&2
+	cat "$TMP/act2-stats.err" >&2
+	exit 1
+}
+if grep -q 'mediator heartbeat:' "$TMP/act2-stats.err"; then
+	echo "a heartbeat was rejected during the drain" >&2
+	cat "$TMP/act2-stats.err" >&2
+	exit 1
+fi
+
+echo "== last replica standing must still show zero lapsed leases"
+$CTL mediators >"$TMP/act2-meds.out" 2>&1 || true
+cat "$TMP/act2-meds.out"
+awk '
+	$1 ~ /^med-/ && $2 != "DOWN" {
+		live++
+		if ($9 != 0) { print "replica " $1 " reaped " $9 " leases" > "/dev/stderr"; bad = 1 }
+	}
+	END {
+		if (live != 1) { print "expected 1 live replica, saw " live > "/dev/stderr"; exit 1 }
+		exit bad
+	}' "$TMP/act2-meds.out"
+
+echo "failover smoke OK"

@@ -45,6 +45,7 @@ import (
 	"swift/internal/agent"
 	"swift/internal/core"
 	"swift/internal/integrity"
+	"swift/internal/mediator"
 	"swift/internal/obs"
 	"swift/internal/store"
 	"swift/internal/transport"
@@ -353,6 +354,80 @@ func (fs *FS) Obs() *obs.Registry { return fs.c.Obs() }
 // Close releases the client's network resources. Files opened from the
 // FS must be closed separately.
 func (fs *FS) Close() error { return fs.c.Close() }
+
+// MediatorRequirements is what a client asks a mediator tier for when
+// opening a session: required data-rate and redundancy scheme.
+type MediatorRequirements = mediator.Requirements
+
+// TransferPlan is an admitted session's transfer plan: agents, striping
+// unit, and redundancy scheme.
+type TransferPlan = mediator.Plan
+
+// SessionRecord is the full state of an admitted mediator session — the
+// plan plus its placement key, home replica and lease deadline. Clients
+// keep it so a surviving replica can adopt the session after its home
+// mediator dies.
+type SessionRecord = mediator.SessionRecord
+
+// ReplicaStatus is one mediator replica's operator-facing state.
+type ReplicaStatus = mediator.ReplicaStatus
+
+// MediatorConfig describes the installation a mediator tier administers:
+// agent capacities, interconnects, lease policy.
+type MediatorConfig = mediator.Config
+
+// MediatorAgentInfo describes one storage agent's capacity to the
+// mediator's admission model.
+type MediatorAgentInfo = mediator.AgentInfo
+
+// MediatorNetInfo describes one interconnect to the mediator's admission
+// model.
+type MediatorNetInfo = mediator.NetInfo
+
+// MediatorFederation is an in-process tier of federated mediator
+// replicas: the harness for simulations and single-process deployments.
+// Distributed deployments run one replica per swiftd and federate over
+// the wire instead.
+type MediatorFederation = mediator.Federation
+
+// NewMediatorFederation builds one mediator replica per name over the
+// shared installation described by base and links them as peers with
+// asynchronous session mirroring.
+func NewMediatorFederation(names []string, base MediatorConfig) (*MediatorFederation, error) {
+	return mediator.NewFederation(names, base)
+}
+
+// MediatorEndpoint is one mediator replica as seen by a client: either
+// an in-process *mediator.Mediator or a medrpc wire stub.
+type MediatorEndpoint = core.MediatorEndpoint
+
+// BrokerConfig configures a MediatorBroker.
+type BrokerConfig = core.BrokerConfig
+
+// MediatorBroker is the client-side mediator failover layer: session
+// open with replica rotation, lease heartbeats that transparently
+// re-target across crashes and drains, and capped-backoff retries.
+type MediatorBroker = core.MediatorBroker
+
+// NewMediatorBroker builds the failover broker over a mediator replica
+// set. Wire the returned broker's Heartbeat into Config.Heartbeat so the
+// health monitor renews the session lease while the client lives.
+func NewMediatorBroker(cfg BrokerConfig) (*MediatorBroker, error) {
+	return core.NewMediatorBroker(cfg)
+}
+
+// ApplyPlan configures the client from an admitted transfer plan: agent
+// set (striping order), striping unit, and redundancy scheme.
+func (c *Config) ApplyPlan(p *TransferPlan) {
+	c.Agents = append([]string(nil), p.Addrs...)
+	c.StripeUnit = p.Unit
+	c.Parity = p.Parity
+	c.ParityShards = p.ParityShards
+	c.DataShards = 0
+	if p.Parity {
+		c.DataShards = len(p.Addrs) - p.ParityShards
+	}
+}
 
 // AgentConfig configures a storage agent server.
 type AgentConfig = agent.Config
