@@ -81,90 +81,156 @@ type Peer interface {
 	Mirror(u MirrorUpdate) error
 }
 
-// mirrorMsg is an outbox entry: an update to fan out, or a flush barrier
-// (done != nil) that WaitMirrors uses to wait for everything queued
-// before it.
+// mirrorMsg is a peer-queue entry: an update to deliver, or a flush
+// barrier (done != nil) that WaitMirrors uses to wait for everything
+// queued before it.
 type mirrorMsg struct {
 	u    MirrorUpdate
 	done chan struct{}
 }
 
-// SetPeers installs the replica's peer set and starts the asynchronous
-// mirror fan-out loop. Call once, after New and before traffic; the loop
-// stops on Close or Kill.
+// peerLink is one peer's private replication stream: its own bounded
+// queue, drain goroutine, and parked-delete set. Per-peer isolation is
+// the point — a dead or partitioned peer times out on its own queue
+// only, so live peers keep receiving mirrors promptly. (A shared
+// fan-out loop would let one dead peer backlog every update; a session
+// close's delete then reaches the live peers later than a lease TTL
+// after the last renewal's upsert, and they reap the mirrored session
+// as expired before the delete lands.)
+type peerLink struct {
+	peer  Peer
+	queue chan mirrorMsg
+
+	mu      sync.Mutex
+	pending map[uint64]MirrorUpdate // deletes awaiting delivery to this peer
+}
+
+// park records a MirrorDelete this peer refused (or that overflowed its
+// queue), keyed by session id. The link loop retries parked deletes on
+// every subsequent activity (including the WaitMirrors flush barrier):
+// a dropped upsert is repaired by the next renewal's mirror, but a
+// closed session never renews, so a lost delete would leave the peer a
+// phantom reservation — forever, when leases are disabled.
+func (l *peerLink) park(u MirrorUpdate) {
+	l.mu.Lock()
+	if l.pending == nil {
+		l.pending = make(map[uint64]MirrorUpdate)
+	}
+	l.pending[u.Rec.ID] = u
+	l.mu.Unlock()
+}
+
+// takePending drains the parked-delete set for a retry round.
+func (l *peerLink) takePending() map[uint64]MirrorUpdate {
+	l.mu.Lock()
+	pending := l.pending
+	l.pending = nil
+	l.mu.Unlock()
+	return pending
+}
+
+// SetPeers installs the replica's peer set and starts one asynchronous
+// mirror link per peer. Call once, after New and before traffic; the
+// links stop on Close or Kill.
 func (m *Mediator) SetPeers(peers []Peer) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.peers = append([]Peer(nil), peers...)
-	if m.outbox == nil && len(m.peers) > 0 && !m.killed {
-		m.outbox = make(chan mirrorMsg, 4096)
+	if m.links == nil && len(m.peers) > 0 && !m.killed {
 		m.mirStop = make(chan struct{})
-		m.mirDone = make(chan struct{})
-		go m.mirrorLoop(m.outbox, m.mirStop, m.mirDone)
+		for _, p := range m.peers {
+			l := &peerLink{peer: p, queue: make(chan mirrorMsg, 4096)}
+			m.links = append(m.links, l)
+			m.mirWG.Add(1)
+			go m.linkLoop(l, m.mirStop)
+		}
 	}
 }
 
-// mirrorLoop fans queued updates out to the peer set, one update at a
-// time, until stopped. It is channel-driven — no clock reads — so the
-// clockcheck and goexit analyzers both hold over it.
-func (m *Mediator) mirrorLoop(outbox <-chan mirrorMsg, stop <-chan struct{}, done chan<- struct{}) {
-	defer close(done)
+// linkLoop delivers one peer's queued updates in order until stopped.
+// It is channel-driven — no clock reads — so the clockcheck and goexit
+// analyzers both hold over it. Before handling each message (flush
+// barriers included) it retries the peer's parked deletes.
+func (m *Mediator) linkLoop(l *peerLink, stop <-chan struct{}) {
+	defer m.mirWG.Done()
+	deliver := func(u MirrorUpdate) bool {
+		if err := l.peer.Mirror(u); err != nil {
+			m.tel.mirrorDrops.Inc()
+			return false
+		}
+		m.tel.mirrorsSent.Inc()
+		return true
+	}
 	for {
 		select {
 		case <-stop:
 			return
-		case msg := <-outbox:
+		case msg := <-l.queue:
+			// Retry parked deletes first. Deletes are idempotent —
+			// removing an unknown session is a no-op — so a peer that
+			// already applied one tolerates the repeat.
+			for _, u := range l.takePending() {
+				if !deliver(u) {
+					l.park(u)
+				}
+			}
 			if msg.done != nil {
 				close(msg.done)
 				continue
 			}
-			m.mu.Lock()
-			peers := append([]Peer(nil), m.peers...)
-			m.mu.Unlock()
-			for _, p := range peers {
-				if err := p.Mirror(msg.u); err != nil {
-					m.tel.mirrorDrops.Inc()
-				} else {
-					m.tel.mirrorsSent.Inc()
-				}
+			if !deliver(msg.u) && msg.u.Op == MirrorDelete {
+				l.park(msg.u)
 			}
 		}
 	}
 }
 
-// mirrorLocked queues a replication update; m.mu held. The enqueue never
-// blocks: a full outbox drops the update (counted), and a dropped upsert
-// is repaired by the next renewal's mirror.
+// mirrorLocked queues a replication update on every peer link; m.mu
+// held. The enqueue never blocks: a full queue drops the update
+// (counted), except deletes, which are parked for the link to retry —
+// they have no renewal to repair them.
 func (m *Mediator) mirrorLocked(op MirrorOp, rec SessionRecord) {
-	if m.outbox == nil {
-		return
-	}
-	select {
-	case m.outbox <- mirrorMsg{u: MirrorUpdate{Op: op, Rec: rec, From: m.self}}:
-	default:
-		m.tel.mirrorDrops.Inc()
+	u := MirrorUpdate{Op: op, Rec: rec, From: m.self}
+	for _, l := range m.links {
+		select {
+		case l.queue <- mirrorMsg{u: u}:
+		default:
+			m.tel.mirrorDrops.Inc()
+			if op == MirrorDelete {
+				l.park(u)
+			}
+		}
 	}
 }
 
 // WaitMirrors blocks until every update queued before the call has been
-// offered to all peers. Tests use it as a determinism barrier.
+// offered to its peer, on every link. Tests use it as a determinism
+// barrier.
 func (m *Mediator) WaitMirrors() {
 	m.mu.Lock()
-	outbox, loopDone := m.outbox, m.mirDone
+	links := append([]*peerLink(nil), m.links...)
+	stop := m.mirStop
 	killed := m.killed
 	m.mu.Unlock()
-	if outbox == nil || killed {
+	if len(links) == 0 || stop == nil || killed {
 		return
 	}
-	flushed := make(chan struct{})
-	select {
-	case outbox <- mirrorMsg{done: flushed}:
-	case <-loopDone:
-		return
+	flushed := make([]chan struct{}, 0, len(links))
+	for _, l := range links {
+		done := make(chan struct{})
+		select {
+		case l.queue <- mirrorMsg{done: done}:
+			flushed = append(flushed, done)
+		case <-stop:
+			return
+		}
 	}
-	select {
-	case <-flushed:
-	case <-loopDone:
+	for _, done := range flushed {
+		select {
+		case <-done:
+		case <-stop:
+			return
+		}
 	}
 }
 
@@ -326,15 +392,29 @@ func (m *Mediator) Drain() (int, error) {
 		names = append(names, p.Name())
 	}
 
-	handed := 0
+	handed, want := 0, len(recs)
 	var firstErr error
 	for _, rec := range recs {
 		key := rec.Key
 		if key == "" {
 			key = fmt.Sprintf("%d", rec.ID)
 		}
-		sent := false
+		sent, gone := false, false
 		for _, name := range PlaceOrder(key, names) {
+			// Re-snapshot under the lock immediately before each handoff:
+			// a renewal that landed since the drain snapshot carries a newer
+			// deadline with Home=self, and a handoff built from the stale
+			// snapshot would lose last-writer-wins at the peer, leaving the
+			// draining replica recorded as home.
+			m.mu.Lock()
+			s := m.sessions[rec.ID]
+			if s == nil {
+				gone = true // closed or expired mid-drain; nothing to hand off
+				m.mu.Unlock()
+				break
+			}
+			rec = m.recordLocked(rec.ID, s)
+			m.mu.Unlock()
 			rec.Home = name
 			if err := peerByName[name].Mirror(MirrorUpdate{Op: MirrorUpsert, Rec: rec, From: self}); err != nil {
 				if firstErr == nil {
@@ -354,12 +434,16 @@ func (m *Mediator) Drain() (int, error) {
 			sent = true
 			break
 		}
+		if gone {
+			want--
+			continue
+		}
 		if !sent && firstErr == nil {
 			firstErr = fmt.Errorf("mediator: drain: no peer accepted session %d", rec.ID)
 		}
 	}
-	if handed < len(recs) {
-		return handed, fmt.Errorf("mediator: drain: handed off %d of %d sessions: %w", handed, len(recs), firstErr)
+	if handed < want {
+		return handed, fmt.Errorf("mediator: drain: handed off %d of %d sessions: %w", handed, want, firstErr)
 	}
 	return handed, nil
 }

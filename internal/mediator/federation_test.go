@@ -395,6 +395,195 @@ func TestPlacementStableUnderMembershipChange(t *testing.T) {
 	}
 }
 
+// TestForeignAgentIndicesDoNotPanicRelease is the release-side twin of
+// reserveLocked's foreign-index guard: a mirrored (or client-carried)
+// record whose agent indices do not exist in this installation inserts
+// without reserving those entries, and must release the same way — via
+// mirror delete, close, and lease expiry — instead of panicking the
+// replica with an index out of range.
+func TestForeignAgentIndicesDoNotPanicRelease(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	cfg := leaseInstall(time.Minute, clk)
+	cfg.Self = "med-x"
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	defer m.Close()
+	foreign := func(id uint64) SessionRecord {
+		return SessionRecord{
+			ID: id, Key: "foreign", Home: "med-far", Expires: clk.Now().Add(time.Minute),
+			Plan: Plan{SessionID: id, Agents: []int{0, 97, -1}, Addrs: []string{"a", "b", "c"}, Unit: 65536, Rate: 300e3},
+		}
+	}
+	// Mirror-delete path.
+	if err := m.ApplyMirror(MirrorUpdate{Op: MirrorUpsert, Rec: foreign(1)}); err != nil {
+		t.Fatalf("upsert: %v", err)
+	}
+	if err := m.ApplyMirror(MirrorUpdate{Op: MirrorDelete, Rec: foreign(1)}); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	// Close path.
+	if err := m.ApplyMirror(MirrorUpdate{Op: MirrorUpsert, Rec: foreign(2)}); err != nil {
+		t.Fatalf("upsert: %v", err)
+	}
+	if err := m.CloseSession(2); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Lease-expiry path (adoption installs the record wholesale).
+	if _, err := m.RenewSession(foreign(3)); err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+	clk.Advance(2 * time.Minute)
+	if n := m.ExpireNow(); n != 1 {
+		t.Fatalf("expired %d foreign sessions, want 1", n)
+	}
+	// The in-range index must be fully released; loads end at exactly zero.
+	if l := m.AgentLoad(0); l != 0 {
+		t.Fatalf("agent 0 load %g after foreign churn, want 0", l)
+	}
+}
+
+// failingPeer is a Peer whose Mirror can be switched between refusing
+// and recording updates — the seam for delete-retry tests.
+type failingPeer struct {
+	mu      sync.Mutex
+	name    string
+	failing bool
+	got     []MirrorUpdate
+}
+
+func (p *failingPeer) Name() string { return p.name }
+
+func (p *failingPeer) SetFailing(v bool) {
+	p.mu.Lock()
+	p.failing = v
+	p.mu.Unlock()
+}
+
+func (p *failingPeer) Got() []MirrorUpdate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]MirrorUpdate(nil), p.got...)
+}
+
+func (p *failingPeer) Mirror(u MirrorUpdate) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failing {
+		return errors.New("peer unreachable")
+	}
+	p.got = append(p.got, u)
+	return nil
+}
+
+// TestFailedMirrorDeleteIsRetried: a MirrorDelete a peer refuses must be
+// parked and re-offered on later mirror activity — a dropped delete has
+// no renewal to repair it, and with leases disabled the peer would keep
+// the phantom reservation forever.
+func TestFailedMirrorDeleteIsRetried(t *testing.T) {
+	cfg := testInstall()
+	cfg.Self = "med-a"
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	defer m.Close()
+	peer := &failingPeer{name: "med-b", failing: true}
+	m.SetPeers([]Peer{peer})
+	rec, err := m.Admit(Requirements{Rate: 100e3})
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if err := m.CloseSession(rec.ID); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	m.WaitMirrors() // delete attempted against the failing peer and parked
+	peer.SetFailing(false)
+	m.WaitMirrors() // flush barrier retries the parked delete
+	var deletes int
+	for _, u := range peer.Got() {
+		if u.Op == MirrorDelete && u.Rec.ID == rec.ID {
+			deletes++
+		}
+	}
+	if deletes == 0 {
+		t.Fatal("refused MirrorDelete was never retried; peer keeps a phantom reservation")
+	}
+}
+
+// TestDrainHandoffCarriesFreshLease: a renewal landing between Drain's
+// snapshot and the handoff must not make the handoff carry a stale
+// deadline — the peer judges upserts by last-writer-wins on Expires, and
+// a stale handoff would leave the draining replica recorded as home.
+// The first-choice peer refuses the handoff and sneaks a renewal in; the
+// second-choice peer must then see the renewed deadline.
+func TestDrainHandoffCarriesFreshLease(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	cfg := leaseInstall(time.Minute, clk)
+	cfg.Self = "med-a"
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	defer m.Close()
+	rec, err := m.Admit(Requirements{Rate: 100e3, Key: "tenant-a"})
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	renewed := clk.Now().Add(30 * time.Second).Add(time.Minute)
+	first := &renewingPeer{m: m, rec: *rec, clk: clk}
+	second := &failingPeer{name: ""}
+	order := PlaceOrder("tenant-a", []string{"med-b", "med-c"})
+	first.name, second.name = order[0], order[1]
+	m.SetPeers([]Peer{first, second})
+	if _, err := m.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// The second peer also receives asynchronous mirror-loop upserts
+	// (Home=med-a); the handoff is the update naming it as the new home.
+	var handoffs int
+	for _, u := range second.Got() {
+		if u.Op != MirrorUpsert || u.Rec.Home != second.name {
+			continue
+		}
+		handoffs++
+		if !u.Rec.Expires.Equal(renewed) {
+			t.Fatalf("handoff carries deadline %v, want the mid-drain renewal's %v", u.Rec.Expires, renewed)
+		}
+	}
+	if handoffs == 0 {
+		t.Fatal("second peer never received the handoff")
+	}
+}
+
+// renewingPeer refuses its first Mirror after sneaking in a renewal —
+// the deterministic stand-in for a heartbeat racing Drain's handoff.
+type renewingPeer struct {
+	mu   sync.Mutex
+	name string
+	m    *Mediator
+	rec  SessionRecord
+	clk  *fakeClock
+	done bool
+}
+
+func (p *renewingPeer) Name() string { return p.name }
+
+func (p *renewingPeer) Mirror(u MirrorUpdate) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.done {
+		p.done = true
+		p.clk.Advance(30 * time.Second)
+		if _, err := p.m.RenewSession(p.rec); err != nil {
+			return fmt.Errorf("mid-drain renew: %w", err)
+		}
+		return errors.New("peer unreachable")
+	}
+	return nil
+}
+
 // TestRenewAtExactDeadline is the TTL-boundary regression: a lease is
 // valid through its deadline instant, so a renew (or sweep) landing at
 // exactly T0+TTL must not find the session expired.

@@ -135,7 +135,7 @@ type Mediator struct {
 	sessions    map[uint64]*session
 	nextID      uint64
 	peers       []Peer
-	outbox      chan mirrorMsg
+	links       []*peerLink // one replication queue+goroutine per peer
 	draining    bool
 	killed      bool
 	lastHandoff time.Time
@@ -143,7 +143,7 @@ type Mediator struct {
 	janStop chan struct{}
 	janDone chan struct{}
 	mirStop chan struct{}
-	mirDone chan struct{}
+	mirWG   sync.WaitGroup
 }
 
 // New validates the installation description and returns a mediator.
@@ -234,12 +234,13 @@ func (m *Mediator) Close() error {
 	return nil
 }
 
-// stopLoops shuts the janitor and mirror goroutines down, idempotently.
+// stopLoops shuts the janitor and the per-peer mirror links down,
+// idempotently.
 func (m *Mediator) stopLoops() {
 	m.mu.Lock()
 	janStop, janDone := m.janStop, m.janDone
 	m.janStop = nil
-	mirStop, mirDone := m.mirStop, m.mirDone
+	mirStop := m.mirStop
 	m.mirStop = nil
 	m.mu.Unlock()
 	if janStop != nil {
@@ -248,7 +249,7 @@ func (m *Mediator) stopLoops() {
 	}
 	if mirStop != nil {
 		close(mirStop)
-		<-mirDone
+		m.mirWG.Wait()
 	}
 }
 
@@ -472,7 +473,11 @@ func (m *Mediator) CloseSession(id uint64) error {
 }
 
 // releaseLocked returns a plan's reservations to the capacity model;
-// m.mu must be held.
+// m.mu must be held. Out-of-range agent indices are skipped, mirroring
+// reserveLocked's guard: a mirrored or client-carried record from a
+// differently-sized installation inserts without reserving those
+// entries, so it must also release without touching them — anything
+// else panics the replica when the foreign record expires or closes.
 func (m *Mediator) releaseLocked(p *Plan) {
 	dataAgents := len(p.Agents) - p.ParityShards
 	if dataAgents < 1 {
@@ -480,6 +485,9 @@ func (m *Mediator) releaseLocked(p *Plan) {
 	}
 	perAgent := p.Rate / float64(dataAgents)
 	for _, i := range p.Agents {
+		if i < 0 || i >= len(m.agentLoad) {
+			continue // foreign record from a differently-sized installation
+		}
 		m.agentLoad[i] -= perAgent
 		if m.agentLoad[i] < 0 {
 			m.agentLoad[i] = 0

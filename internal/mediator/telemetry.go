@@ -64,7 +64,7 @@ func (m *Mediator) initTelemetry(reg *obs.Registry) {
 		mirrorsApplied: reg.Counter("swift_mediator_mirrors_applied_total",
 			"Session replication updates applied from peer replicas.", m.lbl(nil)),
 		mirrorDrops: reg.Counter("swift_mediator_mirrors_dropped_total",
-			"Session replication updates dropped (full outbox) or refused by a peer.", m.lbl(nil)),
+			"Session replication updates dropped (full peer queue) or refused by a peer.", m.lbl(nil)),
 	}
 	reg.GaugeFunc("swift_mediator_sessions", "Active reserved sessions known to this replica.",
 		m.lbl(nil), func() float64 {

@@ -188,7 +188,10 @@ func (c *Client) Admit(req mediator.Requirements) (*mediator.SessionRecord, erro
 // RenewSession renews-or-adopts the session on the replica, returning
 // the replica name now responsible for the lease.
 func (c *Client) RenewSession(rec mediator.SessionRecord) (string, error) {
-	w := toWireRecord(&rec)
+	w, err := toWireRecord(&rec)
+	if err != nil {
+		return "", err
+	}
 	reply, err := c.rpc(&wire.Packet{
 		Header:  wire.Header{Type: wire.TMedRenew, Handle: rec.ID},
 		Payload: wire.AppendMedRecord(nil, &w),
@@ -235,8 +238,12 @@ func (c *Client) Drain() (int, error) {
 // Mirror delivers one replication update — the mediator.Peer
 // implementation that federates replicas over the wire.
 func (c *Client) Mirror(u mediator.MirrorUpdate) error {
-	w := wire.MedMirror{Op: uint8(u.Op), From: u.From, Rec: toWireRecord(&u.Rec)}
-	_, err := c.rpc(&wire.Packet{
+	rec, err := toWireRecord(&u.Rec)
+	if err != nil {
+		return err
+	}
+	w := wire.MedMirror{Op: uint8(u.Op), From: u.From, Rec: rec}
+	_, err = c.rpc(&wire.Packet{
 		Header:  wire.Header{Type: wire.TMedMirror, Handle: u.Rec.ID},
 		Payload: wire.AppendMedMirror(nil, &w),
 	})

@@ -7,6 +7,7 @@ import (
 
 	"swift/internal/mediator"
 	"swift/internal/transport/memnet"
+	"swift/internal/wire"
 )
 
 // testTier stands up nReplicas federated mediator replicas, each served
@@ -14,6 +15,7 @@ import (
 // deployment shape, minus real sockets.
 type testTier struct {
 	net     *memnet.Net
+	seg     *memnet.Segment
 	meds    []*mediator.Mediator
 	servers []*Server
 	clients []*Client // stubs from the test-client host
@@ -27,7 +29,7 @@ func newTestTier(t *testing.T, nReplicas int, ttl time.Duration) *testTier {
 	for i := range agents {
 		agents[i] = mediator.AgentInfo{Addr: "agent:7070", Rate: 400e3, Net: 0}
 	}
-	tier := &testTier{net: n}
+	tier := &testTier{net: n, seg: seg}
 	t.Cleanup(func() {
 		for _, s := range tier.servers {
 			s.Close()
@@ -219,6 +221,80 @@ func TestWireDrainHandsOff(t *testing.T) {
 	}
 	if _, err := tier.clients[0].Admit(mediator.Requirements{Rate: 1e3}); !errors.Is(err, mediator.ErrDraining) {
 		t.Fatalf("admit on draining came back as: %v", err)
+	}
+}
+
+// TestOpenRetransmitDoesNotDoubleAdmit: admission is not idempotent, so
+// when the TMedOpenReply is lost and the client retransmits the same
+// (source, ReqID), the server must replay the original record instead of
+// admitting a second, orphaned session that double-reserves capacity.
+func TestOpenRetransmitDoesNotDoubleAdmit(t *testing.T) {
+	tier := newTestTier(t, 1, 0)
+	conn, err := tier.net.MustHost("raw-client", memnet.HostConfig{}, tier.seg).Listen("0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer conn.Close()
+	req := &wire.Packet{
+		Header:  wire.Header{Type: wire.TMedOpen, ReqID: 7},
+		Payload: wire.AppendMedOpenRequest(nil, &wire.MedOpenRequest{Rate: 1e3, Key: "tenant-a"}),
+	}
+	buf, err := wire.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	read := func() *wire.Packet {
+		t.Helper()
+		rbuf := make([]byte, wire.MaxPacket)
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		nn, _, err := conn.ReadFrom(rbuf)
+		if err != nil {
+			t.Fatalf("read reply: %v", err)
+		}
+		var pkt wire.Packet
+		if err := wire.Unmarshal(rbuf[:nn], &pkt); err != nil {
+			t.Fatalf("unmarshal reply: %v", err)
+		}
+		return &pkt
+	}
+	if err := conn.WriteTo(buf, "med-a:7060"); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	r1 := read()
+	if err := conn.WriteTo(buf, "med-a:7060"); err != nil { // retransmit, same ReqID
+		t.Fatalf("resend: %v", err)
+	}
+	r2 := read()
+	if r1.Type != wire.TMedOpenReply || r2.Type != wire.TMedOpenReply {
+		t.Fatalf("reply types %v, %v", r1.Type, r2.Type)
+	}
+	if r1.Handle != r2.Handle {
+		t.Fatalf("retransmit admitted a second session: %#x vs %#x", r1.Handle, r2.Handle)
+	}
+	if n := tier.meds[0].Sessions(); n != 1 {
+		t.Fatalf("sessions = %d after retransmitted open, want 1", n)
+	}
+}
+
+// TestWireRecordRangeValidation: fields that travel as uint16 must fail
+// encoding when out of range, not silently truncate into a corrupt
+// record.
+func TestWireRecordRangeValidation(t *testing.T) {
+	good := mediator.SessionRecord{ID: 1, Plan: mediator.Plan{Agents: []int{0, 65535}, Addrs: []string{"a", "b"}, Rate: 1}}
+	if _, err := toWireRecord(&good); err != nil {
+		t.Fatalf("in-range record refused: %v", err)
+	}
+	for name, rec := range map[string]mediator.SessionRecord{
+		"agent index too big": {ID: 2, Plan: mediator.Plan{Agents: []int{70000}}},
+		"agent index negative": {ID: 3, Plan: mediator.Plan{Agents: []int{-1}}},
+		"parity shards too big": {ID: 4, Plan: mediator.Plan{ParityShards: 1 << 16}},
+	} {
+		if _, err := toWireRecord(&rec); err == nil {
+			t.Errorf("%s: encoded without error", name)
+		}
+	}
+	if _, err := (&Client{}).RenewSession(mediator.SessionRecord{Plan: mediator.Plan{Agents: []int{70000}}}); err == nil {
+		t.Error("client renew encoded an unencodable record")
 	}
 }
 

@@ -27,14 +27,30 @@ type ServerConfig struct {
 	Logf func(format string, args ...any)
 }
 
+// replyKey identifies one logical request for retransmit dedup: the
+// client stub opens a fresh ephemeral endpoint per RPC and keeps the
+// same ReqID across retransmissions of it, so (source address, ReqID)
+// is stable for one request and unique across requests.
+type replyKey struct {
+	from  string
+	reqID uint32
+}
+
+// openCacheMax bounds the TMedOpen reply cache. The cache only has to
+// cover a client's retransmission window (a handful of packets over at
+// most a few seconds); FIFO eviction of old entries is plenty.
+const openCacheMax = 1024
+
 // Server serves one mediator replica's control port.
 type Server struct {
 	cfg ServerConfig
 	ctl transport.PacketConn
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	closed    bool
+	openCache map[replyKey][]byte // marshaled TMedOpenReply per request
+	openOrder []replyKey          // FIFO eviction order
+	wg        sync.WaitGroup
 }
 
 // Serve starts serving cfg.Med on cfg.Host:cfg.Port.
@@ -123,13 +139,22 @@ func (s *Server) loop() {
 }
 
 // handle dispatches one request. Every request gets exactly one reply
-// (or a TError); retransmitted requests are re-executed, which is safe
-// because every mediator operation here is idempotent or
-// last-writer-wins.
+// (or a TError). Retransmitted requests are re-executed for every
+// operation that is idempotent or last-writer-wins (renew, close,
+// mirror, status, drain); TMedOpen is neither — re-admitting would
+// double-reserve capacity as an orphan session nothing ever renews or
+// closes — so successful open replies are cached by (source, ReqID) and
+// replayed verbatim when the reply was lost and the client retransmits.
 func (s *Server) handle(from string, pkt *wire.Packet) {
 	med := s.cfg.Med
 	switch pkt.Type {
 	case wire.TMedOpen:
+		if buf := s.cachedOpenReply(from, pkt.ReqID); buf != nil {
+			if err := s.ctl.WriteTo(buf, from); err != nil {
+				s.cfg.Logf("medrpc %s: resend open reply to %s: %v", s.Addr(), from, err)
+			}
+			return
+		}
 		req, err := wire.ParseMedOpenRequest(pkt.Payload)
 		if err != nil {
 			s.sendError(from, pkt, err)
@@ -145,11 +170,24 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 			s.sendError(from, pkt, err)
 			return
 		}
-		w := toWireRecord(rec)
-		s.send(from, &wire.Packet{
+		w, err := toWireRecord(rec)
+		if err != nil {
+			s.sendError(from, pkt, err)
+			return
+		}
+		reply := &wire.Packet{
 			Header:  wire.Header{Type: wire.TMedOpenReply, ReqID: pkt.ReqID, Handle: rec.ID},
 			Payload: wire.AppendMedRecord(nil, &w),
-		})
+		}
+		buf, err := wire.Marshal(reply)
+		if err != nil {
+			s.cfg.Logf("medrpc %s: marshal %v: %v", s.Addr(), reply.Type, err)
+			return
+		}
+		s.cacheOpenReply(from, pkt.ReqID, buf)
+		if err := s.ctl.WriteTo(buf, from); err != nil {
+			s.cfg.Logf("medrpc %s: send %v to %s: %v", s.Addr(), reply.Type, from, err)
+		}
 	case wire.TMedRenew:
 		w, err := wire.ParseMedRecord(pkt.Payload)
 		if err != nil {
@@ -216,8 +254,46 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 	}
 }
 
-// toWireRecord flattens a session record for the wire.
-func toWireRecord(r *mediator.SessionRecord) wire.MedRecord {
+// cachedOpenReply returns the marshaled reply previously sent for this
+// (source, ReqID), or nil on a first-seen request.
+func (s *Server) cachedOpenReply(from string, reqID uint32) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.openCache[replyKey{from, reqID}]
+}
+
+// cacheOpenReply remembers a successful open reply for retransmit
+// replay, evicting the oldest entries past openCacheMax.
+func (s *Server) cacheOpenReply(from string, reqID uint32, buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.openCache == nil {
+		s.openCache = make(map[replyKey][]byte)
+	}
+	k := replyKey{from, reqID}
+	if _, ok := s.openCache[k]; !ok {
+		s.openOrder = append(s.openOrder, k)
+	}
+	s.openCache[k] = buf
+	for len(s.openOrder) > openCacheMax {
+		delete(s.openCache, s.openOrder[0])
+		s.openOrder = s.openOrder[1:]
+	}
+}
+
+// toWireRecord flattens a session record for the wire, validating that
+// every field fits its wire form — agent indices and the agent/addr
+// counts travel as uint16 — and failing instead of silently truncating
+// into a corrupt record.
+func toWireRecord(r *mediator.SessionRecord) (wire.MedRecord, error) {
+	if len(r.Plan.Agents) > 0xFFFF || len(r.Plan.Addrs) > 0xFFFF {
+		return wire.MedRecord{}, fmt.Errorf("medrpc: session %d: plan with %d agents / %d addrs exceeds the wire's uint16 counts",
+			r.ID, len(r.Plan.Agents), len(r.Plan.Addrs))
+	}
+	if r.Plan.ParityShards < 0 || r.Plan.ParityShards > 0xFFFF {
+		return wire.MedRecord{}, fmt.Errorf("medrpc: session %d: parity shards %d not encodable as uint16",
+			r.ID, r.Plan.ParityShards)
+	}
 	w := wire.MedRecord{
 		ID:     r.ID,
 		Key:    r.Key,
@@ -233,9 +309,12 @@ func toWireRecord(r *mediator.SessionRecord) wire.MedRecord {
 	}
 	w.Agents = make([]uint16, len(r.Plan.Agents))
 	for i, a := range r.Plan.Agents {
+		if a < 0 || a > 0xFFFF {
+			return wire.MedRecord{}, fmt.Errorf("medrpc: session %d: agent index %d not encodable as uint16", r.ID, a)
+		}
 		w.Agents[i] = uint16(a)
 	}
-	return w
+	return w, nil
 }
 
 // fromWireRecord rebuilds a session record from its wire form.

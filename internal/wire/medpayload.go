@@ -67,7 +67,11 @@ type MedRecord struct {
 	Addrs   []string // their control addresses
 }
 
-// AppendMedRecord encodes r.
+// AppendMedRecord encodes r. The agent and addr counts travel as
+// uint16, so records must carry at most 65535 entries of each; the
+// producer (medrpc's toWireRecord) validates that bound and the agent
+// index range before building a MedRecord, keeping this codec
+// allocation- and error-free.
 func AppendMedRecord(dst []byte, r *MedRecord) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, r.ID)
 	dst = appendString(dst, r.Key)

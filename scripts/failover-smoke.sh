@@ -21,7 +21,10 @@ MED_PORT_BASE=19060
 LEASE_TTL=5s
 TMP=$(mktemp -d)
 PIDS=
-trap 'kill $PIDS 2>/dev/null; rm -rf "$TMP"' EXIT
+# `kill || true`: replicas killed/drained mid-run are already gone at
+# teardown, and under set -e a failing kill in the trap would poison
+# the script's exit status.
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 # Run the built binaries directly (not `go run`) so the cleanup trap
 # kills the server processes themselves, not a wrapper.

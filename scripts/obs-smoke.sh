@@ -10,7 +10,7 @@ AGENT_ADDR=127.0.0.1:19091
 TMP=$(mktemp -d)
 LOAD_PID=
 SWIFTD_PID=
-trap 'kill $LOAD_PID $SWIFTD_PID 2>/dev/null; rm -rf "$TMP"' EXIT
+trap 'kill $LOAD_PID $SWIFTD_PID 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 fetch() { # fetch URL FILE
 	if command -v curl >/dev/null 2>&1; then

@@ -20,7 +20,7 @@ PORT_BASE=18070
 METRICS_ADDR=127.0.0.1:19101
 TMP=$(mktemp -d)
 PIDS=
-trap 'kill $PIDS 2>/dev/null; rm -rf "$TMP"' EXIT
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 fetch() { # fetch URL FILE
 	if command -v curl >/dev/null 2>&1; then
