@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: all build vet lint test race fuzz bench tables figures ablations \
-	ec-bench examples obs-test obs-smoke scrub-smoke failover-smoke clean
+	ec-bench hotpath-bench examples obs-test obs-smoke scrub-smoke \
+	failover-smoke trace-smoke clean
 
 all: build vet test obs-test
 
@@ -61,6 +62,12 @@ scrub-smoke:
 failover-smoke:
 	sh scripts/failover-smoke.sh
 
+# End-to-end distributed-tracing smoke: swiftd + a leased client over
+# real UDP with injected agent latency; the injected delay must surface
+# in the agent's wire-joined service spans via `swiftctl trace -slow`.
+trace-smoke:
+	sh scripts/trace-smoke.sh
+
 # Short fuzz pass over the wire codecs, the at-rest integrity
 # envelope, and the erasure codec (CI smoke; go native fuzzing).
 fuzz:
@@ -87,6 +94,11 @@ ablations:
 # Reed–Solomon, across striping-unit sizes. Writes BENCH_ec.json.
 ec-bench:
 	$(GO) run ./cmd/swift-bench -table ec
+
+# Client hot-path profile: ns/byte and allocs/op over the read/write
+# path, tracing off vs on (writes BENCH_hotpath.json).
+hotpath-bench:
+	$(GO) run ./cmd/swift-bench -table hotpath
 
 edf:
 	$(GO) run ./cmd/swift-sim -figure edf

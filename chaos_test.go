@@ -11,6 +11,9 @@ import (
 	"swift"
 	"swift/internal/faultinject"
 	"swift/internal/integrity"
+	"swift/internal/mediator"
+	"swift/internal/medrpc"
+	"swift/internal/obs"
 	"swift/internal/store"
 	"swift/internal/transport/memnet"
 )
@@ -380,6 +383,14 @@ soak:
 	// client's lease must survive on a surviving replica with zero
 	// operation errors and convergent reservation accounting.
 	chaosMediatorFailover(t)
+
+	// Eighth drill: distributed tracing under faults. Injected agent
+	// latency (a read timeout) and at-rest bitrot (a read repair) must
+	// both surface as annotated spans inside assembled cross-layer span
+	// trees — client op → mediator admit → per-agent service →
+	// resend/repair children, with correct parent/child IDs and
+	// durations.
+	chaosTraceSpans(t)
 }
 
 // chaosDoubleKillK2 is TestChaosSoak's sixth drill. It boots a
@@ -905,4 +916,335 @@ func chaosMediatorFailover(t *testing.T) {
 	}
 	t.Logf("drill7: %d ops across mediator kill+restart+drain, zero errors, %d failovers, leases never lapsed",
 		ops, broker.Failovers())
+}
+
+// chaosTraceSpans is TestChaosSoak's eighth drill: the observability
+// proof. One shared tracer spans a four-agent parity installation, a
+// wire-served mediator replica, and the client; one agent carries an
+// injected read delay twice the client's retry timeout, and one raw
+// fragment image is bitrotted beneath the integrity envelope. The drill
+// asserts the assembled span trees, not just the op outcomes:
+//
+//   - the admission walk is one tree: the client-side med_admit root
+//     with the replica's wire-joined mediator/admit span as its direct
+//     child, nested in time;
+//   - a read op against the delayed agent assembles client-op →
+//     agent_read → agent-layer agent_read_serve with correct parent
+//     links, the injected delay annotated in the serve span and the
+//     serve span at least as long as the delay, plus a read-timeout
+//     resend annotation — and the tail sampler keeps it as slow;
+//   - the bitrot read assembles a degraded_read or read_repair child
+//     under the op root, retry-marked and kept by the tail sampler.
+func chaosTraceSpans(t *testing.T) {
+	const (
+		nAgents   = 4
+		objSize   = 64 * 1024
+		blockSize = 4096
+		readDelay = 30 * time.Millisecond
+	)
+	n := memnet.New(1)
+	seg := n.NewSegment("trace-lab", memnet.SegmentConfig{
+		BandwidthBps:  1e10,
+		FrameOverhead: 46,
+		Seed:          31,
+	})
+	tracer := obs.NewTracer(obs.TracerConfig{Rate: 1})
+
+	agents := make([]*swift.Agent, nAgents)
+	raw := make(map[string]*store.Mem, nAgents)
+	addrs := make([]string, nAgents)
+	medAgents := make([]mediator.AgentInfo, nAgents)
+	for i := 0; i < nAgents; i++ {
+		host := n.MustHost(fmt.Sprintf("trace-agent%d", i), memnet.HostConfig{}, seg)
+		r := store.NewMem()
+		cfg := swift.AgentConfig{
+			ResendCheck: 5 * time.Millisecond,
+			ResendAfter: 10 * time.Millisecond,
+			Tracer:      tracer,
+		}
+		if i == 1 {
+			// The injected fault: agent 1 stalls every read it serves
+			// for twice the client's retry timeout, so read bursts
+			// against it time out and resend before the data lands.
+			cfg.ReadDelay = readDelay
+		}
+		a, err := swift.StartAgent(host, integrity.NewStore(r, blockSize), cfg)
+		if err != nil {
+			t.Fatalf("drill8: agent %d: %v", i, err)
+		}
+		agents[i] = a
+		addrs[i] = a.Addr()
+		raw[a.Addr()] = r
+		medAgents[i] = mediator.AgentInfo{Addr: a.Addr(), Rate: 1e6, Net: 0}
+	}
+	defer func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}()
+
+	// The mediator replica is served over the wire, so its admit span is
+	// joined from the propagated trace context, not an in-process call.
+	med, err := mediator.New(mediator.Config{
+		Agents: medAgents,
+		Nets:   []mediator.NetInfo{{Name: "trace-lab", Capacity: 1e9}},
+		Self:   "trace-med",
+	})
+	if err != nil {
+		t.Fatalf("drill8: mediator: %v", err)
+	}
+	defer med.Close()
+	medHost := n.MustHost("trace-med", memnet.HostConfig{}, seg)
+	medSrv, err := medrpc.Serve(medrpc.ServerConfig{
+		Host: medHost, Port: "7060", Med: med, Logf: t.Logf, Tracer: tracer,
+	})
+	if err != nil {
+		t.Fatalf("drill8: medrpc serve: %v", err)
+	}
+	defer medSrv.Close()
+
+	clientHost := n.MustHost("trace-client", memnet.HostConfig{}, seg)
+	stub, err := medrpc.NewClient(medrpc.ClientConfig{
+		Host: clientHost, Name: "trace-med", Addr: "trace-med:7060", Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("drill8: medrpc client: %v", err)
+	}
+	broker, err := swift.NewMediatorBroker(swift.BrokerConfig{
+		Endpoints: []swift.MediatorEndpoint{stub},
+		Key:       "drill8",
+		Tracer:    tracer,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("drill8: broker: %v", err)
+	}
+	// 2.5 MB/s over 1 MB/s agents needs 3 data agents; +1 XOR parity = 4.
+	rec, err := broker.OpenSession(swift.MediatorRequirements{Rate: 2.5e6, Redundancy: true})
+	if err != nil {
+		t.Fatalf("drill8: open session: %v", err)
+	}
+	if got := len(rec.Plan.Addrs); got != nAgents {
+		t.Fatalf("drill8: plan spans %d agents, want %d", got, nAgents)
+	}
+	cfg := swift.Config{
+		Host:         clientHost,
+		RetryTimeout: 15 * time.Millisecond,
+		MaxRetries:   50,
+		Tracer:       tracer,
+		Logf:         t.Logf,
+	}
+	cfg.ApplyPlan(&rec.Plan)
+	// The plan's unit (64 KiB for a four-agent session) would put the
+	// whole test object in one stripe row on one data agent; shrink it so
+	// the object stripes across every agent, the delayed one included.
+	cfg.StripeUnit = 4096
+	fs, err := swift.Dial(cfg)
+	if err != nil {
+		t.Fatalf("drill8: dial: %v", err)
+	}
+	defer fs.Close()
+
+	f, err := fs.Create("trace-obj")
+	if err != nil {
+		t.Fatalf("drill8: create: %v", err)
+	}
+	defer f.Close()
+	rng := rand.New(rand.NewSource(41))
+	mirror := make([]byte, objSize)
+	rng.Read(mirror)
+	if _, err := f.WriteAt(mirror, 0); err != nil {
+		t.Fatalf("drill8: prefill: %v", err)
+	}
+
+	// The slow read: every burst against agent 1 sleeps past the retry
+	// timeout, so the op retries and still returns exact bytes.
+	got := make([]byte, objSize)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("drill8: slow read: %v", err)
+	}
+	if !bytes.Equal(got, mirror) {
+		t.Fatal("drill8: slow read returned wrong bytes")
+	}
+
+	// The repair read: one data-unit byte of the plan's first agent rots
+	// beneath the envelope (local offset 137 sits in stripe row 0, whose
+	// parity lives elsewhere), so the full read must detect, reconstruct
+	// and repair.
+	before := fs.Metrics()
+	r := raw[rec.Plan.Addrs[0]]
+	obj, err := r.Open("trace-obj", false)
+	if err != nil {
+		t.Fatalf("drill8: open raw fragment: %v", err)
+	}
+	const localOff = 137
+	phys := int64(integrity.HeaderSize + localOff)
+	var one [1]byte
+	if _, err := obj.ReadAt(one[:], phys); err != nil {
+		obj.Close()
+		t.Fatalf("drill8: read raw byte: %v", err)
+	}
+	one[0] ^= 0xA5
+	if _, err := obj.WriteAt(one[:], phys); err != nil {
+		obj.Close()
+		t.Fatalf("drill8: flip raw byte: %v", err)
+	}
+	obj.Close()
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("drill8: repair read: %v", err)
+	}
+	if !bytes.Equal(got, mirror) {
+		t.Fatal("drill8: repair read returned corrupt bytes")
+	}
+	if d := fs.Metrics().Sub(before); d.Corruptions == 0 {
+		t.Fatal("drill8: flipped byte never detected — the repair read did not exercise the envelope")
+	}
+
+	// Span-tree assertions. Traces flush when their last span finishes;
+	// retransmitted bursts leave serve spans sleeping on the delayed
+	// agent after the op returns, so poll briefly.
+	spanByName := func(tr swift.OpTrace, name string) *swift.SpanRecord {
+		for i := range tr.Spans {
+			if tr.Spans[i].Name == name {
+				return &tr.Spans[i]
+			}
+		}
+		return nil
+	}
+	spanByID := func(tr swift.OpTrace, id uint64) *swift.SpanRecord {
+		for i := range tr.Spans {
+			if tr.Spans[i].SpanID == id {
+				return &tr.Spans[i]
+			}
+		}
+		return nil
+	}
+	hasNote := func(s *swift.SpanRecord, substr string) bool {
+		for _, nt := range s.Notes {
+			if strings.Contains(nt.Msg, substr) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var admitTr, slowTr, repairTr *swift.OpTrace
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		admitTr, slowTr, repairTr = nil, nil, nil
+		traces := tracer.Traces()
+		for i := range traces {
+			tr := &traces[i]
+			switch {
+			case tr.Op == "med_admit":
+				admitTr = tr
+			case tr.Op != "read":
+				continue
+			}
+			var delayed, repaired bool
+			for j := range tr.Spans {
+				if hasNote(&tr.Spans[j], "injected read delay") {
+					delayed = true
+				}
+				if tr.Spans[j].Name == "read_repair" || tr.Spans[j].Name == "degraded_read" {
+					repaired = true
+				}
+			}
+			if delayed && !repaired && slowTr == nil {
+				slowTr = tr
+			}
+			if repaired {
+				repairTr = tr
+			}
+		}
+		if admitTr != nil && slowTr != nil && repairTr != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, tr := range tracer.Traces() {
+				t.Logf("kept trace:\n%s", tr.Waterfall())
+			}
+			t.Fatalf("drill8: traces never assembled: admit=%v slow=%v repair=%v of %d kept",
+				admitTr != nil, slowTr != nil, repairTr != nil, len(tracer.Traces()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Admission: client-side root, wire-joined mediator child, nested in
+	// both identity and time.
+	root := spanByName(*admitTr, "med_admit")
+	if root == nil || root.Parent != 0 || root.Layer != "core" {
+		t.Fatalf("drill8: admit trace has no core-layer med_admit root: %+v", admitTr.Spans)
+	}
+	admit := spanByName(*admitTr, "admit")
+	if admit == nil || admit.Layer != "mediator" {
+		t.Fatalf("drill8: admit trace has no mediator-layer admit span: %+v", admitTr.Spans)
+	}
+	if admit.Parent != root.SpanID {
+		t.Fatalf("drill8: admit span parent %x, want med_admit root %x", admit.Parent, root.SpanID)
+	}
+	if admit.Dur <= 0 || admit.Dur > root.Dur {
+		t.Fatalf("drill8: admit span %v not nested in root %v", admit.Dur, root.Dur)
+	}
+
+	// The slow read: op root → agent_read → wire-joined serve span with
+	// the injected delay annotated and at least the delay's length, plus
+	// a resend annotation; kept by a tail criterion, not head sampling.
+	root = spanByName(*slowTr, "read")
+	if root == nil || root.Parent != 0 || root.Layer != "core" {
+		t.Fatalf("drill8: slow read trace has no core-layer read root: %+v", slowTr.Spans)
+	}
+	var serveOK, resendOK bool
+	for i := range slowTr.Spans {
+		s := &slowTr.Spans[i]
+		if s.Name == "agent_read_serve" && hasNote(s, "injected read delay") {
+			parent := spanByID(*slowTr, s.Parent)
+			if parent == nil || parent.Name != "agent_read" {
+				t.Fatalf("drill8: delayed serve span parented to %+v, want an agent_read child", parent)
+			}
+			if parent.Parent != root.SpanID {
+				t.Fatalf("drill8: agent_read parent %x, want read root %x", parent.Parent, root.SpanID)
+			}
+			if s.Layer != "agent" {
+				t.Fatalf("drill8: serve span layer %q, want agent", s.Layer)
+			}
+			if s.Dur < readDelay {
+				t.Fatalf("drill8: delayed serve span %v shorter than the injected %v", s.Dur, readDelay)
+			}
+			serveOK = true
+		}
+		if s.Retry && hasNote(s, "read timeout") {
+			resendOK = true
+		}
+	}
+	if !serveOK {
+		t.Fatalf("drill8: no wire-joined serve span carries the injected delay: %+v", slowTr.Spans)
+	}
+	if !resendOK {
+		t.Fatalf("drill8: injected timeout left no retry-marked resend annotation: %+v", slowTr.Spans)
+	}
+	if !slowTr.Slow() {
+		t.Fatalf("drill8: tail sampler kept the slow read as %q, want a tail criterion", slowTr.Keep)
+	}
+
+	// The repair read: a retry-marked repair child under the op root.
+	root = spanByName(*repairTr, "read")
+	if root == nil || root.Parent != 0 {
+		t.Fatalf("drill8: repair trace has no read root: %+v", repairTr.Spans)
+	}
+	var repairOK bool
+	for i := range repairTr.Spans {
+		s := &repairTr.Spans[i]
+		if (s.Name == "read_repair" || s.Name == "degraded_read") && s.Retry && s.Parent == root.SpanID {
+			repairOK = true
+		}
+	}
+	if !repairOK {
+		t.Fatalf("drill8: no retry-marked repair child under the op root: %+v", repairTr.Spans)
+	}
+	if !repairTr.Slow() {
+		t.Fatalf("drill8: tail sampler kept the repair read as %q, want a tail criterion", repairTr.Keep)
+	}
+	t.Logf("drill8: admit, slow-read and repair span trees assembled and verified (%d traces kept)",
+		len(tracer.Traces()))
 }

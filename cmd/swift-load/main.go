@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -49,6 +50,8 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed")
 	verbose := flag.Bool("v", false, "log diagnostics and burst-level trace events to stderr")
 	metrics := flag.String("metrics", "", "HTTP address for /metrics, /trace and /debug/pprof while the load runs (e.g. :9090; empty = off)")
+	traceRate := flag.Float64("trace", 0, "distributed-tracing head-sample rate in [0,1] (0 = off); slowest op traces print after the run")
+	traceTop := flag.Int("trace-top", 3, "how many of the slowest kept op traces to render after the run (with -trace)")
 	flag.Parse()
 
 	if *chaos && !*parity {
@@ -74,6 +77,10 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	// One tracer is shared by the client and every modeled agent, so the
+	// collector assembles full cross-layer span trees in-process.
+	tracer := obs.NewTracer(obs.TracerConfig{Rate: *traceRate})
+	tracer.Register(reg)
 	copts := bench.Options{
 		Agents:   *agents,
 		Segments: *segments,
@@ -81,6 +88,7 @@ func main() {
 		Scale:    *scale,
 		Seed:     *seed,
 		Obs:      reg,
+		Tracer:   tracer,
 	}
 	if *verbose {
 		copts.Verbose = true
@@ -104,7 +112,7 @@ func main() {
 	defer cluster.Close()
 
 	if *metrics != "" {
-		msrv, err := obs.Serve(*metrics, reg, cluster.Client.Trace())
+		msrv, err := obs.Serve(*metrics, reg, cluster.Client.Trace(), tracer)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "swift-load: metrics: %v\n", err)
 			os.Exit(1)
@@ -271,6 +279,20 @@ func main() {
 		st := seg.Stats()
 		fmt.Printf("net %-8s frames=%-7d lost=%-5d deferrals=%-6d utilization=%.1f%%\n",
 			seg.Name(), st.Frames, st.Lost, st.Deferrals, 100*seg.Utilization())
+	}
+
+	// Trace epilogue: render the slowest kept op traces as waterfalls,
+	// so one run surfaces where its worst ops spent their time.
+	if traces := tracer.Traces(); len(traces) > 0 && *traceTop > 0 {
+		sort.Slice(traces, func(i, j int) bool { return traces[i].Dur > traces[j].Dur })
+		n := *traceTop
+		if n > len(traces) {
+			n = len(traces)
+		}
+		fmt.Printf("\ntraces: %d kept; slowest %d:\n", len(traces), n)
+		for _, tr := range traces[:n] {
+			fmt.Printf("\n%s\n", tr.Waterfall())
+		}
 	}
 }
 

@@ -25,6 +25,12 @@
 //	mediators             probe each mediator replica: role, sessions,
 //	                      reserved ratios, failovers, handoffs (needs
 //	                      -mediators; no -agents required)
+//	trace                 render kept per-operation span trees as
+//	                      waterfalls; -from URL fetches them from a
+//	                      running swiftd's metrics endpoint (no -agents
+//	                      required), otherwise one traced write+read runs
+//	                      against the agent set; -slow, -op, -id, -n
+//	                      filter
 //
 // Flags -unit, -parity, -parity-shards and -rate select the striping
 // parameters; -parity-shards k selects an m+k Reed–Solomon scheme whose
@@ -44,23 +50,28 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"swift"
 	"swift/internal/mediator"
 	"swift/internal/medrpc"
+	"swift/internal/obs"
 	"swift/internal/stripe"
 	"swift/internal/transport/udpnet"
 )
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: swiftctl -agents HOST:PORT,... [flags] COMMAND [args]")
-	fmt.Fprintln(os.Stderr, "commands: put get cat stat ls rm status health stats scrub bench mediators")
+	fmt.Fprintln(os.Stderr, "commands: put get cat stat ls rm status health stats scrub bench mediators trace")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -79,6 +90,7 @@ func main() {
 	agentRate := flag.Float64("agent-rate", 400, "per-agent deliverable rate in KB/s, for -rate")
 	leaseTTL := flag.Duration("lease-ttl", 0, "with -rate, lease the mediator reservation and heartbeat it")
 	mediators := flag.String("mediators", "", "federated mediator replicas as NAME=HOST:PORT,... (replaces the built-in policy for -rate)")
+	traceRate := flag.Float64("trace", 0, "distributed-tracing head-sample rate in [0,1]; the trace command defaults it to 1")
 	syncw := flag.Bool("sync", false, "synchronous writes")
 	flag.Usage = usage
 	flag.Parse()
@@ -93,6 +105,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+
+	// trace -from fetches span trees from a running swiftd's metrics
+	// endpoint: no agent set and no dial.
+	if flag.Arg(0) == "trace" && hasFromFlag(flag.Args()[1:]) {
+		if err := cmdTrace(nil, flag.Args()[1:]); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// The mediators command talks only to the mediator tier: it must not
@@ -127,6 +148,12 @@ func main() {
 		Parity:       *parity,
 		ParityShards: *parityShards,
 		SyncWrites:   *syncw,
+		TraceRate:    *traceRate,
+	}
+	// The trace command is pointless untraced: default to sampling
+	// every op unless the user picked a rate.
+	if flag.Arg(0) == "trace" && cfg.TraceRate == 0 {
+		cfg.TraceRate = 1
 	}
 
 	// With a rate requirement and a federated tier, open the session via
@@ -275,6 +302,8 @@ func main() {
 		err = cmdScrub(fs, args[1:])
 	case "bench":
 		err = cmdBench(fs, args[1:])
+	case "trace":
+		err = cmdTrace(fs, args[1:])
 	default:
 		usage()
 	}
@@ -683,6 +712,121 @@ func cmdScrub(fs *swift.FS, args []string) error {
 		return fmt.Errorf("%d rows skipped (agent out or unsettled); re-run once healthy", rep.Skipped)
 	}
 	return nil
+}
+
+// hasFromFlag reports whether the trace subcommand's args carry -from,
+// which selects the remote-fetch mode that needs no agent set. It must
+// be decided before the subcommand FlagSet parses, because the main
+// command path dials the agents first.
+func hasFromFlag(args []string) bool {
+	for _, a := range args {
+		a = strings.TrimPrefix(a, "-")
+		a = strings.TrimPrefix(a, "-")
+		if a == "from" || strings.HasPrefix(a, "from=") {
+			return true
+		}
+	}
+	return false
+}
+
+// cmdTrace renders kept per-operation span trees as waterfalls. With
+// -from it fetches them from a running swiftd or swift-load metrics
+// endpoint (/trace/ops); without it, one traced write+read runs against
+// the agent set and the client tracer's kept traces are rendered.
+func cmdTrace(fs *swift.FS, args []string) error {
+	tf := flag.NewFlagSet("trace", flag.ExitOnError)
+	from := tf.String("from", "", "fetch traces from this metrics endpoint (e.g. http://127.0.0.1:9090) instead of running a transfer")
+	slow := tf.Bool("slow", false, "only tail-kept traces: errored, retried, or slower than the op's live p99")
+	op := tf.String("op", "", "only traces whose root op matches (open, read, write, sync, scrub, ...)")
+	id := tf.String("id", "", "only the trace with this hex id")
+	n := tf.Int("n", 0, "only the n most recent matches (0 = all)")
+	mb := tf.Int("mb", 1, "transfer size in MB for the traced write+read (without -from)")
+	if err := tf.Parse(args); err != nil {
+		return err
+	}
+
+	var traces []obs.Trace
+	if *from != "" {
+		var err error
+		traces, err = fetchTraces(*from, *op, *id, *slow, *n)
+		if err != nil {
+			return err
+		}
+	} else {
+		tracer := fs.Tracer()
+		if *mb > 0 {
+			size := *mb << 20
+			data := make([]byte, size)
+			for i := range data {
+				data[i] = byte(i * 2654435761)
+			}
+			f, err := fs.Create("swiftctl-trace")
+			if err != nil {
+				return err
+			}
+			defer func() {
+				f.Close()
+				fs.Remove("swiftctl-trace")
+			}()
+			if _, err := f.WriteAt(data, 0); err != nil {
+				return err
+			}
+			if _, err := f.ReadAt(data, 0); err != nil {
+				return err
+			}
+		}
+		var err error
+		traces, err = obs.FilterTraces(tracer.Traces(), *op, *id, *slow, *n)
+		if err != nil {
+			return err
+		}
+	}
+	if len(traces) == 0 {
+		fmt.Println("no traces kept (is tracing enabled? swiftd -trace RATE / swiftctl -trace RATE)")
+		return nil
+	}
+	for _, tr := range traces {
+		fmt.Printf("%s\n\n", tr.Waterfall())
+	}
+	return nil
+}
+
+// fetchTraces pulls the kept span trees from a metrics endpoint's
+// /trace/ops handler, filtering server-side.
+func fetchTraces(base, op, id string, slow bool, n int) ([]obs.Trace, error) {
+	u := strings.TrimSuffix(base, "/")
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	q := url.Values{"format": {"json"}}
+	if slow {
+		q.Set("slow", "1")
+	}
+	if op != "" {
+		q.Set("op", op)
+	}
+	if id != "" {
+		q.Set("id", id)
+	}
+	if n > 0 {
+		q.Set("n", strconv.Itoa(n))
+	}
+	resp, err := http.Get(u + "/trace/ops?" + q.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("trace: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var out struct {
+		Traces []obs.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("trace: decode /trace/ops reply: %w", err)
+	}
+	return out.Traces, nil
 }
 
 func cmdBench(fs *swift.FS, args []string) error {

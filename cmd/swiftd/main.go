@@ -54,6 +54,8 @@ func main() {
 	blockSize := flag.Int64("blocksize", 0, "integrity envelope block size in bytes (default 4096; implies -integrity)")
 	verbose := flag.Bool("v", false, "log protocol diagnostics and burst-level trace events")
 	metrics := flag.String("metrics", "", "HTTP address for /metrics, /trace and /debug/pprof (e.g. :9090; empty = off)")
+	traceRate := flag.Float64("trace", 0, "distributed-tracing head-sample rate in [0,1] (0 = off); spans join client-minted trace contexts and serve at /trace/ops")
+	readDelay := flag.Duration("read-delay", 0, "inject an artificial pause before serving each read (fault-injection drill; annotated in the trace span)")
 	medPort := flag.String("mediator", "", "serve a mediator replica on this control port (standalone when no store is given)")
 	medName := flag.String("mediator-name", "", "this replica's name within the federated tier (default ADDR:PORT)")
 	medPeers := flag.String("mediator-peers", "", "peer replicas as NAME=HOST:PORT,... (enables session mirroring)")
@@ -83,6 +85,8 @@ func main() {
 	reg := obs.NewRegistry()
 	host := udpnet.NewHost(*addr)
 	host.Register(reg)
+	tracer := obs.NewTracer(obs.TracerConfig{Rate: *traceRate})
+	tracer.Register(reg)
 
 	var a *agent.Agent
 	if !mediatorOnly {
@@ -93,7 +97,10 @@ func main() {
 				func() float64 { return float64(ist.Corruptions()) })
 			st = ist
 		}
-		cfg := agent.Config{Port: *port, SyncWrites: *sync, Obs: reg, Verbose: *verbose}
+		cfg := agent.Config{
+			Port: *port, SyncWrites: *sync, Obs: reg, Verbose: *verbose,
+			Tracer: tracer, ReadDelay: *readDelay,
+		}
 		if *verbose {
 			cfg.Logf = log.Printf
 		}
@@ -136,7 +143,7 @@ func main() {
 		if *verbose {
 			logf = log.Printf
 		}
-		medSrv, err = medrpc.Serve(medrpc.ServerConfig{Host: host, Port: *medPort, Med: med, Logf: logf})
+		medSrv, err = medrpc.Serve(medrpc.ServerConfig{Host: host, Port: *medPort, Med: med, Logf: logf, Tracer: tracer})
 		if err != nil {
 			log.Fatalf("mediator: %v", err)
 		}
@@ -149,12 +156,12 @@ func main() {
 		if a != nil {
 			tr = a.Trace()
 		}
-		msrv, err := obs.Serve(*metrics, reg, tr)
+		msrv, err := obs.Serve(*metrics, reg, tr, tracer)
 		if err != nil {
 			log.Fatalf("metrics: %v", err)
 		}
 		defer msrv.Close()
-		log.Printf("metrics on http://%s/metrics (trace at /trace, pprof at /debug/pprof)", msrv.Addr())
+		log.Printf("metrics on http://%s/metrics (trace at /trace, spans at /trace/ops, pprof at /debug/pprof)", msrv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -78,6 +78,13 @@ type Config struct {
 	// telemetry in (swiftd's /metrics endpoint). Nil gets a private
 	// registry; telemetry is always recorded.
 	Obs *obs.Registry
+	// Tracer, when non-nil, records agent-side service spans under the
+	// trace contexts client request packets carry. Nil disables tracing.
+	Tracer *obs.Tracer
+	// ReadDelay injects an artificial pause before each read request is
+	// served — a fault-injection knob for trace drills (the delay shows
+	// up, annotated, in the agent's service span). Zero disables it.
+	ReadDelay time.Duration
 }
 
 func (c *Config) fill() {
@@ -194,6 +201,14 @@ func (a *Agent) send(c transport.PacketConn, to string, p *wire.Packet) {
 	}
 }
 
+// joinSpan opens an agent-side child span under the client-minted trace
+// context a request packet carries. A nil tracer or an untraced packet
+// yields a nil span; every *obs.Span method is nil-safe, so handlers
+// instrument unconditionally.
+func (a *Agent) joinSpan(ctx obs.SpanContext, name string) *obs.Span {
+	return a.cfg.Tracer.StartRemote(ctx, "agent", name, -1)
+}
+
 // sendError reports a failed request to the client. Corruption errors
 // are additionally counted: they mean the store detected damaged bytes
 // at rest and refused to serve them.
@@ -248,29 +263,35 @@ func (a *Agent) controlLoop() {
 }
 
 func (a *Agent) handleOpen(pkt *wire.Packet, from string) {
+	sp := a.joinSpan(pkt.Trace, "agent_open")
+	defer sp.Finish()
+	fail := func(err error) {
+		sp.SetError(err)
+		a.sendError(a.ctl, from, pkt, err)
+	}
 	req, err := wire.ParseOpenRequest(pkt.Payload)
 	if err != nil {
 		a.tel.openRejects.Inc()
-		a.sendError(a.ctl, from, pkt, err)
+		fail(err)
 		return
 	}
 	obj, err := a.st.Open(req.Name, pkt.Flags&wire.FCreate != 0)
 	if err != nil {
 		a.tel.openRejects.Inc()
-		a.sendError(a.ctl, from, pkt, err)
+		fail(err)
 		return
 	}
 	if pkt.Flags&wire.FTrunc != 0 {
 		if err := obj.Truncate(0); err != nil {
 			obj.Close()
-			a.sendError(a.ctl, from, pkt, err)
+			fail(err)
 			return
 		}
 	}
 	size, err := obj.Size()
 	if err != nil {
 		obj.Close()
-		a.sendError(a.ctl, from, pkt, err)
+		fail(err)
 		return
 	}
 	a.mu.Lock()
@@ -279,14 +300,14 @@ func (a *Agent) handleOpen(pkt *wire.Packet, from string) {
 		obj.Close()
 		a.tel.openRejects.Inc()
 		a.traceEvent("open_reject", "%s: too many open files (%d)", req.Name, a.cfg.MaxSessions)
-		a.sendError(a.ctl, from, pkt, fmt.Errorf("too many open files (%d)", a.cfg.MaxSessions))
+		fail(fmt.Errorf("too many open files (%d)", a.cfg.MaxSessions))
 		return
 	}
 	a.mu.Unlock()
 	conn, err := a.host.Listen("0")
 	if err != nil {
 		obj.Close()
-		a.sendError(a.ctl, from, pkt, err)
+		fail(err)
 		return
 	}
 	a.mu.Lock()
@@ -311,6 +332,7 @@ func (a *Agent) handleOpen(pkt *wire.Packet, from string) {
 	a.tel.opens.Inc()
 	a.tel.sessions.Set(int64(live))
 	a.traceEvent("open", "%s: session %d opened (%d live)", req.Name, h, live)
+	sp.Annotate("%s: session %d (%d live)", req.Name, h, live)
 	a.wg.Add(1)
 	go s.run()
 
@@ -449,6 +471,18 @@ type writeState struct {
 	done       bool
 	doneAt     time.Time
 	from       string
+	// sp is the agent-side service span joined from the announcement's
+	// trace context (data packets travel untraced). It spans announce →
+	// ack, nil when the burst is untraced, and is nilled after Finish so
+	// duplicate announcements cannot double-close it.
+	sp *obs.Span
+}
+
+// finishSpan closes the burst's service span exactly once.
+func (w *writeState) finishSpan(err error) {
+	w.sp.SetError(err)
+	w.sp.Finish()
+	w.sp = nil
 }
 
 // earlyData is one buffered pre-announcement data packet.
@@ -472,6 +506,7 @@ func (s *session) run() {
 	defer s.agent.wg.Done()
 	defer s.obj.Close()
 	defer s.conn.Close()
+	defer s.abandonWrites()
 
 	cfg := &s.agent.cfg
 	buf := make([]byte, wire.MaxPacket)
@@ -520,7 +555,11 @@ func (s *session) dispatch(pkt *wire.Packet, from string) (closed bool) {
 	case wire.TData:
 		s.handleData(pkt, from)
 	case wire.TSync:
-		if err := s.agent.syncTimed(s.obj.Sync); err != nil {
+		sp := s.agent.joinSpan(pkt.Trace, "agent_sync")
+		err := s.agent.syncTimed(s.obj.Sync)
+		sp.SetError(err)
+		sp.Finish()
+		if err != nil {
 			s.agent.sendError(s.conn, from, pkt, err)
 			return false
 		}
@@ -528,7 +567,11 @@ func (s *session) dispatch(pkt *wire.Packet, from string) (closed bool) {
 			Header: wire.Header{Type: wire.TSyncReply, ReqID: pkt.ReqID, Handle: s.handle},
 		})
 	case wire.TTrunc:
-		if err := s.obj.Truncate(pkt.Offset); err != nil {
+		sp := s.agent.joinSpan(pkt.Trace, "agent_trunc")
+		err := s.obj.Truncate(pkt.Offset)
+		sp.SetError(err)
+		sp.Finish()
+		if err != nil {
 			s.agent.sendError(s.conn, from, pkt, err)
 			return false
 		}
@@ -556,6 +599,17 @@ func (s *session) serveRead(pkt *wire.Packet, from string) {
 	cfg := &s.agent.cfg
 	tel := s.agent.tel
 	tel.readReqs.Inc()
+	sp := s.agent.joinSpan(pkt.Trace, "agent_read_serve")
+	defer sp.Finish()
+	sp.Annotate("[%d:%d)", pkt.Offset, pkt.Offset+int64(pkt.Length))
+	if cfg.ReadDelay > 0 {
+		time.Sleep(cfg.ReadDelay)
+		sp.Annotate("injected read delay %v", cfg.ReadDelay)
+		// A uniformly-injected delay never trips the live-p99 keep
+		// criterion (every op is equally slow); mark the drill explicitly
+		// so `swiftctl trace -slow` surfaces it.
+		sp.MarkFault()
+	}
 	start := time.Now()
 	defer func() { tel.readServeLat.Observe(time.Since(start)) }()
 	type chunk struct {
@@ -589,6 +643,7 @@ func (s *session) serveRead(pkt *wire.Packet, from string) {
 	end := pkt.Offset + int64(pkt.Length)
 	for c := range chunks {
 		if c.err != nil {
+			sp.SetError(c.err)
 			s.agent.sendError(s.conn, from, pkt, c.err)
 			return
 		}
@@ -629,10 +684,15 @@ func (s *session) handleWriteAnnounce(pkt *wire.Packet, from string) {
 		s.ackWrite(pkt.ReqID, w, from)
 		return
 	}
+	if w.sp == nil {
+		w.sp = s.agent.joinSpan(pkt.Trace, "agent_write_serve")
+		w.sp.Annotate("[%d:%d)", pkt.Offset, pkt.Offset+int64(pkt.Length))
+	}
 	if int64(pkt.Length) > s.agent.cfg.MaxBurstBytes {
+		err := fmt.Errorf("write burst of %d bytes exceeds limit %d", pkt.Length, s.agent.cfg.MaxBurstBytes)
+		w.finishSpan(err)
 		delete(s.writes, pkt.ReqID)
-		s.agent.sendError(s.conn, from, pkt,
-			fmt.Errorf("write burst of %d bytes exceeds limit %d", pkt.Length, s.agent.cfg.MaxBurstBytes))
+		s.agent.sendError(s.conn, from, pkt, err)
 		return
 	}
 	w.announced = true
@@ -716,6 +776,7 @@ func (s *session) completeIfReady(reqID uint32, w *writeState, from string) {
 	}
 	if w.length > 0 {
 		if _, err := s.obj.WriteAt(w.data, w.off); err != nil {
+			w.finishSpan(err)
 			delete(s.writes, reqID)
 			s.agent.sendError(s.conn, from, &wire.Packet{
 				Header: wire.Header{Type: wire.TWrite, ReqID: reqID, Handle: s.handle},
@@ -731,6 +792,7 @@ func (s *session) completeIfReady(reqID uint32, w *writeState, from string) {
 	}
 	w.done = true
 	w.doneAt = time.Now()
+	w.finishSpan(nil)
 	s.agent.tel.writeBursts.Inc()
 	if !w.first.IsZero() {
 		s.agent.tel.writeLat.Observe(w.doneAt.Sub(w.first))
@@ -745,6 +807,17 @@ func (s *session) ackWrite(reqID uint32, w *writeState, from string) {
 			Offset: w.off, Length: uint32(w.length),
 		},
 	})
+}
+
+// abandonWrites closes the service spans of bursts still incomplete
+// when the session ends, so the tracer's trace can flush instead of
+// waiting for the stale-trace eviction timer.
+func (s *session) abandonWrites() {
+	for _, w := range s.writes {
+		if w.sp != nil {
+			w.finishSpan(errors.New("session closed with burst incomplete"))
+		}
+	}
 }
 
 // checkWrites requests resends for stalled bursts and garbage-collects
@@ -777,6 +850,8 @@ func (s *session) checkWrites(now time.Time) {
 		}
 		w.prompted = now
 		s.agent.tel.resendReqs.Inc()
+		w.sp.MarkRetry()
+		w.sp.Annotate("resend prompt: %d missing ranges after %v stall", len(ranges), idle)
 		s.agent.traceEvent("resend_prompt", "session %d req %d: %d missing ranges after %v stall",
 			s.handle, reqID, len(ranges), idle)
 		s.agent.send(s.conn, w.from, &wire.Packet{

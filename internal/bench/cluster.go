@@ -63,6 +63,10 @@ type Options struct {
 	// (swift-load's -metrics endpoint). Agents keep private registries —
 	// their unlabeled series would collide in a shared one.
 	Obs *obs.Registry
+	// Tracer, when non-nil, is shared by the client and every agent, so
+	// one collector assembles full cross-layer span trees (client op →
+	// per-agent service spans) for the in-process installation.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) fill() {
@@ -128,6 +132,7 @@ func NewSwiftCluster(opts Options) (*SwiftCluster, error) {
 			SessionIdle: scaled(120*time.Second, opts.Scale),
 			Logf:        opts.Logf,
 			Verbose:     opts.Verbose,
+			Tracer:      opts.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -182,6 +187,7 @@ func NewSwiftCluster(opts Options) (*SwiftCluster, error) {
 		Logf:         opts.Logf,
 		Verbose:      opts.Verbose,
 		Obs:          opts.Obs,
+		Tracer:       opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -226,6 +232,7 @@ func (c *SwiftCluster) RestartAgent(i int) error {
 		SessionIdle: scaled(120*time.Second, c.opts.Scale),
 		Logf:        c.opts.Logf,
 		Verbose:     c.opts.Verbose,
+		Tracer:      c.opts.Tracer,
 	})
 	if err != nil {
 		return err

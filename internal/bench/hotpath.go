@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"swift/internal/core"
+	"swift/internal/obs"
+	"swift/internal/wire"
+)
+
+// The hot-path profile: what does one byte moved through the client
+// read/write path cost, and does distributed tracing change it? Two
+// levels are measured. The packet rows time the pure CPU encode/decode
+// path (no network, single goroutine, exact malloc counts) — they are
+// the evidence that an untraced packet allocates nothing, i.e. that
+// tracing disabled is free per packet. The op rows drive full reads and
+// writes through the modeled installation and count every allocation the
+// op causes across client and agents; their ns/byte is modeled wall
+// time, so only the off-vs-on comparison is meaningful there.
+
+// HotPoint is one measured cell of the hot-path profile.
+type HotPoint struct {
+	Path        string  `json:"path"`    // "packet_encode", "packet_decode", "write", "read"
+	Tracing     string  `json:"tracing"` // "off" or "on"
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	NsPerByte   float64 `json:"ns_per_byte"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// HotBench is the machine-readable result set (BENCH_hotpath.json).
+type HotBench struct {
+	Points []HotPoint `json:"points"`
+}
+
+// MeasureHotpath runs the hot-path profile. budget is the minimum
+// measurement time per packet-level cell; the op-level cells run a small
+// fixed number of full read/write ops instead, because each op already
+// moves opBytes through the modeled installation.
+func MeasureHotpath(budget time.Duration) (HotBench, error) {
+	var out HotBench
+
+	for _, traced := range []bool{false, true} {
+		enc, dec := measurePacket(budget, traced)
+		out.Points = append(out.Points, enc, dec)
+	}
+	for _, traced := range []bool{false, true} {
+		pts, err := measureOps(traced)
+		if err != nil {
+			return HotBench{}, err
+		}
+		out.Points = append(out.Points, pts...)
+	}
+	return out, nil
+}
+
+// measurePacket times wire encode (AppendPacket into a reused buffer)
+// and decode (Unmarshal, payload aliasing) of a full-size data packet,
+// untraced or carrying the version-2 trace extension. Runs pinned to one
+// goroutine with exact malloc deltas — the per-packet numbers behind the
+// "tracing off costs zero allocations" claim.
+func measurePacket(budget time.Duration, traced bool) (enc, dec HotPoint) {
+	pkt := wire.Packet{
+		Header:  wire.Header{Type: wire.TData, ReqID: 7, Handle: 42, Offset: 1 << 20, Length: wire.MaxPayload},
+		Payload: pattern(wire.MaxPayload, 3),
+	}
+	if traced {
+		pkt.Trace = obs.SpanContext{TraceID: 0xdead, SpanID: 0xbeef, Flags: obs.SpanSampled}
+		pkt.Payload = pkt.Payload[:wire.MaxTracedPayload]
+		pkt.Length = wire.MaxTracedPayload
+	}
+	buf := make([]byte, 0, wire.MaxPacket)
+	encoded, err := wire.AppendPacket(buf, &pkt)
+	if err != nil {
+		panic(err) // static inputs; cannot fail
+	}
+
+	mode := "off"
+	if traced {
+		mode = "on"
+	}
+	bytes := int64(len(pkt.Payload))
+
+	nsb, allocs := timeAllocs(budget, func() {
+		if _, err := wire.AppendPacket(buf[:0], &pkt); err != nil {
+			panic(err)
+		}
+	})
+	enc = HotPoint{Path: "packet_encode", Tracing: mode, BytesPerOp: bytes,
+		NsPerByte: nsb / float64(bytes), AllocsPerOp: allocs}
+
+	var got wire.Packet
+	nsb, allocs = timeAllocs(budget, func() {
+		if err := wire.Unmarshal(encoded, &got); err != nil {
+			panic(err)
+		}
+	})
+	dec = HotPoint{Path: "packet_decode", Tracing: mode, BytesPerOp: bytes,
+		NsPerByte: nsb / float64(bytes), AllocsPerOp: allocs}
+	return enc, dec
+}
+
+// hotOpBytes is the transfer each measured op moves: large enough that
+// per-op setup amortizes, small enough that a cell finishes in seconds
+// of wall time on the modeled Ethernet.
+const hotOpBytes = 256 << 10
+
+// hotOpRuns is the measured op count per cell (plus one warm-up).
+const hotOpRuns = 4
+
+// measureOps drives full WriteAt/ReadAt ops through a 3-agent modeled
+// installation — tracing off (nil tracer) or on (head-sampling every op)
+// — and reports ns/byte of modeled wall time plus the total allocations
+// each op causes across the client and every agent goroutine.
+func measureOps(traced bool) ([]HotPoint, error) {
+	opts := Options{Seed: 1}
+	mode := "off"
+	if traced {
+		mode = "on"
+		opts.Tracer = obs.NewTracer(obs.TracerConfig{Rate: 1})
+	}
+	cl, err := NewSwiftCluster(opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: hotpath cluster: %w", err)
+	}
+	defer cl.Close()
+
+	data := pattern(hotOpBytes, 11)
+	f, err := cl.Client.Open("hotpath", core.OpenFlags{Create: true, Truncate: true})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	wns, wallocs, err := timeAllocsOp(func() error {
+		_, werr := f.WriteAt(data, 0)
+		return werr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: hotpath write: %w", err)
+	}
+	buf := make([]byte, hotOpBytes)
+	rns, rallocs, err := timeAllocsOp(func() error {
+		_, rerr := f.ReadAt(buf, 0)
+		return rerr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: hotpath read: %w", err)
+	}
+	return []HotPoint{
+		{Path: "write", Tracing: mode, BytesPerOp: hotOpBytes,
+			NsPerByte: wns / hotOpBytes, AllocsPerOp: wallocs},
+		{Path: "read", Tracing: mode, BytesPerOp: hotOpBytes,
+			NsPerByte: rns / hotOpBytes, AllocsPerOp: rallocs},
+	}, nil
+}
+
+// timeAllocs runs op until at least budget has elapsed (always at least
+// once) on a single pinned goroutine and returns (ns per op, mallocs per
+// op). The malloc delta is exact: GOMAXPROCS(1) and no helper goroutines,
+// the same discipline testing.AllocsPerRun uses.
+func timeAllocs(budget time.Duration, op func()) (nsPerOp, allocsPerOp float64) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	op() // warm-up
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var (
+		iters int
+		start = time.Now()
+	)
+	for {
+		op()
+		iters++
+		if time.Since(start) >= budget {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / float64(iters),
+		float64(after.Mallocs-before.Mallocs) / float64(iters)
+}
+
+// timeAllocsOp measures hotOpRuns full ops: ns per op and the
+// process-wide malloc delta per op. The ops fan work out to agent and
+// transport goroutines, so the count is every allocation the op causes
+// end to end — noisier than timeAllocs but the honest per-op figure.
+func timeAllocsOp(op func() error) (nsPerOp, allocsPerOp float64, err error) {
+	if err := op(); err != nil { // warm-up: sessions, buffers, read-ahead
+		return 0, 0, err
+	}
+	runtime.GC() // flush garbage so the delta measures the ops, not cleanup
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < hotOpRuns; i++ {
+		if err := op(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / hotOpRuns,
+		float64(after.Mallocs-before.Mallocs) / hotOpRuns, nil
+}
+
+// Print renders the profile in the ablation-sweep style.
+func (b HotBench) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: hotpath: client read/write path ns/byte and allocs/op, tracing off vs on")
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "Path\tTracing\tBytes/op\tns/byte\tallocs/op\t")
+	for _, p := range b.Points {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%.1f\t\n",
+			p.Path, p.Tracing, p.BytesPerOp, p.NsPerByte, p.AllocsPerOp)
+	}
+	tw.Flush()
+}
+
+// String renders the profile to a string.
+func (b HotBench) String() string {
+	var sb strings.Builder
+	b.Print(&sb)
+	return sb.String()
+}
+
+// WriteJSON emits the machine-readable result set.
+func (b HotBench) WriteJSON(w io.Writer) error {
+	e := json.NewEncoder(w)
+	e.SetIndent("", "  ")
+	return e.Encode(b)
+}

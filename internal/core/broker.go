@@ -53,6 +53,22 @@ type BrokerConfig struct {
 	Logf  func(format string, args ...any)
 	// Obs, when non-nil, receives the broker's failover counters.
 	Obs *obs.Registry
+	// Tracer, when non-nil, mints spans for the admit/renew/close walks,
+	// so mediator failovers show up in the client's op traces.
+	Tracer *obs.Tracer
+}
+
+// tracedAdmitter and tracedRenewer are optional upgrades of
+// MediatorEndpoint: wire transports implement them to carry the trace
+// context on TMedOpen/TMedRenew packets, so the serving replica's span
+// joins the client's trace. In-process endpoints need not bother — with a
+// shared tracer their spans land in the same collector regardless.
+type tracedAdmitter interface {
+	AdmitTraced(req mediator.Requirements, ctx obs.SpanContext) (*mediator.SessionRecord, error)
+}
+
+type tracedRenewer interface {
+	RenewSessionTraced(rec mediator.SessionRecord, ctx obs.SpanContext) (string, error)
 }
 
 // MediatorBroker is the client-side mediator failover layer: it opens a
@@ -121,6 +137,37 @@ func NewMediatorBroker(cfg BrokerConfig) (*MediatorBroker, error) {
 	return b, nil
 }
 
+// span roots a broker span, joining parent when it names a trace; nil
+// tracer yields a nil (no-op) span.
+func (b *MediatorBroker) span(parent obs.SpanContext, name string) *obs.Span {
+	if parent.Valid() {
+		return b.cfg.Tracer.StartRemote(parent, "core", name, -1)
+	}
+	return b.cfg.Tracer.StartOp("core", name)
+}
+
+// admitVia runs one admit attempt against ep, propagating the span
+// context when the endpoint's transport supports it.
+func admitVia(ep MediatorEndpoint, req mediator.Requirements, sp *obs.Span) (*mediator.SessionRecord, error) {
+	if ta, ok := ep.(tracedAdmitter); ok {
+		if ctx := sp.Context(); ctx.Valid() {
+			return ta.AdmitTraced(req, ctx)
+		}
+	}
+	return ep.Admit(req)
+}
+
+// renewVia runs one renew attempt against ep, propagating the span
+// context when the endpoint's transport supports it.
+func renewVia(ep MediatorEndpoint, rec mediator.SessionRecord, sp *obs.Span) (string, error) {
+	if tr, ok := ep.(tracedRenewer); ok {
+		if ctx := sp.Context(); ctx.Valid() {
+			return tr.RenewSessionTraced(rec, ctx)
+		}
+	}
+	return ep.RenewSession(rec)
+}
+
 // backoff is the pause before retry walk number attempt (1-based):
 // capped exponential with ±25% jitter.
 func (b *MediatorBroker) backoff(attempt int) time.Duration {
@@ -183,6 +230,15 @@ func (b *MediatorBroker) setHome(home string, viaFailure bool) {
 // (ErrUnsatisfiable) is returned immediately — every replica runs the
 // same admission arithmetic, so rotating cannot help.
 func (b *MediatorBroker) OpenSession(req mediator.Requirements) (*mediator.SessionRecord, error) {
+	return b.OpenSessionTraced(req, obs.SpanContext{})
+}
+
+// OpenSessionTraced is OpenSession with the admission walk parented under
+// the caller's span (the facade's mount span), so the admit — and any
+// replica failover inside it — appears in the op's trace.
+func (b *MediatorBroker) OpenSessionTraced(req mediator.Requirements, parent obs.SpanContext) (*mediator.SessionRecord, error) {
+	sp := b.span(parent, "med_admit")
+	defer sp.Finish()
 	if req.Key == "" {
 		req.Key = b.cfg.Key
 	}
@@ -195,8 +251,9 @@ func (b *MediatorBroker) OpenSession(req mediator.Requirements) (*mediator.Sessi
 			b.cfg.Sleep(b.backoff(attempt))
 		}
 		for _, ep := range b.order {
-			rec, err := ep.Admit(req)
+			rec, err := admitVia(ep, req, sp)
 			if err == nil {
+				sp.Annotate("admitted by %s", ep.Name())
 				b.mu.Lock()
 				cp := *rec
 				b.rec = &cp
@@ -209,13 +266,18 @@ func (b *MediatorBroker) OpenSession(req mediator.Requirements) (*mediator.Sessi
 				return &out, nil
 			}
 			if errors.Is(err, mediator.ErrUnsatisfiable) {
+				sp.SetError(err)
 				return nil, err
 			}
 			lastErr = err
+			sp.MarkRetry()
+			sp.Annotate("admit on %s failed: %v", ep.Name(), err)
 			b.cfg.Logf("swift: mediator open on %s: %v", ep.Name(), err)
 		}
 	}
-	return nil, fmt.Errorf("%w: open: %w", ErrMediatorsDown, lastErr)
+	err := fmt.Errorf("%w: open: %w", ErrMediatorsDown, lastErr)
+	sp.SetError(err)
+	return nil, err
 }
 
 // Renew heartbeats the session: the home replica first, then — on any
@@ -236,6 +298,8 @@ func (b *MediatorBroker) Renew() error {
 	if rec == nil {
 		return ErrNoMediatorSession
 	}
+	sp := b.span(obs.SpanContext{}, "med_renew")
+	defer sp.Finish()
 	var lastErr error
 	for attempt := 1; attempt <= b.cfg.Attempts; attempt++ {
 		if attempt > 1 {
@@ -245,15 +309,22 @@ func (b *MediatorBroker) Renew() error {
 			b.cfg.Sleep(b.backoff(attempt))
 		}
 		for _, ep := range b.candidates(home) {
-			newHome, err := ep.RenewSession(recCopy)
+			newHome, err := renewVia(ep, recCopy, sp)
 			if err == nil {
 				if newHome == "" {
 					newHome = ep.Name()
+				}
+				if ep.Name() != home {
+					// The session re-targeted: a failover (dead home) or a
+					// drain handoff — either way worth keeping the trace.
+					sp.MarkRetry()
+					sp.Annotate("failover %s -> %s", home, newHome)
 				}
 				b.setHome(newHome, ep.Name() != home)
 				return nil
 			}
 			lastErr = err
+			sp.Annotate("renew on %s failed: %v", ep.Name(), err)
 			if !errors.Is(err, mediator.ErrDraining) {
 				b.cfg.Logf("swift: mediator renew on %s: %v", ep.Name(), err)
 			}
@@ -262,7 +333,9 @@ func (b *MediatorBroker) Renew() error {
 	b.mu.Lock()
 	b.renewErrs++
 	b.mu.Unlock()
-	return fmt.Errorf("%w: renew session %d: %w", ErrMediatorsDown, recCopy.ID, lastErr)
+	err := fmt.Errorf("%w: renew session %d: %w", ErrMediatorsDown, recCopy.ID, lastErr)
+	sp.SetError(err)
+	return err
 }
 
 // Heartbeat is Renew shaped for Config.Heartbeat: failures are logged
@@ -286,6 +359,8 @@ func (b *MediatorBroker) CloseSession() error {
 	if rec == nil {
 		return nil
 	}
+	sp := b.span(obs.SpanContext{}, "med_close")
+	defer sp.Finish()
 	var lastErr error
 	for attempt := 1; attempt <= b.cfg.Attempts; attempt++ {
 		if attempt > 1 {
@@ -294,13 +369,19 @@ func (b *MediatorBroker) CloseSession() error {
 		for _, ep := range b.candidates(home) {
 			err := ep.CloseSession(rec.ID)
 			if err == nil {
+				if ep.Name() != home {
+					sp.MarkRetry()
+					sp.Annotate("closed via survivor %s", ep.Name())
+				}
 				return nil
 			}
 			lastErr = err
 		}
 	}
 	// The lease janitor will reap the reservations within one TTL.
-	return fmt.Errorf("%w: close session %d: %w", ErrMediatorsDown, rec.ID, lastErr)
+	err := fmt.Errorf("%w: close session %d: %w", ErrMediatorsDown, rec.ID, lastErr)
+	sp.SetError(err)
+	return err
 }
 
 // Record returns a copy of the session record the broker holds, or nil

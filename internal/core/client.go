@@ -99,6 +99,11 @@ type Config struct {
 	// mediator metrics behind one /metrics endpoint. Nil gets a private
 	// registry (telemetry is always recorded).
 	Obs *obs.Registry
+	// Tracer, when non-nil, mints distributed-tracing spans: every client
+	// operation roots a span tree, per-agent work opens children, and the
+	// context rides control packets to agents and mediators. Nil disables
+	// tracing at zero cost on the per-packet path.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) fill() error {
@@ -170,8 +175,10 @@ type Client struct {
 	monStop chan struct{}
 	monDone chan struct{}
 
-	metrics Metrics
-	tel     *telemetry
+	metrics   Metrics
+	tel       *telemetry
+	tracer    *obs.Tracer // nil when tracing is disabled
+	traceStop func()      // stops the Verbose buffered sink drain
 }
 
 // Metrics counts protocol events, for diagnostics and calibration.
@@ -224,9 +231,13 @@ func Dial(cfg Config) (*Client, error) {
 		}
 	}
 	c.tel = newTelemetry(cfg.Obs, cfg.Agents, &c.metrics, c.codec)
+	c.tracer = cfg.Tracer
 	if cfg.Verbose {
 		logf := c.cfg.Logf
-		c.tel.trace.SetSink(func(e obs.Event) { logf("trace: %s", e.String()) })
+		// Logf implementations may block (files, test loggers); the
+		// buffered hand-off keeps event emission non-blocking on the data
+		// path, dropping on overflow instead of stalling a transfer.
+		c.traceStop = c.tel.trace.SetBufferedSink(func(e obs.Event) { logf("trace: %s", e.String()) }, 256)
 	}
 	return c, nil
 }
@@ -260,6 +271,9 @@ func (c *Client) ECStats() ec.Stats {
 // control endpoint. Open files remain usable until closed individually.
 func (c *Client) Close() error {
 	c.StopMonitor()
+	if c.traceStop != nil {
+		c.traceStop()
+	}
 	return c.ctl.Close()
 }
 
@@ -328,6 +342,18 @@ func (c *Client) nextReq() uint32 { return c.req.Add(1) }
 type OpenFlags struct {
 	Create   bool
 	Truncate bool
+	// Trace, when valid, parents the open's span under the caller's span
+	// (the facade's mount span); zero roots a fresh trace.
+	Trace obs.SpanContext
+}
+
+// startSpan roots a span for one client operation, joining parent when it
+// names a trace. Returns nil (a no-op span) when tracing is disabled.
+func (c *Client) startSpan(parent obs.SpanContext, name string) *obs.Span {
+	if parent.Valid() {
+		return c.tracer.StartRemote(parent, "core", name, -1)
+	}
+	return c.tracer.StartOp("core", name)
 }
 
 // Open establishes per-agent sessions for the named object and returns a
@@ -335,6 +361,9 @@ type OpenFlags struct {
 // (= ParityShards) unreachable agents and enters degraded mode.
 func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
 	start := time.Now()
+	sp := c.startSpan(flags.Trace, "open")
+	defer sp.Finish()
+	sp.Annotate("open %s", name)
 	down := c.downSnapshot()
 	sessions := make([]*agentSession, len(c.cfg.Agents))
 	errs := make([]error, len(c.cfg.Agents))
@@ -347,7 +376,10 @@ func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			sessions[i], errs[i] = c.openSession(i, addr, name, flags)
+			as := sp.StartChild("agent_open", i)
+			sessions[i], errs[i] = c.openSession(i, addr, name, flags, as.Context())
+			as.SetError(errs[i])
+			as.Finish()
 		}(i, addr)
 	}
 	wg.Wait()
@@ -374,10 +406,17 @@ func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
 		closeAll()
 		for i, err := range errs {
 			if err != nil {
-				return nil, fmt.Errorf("core: open %s on agent %d (%s): %w",
+				werr := fmt.Errorf("core: open %s on agent %d (%s): %w",
 					name, i, c.cfg.Agents[i], err)
+				sp.SetError(werr)
+				return nil, werr
 			}
 		}
+	}
+	if failed > 0 {
+		// Degraded open: tolerated by parity, but worth keeping the trace.
+		sp.MarkRetry()
+		sp.Annotate("degraded open: %d agents unavailable", failed)
 	}
 
 	frag := make([]int64, len(sessions))
@@ -401,7 +440,7 @@ func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
 	c.files[f] = struct{}{}
 	c.mu.Unlock()
 	c.tel.openFiles.Add(1)
-	observe(c.tel.openLat, start)
+	observeSpan(c.tel.openLat, start, sp)
 	return f, nil
 }
 
@@ -444,8 +483,9 @@ func (s *agentSession) close() {
 }
 
 // openSession performs the open handshake with one agent, with
-// retransmission.
-func (c *Client) openSession(idx int, addr, name string, flags OpenFlags) (*agentSession, error) {
+// retransmission. tctx, when valid, rides the TOpen packet so the agent's
+// service span joins the caller's trace.
+func (c *Client) openSession(idx int, addr, name string, flags OpenFlags, tctx obs.SpanContext) (*agentSession, error) {
 	conn, err := c.cfg.Host.Listen("0")
 	if err != nil {
 		return nil, err
@@ -460,6 +500,7 @@ func (c *Client) openSession(idx int, addr, name string, flags OpenFlags) (*agen
 	reqID := c.nextReq()
 	req := &wire.Packet{
 		Header:  wire.Header{Type: wire.TOpen, ReqID: reqID, Flags: f},
+		Trace:   tctx,
 		Payload: wire.AppendOpenRequest(nil, &wire.OpenRequest{Name: name}),
 	}
 	reply, err := c.rpc(conn, addr, req, reqID)

@@ -45,7 +45,7 @@ func TestDegradedReadMatrixK2(t *testing.T) {
 					t.Fatalf("degraded size %d > real %d", g.Size(), len(data))
 				}
 				out := make([]byte, len(data))
-				if err := g.readRange(out, 0, true); err != nil {
+				if err := g.readRange(out, 0, true, nil); err != nil {
 					t.Fatalf("degraded read: %v", err)
 				}
 				if !bytes.Equal(out, data) {
@@ -80,7 +80,7 @@ func TestDegradedWriteThenReadK2(t *testing.T) {
 	}
 	copy(data[5_000:], patch)
 	out := make([]byte, len(data))
-	if err := g.readRange(out, 0, true); err != nil {
+	if err := g.readRange(out, 0, true, nil); err != nil {
 		t.Fatalf("degraded read-back: %v", err)
 	}
 	if !bytes.Equal(out, data) {
@@ -126,7 +126,7 @@ func TestQuorumLossK2(t *testing.T) {
 		c.client.MarkDown(dead, true)
 	}
 	out := make([]byte, len(data))
-	if err := f.readRange(out, 0, true); !errors.Is(err, ErrNoQuorum) {
+	if err := f.readRange(out, 0, true, nil); !errors.Is(err, ErrNoQuorum) {
 		t.Fatalf("read with 3 agents down = %v, want ErrNoQuorum", err)
 	}
 }
@@ -213,7 +213,7 @@ func TestRebuildWithAgentDownK2(t *testing.T) {
 	h, _ := c.client.Open("obj", OpenFlags{})
 	defer h.Close()
 	out := make([]byte, len(data))
-	if err := h.readRange(out, 0, true); err != nil {
+	if err := h.readRange(out, 0, true, nil); err != nil {
 		t.Fatalf("read after rebuild: %v", err)
 	}
 	if !bytes.Equal(out, data) {

@@ -9,6 +9,7 @@ import (
 
 	"swift/internal/extent"
 	"swift/internal/integrity"
+	"swift/internal/obs"
 	"swift/internal/transport"
 	"swift/internal/wire"
 )
@@ -94,6 +95,8 @@ func (f *File) Write(p []byte) (int, error) {
 // of [off, off+len(p)) in parallel.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	start := time.Now()
+	sp := f.c.startSpan(obs.SpanContext{}, "read")
+	defer sp.Finish()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -109,10 +112,12 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if off+n > f.size {
 		n = f.size - off
 	}
-	if err := f.readServe(p[:n], off); err != nil {
+	sp.Annotate("%s [%d:%d)", f.name, off, off+n)
+	if err := f.readServe(p[:n], off, sp); err != nil {
+		sp.SetError(err)
 		return 0, err
 	}
-	observe(f.c.tel.readLat, start)
+	observeSpan(f.c.tel.readLat, start, sp)
 	if n < int64(len(p)) {
 		return int(n), io.EOF
 	}
@@ -121,13 +126,13 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 
 // readServe satisfies a clamped read, through the read-ahead window when
 // it is enabled and the access is sequential.
-func (f *File) readServe(dst []byte, off int64) error {
+func (f *File) readServe(dst []byte, off int64, sp *obs.Span) error {
 	ra := f.c.cfg.ReadAhead
 	n := int64(len(dst))
 	sequential := off == f.lastEnd || f.raCovers(off)
 	f.lastEnd = off + n
 	if ra <= 0 || !sequential {
-		return f.readRange(dst, off, true)
+		return f.readRange(dst, off, true, sp)
 	}
 	for filled := int64(0); filled < n; {
 		pos := off + filled
@@ -156,7 +161,7 @@ func (f *File) readServe(dst []byte, off int64) error {
 			f.raBuf = make([]byte, w)
 		}
 		f.raBuf = f.raBuf[:w]
-		if err := f.readRange(f.raBuf, pos, true); err != nil {
+		if err := f.readRange(f.raBuf, pos, true, sp); err != nil {
 			return err
 		}
 		f.raOff, f.raLen = pos, w
@@ -184,11 +189,11 @@ func (f *File) raInvalidate() { f.raLen = 0 }
 // against clean data, keeping the agent in service. Only when repair is
 // impossible — parity off, too many agents out, budget spent — does the
 // error fall through to the ordinary failover path or the caller.
-func (f *File) readRange(dst []byte, off int64, allowFailover bool) error {
+func (f *File) readRange(dst []byte, off int64, allowFailover bool, sp *obs.Span) error {
 	repairs, failovers := 0, 0
 	budget := f.repairBudget(off, int64(len(dst)))
 	for {
-		failed, err := f.readRangeOnce(dst, off)
+		failed, err := f.readRangeOnce(dst, off, sp)
 		if err == nil {
 			return nil
 		}
@@ -197,7 +202,11 @@ func (f *File) readRange(dst []byte, off int64, allowFailover bool) error {
 			f.noteCorrupt(failed, err)
 			if repairs < budget {
 				repairs++
-				rerr := f.repairCorrupt(failed, err, off, int64(len(dst)))
+				rs := sp.StartChild("read_repair", failed)
+				rs.MarkRetry()
+				rerr := f.repairCorrupt(failed, err, off, int64(len(dst)), rs)
+				rs.SetError(rerr)
+				rs.Finish()
 				if rerr == nil {
 					continue // repaired in place; retry clean
 				}
@@ -227,6 +236,8 @@ func (f *File) readRange(dst []byte, off int64, allowFailover bool) error {
 			return ErrNoQuorum
 		}
 		f.c.traceEvent("read_failover", failed, "%s: %v", f.name, err)
+		sp.MarkRetry()
+		sp.Annotate("failover around agent %d: %v", failed, err)
 		f.c.cfg.Logf("core: read failing over around agent %d: %v", failed, err)
 		failovers++
 		if failovers >= f.c.parityK() {
@@ -237,7 +248,7 @@ func (f *File) readRange(dst []byte, off int64, allowFailover bool) error {
 
 // readRangeOnce performs one attempt; on error it reports which agent
 // failed (-1 when not attributable).
-func (f *File) readRangeOnce(dst []byte, off int64) (failedAgent int, err error) {
+func (f *File) readRangeOnce(dst []byte, off int64, sp *obs.Span) (failedAgent int, err error) {
 	n := int64(len(dst))
 	if n == 0 {
 		return -1, nil
@@ -264,12 +275,15 @@ func (f *File) readRangeOnce(dst []byte, off int64) (failedAgent int, err error)
 		}
 		workers++
 		go func(i int, s *agentSession, es []extent.Extent) {
+			as := sp.StartChild("agent_read", i)
 			var werr error
 			for _, e := range es {
-				if werr = f.agentRead(s, e, dst, off); werr != nil {
+				if werr = f.agentRead(s, e, dst, off, as); werr != nil {
 					break
 				}
 			}
+			as.SetError(werr)
+			as.Finish()
 			results <- result{agent: i, err: werr}
 		}(i, s, exts[i].Extents())
 	}
@@ -290,8 +304,13 @@ func (f *File) readRangeOnce(dst []byte, off int64) (failedAgent int, err error)
 		if !f.c.cfg.Parity {
 			return -1, ErrAgentDown
 		}
-		if err := f.reconstructInto(i, deadExts[i].Extents(), dst, off); err != nil {
-			return -1, err
+		ds := sp.StartChild("degraded_read", i)
+		ds.MarkRetry()
+		rerr := f.reconstructInto(i, deadExts[i].Extents(), dst, off)
+		ds.SetError(rerr)
+		ds.Finish()
+		if rerr != nil {
+			return -1, rerr
 		}
 	}
 	return -1, nil
@@ -300,7 +319,7 @@ func (f *File) readRangeOnce(dst []byte, off int64) (failedAgent int, err error)
 // agentRead fetches one fragment extent from one agent in bursts, placing
 // payload bytes into the logical buffer dst (whose first byte is logical
 // offset base).
-func (f *File) agentRead(s *agentSession, e extent.Extent, dst []byte, base int64) error {
+func (f *File) agentRead(s *agentSession, e extent.Extent, dst []byte, base int64, sp *obs.Span) error {
 	for lo := e.Off; lo < e.End(); {
 		n := f.c.cfg.RequestBytes
 		if lo+n > e.End() {
@@ -308,7 +327,7 @@ func (f *File) agentRead(s *agentSession, e extent.Extent, dst []byte, base int6
 		}
 		err := f.readBurst(s, lo, n, func(localOff int64, b []byte) {
 			f.placeGlobal(s.idx, localOff, b, dst, base)
-		})
+		}, sp)
 		if err != nil {
 			return err
 		}
@@ -350,7 +369,7 @@ func (f *File) placeGlobal(agent int, localOff int64, b []byte, dst []byte, base
 // can resubmit requests when packets are lost"). The engine keeps one
 // outstanding request per storage agent, as the prototype did. sink is
 // called with fragment-local offsets.
-func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64, b []byte)) error {
+func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64, b []byte), sp *obs.Span) error {
 	cfg := &f.c.cfg
 	at := f.c.tel.agent(s.idx)
 	start := time.Now()
@@ -358,13 +377,16 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 	var got extent.Set
 	var pkt wire.Packet
 
+	// The request packet carries the per-agent span's context so the
+	// agent's service span joins this trace; data packets never do.
+	tctx := sp.Context()
 	send := func(off, length int64) error {
 		reqID := f.c.nextReq()
 		accept[reqID] = true
 		return f.sendPacket(s, &wire.Packet{Header: wire.Header{
 			Type: wire.TRead, ReqID: reqID, Handle: s.handle,
 			Offset: off, Length: uint32(length),
-		}})
+		}, Trace: tctx})
 	}
 	if err := send(lo, n); err != nil {
 		return err
@@ -395,6 +417,9 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 			}
 			f.c.traceEvent("read_timeout", s.idx, "%s[%d:%d] resubmitting %d ranges (level %d)",
 				f.name, lo, lo+n, len(missing), level)
+			sp.MarkRetry()
+			sp.Annotate("read timeout [%d:%d): resubmitting %d ranges (level %d)",
+				lo, lo+n, len(missing), level)
 			for _, m := range missing {
 				if err := send(m.Off, m.Len); err != nil {
 					return err
@@ -426,7 +451,7 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 		giveUp = time.Now().Add(f.c.retryBudget())
 		deadline = time.Now().Add(cfg.RetryTimeout)
 	}
-	at.readBurstLat.Observe(time.Since(start))
+	observeSpan(at.readBurstLat, start, sp)
 	return nil
 }
 
@@ -445,6 +470,8 @@ func (f *File) sendPacket(s *agentSession, p *wire.Packet) error {
 // parallel and, with parity enabled, maintains the computed copy.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	start := time.Now()
+	sp := f.c.startSpan(obs.SpanContext{}, "write")
+	defer sp.Finish()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -456,10 +483,12 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	if err := f.writeRange(p, off, true); err != nil {
+	sp.Annotate("%s [%d:%d)", f.name, off, off+int64(len(p)))
+	if err := f.writeRange(p, off, true, sp); err != nil {
+		sp.SetError(err)
 		return 0, err
 	}
-	observe(f.c.tel.writeLat, start)
+	observeSpan(f.c.tel.writeLat, start, sp)
 	f.raInvalidate()
 	if end := off + int64(len(p)); end > f.size {
 		f.size = end
@@ -474,11 +503,11 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 // codec reconstruction from the survivors is the intended new unit.
 // Anything else falls to the ordinary degraded-mode failover, which
 // tolerates up to k (= ParityShards) failed agents.
-func (f *File) writeRange(src []byte, off int64, allowFailover bool) error {
+func (f *File) writeRange(src []byte, off int64, allowFailover bool, sp *obs.Span) error {
 	repairs, failovers := 0, 0
 	budget := f.repairBudget(off, int64(len(src)))
 	for {
-		failed, nerrs, err := f.writeRangeOnce(src, off)
+		failed, nerrs, err := f.writeRangeOnce(src, off, sp)
 		if err == nil {
 			return nil
 		}
@@ -487,7 +516,11 @@ func (f *File) writeRange(src []byte, off int64, allowFailover bool) error {
 			f.noteCorrupt(failed, err)
 			if repairs < budget {
 				repairs++
-				rerr := f.repairCorrupt(failed, err, off, int64(len(src)))
+				rs := sp.StartChild("write_repair", failed)
+				rs.MarkRetry()
+				rerr := f.repairCorrupt(failed, err, off, int64(len(src)), rs)
+				rs.SetError(rerr)
+				rs.Finish()
 				if rerr == nil {
 					continue // damaged rows healed; retry the write
 				}
@@ -512,6 +545,8 @@ func (f *File) writeRange(src []byte, off int64, allowFailover bool) error {
 			return ErrNoQuorum
 		}
 		f.c.traceEvent("write_failover", failed, "%s: %v", f.name, err)
+		sp.MarkRetry()
+		sp.Annotate("failover around agent %d: %v", failed, err)
 		f.c.cfg.Logf("core: write failing over around agent %d: %v", failed, err)
 		failovers++
 		if failovers >= f.c.parityK() {
@@ -520,13 +555,13 @@ func (f *File) writeRange(src []byte, off int64, allowFailover bool) error {
 	}
 }
 
-func (f *File) writeRangeOnce(src []byte, off int64) (failedAgent, nerrs int, err error) {
+func (f *File) writeRangeOnce(src []byte, off int64, sp *obs.Span) (failedAgent, nerrs int, err error) {
 	n := int64(len(src))
 	exts := f.c.layout.LocalExtents(off, n)
 
 	var pbufs map[int64][][]byte
 	if f.c.cfg.Parity {
-		pbufs, err = f.computeParity(src, off)
+		pbufs, err = f.computeParity(src, off, sp)
 		if err != nil {
 			return -1, 0, err
 		}
@@ -558,7 +593,11 @@ func (f *File) writeRangeOnce(src []byte, off int64) (failedAgent, nerrs int, er
 		}
 		workers++
 		go func(i int, s *agentSession, es []extent.Extent) {
-			results <- result{agent: i, err: f.agentWrite(s, es, src, off, pbufs)}
+			as := sp.StartChild("agent_write", i)
+			werr := f.agentWrite(s, es, src, off, pbufs, as)
+			as.SetError(werr)
+			as.Finish()
+			results <- result{agent: i, err: werr}
 		}(i, s, exts[i].Extents())
 	}
 	for ; workers > 0; workers-- {
@@ -592,7 +631,7 @@ type wburst struct {
 // sends out the data to be written as fast as it can ... each storage
 // agent ... either acknowledges receipt of all packets or sends requests
 // for packets lost").
-func (f *File) agentWrite(s *agentSession, es []extent.Extent, src []byte, base int64, pbufs map[int64][][]byte) error {
+func (f *File) agentWrite(s *agentSession, es []extent.Extent, src []byte, base int64, pbufs map[int64][][]byte, sp *obs.Span) error {
 	cfg := &f.c.cfg
 	var bursts []span
 	for _, e := range es {
@@ -607,7 +646,7 @@ func (f *File) agentWrite(s *agentSession, es []extent.Extent, src []byte, base 
 	}
 	return f.runWriteBursts(s, bursts, func(localOff int64, out []byte) {
 		f.gather(s.idx, localOff, out, src, base, pbufs)
-	})
+	}, sp)
 }
 
 // span is one write burst's fragment range.
@@ -616,7 +655,7 @@ type span struct{ lo, n int64 }
 // runWriteBursts drives the windowed announce/data/ack/resend state
 // machine for a list of bursts on one agent. fill supplies the bytes for
 // any fragment range being (re)transmitted.
-func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff int64, out []byte)) error {
+func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff int64, out []byte), sp *obs.Span) error {
 	cfg := &f.c.cfg
 	at := f.c.tel.agent(s.idx)
 	pending := make(map[uint32]*wburst)
@@ -624,11 +663,14 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 	var pkt wire.Packet
 	payload := make([]byte, wire.MaxPayload)
 
+	// Only the announce packet carries the trace context; the data
+	// packets that follow stay untraced so the hot path never grows.
+	tctx := sp.Context()
 	announce := func(b *wburst) error {
 		return f.sendPacket(s, &wire.Packet{Header: wire.Header{
 			Type: wire.TWrite, ReqID: b.reqID, Handle: s.handle,
 			Offset: b.lo, Length: uint32(b.n), Flags: f.writeFlags(),
-		}})
+		}, Trace: tctx})
 	}
 	sendData := func(b *wburst, off, length int64) error {
 		for po := off; po < off+length; {
@@ -713,6 +755,9 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 					at.backoffs.Inc()
 					f.c.traceEvent("write_timeout", s.idx, "%s[%d:%d] re-announce (retry %d)",
 						f.name, b.lo, b.lo+b.n, b.retries)
+					sp.MarkRetry()
+					sp.Annotate("write timeout [%d:%d): re-announce (retry %d)",
+						b.lo, b.lo+b.n, b.retries)
 				}
 				b.deadline = now.Add(f.c.backoff(b.retries))
 				b.retries++
@@ -728,7 +773,7 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 		switch pkt.Type {
 		case wire.TWriteAck:
 			if b := pending[pkt.ReqID]; b != nil {
-				at.writeBurstLat.Observe(time.Since(b.start))
+				observeSpan(at.writeBurstLat, b.start, sp)
 			}
 			delete(pending, pkt.ReqID)
 		case wire.TResend:
@@ -749,6 +794,8 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 			at.resendAsks.Inc()
 			f.c.traceEvent("resend_ask", s.idx, "%s[%d:%d] %d ranges",
 				f.name, b.lo, b.lo+b.n, len(ranges))
+			sp.MarkRetry()
+			sp.Annotate("resend ask [%d:%d): %d ranges", b.lo, b.lo+b.n, len(ranges))
 			for _, r := range ranges {
 				if err := sendData(b, r.Off, r.Len); err != nil {
 					return err
@@ -817,24 +864,34 @@ func (f *File) gather(agent int, localOff int64, payload []byte, src []byte, bas
 
 // Sync asks every live agent to commit the file to stable storage.
 func (f *File) Sync() error {
+	sp := f.c.startSpan(obs.SpanContext{}, "sync")
+	defer sp.Finish()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
 		return ErrClosed
 	}
+	sp.Annotate("%s", f.name)
 	for _, s := range f.sessions {
 		if s == nil {
 			continue
 		}
+		as := sp.StartChild("agent_sync", s.idx)
 		reqID := f.c.nextReq()
 		reply, err := f.c.rpc(s.conn, s.dataAddr, &wire.Packet{
 			Header: wire.Header{Type: wire.TSync, ReqID: reqID, Handle: s.handle},
+			Trace:  as.Context(),
 		}, reqID)
-		if err != nil {
-			return fmt.Errorf("core: sync agent %d: %w", s.idx, err)
+		if err == nil && reply.Type != wire.TSyncReply {
+			err = fmt.Errorf("core: unexpected %v to sync", reply.Type)
+		} else if err != nil {
+			err = fmt.Errorf("core: sync agent %d: %w", s.idx, err)
 		}
-		if reply.Type != wire.TSyncReply {
-			return fmt.Errorf("core: unexpected %v to sync", reply.Type)
+		as.SetError(err)
+		as.Finish()
+		if err != nil {
+			sp.SetError(err)
+			return err
 		}
 	}
 	return nil
@@ -943,7 +1000,7 @@ func (f *File) readmit(idx int, rebuild bool) error {
 		old.close()
 		f.sessions[idx] = nil
 	}
-	s, err := f.c.openSession(idx, f.c.cfg.Agents[idx], f.name, OpenFlags{Create: true})
+	s, err := f.c.openSession(idx, f.c.cfg.Agents[idx], f.name, OpenFlags{Create: true}, obs.SpanContext{})
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"swift/internal/extent"
 	"swift/internal/integrity"
+	"swift/internal/obs"
 	"swift/internal/wire"
 )
 
@@ -24,7 +25,7 @@ import (
 // always span the full striping unit; logical bytes past the object tail
 // count as zeros. The result maps row -> k parity buffers in parity
 // position order.
-func (f *File) computeParity(src []byte, off int64) (map[int64][][]byte, error) {
+func (f *File) computeParity(src []byte, off int64, sp *obs.Span) (map[int64][][]byte, error) {
 	l := f.c.layout
 	m := l.DataPerRow()
 	k := f.c.parityK()
@@ -49,7 +50,7 @@ func (f *File) computeParity(src []byte, off int64) (map[int64][][]byte, error) 
 		for i := range rowData {
 			rowData[i] = 0
 		}
-		if err := f.fillOldRow(rowData, rowOff, covLo, covHi); err != nil {
+		if err := f.fillOldRow(rowData, rowOff, covLo, covHi, sp); err != nil {
 			return nil, err
 		}
 		copy(rowData[covLo-rowOff:covHi-rowOff], src[covLo-off:covHi-off])
@@ -75,7 +76,7 @@ func (f *File) computeParity(src []byte, off int64) (map[int64][][]byte, error) 
 // read is failover-capable: a write's read-modify-write must survive up
 // to k agent failures (reading the old bytes degraded) or a mid-write
 // crash would fail the whole write even though parity covers it.
-func (f *File) fillOldRow(rowData []byte, rowOff, covLo, covHi int64) error {
+func (f *File) fillOldRow(rowData []byte, rowOff, covLo, covHi int64, sp *obs.Span) error {
 	rb := int64(len(rowData))
 	read := func(lo, hi int64) error {
 		if hi > f.size {
@@ -84,7 +85,7 @@ func (f *File) fillOldRow(rowData []byte, rowOff, covLo, covHi int64) error {
 		if lo >= hi {
 			return nil
 		}
-		return f.readRange(rowData[lo-rowOff:hi-rowOff], lo, true)
+		return f.readRange(rowData[lo-rowOff:hi-rowOff], lo, true, sp)
 	}
 	if err := read(rowOff, covLo); err != nil {
 		return err
@@ -134,7 +135,7 @@ func (f *File) readRowShards(r int64, omit func(agent int) bool) ([][]byte, erro
 			buf := make([]byte, l.Unit)
 			err := f.readBurst(s, r*l.Unit, l.Unit, func(localOff int64, b []byte) {
 				copy(buf[localOff-r*l.Unit:], b)
-			})
+			}, nil)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -330,7 +331,7 @@ func (f *File) RepairRow(r int64) error {
 		unit := shards[m+j]
 		err := f.runWriteBursts(f.sessions[pa], []span{{lo: lo, n: l.Unit}}, func(localOff int64, out []byte) {
 			copy(out, unit[localOff-lo:])
-		})
+		}, nil)
 		if err != nil {
 			return err
 		}
@@ -376,7 +377,7 @@ func (f *File) rebuildLocked(idx int) error {
 		lo := r * l.Unit
 		err = f.runWriteBursts(s, []span{{lo: lo, n: l.Unit}}, func(localOff int64, out []byte) {
 			copy(out, unit[localOff-lo:])
-		})
+		}, nil)
 		if err != nil {
 			return fmt.Errorf("core: rebuild row %d: %w", r, err)
 		}

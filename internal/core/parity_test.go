@@ -96,7 +96,7 @@ func TestDegradedRead(t *testing.T) {
 			}
 		}
 		out := make([]byte, len(data))
-		if err := g.readRange(out, 0, true); err != nil {
+		if err := g.readRange(out, 0, true, nil); err != nil {
 			t.Fatalf("dead=%d: degraded read: %v", dead, err)
 		}
 		if !bytes.Equal(out, data) {
@@ -126,7 +126,7 @@ func TestDegradedWriteThenRead(t *testing.T) {
 	}
 	copy(data[5_000:], patch)
 	out := make([]byte, len(data))
-	if err := g.readRange(out, 0, true); err != nil {
+	if err := g.readRange(out, 0, true, nil); err != nil {
 		t.Fatalf("degraded read-back: %v", err)
 	}
 	if !bytes.Equal(out, data) {

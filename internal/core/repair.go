@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"swift/internal/integrity"
+	"swift/internal/obs"
 	"swift/internal/wire"
 )
 
@@ -44,7 +45,7 @@ func (f *File) noteUnrepairable(i int, err error) {
 // agents stay within the codec's correction power: with k parity units,
 // up to k-1 agents may be out while agent i's media is repaired. Callers
 // fall back to degraded-mode failover when repair is refused.
-func (f *File) repairCorrupt(i int, cerr error, off, n int64) error {
+func (f *File) repairCorrupt(i int, cerr error, off, n int64, sp *obs.Span) error {
 	if !f.c.cfg.Parity {
 		return fmt.Errorf("core: repair agent %d: parity disabled", i)
 	}
@@ -69,12 +70,13 @@ func (f *File) repairCorrupt(i int, cerr error, off, n int64) error {
 		if err != nil {
 			return fmt.Errorf("core: repair agent %d row %d: reconstruct: %w", i, r, err)
 		}
-		if err := f.writeRowUnit(i, r, unit); err != nil {
+		if err := f.writeRowUnit(i, r, unit, sp); err != nil {
 			return fmt.Errorf("core: repair agent %d row %d: %w", i, r, err)
 		}
 		f.c.metrics.Repairs.Add(1)
 		f.c.tel.agent(i).repairs.Inc()
 		f.c.traceEvent("repair", i, "%s row %d rewritten from parity", f.name, r)
+		sp.Annotate("row %d rewritten from parity", r)
 		f.c.cfg.Logf("core: repaired %s row %d on agent %d from parity", f.name, r, i)
 	}
 	return nil
@@ -102,7 +104,7 @@ func (f *File) corruptRows(cerr error, off, n int64) (r0, r1 int64) {
 // the full-unit write extended it past the logical tail. The write covers
 // whole integrity blocks (Unit is a multiple of the envelope block size),
 // so it lands even when the old block contents are corrupt.
-func (f *File) writeRowUnit(i int, r int64, unit []byte) error {
+func (f *File) writeRowUnit(i int, r int64, unit []byte, sp *obs.Span) error {
 	s := f.sessions[i]
 	if s == nil {
 		return fmt.Errorf("core: no session to agent %d", i)
@@ -111,7 +113,7 @@ func (f *File) writeRowUnit(i int, r int64, unit []byte) error {
 	lo := r * l.Unit
 	err := f.runWriteBursts(s, []span{{lo: lo, n: l.Unit}}, func(localOff int64, out []byte) {
 		copy(out, unit[localOff-lo:])
-	})
+	}, sp)
 	if err != nil {
 		return err
 	}
@@ -122,6 +124,7 @@ func (f *File) writeRowUnit(i int, r int64, unit []byte) error {
 	reqID := f.c.nextReq()
 	reply, err := f.c.rpc(s.conn, s.dataAddr, &wire.Packet{
 		Header: wire.Header{Type: wire.TTrunc, ReqID: reqID, Handle: s.handle, Offset: want},
+		Trace:  sp.Context(),
 	}, reqID)
 	if err != nil {
 		return fmt.Errorf("repair trim: %w", err)

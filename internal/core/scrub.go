@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"swift/internal/integrity"
+	"swift/internal/obs"
 )
 
 // This file implements the background scrubber: a maintenance pass that
@@ -81,10 +82,14 @@ func (r ScrubReport) String() string {
 // count is re-derived from the live size each step, and the pass ends
 // early if the file shrinks or closes underneath it.
 func (f *File) Scrub(opts ScrubOptions) (ScrubReport, error) {
+	sp := f.c.startSpan(obs.SpanContext{}, "scrub")
+	defer sp.Finish()
+	sp.Annotate("%s", f.name)
 	rep := ScrubReport{Scheme: f.c.Scheme()}
 	for r := int64(0); ; r++ {
-		done, err := f.scrubRow(r, opts, &rep)
+		done, err := f.scrubRow(r, opts, &rep, sp)
 		if err != nil {
+			sp.SetError(err)
 			return rep, err
 		}
 		if done {
@@ -101,7 +106,7 @@ func (f *File) Scrub(opts ScrubOptions) (ScrubReport, error) {
 // Rows the scrub cannot judge — an agent out, a lifecycle mid-transition,
 // a transient read failure — are skipped, not failed: the next pass sees
 // them again.
-func (f *File) scrubRow(r int64, opts ScrubOptions, rep *ScrubReport) (done bool, err error) {
+func (f *File) scrubRow(r int64, opts ScrubOptions, rep *ScrubReport, sp *obs.Span) (done bool, err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed || f.size == 0 {
@@ -131,7 +136,7 @@ func (f *File) scrubRow(r int64, opts ScrubOptions, rep *ScrubReport) (done bool
 			buf := make([]byte, l.Unit)
 			errs[i] = f.readBurst(s, r*l.Unit, l.Unit, func(localOff int64, b []byte) {
 				copy(buf[localOff-r*l.Unit:], b)
-			})
+			}, nil)
 			bufs[i] = buf
 		}(i, s)
 	}
@@ -208,7 +213,13 @@ func (f *File) scrubRow(r int64, opts ScrubOptions, rep *ScrubReport) (done bool
 				continue
 			}
 			pa := l.ParityAgentAt(r, j)
-			if werr := f.writeRowUnit(pa, r, fresh[m+j]); werr != nil {
+			rs := sp.StartChild("scrub_repair", pa)
+			rs.MarkRetry()
+			rs.Annotate("row %d parity recomputed", r)
+			werr := f.writeRowUnit(pa, r, fresh[m+j], rs)
+			rs.SetError(werr)
+			rs.Finish()
+			if werr != nil {
 				return false, fmt.Errorf("core: scrub: rewrite parity row %d: %w", r, werr)
 			}
 			rep.Repaired++
@@ -232,7 +243,13 @@ func (f *File) scrubRow(r int64, opts ScrubOptions, rep *ScrubReport) (done bool
 		}
 		for _, dead := range corrupt {
 			unit := shards[f.shardOfAgent(r, dead)]
-			if werr := f.writeRowUnit(dead, r, unit); werr != nil {
+			rs := sp.StartChild("scrub_repair", dead)
+			rs.MarkRetry()
+			rs.Annotate("row %d rewritten from parity", r)
+			werr := f.writeRowUnit(dead, r, unit, rs)
+			rs.SetError(werr)
+			rs.Finish()
+			if werr != nil {
 				return false, fmt.Errorf("core: scrub: rewrite agent %d row %d: %w", dead, r, werr)
 			}
 			rep.Repaired++

@@ -340,3 +340,18 @@ func (c *Client) traceEvent(kind string, agent int, format string, args ...any) 
 
 // observe is a small helper: record elapsed time since start into h.
 func observe(h *obs.Histogram, start time.Time) { h.Observe(time.Since(start)) }
+
+// observeSpan is observe plus a histogram exemplar: when sp belongs to a
+// trace, the observation carries the trace id so exported percentiles link
+// to a concrete kept trace. A nil span degrades to plain observe.
+func observeSpan(h *obs.Histogram, start time.Time, sp *obs.Span) {
+	d := time.Since(start)
+	if id := sp.Context().TraceID; id != 0 {
+		h.ObserveExemplar(d, id)
+		return
+	}
+	h.Observe(d)
+}
+
+// Tracer returns the client's span tracer (nil when tracing is disabled).
+func (c *Client) Tracer() *obs.Tracer { return c.tracer }

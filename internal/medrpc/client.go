@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"swift/internal/mediator"
+	"swift/internal/obs"
 	"swift/internal/transport"
 	"swift/internal/wire"
 )
@@ -161,12 +162,20 @@ func mapRemote(err error) error {
 
 // Admit opens a session on the replica.
 func (c *Client) Admit(req mediator.Requirements) (*mediator.SessionRecord, error) {
+	return c.AdmitTraced(req, obs.SpanContext{})
+}
+
+// AdmitTraced is Admit with the caller's trace context carried on the
+// TMedOpen packet, so the serving replica's admission span joins the
+// client op's trace. The broker upgrades to it via type assertion.
+func (c *Client) AdmitTraced(req mediator.Requirements, ctx obs.SpanContext) (*mediator.SessionRecord, error) {
 	shards := req.ParityShards
 	if shards < 0 || shards > 0xFFFF {
 		return nil, fmt.Errorf("%w: parity shards %d not encodable", mediator.ErrUnsatisfiable, shards)
 	}
 	reply, err := c.rpc(&wire.Packet{
 		Header: wire.Header{Type: wire.TMedOpen},
+		Trace:  ctx,
 		Payload: wire.AppendMedOpenRequest(nil, &wire.MedOpenRequest{
 			Rate:         req.Rate,
 			Redundancy:   req.Redundancy,
@@ -188,12 +197,19 @@ func (c *Client) Admit(req mediator.Requirements) (*mediator.SessionRecord, erro
 // RenewSession renews-or-adopts the session on the replica, returning
 // the replica name now responsible for the lease.
 func (c *Client) RenewSession(rec mediator.SessionRecord) (string, error) {
+	return c.RenewSessionTraced(rec, obs.SpanContext{})
+}
+
+// RenewSessionTraced is RenewSession with the caller's trace context
+// carried on the TMedRenew packet.
+func (c *Client) RenewSessionTraced(rec mediator.SessionRecord, ctx obs.SpanContext) (string, error) {
 	w, err := toWireRecord(&rec)
 	if err != nil {
 		return "", err
 	}
 	reply, err := c.rpc(&wire.Packet{
 		Header:  wire.Header{Type: wire.TMedRenew, Handle: rec.ID},
+		Trace:   ctx,
 		Payload: wire.AppendMedRecord(nil, &w),
 	})
 	if err != nil {

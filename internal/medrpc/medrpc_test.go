@@ -285,8 +285,8 @@ func TestWireRecordRangeValidation(t *testing.T) {
 		t.Fatalf("in-range record refused: %v", err)
 	}
 	for name, rec := range map[string]mediator.SessionRecord{
-		"agent index too big": {ID: 2, Plan: mediator.Plan{Agents: []int{70000}}},
-		"agent index negative": {ID: 3, Plan: mediator.Plan{Agents: []int{-1}}},
+		"agent index too big":   {ID: 2, Plan: mediator.Plan{Agents: []int{70000}}},
+		"agent index negative":  {ID: 3, Plan: mediator.Plan{Agents: []int{-1}}},
 		"parity shards too big": {ID: 4, Plan: mediator.Plan{ParityShards: 1 << 16}},
 	} {
 		if _, err := toWireRecord(&rec); err == nil {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"swift/internal/mediator"
+	"swift/internal/obs"
 	"swift/internal/transport"
 	"swift/internal/wire"
 )
@@ -25,6 +26,11 @@ type ServerConfig struct {
 	Port string             // well-known control port
 	Med  *mediator.Mediator // the replica being served
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, records mediator-side service spans under
+	// the trace contexts client request packets carry. The mediator
+	// package itself is clock-free, so the admission/renew spans open
+	// here, at the wire seam. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // replyKey identifies one logical request for retransmit dedup: the
@@ -149,7 +155,10 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 	med := s.cfg.Med
 	switch pkt.Type {
 	case wire.TMedOpen:
+		sp := s.cfg.Tracer.StartRemote(pkt.Trace, "mediator", "admit", -1)
+		defer sp.Finish()
 		if buf := s.cachedOpenReply(from, pkt.ReqID); buf != nil {
+			sp.Annotate("replayed cached open reply")
 			if err := s.ctl.WriteTo(buf, from); err != nil {
 				s.cfg.Logf("medrpc %s: resend open reply to %s: %v", s.Addr(), from, err)
 			}
@@ -157,6 +166,7 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 		}
 		req, err := wire.ParseMedOpenRequest(pkt.Payload)
 		if err != nil {
+			sp.SetError(err)
 			s.sendError(from, pkt, err)
 			return
 		}
@@ -167,11 +177,14 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 			Key:          req.Key,
 		})
 		if err != nil {
+			sp.SetError(err)
 			s.sendError(from, pkt, err)
 			return
 		}
+		sp.Annotate("session %d admitted, home %s", rec.ID, rec.Home)
 		w, err := toWireRecord(rec)
 		if err != nil {
+			sp.SetError(err)
 			s.sendError(from, pkt, err)
 			return
 		}
@@ -189,22 +202,36 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 			s.cfg.Logf("medrpc %s: send %v to %s: %v", s.Addr(), reply.Type, from, err)
 		}
 	case wire.TMedRenew:
+		sp := s.cfg.Tracer.StartRemote(pkt.Trace, "mediator", "renew", -1)
+		defer sp.Finish()
 		w, err := wire.ParseMedRecord(pkt.Payload)
 		if err != nil {
+			sp.SetError(err)
 			s.sendError(from, pkt, err)
 			return
 		}
-		home, err := med.RenewSession(fromWireRecord(&w))
+		rec := fromWireRecord(&w)
+		home, err := med.RenewSession(rec)
 		if err != nil {
+			sp.SetError(err)
 			s.sendError(from, pkt, err)
 			return
+		}
+		if home != rec.Home {
+			// The lease changed hands: this replica adopted (or
+			// re-homed) a session whose home was unreachable.
+			sp.MarkRetry()
+			sp.Annotate("session %d re-homed %s -> %s", rec.ID, rec.Home, home)
 		}
 		s.send(from, &wire.Packet{
 			Header:  wire.Header{Type: wire.TMedRenewReply, ReqID: pkt.ReqID, Handle: pkt.Handle},
 			Payload: wire.AppendMedHome(nil, &wire.MedHome{Home: home}),
 		})
 	case wire.TMedClose:
+		sp := s.cfg.Tracer.StartRemote(pkt.Trace, "mediator", "close", -1)
+		defer sp.Finish()
 		if err := med.CloseSession(pkt.Handle); err != nil {
+			sp.SetError(err)
 			s.sendError(from, pkt, err)
 			return
 		}

@@ -113,6 +113,17 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				s.Count, jsonNum(secs(s.Sum)), jsonNum(secs(s.Mean)),
 				jsonNum(secs(s.Min)), jsonNum(secs(s.Max)),
 				jsonNum(secs(s.P50)), jsonNum(secs(s.P90)), jsonNum(secs(s.P99)))
+			// Exemplar TraceIDs (hex) link percentile buckets to kept
+			// traces; omitted when no exemplar-carrying observation has
+			// landed, which keeps exemplar-free output golden-stable.
+			for _, q := range [...]struct {
+				name string
+				p    float64
+			}{{"x50", 50}, {"x90", 90}, {"x99", 99}} {
+				if id := m.h.Exemplar(q.p); id != 0 {
+					fmt.Fprintf(&b, `,"%s":"%016x"`, q.name, id)
+				}
+			}
 		}
 		b.WriteByte('}')
 	}

@@ -87,7 +87,7 @@ func TestHandler(t *testing.T) {
 	reg := goldenRegistry()
 	ring := NewTraceRing(16)
 	ring.Emitf("test", "evt", -1, "hello trace")
-	srv := httptest.NewServer(Handler(reg, ring))
+	srv := httptest.NewServer(Handler(reg, ring, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
@@ -124,7 +124,7 @@ func TestHandler(t *testing.T) {
 
 // TestServe binds an ephemeral port and round-trips a scrape.
 func TestServe(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", goldenRegistry(), nil)
+	srv, err := Serve("127.0.0.1:0", goldenRegistry(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,17 +1,22 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
 // Handler returns an http.Handler serving the registry at /metrics
 // (Prometheus text format; ?format=json switches to JSON). When trace is
-// non-nil, /trace serves the retained trace events as text.
-func Handler(r *Registry, trace *TraceRing) http.Handler {
+// non-nil, /trace serves the retained trace events as text. When tracer
+// is non-nil, /trace/ops serves the kept span trees as waterfalls
+// (?format=json for the structured form; ?slow=1, ?op=NAME, ?id=HEX and
+// ?n=COUNT filter).
+func Handler(r *Registry, trace *TraceRing, tracer *Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "json" {
@@ -27,6 +32,28 @@ func Handler(r *Registry, trace *TraceRing) http.Handler {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			for _, e := range trace.Snapshot() {
 				fmt.Fprintln(w, e.String())
+			}
+		})
+	}
+	if tracer != nil {
+		mux.HandleFunc("/trace/ops", func(w http.ResponseWriter, req *http.Request) {
+			traces, err := FilterTraces(tracer.Traces(), req.URL.Query().Get("op"),
+				req.URL.Query().Get("id"), req.URL.Query().Get("slow") != "",
+				atoiDefault(req.URL.Query().Get("n"), 0))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if req.URL.Query().Get("format") == "json" {
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(struct {
+					Traces []Trace `json:"traces"`
+				}{traces})
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, tr := range traces {
+				fmt.Fprintln(w, tr.Waterfall())
 			}
 		})
 	}
@@ -51,15 +78,59 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close shuts the endpoint down.
 func (s *Server) Close() error { return s.srv.Close() }
 
-// Serve starts an HTTP server on addr exposing /metrics, /trace and
-// /debug/pprof for the given registry. It returns once the listener is
-// bound; serving proceeds in the background.
-func Serve(addr string, r *Registry, trace *TraceRing) (*Server, error) {
+// Serve starts an HTTP server on addr exposing /metrics, /trace,
+// /trace/ops and /debug/pprof for the given registry. It returns once the
+// listener is bound; serving proceeds in the background.
+func Serve(addr string, r *Registry, trace *TraceRing, tracer *Tracer) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(r, trace), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: Handler(r, trace, tracer), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
+}
+
+// FilterTraces applies the /trace/ops selection: keep only traces whose
+// root op equals op (when non-empty), whose id matches idHex (hex,
+// when non-empty), that were tail-kept (slow/error/retry — not merely
+// head-sampled) when slow is set; n > 0 keeps the n most recent. Shared
+// by the HTTP handler and the swiftctl/swift-load epilogues.
+func FilterTraces(traces []Trace, op, idHex string, slow bool, n int) ([]Trace, error) {
+	var id uint64
+	if idHex != "" {
+		v, err := strconv.ParseUint(idHex, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad trace id %q: %w", idHex, err)
+		}
+		id = v
+	}
+	out := make([]Trace, 0, len(traces))
+	for _, tr := range traces {
+		if op != "" && tr.Op != op {
+			continue
+		}
+		if id != 0 && tr.TraceID != id {
+			continue
+		}
+		if slow && !tr.Slow() {
+			continue
+		}
+		out = append(out, tr)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out, nil
+}
+
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return v
 }

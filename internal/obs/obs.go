@@ -96,6 +96,10 @@ type Histogram struct {
 	min     atomic.Int64 // nanoseconds+1; 0 means "no observations yet"
 	max     atomic.Int64 // nanoseconds
 	buckets [histBuckets]atomic.Int64
+	// exemplars[i] holds the TraceID of the last exemplar-carrying
+	// observation that landed in bucket i (0 = none), linking a latency
+	// bucket to a concrete kept trace.
+	exemplars [histBuckets]atomic.Uint64
 }
 
 // Observe records one duration. Negative durations count as zero.
@@ -126,6 +130,40 @@ func (h *Histogram) Observe(d time.Duration) {
 			break
 		}
 	}
+}
+
+// ObserveExemplar records one duration and, when traceID is non-zero,
+// remembers it as the exemplar for the duration's bucket — so a p99
+// outlier in the histogram can be chased to the exact trace that caused
+// it. Same cost class as Observe: a few atomics, no locks.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
+	h.Observe(d)
+	if traceID != 0 {
+		v := int64(d)
+		if v < 0 {
+			v = 0
+		}
+		h.exemplars[bucketOf(v)].Store(traceID)
+	}
+}
+
+// Exemplar returns the TraceID recorded nearest the p-th percentile
+// bucket (searching that bucket, then below, then above), or 0 when no
+// exemplar has been observed.
+func (h *Histogram) Exemplar(p float64) uint64 {
+	v := h.Percentile(p)
+	idx := bucketOf(int64(v))
+	for i := idx; i >= 0; i-- {
+		if id := h.exemplars[i].Load(); id != 0 {
+			return id
+		}
+	}
+	for i := idx + 1; i < histBuckets; i++ {
+		if id := h.exemplars[i].Load(); id != 0 {
+			return id
+		}
+	}
+	return 0
 }
 
 // Count returns the number of observations.

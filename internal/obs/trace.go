@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -33,10 +34,12 @@ func (e Event) String() string {
 // order. An optional sink receives every event as it is emitted (the
 // Verbose log hookup).
 type TraceRing struct {
-	mu   sync.Mutex
-	buf  []Event
-	next uint64 // total events emitted
-	sink func(Event)
+	mu      sync.Mutex
+	buf     []Event
+	next    uint64 // total events emitted
+	sink    func(Event)
+	bufSink chan Event
+	dropped atomic.Int64
 }
 
 // NewTraceRing returns a ring retaining the last n events (minimum 16).
@@ -48,13 +51,59 @@ func NewTraceRing(n int) *TraceRing {
 }
 
 // SetSink installs a function that receives every emitted event (nil
-// removes it). The sink is called synchronously after the event is
-// recorded, outside the ring's lock.
+// removes it).
+//
+// Contract: the sink is called synchronously from the emitting goroutine,
+// after the event is recorded, outside the ring's lock. A sink that
+// blocks therefore stalls the emitter — acceptable for an in-memory tee,
+// wrong for anything that can wait on I/O (a log writer behind a slow
+// pipe, a network forwarder). Such sinks must use SetBufferedSink, which
+// decouples the emitter behind a bounded queue.
 func (r *TraceRing) SetSink(fn func(Event)) {
 	r.mu.Lock()
 	r.sink = fn
 	r.mu.Unlock()
 }
+
+// SetBufferedSink installs a sink fed through a bounded queue drained by
+// a dedicated goroutine, so Emit never blocks on the sink: when the queue
+// is full the event still lands in the ring but the sink delivery is
+// dropped and counted (SinkDrops). This is the hookup for sinks that may
+// block — the Verbose log tee in client and agent uses it.
+//
+// The returned stop function closes the queue, waits for the drain
+// goroutine to flush, and detaches the sink; it is idempotent and must be
+// called on shutdown (Client.Close / Agent.Close do).
+func (r *TraceRing) SetBufferedSink(fn func(Event), depth int) (stop func()) {
+	if depth <= 0 {
+		depth = 256
+	}
+	ch := make(chan Event, depth)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for e := range ch {
+			fn(e)
+		}
+	}()
+	r.mu.Lock()
+	r.bufSink = ch
+	r.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.mu.Lock()
+			r.bufSink = nil
+			r.mu.Unlock()
+			close(ch)
+			<-done
+		})
+	}
+}
+
+// SinkDrops returns the number of events whose buffered-sink delivery was
+// dropped because the queue was full.
+func (r *TraceRing) SinkDrops() int64 { return r.dropped.Load() }
 
 // Emit records one event, stamping the time if unset.
 func (r *TraceRing) Emit(e Event) {
@@ -65,6 +114,16 @@ func (r *TraceRing) Emit(e Event) {
 	r.buf[r.next%uint64(len(r.buf))] = e
 	r.next++
 	sink := r.sink
+	// The buffered hand-off happens under the lock so stop() cannot close
+	// the channel between the nil check and the send; the send itself is
+	// non-blocking, so the lock is never held for longer than an enqueue.
+	if r.bufSink != nil {
+		select {
+		case r.bufSink <- e:
+		default:
+			r.dropped.Add(1)
+		}
+	}
 	r.mu.Unlock()
 	if sink != nil {
 		sink(e)

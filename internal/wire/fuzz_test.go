@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"testing"
+
+	"swift/internal/obs"
 )
 
 // FuzzUnmarshal hammers the packet decoder with arbitrary bytes: it must
@@ -17,6 +19,12 @@ func FuzzUnmarshal(f *testing.F) {
 	seed(&Packet{Header: Header{Type: TOpen}, Payload: AppendOpenRequest(nil, &OpenRequest{Name: "x"})})
 	seed(&Packet{Header: Header{Type: TData, ReqID: 7, Handle: 9, Offset: 1 << 30, Length: 100}, Payload: bytes.Repeat([]byte{0xA5}, 100)})
 	seed(&Packet{Header: Header{Type: TResend}, Payload: AppendResend(nil, []Range{{1, 2}})})
+	// Traced (version-2) packets: the 17-byte trace extension between
+	// header and payload, with and without payload, sampled and not.
+	ctx := obs.SpanContext{TraceID: 0x1122334455667788, SpanID: 0x99aabbccddeeff01, Flags: obs.SpanSampled}
+	seed(&Packet{Header: Header{Type: TRead, ReqID: 3, Offset: 8192, Length: 65536}, Trace: ctx})
+	seed(&Packet{Header: Header{Type: TWrite, ReqID: 4, Length: 100}, Trace: obs.SpanContext{TraceID: 1, SpanID: 2}, Payload: []byte("wb")})
+	seed(&Packet{Header: Header{Type: TMedOpen}, Trace: ctx, Payload: AppendMedOpenRequest(nil, &MedOpenRequest{Rate: 1e6, Key: "t"})})
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0x53, 0x57}, 40))
 
@@ -84,6 +92,11 @@ func FuzzControlPayloads(f *testing.F) {
 	}))
 	f.Add([]byte{0xFF, 0xFF}) // huge length prefixes with no body
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	// Trace-context-shaped bytes (a version-2 extension: 8+8+1) fed to
+	// every payload parser — corruption can slide the extension into the
+	// payload window, and no parser may choke on it.
+	f.Add([]byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88,
+		0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x01, 0x01})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if r, err := ParseOpenRequest(data); err == nil {

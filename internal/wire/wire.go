@@ -10,7 +10,7 @@
 //
 //	offset size field
 //	0      2    magic 0x5357 ("SW")
-//	2      1    version (1)
+//	2      1    version (1 untraced, 2 traced)
 //	3      1    type
 //	4      4    request id
 //	8      8    file handle
@@ -20,6 +20,24 @@
 //	30     2    payload length
 //	32     n    payload
 //	32+n   4    CRC-32 (IEEE) over bytes [0, 32+n)
+//
+// A version-2 packet carries a 17-byte trace extension between the fixed
+// header and the payload — the distributed-tracing context (trace id,
+// parent span id, flag bits) minted at the client op and joined by each
+// hop:
+//
+//	offset size field          (version 2 only)
+//	32     8    trace id
+//	40     8    span id
+//	48     1    trace flags (bit 0: head-sampled)
+//	49     n    payload
+//	49+n   4    CRC-32 (IEEE) over bytes [0, 49+n)
+//
+// Packets without a trace context are always emitted as version 1, byte
+// for byte identical to the pre-tracing protocol, so old peers keep
+// decoding them; only control packets are ever traced — data packets
+// (TData) stay version 1 so the per-packet hot path never pays for the
+// extension.
 package wire
 
 import (
@@ -27,15 +45,21 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+
+	"swift/internal/obs"
 )
 
 // Protocol constants.
 const (
 	Magic   = 0x5357 // "SW"
 	Version = 1
+	// VersionTraced marks a packet carrying the trace extension.
+	VersionTraced = 2
 
 	// HeaderSize is the fixed header length in bytes.
 	HeaderSize = 32
+	// TraceExtSize is the length of the version-2 trace extension.
+	TraceExtSize = 17
 	// TrailerSize is the CRC trailer length in bytes.
 	TrailerSize = 4
 	// MaxPacket is the largest datagram the protocol emits. It is chosen
@@ -44,6 +68,9 @@ const (
 	MaxPacket = 1400
 	// MaxPayload is the largest payload a single packet can carry.
 	MaxPayload = MaxPacket - HeaderSize - TrailerSize
+	// MaxTracedPayload is the payload ceiling once the trace extension
+	// has claimed its bytes.
+	MaxTracedPayload = MaxPayload - TraceExtSize
 )
 
 // Type identifies the kind of a protocol packet.
@@ -132,9 +159,12 @@ type Header struct {
 	Flags  uint16
 }
 
-// Packet is a decoded protocol packet: header plus payload.
+// Packet is a decoded protocol packet: header plus payload, plus the
+// optional trace context. A zero Trace encodes as a version-1 packet; a
+// valid one adds the version-2 trace extension.
 type Packet struct {
 	Header
+	Trace   obs.SpanContext
 	Payload []byte
 }
 
@@ -149,15 +179,25 @@ var (
 )
 
 // AppendPacket encodes the packet and appends it to dst, returning the
-// extended slice. It returns an error if the payload exceeds MaxPayload.
+// extended slice. It returns an error if the payload exceeds MaxPayload
+// (MaxTracedPayload when a trace context is attached).
 func AppendPacket(dst []byte, p *Packet) ([]byte, error) {
-	if len(p.Payload) > MaxPayload {
+	traced := p.Trace.Valid()
+	limit := MaxPayload
+	if traced {
+		limit = MaxTracedPayload
+	}
+	if len(p.Payload) > limit {
 		return dst, ErrOversize
 	}
 	start := len(dst)
 	var hdr [HeaderSize]byte
 	binary.BigEndian.PutUint16(hdr[0:2], Magic)
-	hdr[2] = Version
+	if traced {
+		hdr[2] = VersionTraced
+	} else {
+		hdr[2] = Version
+	}
 	hdr[3] = uint8(p.Type)
 	binary.BigEndian.PutUint32(hdr[4:8], p.ReqID)
 	binary.BigEndian.PutUint64(hdr[8:16], p.Handle)
@@ -166,6 +206,13 @@ func AppendPacket(dst []byte, p *Packet) ([]byte, error) {
 	binary.BigEndian.PutUint16(hdr[28:30], p.Flags)
 	binary.BigEndian.PutUint16(hdr[30:32], uint16(len(p.Payload)))
 	dst = append(dst, hdr[:]...)
+	if traced {
+		var ext [TraceExtSize]byte
+		binary.BigEndian.PutUint64(ext[0:8], p.Trace.TraceID)
+		binary.BigEndian.PutUint64(ext[8:16], p.Trace.SpanID)
+		ext[16] = p.Trace.Flags
+		dst = append(dst, ext[:]...)
+	}
 	dst = append(dst, p.Payload...)
 	crc := crc32.ChecksumIEEE(dst[start:])
 	var tr [TrailerSize]byte
@@ -175,12 +222,18 @@ func AppendPacket(dst []byte, p *Packet) ([]byte, error) {
 
 // Marshal encodes the packet into a fresh buffer.
 func Marshal(p *Packet) ([]byte, error) {
-	buf := make([]byte, 0, HeaderSize+len(p.Payload)+TrailerSize)
+	n := HeaderSize + len(p.Payload) + TrailerSize
+	if p.Trace.Valid() {
+		n += TraceExtSize
+	}
+	buf := make([]byte, 0, n)
 	return AppendPacket(buf, p)
 }
 
-// Unmarshal decodes buf into p. The returned packet's Payload aliases buf;
-// callers that retain the packet past the buffer's reuse must copy it.
+// Unmarshal decodes buf into p. Both version-1 (untraced) and version-2
+// (traced) packets are accepted; p.Trace is zeroed for version 1. The
+// returned packet's Payload aliases buf; callers that retain the packet
+// past the buffer's reuse must copy it.
 func Unmarshal(buf []byte, p *Packet) error {
 	if len(buf) < HeaderSize+TrailerSize {
 		return ErrTooShort
@@ -188,7 +241,15 @@ func Unmarshal(buf []byte, p *Packet) error {
 	if binary.BigEndian.Uint16(buf[0:2]) != Magic {
 		return ErrBadMagic
 	}
-	if buf[2] != Version {
+	ext := 0
+	switch buf[2] {
+	case Version:
+	case VersionTraced:
+		ext = TraceExtSize
+		if len(buf) < HeaderSize+ext+TrailerSize {
+			return ErrTooShort
+		}
+	default:
 		return ErrBadVersion
 	}
 	body := buf[:len(buf)-TrailerSize]
@@ -197,7 +258,7 @@ func Unmarshal(buf []byte, p *Packet) error {
 		return ErrBadCRC
 	}
 	plen := int(binary.BigEndian.Uint16(buf[30:32]))
-	if HeaderSize+plen != len(body) {
+	if HeaderSize+ext+plen != len(body) {
 		return ErrBadLength
 	}
 	p.Type = Type(buf[3])
@@ -206,6 +267,18 @@ func Unmarshal(buf []byte, p *Packet) error {
 	p.Offset = int64(binary.BigEndian.Uint64(buf[16:24]))
 	p.Length = binary.BigEndian.Uint32(buf[24:28])
 	p.Flags = binary.BigEndian.Uint16(buf[28:30])
-	p.Payload = buf[HeaderSize : HeaderSize+plen]
+	if ext != 0 {
+		p.Trace.TraceID = binary.BigEndian.Uint64(buf[HeaderSize : HeaderSize+8])
+		p.Trace.SpanID = binary.BigEndian.Uint64(buf[HeaderSize+8 : HeaderSize+16])
+		p.Trace.Flags = buf[HeaderSize+16]
+		// A version-2 packet with a zero trace id would re-encode as
+		// version 1 and break the round-trip invariant; reject it.
+		if !p.Trace.Valid() {
+			return ErrBadVersion
+		}
+	} else {
+		p.Trace = obs.SpanContext{}
+	}
+	p.Payload = buf[HeaderSize+ext : HeaderSize+ext+plen]
 	return nil
 }

@@ -2,10 +2,14 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"swift/internal/obs"
 )
 
 func TestRoundTrip(t *testing.T) {
@@ -259,6 +263,126 @@ func TestParseNamesShort(t *testing.T) {
 	}
 	if _, err := ParseNames([]byte{0, 2, 0, 9, 'x'}); err == nil {
 		t.Fatal("truncated name accepted")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	p := &Packet{
+		Header: Header{Type: TRead, ReqID: 9, Handle: 3, Offset: 4096, Length: 65536},
+		Trace:  obs.SpanContext{TraceID: 0xdeadbeefcafef00d, SpanID: 0x0123456789abcdef, Flags: obs.SpanSampled},
+	}
+	buf, err := Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if buf[2] != VersionTraced {
+		t.Fatalf("version = %d, want %d", buf[2], VersionTraced)
+	}
+	if len(buf) != HeaderSize+TraceExtSize+TrailerSize {
+		t.Fatalf("len = %d, want %d", len(buf), HeaderSize+TraceExtSize+TrailerSize)
+	}
+	var q Packet
+	if err := Unmarshal(buf, &q); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if q.Header != p.Header || q.Trace != p.Trace {
+		t.Fatalf("round trip mismatch: %+v vs %+v", q, p)
+	}
+	if !q.Trace.Sampled() {
+		t.Fatal("sampled flag lost")
+	}
+}
+
+// TestUntracedByteIdentical pins wire compatibility: a packet without a
+// trace context must encode byte for byte as the pre-tracing (version 1)
+// protocol did, so old peers keep decoding new traffic.
+func TestUntracedByteIdentical(t *testing.T) {
+	p := &Packet{
+		Header:  Header{Type: TWrite, ReqID: 7, Handle: 11, Offset: 1 << 20, Length: 4096, Flags: FSyncWrite},
+		Payload: []byte("payload bytes"),
+	}
+	got, err := Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	// The version-1 encoding, built by hand from the documented layout.
+	want := make([]byte, 0, HeaderSize+len(p.Payload)+TrailerSize)
+	var hdr [HeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = uint8(p.Type)
+	binary.BigEndian.PutUint32(hdr[4:8], p.ReqID)
+	binary.BigEndian.PutUint64(hdr[8:16], p.Handle)
+	binary.BigEndian.PutUint64(hdr[16:24], uint64(p.Offset))
+	binary.BigEndian.PutUint32(hdr[24:28], p.Length)
+	binary.BigEndian.PutUint16(hdr[28:30], p.Flags)
+	binary.BigEndian.PutUint16(hdr[30:32], uint16(len(p.Payload)))
+	want = append(want, hdr[:]...)
+	want = append(want, p.Payload...)
+	var tr [TrailerSize]byte
+	binary.BigEndian.PutUint32(tr[:], crc32.ChecksumIEEE(want))
+	want = append(want, tr[:]...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("untraced encoding differs from version-1 layout:\ngot:  %x\nwant: %x", got, want)
+	}
+}
+
+func TestTracedPayloadCeiling(t *testing.T) {
+	ctx := obs.SpanContext{TraceID: 1, SpanID: 2}
+	p := &Packet{Trace: ctx, Payload: make([]byte, MaxTracedPayload)}
+	buf, err := Marshal(p)
+	if err != nil {
+		t.Fatalf("max traced payload rejected: %v", err)
+	}
+	if len(buf) > MaxPacket {
+		t.Fatalf("traced packet %d exceeds MaxPacket", len(buf))
+	}
+	p.Payload = make([]byte, MaxTracedPayload+1)
+	if _, err := Marshal(p); err != ErrOversize {
+		t.Fatalf("err = %v, want ErrOversize", err)
+	}
+	// The same payload fits untraced.
+	p.Trace = obs.SpanContext{}
+	if _, err := Marshal(p); err != nil {
+		t.Fatalf("untraced MaxPayload-1 rejected: %v", err)
+	}
+}
+
+func TestTracedZeroIDRejected(t *testing.T) {
+	// A version-2 packet whose trace id is zero cannot round-trip (it
+	// would re-encode as version 1), so the decoder rejects it.
+	p := &Packet{Header: Header{Type: TRead}, Trace: obs.SpanContext{TraceID: 1, SpanID: 2}}
+	buf, _ := Marshal(p)
+	for i := HeaderSize; i < HeaderSize+8; i++ {
+		buf[i] = 0
+	}
+	body := buf[:len(buf)-TrailerSize]
+	binary.BigEndian.PutUint32(buf[len(buf)-TrailerSize:], crc32.ChecksumIEEE(body))
+	var q Packet
+	if err := Unmarshal(buf, &q); err != ErrBadVersion {
+		t.Fatalf("zero-id traced packet: err = %v, want ErrBadVersion", err)
+	}
+}
+
+// TestAppendPacketZeroAlloc pins the hot-path acceptance criterion: with
+// no trace context attached, encode and decode of a full-size data packet
+// into a reused buffer allocate nothing.
+func TestAppendPacketZeroAlloc(t *testing.T) {
+	payload := make([]byte, MaxPayload)
+	p := &Packet{Header: Header{Type: TData, ReqID: 1, Handle: 2, Length: uint32(len(payload))}, Payload: payload}
+	buf := make([]byte, 0, MaxPacket)
+	var q Packet
+	allocs := testing.AllocsPerRun(500, func() {
+		out, err := AppendPacket(buf[:0], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Unmarshal(out, &q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced encode+decode allocated %v per packet, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,81 @@
+#!/bin/sh
+# Distributed-tracing smoke: boot a swiftd storage agent plus mediator
+# replica over real UDP with an injected per-read latency fault, run a
+# leased traced client against it, and verify the span trees end to end:
+# the client assembles its own op waterfalls, and the agent's collector
+# (fetched over HTTP with `swiftctl trace -from ... -slow`) holds the
+# wire-joined service spans carrying the injected delay, tail-kept as
+# fault traces.
+set -eu
+
+AGENT_PORT=17170
+MED_PORT=17160
+METRICS=127.0.0.1:19092
+DELAY=25ms
+TMP=$(mktemp -d)
+SWIFTD_PID=
+trap 'kill $SWIFTD_PID 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+fetch() { # fetch URL FILE
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS -o "$2" "$1"
+	else
+		wget -q -O "$2" "$1"
+	fi
+}
+
+wait_for() { # wait_for URL
+	i=0
+	while ! fetch "$1" "$TMP/probe" 2>/dev/null; do
+		i=$((i + 1))
+		[ "$i" -ge 50 ] && { echo "timeout waiting for $1" >&2; exit 1; }
+		sleep 0.2
+	done
+}
+
+# Run the built binaries directly (not `go run`) so the cleanup trap
+# kills the server process itself, not a wrapper.
+go build -o "$TMP/swiftd" ./cmd/swiftd
+go build -o "$TMP/swiftctl" ./cmd/swiftctl
+
+echo "== swiftd: traced agent + mediator replica, ${DELAY} injected read delay"
+"$TMP/swiftd" -mem -port $AGENT_PORT -trace 1 -read-delay $DELAY \
+	-metrics "$METRICS" \
+	-mediator $MED_PORT -mediator-name med-a \
+	-mediator-agents 127.0.0.1:$AGENT_PORT@400 \
+	>"$TMP/swiftd.out" 2>&1 &
+SWIFTD_PID=$!
+wait_for "http://$METRICS/metrics"
+
+echo "== leased traced client: scratch write+read through the tier"
+"$TMP/swiftctl" -mediators med-a=127.0.0.1:$MED_PORT -rate 100 \
+	trace -mb 1 >"$TMP/client.out" 2>&1 || {
+	echo "client trace run failed:" >&2; cat "$TMP/client.out" >&2; exit 1
+}
+
+# The client assembles its own waterfalls: a leased session line plus
+# write and read op trees with per-agent child spans.
+grep -q 'session .* leased' "$TMP/client.out" || { echo "client was not leased" >&2; cat "$TMP/client.out" >&2; exit 1; }
+for want in 'op=write' 'op=read' 'agent_read' 'agent_write'; do
+	grep -q "$want" "$TMP/client.out" || {
+		echo "client trace output missing $want" >&2; cat "$TMP/client.out" >&2; exit 1
+	}
+done
+
+echo "== agent collector: injected delay visible in slow span trees"
+"$TMP/swiftctl" trace -from "http://$METRICS" -slow >"$TMP/agent.out" 2>&1 || {
+	echo "trace -from failed:" >&2; cat "$TMP/agent.out" >&2; exit 1
+}
+# The agent-side service span must carry the injected delay, marked as a
+# fault so the tail sampler kept it without head sampling's help.
+for want in 'agent_read_serve' "injected read delay $DELAY" 'FAULT' 'keep=fault'; do
+	grep -q "$want" "$TMP/agent.out" || {
+		echo "agent trace output missing $want" >&2; cat "$TMP/agent.out" >&2; exit 1
+	}
+done
+
+# JSON export of the same collector must parse and carry trace ids.
+fetch "http://$METRICS/trace/ops?format=json&slow=1" "$TMP/ops.json"
+grep -q '"trace"' "$TMP/ops.json" || { echo "no traces in JSON export" >&2; exit 1; }
+
+echo "trace smoke OK"

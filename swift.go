@@ -124,6 +124,19 @@ type Config struct {
 	// gets a private registry; telemetry is always recorded and available
 	// through FS.Stats.
 	Obs *obs.Registry
+	// TraceRate enables distributed tracing: every client operation
+	// (open, read, write, sync, scrub) records a span tree across the
+	// client's internal layers and — over the wire — the storage agents
+	// and mediator replicas serving it. Rate is the head-sampling
+	// probability in [0,1]; independent of it, the tail sampler keeps
+	// ops that errored, retried (timeouts, resends, repairs, failovers),
+	// or ran slower than the operation's live p99. Zero disables tracing
+	// with no per-packet cost.
+	TraceRate float64
+	// Tracer, when non-nil, overrides TraceRate: the client joins an
+	// existing tracer (shared with in-process agents or mediators, so
+	// one collector assembles the full cross-layer tree).
+	Tracer *obs.Tracer
 }
 
 // FS is a handle to a striped object store: the Swift distribution agent.
@@ -150,6 +163,11 @@ func Dial(cfg Config) (*FS, error) {
 				cfg.DataShards, k, cfg.DataShards+k, len(cfg.Agents))
 		}
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(obs.TracerConfig{Rate: cfg.TraceRate})
+		tracer.Register(cfg.Obs)
+	}
 	c, err := core.Dial(core.Config{
 		Host:         cfg.Host,
 		Agents:       cfg.Agents,
@@ -167,6 +185,7 @@ func Dial(cfg Config) (*FS, error) {
 		Logf:         cfg.Logf,
 		Verbose:      cfg.Verbose,
 		Obs:          cfg.Obs,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -346,6 +365,25 @@ func (fs *FS) Metrics() MetricsSnapshot { return fs.c.MetricsSnapshot() }
 
 // TraceEvents returns up to n recent trace events, oldest first.
 func (fs *FS) TraceEvents(n int) []TraceEvent { return fs.c.TraceEvents(n) }
+
+// OpTrace is one kept per-operation span tree (see Config.TraceRate).
+type OpTrace = obs.Trace
+
+// SpanContext is a trace context minted at a client operation and
+// propagated across the wire to agents and mediators.
+type SpanContext = obs.SpanContext
+
+// SpanRecord is one finished span within an OpTrace's tree.
+type SpanRecord = obs.SpanRecord
+
+// Tracer returns the client's span tracer, or nil when tracing is
+// disabled (Config.TraceRate 0 and no Config.Tracer).
+func (fs *FS) Tracer() *obs.Tracer { return fs.c.Tracer() }
+
+// Traces returns the kept per-operation span trees, oldest first: ops
+// head-sampled at Config.TraceRate plus every op the tail sampler kept
+// for erroring, retrying, or running slower than its operation's p99.
+func (fs *FS) Traces() []OpTrace { return fs.c.Tracer().Traces() }
 
 // Obs returns the client's metric registry, for HTTP export or custom
 // instrument registration.
