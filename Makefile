@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build vet lint test race fuzz bench tables figures ablations \
 	ec-bench hotpath-bench examples obs-test obs-smoke scrub-smoke \
-	failover-smoke trace-smoke clean
+	failover-smoke trace-smoke overload-smoke clean
 
 all: build vet test obs-test
 
@@ -67,6 +67,13 @@ failover-smoke:
 # in the agent's wire-joined service spans via `swiftctl trace -slow`.
 trace-smoke:
 	sh scripts/trace-smoke.sh
+
+# End-to-end overload-control smoke: 3x overdemand against swiftd agents
+# with bounded service queues over real UDP; the excess must shed via
+# explicit pushback (counters nonzero), with zero lifecycle flaps and a
+# byte-identical read-back after the surge.
+overload-smoke:
+	sh scripts/overload-smoke.sh
 
 # Short fuzz pass over the wire codecs, the at-rest integrity
 # envelope, and the erasure codec (CI smoke; go native fuzzing).

@@ -91,6 +91,8 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 0, "with -rate, lease the mediator reservation and heartbeat it")
 	mediators := flag.String("mediators", "", "federated mediator replicas as NAME=HOST:PORT,... (replaces the built-in policy for -rate)")
 	traceRate := flag.Float64("trace", 0, "distributed-tracing head-sample rate in [0,1]; the trace command defaults it to 1")
+	opTimeout := flag.Duration("op-timeout", 0, "per-operation deadline budget, propagated to agents and mediators on the wire (0 = none)")
+	hedge := flag.Bool("hedge", false, "hedge straggling reads: race parity reconstruction against the slowest agent (needs -parity)")
 	syncw := flag.Bool("sync", false, "synchronous writes")
 	flag.Usage = usage
 	flag.Parse()
@@ -149,6 +151,8 @@ func main() {
 		ParityShards: *parityShards,
 		SyncWrites:   *syncw,
 		TraceRate:    *traceRate,
+		OpTimeout:    *opTimeout,
+		HedgeReads:   *hedge,
 	}
 	// The trace command is pointless untraced: default to sampling
 	// every op unless the user picked a rate.
@@ -656,14 +660,18 @@ func printStats(s swift.Stats, prev swift.MetricsSnapshot, interval time.Duratio
 			h.P50.Round(time.Microsecond), h.P90.Round(time.Microsecond),
 			h.P99.Round(time.Microsecond), h.Max.Round(time.Microsecond))
 	}
+	ov := s.Overload
+	fmt.Printf("overload: pushbacks=%d hedges=%d (wins %d) budget_denials=%d breaker_trips=%d budget_fill=%.0f%%\n",
+		ov.Pushbacks, ov.Hedges, ov.HedgeWins, ov.BudgetDenials,
+		ov.BreakerTrips, 100*ov.BudgetFill)
 	printHist("open", s.OpenLat)
 	printHist("read", s.ReadLat)
 	printHist("write", s.WriteLat)
 	printHist("probe", s.ProbeLat)
 	for i, as := range s.Agents {
-		fmt.Printf("agent %d %-22s %-8v rb=%-6d rto=%-4d wb=%-6d wto=%-4d rp50=%-10v wp50=%v\n",
-			i, as.Addr, as.State, as.ReadBursts, as.ReadTimeouts,
-			as.WriteBursts, as.WriteTimeouts,
+		fmt.Printf("agent %d %-22s %-8v brk=%-9v rb=%-6d rto=%-4d wb=%-6d wto=%-4d pb=%-4d hg=%-4d rp50=%-10v wp50=%v\n",
+			i, as.Addr, as.State, as.Breaker, as.ReadBursts, as.ReadTimeouts,
+			as.WriteBursts, as.WriteTimeouts, as.Pushbacks, as.Hedges,
 			as.ReadBurstLat.P50.Round(time.Microsecond),
 			as.WriteBurstLat.P50.Round(time.Microsecond))
 	}

@@ -56,12 +56,14 @@ func main() {
 	metrics := flag.String("metrics", "", "HTTP address for /metrics, /trace and /debug/pprof (e.g. :9090; empty = off)")
 	traceRate := flag.Float64("trace", 0, "distributed-tracing head-sample rate in [0,1] (0 = off); spans join client-minted trace contexts and serve at /trace/ops")
 	readDelay := flag.Duration("read-delay", 0, "inject an artificial pause before serving each read (fault-injection drill; annotated in the trace span)")
+	maxInflight := flag.Int("max-inflight-reads", 0, "bound the agent's read service queue; excess requests get an explicit pushback reply (0 = default)")
 	medPort := flag.String("mediator", "", "serve a mediator replica on this control port (standalone when no store is given)")
 	medName := flag.String("mediator-name", "", "this replica's name within the federated tier (default ADDR:PORT)")
 	medPeers := flag.String("mediator-peers", "", "peer replicas as NAME=HOST:PORT,... (enables session mirroring)")
 	medAgents := flag.String("mediator-agents", "", "installation agents as ADDR@RATEKB,... for the admission model (required with -mediator)")
 	medNet := flag.Float64("mediator-net", 1<<20, "interconnect capacity in KB/s for the admission model")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "mediator session lease TTL (0 = sessions never expire)")
+	admitWatermark := flag.Float64("admit-watermark", 0, "mediator admission watermark in [0,1]: past this reserved fraction new sessions are rejected with a retry-after hint (0 = admit to capacity)")
 	flag.Parse()
 
 	mediatorOnly := *medPort != "" && !*mem && *dir == ""
@@ -100,6 +102,7 @@ func main() {
 		cfg := agent.Config{
 			Port: *port, SyncWrites: *sync, Obs: reg, Verbose: *verbose,
 			Tracer: tracer, ReadDelay: *readDelay,
+			MaxInflightReads: *maxInflight,
 		}
 		if *verbose {
 			cfg.Logf = log.Printf
@@ -125,11 +128,12 @@ func main() {
 			name = *addr + ":" + *medPort
 		}
 		med, err = mediator.New(mediator.Config{
-			Agents:   infos,
-			Nets:     []mediator.NetInfo{{Name: "net", Capacity: *medNet * 1024}},
-			Self:     name,
-			LeaseTTL: *leaseTTL,
-			Obs:      reg,
+			Agents:         infos,
+			Nets:           []mediator.NetInfo{{Name: "net", Capacity: *medNet * 1024}},
+			Self:           name,
+			LeaseTTL:       *leaseTTL,
+			AdmitWatermark: *admitWatermark,
+			Obs:            reg,
 		})
 		if err != nil {
 			log.Fatalf("mediator: %v", err)

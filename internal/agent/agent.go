@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"swift/internal/extent"
@@ -84,7 +85,17 @@ type Config struct {
 	// ReadDelay injects an artificial pause before each read request is
 	// served — a fault-injection knob for trace drills (the delay shows
 	// up, annotated, in the agent's service span). Zero disables it.
+	// SetReadDelay changes it at runtime.
 	ReadDelay time.Duration
+	// MaxInflightReads bounds read requests in service at once across all
+	// sessions (default 64). Requests beyond the bound are shed with an
+	// explicit pushback reply instead of queueing without limit: under
+	// overload the agent answers fast with "not now" rather than slowly
+	// with data nobody is still waiting for.
+	MaxInflightReads int
+	// PushbackRetryAfter is the pacing hint carried on queue-full
+	// pushback replies (default 5ms).
+	PushbackRetryAfter time.Duration
 }
 
 func (c *Config) fill() {
@@ -112,6 +123,12 @@ func (c *Config) fill() {
 	if c.MaxBurstBytes == 0 {
 		c.MaxBurstBytes = 8 << 20
 	}
+	if c.MaxInflightReads == 0 {
+		c.MaxInflightReads = 64
+	}
+	if c.PushbackRetryAfter == 0 {
+		c.PushbackRetryAfter = 5 * time.Millisecond
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -128,6 +145,13 @@ type Agent struct {
 	sessions map[uint64]*session
 	nextH    uint64
 	closed   bool
+
+	// readDelay is the injected read-service delay in nanoseconds,
+	// atomic so fault drills can slow a live agent mid-run.
+	readDelay atomic.Int64
+	// inflightReads counts read requests currently in service; the
+	// admission gate sheds past cfg.MaxInflightReads.
+	inflightReads atomic.Int32
 
 	tel *telemetry
 
@@ -150,6 +174,7 @@ func New(host transport.Host, st store.Store, cfg Config) (*Agent, error) {
 		sessions: make(map[uint64]*session),
 		tel:      newAgentTelemetry(cfg.Obs),
 	}
+	a.readDelay.Store(int64(cfg.ReadDelay))
 	if cfg.Verbose {
 		logf := a.cfg.Logf
 		a.tel.trace.SetSink(func(e obs.Event) { logf("trace: %s", e.String()) })
@@ -220,6 +245,48 @@ func (a *Agent) sendError(c transport.PacketConn, to string, req *wire.Packet, e
 	a.send(c, to, &wire.Packet{
 		Header:  wire.Header{Type: wire.TError, ReqID: req.ReqID, Handle: req.Handle},
 		Payload: wire.AppendError(nil, err.Error()),
+	})
+}
+
+// ReadDelay reports the injected read-service delay.
+func (a *Agent) ReadDelay() time.Duration { return time.Duration(a.readDelay.Load()) }
+
+// SetReadDelay changes the injected read-service delay at runtime — the
+// fault-injection hook behind the overload drills' "slowed agent".
+func (a *Agent) SetReadDelay(d time.Duration) { a.readDelay.Store(int64(d)) }
+
+// acquireRead claims one slot in the bounded read-service gate; a false
+// return means the agent is over its admission quota and the request
+// must be shed.
+func (a *Agent) acquireRead() bool {
+	if a.inflightReads.Add(1) > int32(a.cfg.MaxInflightReads) {
+		a.inflightReads.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (a *Agent) releaseRead() { a.inflightReads.Add(-1) }
+
+// shed refuses a request with an explicit pushback reply. Pushback is
+// backpressure, not failure: the client must pace or retry elsewhere,
+// and must not count the refusal against the agent's health lifecycle.
+func (a *Agent) shed(c transport.PacketConn, to string, req *wire.Packet, sp *obs.Span, reason wire.PushbackReason) {
+	info := wire.PushbackInfo{Reason: reason}
+	switch reason {
+	case wire.PushDeadlineExpired:
+		a.tel.shedDeadline.Inc()
+	default:
+		info.RetryAfter = a.cfg.PushbackRetryAfter
+		a.tel.shedQueue.Inc()
+	}
+	a.tel.pushbacks.Inc()
+	sp.Annotate("shed: %s", reason)
+	sp.MarkFault()
+	a.traceEvent("shed", "req %d: %s", req.ReqID, reason)
+	a.send(c, to, &wire.Packet{
+		Header:  wire.Header{Type: wire.TPushback, ReqID: req.ReqID, Handle: req.Handle},
+		Payload: wire.AppendPushback(nil, &info),
 	})
 }
 
@@ -602,13 +669,29 @@ func (s *session) serveRead(pkt *wire.Packet, from string) {
 	sp := s.agent.joinSpan(pkt.Trace, "agent_read_serve")
 	defer sp.Finish()
 	sp.Annotate("[%d:%d)", pkt.Offset, pkt.Offset+int64(pkt.Length))
-	if cfg.ReadDelay > 0 {
-		time.Sleep(cfg.ReadDelay)
-		sp.Annotate("injected read delay %v", cfg.ReadDelay)
+	if !s.agent.acquireRead() {
+		s.agent.shed(s.conn, from, pkt, sp, wire.PushQueueFull)
+		return
+	}
+	defer s.agent.releaseRead()
+	// The deadline extension carries the remaining budget at client
+	// send; the agent anchors it against its own clock at dequeue (no
+	// clock sync), then checks it wherever service time accrues.
+	var expiry time.Time
+	if pkt.Deadline > 0 {
+		expiry = time.Now().Add(pkt.Deadline)
+	}
+	if delay := s.agent.ReadDelay(); delay > 0 {
+		time.Sleep(delay)
+		sp.Annotate("injected read delay %v", delay)
 		// A uniformly-injected delay never trips the live-p99 keep
 		// criterion (every op is equally slow); mark the drill explicitly
 		// so `swiftctl trace -slow` surfaces it.
 		sp.MarkFault()
+	}
+	if !expiry.IsZero() && time.Now().After(expiry) {
+		s.agent.shed(s.conn, from, pkt, sp, wire.PushDeadlineExpired)
+		return
 	}
 	start := time.Now()
 	defer func() { tel.readServeLat.Observe(time.Since(start)) }()
@@ -641,11 +724,22 @@ func (s *session) serveRead(pkt *wire.Packet, from string) {
 	}()
 
 	end := pkt.Offset + int64(pkt.Length)
+	expired := false
 	for c := range chunks {
 		if c.err != nil {
 			sp.SetError(c.err)
 			s.agent.sendError(s.conn, from, pkt, c.err)
 			return
+		}
+		if expired {
+			continue // drain the reader; the burst is already dead
+		}
+		if !expiry.IsZero() && time.Now().After(expiry) {
+			// The budget ran out mid-stream: stop transmitting — the
+			// client has moved on, and the remaining packets would only
+			// displace work that can still meet its deadline.
+			expired = true
+			continue
 		}
 		for sent := int64(0); sent < int64(len(c.data)); {
 			p := int64(len(c.data)) - sent
@@ -666,6 +760,9 @@ func (s *session) serveRead(pkt *wire.Packet, from string) {
 			tel.readBytes.Add(p)
 			sent += p
 		}
+	}
+	if expired {
+		s.agent.shed(s.conn, from, pkt, sp, wire.PushDeadlineExpired)
 	}
 }
 

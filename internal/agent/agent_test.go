@@ -461,3 +461,75 @@ func TestAgentCloseIsIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDeadlineExpiredReadShed(t *testing.T) {
+	r := newRig(t, Config{})
+	obj, _ := r.st.Open("obj", true)
+	obj.WriteAt([]byte("abc"), 0)
+	addr, h := r.open("obj", 0)
+
+	// Slow the agent at runtime so a tight budget is spent before service.
+	r.agent.SetReadDelay(20 * time.Millisecond)
+	id := r.nextReq()
+	r.send(addr, &wire.Packet{
+		Header:   wire.Header{Type: wire.TRead, ReqID: id, Handle: h, Offset: 0, Length: 3},
+		Deadline: time.Millisecond,
+	})
+	p := r.recv(time.Second)
+	if p == nil || p.Type != wire.TPushback || p.ReqID != id {
+		t.Fatalf("want pushback, got %+v", p)
+	}
+	info, err := wire.ParsePushback(p.Payload)
+	if err != nil || info.Reason != wire.PushDeadlineExpired {
+		t.Fatalf("pushback = %+v, %v", info, err)
+	}
+
+	// Restore speed: the same request with budget to spare is served.
+	r.agent.SetReadDelay(0)
+	id = r.nextReq()
+	r.send(addr, &wire.Packet{
+		Header:   wire.Header{Type: wire.TRead, ReqID: id, Handle: h, Offset: 0, Length: 3},
+		Deadline: time.Second,
+	})
+	if p := r.recv(time.Second); p == nil || p.Type != wire.TData {
+		t.Fatalf("want data after recovery, got %+v", p)
+	}
+}
+
+func TestQueueFullReadShed(t *testing.T) {
+	r := newRig(t, Config{MaxInflightReads: 1, ReadDelay: 200 * time.Millisecond})
+	obj, _ := r.st.Open("obj", true)
+	obj.WriteAt([]byte("abc"), 0)
+	addr1, h1 := r.open("obj", 0)
+	addr2, h2 := r.open("obj", 0)
+
+	// First read occupies the only service slot (held in the injected
+	// delay); the second must be shed with a pacing hint, not queued.
+	id1 := r.nextReq()
+	r.send(addr1, &wire.Packet{Header: wire.Header{
+		Type: wire.TRead, ReqID: id1, Handle: h1, Offset: 0, Length: 3,
+	}})
+	time.Sleep(20 * time.Millisecond) // let the first read enter service
+	id2 := r.nextReq()
+	r.send(addr2, &wire.Packet{Header: wire.Header{
+		Type: wire.TRead, ReqID: id2, Handle: h2, Offset: 0, Length: 3,
+	}})
+	p := r.recv(100 * time.Millisecond)
+	if p == nil || p.Type != wire.TPushback || p.ReqID != id2 {
+		t.Fatalf("want pushback for second read, got %+v", p)
+	}
+	info, err := wire.ParsePushback(p.Payload)
+	if err != nil || info.Reason != wire.PushQueueFull || info.RetryAfter <= 0 {
+		t.Fatalf("pushback = %+v, %v", info, err)
+	}
+	// The first read still completes: shedding is selective.
+	for {
+		p = r.recv(time.Second)
+		if p == nil {
+			t.Fatal("first read never completed")
+		}
+		if p.Type == wire.TData && p.ReqID == id1 {
+			return
+		}
+	}
+}

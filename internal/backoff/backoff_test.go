@@ -1,0 +1,82 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelayBounds: every level's delay stays within ±25% of the capped
+// exponential schedule, and levels past the cap never exceed max+25%.
+func TestDelayBounds(t *testing.T) {
+	base := 50 * time.Millisecond
+	max := 400 * time.Millisecond
+	p := NewSeeded(base, max, 1)
+	for level := 0; level < 12; level++ {
+		want := base
+		for i := 0; i < level && want < max; i++ {
+			want *= 2
+		}
+		if want > max {
+			want = max
+		}
+		for trial := 0; trial < 100; trial++ {
+			d := p.Delay(level)
+			lo, hi := want-want/4, want+want/4
+			if d < lo || d > hi {
+				t.Fatalf("level %d trial %d: delay %v outside [%v, %v]", level, trial, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestDelayDeterministic: the same seed reproduces the same jitter
+// stream exactly.
+func TestDelayDeterministic(t *testing.T) {
+	a := NewSeeded(time.Millisecond, 8*time.Millisecond, 42)
+	b := NewSeeded(time.Millisecond, 8*time.Millisecond, 42)
+	for i := 0; i < 200; i++ {
+		da, db := a.Delay(i%6), b.Delay(i%6)
+		if da != db {
+			t.Fatalf("draw %d: %v != %v with identical seeds", i, da, db)
+		}
+	}
+}
+
+// TestPerInstanceSeeding: two policies from New draw distinct jitter
+// streams — the shared-generator bug this package exists to fix.
+func TestPerInstanceSeeding(t *testing.T) {
+	a := New(time.Second, 8*time.Second)
+	b := New(time.Second, 8*time.Second)
+	same := 0
+	const n = 64
+	for i := 0; i < n; i++ {
+		if a.Delay(0) == b.Delay(0) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("two New policies drew %d identical delays: shared jitter stream", n)
+	}
+}
+
+// TestNoJitterBelowResolution: a base too small to carry 25% jitter is
+// returned unmodified instead of panicking in the jitter draw.
+func TestNoJitterBelowResolution(t *testing.T) {
+	p := NewSeeded(2, 8, 7) // 2ns base: d/4 == 0
+	if d := p.Delay(0); d != 2 {
+		t.Fatalf("sub-resolution delay = %v, want 2ns unjittered", d)
+	}
+}
+
+// TestCapHolds: very large levels saturate at max (±25%) instead of
+// overflowing the doubling loop.
+func TestCapHolds(t *testing.T) {
+	max := 400 * time.Millisecond
+	p := NewSeeded(50*time.Millisecond, max, 9)
+	for i := 0; i < 100; i++ {
+		d := p.Delay(1 << 20)
+		if d < max-max/4 || d > max+max/4 {
+			t.Fatalf("saturated delay %v outside [%v, %v]", d, max-max/4, max+max/4)
+		}
+	}
+}

@@ -3,10 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
+	"swift/internal/backoff"
 	"swift/internal/mediator"
 	"swift/internal/obs"
 )
@@ -79,6 +79,7 @@ type tracedRenewer interface {
 // the client its reservations.
 type MediatorBroker struct {
 	cfg   BrokerConfig
+	bo    *backoff.Policy    // walk-retry backoff schedule
 	order []MediatorEndpoint // placement order for cfg.Key
 
 	mu        sync.Mutex
@@ -89,6 +90,7 @@ type MediatorBroker struct {
 
 	telFailovers *obs.Counter
 	telRetries   *obs.Counter
+	telPaced     *obs.Counter
 }
 
 // NewMediatorBroker validates the replica set and derives the placement
@@ -124,7 +126,7 @@ func NewMediatorBroker(cfg BrokerConfig) (*MediatorBroker, error) {
 		byName[ep.Name()] = ep
 		names = append(names, ep.Name())
 	}
-	b := &MediatorBroker{cfg: cfg}
+	b := &MediatorBroker{cfg: cfg, bo: backoff.New(cfg.RetryTimeout, cfg.MaxRetryTimeout)}
 	for _, name := range mediator.PlaceOrder(cfg.Key, names) {
 		b.order = append(b.order, byName[name])
 	}
@@ -133,6 +135,8 @@ func NewMediatorBroker(cfg BrokerConfig) (*MediatorBroker, error) {
 			"Times the client re-targeted its mediator session to a different replica.", nil)
 		b.telRetries = reg.Counter("swift_client_mediator_retries_total",
 			"Full replica-set walks repeated after every replica failed once.", nil)
+		b.telPaced = reg.Counter("swift_client_mediator_paced_total",
+			"Admission attempts paced by a mediator's overload retry-after hint.", nil)
 	}
 	return b, nil
 }
@@ -171,17 +175,10 @@ func renewVia(ep MediatorEndpoint, rec mediator.SessionRecord, sp *obs.Span) (st
 // backoff is the pause before retry walk number attempt (1-based):
 // capped exponential with ±25% jitter.
 func (b *MediatorBroker) backoff(attempt int) time.Duration {
-	d := b.cfg.RetryTimeout
-	for i := 1; i < attempt && d < b.cfg.MaxRetryTimeout; i++ {
-		d *= 2
+	if attempt < 1 {
+		attempt = 1
 	}
-	if d > b.cfg.MaxRetryTimeout {
-		d = b.cfg.MaxRetryTimeout
-	}
-	if j := int64(d / 4); j > 0 {
-		d += time.Duration(rand.Int63n(2*j+1) - j)
-	}
-	return d
+	return b.bo.Delay(attempt - 1)
 }
 
 // candidates returns the endpoints to try, the current home first and
@@ -270,6 +267,25 @@ func (b *MediatorBroker) OpenSessionTraced(req mediator.Requirements, parent obs
 				return nil, err
 			}
 			lastErr = err
+			if errors.Is(err, mediator.ErrOverloaded) {
+				// The replica is up but shedding: honor its pacing hint
+				// (jittered, so paced clients don't re-converge) and try
+				// again. Not a replica failure — don't rotate away from
+				// the session's placement home for a transient surge.
+				pause := b.backoff(attempt)
+				var oe *mediator.OverloadedError
+				if errors.As(err, &oe) && oe.RetryAfter > 0 {
+					pause = b.bo.Jitter(oe.RetryAfter)
+				}
+				if b.telPaced != nil {
+					b.telPaced.Inc()
+				}
+				sp.MarkRetry()
+				sp.Annotate("admit on %s paced %v: %v", ep.Name(), pause, err)
+				b.cfg.Logf("swift: mediator open on %s paced %v: %v", ep.Name(), pause, err)
+				b.cfg.Sleep(pause)
+				continue
+			}
 			sp.MarkRetry()
 			sp.Annotate("admit on %s failed: %v", ep.Name(), err)
 			b.cfg.Logf("swift: mediator open on %s: %v", ep.Name(), err)

@@ -15,12 +15,12 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"swift/internal/backoff"
 	"swift/internal/ec"
 	"swift/internal/obs"
 	"swift/internal/stripe"
@@ -104,6 +104,31 @@ type Config struct {
 	// context rides control packets to agents and mediators. Nil disables
 	// tracing at zero cost on the per-packet path.
 	Tracer *obs.Tracer
+	// OpTimeout, when > 0, gives every read and write operation a deadline
+	// budget. The remaining budget rides each request in the version-gated
+	// deadline extension so agents can shed work whose client has already
+	// given up. Zero (the default) disables deadline propagation; requests
+	// stay byte-identical to the version-1 format.
+	OpTimeout time.Duration
+	// HedgeReads enables hedged reads with parity: a read burst stalled
+	// past HedgeMultiplier× the agent's p99 burst latency is abandoned and
+	// its extents reconstructed from the other agents' shards, bounded by
+	// the retry budget. Default off.
+	HedgeReads bool
+	// HedgeMultiplier scales the p99-derived hedge delay (default 2).
+	HedgeMultiplier float64
+	// RetryBudgetCap is the retry token bucket's capacity (default 1000).
+	RetryBudgetCap float64
+	// RetryBudgetRatio is the fraction of a token each fresh operation
+	// deposits — sustained retries are capped at this fraction of fresh
+	// traffic (default 0.5).
+	RetryBudgetRatio float64
+	// BreakerThreshold is the number of consecutive pushbacks or retry
+	// give-ups that trip an agent's circuit breaker open (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// admitting a half-open trial burst (default 2s).
+	BreakerCooldown time.Duration
 }
 
 func (c *Config) fill() error {
@@ -137,6 +162,21 @@ func (c *Config) fill() error {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.HedgeMultiplier == 0 {
+		c.HedgeMultiplier = 2
+	}
+	if c.RetryBudgetCap == 0 {
+		c.RetryBudgetCap = 1000
+	}
+	if c.RetryBudgetRatio == 0 {
+		c.RetryBudgetRatio = 0.5
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
 	// Normalize the redundancy knobs both ways: ParityShards implies
 	// Parity, and Parity alone means the legacy single parity unit. All
 	// boolean cfg.Parity checks in the engine stay valid for any k.
@@ -162,7 +202,8 @@ func (c *Config) layout() stripe.Layout {
 type Client struct {
 	cfg    Config
 	layout stripe.Layout
-	codec  ec.Codec // row erasure codec; nil without parity
+	codec  ec.Codec        // row erasure codec; nil without parity
+	bo     *backoff.Policy // shared retransmission backoff schedule
 
 	mu     sync.Mutex
 	ctl    transport.PacketConn // shared control conn for stat/remove
@@ -179,6 +220,9 @@ type Client struct {
 	tel       *telemetry
 	tracer    *obs.Tracer // nil when tracing is disabled
 	traceStop func()      // stops the Verbose buffered sink drain
+
+	budget   *tokenBucket // shared retry/hedge budget (see overload.go)
+	breakers []breaker    // per-agent circuit breakers
 }
 
 // Metrics counts protocol events, for diagnostics and calibration.
@@ -196,6 +240,11 @@ type Metrics struct {
 	Repairs       atomic.Int64 // stripe units rewritten from parity (read-repair and scrub)
 	Unrepairable  atomic.Int64 // corruption events parity could not repair
 	ScrubRows     atomic.Int64 // stripe rows verified by the scrubber
+	Pushbacks     atomic.Int64 // explicit pushback replies received from agents
+	Hedges        atomic.Int64 // read bursts hedged after the straggler delay
+	HedgeWins     atomic.Int64 // hedged reads completed by reconstruction
+	BudgetDenials atomic.Int64 // retries or hedges denied by the retry budget
+	BreakerTrips  atomic.Int64 // per-agent circuit breakers tripped open
 }
 
 // Metrics returns a pointer to the client's live protocol counters.
@@ -217,11 +266,14 @@ func Dial(cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	c := &Client{
-		cfg:    cfg,
-		layout: cfg.layout(),
-		ctl:    ctl,
-		health: make([]agentHealth, len(cfg.Agents)),
-		files:  make(map[*File]struct{}),
+		cfg:      cfg,
+		layout:   cfg.layout(),
+		bo:       backoff.New(cfg.RetryTimeout, cfg.MaxRetryTimeout),
+		ctl:      ctl,
+		health:   make([]agentHealth, len(cfg.Agents)),
+		files:    make(map[*File]struct{}),
+		budget:   newTokenBucket(cfg.RetryBudgetCap, cfg.RetryBudgetRatio),
+		breakers: make([]breaker, len(cfg.Agents)),
 	}
 	if k := c.layout.ParityPerRow(); k > 0 {
 		c.codec, err = ec.New(c.layout.DataPerRow(), k)
@@ -230,7 +282,7 @@ func Dial(cfg Config) (*Client, error) {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
-	c.tel = newTelemetry(cfg.Obs, cfg.Agents, &c.metrics, c.codec)
+	c.tel = newTelemetry(cfg.Obs, cfg.Agents, &c.metrics, c.codec, c.budget)
 	c.tracer = cfg.Tracer
 	if cfg.Verbose {
 		logf := c.cfg.Logf
@@ -316,19 +368,7 @@ func (c *Client) downSnapshot() []bool {
 // backoff returns the retransmission wait for the given consecutive
 // silent-timeout count (0 = base RetryTimeout): capped exponential growth
 // with ±25% jitter so colliding clients desynchronize.
-func (c *Client) backoff(level int) time.Duration {
-	d := c.cfg.RetryTimeout
-	for i := 0; i < level && d < c.cfg.MaxRetryTimeout; i++ {
-		d *= 2
-	}
-	if d > c.cfg.MaxRetryTimeout {
-		d = c.cfg.MaxRetryTimeout
-	}
-	if j := int64(d / 4); j > 0 {
-		d += time.Duration(rand.Int63n(2*j+1) - j)
-	}
-	return d
-}
+func (c *Client) backoff(level int) time.Duration { return c.bo.Delay(level) }
 
 // retryBudget is the no-progress interval after which an operation gives
 // up on an agent.

@@ -27,6 +27,12 @@ type File struct {
 	pos      int64
 	closed   bool
 
+	// opDeadline is the running operation's deadline budget (zero when
+	// Config.OpTimeout is off). Set at ReadAt/WriteAt entry and cleared on
+	// exit, under f.mu; maintenance paths (rebuild, scrub) run with it
+	// zero so background repair never inherits a stale foreground budget.
+	opDeadline time.Time
+
 	// Read-ahead window (enabled by Config.ReadAhead).
 	raBuf   []byte
 	raOff   int64 // logical offset of raBuf[0]
@@ -111,6 +117,11 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	n := int64(len(p))
 	if off+n > f.size {
 		n = f.size - off
+	}
+	f.c.budget.deposit()
+	if t := f.c.cfg.OpTimeout; t > 0 {
+		f.opDeadline = start.Add(t)
+		defer func() { f.opDeadline = time.Time{} }()
 	}
 	sp.Annotate("%s [%d:%d)", f.name, off, off+n)
 	if err := f.readServe(p[:n], off, sp); err != nil {
@@ -235,6 +246,15 @@ func (f *File) readRange(dst []byte, off int64, allowFailover bool, sp *obs.Span
 		if f.quorumLost() {
 			return ErrNoQuorum
 		}
+		// Failover retries spend from the shared budget so a brown-out is
+		// not amplified into a retry storm; the lifecycle note above is
+		// kept (the failure was real) even when the retry is denied.
+		if !f.c.budget.spend() {
+			f.c.metrics.BudgetDenials.Add(1)
+			f.c.traceEvent("budget_denied", failed, "read failover denied: %v", err)
+			return fmt.Errorf("%w: read failover around agent %d (last error: %v)",
+				ErrRetryBudget, failed, err)
+		}
 		f.c.traceEvent("read_failover", failed, "%s: %v", f.name, err)
 		sp.MarkRetry()
 		sp.Annotate("failover around agent %d: %v", failed, err)
@@ -266,11 +286,17 @@ func (f *File) readRangeOnce(dst []byte, off int64, sp *obs.Span) (failedAgent i
 		if exts[i].Len() == 0 {
 			continue
 		}
-		if s == nil {
+		// A tripped circuit breaker diverts the agent's extents to the
+		// reconstruction path (only meaningful with parity: without it the
+		// agent is the sole holder of its units and must be tried anyway).
+		if s == nil || (f.c.cfg.Parity && !f.c.breakerAllow(i)) {
 			if deadExts == nil {
 				deadExts = make([]extent.Set, len(f.sessions))
 			}
 			deadExts[i] = exts[i]
+			if s != nil {
+				sp.Annotate("breaker open: reading around agent %d", i)
+			}
 			continue
 		}
 		workers++
@@ -287,14 +313,51 @@ func (f *File) readRangeOnce(dst []byte, off int64, sp *obs.Span) (failedAgent i
 			results <- result{agent: i, err: werr}
 		}(i, s, exts[i].Extents())
 	}
+	// Overload signals (pushback, hedge, spent deadline) are collected
+	// separately from failures: they must not be attributed to the agent's
+	// failure-domain lifecycle. A hedged or pushed-back agent's extents
+	// are reconstructed from the other agents' shards instead.
+	var soft []result
 	for ; workers > 0; workers-- {
 		r := <-results
-		if r.err != nil && err == nil {
+		if r.err == nil {
+			continue
+		}
+		if isOverloadSignal(r.err) {
+			soft = append(soft, r)
+			continue
+		}
+		if err == nil {
 			failedAgent, err = r.agent, r.err
 		}
 	}
 	if err != nil {
 		return failedAgent, err
+	}
+	for _, r := range soft {
+		if errors.Is(r.err, ErrDeadline) || !f.c.cfg.Parity {
+			// The deadline is global to the operation (reconstruction
+			// cannot outrun it), and without parity there is nothing to
+			// reconstruct from: surface the signal unattributed.
+			return -1, r.err
+		}
+		hedged := errors.Is(r.err, errHedged)
+		name := "busy_read"
+		if hedged {
+			name = "hedged_read"
+		}
+		ds := sp.StartChild(name, r.agent)
+		ds.MarkRetry()
+		rerr := f.reconstructInto(r.agent, exts[r.agent].Extents(), dst, off)
+		ds.SetError(rerr)
+		ds.Finish()
+		if rerr != nil {
+			return -1, fmt.Errorf("core: reconstruction around agent %d: %w (after %v)", r.agent, rerr, r.err)
+		}
+		if hedged {
+			f.c.metrics.HedgeWins.Add(1)
+			f.c.traceEvent("hedge_win", r.agent, "%s: reconstruction beat the straggler", f.name)
+		}
 	}
 	// Reconstruct anything that lived on failed agents.
 	for i := range deadExts {
@@ -327,7 +390,7 @@ func (f *File) agentRead(s *agentSession, e extent.Extent, dst []byte, base int6
 		}
 		err := f.readBurst(s, lo, n, func(localOff int64, b []byte) {
 			f.placeGlobal(s.idx, localOff, b, dst, base)
-		}, sp)
+		}, sp, true)
 		if err != nil {
 			return err
 		}
@@ -369,44 +432,92 @@ func (f *File) placeGlobal(agent int, localOff int64, b []byte, dst []byte, base
 // can resubmit requests when packets are lost"). The engine keeps one
 // outstanding request per storage agent, as the prototype did. sink is
 // called with fragment-local offsets.
-func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64, b []byte), sp *obs.Span) error {
+//
+// With OpTimeout set, each request carries the operation's remaining
+// deadline budget so the agent can shed work whose client has given up.
+// An agent pushback paces retransmission by the agent's hint and feeds
+// the circuit breaker; repeated pushback abandons the burst with
+// ErrAgentBusy so the caller reconstructs around the agent. allowHedge
+// additionally arms hedging (with Config.HedgeReads): a burst stalled
+// past the p99-derived delay returns errHedged for the caller to race
+// reconstruction against the straggler. Reconstruction's own shard reads
+// pass allowHedge false — a hedge inside a hedge would recurse.
+func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64, b []byte), sp *obs.Span, allowHedge bool) error {
 	cfg := &f.c.cfg
 	at := f.c.tel.agent(s.idx)
 	start := time.Now()
 	accept := map[uint32]bool{}
 	var got extent.Set
 	var pkt wire.Packet
+	opDl := f.opDeadline
 
 	// The request packet carries the per-agent span's context so the
 	// agent's service span joins this trace; data packets never do.
 	tctx := sp.Context()
 	send := func(off, length int64) error {
+		var budget time.Duration
+		if !opDl.IsZero() {
+			if budget = time.Until(opDl); budget <= 0 {
+				return fmt.Errorf("%w: read %s[%d:%d]", ErrDeadline, f.name, lo, lo+n)
+			}
+		}
 		reqID := f.c.nextReq()
 		accept[reqID] = true
 		return f.sendPacket(s, &wire.Packet{Header: wire.Header{
 			Type: wire.TRead, ReqID: reqID, Handle: s.handle,
 			Offset: off, Length: uint32(length),
-		}, Trace: tctx})
+		}, Trace: tctx, Deadline: budget})
 	}
 	if err := send(lo, n); err != nil {
 		return err
 	}
 	f.c.metrics.ReadBursts.Add(1)
 	at.readBursts.Inc()
+	hedging := allowHedge && cfg.HedgeReads && cfg.Parity
+	var hedgeAt time.Time
+	if hedging {
+		hedgeAt = start.Add(f.c.hedgeDelay(s.idx))
+	}
+	pushbacks := 0
 	level := 0 // consecutive silent timeouts; drives the backoff
 	giveUp := time.Now().Add(f.c.retryBudget())
 	deadline := time.Now().Add(cfg.RetryTimeout)
 	for !got.Contains(lo, n) {
-		s.conn.SetReadDeadline(deadline)
+		wake := deadline
+		if hedging && hedgeAt.Before(wake) {
+			wake = hedgeAt
+		}
+		s.conn.SetReadDeadline(wake)
 		rn, _, err := s.conn.ReadFrom(s.buf)
 		if err != nil {
 			if !transport.IsTimeout(err) {
 				return err
 			}
+			now := time.Now()
+			if hedging && !now.Before(hedgeAt) {
+				if f.c.budget.spend() {
+					f.c.metrics.Hedges.Add(1)
+					at.hedges.Inc()
+					f.c.traceEvent("hedge", s.idx, "%s[%d:%d] stalled %v, racing reconstruction",
+						f.name, lo, lo+n, now.Sub(start))
+					sp.MarkRetry()
+					sp.Annotate("hedging agent %d after %v stall", s.idx, now.Sub(start))
+					return fmt.Errorf("%w: agent %d read %s[%d:%d]", errHedged, s.idx, f.name, lo, lo+n)
+				}
+				f.c.metrics.BudgetDenials.Add(1)
+				hedging = false // budget empty: wait the burst out normally
+			}
+			if now.Before(deadline) {
+				continue // woke early only to check the hedge clock
+			}
+			if !opDl.IsZero() && !now.Before(opDl) {
+				return fmt.Errorf("%w: read %s[%d:%d]", ErrDeadline, f.name, lo, lo+n)
+			}
 			f.c.metrics.ReadTimeouts.Add(1)
 			at.readTimeouts.Inc()
-			if !time.Now().Before(giveUp) {
+			if !now.Before(giveUp) {
 				f.c.traceEvent("read_giveup", s.idx, "%s[%d:%d] retries exhausted", f.name, lo, lo+n)
+				f.c.noteOverload(s.idx, "retry give-up")
 				return fmt.Errorf("%w: read %s[%d:%d] agent %d",
 					ErrRetriesSpent, f.name, lo, lo+n, s.idx)
 			}
@@ -441,6 +552,37 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 		if pkt.Type == wire.TError && accept[pkt.ReqID] {
 			return wire.ParseError(pkt.Payload)
 		}
+		if pkt.Type == wire.TPushback && accept[pkt.ReqID] {
+			info, perr := wire.ParsePushback(pkt.Payload)
+			if perr != nil {
+				continue
+			}
+			pushbacks++
+			f.c.metrics.Pushbacks.Add(1)
+			at.pushbacks.Inc()
+			f.c.noteOverload(s.idx, "pushback: "+info.Reason.String())
+			f.c.traceEvent("pushback", s.idx, "%s[%d:%d] %v (retry after %v)",
+				f.name, lo, lo+n, info.Reason, info.RetryAfter)
+			sp.MarkRetry()
+			sp.Annotate("pushback from agent %d: %v", s.idx, info.Reason)
+			if info.Reason == wire.PushDeadlineExpired {
+				// The agent says our budget is spent; trust it.
+				return fmt.Errorf("%w: agent %d shed read %s[%d:%d]", ErrDeadline, s.idx, f.name, lo, lo+n)
+			}
+			if pushbacks >= 2 {
+				// Persistent shedding: stop offering work; the caller
+				// reconstructs around the agent. Never a lifecycle event.
+				return agentBusy(s.idx)
+			}
+			// Single pushback: pace the retransmission by the agent's
+			// hint and let the timeout machinery resubmit.
+			wait := info.RetryAfter
+			if wait <= 0 {
+				wait = cfg.RetryTimeout
+			}
+			deadline = time.Now().Add(wait)
+			continue
+		}
 		if pkt.Type != wire.TData || !accept[pkt.ReqID] || len(pkt.Payload) == 0 {
 			continue
 		}
@@ -451,6 +593,7 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 		giveUp = time.Now().Add(f.c.retryBudget())
 		deadline = time.Now().Add(cfg.RetryTimeout)
 	}
+	f.c.noteAgentOK(s.idx)
 	observeSpan(at.readBurstLat, start, sp)
 	return nil
 }
@@ -482,6 +625,11 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	}
 	if len(p) == 0 {
 		return 0, nil
+	}
+	f.c.budget.deposit()
+	if t := f.c.cfg.OpTimeout; t > 0 {
+		f.opDeadline = start.Add(t)
+		defer func() { f.opDeadline = time.Time{} }()
 	}
 	sp.Annotate("%s [%d:%d)", f.name, off, off+int64(len(p)))
 	if err := f.writeRange(p, off, true, sp); err != nil {
@@ -544,6 +692,12 @@ func (f *File) writeRange(src []byte, off int64, allowFailover bool, sp *obs.Spa
 		if f.quorumLost() {
 			return ErrNoQuorum
 		}
+		if !f.c.budget.spend() {
+			f.c.metrics.BudgetDenials.Add(1)
+			f.c.traceEvent("budget_denied", failed, "write failover denied: %v", err)
+			return fmt.Errorf("%w: write failover around agent %d (last error: %v)",
+				ErrRetryBudget, failed, err)
+		}
 		f.c.traceEvent("write_failover", failed, "%s: %v", f.name, err)
 		sp.MarkRetry()
 		sp.Annotate("failover around agent %d: %v", failed, err)
@@ -604,12 +758,18 @@ func (f *File) writeRangeOnce(src []byte, off int64, sp *obs.Span) (failedAgent,
 		r := <-results
 		if r.err != nil {
 			nerrs++
-			if err == nil {
+			// Prefer attributing a real failure over an overload signal.
+			if err == nil || (isOverloadSignal(err) && !isOverloadSignal(r.err)) {
 				failedAgent, err = r.agent, r.err
 			}
 		}
 	}
 	if err != nil {
+		if isOverloadSignal(err) {
+			// Backpressure, not failure: surface unattributed so the
+			// caller neither fails over nor feeds the lifecycle.
+			return -1, nerrs, err
+		}
 		return failedAgent, nerrs, err
 	}
 	return -1, 0, nil
@@ -663,14 +823,22 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 	var pkt wire.Packet
 	payload := make([]byte, wire.MaxPayload)
 
-	// Only the announce packet carries the trace context; the data
-	// packets that follow stay untraced so the hot path never grows.
+	// Only the announce packet carries the trace context and deadline
+	// budget; the data packets that follow stay untraced so the hot path
+	// never grows.
 	tctx := sp.Context()
+	opDl := f.opDeadline
 	announce := func(b *wburst) error {
+		var budget time.Duration
+		if !opDl.IsZero() {
+			if budget = time.Until(opDl); budget <= 0 {
+				return fmt.Errorf("%w: write %s[%d:%d]", ErrDeadline, f.name, b.lo, b.lo+b.n)
+			}
+		}
 		return f.sendPacket(s, &wire.Packet{Header: wire.Header{
 			Type: wire.TWrite, ReqID: b.reqID, Handle: s.handle,
 			Offset: b.lo, Length: uint32(b.n), Flags: f.writeFlags(),
-		}, Trace: tctx})
+		}, Trace: tctx, Deadline: budget})
 	}
 	sendData := func(b *wburst, off, length int64) error {
 		for po := off; po < off+length; {
@@ -736,6 +904,9 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 				return err
 			}
 			now := time.Now()
+			if !opDl.IsZero() && !now.Before(opDl) {
+				return fmt.Errorf("%w: write %s", ErrDeadline, f.name)
+			}
 			for _, b := range pending {
 				if now.Before(b.deadline) {
 					continue
@@ -744,6 +915,7 @@ func (f *File) runWriteBursts(s *agentSession, bursts []span, fill func(localOff
 				at.writeTimeouts.Inc()
 				if !now.Before(b.giveUp) {
 					f.c.traceEvent("write_giveup", s.idx, "%s[%d:%d] retries exhausted", f.name, b.lo, b.lo+b.n)
+					f.c.noteOverload(s.idx, "write retry give-up")
 					return fmt.Errorf("%w: write %s[%d:%d] agent %d",
 						ErrRetriesSpent, f.name, b.lo, b.lo+b.n, s.idx)
 				}

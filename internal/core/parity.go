@@ -121,8 +121,23 @@ func (f *File) readRowShards(r int64, omit func(agent int) bool) ([][]byte, erro
 		wg    sync.WaitGroup
 		fails []readFail
 	)
+	// Agents with an open circuit breaker are skipped — their unit becomes
+	// one more missing shard — as long as enough candidates remain to
+	// reach m units: a tripped straggler must not stall every
+	// reconstruction for its whole cooldown. When shards are scarce the
+	// breaker is overridden; slow beats unreadable.
+	live := 0
+	for i, s := range f.sessions {
+		if s != nil && (omit == nil || !omit(i)) {
+			live++
+		}
+	}
 	for i, s := range f.sessions {
 		if s == nil || (omit != nil && omit(i)) {
+			continue
+		}
+		if !f.c.breakerAllow(i) && live-1 >= m {
+			live--
 			continue
 		}
 		pos := l.DataPos(r, i)
@@ -135,7 +150,7 @@ func (f *File) readRowShards(r int64, omit func(agent int) bool) ([][]byte, erro
 			buf := make([]byte, l.Unit)
 			err := f.readBurst(s, r*l.Unit, l.Unit, func(localOff int64, b []byte) {
 				copy(buf[localOff-r*l.Unit:], b)
-			}, nil)
+			}, nil, false)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -163,6 +178,12 @@ func (f *File) readRowShards(r int64, omit func(agent int) bool) ([][]byte, erro
 			// Media damage, not a dead agent: keep the session in
 			// service (read-repair and scrub heal it) and let the codec
 			// route around the one bad unit.
+			continue
+		}
+		if isOverloadSignal(fl.err) {
+			// Backpressure (pushback, spent deadline): the agent is
+			// healthy, the codec routes around the missing unit, and the
+			// lifecycle stays untouched.
 			continue
 		}
 		f.c.cfg.Logf("core: row %d read lost agent %d, reconstructing around it: %v",

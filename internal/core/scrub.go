@@ -136,7 +136,7 @@ func (f *File) scrubRow(r int64, opts ScrubOptions, rep *ScrubReport, sp *obs.Sp
 			buf := make([]byte, l.Unit)
 			errs[i] = f.readBurst(s, r*l.Unit, l.Unit, func(localOff int64, b []byte) {
 				copy(buf[localOff-r*l.Unit:], b)
-			}, nil)
+			}, nil, false)
 			bufs[i] = buf
 		}(i, s)
 	}
@@ -164,7 +164,7 @@ func (f *File) scrubRow(r int64, opts ScrubOptions, rep *ScrubReport, sp *obs.Sp
 		// traffic nothing else would ever notice). A multi-agent
 		// failure looks like a network event: leave the verdict to the
 		// health probes.
-		if len(failed) == 1 {
+		if len(failed) == 1 && !isOverloadSignal(errs[failed[0]]) {
 			f.failAgent(failed[0], errs[failed[0]])
 		}
 		rep.Skipped++

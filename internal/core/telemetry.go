@@ -49,13 +49,19 @@ type agentTelemetry struct {
 	state         *obs.Gauge   // current AgentState as integer
 	readBurstLat  *obs.Histogram
 	writeBurstLat *obs.Histogram
+
+	// Overload control (see overload.go).
+	pushbacks          *obs.Counter // pushback replies received from this agent
+	hedges             *obs.Counter // read bursts hedged away from this agent
+	breakerTransitions *obs.Counter // circuit-breaker state changes
+	breakerState       *obs.Gauge   // current BreakerState as integer
 }
 
 // newTelemetry builds and registers the client's instruments. When reg is
 // nil a private registry is created, so every client always records.
 // codec, when non-nil, additionally exports the erasure-coding work
 // counters as swift_ec_* metrics.
-func newTelemetry(reg *obs.Registry, agents []string, m *Metrics, codec ec.Codec) *telemetry {
+func newTelemetry(reg *obs.Registry, agents []string, m *Metrics, codec ec.Codec, budget *tokenBucket) *telemetry {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
@@ -129,11 +135,21 @@ func newTelemetry(reg *obs.Registry, agents []string, m *Metrics, codec ec.Codec
 		{"swift_client_repairs_total", "Stripe units rewritten from parity (read-repair and scrub).", m.Repairs.Load},
 		{"swift_client_unrepairable_total", "Corruption events parity could not repair.", m.Unrepairable.Load},
 		{"swift_client_scrub_rows_total", "Stripe rows verified by the scrubber.", m.ScrubRows.Load},
+		{"swift_client_pushbacks_total", "Explicit pushback replies received from agents.", m.Pushbacks.Load},
+		{"swift_client_hedged_reads_total", "Read bursts hedged after the straggler delay.", m.Hedges.Load},
+		{"swift_client_hedge_wins_total", "Hedged reads completed by parity reconstruction.", m.HedgeWins.Load},
+		{"swift_client_retry_budget_denials_total", "Retries or hedges denied by the retry budget.", m.BudgetDenials.Load},
+		{"swift_client_breaker_trips_total", "Per-agent circuit breakers tripped open.", m.BreakerTrips.Load},
 	}
 	for _, g := range global {
 		load := g.load
 		//lint:allow metricname names and help strings are literals in the table above; the loop only threads the closure
 		reg.CounterFunc(g.name, g.help, nil, func() float64 { return float64(load()) })
+	}
+	if budget != nil {
+		reg.GaugeFunc("swift_client_retry_budget_fill",
+			"Retry token bucket fill fraction (1 = full budget available).",
+			nil, budget.fill)
 	}
 
 	t.agents = make([]agentTelemetry, len(agents))
@@ -153,6 +169,10 @@ func newTelemetry(reg *obs.Registry, agents []string, m *Metrics, codec ec.Codec
 		at.state = reg.Gauge("swift_client_agent_state", "Lifecycle state: 0 healthy, 1 suspect, 2 down.", l)
 		at.readBurstLat = reg.Histogram("swift_client_agent_read_burst_seconds", "Read burst completion latency per agent.", l)
 		at.writeBurstLat = reg.Histogram("swift_client_agent_write_burst_seconds", "Write burst completion latency per agent.", l)
+		at.pushbacks = reg.Counter("swift_client_agent_pushbacks_total", "Pushback replies received from this agent.", l)
+		at.hedges = reg.Counter("swift_client_agent_hedges_total", "Read bursts hedged away from this agent.", l)
+		at.breakerTransitions = reg.Counter("swift_client_agent_breaker_transitions_total", "Circuit-breaker state changes for this agent.", l)
+		at.breakerState = reg.Gauge("swift_client_agent_breaker_state", "Breaker state: 0 closed, 1 open, 2 half-open.", l)
 	}
 	return t
 }
@@ -193,6 +213,11 @@ type MetricsSnapshot struct {
 	Repairs       int64
 	Unrepairable  int64
 	ScrubRows     int64
+	Pushbacks     int64
+	Hedges        int64
+	HedgeWins     int64
+	BudgetDenials int64
+	BreakerTrips  int64
 }
 
 // Sub returns the counter deltas s - prev.
@@ -211,6 +236,11 @@ func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 		Repairs:       s.Repairs - prev.Repairs,
 		Unrepairable:  s.Unrepairable - prev.Unrepairable,
 		ScrubRows:     s.ScrubRows - prev.ScrubRows,
+		Pushbacks:     s.Pushbacks - prev.Pushbacks,
+		Hedges:        s.Hedges - prev.Hedges,
+		HedgeWins:     s.HedgeWins - prev.HedgeWins,
+		BudgetDenials: s.BudgetDenials - prev.BudgetDenials,
+		BreakerTrips:  s.BreakerTrips - prev.BreakerTrips,
 	}
 }
 
@@ -231,6 +261,11 @@ func (c *Client) MetricsSnapshot() MetricsSnapshot {
 		Repairs:       m.Repairs.Load(),
 		Unrepairable:  m.Unrepairable.Load(),
 		ScrubRows:     m.ScrubRows.Load(),
+		Pushbacks:     m.Pushbacks.Load(),
+		Hedges:        m.Hedges.Load(),
+		HedgeWins:     m.HedgeWins.Load(),
+		BudgetDenials: m.BudgetDenials.Load(),
+		BreakerTrips:  m.BreakerTrips.Load(),
 	}
 }
 
@@ -251,6 +286,11 @@ type AgentStats struct {
 	Transitions   int64
 	ReadBurstLat  obs.Snapshot
 	WriteBurstLat obs.Snapshot
+
+	Pushbacks          int64
+	Hedges             int64
+	Breaker            BreakerState
+	BreakerTransitions int64
 }
 
 // StatsSnapshot is the whole client's telemetry at one instant: protocol
@@ -270,6 +310,19 @@ type StatsSnapshot struct {
 	EC               ec.Stats
 	ECEncodeLat      obs.Snapshot
 	ECReconstructLat obs.Snapshot
+
+	// Overload is the cooperative overload-control summary.
+	Overload OverloadStats
+}
+
+// OverloadStats summarizes the client's overload-control activity.
+type OverloadStats struct {
+	Pushbacks     int64   // pushback replies received
+	Hedges        int64   // read bursts hedged
+	HedgeWins     int64   // hedges completed by reconstruction
+	BudgetDenials int64   // retries/hedges denied by the budget
+	BreakerTrips  int64   // breakers tripped open
+	BudgetFill    float64 // retry token bucket fill fraction [0,1]
 }
 
 // Stats snapshots the client's telemetry. It is safe to call during live
@@ -287,6 +340,14 @@ func (c *Client) Stats() StatsSnapshot {
 		EC:               c.ECStats(),
 		ECEncodeLat:      c.tel.ecEncodeLat.Snapshot(),
 		ECReconstructLat: c.tel.ecReconstructLat.Snapshot(),
+	}
+	s.Overload = OverloadStats{
+		Pushbacks:     s.Counters.Pushbacks,
+		Hedges:        s.Counters.Hedges,
+		HedgeWins:     s.Counters.HedgeWins,
+		BudgetDenials: s.Counters.BudgetDenials,
+		BreakerTrips:  s.Counters.BreakerTrips,
+		BudgetFill:    c.budget.fill(),
 	}
 	health := c.Health()
 	s.Agents = make([]AgentStats, len(c.tel.agents))
@@ -309,6 +370,10 @@ func (c *Client) Stats() StatsSnapshot {
 		as.Transitions = at.transitions.Load()
 		as.ReadBurstLat = at.readBurstLat.Snapshot()
 		as.WriteBurstLat = at.writeBurstLat.Snapshot()
+		as.Pushbacks = at.pushbacks.Load()
+		as.Hedges = at.hedges.Load()
+		as.BreakerTransitions = at.breakerTransitions.Load()
+		as.Breaker = c.breakers[i].current()
 	}
 	return s
 }

@@ -53,6 +53,10 @@ const (
 	KindKillMediator         // crash mediator replica Event.Mediator; its leases freeze in place
 	KindRestartMediator      // restart the replica empty; it reconciles from surviving peers
 	KindDrainMediator        // gracefully drain the replica: hand its sessions to peers
+	KindDemandSurge          // multiply offered load by Event.Rate (overload drills)
+	KindDemandClear          // restore the baseline offered load
+	KindAgentSlowdown        // add Event.Latency to agent Event.Agent's read service time
+	KindAgentSlowClear       // clear the agent's injected service delay
 )
 
 var kindNames = [...]string{
@@ -60,6 +64,7 @@ var kindNames = [...]string{
 	"partition", "heal-partition", "latency-spike", "latency-clear",
 	"loss-burst", "loss-clear", "corrupt-burst", "corrupt-clear", "bitrot",
 	"kill-mediator", "restart-mediator", "drain-mediator",
+	"demand-surge", "demand-clear", "agent-slowdown", "agent-slow-clear",
 }
 
 func (k Kind) String() string {
@@ -103,6 +108,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v agent%d seed=%d @%v", e.Kind, e.Agent, e.Seed, e.At)
 	case KindKillMediator, KindRestartMediator, KindDrainMediator:
 		return fmt.Sprintf("%v med%d @%v", e.Kind, e.Mediator, e.At)
+	case KindDemandSurge:
+		return fmt.Sprintf("%v x%.1f @%v", e.Kind, e.Rate, e.At)
+	case KindDemandClear:
+		return fmt.Sprintf("%v @%v", e.Kind, e.At)
+	case KindAgentSlowdown:
+		return fmt.Sprintf("%v agent%d +%v @%v", e.Kind, e.Agent, e.Latency, e.At)
 	default:
 		return fmt.Sprintf("%v agent%d @%v", e.Kind, e.Agent, e.At)
 	}
@@ -140,6 +151,15 @@ type Cluster struct {
 	// DrainMediator gracefully drains replica i, handing its live
 	// sessions to peers before it goes away.
 	DrainMediator func(i int) error
+	// SetDemand scales the harness's offered load by mult (1 restores the
+	// baseline). The traffic generator is owned by the harness, so demand
+	// surges route through a callback like process faults do. Nil
+	// disables demand events.
+	SetDemand func(mult float64) error
+	// SlowAgent adds d to agent i's per-read service time (0 clears it) —
+	// a straggling server rather than a slow medium. Nil disables
+	// slowdown events.
+	SlowAgent func(i int, d time.Duration) error
 }
 
 // Controller applies fault events to a cluster and keeps a log of what it
@@ -283,6 +303,28 @@ func (ctl *Controller) Apply(e Event) error {
 		if err := ctl.c.DrainMediator(e.Mediator); err != nil {
 			return fmt.Errorf("faultinject: drain mediator %d: %w", e.Mediator, err)
 		}
+	case KindDemandSurge, KindDemandClear:
+		if ctl.c.SetDemand == nil {
+			return fmt.Errorf("faultinject: no SetDemand callback")
+		}
+		mult := e.Rate
+		if e.Kind == KindDemandClear {
+			mult = 1
+		}
+		if err := ctl.c.SetDemand(mult); err != nil {
+			return fmt.Errorf("faultinject: set demand x%.1f: %w", mult, err)
+		}
+	case KindAgentSlowdown, KindAgentSlowClear:
+		if ctl.c.SlowAgent == nil {
+			return fmt.Errorf("faultinject: no SlowAgent callback")
+		}
+		d := e.Latency
+		if e.Kind == KindAgentSlowClear {
+			d = 0
+		}
+		if err := ctl.c.SlowAgent(e.Agent, d); err != nil {
+			return fmt.Errorf("faultinject: slow agent %d by %v: %w", e.Agent, d, err)
+		}
 	default:
 		return fmt.Errorf("faultinject: unknown event kind %v", e.Kind)
 	}
@@ -351,6 +393,14 @@ func (ctl *Controller) HealAll() {
 	}
 	for _, h := range ctl.c.AgentHosts {
 		h.SetPaused(false)
+	}
+	if ctl.c.SetDemand != nil {
+		ctl.c.SetDemand(1)
+	}
+	if ctl.c.SlowAgent != nil {
+		for i := range ctl.c.AgentHosts {
+			ctl.c.SlowAgent(i, 0)
+		}
 	}
 }
 
@@ -458,6 +508,15 @@ func RandomSchedule(seed int64, o ScheduleOpts) []Event {
 			evs = append(evs,
 				Event{At: t, Kind: KindKillMediator, Mediator: med},
 				Event{At: t + window, Kind: KindRestartMediator, Mediator: med})
+		case KindDemandSurge:
+			evs = append(evs,
+				Event{At: t, Kind: KindDemandSurge, Rate: 2 + rng.Float64()},
+				Event{At: t + window, Kind: KindDemandClear})
+		case KindAgentSlowdown:
+			lat := time.Duration(5+rng.Int63n(20)) * time.Millisecond
+			evs = append(evs,
+				Event{At: t, Kind: KindAgentSlowdown, Agent: agent, Latency: lat},
+				Event{At: t + window, Kind: KindAgentSlowClear, Agent: agent})
 		}
 		t += window + o.Gap
 	}

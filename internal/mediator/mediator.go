@@ -32,7 +32,27 @@ var (
 	// ErrUnknownSession is returned for operations on absent sessions
 	// (never opened, already closed, or lease-expired).
 	ErrUnknownSession = errors.New("mediator: unknown session")
+	// ErrOverloaded is returned when admission control sheds a new session
+	// because reserved ratios already exceed the configured watermark.
+	// Unlike ErrUnsatisfiable it is transient: sessions close and leases
+	// expire, so the client should pace and retry (see OverloadedError's
+	// RetryAfter hint) rather than fail over to a peer replica.
+	ErrOverloaded = errors.New("mediator: overloaded")
 )
+
+// OverloadedError carries the retry-after pacing hint with an
+// ErrOverloaded rejection. It unwraps to ErrOverloaded, and its text
+// embeds the hint in a parseable "retry after <duration>" suffix so the
+// sentinel survives a trip through the medrpc wire as a remote error.
+type OverloadedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", ErrOverloaded, e.RetryAfter)
+}
+
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
 
 // AgentInfo describes one storage agent's capacity.
 type AgentInfo struct {
@@ -66,6 +86,14 @@ type Config struct {
 	// reservations automatically — a crashed client cannot pin capacity
 	// forever. Zero disables leases (sessions live until closed).
 	LeaseTTL time.Duration
+	// AdmitWatermark, when > 0, sheds new sessions once any agent's or
+	// interconnect's reserved ratio reaches this fraction of its capacity
+	// (e.g. 0.9): the mediator answers ErrOverloaded with a retry-after
+	// hint instead of reserving the last slack, keeping headroom for
+	// renewals and degraded-mode traffic. Zero disables the watermark
+	// (admission rejects only on hard infeasibility, the pre-overload
+	// behaviour).
+	AdmitWatermark float64
 	// Now is the lease clock (default time.Now). Tests inject a fake.
 	Now func() time.Time
 	// Obs, when non-nil, is the metric registry the mediator registers
@@ -311,6 +339,11 @@ func (m *Mediator) Admit(req Requirements) (*SessionRecord, error) {
 		return nil, ErrDraining
 	}
 	m.expireLocked()
+	if w := m.cfg.AdmitWatermark; w > 0 && m.maxReservedLocked() >= w {
+		m.tel.rejects.Inc()
+		m.tel.overloadRejects.Inc()
+		return nil, &OverloadedError{RetryAfter: m.retryAfterLocked()}
+	}
 	p, err := m.admitLocked(req)
 	if err != nil {
 		return nil, err
@@ -318,6 +351,38 @@ func (m *Mediator) Admit(req Requirements) (*SessionRecord, error) {
 	rec := m.recordLocked(p.SessionID, m.sessions[p.SessionID])
 	m.mirrorLocked(MirrorUpsert, rec)
 	return &rec, nil
+}
+
+// maxReservedLocked returns the highest reserved ratio across all agents
+// and interconnects; m.mu held.
+func (m *Mediator) maxReservedLocked() float64 {
+	var max float64
+	for i, a := range m.cfg.Agents {
+		if a.Rate > 0 {
+			if r := m.agentLoad[i] / a.Rate; r > max {
+				max = r
+			}
+		}
+	}
+	for j, n := range m.cfg.Nets {
+		if n.Capacity > 0 {
+			if r := m.netLoad[j] / n.Capacity; r > max {
+				max = r
+			}
+		}
+	}
+	return max
+}
+
+// retryAfterLocked derives the overload retry-after hint: a quarter of
+// the lease TTL (capacity frees as leases lapse and sessions close),
+// floored at 50ms so lease-less installations still pace clients.
+func (m *Mediator) retryAfterLocked() time.Duration {
+	hint := m.cfg.LeaseTTL / 4
+	if hint < 50*time.Millisecond {
+		hint = 50 * time.Millisecond
+	}
+	return hint
 }
 
 // admitLocked runs admission control; m.mu held.

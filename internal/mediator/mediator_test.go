@@ -425,3 +425,54 @@ func TestParityShardsImplyRedundancy(t *testing.T) {
 		t.Fatalf("legacy redundancy shards = %d, want 1", q.ParityShards)
 	}
 }
+
+// TestAdmissionWatermarkSheds pushes a reserved ratio past the watermark
+// and checks that new sessions are shed with a typed, paceable rejection
+// — and re-admitted once the load drains.
+func TestAdmissionWatermarkSheds(t *testing.T) {
+	cfg := testInstall()
+	cfg.AdmitWatermark = 0.5
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	// 300 KB/s lands on one 400 KB/s agent: its reserved ratio (0.75) now
+	// exceeds the watermark, but the admission itself sees an empty table.
+	rec, err := m.Admit(Requirements{Rate: 300e3})
+	if err != nil {
+		t.Fatalf("admit under watermark: %v", err)
+	}
+	_, err = m.Admit(Requirements{Rate: 100e3})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("admit over watermark = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("rejection %v does not carry a retry-after hint", err)
+	}
+	if oe.RetryAfter < 50*time.Millisecond {
+		t.Fatalf("retry-after = %v, want >= 50ms floor", oe.RetryAfter)
+	}
+	if got := m.tel.overloadRejects.Load(); got != 1 {
+		t.Fatalf("overload rejects counter = %d, want 1", got)
+	}
+	// Draining the load reopens admission.
+	if err := m.CloseSession(rec.ID); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := m.Admit(Requirements{Rate: 100e3}); err != nil {
+		t.Fatalf("admit after drain: %v", err)
+	}
+}
+
+// TestAdmissionWatermarkDisabled checks the zero value keeps the
+// pre-overload-control behavior: everything the nets can carry is
+// admissible (5 × 400 KB/s fills the two 1.12 MB/s segments).
+func TestAdmissionWatermarkDisabled(t *testing.T) {
+	m, _ := New(testInstall())
+	for i := 0; i < 5; i++ {
+		if _, err := m.Admit(Requirements{Rate: 400e3}); err != nil {
+			t.Fatalf("admit %d with no watermark: %v", i, err)
+		}
+	}
+}

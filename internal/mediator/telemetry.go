@@ -23,6 +23,8 @@ type telemetry struct {
 	mirrorsSent    *obs.Counter // replication updates delivered to peers
 	mirrorsApplied *obs.Counter // replication updates applied from peers
 	mirrorDrops    *obs.Counter // replication updates dropped or refused
+
+	overloadRejects *obs.Counter // sessions shed by the admission watermark
 }
 
 // lbl builds an instrument's label set, adding the replica label on
@@ -65,6 +67,8 @@ func (m *Mediator) initTelemetry(reg *obs.Registry) {
 			"Session replication updates applied from peer replicas.", m.lbl(nil)),
 		mirrorDrops: reg.Counter("swift_mediator_mirrors_dropped_total",
 			"Session replication updates dropped (full peer queue) or refused by a peer.", m.lbl(nil)),
+		overloadRejects: reg.Counter("swift_mediator_overload_rejects_total",
+			"New sessions shed because reserved ratios exceeded the admission watermark.", m.lbl(nil)),
 	}
 	reg.GaugeFunc("swift_mediator_sessions", "Active reserved sessions known to this replica.",
 		m.lbl(nil), func() float64 {

@@ -3,12 +3,12 @@ package medrpc
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"sync/atomic"
 	"time"
 
+	"swift/internal/backoff"
 	"swift/internal/mediator"
 	"swift/internal/obs"
 	"swift/internal/transport"
@@ -42,7 +42,14 @@ type ClientConfig struct {
 // clients use.
 type Client struct {
 	cfg   ClientConfig
+	bo    *backoff.Policy
 	reqID atomic.Uint32
+
+	// rpcBudget is the deterministic total retry budget (unjittered sum
+	// of the per-attempt timeouts): each attempt's request carries the
+	// remaining fraction as its deadline so the replica can skip work and
+	// suppress replies the client has already given up on.
+	rpcBudget time.Duration
 }
 
 // NewClient builds a stub for the replica at cfg.Addr. Each RPC opens an
@@ -64,7 +71,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Name == "" {
 		cfg.Name = cfg.Addr
 	}
-	return &Client{cfg: cfg}, nil
+	c := &Client{cfg: cfg, bo: backoff.New(cfg.RetryTimeout, cfg.MaxRetryTimeout)}
+	for attempt := 0; attempt <= cfg.Retries; attempt++ {
+		d := cfg.RetryTimeout << uint(attempt)
+		if d > cfg.MaxRetryTimeout {
+			d = cfg.MaxRetryTimeout
+		}
+		c.rpcBudget += d
+	}
+	return c, nil
 }
 
 // Name returns the replica's placement name.
@@ -79,37 +94,34 @@ func (c *Client) Close() error { return nil }
 
 // backoff is the retransmission timeout for the given attempt: capped
 // exponential with ±25% jitter, like the data-path client's.
-func (c *Client) backoff(attempt int) time.Duration {
-	d := c.cfg.RetryTimeout
-	for i := 0; i < attempt && d < c.cfg.MaxRetryTimeout; i++ {
-		d *= 2
-	}
-	if d > c.cfg.MaxRetryTimeout {
-		d = c.cfg.MaxRetryTimeout
-	}
-	if j := int64(d / 4); j > 0 {
-		d += time.Duration(rand.Int63n(2*j+1) - j)
-	}
-	return d
-}
+func (c *Client) backoff(attempt int) time.Duration { return c.bo.Delay(attempt) }
 
 // rpc sends one request and waits for its reply, retransmitting on
 // timeout until the retry budget is spent.
 func (c *Client) rpc(req *wire.Packet) (*wire.Packet, error) {
 	reqID := c.reqID.Add(1)
 	req.ReqID = reqID
-	buf, err := wire.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("medrpc: marshal %v: %w", req.Type, err)
-	}
 	conn, err := c.cfg.Host.Listen("0")
 	if err != nil {
 		return nil, fmt.Errorf("medrpc: open endpoint: %w", err)
 	}
 	defer conn.Close()
+	giveUp := time.Now().Add(c.rpcBudget)
 	rbuf := make([]byte, wire.MaxPacket)
 	var pkt wire.Packet
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		// Each attempt carries the remaining budget: a replica that
+		// dequeues the request after the client's final give-up sheds it
+		// instead of doing admission work for a reply nobody reads.
+		if rem := time.Until(giveUp); rem > 0 {
+			req.Deadline = rem
+		} else {
+			req.Deadline = 0
+		}
+		buf, err := wire.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("medrpc: marshal %v: %w", req.Type, err)
+		}
 		if err := conn.WriteTo(buf, c.cfg.Addr); err != nil {
 			return nil, fmt.Errorf("medrpc: send %v to %s: %w", req.Type, c.cfg.Addr, err)
 		}
@@ -147,6 +159,12 @@ func mapRemote(err error) error {
 	if !errors.As(err, &re) {
 		return err
 	}
+	if strings.Contains(re.Msg, mediator.ErrOverloaded.Error()) {
+		// Reconstruct the typed rejection so the broker sees the pacing
+		// hint: the mediator encodes it as a "retry after <duration>"
+		// suffix in the error text.
+		return &mediator.OverloadedError{RetryAfter: parseRetryAfter(re.Msg)}
+	}
 	for _, sentinel := range []error{
 		mediator.ErrDraining,
 		mediator.ErrReplicaDown,
@@ -158,6 +176,26 @@ func mapRemote(err error) error {
 		}
 	}
 	return fmt.Errorf("medrpc: remote: %w", err)
+}
+
+// parseRetryAfter extracts the "retry after <duration>" hint from an
+// overload rejection's text. Malformed or absent hints yield zero; the
+// broker substitutes its own backoff.
+func parseRetryAfter(msg string) time.Duration {
+	const marker = "retry after "
+	i := strings.Index(msg, marker)
+	if i < 0 {
+		return 0
+	}
+	rest := msg[i+len(marker):]
+	if j := strings.IndexByte(rest, ')'); j >= 0 {
+		rest = rest[:j]
+	}
+	d, err := time.ParseDuration(rest)
+	if err != nil || d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Admit opens a session on the replica.

@@ -337,3 +337,70 @@ func TestClientRetransmitsThroughLoss(t *testing.T) {
 		}
 	}
 }
+
+// TestOverloadRejectionSurvivesTheWire drives a watermarked replica past
+// its admission watermark over the wire and checks the typed rejection —
+// sentinel and retry-after hint — is reconstructed client-side.
+func TestOverloadRejectionSurvivesTheWire(t *testing.T) {
+	n := memnet.New(1)
+	defer n.Close()
+	seg := n.NewSegment("lab", memnet.SegmentConfig{BandwidthBps: 1e9})
+	med, err := mediator.New(mediator.Config{
+		Agents:         []mediator.AgentInfo{{Addr: "agent:7070", Rate: 400e3, Net: 0}},
+		Nets:           []mediator.NetInfo{{Name: "lab", Capacity: 1e9}},
+		AdmitWatermark: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("mediator: %v", err)
+	}
+	defer med.Close()
+	srv, err := Serve(ServerConfig{
+		Host: n.MustHost("med", memnet.HostConfig{}, seg),
+		Port: "7060",
+		Med:  med,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+	c, err := NewClient(ClientConfig{
+		Host: n.MustHost("client", memnet.HostConfig{}, seg),
+		Name: "med",
+		Addr: "med:7060",
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	if _, err := c.Admit(mediator.Requirements{Rate: 300e3}); err != nil {
+		t.Fatalf("admit under watermark: %v", err)
+	}
+	_, err = c.Admit(mediator.Requirements{Rate: 100e3})
+	if !errors.Is(err, mediator.ErrOverloaded) {
+		t.Fatalf("overload came back as: %v", err)
+	}
+	var oe *mediator.OverloadedError
+	if !errors.As(err, &oe) || oe.RetryAfter < 50*time.Millisecond {
+		t.Fatalf("retry-after hint did not survive the wire: %v", err)
+	}
+}
+
+// TestParseRetryAfter covers the hint parser's malformed-input paths.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want time.Duration
+	}{
+		{"mediator: overloaded (retry after 250ms)", 250 * time.Millisecond},
+		{"mediator: overloaded (retry after 1.5s)", 1500 * time.Millisecond},
+		{"mediator: overloaded", 0},
+		{"retry after garbage)", 0},
+		{"retry after -5s)", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.msg); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.msg, got, tc.want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package medrpc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"swift/internal/mediator"
@@ -52,6 +53,11 @@ type Server struct {
 	cfg ServerConfig
 	ctl transport.PacketConn
 
+	// lateSheds counts requests whose client-carried deadline budget
+	// elapsed while the replica served them: the reply is suppressed (and
+	// an admitted session released) because nobody is waiting for it.
+	lateSheds atomic.Int64
+
 	mu        sync.Mutex
 	closed    bool
 	openCache map[replyKey][]byte // marshaled TMedOpenReply per request
@@ -72,10 +78,21 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("medrpc: listen %s: %w", cfg.Port, err)
 	}
 	s := &Server{cfg: cfg, ctl: ctl}
+	var lbl obs.Labels
+	if name := cfg.Med.Name(); name != "" {
+		lbl = obs.Labels{"replica": name}
+	}
+	cfg.Med.Obs().CounterFunc("swift_medrpc_late_sheds_total",
+		"Requests whose client deadline budget elapsed during service; replies suppressed.",
+		lbl, func() float64 { return float64(s.lateSheds.Load()) })
 	s.wg.Add(1)
 	go s.loop()
 	return s, nil
 }
+
+// LateSheds returns how many requests were shed because the client's
+// deadline budget elapsed while the replica served them.
+func (s *Server) LateSheds() int64 { return s.lateSheds.Load() }
 
 // Addr returns the server's control address.
 func (s *Server) Addr() string { return s.ctl.LocalAddr() }
@@ -153,6 +170,7 @@ func (s *Server) loop() {
 // replayed verbatim when the reply was lost and the client retransmits.
 func (s *Server) handle(from string, pkt *wire.Packet) {
 	med := s.cfg.Med
+	t0 := time.Now()
 	switch pkt.Type {
 	case wire.TMedOpen:
 		sp := s.cfg.Tracer.StartRemote(pkt.Trace, "mediator", "admit", -1)
@@ -179,6 +197,17 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 		if err != nil {
 			sp.SetError(err)
 			s.sendError(from, pkt, err)
+			return
+		}
+		if d := pkt.Deadline; d > 0 && time.Since(t0) > d {
+			// The client's whole retry budget elapsed while admission
+			// ran: nobody reads this reply, and nothing would ever renew
+			// or close the session it carries. Release it instead.
+			if cerr := med.CloseSession(rec.ID); cerr != nil {
+				s.cfg.Logf("medrpc %s: release shed session %d: %v", s.Addr(), rec.ID, cerr)
+			}
+			s.lateSheds.Add(1)
+			sp.Annotate("shed: client budget %v elapsed during admit", d)
 			return
 		}
 		sp.Annotate("session %d admitted, home %s", rec.ID, rec.Home)
@@ -222,6 +251,13 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 			// re-homed) a session whose home was unreachable.
 			sp.MarkRetry()
 			sp.Annotate("session %d re-homed %s -> %s", rec.ID, rec.Home, home)
+		}
+		if d := pkt.Deadline; d > 0 && time.Since(t0) > d {
+			// Renew is idempotent, so a late one needs no undo — but the
+			// client has moved on; don't waste the reply send.
+			s.lateSheds.Add(1)
+			sp.Annotate("shed: client budget %v elapsed during renew", d)
+			return
 		}
 		s.send(from, &wire.Packet{
 			Header:  wire.Header{Type: wire.TMedRenewReply, ReqID: pkt.ReqID, Handle: pkt.Handle},

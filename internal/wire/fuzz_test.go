@@ -25,6 +25,11 @@ func FuzzUnmarshal(f *testing.F) {
 	seed(&Packet{Header: Header{Type: TRead, ReqID: 3, Offset: 8192, Length: 65536}, Trace: ctx})
 	seed(&Packet{Header: Header{Type: TWrite, ReqID: 4, Length: 100}, Trace: obs.SpanContext{TraceID: 1, SpanID: 2}, Payload: []byte("wb")})
 	seed(&Packet{Header: Header{Type: TMedOpen}, Trace: ctx, Payload: AppendMedOpenRequest(nil, &MedOpenRequest{Rate: 1e6, Key: "t"})})
+	// Deadlined (version-3) and dual-extension (version-4) packets: the
+	// 8-byte remaining-budget extension rides after the trace extension.
+	seed(&Packet{Header: Header{Type: TRead, ReqID: 8, Offset: 4096, Length: 8192}, Deadline: 250000000})
+	seed(&Packet{Header: Header{Type: TMedOpen}, Trace: ctx, Deadline: 1 << 32, Payload: AppendMedOpenRequest(nil, &MedOpenRequest{Rate: 1e6, Key: "t"})})
+	seed(&Packet{Header: Header{Type: TPushback, ReqID: 5}, Payload: AppendPushback(nil, &PushbackInfo{Reason: PushQueueFull, RetryAfter: 40000000})})
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0x53, 0x57}, 40))
 
@@ -57,6 +62,8 @@ func FuzzUnmarshal(f *testing.F) {
 			ParsePingReply(p.Payload)
 		case TError:
 			ParseError(p.Payload)
+		case TPushback:
+			ParsePushback(p.Payload)
 		}
 	})
 }
@@ -90,6 +97,7 @@ func FuzzControlPayloads(f *testing.F) {
 		LastHandoff: 99, Failovers: 1, Handoffs: 2, Expirations: 0,
 		AgentReserved: []float64{0.5, 0, 1}, NetReserved: []float64{0.25},
 	}))
+	f.Add(AppendPushback(nil, &PushbackInfo{Reason: PushOverQuota, RetryAfter: 123456789}))
 	f.Add([]byte{0xFF, 0xFF}) // huge length prefixes with no body
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
 	// Trace-context-shaped bytes (a version-2 extension: 8+8+1) fed to
@@ -178,6 +186,11 @@ func FuzzControlPayloads(f *testing.F) {
 			s2, err := ParseMedStatus(b1)
 			if err != nil || !bytes.Equal(b1, AppendMedStatus(nil, &s2)) {
 				t.Fatalf("MedStatus roundtrip: %+v, %v", s, err)
+			}
+		}
+		if pb, err := ParsePushback(data); err == nil {
+			if pb2, err := ParsePushback(AppendPushback(nil, &pb)); err != nil || pb2 != pb {
+				t.Fatalf("Pushback roundtrip: %+v -> %+v, %v", pb, pb2, err)
 			}
 		}
 		// ParseError returns an error value either way: a RemoteError for

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// PushbackReason says why an agent refused (rather than failed) a
+// request — the distinction matters to the client, which must treat
+// pushback as backpressure, never as agent sickness.
+type PushbackReason uint8
+
+// Pushback reasons.
+const (
+	// PushQueueFull: the agent's bounded service queue is over its
+	// admission quota; the request was shed before any work was done.
+	PushQueueFull PushbackReason = iota + 1
+	// PushDeadlineExpired: the request's propagated deadline had already
+	// lapsed when the agent dequeued it — serving it would burn capacity
+	// on an answer nobody is waiting for.
+	PushDeadlineExpired
+	// PushOverQuota: the requester exceeded its share of the agent's
+	// capacity under contention.
+	PushOverQuota
+)
+
+func (r PushbackReason) String() string {
+	switch r {
+	case PushQueueFull:
+		return "queue-full"
+	case PushDeadlineExpired:
+		return "deadline-expired"
+	case PushOverQuota:
+		return "over-quota"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// PushbackInfo is the body of a TPushback reply: why the request was
+// shed and how long the client should wait before offering the agent
+// more work.
+type PushbackInfo struct {
+	Reason PushbackReason
+	// RetryAfter is the agent's pacing hint; zero means "retry at the
+	// client's own backoff schedule".
+	RetryAfter time.Duration
+}
+
+// AppendPushback encodes p.
+func AppendPushback(dst []byte, p *PushbackInfo) []byte {
+	dst = append(dst, uint8(p.Reason))
+	ra := p.RetryAfter
+	if ra < 0 {
+		ra = 0
+	}
+	return binary.BigEndian.AppendUint64(dst, uint64(ra))
+}
+
+// ParsePushback decodes a TPushback payload.
+func ParsePushback(b []byte) (PushbackInfo, error) {
+	if len(b) < 9 {
+		return PushbackInfo{}, ErrShortPayload
+	}
+	ra := binary.BigEndian.Uint64(b[1:9])
+	if ra > uint64(maxDuration) {
+		return PushbackInfo{}, fmt.Errorf("wire: pushback retry-after %d overflows a duration", ra)
+	}
+	return PushbackInfo{
+		Reason:     PushbackReason(b[0]),
+		RetryAfter: time.Duration(ra),
+	}, nil
+}

@@ -33,11 +33,25 @@
 //	49     n    payload
 //	49+n   4    CRC-32 (IEEE) over bytes [0, 49+n)
 //
-// Packets without a trace context are always emitted as version 1, byte
-// for byte identical to the pre-tracing protocol, so old peers keep
-// decoding them; only control packets are ever traced — data packets
-// (TData) stay version 1 so the per-packet hot path never pays for the
-// extension.
+// A version-3 packet carries an 8-byte deadline extension instead: the
+// request's remaining time budget in nanoseconds, measured at send time.
+// The budget travels as a relative duration — not an absolute wall-clock
+// instant — so hops need no clock synchronization; each receiver anchors
+// it against its own clock at receipt and can refuse work that is
+// already dead (see TPushback). Version 4 carries both extensions, trace
+// first:
+//
+//	offset size field          (version 4; version 3 omits bytes 32..49)
+//	32     17   trace extension (as version 2)
+//	49     8    deadline: remaining budget in nanoseconds (nonzero)
+//	57     n    payload
+//	57+n   4    CRC-32 (IEEE) over bytes [0, 57+n)
+//
+// Packets without a trace context or deadline are always emitted as
+// version 1, byte for byte identical to the pre-tracing protocol, so old
+// peers keep decoding them; only control packets ever carry extensions —
+// data packets (TData) stay version 1 so the per-packet hot path never
+// pays for them.
 package wire
 
 import (
@@ -45,6 +59,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"time"
 
 	"swift/internal/obs"
 )
@@ -55,11 +70,19 @@ const (
 	Version = 1
 	// VersionTraced marks a packet carrying the trace extension.
 	VersionTraced = 2
+	// VersionDeadline marks a packet carrying the deadline extension.
+	VersionDeadline = 3
+	// VersionTracedDeadline marks a packet carrying both extensions
+	// (trace first, then deadline).
+	VersionTracedDeadline = 4
 
 	// HeaderSize is the fixed header length in bytes.
 	HeaderSize = 32
 	// TraceExtSize is the length of the version-2 trace extension.
 	TraceExtSize = 17
+	// DeadlineExtSize is the length of the deadline extension: the
+	// remaining request budget in nanoseconds.
+	DeadlineExtSize = 8
 	// TrailerSize is the CRC trailer length in bytes.
 	TrailerSize = 4
 	// MaxPacket is the largest datagram the protocol emits. It is chosen
@@ -71,6 +94,9 @@ const (
 	// MaxTracedPayload is the payload ceiling once the trace extension
 	// has claimed its bytes.
 	MaxTracedPayload = MaxPayload - TraceExtSize
+	// MaxExtPayload is the payload ceiling with every extension present
+	// (trace + deadline) — the floor any control payload must fit.
+	MaxExtPayload = MaxPayload - TraceExtSize - DeadlineExtSize
 )
 
 // Type identifies the kind of a protocol packet.
@@ -117,6 +143,14 @@ const (
 	TMedStatusReply // mediator→client: replica status
 	TMedDrain       // admin→mediator: hand live sessions to peers
 	TMedDrainReply  // mediator→admin: drain done; Length counts handoffs
+
+	// TPushback is an agent's explicit load-shed reply: the request was
+	// refused — not failed — because its deadline had already expired or
+	// the agent's service queue was over quota. The payload (PushbackInfo)
+	// carries the reason and a retry-after hint. Pushback is a healthy
+	// agent protecting itself; clients must not feed it into the
+	// failure-domain lifecycle.
+	TPushback
 	tMax
 )
 
@@ -128,6 +162,7 @@ var typeNames = [...]string{
 	"medopen", "medopenreply", "medrenew", "medrenewreply",
 	"medclose", "medclosereply", "medmirror", "medmirrorreply",
 	"medstatus", "medstatusreply", "meddrain", "meddrainreply",
+	"pushback",
 }
 
 func (t Type) String() string {
@@ -160,12 +195,19 @@ type Header struct {
 }
 
 // Packet is a decoded protocol packet: header plus payload, plus the
-// optional trace context. A zero Trace encodes as a version-1 packet; a
-// valid one adds the version-2 trace extension.
+// optional extensions. A zero Trace and zero Deadline encode as a
+// version-1 packet; a valid Trace adds the trace extension, a positive
+// Deadline the deadline extension, and the version byte reflects which
+// are present.
 type Packet struct {
 	Header
-	Trace   obs.SpanContext
-	Payload []byte
+	Trace obs.SpanContext
+	// Deadline is the request's remaining time budget, measured when the
+	// packet is encoded. Zero means no deadline (the extension is
+	// omitted); the receiver anchors a positive budget against its own
+	// clock at receipt.
+	Deadline time.Duration
+	Payload  []byte
 }
 
 // Decoding errors.
@@ -180,12 +222,22 @@ var (
 
 // AppendPacket encodes the packet and appends it to dst, returning the
 // extended slice. It returns an error if the payload exceeds MaxPayload
-// (MaxTracedPayload when a trace context is attached).
+// less the bytes any attached extensions claim.
 func AppendPacket(dst []byte, p *Packet) ([]byte, error) {
 	traced := p.Trace.Valid()
+	deadlined := p.Deadline > 0
+	version := uint8(Version)
 	limit := MaxPayload
-	if traced {
+	switch {
+	case traced && deadlined:
+		version = VersionTracedDeadline
+		limit = MaxExtPayload
+	case traced:
+		version = VersionTraced
 		limit = MaxTracedPayload
+	case deadlined:
+		version = VersionDeadline
+		limit = MaxPayload - DeadlineExtSize
 	}
 	if len(p.Payload) > limit {
 		return dst, ErrOversize
@@ -193,11 +245,7 @@ func AppendPacket(dst []byte, p *Packet) ([]byte, error) {
 	start := len(dst)
 	var hdr [HeaderSize]byte
 	binary.BigEndian.PutUint16(hdr[0:2], Magic)
-	if traced {
-		hdr[2] = VersionTraced
-	} else {
-		hdr[2] = Version
-	}
+	hdr[2] = version
 	hdr[3] = uint8(p.Type)
 	binary.BigEndian.PutUint32(hdr[4:8], p.ReqID)
 	binary.BigEndian.PutUint64(hdr[8:16], p.Handle)
@@ -213,6 +261,11 @@ func AppendPacket(dst []byte, p *Packet) ([]byte, error) {
 		ext[16] = p.Trace.Flags
 		dst = append(dst, ext[:]...)
 	}
+	if deadlined {
+		var ext [DeadlineExtSize]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(p.Deadline))
+		dst = append(dst, ext[:]...)
+	}
 	dst = append(dst, p.Payload...)
 	crc := crc32.ChecksumIEEE(dst[start:])
 	var tr [TrailerSize]byte
@@ -226,14 +279,17 @@ func Marshal(p *Packet) ([]byte, error) {
 	if p.Trace.Valid() {
 		n += TraceExtSize
 	}
+	if p.Deadline > 0 {
+		n += DeadlineExtSize
+	}
 	buf := make([]byte, 0, n)
 	return AppendPacket(buf, p)
 }
 
-// Unmarshal decodes buf into p. Both version-1 (untraced) and version-2
-// (traced) packets are accepted; p.Trace is zeroed for version 1. The
-// returned packet's Payload aliases buf; callers that retain the packet
-// past the buffer's reuse must copy it.
+// Unmarshal decodes buf into p. Versions 1 through 4 are accepted;
+// p.Trace and p.Deadline are zeroed when the respective extension is
+// absent. The returned packet's Payload aliases buf; callers that retain
+// the packet past the buffer's reuse must copy it.
 func Unmarshal(buf []byte, p *Packet) error {
 	if len(buf) < HeaderSize+TrailerSize {
 		return ErrTooShort
@@ -241,16 +297,21 @@ func Unmarshal(buf []byte, p *Packet) error {
 	if binary.BigEndian.Uint16(buf[0:2]) != Magic {
 		return ErrBadMagic
 	}
-	ext := 0
+	traceExt, dlExt := 0, 0
 	switch buf[2] {
 	case Version:
 	case VersionTraced:
-		ext = TraceExtSize
-		if len(buf) < HeaderSize+ext+TrailerSize {
-			return ErrTooShort
-		}
+		traceExt = TraceExtSize
+	case VersionDeadline:
+		dlExt = DeadlineExtSize
+	case VersionTracedDeadline:
+		traceExt, dlExt = TraceExtSize, DeadlineExtSize
 	default:
 		return ErrBadVersion
+	}
+	ext := traceExt + dlExt
+	if len(buf) < HeaderSize+ext+TrailerSize {
+		return ErrTooShort
 	}
 	body := buf[:len(buf)-TrailerSize]
 	want := binary.BigEndian.Uint32(buf[len(buf)-TrailerSize:])
@@ -267,18 +328,32 @@ func Unmarshal(buf []byte, p *Packet) error {
 	p.Offset = int64(binary.BigEndian.Uint64(buf[16:24]))
 	p.Length = binary.BigEndian.Uint32(buf[24:28])
 	p.Flags = binary.BigEndian.Uint16(buf[28:30])
-	if ext != 0 {
+	if traceExt != 0 {
 		p.Trace.TraceID = binary.BigEndian.Uint64(buf[HeaderSize : HeaderSize+8])
 		p.Trace.SpanID = binary.BigEndian.Uint64(buf[HeaderSize+8 : HeaderSize+16])
 		p.Trace.Flags = buf[HeaderSize+16]
-		// A version-2 packet with a zero trace id would re-encode as
-		// version 1 and break the round-trip invariant; reject it.
+		// A traced packet with a zero trace id would re-encode without
+		// the extension and break the round-trip invariant; reject it.
 		if !p.Trace.Valid() {
 			return ErrBadVersion
 		}
 	} else {
 		p.Trace = obs.SpanContext{}
 	}
+	if dlExt != 0 {
+		budget := binary.BigEndian.Uint64(buf[HeaderSize+traceExt : HeaderSize+traceExt+DeadlineExtSize])
+		// Zero or unrepresentable budgets would re-encode without the
+		// extension; reject them for the same round-trip invariant.
+		if budget == 0 || budget > uint64(maxDuration) {
+			return ErrBadVersion
+		}
+		p.Deadline = time.Duration(budget)
+	} else {
+		p.Deadline = 0
+	}
 	p.Payload = buf[HeaderSize+ext : HeaderSize+ext+plen]
 	return nil
 }
+
+// maxDuration is the largest encodable deadline budget.
+const maxDuration = time.Duration(1<<63 - 1)

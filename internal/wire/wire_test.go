@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"swift/internal/obs"
 )
@@ -392,5 +393,181 @@ func TestTypeString(t *testing.T) {
 	}
 	if Type(200).String() == "" {
 		t.Fatal("unknown type produced empty string")
+	}
+	if TPushback.String() != "pushback" {
+		t.Fatalf("TPushback = %q", TPushback.String())
+	}
+	if len(typeNames) != int(tMax) {
+		t.Fatalf("typeNames has %d entries for %d types", len(typeNames), int(tMax))
+	}
+}
+
+func TestDeadlineRoundTrip(t *testing.T) {
+	p := &Packet{
+		Header:   Header{Type: TRead, ReqID: 12, Handle: 5, Offset: 8192, Length: 32768},
+		Deadline: 250 * time.Millisecond,
+	}
+	buf, err := Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if buf[2] != VersionDeadline {
+		t.Fatalf("version = %d, want %d", buf[2], VersionDeadline)
+	}
+	if len(buf) != HeaderSize+DeadlineExtSize+TrailerSize {
+		t.Fatalf("len = %d, want %d", len(buf), HeaderSize+DeadlineExtSize+TrailerSize)
+	}
+	var q Packet
+	if err := Unmarshal(buf, &q); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if q.Header != p.Header || q.Deadline != p.Deadline || q.Trace.Valid() {
+		t.Fatalf("round trip mismatch: %+v vs %+v", q, p)
+	}
+}
+
+func TestTracedDeadlineRoundTrip(t *testing.T) {
+	p := &Packet{
+		Header:   Header{Type: TWrite, ReqID: 3, Handle: 1, Offset: 64, Length: 128},
+		Trace:    obs.SpanContext{TraceID: 0xfeedface, SpanID: 0xabad1dea, Flags: obs.SpanSampled},
+		Deadline: 2 * time.Second,
+		Payload:  []byte("announce"),
+	}
+	buf, err := Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if buf[2] != VersionTracedDeadline {
+		t.Fatalf("version = %d, want %d", buf[2], VersionTracedDeadline)
+	}
+	if len(buf) != HeaderSize+TraceExtSize+DeadlineExtSize+len(p.Payload)+TrailerSize {
+		t.Fatalf("len = %d", len(buf))
+	}
+	var q Packet
+	if err := Unmarshal(buf, &q); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if q.Header != p.Header || q.Trace != p.Trace || q.Deadline != p.Deadline ||
+		!bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", q, p)
+	}
+}
+
+// TestDeadlineByteIdentical pins the version-3 layout byte for byte, and
+// re-verifies that a packet with neither extension still encodes as the
+// version-1 protocol — the compatibility discipline the trace extension
+// established.
+func TestDeadlineByteIdentical(t *testing.T) {
+	p := &Packet{
+		Header:   Header{Type: TRead, ReqID: 21, Handle: 9, Offset: 512, Length: 2048},
+		Deadline: 125 * time.Millisecond,
+		Payload:  []byte("xy"),
+	}
+	got, err := Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	want := make([]byte, 0, HeaderSize+DeadlineExtSize+len(p.Payload)+TrailerSize)
+	var hdr [HeaderSize]byte
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = VersionDeadline
+	hdr[3] = uint8(p.Type)
+	binary.BigEndian.PutUint32(hdr[4:8], p.ReqID)
+	binary.BigEndian.PutUint64(hdr[8:16], p.Handle)
+	binary.BigEndian.PutUint64(hdr[16:24], uint64(p.Offset))
+	binary.BigEndian.PutUint32(hdr[24:28], p.Length)
+	binary.BigEndian.PutUint16(hdr[28:30], p.Flags)
+	binary.BigEndian.PutUint16(hdr[30:32], uint16(len(p.Payload)))
+	want = append(want, hdr[:]...)
+	var ext [DeadlineExtSize]byte
+	binary.BigEndian.PutUint64(ext[:], uint64(p.Deadline))
+	want = append(want, ext[:]...)
+	want = append(want, p.Payload...)
+	var tr [TrailerSize]byte
+	binary.BigEndian.PutUint32(tr[:], crc32.ChecksumIEEE(want))
+	want = append(want, tr[:]...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("deadline encoding differs from documented layout:\ngot:  %x\nwant: %x", got, want)
+	}
+}
+
+func TestDeadlineZeroBudgetRejected(t *testing.T) {
+	// A version-3 packet with a zero budget cannot round-trip (it would
+	// re-encode as version 1), so the decoder rejects it — the same
+	// invariant as the zero trace id.
+	p := &Packet{Header: Header{Type: TRead}, Deadline: time.Second}
+	buf, _ := Marshal(p)
+	for i := HeaderSize; i < HeaderSize+DeadlineExtSize; i++ {
+		buf[i] = 0
+	}
+	body := buf[:len(buf)-TrailerSize]
+	binary.BigEndian.PutUint32(buf[len(buf)-TrailerSize:], crc32.ChecksumIEEE(body))
+	var q Packet
+	if err := Unmarshal(buf, &q); err != ErrBadVersion {
+		t.Fatalf("zero-budget packet: err = %v, want ErrBadVersion", err)
+	}
+	// An unrepresentable budget (top bit set) is rejected the same way.
+	buf, _ = Marshal(p)
+	buf[HeaderSize] = 0xFF
+	body = buf[:len(buf)-TrailerSize]
+	binary.BigEndian.PutUint32(buf[len(buf)-TrailerSize:], crc32.ChecksumIEEE(body))
+	if err := Unmarshal(buf, &q); err != ErrBadVersion {
+		t.Fatalf("overflow-budget packet: err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDeadlinePayloadCeiling(t *testing.T) {
+	p := &Packet{Deadline: time.Second, Payload: make([]byte, MaxPayload-DeadlineExtSize)}
+	buf, err := Marshal(p)
+	if err != nil {
+		t.Fatalf("max deadlined payload rejected: %v", err)
+	}
+	if len(buf) > MaxPacket {
+		t.Fatalf("deadlined packet %d exceeds MaxPacket", len(buf))
+	}
+	p.Payload = append(p.Payload, 0)
+	if _, err := Marshal(p); err != ErrOversize {
+		t.Fatalf("err = %v, want ErrOversize", err)
+	}
+	p.Trace = obs.SpanContext{TraceID: 1, SpanID: 2}
+	p.Payload = make([]byte, MaxExtPayload)
+	if buf, err = Marshal(p); err != nil || len(buf) > MaxPacket {
+		t.Fatalf("max dual-extension payload: %v (len %d)", err, len(buf))
+	}
+	p.Payload = append(p.Payload, 0)
+	if _, err := Marshal(p); err != ErrOversize {
+		t.Fatalf("err = %v, want ErrOversize", err)
+	}
+}
+
+func TestPushbackPayload(t *testing.T) {
+	for _, in := range []PushbackInfo{
+		{Reason: PushQueueFull, RetryAfter: 40 * time.Millisecond},
+		{Reason: PushDeadlineExpired},
+		{Reason: PushOverQuota, RetryAfter: time.Second},
+	} {
+		b := AppendPushback(nil, &in)
+		got, err := ParsePushback(b)
+		if err != nil || got != in {
+			t.Fatalf("pushback %+v: got %+v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePushback([]byte{1, 0, 0}); err == nil {
+		t.Fatal("short pushback accepted")
+	}
+	overflow := AppendPushback(nil, &PushbackInfo{Reason: PushQueueFull, RetryAfter: time.Second})
+	overflow[1] = 0xFF
+	if _, err := ParsePushback(overflow); err == nil {
+		t.Fatal("overflowing retry-after accepted")
+	}
+	// A negative hint clamps to zero on encode.
+	b := AppendPushback(nil, &PushbackInfo{Reason: PushQueueFull, RetryAfter: -time.Second})
+	got, err := ParsePushback(b)
+	if err != nil || got.RetryAfter != 0 {
+		t.Fatalf("negative retry-after: %+v, %v", got, err)
+	}
+	if PushQueueFull.String() != "queue-full" || PushDeadlineExpired.String() != "deadline-expired" ||
+		PushOverQuota.String() != "over-quota" {
+		t.Fatal("pushback reason names wrong")
 	}
 }

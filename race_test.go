@@ -1,0 +1,9 @@
+//go:build race
+
+package swift_test
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation slows the whole data path by an
+// order of magnitude — wall-clock performance gates (goodput ratios,
+// latency ceilings) are meaningless there and are skipped.
+const raceEnabled = true

@@ -1,0 +1,139 @@
+#!/bin/sh
+# Overload-control smoke: boot three swiftd storage agents over real UDP
+# with tightly bounded service queues (3 in-flight reads) and an injected
+# 5ms per-read service time, then throw six concurrent parity clients at
+# them — about 2× the queue capacity. The cluster must degrade
+# cooperatively, not collapse:
+#
+#   - the agents shed the excess explicitly: swift_agent_shed_queue_total
+#     and swift_agent_pushbacks_total go nonzero on the metrics endpoints;
+#   - shed work fails loudly and recognizably: a surge client either
+#     completes or exits with an explicit overload error (shedding load,
+#     deadline, retry budget) — never a protocol or data error — and at
+#     least one client's transfer must complete (goodput continues);
+#   - pushback never feeds failure attribution: all agents stay `healthy`
+#     in every completed client's stats snapshot and in a final health
+#     probe (zero lifecycle flaps);
+#   - data stays exact: an object stored before the surge reads back
+#     byte-identical after it.
+set -eu
+
+P0=17370
+P1=17371
+P2=17372
+M0=127.0.0.1:19093
+M1=127.0.0.1:19094
+M2=127.0.0.1:19095
+CLIENTS=6
+TMP=$(mktemp -d)
+PIDS=
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+fetch() { # fetch URL FILE
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS -o "$2" "$1"
+	else
+		wget -q -O "$2" "$1"
+	fi
+}
+
+wait_for() { # wait_for URL
+	i=0
+	while ! fetch "$1" "$TMP/probe" 2>/dev/null; do
+		i=$((i + 1))
+		[ "$i" -ge 50 ] && { echo "timeout waiting for $1" >&2; exit 1; }
+		sleep 0.2
+	done
+}
+
+# Run the built binaries directly (not `go run`) so the cleanup trap
+# kills the server processes themselves, not wrappers.
+go build -o "$TMP/swiftd" ./cmd/swiftd
+go build -o "$TMP/swiftctl" ./cmd/swiftctl
+
+echo "== three agents: service queues bounded at 3, 5ms injected read service time"
+i=0
+for port in $P0 $P1 $P2; do
+	eval m=\$M$i
+	"$TMP/swiftd" -mem -port "$port" -metrics "$m" \
+		-max-inflight-reads 3 -read-delay 5ms \
+		>"$TMP/swiftd$i.out" 2>&1 &
+	PIDS="$PIDS $!"
+	i=$((i + 1))
+done
+for m in $M0 $M1 $M2; do wait_for "http://$m/metrics"; done
+
+AGENTS=127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2
+
+echo "== seed object before the surge"
+dd if=/dev/urandom of="$TMP/seed" bs=1024 count=512 2>/dev/null
+"$TMP/swiftctl" -agents "$AGENTS" -parity put "$TMP/seed" smoke-obj >/dev/null
+
+echo "== surge: $CLIENTS concurrent deadline-carrying clients vs queues of 3"
+i=0
+while [ "$i" -lt "$CLIENTS" ]; do
+	"$TMP/swiftctl" -agents "$AGENTS" -parity -op-timeout 30s -hedge \
+		stats -mb 2 >"$TMP/client$i.out" 2>&1 &
+	eval "CPID_$i=$!"
+	i=$((i + 1))
+done
+
+# A client under sustained overdemand either completes or is shed with an
+# explicit, recognizable overload error — admission control refusing work
+# is correct behavior, silent corruption or protocol failure is not.
+completed=0
+shed=0
+i=0
+while [ "$i" -lt "$CLIENTS" ]; do
+	eval "p=\$CPID_$i"
+	if wait "$p"; then
+		completed=$((completed + 1))
+	elif grep -Eq 'shedding load|operation deadline|retry budget' "$TMP/client$i.out"; then
+		shed=$((shed + 1))
+	else
+		echo "client $i failed with a non-overload error:" >&2
+		cat "$TMP/client$i.out" >&2
+		exit 1
+	fi
+	i=$((i + 1))
+done
+echo "   clients completed=$completed shed=$shed"
+[ "$completed" -ge 1 ] || { echo "every client was shed: goodput collapsed" >&2; exit 1; }
+
+echo "== agents shed the excess explicitly"
+qsheds=0
+pushed=0
+i=0
+for m in $M0 $M1 $M2; do
+	fetch "http://$m/metrics" "$TMP/metrics$i"
+	qsheds=$((qsheds + $(awk '/^swift_agent_shed_queue_total/ {s += $2} END {printf "%d", s}' "$TMP/metrics$i")))
+	pushed=$((pushed + $(awk '/^swift_agent_pushbacks_total/ {s += $2} END {printf "%d", s}' "$TMP/metrics$i")))
+	i=$((i + 1))
+done
+echo "   queue sheds=$qsheds pushback replies=$pushed"
+[ "$qsheds" -gt 0 ] || { echo "no queue sheds under 2x overdemand" >&2; exit 1; }
+[ "$pushed" -gt 0 ] || { echo "no pushback replies under 2x overdemand" >&2; exit 1; }
+
+echo "== pushback never feeds failure attribution"
+for f in "$TMP"/client*.out; do
+	# Only completed clients printed a stats snapshot; shed ones exited
+	# on the overload error before the report.
+	grep -q '^overload: pushbacks=' "$f" || continue
+	if grep -E 'agent [0-9].*(suspect|down)' "$f"; then
+		echo "$f: an agent left healthy under pure overload (lifecycle flap)" >&2
+		cat "$f" >&2
+		exit 1
+	fi
+done
+"$TMP/swiftctl" -agents "$AGENTS" health >"$TMP/health.out" 2>&1
+if grep -E 'suspect|down' "$TMP/health.out"; then
+	echo "an agent is unhealthy after the surge:" >&2
+	cat "$TMP/health.out" >&2
+	exit 1
+fi
+
+echo "== object survives the surge byte-identical"
+"$TMP/swiftctl" -agents "$AGENTS" -parity get smoke-obj "$TMP/after" >/dev/null
+cmp "$TMP/seed" "$TMP/after" || { echo "object differs after the surge" >&2; exit 1; }
+
+echo "overload smoke OK"

@@ -110,6 +110,31 @@ type Config struct {
 	// place — corrupt units rewritten from the XOR of their peers, stale
 	// parity recomputed from the data.
 	ScrubInterval time.Duration
+	// OpTimeout, when > 0, gives every ReadAt/WriteAt a deadline budget.
+	// The remaining budget travels on each request packet, so agents shed
+	// work the client has already abandoned; an op past its budget fails
+	// with core.ErrDeadline without marking any agent failed.
+	OpTimeout time.Duration
+	// HedgeReads races a parity reconstruction against a straggling agent
+	// once a read burst exceeds a p99-derived hedge delay (requires
+	// Parity). Hedges spend the retry budget, so a broadly slow cluster
+	// cannot amplify load.
+	HedgeReads bool
+	// HedgeMultiplier scales the observed p99 read-burst latency into the
+	// hedge delay (default 2).
+	HedgeMultiplier float64
+	// RetryBudgetCap and RetryBudgetRatio bound retry amplification: a
+	// token bucket holding at most Cap tokens, refilled by Ratio per
+	// fresh operation, pays for every failover retry and hedge. Defaults
+	// 1000 and 0.5.
+	RetryBudgetCap   float64
+	RetryBudgetRatio float64
+	// BreakerThreshold consecutive overload signals (pushbacks, retry
+	// give-ups) trip an agent's circuit breaker open for BreakerCooldown;
+	// while open, parity-protected reads reconstruct around the agent
+	// instead of waiting on it. Defaults 5 and 2s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// Heartbeat, when non-nil together with HealthInterval, is invoked
 	// once per health-probe round — the hook for renewing a storage
 	// mediator session lease (mediator.Renew) while this client lives.
@@ -182,10 +207,19 @@ func Dial(cfg Config) (*FS, error) {
 		ReadAhead:    cfg.ReadAhead,
 		WritePace:    cfg.WritePace,
 		Sleep:        cfg.Sleep,
-		Logf:         cfg.Logf,
-		Verbose:      cfg.Verbose,
-		Obs:          cfg.Obs,
-		Tracer:       tracer,
+
+		OpTimeout:        cfg.OpTimeout,
+		HedgeReads:       cfg.HedgeReads,
+		HedgeMultiplier:  cfg.HedgeMultiplier,
+		RetryBudgetCap:   cfg.RetryBudgetCap,
+		RetryBudgetRatio: cfg.RetryBudgetRatio,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+
+		Logf:    cfg.Logf,
+		Verbose: cfg.Verbose,
+		Obs:     cfg.Obs,
+		Tracer:  tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -321,6 +355,35 @@ type AgentStats = core.AgentStats
 
 // MetricsSnapshot is a value copy of the client's protocol counters.
 type MetricsSnapshot = core.MetricsSnapshot
+
+// OverloadStats summarizes the client's overload-control activity within
+// Stats: load shed, hedged, denied, and the retry budget's fill level.
+type OverloadStats = core.OverloadStats
+
+// BreakerState is one agent circuit breaker's position: closed,
+// half-open, or open.
+type BreakerState = core.BreakerState
+
+// Circuit breaker states.
+const (
+	BreakerClosed   = core.BreakerClosed
+	BreakerOpen     = core.BreakerOpen
+	BreakerHalfOpen = core.BreakerHalfOpen
+)
+
+// Overload-control error sentinels, matched with errors.Is.
+var (
+	// ErrDeadline: the operation exceeded Config.OpTimeout.
+	ErrDeadline = core.ErrDeadline
+	// ErrRetryBudget: a retry or hedge was denied because the shared
+	// retry budget is exhausted.
+	ErrRetryBudget = core.ErrRetryBudget
+	// ErrAgentBusy: an agent shed the request with pushback.
+	ErrAgentBusy = core.ErrAgentBusy
+	// ErrMediatorOverloaded: a mediator rejected a new session because
+	// reserved capacity exceeded its admission watermark.
+	ErrMediatorOverloaded = mediator.ErrOverloaded
+)
 
 // LatencySnapshot summarizes one latency histogram: count, mean, min,
 // max and the p50/p90/p99 percentiles.
