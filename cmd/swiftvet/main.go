@@ -1,11 +1,13 @@
 // Command swiftvet runs swift's project-specific static-analysis suite
 // (internal/lint) over the module: injected-clock discipline, the
 // zero-lock data path, error attribution across layer boundaries, metric
-// naming, and goroutine shutdown paths.
+// naming, goroutine shutdown paths, and the interprocedural gates —
+// hot-path allocation freedom, pooled-buffer lifecycles, lock-guarded
+// fields, and deadline propagation.
 //
 // Usage:
 //
-//	swiftvet [-json] [-run analyzer[,analyzer...]] [packages]
+//	swiftvet [-json] [-time] [-run analyzer[,analyzer...]] [packages]
 //
 // Package patterns are module-relative ("./...", "./internal/...",
 // "./internal/core"); the default is "./...". Exit status: 0 when clean,
@@ -18,7 +20,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"swift/internal/lint"
 )
@@ -31,6 +35,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("swiftvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	timings := fs.Bool("time", false, "print per-analyzer wall time to stderr")
 	runList := fs.String("run", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	dir := fs.String("dir", "", "directory to resolve the module from (default: cwd)")
@@ -99,7 +104,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := lint.Run(selected, analyzers)
+	diags, spent := lint.RunTimed(selected, analyzers)
+	if *timings {
+		names := make([]string, 0, len(spent))
+		for name := range spent {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool { return spent[names[i]] > spent[names[j]] })
+		var total time.Duration
+		for _, name := range names {
+			fmt.Fprintf(stderr, "swiftvet: %-12s %8.1fms\n", name, float64(spent[name].Microseconds())/1000)
+			total += spent[name]
+		}
+		fmt.Fprintf(stderr, "swiftvet: %-12s %8.1fms\n", "total", float64(total.Microseconds())/1000)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

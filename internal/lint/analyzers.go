@@ -1,8 +1,14 @@
 package lint
 
-// All returns swift's analyzer suite in stable order.
+// All returns swift's analyzer suite in stable order: the five
+// intra-procedural checkers from PR 4 followed by the interprocedural
+// dataflow suite (hot-path allocations, pooled-buffer lifecycles,
+// lock-guarded fields, deadline propagation).
 func All() []*Analyzer {
-	return []*Analyzer{ClockCheck, LockIO, ErrAttr, MetricName, GoExit}
+	return []*Analyzer{
+		ClockCheck, LockIO, ErrAttr, MetricName, GoExit,
+		HotAlloc, BufSafe, LockGuard, DeadlineFlow,
+	}
 }
 
 // ByName returns the named analyzers (nil entries for unknown names are

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Annotation grammar. Three comment families drive the interprocedural
+// analyzers:
+//
+//	//swift:hotpath                    function is a hot-path root (hotalloc)
+//	//swift:pool acquire               function returns a pooled buffer (bufsafe)
+//	//swift:pool release               function releases its pooled argument (bufsafe)
+//	// guarded by <mu>                 struct field is protected by sibling mutex <mu> (lockguard)
+//	//lint:allow <analyzer> <reason>   justified suppression (all analyzers)
+//
+// swift: directives are machine-read and must be exact: no space after
+// //, the directive name immediately after the colon. "guarded by" is a
+// human-readable trailing comment on a struct field. Parsers are exported
+// for the fuzz tests in annotations_fuzz_test.go.
+
+const directivePrefix = "swift:"
+
+// Directive names the analyzers accept.
+const (
+	DirHotpath = "hotpath"
+	DirPool    = "pool"
+)
+
+// ParseDirective splits a //swift: machine directive into its name and
+// argument string. Comments that are not swift: directives (including
+// "// swift:..." with a space, which is prose) return ok=false.
+func ParseDirective(text string) (name, args string, ok bool) {
+	rest, found := strings.CutPrefix(text, "//"+directivePrefix)
+	if !found {
+		return "", "", false
+	}
+	name, args, _ = strings.Cut(rest, " ")
+	if name == "" {
+		return "", "", false
+	}
+	return name, strings.TrimSpace(args), true
+}
+
+// directiveOf scans a doc comment group for the first swift: directive.
+func directiveOf(doc *ast.CommentGroup) (name, args string, ok bool) {
+	if doc == nil {
+		return "", "", false
+	}
+	for _, c := range doc.List {
+		if n, a, found := ParseDirective(c.Text); found {
+			return n, a, true
+		}
+	}
+	return "", "", false
+}
+
+// hasDirective reports whether doc carries the named swift: directive.
+func hasDirective(doc *ast.CommentGroup, want string) bool {
+	name, _, ok := directiveOf(doc)
+	return ok && name == want
+}
+
+// guardMarker introduces a lockguard field annotation inside a struct
+// field's trailing (or doc) comment.
+const guardMarker = "guarded by "
+
+// ParseGuard extracts the mutex name from a "guarded by <mu>" field
+// comment. The name ends at the first space or punctuation, so prose may
+// follow ("guarded by mu; see the locking note above"). A marker with no
+// name returns ok=false so lockguard can flag it as malformed.
+func ParseGuard(text string) (mu string, ok bool) {
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	i := strings.Index(body, guardMarker)
+	if i < 0 {
+		return "", false
+	}
+	rest := body[i+len(guardMarker):]
+	end := len(rest)
+	for j := 0; j < len(rest); j++ {
+		c := rest[j]
+		if !(c == '.' || c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			end = j
+			break
+		}
+	}
+	mu = rest[:end]
+	return mu, mu != ""
+}
+
+// ParseAllow splits a //lint:allow comment into the analyzer name and
+// justification. Comments without the lint:allow prefix return ok=false;
+// a missing analyzer or justification comes back as the empty string and
+// is reported as malformed by Run.
+func ParseAllow(text string) (analyzer, reason string, ok bool) {
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(body, allowPrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(body, allowPrefix))
+	analyzer, reason, _ = strings.Cut(rest, " ")
+	return analyzer, strings.TrimSpace(reason), true
+}

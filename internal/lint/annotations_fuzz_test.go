@@ -1,0 +1,94 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"swift/internal/lint"
+)
+
+// The annotation parsers run over every comment in the module, so they
+// must be total: no panics, and the invariants the analyzers rely on
+// must hold for arbitrary input.
+
+func FuzzParseDirective(f *testing.F) {
+	f.Add("//swift:hotpath")
+	f.Add("//swift:pool acquire")
+	f.Add("//swift:pool   acquire  ")
+	f.Add("// swift:hotpath")
+	f.Add("//swift:")
+	f.Add("//swift:hotpath encode fast")
+	f.Add("// plain prose")
+	f.Add("//lint:allow hotalloc reason")
+	f.Fuzz(func(t *testing.T, text string) {
+		name, args, ok := lint.ParseDirective(text)
+		if !ok {
+			if name != "" || args != "" {
+				t.Fatalf("ParseDirective(%q): not ok but returned (%q, %q)", text, name, args)
+			}
+			return
+		}
+		if name == "" {
+			t.Fatalf("ParseDirective(%q): ok with empty name", text)
+		}
+		if strings.Contains(name, " ") {
+			t.Fatalf("ParseDirective(%q): name %q contains a space", text, name)
+		}
+		if args != strings.TrimSpace(args) {
+			t.Fatalf("ParseDirective(%q): args %q not trimmed", text, args)
+		}
+		if !strings.HasPrefix(text, "//swift:") {
+			t.Fatalf("ParseDirective(%q): ok without the //swift: prefix", text)
+		}
+	})
+}
+
+func FuzzParseGuard(f *testing.F) {
+	f.Add("// guarded by mu")
+	f.Add("// guarded by s.mu extra prose")
+	f.Add("// guarded by ")
+	f.Add("// guarded by mu; see locking note")
+	f.Add("// not a guard")
+	f.Add("// guarded by 北")
+	f.Fuzz(func(t *testing.T, text string) {
+		mu, ok := lint.ParseGuard(text)
+		if !ok {
+			if mu != "" {
+				t.Fatalf("ParseGuard(%q): not ok but returned %q", text, mu)
+			}
+			return
+		}
+		if mu == "" {
+			t.Fatalf("ParseGuard(%q): ok with empty name", text)
+		}
+		for i := 0; i < len(mu); i++ {
+			c := mu[i]
+			if !(c == '.' || c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+				t.Fatalf("ParseGuard(%q): name %q contains forbidden byte %q", text, mu, c)
+			}
+		}
+	})
+}
+
+func FuzzParseAllow(f *testing.F) {
+	f.Add("//lint:allow hotalloc amortized append into caller storage")
+	f.Add("// lint:allow clockcheck injection seam")
+	f.Add("//lint:allow")
+	f.Add("//lint:allow hotalloc")
+	f.Add("//swift:hotpath")
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzer, reason, ok := lint.ParseAllow(text)
+		if !ok {
+			if analyzer != "" || reason != "" {
+				t.Fatalf("ParseAllow(%q): not ok but returned (%q, %q)", text, analyzer, reason)
+			}
+			return
+		}
+		if strings.Contains(analyzer, " ") {
+			t.Fatalf("ParseAllow(%q): analyzer %q contains a space", text, analyzer)
+		}
+		if reason != strings.TrimSpace(reason) {
+			t.Fatalf("ParseAllow(%q): reason %q not trimmed", text, reason)
+		}
+	})
+}

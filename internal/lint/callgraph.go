@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Module is the whole-module view the interprocedural analyzers share:
+// every function declaration across the loaded packages, the static call
+// graph between them, and lazily-computed summaries (hot-path
+// reachability, transitive blockingness). One Module is built per Run
+// invocation, so fixture loads and real-tree loads never mix.
+//
+// The call graph is static: direct calls and method calls resolved by
+// the type checker. Calls through interface values or function-typed
+// variables are opaque — deliberately, since swift's layer boundaries
+// (store.Object, transport.Conn, mediator.Peer) are interfaces, this
+// keeps hot-path reachability confined to the layer that was annotated
+// instead of swallowing every implementation in the module.
+type Module struct {
+	Decls   map[*types.Func]*ast.FuncDecl // module function/method declarations
+	DeclPkg map[*types.Func]*Package      // defining package of each declaration
+	Calls   map[*types.Func][]*types.Func // static module-internal call edges
+
+	pkgs     []*Package                  // the loaded packages, for lazy summaries
+	hot      map[*types.Func]*types.Func // hot function -> its //swift:hotpath root
+	blocking map[*types.Func]bool        // transitively reaches a blocking package
+	guards   map[types.Object]string     // annotated field -> guarding mutex name
+	guardMus map[*types.TypeName]map[string]bool
+}
+
+// BuildModule indexes the packages into a Module. Calls made inside
+// function literals are attributed to the enclosing declaration: the
+// literal runs with the enclosing function's obligations until proven
+// otherwise.
+func BuildModule(pkgs []*Package) *Module {
+	m := &Module{
+		Decls:   make(map[*types.Func]*ast.FuncDecl),
+		DeclPkg: make(map[*types.Func]*Package),
+		Calls:   make(map[*types.Func][]*types.Func),
+	}
+	for _, p := range pkgs {
+		if p == nil || p.Types == nil {
+			continue
+		}
+		m.pkgs = append(m.pkgs, p)
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					m.Decls[fn] = fd
+					m.DeclPkg[fn] = p
+				}
+			}
+		}
+	}
+	for fn, fd := range m.Decls {
+		p := m.DeclPkg[fn]
+		if fd.Body == nil {
+			continue
+		}
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(p, call)
+			if callee != nil && !seen[callee] {
+				seen[callee] = true
+				m.Calls[fn] = append(m.Calls[fn], callee)
+			}
+			return true
+		})
+	}
+	return m
+}
+
+// calleeOf resolves the function or method a call invokes within pkg's
+// type info, or nil (builtin, conversion, or dynamic call).
+func calleeOf(p *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := p.Info.Uses[id].(*types.Func)
+	return f
+}
+
+// HotRoot returns the //swift:hotpath root fn is reachable from (fn
+// itself if directly annotated), or nil if fn is off the hot path. The
+// reachable set is the closure of the static call graph over the
+// annotated roots, computed once per Module.
+func (m *Module) HotRoot(fn *types.Func) *types.Func {
+	if m.hot == nil {
+		m.hot = make(map[*types.Func]*types.Func)
+		var frontier []*types.Func
+		for f, fd := range m.Decls {
+			if hasDirective(fd.Doc, DirHotpath) {
+				m.hot[f] = f
+				frontier = append(frontier, f)
+			}
+		}
+		for len(frontier) > 0 {
+			f := frontier[0]
+			frontier = frontier[1:]
+			root := m.hot[f]
+			for _, callee := range m.Calls[f] {
+				if _, ok := m.Decls[callee]; !ok {
+					continue // foreign function: no body to hold to the invariant
+				}
+				if _, ok := m.hot[callee]; !ok {
+					m.hot[callee] = root
+					frontier = append(frontier, callee)
+				}
+			}
+		}
+	}
+	return m.hot[fn]
+}
+
+// Blocking reports whether fn performs blocking I/O, directly (it lives
+// in or calls into a blocking package — transport, store, disk, ... as
+// defined by lockio's blockingPkgBases, plus medrpc) or transitively
+// through module-internal static calls.
+func (m *Module) Blocking(fn *types.Func) bool {
+	if m.blocking == nil {
+		m.blocking = make(map[*types.Func]bool)
+		// Seed: everything declared in a blocking package blocks (except
+		// the pure helpers lockio already exempts).
+		for f := range m.Decls {
+			if directBlocking(f) {
+				m.blocking[f] = true
+			}
+		}
+		// Propagate to callers until the set stops growing. The graph is
+		// small (one module); a simple fixpoint loop is fine.
+		for changed := true; changed; {
+			changed = false
+			for caller, callees := range m.Calls {
+				if m.blocking[caller] {
+					continue
+				}
+				for _, callee := range callees {
+					if m.blocking[callee] || directBlocking(callee) {
+						m.blocking[caller] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return m.blocking[fn] || directBlocking(fn)
+}
+
+// directBlocking reports whether fn itself belongs to a blocking
+// package (the same set lockio guards, plus the mediator RPC stub).
+func directBlocking(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	base := pkgBase(pkg.Path())
+	if !blockingPkgBases[base] && base != "medrpc" {
+		return false
+	}
+	return !pureHelper(fn.Name())
+}

@@ -1,0 +1,349 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeadlineFlow is a taint-style pass over PR 8's deadline plumbing: a
+// function that receives a deadline budget (a time.Time/time.Duration
+// parameter named like one: deadline, budget, expiry, giveUp, dl) or an
+// obs.SpanContext must not silently drop it on a blocking path. The
+// deadline parameters seed a taint set that grows through assignments
+// (rem := time.Until(giveUp); req.Deadline = rem taints req; buf :=
+// wire.Marshal(req) taints buf). A blocking call is then flagged when
+// nothing tainted reaches it:
+//
+//   - a transport read/write is covered by a tainted argument (the
+//     marshaled packet carries the budget) or by any
+//     SetDeadline/SetReadDeadline/SetWriteDeadline call on tainted time
+//     anywhere in the function;
+//   - a call to a module function that itself performs blocking I/O and
+//     accepts a deadline (a deadline-named parameter, an obs.SpanContext,
+//     or a wire.Packet) is covered only by a tainted argument;
+//   - using the deadline to bound a branch or a retry loop (the tainted
+//     value appears in an if/for/select condition) counts as local
+//     enforcement and covers the function.
+//
+// Functions inside the blocking packages themselves (transport, store,
+// disk, ..., medrpc) are exempt: they are the machinery the deadline is
+// threaded through, and their internal retransmit timers are not the
+// caller's budget. This is the checker for the retry/hedge/repair paths
+// that PR 8 threaded deadlines through by hand.
+var DeadlineFlow = &Analyzer{
+	Name: "deadlineflow",
+	Doc:  "functions receiving a deadline/SpanContext must propagate it into their blocking calls",
+	Run:  runDeadlineFlow,
+}
+
+func runDeadlineFlow(pass *Pass) {
+	base := pass.Pkg.Base()
+	if blockingPkgBases[base] || base == "medrpc" {
+		return
+	}
+	if pass.Mod == nil {
+		pass.Mod = BuildModule([]*Package{pass.Pkg})
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDeadlineFunc(pass, fd)
+		}
+	}
+}
+
+func checkDeadlineFunc(pass *Pass, fd *ast.FuncDecl) {
+	seeds := deadlineParams(pass, fd)
+	if len(seeds) == 0 {
+		return
+	}
+	taint := make(map[types.Object]bool, len(seeds))
+	var names []string
+	for obj, name := range seeds {
+		taint[obj] = true
+		names = append(names, name)
+	}
+	propagateTaint(pass, fd.Body, taint)
+	if locallyEnforced(pass, fd.Body, taint) {
+		return
+	}
+	carried := strings.Join(names, ", ")
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.Callee(call)
+		if fn == nil || !flaggableBlocking(pass, fn) {
+			return true
+		}
+		for _, a := range call.Args {
+			if mentionsTaint(pass, a, taint) {
+				return true
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if mentionsTaint(pass, sel.X, taint) {
+				return true // the receiver itself carries the budget
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"deadlineflow: %s receives %s but this blocking call to %s.%s does not carry it; thread the budget (or //lint:allow deadlineflow <reason>)",
+			fd.Name.Name, carried, pkgBase(fn.Pkg().Path()), fn.Name())
+		return true
+	})
+}
+
+// deadlineParams collects the function's deadline-carrying parameters:
+// obs.SpanContext values of any name, and time.Time/time.Duration
+// parameters whose name marks them a budget.
+func deadlineParams(pass *Pass, fd *ast.FuncDecl) map[types.Object]string {
+	out := make(map[types.Object]string)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			t := obj.Type()
+			switch {
+			case isSpanContext(t):
+				out[obj] = "a SpanContext (" + name.Name + ")"
+			case isTimeKind(t) && deadlineName(name.Name):
+				out[obj] = "a deadline (" + name.Name + ")"
+			}
+		}
+	}
+	return out
+}
+
+func deadlineName(name string) bool {
+	l := strings.ToLower(name)
+	if l == "dl" {
+		return true
+	}
+	for _, marker := range []string{"deadline", "budget", "giveup", "expiry"} {
+		if strings.Contains(l, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTimeKind reports whether t is time.Time or time.Duration.
+func isTimeKind(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "time" &&
+		(named.Obj().Name() == "Time" || named.Obj().Name() == "Duration")
+}
+
+// isSpanContext reports whether t is an obs.SpanContext (by package
+// basename, so fixture trees model it the way lockio fixtures model
+// transport).
+func isSpanContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "SpanContext" && pkgBase(named.Obj().Pkg().Path()) == "obs"
+}
+
+// isPacketType reports whether t is a wire.Packet (or pointer to one).
+func isPacketType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Packet" && pkgBase(named.Obj().Pkg().Path()) == "wire"
+}
+
+// propagateTaint grows the taint set through assignments until it stops
+// changing: any value computed from a tainted one is tainted, and a
+// store into a field of x (req.Deadline = rem) taints x itself.
+func propagateTaint(pass *Pass, body *ast.BlockStmt, taint map[types.Object]bool) {
+	for i := 0; i < 10; i++ {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				rhsTainted := false
+				for _, r := range x.Rhs {
+					if mentionsTaint(pass, r, taint) {
+						rhsTainted = true
+						break
+					}
+				}
+				if !rhsTainted {
+					return true
+				}
+				for _, l := range x.Lhs {
+					if obj := baseObject(pass, l); obj != nil && !taint[obj] {
+						taint[obj] = true
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for _, r := range x.Values {
+					if mentionsTaint(pass, r, taint) {
+						for _, name := range x.Names {
+							if obj := pass.Pkg.Info.Defs[name]; obj != nil && !taint[obj] {
+								taint[obj] = true
+								changed = true
+							}
+						}
+						break
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// baseObject resolves the variable an assignment target is rooted at.
+func baseObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pass.Pkg.Info.Defs[x]; obj != nil {
+				return obj
+			}
+			return pass.Pkg.Info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsTaint reports whether any identifier in e resolves to a
+// tainted object.
+func mentionsTaint(pass *Pass, e ast.Expr, taint map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Pkg.Info.Uses[id]; obj != nil && taint[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// locallyEnforced reports whether the function already applies the
+// budget itself: a Set*Deadline call on tainted time, or a tainted value
+// bounding an if/for/select.
+func locallyEnforced(pass *Pass, body *ast.BlockStmt, taint map[types.Object]bool) bool {
+	enforced := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if enforced {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok &&
+				strings.HasPrefix(sel.Sel.Name, "Set") && strings.Contains(sel.Sel.Name, "Deadline") {
+				for _, a := range x.Args {
+					if mentionsTaint(pass, a, taint) {
+						enforced = true
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if x.Cond != nil && mentionsTaint(pass, x.Cond, taint) {
+				enforced = true
+			}
+		case *ast.ForStmt:
+			if x.Cond != nil && mentionsTaint(pass, x.Cond, taint) {
+				enforced = true
+			}
+		case *ast.CommClause:
+			for _, e := range commExprs(x) {
+				if mentionsTaint(pass, e, taint) {
+					enforced = true
+				}
+			}
+		case *ast.SwitchStmt:
+			if x.Tag != nil && mentionsTaint(pass, x.Tag, taint) {
+				enforced = true
+			}
+		}
+		return true
+	})
+	return enforced
+}
+
+// commExprs extracts the communicated expressions of a select case.
+func commExprs(c *ast.CommClause) []ast.Expr {
+	switch s := c.Comm.(type) {
+	case *ast.ExprStmt:
+		return []ast.Expr{s.X}
+	case *ast.AssignStmt:
+		return s.Rhs
+	case *ast.SendStmt:
+		return []ast.Expr{s.Chan, s.Value}
+	}
+	return nil
+}
+
+// flaggableBlocking reports whether a call to fn is one the deadline
+// could and should flow into: a transport-layer read/write, or a
+// module-internal blocking function that accepts a deadline, span, or
+// packet.
+func flaggableBlocking(pass *Pass, fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	base := pkgBase(pkg.Path())
+	if base == "transport" || base == "memnet" || base == "udpnet" {
+		return !pureHelper(fn.Name()) &&
+			(strings.Contains(fn.Name(), "Read") || strings.Contains(fn.Name(), "Write"))
+	}
+	if _, inModule := pass.Mod.Decls[fn]; !inModule {
+		return false
+	}
+	if !pass.Mod.Blocking(fn) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		if isSpanContext(p.Type()) || isPacketType(p.Type()) ||
+			(isTimeKind(p.Type()) && deadlineName(p.Name())) {
+			return true
+		}
+	}
+	return false
+}

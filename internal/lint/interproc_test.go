@@ -1,0 +1,175 @@
+package lint_test
+
+import (
+	"testing"
+
+	"swift/internal/lint"
+)
+
+// TestUnusedAllowReported: an allow naming a real analyzer that no
+// longer fires on that line is itself a finding — stale suppressions
+// cannot linger after the code they excused is gone.
+func TestUnusedAllowReported(t *testing.T) {
+	dir := writeFixtureModule(t, map[string]string{
+		"sim/s.go": `package sim
+
+// Fine no longer allocates, but kept its allow.
+func Fine() int {
+	//lint:allow hotalloc leftover from a deleted make call
+	return 7
+}
+`,
+	})
+	pkgs := mustLoad(t, dir)
+	diags := lint.Run(pkgs, lint.All())
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	assertHas(t, diags, "lint", "unused //lint:allow hotalloc")
+}
+
+// TestUnusedAllowNotReportedOnPartialRun: when only a subset of
+// analyzers runs (swiftvet -run), allows for the analyzers that did not
+// run must not be called unused.
+func TestUnusedAllowNotReportedOnPartialRun(t *testing.T) {
+	dir := writeFixtureModule(t, map[string]string{
+		"sim/s.go": `package sim
+
+// Fine is covered by an analyzer outside this run set.
+func Fine() int {
+	//lint:allow hotalloc leftover from a deleted make call
+	return 7
+}
+`,
+	})
+	pkgs := mustLoad(t, dir)
+	diags := lint.Run(pkgs, lint.ByName("clockcheck"))
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics on a partial run, got %v", diags)
+	}
+}
+
+// TestUnknownDirective: a //swift: directive outside the known set is a
+// finding, so typos cannot silently skip enforcement.
+func TestUnknownDirective(t *testing.T) {
+	dir := writeFixtureModule(t, map[string]string{
+		"sim/s.go": `package sim
+
+//swift:hotpth
+func Fine() {}
+`,
+	})
+	pkgs := mustLoad(t, dir)
+	diags := lint.Run(pkgs, lint.ByName("hotalloc"))
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	assertHas(t, diags, "hotalloc", "unknown directive //swift:hotpth")
+}
+
+// TestHotpathDirectiveWithArgument: //swift:hotpath takes no argument.
+func TestHotpathDirectiveWithArgument(t *testing.T) {
+	dir := writeFixtureModule(t, map[string]string{
+		"sim/s.go": `package sim
+
+//swift:hotpath encode
+func Fine() {}
+`,
+	})
+	pkgs := mustLoad(t, dir)
+	diags := lint.Run(pkgs, lint.ByName("hotalloc"))
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	assertHas(t, diags, "hotalloc", "takes no argument")
+}
+
+// TestMisplacedDirective: swift: directives bind only on function doc
+// comments; anywhere else they silently do nothing, which must be loud.
+func TestMisplacedDirective(t *testing.T) {
+	dir := writeFixtureModule(t, map[string]string{
+		"sim/s.go": `package sim
+
+// T is a type, not a function.
+//swift:hotpath
+type T struct{}
+
+func Fine() {
+	//swift:pool acquire
+	_ = T{}
+}
+`,
+	})
+	pkgs := mustLoad(t, dir)
+	diags := lint.Run(pkgs, lint.ByName("hotalloc"))
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics, got %d: %v", len(diags), diags)
+	}
+	assertHas(t, diags, "hotalloc", "misplaced //swift:hotpath")
+	assertHas(t, diags, "hotalloc", "misplaced //swift:pool")
+}
+
+// TestPoolDirectiveBadRole: //swift:pool accepts exactly acquire or
+// release.
+func TestPoolDirectiveBadRole(t *testing.T) {
+	dir := writeFixtureModule(t, map[string]string{
+		"sim/s.go": `package sim
+
+//swift:pool recycle
+func Get() *int { return new(int) }
+`,
+	})
+	pkgs := mustLoad(t, dir)
+	diags := lint.Run(pkgs, lint.ByName("bufsafe"))
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	assertHas(t, diags, "bufsafe", `//swift:pool wants "acquire" or "release" (got "recycle")`)
+}
+
+// TestDanglingGuard: a guard comment naming a non-field is malformed.
+func TestDanglingGuard(t *testing.T) {
+	dir := writeFixtureModule(t, map[string]string{
+		"sim/s.go": `package sim
+
+// S has a dangling guard annotation.
+type S struct {
+	n int // guarded by missing
+}
+`,
+	})
+	pkgs := mustLoad(t, dir)
+	diags := lint.Run(pkgs, lint.ByName("lockguard"))
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	assertHas(t, diags, "lockguard", "names no sibling field")
+}
+
+// TestHotpathCrossPackageAttribution: a diagnostic in a function dragged
+// hot from another package names the root that reached it.
+func TestHotpathCrossPackageAttribution(t *testing.T) {
+	dir := writeFixtureModule(t, map[string]string{
+		"enc/e.go": `package enc
+
+// Grow allocates; it is only hot because core.Send reaches it.
+func Grow(n int) []byte {
+	return make([]byte, n)
+}
+`,
+		"core/c.go": `package core
+
+import "fixture/enc"
+
+// Send is the hot root.
+//swift:hotpath
+func Send() []byte { return enc.Grow(9) }
+`,
+	})
+	pkgs := mustLoad(t, dir)
+	diags := lint.Run(pkgs, lint.ByName("hotalloc"))
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	assertHas(t, diags, "hotalloc", "reached from //swift:hotpath root core.Send")
+}

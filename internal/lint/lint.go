@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, positioned in module-relative coordinates.
@@ -30,10 +31,14 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Pass carries one analyzer over one package.
+// Pass carries one analyzer over one package. Mod is the whole-module
+// view (call graph + summaries) shared by every pass of one Run; the
+// interprocedural analyzers consult it but still report only findings
+// positioned inside Pkg, so //lint:allow matching stays per-package.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Mod      *Module
 	report   func(Diagnostic)
 }
 
@@ -99,14 +104,12 @@ func collectAllows(p *Package) map[string][]allow {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, allowPrefix) {
+				name, reason, ok := ParseAllow(c.Text)
+				if !ok {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
-				name, reason, _ := strings.Cut(rest, " ")
 				pos := p.Fset.Position(c.Pos())
-				a := allow{analyzer: name, reason: strings.TrimSpace(reason), pos: pos}
+				a := allow{analyzer: name, reason: reason, pos: pos}
 				key := allowKey(p, pos.Filename, pos.Line)
 				out[key] = append(out[key], a)
 			}
@@ -126,23 +129,39 @@ func allowKey(p *Package, file string, line int) string {
 // diagnostics sorted by position. Findings carrying a justified
 // //lint:allow comment on their line (or the line above) are suppressed;
 // malformed allow comments — no justification, or naming an unknown
-// analyzer — are themselves reported.
+// analyzer — are themselves reported, as are allows whose analyzer ran
+// but no longer fires there (a stale allow is a disabled check).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers)
+	return diags
+}
+
+// RunTimed is Run, additionally reporting each analyzer's cumulative
+// wall time across all packages (keyed by analyzer name; the "lint" key
+// covers allow-comment auditing).
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, map[string]time.Duration) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	timings := make(map[string]time.Duration, len(analyzers)+1)
+	mod := BuildModule(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		if pkg == nil || pkg.Types == nil {
 			continue
 		}
+		auditStart := time.Now()
 		allows := collectAllows(pkg)
+		timings["lint"] += time.Since(auditStart)
 		var raw []Diagnostic
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) { raw = append(raw, d) }}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Mod: mod, report: func(d Diagnostic) { raw = append(raw, d) }}
+			start := time.Now()
 			a.Run(pass)
+			timings[a.Name] += time.Since(start)
 		}
+		auditStart = time.Now()
 		used := make(map[*allow]bool)
 		for _, d := range raw {
 			if a := matchAllow(allows, d, used); a != nil {
@@ -150,10 +169,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			diags = append(diags, d)
 		}
-		// Report malformed allow comments once per package, whether or
-		// not they shadowed a finding: a bare allow silently rotting in
-		// the tree is exactly the kind of unchecked exception this suite
-		// exists to prevent.
+		// Audit the allow comments themselves, whether or not they
+		// shadowed a finding: a malformed, mistyped, or stale allow
+		// silently rotting in the tree is exactly the kind of unchecked
+		// exception this suite exists to prevent. Unused allows are only
+		// judged for analyzers in the current run set — under -run a
+		// subset, other analyzers' allows are out of scope.
 		for key, list := range allows {
 			for i := range list {
 				a := &list[i]
@@ -165,12 +186,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 					d.Message = fmt.Sprintf("malformed %s comment: want //lint:allow <analyzer> <justification>", allowPrefix)
 				case !known[a.analyzer] && len(analyzers) == len(All()):
 					d.Message = fmt.Sprintf("//lint:allow names unknown analyzer %q", a.analyzer)
+				case known[a.analyzer] && !used[a]:
+					d.Message = fmt.Sprintf("unused //lint:allow %s: the analyzer no longer fires here; delete the comment", a.analyzer)
 				default:
 					continue
 				}
 				diags = append(diags, d)
 			}
 		}
+		timings["lint"] += time.Since(auditStart)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -185,7 +209,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return diags, timings
 }
 
 func splitKey(key string) (string, int) {

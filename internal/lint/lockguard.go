@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockGuard enforces "guarded by <mu>" struct-field annotations: every
+// access to an annotated field must happen with the named sibling mutex
+// held. The annotation is a trailing (or doc) comment on the field:
+//
+//	type Mediator struct {
+//		mu       sync.Mutex
+//		sessions map[uint64]*session // guarded by mu
+//	}
+//
+// Enforcement reuses lockio's lock-state threading: within each function
+// the walker tracks Lock/RLock acquisitions (honoring defer Unlock) and,
+// at each selector access x.field of an annotated field, requires x.mu in
+// the held set. Two conventions are honored without a held lock:
+//
+//   - methods whose name ends in "Locked" are, by this repository's
+//     convention, only called with the receiver's mutex already held;
+//   - accesses rooted at a variable declared locally in the function
+//     body (not a parameter) are exempt: a value that has not escaped
+//     its constructor is not yet shared, so its invariants are not yet
+//     live.
+//
+// A "guarded by" comment naming no sibling field, a non-mutex field, or
+// a dotted path is malformed and is itself a finding: a dangling
+// annotation is a lock-discipline check that silently stopped checking.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated `guarded by <mu>` must only be accessed with <mu> held",
+	Run:  runLockGuard,
+}
+
+// Guards returns the module-wide guarded-field table: field object ->
+// sibling mutex field name. Built lazily, once per Module.
+func (m *Module) Guards() map[types.Object]string {
+	if m.guards == nil {
+		m.guards = make(map[types.Object]string)
+		m.guardMus = make(map[*types.TypeName]map[string]bool)
+		for _, p := range m.pkgs {
+			collectGuards(p, func(field types.Object, owner *types.TypeName, mu string) {
+				m.guards[field] = mu
+				if m.guardMus[owner] == nil {
+					m.guardMus[owner] = make(map[string]bool)
+				}
+				m.guardMus[owner][mu] = true
+			}, nil)
+		}
+	}
+	return m.guards
+}
+
+// collectGuards parses the guarded-by annotations declared in one
+// package. Well-formed annotations go to found; malformed ones (dangling
+// or non-mutex names) go to bad when it is non-nil.
+func collectGuards(p *Package, found func(field types.Object, owner *types.TypeName, mu string), bad func(pos token.Pos, format string, args ...any)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				owner, _ := p.Info.Defs[ts.Name].(*types.TypeName)
+				for _, field := range st.Fields.List {
+					mu, pos, ok := guardOf(field)
+					if !ok {
+						continue
+					}
+					if strings.Contains(mu, ".") {
+						if bad != nil {
+							bad(pos, "lockguard: `guarded by %s`: dotted paths are not supported; name a sibling field", mu)
+						}
+						continue
+					}
+					if why := muProblem(st, p, mu); why != "" {
+						if bad != nil {
+							bad(pos, "lockguard: `guarded by %s`: %s", mu, why)
+						}
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := p.Info.Defs[name]; obj != nil && found != nil && owner != nil {
+							found(obj, owner, mu)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// guardOf extracts a guarded-by annotation from a field's trailing or
+// doc comment.
+func guardOf(field *ast.Field) (mu string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m, found := ParseGuard(c.Text); found {
+				return m, c.Pos(), true
+			}
+			// A marker with no parsable name is malformed, not absent.
+			if strings.Contains(c.Text, strings.TrimSpace(guardMarker)) {
+				return "", c.Pos(), true
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// muProblem validates that mu names a sibling field of mutex type,
+// returning a description of the problem or "".
+func muProblem(st *ast.StructType, p *Package, mu string) string {
+	if mu == "" {
+		return "missing mutex name; want `guarded by <mu>`"
+	}
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			// Embedded mutex: referred to by its type name.
+			if t := p.TypeOfExpr(field.Type); t != nil && isMutexType(t) {
+				name := t
+				if ptr, ok := name.(*types.Pointer); ok {
+					name = ptr.Elem()
+				}
+				if named, ok := name.(*types.Named); ok && named.Obj().Name() == mu {
+					return ""
+				}
+			}
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != mu {
+				continue
+			}
+			if t := p.TypeOfExpr(field.Type); t != nil && !isMutexType(t) {
+				return "names field of type " + t.String() + ", not a sync.Mutex/RWMutex"
+			}
+			return ""
+		}
+	}
+	return "names no sibling field in this struct"
+}
+
+// TypeOfExpr returns the checked type of e, or nil.
+func (p *Package) TypeOfExpr(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+func runLockGuard(pass *Pass) {
+	if pass.Mod == nil {
+		pass.Mod = BuildModule([]*Package{pass.Pkg})
+	}
+	// Report malformed annotations declared here.
+	collectGuards(pass.Pkg, nil, func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, format, args...)
+	})
+	guards := pass.Mod.Guards()
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := lockState{}
+			// The *Locked convention: the receiver's guarding mutexes are
+			// held by contract.
+			if strings.HasSuffix(fd.Name.Name, "Locked") && fd.Recv != nil && len(fd.Recv.List) > 0 {
+				if names := fd.Recv.List[0].Names; len(names) > 0 {
+					recv := names[0].Name
+					if owner := recvNamed(pass, fd); owner != nil {
+						for mu := range pass.Mod.guardMus[owner] {
+							held[recv+"."+mu] = fd.Pos()
+						}
+					}
+				}
+			}
+			lw := &lockWalker{pass: pass, check: guardCheck(pass, guards, fd)}
+			lw.stmts(fd.Body.List, held)
+		}
+	}
+	// Function literals run as their own scopes with no locks assumed.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lw := &lockWalker{pass: pass, check: guardCheck(pass, guards, nil)}
+				lw.stmts(lit.Body.List, lockState{})
+			}
+			return true
+		})
+	}
+}
+
+// recvNamed resolves the type name of a method's receiver.
+func recvNamed(pass *Pass, fd *ast.FuncDecl) *types.TypeName {
+	fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// guardCheck is lockguard's per-expression check: every selector access
+// to an annotated field needs its mutex in the held set.
+func guardCheck(pass *Pass, guards map[types.Object]string, fd *ast.FuncDecl) func(ast.Expr, lockState) {
+	return func(e ast.Expr, held lockState) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[sel.Sel]
+			mu, guarded := guards[obj]
+			if !guarded {
+				return true
+			}
+			if localReceiver(pass, sel.X, fd) {
+				return true // not yet shared: still inside its constructor
+			}
+			want := exprString(sel.X) + "." + mu
+			if _, ok := held[want]; ok {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"lockguard: %s.%s is guarded by %s, which is not held here; lock it, rename the method *Locked, or //lint:allow lockguard <reason>",
+				exprString(sel.X), sel.Sel.Name, want)
+			return true
+		})
+	}
+}
+
+// localReceiver reports whether the access path is rooted at a variable
+// declared inside the current function body — a value still under
+// construction, not yet shared, whose lock invariants are not yet live.
+func localReceiver(pass *Pass, e ast.Expr, fd *ast.FuncDecl) bool {
+	if fd == nil || fd.Body == nil {
+		return false
+	}
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, ok := pass.Pkg.Info.Uses[x].(*types.Var)
+			if !ok || v.IsField() {
+				return false
+			}
+			return v.Pos() > fd.Body.Pos() && v.Pos() < fd.Body.End()
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return false
+		default:
+			return false
+		}
+	}
+}

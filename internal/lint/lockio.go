@@ -64,14 +64,41 @@ func runLockIO(pass *Pass) {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					lw := &lockWalker{pass: pass}
+					lw := &lockWalker{pass: pass, check: blockingCheck(pass)}
 					lw.stmts(fn.Body.List, lockState{})
 				}
 			case *ast.FuncLit:
 				// Each literal is its own synchronous scope; the outer
 				// walk does not descend into it (see lockWalker.expr).
-				lw := &lockWalker{pass: pass}
+				lw := &lockWalker{pass: pass, check: blockingCheck(pass)}
 				lw.stmts(fn.Body.List, lockState{})
+			}
+			return true
+		})
+	}
+}
+
+// blockingCheck is lockio's per-expression check: no blocking call while
+// any lock is held.
+func blockingCheck(pass *Pass) func(ast.Expr, lockState) {
+	return func(e ast.Expr, held lockState) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			if fn := pass.Callee(call); fn != nil && blockingFunc(fn) {
+				for name, pos := range held {
+					pass.Reportf(call.Pos(),
+						"lockio: %s (locked at %s) held across blocking call %s.%s; release the lock before I/O",
+						name, pass.Pkg.Fset.Position(pos), pkgBase(fn.Pkg().Path()), fn.Name())
+				}
 			}
 			return true
 		})
@@ -89,8 +116,13 @@ func (s lockState) clone() lockState {
 	return c
 }
 
+// lockWalker threads held-lock state through a function body in source
+// order. The check hook is invoked on every scanned expression with the
+// locks held at that point; lockio plugs in its blocking-call check and
+// lockguard its annotated-field-access check.
 type lockWalker struct {
-	pass *Pass
+	pass  *Pass
+	check func(ast.Expr, lockState)
 }
 
 // stmts walks a statement list in source order, threading lock state.
@@ -221,33 +253,14 @@ func (w *lockWalker) stmt(st ast.Stmt, held lockState) {
 	}
 }
 
-// expr scans an expression for blocking calls while locks are held. It
-// does not descend into function literals (their bodies do not execute
-// here).
+// expr hands an expression to the walker's check under the current lock
+// set. Checks must not descend into function literals (their bodies do
+// not execute here; each literal is walked as its own scope).
 func (w *lockWalker) expr(e ast.Expr, held lockState) {
 	if e == nil {
 		return
 	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if len(held) == 0 {
-			return true
-		}
-		if fn := w.pass.Callee(call); fn != nil && blockingFunc(fn) {
-			for name, pos := range held {
-				w.pass.Reportf(call.Pos(),
-					"lockio: %s (locked at %s) held across blocking call %s.%s; release the lock before I/O",
-					name, w.pass.Pkg.Fset.Position(pos), pkgBase(fn.Pkg().Path()), fn.Name())
-			}
-		}
-		return true
-	})
+	w.check(e, held)
 }
 
 type lockOp int

@@ -1,0 +1,77 @@
+// Package app exercises the pooled-buffer lifecycle contract: the
+// seeded violations cover leak, conditional leak, double release,
+// use-after-release, retention past release, and unpaired branches.
+package app
+
+import (
+	"errors"
+
+	"fixture/pool"
+)
+
+var errShort = errors.New("short write")
+
+// Send is the clean shape: acquire, fill, release.
+func Send(p []byte) {
+	b := pool.Get()
+	b.B = append(b.B, p...)
+	pool.Put(b)
+}
+
+// SendDefer pairs the acquire with a deferred release: clean, and later
+// uses of b are fine because the release happens at exit.
+func SendDefer(p []byte) int {
+	b := pool.Get()
+	defer pool.Put(b)
+	b.B = append(b.B, p...)
+	return len(b.B)
+}
+
+// Leak falls off the end of the function holding the buffer.
+func Leak(p []byte) {
+	b := pool.Get()
+	b.B = append(b.B, p...)
+} // want `pooled buffer b \(acquired at .*\) is never released`
+
+// LeakEarly forgets the release on the error path only.
+func LeakEarly(p []byte, bad bool) error {
+	b := pool.Get()
+	if bad {
+		return errShort // want `not released on this return path`
+	}
+	pool.Put(b)
+	return nil
+}
+
+// Double releases the same buffer twice.
+func Double() {
+	b := pool.Get()
+	pool.Put(b)
+	pool.Put(b) // want `double release of b`
+}
+
+// UseAfter touches the buffer after giving it back.
+func UseAfter() int {
+	b := pool.Get()
+	pool.Put(b)
+	return len(b.B) // want `use of b after release`
+}
+
+// Retain keeps a subslice alive past the release: once the pool
+// rewrites the backing array, head is garbage.
+func Retain(p []byte) byte {
+	b := pool.Get()
+	b.B = append(b.B, p...)
+	head := b.B[:1]
+	pool.Put(b)
+	return head[0] // want `use of head after release`
+}
+
+// Branchy releases on one arm and holds on the other.
+func Branchy(flush bool) {
+	b := pool.Get()
+	if flush {
+		pool.Put(b)
+	} // want `released on only some paths through this if`
+	_ = b
+}

@@ -1,0 +1,54 @@
+package app
+
+import "fixture/pool"
+
+// The no-false-positive shapes: every ownership transfer the analyzer
+// must recognize without complaint.
+
+// Wrap hands the buffer to its caller: a transfer, not a leak.
+func Wrap() *pool.Buf {
+	b := pool.Get()
+	return b
+}
+
+type holder struct{ b *pool.Buf }
+
+// Stash transfers ownership into a field.
+func (h *holder) Stash() {
+	b := pool.Get()
+	h.b = b
+}
+
+// Flush releases a buffer it never acquired: untracked, no findings —
+// pairing is judged where the acquire happened.
+func (h *holder) Flush() {
+	pool.Put(h.b)
+	h.b = nil
+}
+
+// BothArms releases on every path: the merge must not complain.
+func BothArms(flush bool) {
+	b := pool.Get()
+	if flush {
+		pool.Put(b)
+	} else {
+		pool.Put(b)
+	}
+}
+
+// EarlyOut releases before each return.
+func EarlyOut(bad bool) error {
+	b := pool.Get()
+	if bad {
+		pool.Put(b)
+		return errShort
+	}
+	pool.Put(b)
+	return nil
+}
+
+// Handoff sends the buffer to a consumer goroutine, which owns it now.
+func Handoff(ch chan *pool.Buf) {
+	b := pool.Get()
+	ch <- b
+}

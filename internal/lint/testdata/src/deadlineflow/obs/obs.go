@@ -1,0 +1,8 @@
+// Package obs is a stub trace layer for the deadlineflow fixture.
+package obs
+
+// SpanContext identifies a span.
+type SpanContext struct {
+	Trace uint64
+	Span  uint64
+}

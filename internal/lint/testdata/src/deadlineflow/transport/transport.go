@@ -1,0 +1,17 @@
+// Package transport is a stub conn layer whose basename marks its calls
+// as blocking I/O for the deadlineflow fixture.
+package transport
+
+import "time"
+
+// Conn models an endpoint.
+type Conn struct{}
+
+// ReadFrom models a blocking read.
+func (c *Conn) ReadFrom(p []byte) (int, error) { return 0, nil }
+
+// WriteTo models a blocking send.
+func (c *Conn) WriteTo(p []byte, addr string) error { return nil }
+
+// SetReadDeadline arms the read timer.
+func (c *Conn) SetReadDeadline(t time.Time) error { return nil }

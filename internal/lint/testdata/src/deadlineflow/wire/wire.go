@@ -1,0 +1,16 @@
+// Package wire is a stub codec carrying the budget and trace
+// extensions for the deadlineflow fixture.
+package wire
+
+import "fixture/obs"
+
+// Packet is a stub packet.
+type Packet struct {
+	Type     uint8
+	Deadline int64
+	Trace    obs.SpanContext
+	Payload  []byte
+}
+
+// Marshal encodes p.
+func Marshal(p *Packet) []byte { return p.Payload }

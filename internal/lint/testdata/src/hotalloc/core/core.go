@@ -1,0 +1,39 @@
+// Package core drives the fixture codec: its hot functions reach wire
+// across the package boundary.
+package core
+
+import "fixture/wire"
+
+// session owns a reusable send buffer.
+type session struct {
+	sendBuf []byte
+	hdr     wire.Header
+}
+
+// send is hot and clean: appending into receiver-owned storage is the
+// amortized-zero shape, and &s.hdr is not a composite literal.
+//
+//swift:hotpath
+func (s *session) send(payload []byte) []byte {
+	s.sendBuf = wire.AppendPacket(s.sendBuf[:0], &s.hdr, payload)
+	return s.sendBuf
+}
+
+// flush retransmits by re-marshaling: reaching wire.Marshal drags that
+// function's allocation into the hot set (see wire/wire.go).
+//
+//swift:hotpath
+func (s *session) flush(payload []byte) []byte {
+	return wire.Marshal(&s.hdr, payload)
+}
+
+// reset is hot, but its one-time growth is justified and allowed.
+//
+//swift:hotpath
+func (s *session) reset() {
+	if s.sendBuf == nil {
+		//lint:allow hotalloc init-time growth on the first call only
+		s.sendBuf = make([]byte, 0, 64)
+	}
+	s.sendBuf = s.sendBuf[:0]
+}

@@ -1,0 +1,37 @@
+// Package obs models the metrics layer: boxing, closure, and goroutine
+// seeds.
+package obs
+
+// Sink accepts samples through an interface boundary. Calls through it
+// are opaque to the call graph: implementations stay cold.
+type Sink interface {
+	Push(v any)
+}
+
+// Counter is a fixture counter.
+type Counter struct {
+	n int64
+}
+
+// Inc is hot and clean: plain arithmetic on the receiver.
+//
+//swift:hotpath
+func (c *Counter) Inc() { c.n++ }
+
+// Observe is hot with one seed per boxing/closure class.
+//
+//swift:hotpath
+func Observe(s Sink, v int64) {
+	s.Push(v)                  // want `argument boxes int64 into any`
+	labels := []string{"read"} // want `slice literal allocates`
+	c := &Counter{}            // want `&composite literal escapes`
+	go sweep(v)                // want `go statement allocates`
+	fn := func() { c.n = v }   // want `closure captures enclosing variables`
+	name := "op:" + labels[0]  // want `string concatenation allocates`
+	fn()
+	_ = name
+}
+
+// sweep is reached from Observe (via the go statement's call edge) and
+// is itself clean.
+func sweep(v int64) { _ = v }

@@ -1,0 +1,61 @@
+// Package wire is the fixture packet codec for the hotalloc tree.
+package wire
+
+import "fmt"
+
+// Header is a fixture packet header.
+type Header struct {
+	Type uint8
+	Len  uint32
+}
+
+// AppendPacket appends the encoded packet to dst — the approved
+// caller-provided-buffer idiom. Clean: appends rooted at a parameter
+// never flag.
+//
+//swift:hotpath
+func AppendPacket(dst []byte, h *Header, payload []byte) []byte {
+	dst = append(dst, h.Type)
+	dst = append(dst, byte(h.Len>>24), byte(h.Len>>16), byte(h.Len>>8), byte(h.Len))
+	dst = append(dst, payload...)
+	return trailer(dst)
+}
+
+// trailer is not annotated itself: it inherits the obligation by being
+// statically reachable from AppendPacket.
+func trailer(dst []byte) []byte {
+	var sum []byte
+	sum = append(sum, byte(len(dst))) // want `append to a function-local slice`
+	return append(dst, sum...)
+}
+
+// Marshal allocates a fresh packet per call. It is dragged into the hot
+// set across the package boundary by core.session.flush.
+func Marshal(h *Header, payload []byte) []byte {
+	buf := make([]byte, 0, 5+len(payload)) // want `make allocates`
+	return AppendPacket(buf, h, payload)
+}
+
+// Decode parses b: hot root with seeded conversion, make, and fmt
+// violations. The error branch is cold but unexcused, so it flags.
+//
+//swift:hotpath
+func Decode(b []byte) (Header, string, error) {
+	var h Header
+	if len(b) < 5 {
+		return h, "", fmt.Errorf("wire: short packet: %d bytes", len(b)) // want `fmt.Errorf allocates`
+	}
+	h.Type = b[0]
+	name := string(b[5:])      // want `string\(bytes\) conversion copies`
+	scratch := make([]byte, 4) // want `make allocates`
+	copy(scratch, b[1:5])
+	return h, name, nil
+}
+
+// Cold is neither annotated nor reachable from a root: its allocations
+// are nobody's business.
+func Cold(n int) []byte {
+	buf := make([]byte, n)
+	_ = fmt.Sprintf("cold %d", n)
+	return buf
+}

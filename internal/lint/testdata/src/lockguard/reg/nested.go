@@ -1,0 +1,41 @@
+package reg
+
+import "sync"
+
+// Server owns a table: accesses through a path must hold the mutex on
+// that same path.
+type Server struct {
+	tab *Table
+}
+
+// Flush locks the nested mutex on the matching path: clean.
+func (s *Server) Flush() {
+	s.tab.mu.Lock()
+	s.tab.sessions = nil
+	s.tab.mu.Unlock()
+}
+
+// Drop holds a lock — the wrong one.
+func (s *Server) Drop(t2 *Table) {
+	t2.mu.Lock()
+	s.tab.sessions = nil // want `s.tab.sessions is guarded by s.tab.mu`
+	t2.mu.Unlock()
+}
+
+// Stats demonstrates RWMutex guards.
+type Stats struct {
+	rw    sync.RWMutex
+	reads int64 // guarded by rw
+}
+
+// Read takes the read lock: clean.
+func (s *Stats) Read() int64 {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.reads
+}
+
+// Peek skips the read lock.
+func (s *Stats) Peek() int64 {
+	return s.reads // want `s.reads is guarded by s.rw`
+}

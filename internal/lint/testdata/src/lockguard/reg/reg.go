@@ -1,0 +1,59 @@
+// Package reg models a guarded session registry: the lockguard fixture.
+package reg
+
+import "sync"
+
+// Table is the guarded session table.
+type Table struct {
+	mu       sync.Mutex
+	sessions map[uint64]string // guarded by mu
+	nextID   uint64            // guarded by mu
+	hits     int64             // hot counter, deliberately unguarded
+	stale    int               // guarded by nosuch // want `names no sibling field`
+	count    int               // guarded by hits // want `not a sync.Mutex`
+}
+
+// Lookup accesses under the lock (held through the defer): clean.
+func (t *Table) Lookup(id uint64) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sessions[id]
+}
+
+// Bump forgets the lock entirely.
+func (t *Table) Bump() uint64 {
+	t.nextID++      // want `t.nextID is guarded by t.mu, which is not held`
+	return t.nextID // want `t.nextID is guarded by t.mu`
+}
+
+// Misuse releases too early.
+func (t *Table) Misuse(id uint64) string {
+	t.mu.Lock()
+	t.mu.Unlock()
+	return t.sessions[id] // want `t.sessions is guarded by t.mu`
+}
+
+// expireLocked is called with t.mu held — the *Locked naming convention
+// is the contract: clean.
+func (t *Table) expireLocked(id uint64) {
+	delete(t.sessions, id)
+	t.nextID--
+}
+
+// Expire is the locking wrapper: clean.
+func (t *Table) Expire(id uint64) {
+	t.mu.Lock()
+	t.expireLocked(id)
+	t.mu.Unlock()
+}
+
+// New builds a table. The value is still local — not yet shared — so
+// its invariants are not yet live: clean.
+func New() *Table {
+	t := &Table{}
+	t.sessions = make(map[uint64]string)
+	return t
+}
+
+// Hits touches the unguarded counter without the lock: clean.
+func (t *Table) Hits() int64 { return t.hits }
