@@ -38,7 +38,7 @@ func (s *Set) Add(off, n int64) {
 	}
 	end := off + n
 	// Find the first extent whose end is >= off (candidate for merge).
-	i := sort.Search(len(s.es), func(i int) bool { return s.es[i].End() >= off })
+	i := sort.Search(len(s.es), func(i int) bool { return s.es[i].End() >= off }) //lint:allow hotalloc non-escaping closure, stack-allocated (extent bench and hotpath table measure 0 allocs/op)
 	j := i
 	for j < len(s.es) && s.es[j].Off <= end {
 		if s.es[j].Off < off {
@@ -50,7 +50,16 @@ func (s *Set) Add(off, n int64) {
 		j++
 	}
 	merged := Extent{Off: off, Len: end - off}
-	s.es = append(s.es[:i], append([]Extent{merged}, s.es[j:]...)...)
+	if j > i {
+		// Coalesce in place: the merged extent replaces [i, j).
+		s.es[i] = merged
+		s.es = append(s.es[:i+1], s.es[j:]...)
+		return
+	}
+	// Pure insertion at i: shift the tail up by one.
+	s.es = append(s.es, Extent{})
+	copy(s.es[i+1:], s.es[i:])
+	s.es[i] = merged
 }
 
 // AddExtent inserts e into the set.
@@ -62,7 +71,7 @@ func (s *Set) Contains(off, n int64) bool {
 	if n <= 0 {
 		return true
 	}
-	i := sort.Search(len(s.es), func(i int) bool { return s.es[i].End() > off })
+	i := sort.Search(len(s.es), func(i int) bool { return s.es[i].End() > off }) //lint:allow hotalloc non-escaping closure, stack-allocated (extent bench and hotpath table measure 0 allocs/op)
 	if i == len(s.es) {
 		return false
 	}

@@ -176,3 +176,26 @@ func TestQuickAgainstBitmap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAddStableAllocs pins the hot-path contract enforced by swiftvet's
+// hotalloc gate: once the extent slice has grown to its working size,
+// Add neither allocates on coalescing inserts nor builds temporary
+// slices on pure inserts within capacity.
+func TestAddStableAllocs(t *testing.T) {
+	var s Set
+	s.Add(100, 10)
+	s.Add(300, 10)
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.Add(95, 20) // coalesces into [95,110) every run
+	}); allocs != 0 {
+		t.Fatalf("coalescing Add allocated %v times per run, want 0", allocs)
+	}
+	// A pure insert within capacity must also be allocation-free: grow
+	// once, then re-add the same extent (idempotent coalesce).
+	s.Add(200, 10)
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.Add(200, 10)
+	}); allocs != 0 {
+		t.Fatalf("idempotent Add allocated %v times per run, want 0", allocs)
+	}
+}
