@@ -196,8 +196,18 @@ type Run struct {
 
 // Runs decomposes the logical range [off, off+n) into per-unit runs in
 // ascending logical order. Each run lies within a single striping unit.
+// It is AppendRuns with fresh storage; hot callers pass a reusable
+// scratch slice to AppendRuns instead.
 func (l Layout) Runs(off, n int64) []Run {
-	var out []Run
+	return l.AppendRuns(nil, off, n)
+}
+
+// AppendRuns appends the decomposition of [off, off+n) to dst and
+// returns the extended slice, so per-op planning on the data path can
+// reuse one scratch slice instead of allocating per call.
+//
+//swift:hotpath
+func (l Layout) AppendRuns(out []Run, off, n int64) []Run {
 	end := off + n
 	for g := off; g < end; {
 		agent, local := l.Locate(g)
