@@ -206,9 +206,9 @@ type Client struct {
 	bo     *backoff.Policy // shared retransmission backoff schedule
 
 	mu     sync.Mutex
-	ctl    transport.PacketConn // shared control conn for stat/remove
-	health []agentHealth        // per-agent failure-domain state
-	files  map[*File]struct{}   // open files, for automatic re-admission
+	ctl    transport.PacketConn // shared control conn for stat/remove; guarded by mu
+	health []agentHealth        // per-agent failure-domain state; guarded by mu
+	files  map[*File]struct{}   // open files, for automatic re-admission; guarded by mu
 	req    atomic.Uint32
 
 	// Background health monitor (see health.go).
@@ -326,7 +326,11 @@ func (c *Client) Close() error {
 	if c.traceStop != nil {
 		c.traceStop()
 	}
-	return c.ctl.Close()
+	// Holding mu across Close is deliberate: it serializes teardown
+	// against any in-flight control RPC on the shared conn.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctl.Close() //lint:allow lockio teardown path; waits out in-flight control RPCs by design
 }
 
 // MarkDown forces agent i's state: failed (true) or recovered (false).
@@ -582,14 +586,23 @@ func (c *Client) rpc(conn transport.PacketConn, addr string, req *wire.Packet, r
 // fixed cadence — the control plane shares the data path's storm
 // avoidance.
 func (c *Client) rpcAttempts(conn transport.PacketConn, addr string, req *wire.Packet, reqID uint32, retries int) (*wire.Packet, error) {
-	buf, err := wire.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
 	rbuf := make([]byte, wire.MaxPacket)
 	var pkt wire.Packet
 	giveUp := time.Now().Add(time.Duration(retries) * c.cfg.RetryTimeout)
 	for attempt := 0; ; attempt++ {
+		// Each (re)transmission carries the remaining retry budget in
+		// the deadline extension — the same contract as medrpc — so an
+		// agent that dequeues a retransmit after the client's give-up
+		// point sheds it instead of serving a reply nobody reads.
+		if rem := time.Until(giveUp); rem > 0 {
+			req.Deadline = rem
+		} else {
+			req.Deadline = 0
+		}
+		buf, err := wire.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
 		if err := conn.WriteTo(buf, addr); err != nil {
 			return nil, err
 		}
@@ -670,7 +683,7 @@ func (c *Client) List() ([]string, error) {
 		if c.health[i].state == StateDown {
 			continue
 		}
-		names, err := c.listAgent(addr)
+		names, err := c.listAgentLocked(addr)
 		if err != nil {
 			return nil, fmt.Errorf("core: list agent %d: %w", i, err)
 		}
@@ -686,9 +699,10 @@ func (c *Client) List() ([]string, error) {
 	return out, nil
 }
 
-// listAgent collects one agent's TListReply stream, retransmitting the
-// request until every packet up to the FLast-marked one has been seen.
-func (c *Client) listAgent(addr string) ([]string, error) {
+// listAgentLocked collects one agent's TListReply stream, retransmitting
+// the request until every packet up to the FLast-marked one has been seen.
+// c.mu must be held: it serializes use of the shared control conn.
+func (c *Client) listAgentLocked(addr string) ([]string, error) {
 	reqID := c.nextReq()
 	req, err := wire.Marshal(&wire.Packet{Header: wire.Header{Type: wire.TList, ReqID: reqID}})
 	if err != nil {
