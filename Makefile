@@ -13,10 +13,13 @@ build:
 
 # vet = the standard toolchain checks plus swiftvet, the project's own
 # analyzers (injected clocks, lock/IO discipline, error attribution,
-# metric naming, goroutine shutdown paths).
+# metric naming, goroutine shutdown paths, and the interprocedural gates:
+# hot-path allocations, pooled-buffer lifecycles, lock-guarded fields,
+# deadline propagation). -time prints per-analyzer wall time so a slow
+# analyzer is caught before it drags the whole gate past its budget.
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/swiftvet ./...
+	$(GO) run ./cmd/swiftvet -time ./...
 
 # lint = the full static gate run by CI's lint job: swiftvet, gofmt
 # cleanliness, and (when the tool is on PATH, e.g. installed by CI)
@@ -76,12 +79,16 @@ overload-smoke:
 	sh scripts/overload-smoke.sh
 
 # Short fuzz pass over the wire codecs, the at-rest integrity
-# envelope, and the erasure codec (CI smoke; go native fuzzing).
+# envelope, the erasure codec, and the lint annotation parsers
+# (CI smoke; go native fuzzing).
 fuzz:
 	$(GO) test ./internal/wire/ -run XXX -fuzz FuzzUnmarshal -fuzztime 20s
 	$(GO) test ./internal/wire/ -run XXX -fuzz FuzzControlPayloads -fuzztime 20s
 	$(GO) test ./internal/integrity/ -run XXX -fuzz FuzzIntegrityEnvelope -fuzztime 20s
 	$(GO) test ./internal/ec/ -run XXX -fuzz FuzzECRoundTrip -fuzztime 20s
+	$(GO) test ./internal/lint/ -run XXX -fuzz FuzzParseDirective -fuzztime 10s
+	$(GO) test ./internal/lint/ -run XXX -fuzz FuzzParseGuard -fuzztime 10s
+	$(GO) test ./internal/lint/ -run XXX -fuzz FuzzParseAllow -fuzztime 10s
 
 # One benchmark per paper table/figure plus micro-benchmarks.
 bench:

@@ -83,10 +83,10 @@ type MediatorBroker struct {
 	order []MediatorEndpoint // placement order for cfg.Key
 
 	mu        sync.Mutex
-	rec       *mediator.SessionRecord
-	home      string
-	failovers int64
-	renewErrs int64
+	rec       *mediator.SessionRecord // guarded by mu
+	home      string                  // guarded by mu
+	failovers int64                   // guarded by mu
+	renewErrs int64                   // guarded by mu
 
 	telFailovers *obs.Counter
 	telRetries   *obs.Counter

@@ -402,6 +402,8 @@ func (f *File) agentRead(s *agentSession, e extent.Extent, dst []byte, base int6
 // placeGlobal copies fragment bytes into the logical buffer, splitting at
 // striping-unit boundaries (a datagram's payload may span two units of the
 // fragment, which are discontiguous in logical space).
+//
+//swift:hotpath
 func (f *File) placeGlobal(agent int, localOff int64, b []byte, dst []byte, base int64) {
 	l := f.c.layout
 	for len(b) > 0 {
@@ -600,6 +602,8 @@ func (f *File) readBurst(s *agentSession, lo, n int64, sink func(localOff int64,
 
 // sendPacket marshals into the session's scratch buffer and transmits to
 // the agent's private port.
+//
+//swift:hotpath
 func (f *File) sendPacket(s *agentSession, p *wire.Packet) error {
 	buf, err := wire.AppendPacket(s.sendBuf[:0], p)
 	if err != nil {
@@ -993,6 +997,8 @@ func (f *File) writeFlags() uint16 {
 // of the given agent, sourcing data units from the logical buffer src
 // (first byte = logical offset base) and parity units from pbufs (k
 // buffers per row, in parity position order).
+//
+//swift:hotpath
 func (f *File) gather(agent int, localOff int64, payload []byte, src []byte, base int64, pbufs map[int64][][]byte) {
 	l := f.c.layout
 	for filled := 0; filled < len(payload); {

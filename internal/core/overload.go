@@ -49,7 +49,7 @@ var errHedged = errors.New("core: read burst hedged")
 // bounds the burst a long quiet period can accumulate.
 type tokenBucket struct {
 	mu     sync.Mutex
-	tokens float64
+	tokens float64 // guarded by mu
 	limit  float64
 	ratio  float64
 }
@@ -121,9 +121,9 @@ func (s BreakerState) String() string {
 // explicitly so the state machine is testable with a scripted clock.
 type breaker struct {
 	mu      sync.Mutex
-	state   BreakerState
-	strikes int       // consecutive strikes while closed
-	until   time.Time // open-state cooldown expiry
+	state   BreakerState // guarded by mu
+	strikes int          // consecutive strikes while closed; guarded by mu
+	until   time.Time    // open-state cooldown expiry; guarded by mu
 }
 
 // allow reports whether the agent may be offered work at time now, and

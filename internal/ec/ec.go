@@ -152,12 +152,12 @@ func validate(m, k int) error {
 // that every shard is non-nil.
 func checkShards(shards [][]byte, total int, requireAll bool) error {
 	if len(shards) != total {
-		return fmt.Errorf("%w: have %d want %d", ErrShardCount, len(shards), total)
+		return fmt.Errorf("%w: have %d want %d", ErrShardCount, len(shards), total) //lint:allow hotalloc shard-shape validation failure is a caller bug, cold
 	}
 	if requireAll {
 		for i, s := range shards {
 			if s == nil {
-				return fmt.Errorf("ec: shard %d is nil", i)
+				return fmt.Errorf("ec: shard %d is nil", i) //lint:allow hotalloc shard-shape validation failure is a caller bug, cold
 			}
 		}
 	}
@@ -202,6 +202,10 @@ func (c *rsCodec) ParityShards() int { return c.k }
 func (c *rsCodec) String() string    { return fmt.Sprintf("%d+%d", c.m, c.k) }
 func (c *rsCodec) Stats() Stats      { return c.ctr.snapshot() }
 
+// Encode fills the k parity shards from the m data shards in place:
+// the per-row write-path kernel.
+//
+//swift:hotpath
 func (c *rsCodec) Encode(shards [][]byte) error {
 	if err := checkShards(shards, c.m+c.k, true); err != nil {
 		return err
@@ -380,6 +384,9 @@ func (c *xorCodec) ParityShards() int { return 1 }
 func (c *xorCodec) String() string    { return fmt.Sprintf("%d+1", c.m) }
 func (c *xorCodec) Stats() Stats      { return c.ctr.snapshot() }
 
+// Encode XORs the m data shards into the single parity shard in place.
+//
+//swift:hotpath
 func (c *xorCodec) Encode(shards [][]byte) error {
 	if err := checkShards(shards, c.m+1, true); err != nil {
 		return err

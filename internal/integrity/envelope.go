@@ -220,5 +220,5 @@ func ParseCorrupt(msg string) (*CorruptError, bool) {
 	}
 	detail := strings.TrimPrefix(rest[k+1:], ":")
 	detail = strings.TrimPrefix(detail, " ")
-	return &CorruptError{Offset: off, Length: n, Detail: detail}, true
+	return &CorruptError{Offset: off, Length: n, Detail: detail}, true //lint:allow hotalloc corruption reports are the cold path
 }

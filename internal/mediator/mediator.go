@@ -158,15 +158,15 @@ type Mediator struct {
 	tel *telemetry
 
 	mu          sync.Mutex
-	agentLoad   []float64
-	netLoad     []float64
-	sessions    map[uint64]*session
-	nextID      uint64
+	agentLoad   []float64           // guarded by mu
+	netLoad     []float64           // guarded by mu
+	sessions    map[uint64]*session // guarded by mu
+	nextID      uint64              // guarded by mu
 	peers       []Peer
 	links       []*peerLink // one replication queue+goroutine per peer
-	draining    bool
-	killed      bool
-	lastHandoff time.Time
+	draining    bool        // guarded by mu
+	killed      bool        // guarded by mu
+	lastHandoff time.Time   // guarded by mu
 
 	janStop chan struct{}
 	janDone chan struct{}

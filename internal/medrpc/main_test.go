@@ -1,0 +1,12 @@
+package medrpc
+
+import (
+	"testing"
+
+	"swift/internal/testutil/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine: the server's
+// per-conn serve loops and the client's retry timers must all stop when
+// their test closes them.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,12 @@
+package obs
+
+import (
+	"testing"
+
+	"swift/internal/testutil/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine: the HTTP
+// debug server and buffered trace sinks must shut down when their test
+// stops them.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -28,9 +28,11 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by n.
+//swift:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//swift:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Load returns the current value.
@@ -41,6 +43,7 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores the value.
+//swift:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add adjusts the value by n (may be negative).
@@ -103,6 +106,7 @@ type Histogram struct {
 }
 
 // Observe records one duration. Negative durations count as zero.
+//swift:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	v := int64(d)
 	if v < 0 {
@@ -136,6 +140,7 @@ func (h *Histogram) Observe(d time.Duration) {
 // remembers it as the exemplar for the duration's bucket — so a p99
 // outlier in the histogram can be chased to the exact trace that caused
 // it. Same cost class as Observe: a few atomics, no locks.
+//swift:hotpath
 func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
 	h.Observe(d)
 	if traceID != 0 {

@@ -119,7 +119,7 @@ func (s *Span) Annotate(format string, args ...any) {
 	at := time.Since(s.start)
 	s.mu.Lock()
 	if len(s.notes) < maxSpanNotes {
-		s.notes = append(s.notes, Note{At: at, Msg: fmt.Sprintf(format, args...)})
+		s.notes = append(s.notes, Note{At: at, Msg: fmt.Sprintf(format, args...)}) //lint:allow hotalloc span notes allocate by design, capped at maxSpanNotes per span
 	}
 	s.mu.Unlock()
 }
@@ -353,7 +353,7 @@ func (t *Tracer) StartRemote(ctx SpanContext, layer, name string, agent int) *Sp
 }
 
 func (t *Tracer) start(traceID, parent uint64, flags uint8, layer, name string, agent int) *Span {
-	s := &Span{
+	s := &Span{ //lint:allow hotalloc one span record per traced op, bounded by sampling and maxOpen
 		tracer: t,
 		ctx:    SpanContext{TraceID: traceID, SpanID: t.id(), Flags: flags},
 		parent: parent,
@@ -370,7 +370,7 @@ func (t *Tracer) start(traceID, parent uint64, flags uint8, layer, name string, 
 			t.evictStaleLocked(s.start)
 		}
 		if len(t.open) < t.maxOpen {
-			ot = &openTrace{}
+			ot = &openTrace{} //lint:allow hotalloc one open-trace record per sampled trace, capped at maxOpen
 			t.open[traceID] = ot
 		}
 	}
@@ -407,7 +407,7 @@ func (t *Tracer) finish(ctx SpanContext, rec SpanRecord) {
 		return
 	}
 	if len(ot.spans) < t.maxSpans {
-		ot.spans = append(ot.spans, rec)
+		ot.spans = append(ot.spans, rec) //lint:allow hotalloc span buffer grows to maxSpans once per sampled trace, then stops
 	} else {
 		t.spansDropped.Inc()
 	}
@@ -456,7 +456,7 @@ func (t *Tracer) keepReason(ot *openTrace, tr Trace) string {
 	if len(tr.Spans) > 0 && tr.Spans[0].Parent == 0 {
 		h := t.opHist[tr.Op]
 		if h == nil {
-			h = &Histogram{}
+			h = &Histogram{} //lint:allow hotalloc one histogram per distinct op name, amortized over the process lifetime
 			t.opHist[tr.Op] = h
 		}
 		if h.Count() >= slowMinSamples && tr.Dur > h.Percentile(99) {
@@ -481,11 +481,11 @@ func (t *Tracer) keepReason(ot *openTrace, tr Trace) string {
 
 // assemble orders spans (roots first, then by start time) into a Trace.
 func assemble(traceID uint64, spans []SpanRecord) Trace {
-	local := make(map[uint64]bool, len(spans))
+	local := make(map[uint64]bool, len(spans)) //lint:allow hotalloc assemble runs once per kept trace, rate-limited by the keep policy
 	for i := range spans {
 		local[spans[i].SpanID] = true
 	}
-	sort.SliceStable(spans, func(i, j int) bool {
+	sort.SliceStable(spans, func(i, j int) bool { //lint:allow hotalloc assemble runs once per kept trace, rate-limited by the keep policy
 		ri := spans[i].Parent == 0 || !local[spans[i].Parent]
 		rj := spans[j].Parent == 0 || !local[spans[j].Parent]
 		if ri != rj {

@@ -132,7 +132,7 @@ func (r *TraceRing) Emit(e Event) {
 
 // Emitf is Emit with a formatted message.
 func (r *TraceRing) Emitf(layer, kind string, agent int, format string, args ...any) {
-	r.Emit(Event{Layer: layer, Kind: kind, Agent: agent, Msg: fmt.Sprintf(format, args...)})
+	r.Emit(Event{Layer: layer, Kind: kind, Agent: agent, Msg: fmt.Sprintf(format, args...)}) //lint:allow hotalloc event messages allocate by design; the ring bounds retention
 }
 
 // Total returns the number of events emitted over the ring's lifetime.

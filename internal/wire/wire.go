@@ -223,6 +223,8 @@ var (
 // AppendPacket encodes the packet and appends it to dst, returning the
 // extended slice. It returns an error if the payload exceeds MaxPayload
 // less the bytes any attached extensions claim.
+//
+//swift:hotpath
 func AppendPacket(dst []byte, p *Packet) ([]byte, error) {
 	traced := p.Trace.Valid()
 	deadlined := p.Deadline > 0
@@ -282,7 +284,7 @@ func Marshal(p *Packet) ([]byte, error) {
 	if p.Deadline > 0 {
 		n += DeadlineExtSize
 	}
-	buf := make([]byte, 0, n)
+	buf := make([]byte, 0, n) //lint:allow hotalloc Marshal returns a fresh buffer by contract; hot senders use AppendPacket with caller scratch
 	return AppendPacket(buf, p)
 }
 
@@ -290,6 +292,8 @@ func Marshal(p *Packet) ([]byte, error) {
 // p.Trace and p.Deadline are zeroed when the respective extension is
 // absent. The returned packet's Payload aliases buf; callers that retain
 // the packet past the buffer's reuse must copy it.
+//
+//swift:hotpath
 func Unmarshal(buf []byte, p *Packet) error {
 	if len(buf) < HeaderSize+TrailerSize {
 		return ErrTooShort
