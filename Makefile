@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build vet lint test race fuzz bench tables figures ablations \
 	ec-bench hotpath-bench examples obs-test obs-smoke scrub-smoke \
-	failover-smoke trace-smoke overload-smoke clean
+	failover-smoke trace-smoke overload-smoke cache-smoke clean
 
 all: build vet test obs-test
 
@@ -77,6 +77,13 @@ trace-smoke:
 # byte-identical read-back after the surge.
 overload-smoke:
 	sh scripts/overload-smoke.sh
+
+# End-to-end cache-coherence smoke: a cached reader in one process,
+# a writer in another, coherence-only mediator sessions over real UDP;
+# the reader must converge on the new bytes (invalidation observed)
+# while still serving its final pass from cache.
+cache-smoke:
+	sh scripts/cache-smoke.sh
 
 # Short fuzz pass over the wire codecs, the at-rest integrity
 # envelope, the erasure codec, and the lint annotation parsers

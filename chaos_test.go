@@ -401,6 +401,14 @@ soak:
 	// retry budget — goodput within 15% of degraded capacity, every
 	// served byte exact, and zero failure-domain lifecycle flaps.
 	chaosOverload(t)
+
+	// Tenth drill: cache coherence under mediator faults. Two clients
+	// share a 3+2 object — one writes mid-stream through write-behind
+	// while the other serves from its block cache — as the mediator
+	// replica anchoring the coherence channel is killed and restarted.
+	// Reads are never stale past an invalidation, dirty data survives a
+	// client losing its lease (crash-flush), and zero operations fail.
+	chaosCacheCoherence(t)
 }
 
 // chaosDoubleKillK2 is TestChaosSoak's sixth drill. It boots a
@@ -1529,4 +1537,235 @@ func chaosOverload(t *testing.T) {
 	t.Logf("drill9: baseline %.1f MB/s (%d sheds) -> surge %.1f MB/s (%d ops, %d sheds, p99 %v), %d pushbacks, %d/%d hedges won, budget fill %.2f",
 		baseGoodput/1e6, baseSheds, surgeGoodput/1e6, len(surgeLats), surgeSheds, p99,
 		m.Pushbacks, m.HedgeWins, m.Hedges, st.Overload.BudgetFill)
+}
+
+// chaosCacheCoherence is TestChaosSoak's tenth drill: the cache
+// coherence protocol under mediator faults. A five-agent 3+2 volume is
+// shared by two clients — a writer running bounded write-behind and a
+// reader serving from its block cache — with coherence anchored in a
+// three-replica mediator federation through per-client broker sessions:
+//
+//   - after every write/declare/sync cycle the reader's bytes match the
+//     writer's mirror exactly — zero stale reads past an invalidation —
+//     including while the replica homing the coherence sessions is dead
+//     and after it restarts and reconciles generations from its peers;
+//   - a writer that loses its lease with dirty extents outstanding
+//     crash-flushes: the dirty bytes land on the agents before the
+//     cached images are dropped, and a fresh uncached client reads them
+//     back byte-identical;
+//   - zero operation errors end to end, and the reader's cache really
+//     served (nonzero hits) while absorbing >= one invalidation per
+//     write cycle.
+func chaosCacheCoherence(t *testing.T) {
+	const (
+		nAgents = 5
+		objSize = 128 * 1024
+		cycles  = 60
+	)
+	n := memnet.New(2)
+	seg := n.NewSegment("cc-lab", memnet.SegmentConfig{
+		BandwidthBps:  1e10,
+		FrameOverhead: 46,
+		Seed:          31,
+	})
+	agentCfg := swift.AgentConfig{
+		ResendCheck: 5 * time.Millisecond,
+		ResendAfter: 10 * time.Millisecond,
+	}
+	agents := make([]*swift.Agent, nAgents)
+	addrs := make([]string, nAgents)
+	for i := 0; i < nAgents; i++ {
+		h := n.MustHost(fmt.Sprintf("cc-agent%d", i), memnet.HostConfig{}, seg)
+		a, err := swift.StartAgent(h, integrity.NewStore(store.NewMem(), 4096), agentCfg)
+		if err != nil {
+			t.Fatalf("drill10: agent %d: %v", i, err)
+		}
+		agents[i] = a
+		addrs[i] = a.Addr()
+	}
+	defer func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}()
+
+	medAgents := make([]swift.MediatorAgentInfo, nAgents)
+	for i, addr := range addrs {
+		medAgents[i] = swift.MediatorAgentInfo{Addr: addr, Rate: 1e6, Net: 0}
+	}
+	fed, err := swift.NewMediatorFederation([]string{"cc-a", "cc-b", "cc-c"}, swift.MediatorConfig{
+		Agents: medAgents,
+		Nets:   []swift.MediatorNetInfo{{Name: "cc-lab", Capacity: 1e9}},
+	})
+	if err != nil {
+		t.Fatalf("drill10: federation: %v", err)
+	}
+	defer fed.Close()
+	medIdx := func(name string) int {
+		for i, nm := range fed.Names() {
+			if nm == name {
+				return i
+			}
+		}
+		t.Fatalf("drill10: unknown replica %q", name)
+		return -1
+	}
+	var endpoints []swift.MediatorEndpoint
+	for _, m := range fed.Mediators() {
+		endpoints = append(endpoints, m)
+	}
+	openBroker := func(key string) *swift.MediatorBroker {
+		b, err := swift.NewMediatorBroker(swift.BrokerConfig{
+			Endpoints:    endpoints,
+			Key:          key,
+			RetryTimeout: 5 * time.Millisecond,
+			Logf:         t.Logf,
+		})
+		if err != nil {
+			t.Fatalf("drill10: broker %s: %v", key, err)
+		}
+		if _, err := b.OpenSession(swift.MediatorRequirements{Rate: 0.2e6}); err != nil {
+			t.Fatalf("drill10: session %s: %v", key, err)
+		}
+		return b
+	}
+	writerBroker := openBroker("cc-writer")
+	readerBroker := openBroker("cc-reader")
+
+	// Both clients dial the full five-agent 3+2 layout directly; the
+	// broker sessions anchor coherence, not striping.
+	dial := func(name string, mut func(*swift.Config)) *swift.FS {
+		cfg := swift.Config{
+			Host:         n.MustHost(name, memnet.HostConfig{}, seg),
+			Agents:       addrs,
+			ParityShards: 2,
+			RetryTimeout: 15 * time.Millisecond,
+			MaxRetries:   20,
+			Logf:         t.Logf,
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		fs, err := swift.Dial(cfg)
+		if err != nil {
+			t.Fatalf("drill10: dial %s: %v", name, err)
+		}
+		return fs
+	}
+	writer := dial("cc-writer", func(cfg *swift.Config) {
+		cfg.WriteBehindMax = 256 * 1024
+		cfg.CacheSync = writerBroker.CacheSync
+	})
+	defer writer.Close()
+	reader := dial("cc-reader", func(cfg *swift.Config) {
+		cfg.CacheSize = 1 << 20
+		cfg.ReadAhead = 32 * 1024
+		cfg.CacheSync = readerBroker.CacheSync
+	})
+	defer reader.Close()
+
+	rng := rand.New(rand.NewSource(37))
+	mirror := make([]byte, objSize)
+	rng.Read(mirror)
+	wf, err := writer.Create("cc-obj")
+	if err != nil {
+		t.Fatalf("drill10: create: %v", err)
+	}
+	defer wf.Close()
+	if _, err := wf.WriteAt(mirror, 0); err != nil {
+		t.Fatalf("drill10: prefill: %v", err)
+	}
+	if err := wf.Sync(); err != nil {
+		t.Fatalf("drill10: prefill sync: %v", err)
+	}
+	writer.CoherenceSync()
+	rf, err := reader.Open("cc-obj")
+	if err != nil {
+		t.Fatalf("drill10: reader open: %v", err)
+	}
+	defer rf.Close()
+
+	victim := medIdx(writerBroker.Home())
+	got := make([]byte, objSize)
+	patch := make([]byte, 24*1024)
+	for i := 1; i <= cycles; i++ {
+		switch i {
+		case cycles / 3:
+			t.Logf("drill10: killing coherence home %s mid-stream", fed.Names()[victim])
+			fed.Kill(victim)
+		case 2 * cycles / 3:
+			t.Logf("drill10: restarting %s", fed.Names()[victim])
+			if err := fed.Restart(victim); err != nil {
+				t.Fatalf("drill10: restart: %v", err)
+			}
+			fed.WaitMirrors()
+		}
+		// The writer patches a random mid-stream range through
+		// write-behind, forces the flush barrier, and declares the write;
+		// the reader syncs and must converge on the new bytes.
+		off := rng.Intn(objSize - len(patch))
+		rng.Read(patch)
+		if _, err := wf.WriteAt(patch, int64(off)); err != nil {
+			t.Fatalf("drill10 cycle %d: write: %v", i, err)
+		}
+		copy(mirror[off:], patch)
+		if err := wf.Sync(); err != nil {
+			t.Fatalf("drill10 cycle %d: sync: %v", i, err)
+		}
+		writer.CoherenceSync()
+		reader.CoherenceSync()
+		// Two reads per cycle: the first refetches past the invalidation,
+		// the second must be served from the refilled cache — both exact.
+		for pass := 1; pass <= 2; pass++ {
+			if _, err := rf.ReadAt(got, 0); err != nil {
+				t.Fatalf("drill10 cycle %d pass %d: read: %v", i, pass, err)
+			}
+			if !bytes.Equal(got, mirror) {
+				t.Fatalf("drill10 cycle %d pass %d: stale read past the invalidation", i, pass)
+			}
+		}
+	}
+	rs := reader.CacheStats()
+	if rs.Hits == 0 {
+		t.Fatal("drill10: reader cache never served a hit")
+	}
+	if rs.Invalidations < cycles/2 {
+		t.Fatalf("drill10: reader absorbed %d invalidations over %d write cycles", rs.Invalidations, cycles)
+	}
+
+	// Crash-flush: the writer's lease dies with dirty extents
+	// outstanding. The lease-loss path must flush them to the agents
+	// before dropping the cache, so a fresh uncached client reads the
+	// final bytes back exactly.
+	off := rng.Intn(objSize - len(patch))
+	rng.Read(patch)
+	if _, err := wf.WriteAt(patch, int64(off)); err != nil {
+		t.Fatalf("drill10: final write: %v", err)
+	}
+	copy(mirror[off:], patch)
+	home := medIdx(writerBroker.Home())
+	rec := writerBroker.Record()
+	if err := fed.Mediator(home).CloseSession(rec.ID); err != nil {
+		t.Fatalf("drill10: close session: %v", err)
+	}
+	fed.WaitMirrors()
+	writer.CoherenceSync() // ErrUnknownSession -> crash-flush + drop
+	if d := writer.CacheStats().Dirty; d != 0 {
+		t.Fatalf("drill10: %d dirty bytes survived the lease loss unflushed", d)
+	}
+	verifier := dial("cc-verify", func(cfg *swift.Config) { cfg.CacheSize = -1 })
+	defer verifier.Close()
+	vf, err := verifier.Open("cc-obj")
+	if err != nil {
+		t.Fatalf("drill10: verifier open: %v", err)
+	}
+	defer vf.Close()
+	if _, err := vf.ReadAt(got, 0); err != nil {
+		t.Fatalf("drill10: verifier read: %v", err)
+	}
+	if !bytes.Equal(got, mirror) {
+		t.Fatal("drill10: crash-flushed bytes did not survive on the agents")
+	}
+	t.Logf("drill10: %d cycles, reader hit rate %.1f%%, %d invalidations, crash-flush verified",
+		cycles, 100*rs.HitRate(), rs.Invalidations)
 }

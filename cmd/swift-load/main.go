@@ -48,6 +48,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	chaos := flag.Bool("chaos", false, "run a randomized fault schedule against the load")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed")
+	cacheProf := flag.Bool("cache", false, "run the cached re-read profile instead of the Poisson load: sequential read + re-read with the block cache on vs off, reporting the agent round-trip ratio")
+	cacheSize := flag.String("cache-size", "0", "client block cache size (suffix K or M; 0 = auto when a cache feature is on, -1 = off)")
+	writeBehind := flag.String("write-behind", "0", "write-behind dirty budget (suffix K or M; 0 = write-through)")
 	verbose := flag.Bool("v", false, "log diagnostics and burst-level trace events to stderr")
 	metrics := flag.String("metrics", "", "HTTP address for /metrics, /trace and /debug/pprof while the load runs (e.g. :9090; empty = off)")
 	traceRate := flag.Float64("trace", 0, "distributed-tracing head-sample rate in [0,1] (0 = off); slowest op traces print after the run")
@@ -62,6 +65,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "swift-load: %v\n", err)
 		os.Exit(2)
+	}
+	cacheBytes, err := parseSizeSigned(*cacheSize)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swift-load: -cache-size: %v\n", err)
+		os.Exit(2)
+	}
+	writeBehindBytes, err := parseSizeSigned(*writeBehind)
+	if err != nil || writeBehindBytes < 0 {
+		fmt.Fprintf(os.Stderr, "swift-load: -write-behind: bad size %q\n", *writeBehind)
+		os.Exit(2)
+	}
+
+	if *cacheProf {
+		runCacheProfile(*agents, *segments, *scale, *seed, *verbose)
+		return
 	}
 	var sizes workload.SizeDist
 	switch *dist {
@@ -82,13 +100,15 @@ func main() {
 	tracer := obs.NewTracer(obs.TracerConfig{Rate: *traceRate})
 	tracer.Register(reg)
 	copts := bench.Options{
-		Agents:   *agents,
-		Segments: *segments,
-		Parity:   *parity,
-		Scale:    *scale,
-		Seed:     *seed,
-		Obs:      reg,
-		Tracer:   tracer,
+		Agents:         *agents,
+		Segments:       *segments,
+		Parity:         *parity,
+		Scale:          *scale,
+		Seed:           *seed,
+		CacheSize:      cacheBytes,
+		WriteBehindMax: writeBehindBytes,
+		Obs:            reg,
+		Tracer:         tracer,
 	}
 	if *verbose {
 		copts.Verbose = true
@@ -269,6 +289,12 @@ func main() {
 		snap.Counters.ReadBursts, snap.Counters.ReadTimeouts,
 		snap.Counters.WriteBursts, snap.Counters.WriteTimeouts,
 		snap.Counters.ResendAsks, snap.Counters.Backoffs)
+	if cs := snap.Cache; cs.Hits+cs.Misses > 0 || cs.Flushes > 0 {
+		fmt.Printf("cache: %.1f%% hit rate (%d hits, %d misses), readahead %d/%d used, %d flushes (%d stalls), %d invalidations\n",
+			100*cs.HitRate(), cs.Hits, cs.Misses,
+			cs.ReadAheadUsed, cs.ReadAheadIssued,
+			cs.Flushes, cs.Stalls, cs.Invalidations)
+	}
 	for i, as := range snap.Agents {
 		fmt.Printf("agent %d %-14s %-8v rb=%-5d rto=%-3d wb=%-5d wto=%-3d rp50=%-8v wp50=%-8v\n",
 			i, as.Addr, as.State, as.ReadBursts, as.ReadTimeouts,
@@ -294,6 +320,111 @@ func main() {
 			fmt.Printf("\n%s\n", tr.Waterfall())
 		}
 	}
+}
+
+// runCacheProfile measures the block cache's round-trip savings: one
+// client reads a striped object sequentially, then re-reads it — once
+// with the cache tier disabled, once with read-ahead + cache on — and
+// the profile reports agent read round-trips per pass plus the re-read
+// ratio (the paper's "second viewing" of a stored video).
+func runCacheProfile(agents, segments int, scale float64, seed int64, verbose bool) {
+	const (
+		objBytes = int64(4 << 20)
+		readSize = int64(64 << 10)
+	)
+	type passStats struct {
+		pass1, pass2 int64
+		cache        core.StatsSnapshot
+	}
+	run := func(cached bool) passStats {
+		opts := bench.Options{
+			Agents:    agents,
+			Segments:  segments,
+			Scale:     scale,
+			Seed:      seed,
+			CacheSize: -1,
+		}
+		if cached {
+			opts.CacheSize = 0 // auto-size from read-ahead
+			opts.ReadAhead = 256 << 10
+		}
+		if verbose {
+			opts.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		cluster, err := bench.NewSwiftCluster(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swift-load: %v\n", err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+
+		f, err := cluster.Client.Open("video", core.OpenFlags{Create: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swift-load: open: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fill := make([]byte, objBytes)
+		for i := range fill {
+			fill[i] = byte(i * 131)
+		}
+		if _, err := f.WriteAt(fill, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "swift-load: prefill: %v\n", err)
+			os.Exit(1)
+		}
+
+		buf := make([]byte, readSize)
+		pass := func() {
+			for off := int64(0); off < objBytes; off += readSize {
+				if _, err := f.ReadAt(buf, off); err != nil {
+					fmt.Fprintf(os.Stderr, "swift-load: read at %d: %v\n", off, err)
+					os.Exit(1)
+				}
+			}
+		}
+		base := cluster.Client.Stats().Counters.ReadBursts
+		pass()
+		// Let in-flight read-ahead land before attributing bursts, so
+		// prefetch traffic counts against pass 1, not the re-read.
+		cluster.Net.Sleep(500 * time.Millisecond)
+		mid := cluster.Client.Stats().Counters.ReadBursts
+		pass()
+		snap := cluster.Client.Stats()
+		return passStats{
+			pass1: int64(mid - base),
+			pass2: int64(snap.Counters.ReadBursts - mid),
+			cache: snap,
+		}
+	}
+
+	fmt.Printf("cache profile: %d MB object, sequential %d KB reads, read + re-read\n",
+		objBytes>>20, readSize>>10)
+	off := run(false)
+	on := run(true)
+	fmt.Printf("cache off: pass1=%d pass2=%d agent read round-trips\n", off.pass1, off.pass2)
+	fmt.Printf("cache on : pass1=%d pass2=%d agent read round-trips, %.1f%% hit rate, readahead %d/%d used\n",
+		on.pass1, on.pass2, 100*on.cache.Cache.HitRate(),
+		on.cache.Cache.ReadAheadUsed, on.cache.Cache.ReadAheadIssued)
+	ratio := "inf"
+	if on.pass2 > 0 {
+		ratio = fmt.Sprintf("%.1f", float64(off.pass2)/float64(on.pass2))
+	}
+	fmt.Printf("re-read round-trips: off=%d on=%d (%sx fewer)\n", off.pass2, on.pass2, ratio)
+}
+
+func parseSizeSigned(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "0" {
+		return 0, nil
+	}
+	neg := strings.HasPrefix(s, "-")
+	v, err := parseSize(strings.TrimPrefix(s, "-"))
+	if neg {
+		v = -v
+	}
+	return v, err
 }
 
 func parseSize(s string) (int64, error) {

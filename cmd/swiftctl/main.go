@@ -19,6 +19,15 @@
 //	stats [-watch]        client telemetry: counters, latency percentiles,
 //	                      per-agent attribution; -watch refreshes, -mb N
 //	                      drives a background transfer loop while watching
+//	reread OBJECT         read an object end-to-end -n times in one
+//	                      process (default 2), printing each pass's size
+//	                      and SHA-256 plus the block cache's hit rate —
+//	                      the cache and coherence drill (run with
+//	                      -readahead to enable the cache; a coherence
+//	                      sync runs before every pass after the first,
+//	                      so -mediators sessions converge on concurrent
+//	                      writers); -pause waits between passes, -out
+//	                      saves the final pass
 //	scrub [OBJECT]        verify at-rest integrity and parity row by row;
 //	                      -repair heals from parity, -all scrubs every object
 //	bench [-mb N]         measure read & write data-rates against the agents
@@ -46,10 +55,14 @@
 // home replica, heartbeats the lease over the wire, and re-targets to a
 // surviving replica if the home crashes or drains mid-command. In that
 // mode -agents is optional for -rate commands — the tier's installation
-// model supplies the agent set.
+// model supplies the agent set. Combining -mediators with -agents and no
+// -rate opens a coherence-only session: the striping layout comes from
+// the flags, and the mediator lease carries just the CacheSync rounds
+// that keep this command's cache coherent with other writers.
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -71,7 +84,7 @@ import (
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: swiftctl -agents HOST:PORT,... [flags] COMMAND [args]")
-	fmt.Fprintln(os.Stderr, "commands: put get cat stat ls rm status health stats scrub bench mediators trace")
+	fmt.Fprintln(os.Stderr, "commands: put get cat stat ls rm status health stats reread scrub bench mediators trace")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -94,6 +107,9 @@ func main() {
 	opTimeout := flag.Duration("op-timeout", 0, "per-operation deadline budget, propagated to agents and mediators on the wire (0 = none)")
 	hedge := flag.Bool("hedge", false, "hedge straggling reads: race parity reconstruction against the slowest agent (needs -parity)")
 	syncw := flag.Bool("sync", false, "synchronous writes")
+	readAhead := flag.Int64("readahead", 0, "sequential read-ahead window in bytes (0 = off; enables the block cache)")
+	cacheSize := flag.Int64("cache-size", 0, "client block cache size in bytes (0 = auto when a cache feature is on, negative = off)")
+	writeBehind := flag.Int64("write-behind", 0, "write-behind dirty budget in bytes (0 = write-through)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -153,6 +169,10 @@ func main() {
 		TraceRate:    *traceRate,
 		OpTimeout:    *opTimeout,
 		HedgeReads:   *hedge,
+
+		ReadAhead:      *readAhead,
+		CacheSize:      *cacheSize,
+		WriteBehindMax: *writeBehind,
 	}
 	// The trace command is pointless untraced: default to sampling
 	// every op unless the user picked a rate.
@@ -163,7 +183,12 @@ func main() {
 	// With a rate requirement and a federated tier, open the session via
 	// the failover broker: the key's home replica builds the plan, the
 	// broker heartbeats the lease and re-targets if the home dies.
-	if *rate > 0 && len(medClients) > 0 {
+	// Without a rate but with an explicit -agents set, the session is
+	// coherence-only: a token reservation that exists purely to carry
+	// CacheSync rounds, while the striping layout stays exactly what the
+	// flags say — so cooperating commands in different processes keep an
+	// identical layout and still invalidate each other's caches.
+	if len(medClients) > 0 && (*rate > 0 || *agents != "") {
 		eps := make([]swift.MediatorEndpoint, len(medClients))
 		for i, c := range medClients {
 			eps[i] = c
@@ -182,17 +207,30 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		sessRate := *rate * 1024
+		if *rate == 0 {
+			sessRate = 1024 // coherence-only: token rate, never a plan
+		}
 		rec, err := broker.OpenSession(swift.MediatorRequirements{
-			Rate:         *rate * 1024,
+			Rate:         sessRate,
 			Redundancy:   *parity,
 			ParityShards: *parityShards,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		cfg.ApplyPlan(&rec.Plan)
-		fmt.Fprintf(os.Stderr, "swiftctl: plan: %d agents, unit %d, parity shards %d via %s\n",
-			len(rec.Plan.Addrs), rec.Plan.Unit, rec.Plan.ParityShards, broker.Home())
+		// The mediator session doubles as the cache-coherence channel:
+		// writes this client declares propagate as invalidations to every
+		// other session caching the same objects.
+		cfg.CacheSync = broker.CacheSync
+		if *rate > 0 {
+			cfg.ApplyPlan(&rec.Plan)
+			fmt.Fprintf(os.Stderr, "swiftctl: plan: %d agents, unit %d, parity shards %d via %s\n",
+				len(rec.Plan.Addrs), rec.Plan.Unit, rec.Plan.ParityShards, broker.Home())
+		} else {
+			fmt.Fprintf(os.Stderr, "swiftctl: coherence session via %s (layout from flags)\n",
+				broker.Home())
+		}
 		fmt.Fprintf(os.Stderr, "swiftctl: session %d leased, expires %s\n",
 			rec.ID, rec.Expires.Format(time.RFC3339))
 		// Heartbeat over the wire while the command runs; the broker
@@ -302,6 +340,8 @@ func main() {
 		err = cmdHealth(fs)
 	case "stats":
 		err = cmdStats(fs, args[1:])
+	case "reread":
+		err = cmdReread(fs, args[1:])
 	case "scrub":
 		err = cmdScrub(fs, args[1:])
 	case "bench":
@@ -664,6 +704,13 @@ func printStats(s swift.Stats, prev swift.MetricsSnapshot, interval time.Duratio
 	fmt.Printf("overload: pushbacks=%d hedges=%d (wins %d) budget_denials=%d breaker_trips=%d budget_fill=%.0f%%\n",
 		ov.Pushbacks, ov.Hedges, ov.HedgeWins, ov.BudgetDenials,
 		ov.BreakerTrips, 100*ov.BudgetFill)
+	if cs := s.Cache; cs.Capacity > 0 {
+		fmt.Printf("cache: %.1f/%.1f MB (%.1f dirty)  hit_rate=%.1f%% (%d/%d)  readahead=%d/%d used  flushes=%d (errs %d, stalls %d)  evictions=%d  invalidations=%d\n",
+			float64(cs.Bytes)/1e6, float64(cs.Capacity)/1e6, float64(cs.Dirty)/1e6,
+			100*cs.HitRate(), cs.Hits, cs.Hits+cs.Misses,
+			cs.ReadAheadUsed, cs.ReadAheadIssued,
+			cs.Flushes, cs.FlushErrors, cs.Stalls, cs.Evictions, cs.Invalidations)
+	}
 	printHist("open", s.OpenLat)
 	printHist("read", s.ReadLat)
 	printHist("write", s.WriteLat)
@@ -675,6 +722,68 @@ func printStats(s swift.Stats, prev swift.MetricsSnapshot, interval time.Duratio
 			as.ReadBurstLat.P50.Round(time.Microsecond),
 			as.WriteBurstLat.P50.Round(time.Microsecond))
 	}
+}
+
+// cmdReread reads an object end-to-end n times inside one process — the
+// block cache and coherence drill. One handle stays open across every
+// pass (clean cached blocks drop with the last reference, so reopening
+// per pass would read cold each time): pass 1 warms the cache, later
+// passes are served from it (watch the hit rate), and each pass after
+// the first is preceded by a coherence sync so a concurrent writer's
+// update is re-fetched instead of served stale. Each pass prints its
+// byte count and SHA-256, so a driver script can assert both cache hits
+// and convergence on new contents.
+func cmdReread(fs *swift.FS, args []string) error {
+	rr := flag.NewFlagSet("reread", flag.ExitOnError)
+	passes := rr.Int("n", 2, "number of sequential end-to-end passes")
+	pause := rr.Duration("pause", 0, "wait between passes (lets concurrent writers land)")
+	out := rr.String("out", "", "save the final pass to this local file")
+	if err := rr.Parse(args); err != nil {
+		return err
+	}
+	if rr.NArg() < 1 {
+		return fmt.Errorf("reread needs an object name")
+	}
+	f, err := fs.Open(rr.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i := 0; i < *passes; i++ {
+		if i > 0 {
+			if *pause > 0 {
+				time.Sleep(*pause)
+			}
+			fs.CoherenceSync()
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				return err
+			}
+		}
+		h := sha256.New()
+		var w io.Writer = h
+		var save *os.File
+		if *out != "" && i == *passes-1 {
+			if save, err = os.Create(*out); err != nil {
+				return err
+			}
+			w = io.MultiWriter(h, save)
+		}
+		n, err := io.Copy(w, f)
+		if save != nil {
+			if cerr := save.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("pass %d: %w", i+1, err)
+		}
+		fmt.Printf("pass %d: %d bytes sha256=%x\n", i+1, n, h.Sum(nil))
+	}
+	cs := fs.CacheStats()
+	fmt.Printf("cache: hits=%d misses=%d hit_rate=%.1f%% readahead=%d/%d used invalidations=%d\n",
+		cs.Hits, cs.Misses, 100*cs.HitRate(),
+		cs.ReadAheadUsed, cs.ReadAheadIssued, cs.Invalidations)
+	return nil
 }
 
 // cmdScrub verifies at-rest integrity (checksum envelopes) and parity

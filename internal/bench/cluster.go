@@ -36,6 +36,11 @@ type Options struct {
 	Unit int64
 	// ReadAhead enables the client's sequential read-ahead window.
 	ReadAhead int64
+	// CacheSize bounds the client block cache in bytes (0 auto-sizes
+	// when another cache feature is on; negative disables the tier).
+	CacheSize int64
+	// WriteBehindMax, when > 0, bounds write-behind dirty bytes.
+	WriteBehindMax int64
 	// SendCPU overrides the client's per-packet send cost (0 = default).
 	SendCPU time.Duration
 	// Seed seeds loss and disk positioning.
@@ -184,10 +189,13 @@ func NewSwiftCluster(opts Options) (*SwiftCluster, error) {
 		ReadAhead:    opts.ReadAhead,
 		WritePace:    WritePace,
 		Sleep:        n.Sleep,
-		Logf:         opts.Logf,
-		Verbose:      opts.Verbose,
-		Obs:          opts.Obs,
-		Tracer:       opts.Tracer,
+
+		CacheSize:      opts.CacheSize,
+		WriteBehindMax: opts.WriteBehindMax,
+		Logf:           opts.Logf,
+		Verbose:        opts.Verbose,
+		Obs:            opts.Obs,
+		Tracer:         opts.Tracer,
 	})
 	if err != nil {
 		return nil, err

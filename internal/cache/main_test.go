@@ -1,0 +1,11 @@
+package cache
+
+import (
+	"testing"
+
+	"swift/internal/testutil/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine: the cache is
+// a passive structure and must never start one.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

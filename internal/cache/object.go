@@ -1,0 +1,526 @@
+package cache
+
+// Object is the cache view of one named object. It is refcounted by
+// Cache.Open/Object.Close; the last Close drops the object's clean
+// blocks (dirty blocks must be flushed by the file layer first).
+//
+// All fields are protected by the owning Cache's mutex. The file layer
+// additionally serializes mutations of one object's content under its
+// own per-file lock, which is what keeps a flush's view of a dirty
+// buffer stable while the lock-free agent RPCs run.
+type Object struct {
+	c     *Cache
+	name  string
+	refs  int
+	bytes int64 // resident bytes, clean + dirty
+
+	blocks map[int64]*block // residency table, keyed by block index
+
+	// Sequential-stream detector. streamNext is the offset the next
+	// sequential read would start at; run counts the consecutive bytes
+	// observed; gen is bumped on every seek so in-flight prefetches for
+	// the abandoned stream can be recognized and dropped; prefetchHi is
+	// the end of the furthest window already suggested, preventing
+	// duplicate suggestions for one stream.
+	streamNext int64
+	run        int64
+	gen        uint64
+	prefetchHi int64
+
+	// Write-behind bookkeeping: dirtyBytes counts this object's share of
+	// the cache-wide budget, and flushErr carries a failed write-back to
+	// the next write or sync (never swallowed).
+	dirtyBytes int64
+	flushErr   error
+
+	// seenGen is the mediator write-generation last adopted from an
+	// invalidation; the coherence sync declares it and the mediator
+	// answers with objects whose generation has moved past it.
+	seenGen uint64
+}
+
+// block is one resident cache block. buf always holds a fully valid
+// BlockSize-byte image of the object at [idx*BlockSize, (idx+1)*BlockSize)
+// — the file layer backfills partially-written blocks before absorbing a
+// write, and fetches are block-aligned with any beyond-EOF remainder
+// zero-filled (absent bytes read as zeros through the stripe layer, so
+// the images agree).
+type block struct {
+	obj *Object
+	idx int64
+	buf []byte
+
+	prev, next *block
+	list       *lruList // probation, protected, or nil while dirty (pinned)
+
+	served     bool // touched by a reader since insert (segmented-LRU promotion rule)
+	prefetched bool // inserted by read-ahead and not yet touched
+	dirty      bool
+	dLo, dHi   int // dirty span within buf (valid when dirty)
+}
+
+// lruList is an intrusive doubly-linked block list with a sentinel.
+type lruList struct {
+	root block
+}
+
+func (l *lruList) init() {
+	l.root.prev = &l.root
+	l.root.next = &l.root
+}
+
+func (l *lruList) pushFront(b *block) {
+	b.prev = &l.root
+	b.next = l.root.next
+	b.prev.next = b
+	b.next.prev = b
+}
+
+func (l *lruList) remove(b *block) {
+	b.prev.next = b.next
+	b.next.prev = b.prev
+	b.prev = nil
+	b.next = nil
+}
+
+func (l *lruList) moveFront(b *block) {
+	l.remove(b)
+	l.pushFront(b)
+}
+
+// tail returns the least-recently-used block, nil when empty.
+func (l *lruList) tail() *block {
+	if l.root.prev == &l.root {
+		return nil
+	}
+	return l.root.prev
+}
+
+// Close releases one reference. The last reference drops the object's
+// clean blocks; dirty blocks must have been flushed by the caller (a
+// leftover dirty block is kept resident and pinned so the data is never
+// silently lost, and the object stays in the table for a later flush).
+func (o *Object) Close() {
+	c := o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o.refs--
+	if o.refs > 0 {
+		return
+	}
+	o.dropCleanLocked()
+	if o.dirtyBytes == 0 {
+		delete(c.objs, o.name)
+	}
+}
+
+// dropCleanLocked removes every clean block; c.mu held.
+func (o *Object) dropCleanLocked() {
+	for _, b := range o.blocks {
+		if !b.dirty {
+			o.c.dropLocked(b, false)
+		}
+	}
+}
+
+// Name returns the object's name.
+func (o *Object) Name() string { return o.name }
+
+// SeenGen returns the write-generation last adopted from an
+// invalidation.
+func (o *Object) SeenGen() uint64 {
+	o.c.mu.Lock()
+	defer o.c.mu.Unlock()
+	return o.seenGen
+}
+
+// AdoptGen records the mediator write-generation the object's cached
+// image is now known to reflect.
+func (o *Object) AdoptGen(gen uint64) {
+	o.c.mu.Lock()
+	defer o.c.mu.Unlock()
+	if gen > o.seenGen {
+		o.seenGen = gen
+	}
+}
+
+// ReadCached copies cached bytes for the prefix of [off, off+len(dst))
+// into dst and returns how many leading bytes it served. It stops at the
+// first non-resident block; the caller fetches from there and calls
+// Insert. Every block served counts as a hit; a leading miss counts
+// nothing (Insert accounts demand misses per block).
+//
+//swift:hotpath
+func (o *Object) ReadCached(dst []byte, off int64) int {
+	c := o.c
+	bs := c.cfg.BlockSize
+	c.mu.Lock()
+	served := 0
+	for served < len(dst) {
+		pos := off + int64(served)
+		b := o.blocks[pos/bs]
+		if b == nil {
+			break
+		}
+		in := int(pos % bs)
+		n := copy(dst[served:], b.buf[in:])
+		served += n
+		c.touchLocked(b)
+		c.hits.Add(1)
+	}
+	c.mu.Unlock()
+	return served
+}
+
+// Contains reports whether every byte of [off, off+n) is resident — the
+// prefetch worker's re-check before fetching, and a test hook.
+func (o *Object) Contains(off, n int64) bool {
+	c := o.c
+	bs := c.cfg.BlockSize
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for idx := off / bs; idx*bs < off+n; idx++ {
+		if o.blocks[idx] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Insert copies fetched bytes into cache blocks. off must be
+// block-aligned; a short tail (a fetch clamped at end-of-object) has its
+// final block zero-filled, which matches what the stripe layer reads for
+// absent bytes. Already-resident blocks are left untouched — they are at
+// least as fresh as the fetch (a racing write invalidates or dirties
+// them under the file lock). prefetched marks the blocks for read-ahead
+// accounting; demand inserts count one miss per block.
+func (o *Object) Insert(off int64, p []byte, prefetched bool) {
+	c := o.c
+	bs := c.cfg.BlockSize
+	if off%bs != 0 {
+		panic("cache: Insert offset not block-aligned")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for in := 0; in < len(p); in += int(bs) {
+		idx := (off + int64(in)) / bs
+		if o.blocks[idx] != nil {
+			continue
+		}
+		c.ensureRoomLocked(bs)
+		if c.probBytes+c.protBytes+c.dirty+bs > c.cfg.Capacity {
+			return // wedged: capacity full of pinned dirty blocks
+		}
+		b := &block{obj: o, idx: idx, buf: c.acquireBuf(), prefetched: prefetched}
+		n := copy(b.buf, p[in:])
+		for i := n; i < len(b.buf); i++ {
+			b.buf[i] = 0
+		}
+		o.blocks[idx] = b
+		o.bytes += bs
+		c.probation.pushFront(b)
+		b.list = &c.probation
+		c.probBytes += bs
+		if prefetched {
+			c.raIssued.Add(1)
+		} else {
+			c.misses.Add(1)
+		}
+	}
+}
+
+// MissingBacking returns the first block-aligned range of [off, off+n)
+// that must be fetched and Inserted before Write can absorb the span:
+// a non-resident block that would be left partially valid because the
+// object has bytes on disk (below size) outside the written span. The
+// caller loops: fetch, Insert, ask again.
+func (o *Object) MissingBacking(off, n, size int64) (boff, blen int64, ok bool) {
+	c := o.c
+	bs := c.cfg.BlockSize
+	wEnd := off + n
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for idx := off / bs; idx*bs < wEnd; idx++ {
+		if o.blocks[idx] != nil {
+			continue
+		}
+		lo, hi := idx*bs, (idx+1)*bs
+		if hi > size {
+			hi = size
+		}
+		// Backing is needed exactly when the object has valid on-disk
+		// bytes in this block outside the written span.
+		if hi > lo && (lo < off || hi > wEnd) {
+			return idx * bs, bs, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Write absorbs p at off into dirty blocks (write-behind). Blocks whose
+// on-disk bytes the write does not fully cover must already be resident
+// (see MissingBacking), so a block the write creates here has no valid
+// on-disk bytes outside the written span and its zero-filled remainder
+// is the correct image. Dirty blocks are pinned out of the eviction
+// lists until FlushDone.
+func (o *Object) Write(off int64, p []byte) {
+	c := o.c
+	bs := c.cfg.BlockSize
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for in := 0; in < len(p); {
+		pos := off + int64(in)
+		idx := pos / bs
+		b := o.blocks[idx]
+		if b == nil {
+			c.ensureRoomLocked(bs)
+			b = &block{obj: o, idx: idx, buf: c.acquireBuf()}
+			for i := range b.buf {
+				b.buf[i] = 0
+			}
+			o.blocks[idx] = b
+			o.bytes += bs
+		}
+		lo := int(pos % bs)
+		n := copy(b.buf[lo:], p[in:])
+		hi := lo + n
+		if !b.dirty {
+			b.dirty = true
+			b.dLo, b.dHi = lo, hi
+			if b.list != nil { // pin: out of the eviction lists
+				if b.list == &c.probation {
+					c.probBytes -= bs
+				} else {
+					c.protBytes -= bs
+				}
+				b.list.remove(b)
+				b.list = nil
+			}
+			c.dirty += bs
+			o.dirtyBytes += bs
+		} else {
+			// The block is fully valid, so widening the span over a gap
+			// rewrites bytes that equal the on-disk image — harmless.
+			if lo < b.dLo {
+				b.dLo = lo
+			}
+			if hi > b.dHi {
+				b.dHi = hi
+			}
+		}
+		in += n
+	}
+}
+
+// SequentialAt reports whether a read starting at off continues the
+// object's current sequential stream — the file layer widens a demand
+// fetch to the read-ahead window exactly then.
+func (o *Object) SequentialAt(off int64) bool {
+	c := o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.ReadAhead > 0 && off == o.streamNext
+}
+
+// NextFlush returns the lowest-offset dirty extent as (off, view into
+// the block buffer). The view stays stable while the caller holds the
+// file lock (writers mutate blocks only under it) and dirty blocks are
+// never evicted. After writing it back, call FlushDone (or FlushFail).
+func (o *Object) NextFlush() (off int64, p []byte, ok bool) {
+	c := o.c
+	bs := c.cfg.BlockSize
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *block
+	for _, b := range o.blocks {
+		if b.dirty && (best == nil || b.idx < best.idx) {
+			best = b
+		}
+	}
+	if best == nil {
+		return 0, nil, false
+	}
+	return best.idx*bs + int64(best.dLo), best.buf[best.dLo:best.dHi], true
+}
+
+// FlushDone marks the dirty extent returned by NextFlush clean. The
+// block unpins into the protected segment — it was written recently and
+// a write-behind pattern re-reads its own output often enough that
+// probation would thrash it.
+func (o *Object) FlushDone(off int64) {
+	c := o.c
+	bs := c.cfg.BlockSize
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := o.blocks[off/bs]
+	if b == nil || !b.dirty {
+		return
+	}
+	b.dirty = false
+	b.served = true
+	c.dirty -= bs
+	o.dirtyBytes -= bs
+	c.flushes.Add(1)
+	c.protected.pushFront(b)
+	b.list = &c.protected
+	c.protBytes += bs
+	c.ensureRoomLocked(0)
+	c.wakeWaitersLocked()
+}
+
+// FlushFail records a failed write-back. The extent stays dirty (and
+// will be retried); the error re-surfaces on the next write or sync.
+func (o *Object) FlushFail(err error) {
+	c := o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if o.flushErr == nil {
+		o.flushErr = err
+	}
+	c.flushErrors.Add(1)
+}
+
+// TakeFlushErr returns and clears a pending write-back error.
+func (o *Object) TakeFlushErr() error {
+	c := o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := o.flushErr
+	o.flushErr = nil
+	return err
+}
+
+// DirtyBytes reports this object's unflushed bytes.
+func (o *Object) DirtyBytes() int64 {
+	c := o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return o.dirtyBytes
+}
+
+// Invalidate drops every block overlapping [off, off+n): the
+// write-through path after a successful write, and the truncate path.
+// Dirty blocks in range are dropped too — callers flush first when the
+// dirty data must survive.
+func (o *Object) Invalidate(off, n int64) {
+	c := o.c
+	bs := c.cfg.BlockSize
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lo, hi := off/bs, (off+n+bs-1)/bs
+	if hi-lo > int64(len(o.blocks)) {
+		// The range spans more blocks than are resident (e.g. the
+		// whole-object 1<<62 sentinel): sweep residency, not the range.
+		for idx, b := range o.blocks {
+			if idx >= lo && idx < hi {
+				o.invalidateBlockLocked(b)
+			}
+		}
+	} else {
+		for idx := lo; idx < hi; idx++ {
+			if b := o.blocks[idx]; b != nil {
+				o.invalidateBlockLocked(b)
+			}
+		}
+	}
+	o.resetStreamLocked()
+}
+
+// invalidateBlockLocked drops one block, settling dirty accounting
+// first; c.mu held.
+func (o *Object) invalidateBlockLocked(b *block) {
+	c := o.c
+	if b.dirty {
+		b.dirty = false
+		c.dirty -= c.cfg.BlockSize
+		o.dirtyBytes -= c.cfg.BlockSize
+		c.wakeWaitersLocked()
+	}
+	c.dropLocked(b, false)
+}
+
+// InvalidateAll drops the object's entire cached image — the coherence
+// path when another client wrote the object, counted as one
+// invalidation. gen, when nonzero, is adopted as the write-generation
+// the next fetch will reflect. Dirty blocks must be flushed first.
+func (o *Object) InvalidateAll(gen uint64) {
+	c := o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range o.blocks {
+		if b.dirty {
+			b.dirty = false
+			c.dirty -= c.cfg.BlockSize
+			o.dirtyBytes -= c.cfg.BlockSize
+			c.wakeWaitersLocked()
+		}
+		c.dropLocked(b, false)
+	}
+	if gen > o.seenGen {
+		o.seenGen = gen
+	}
+	o.resetStreamLocked()
+	c.invalidations.Add(1)
+}
+
+// resetStreamLocked abandons the current sequential stream; c.mu held.
+// Bumping gen cancels in-flight prefetches (their results are dropped by
+// the worker's gen check).
+func (o *Object) resetStreamLocked() {
+	o.run = 0
+	o.gen++
+	o.prefetchHi = 0
+}
+
+// StreamGen returns the current stream generation; a prefetch worker
+// re-checks it before inserting so a seek cancels in-flight read-ahead.
+func (o *Object) StreamGen() uint64 {
+	c := o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return o.gen
+}
+
+// NoteRead feeds the stream detector after serving [off, off+n) of an
+// object currently size bytes long, and returns the read-ahead window
+// the caller should prefetch asynchronously (plen == 0: none). A window
+// is suggested once per stream position, block-aligned, clamped to the
+// object size, and only after a full block of sequential progress.
+func (o *Object) NoteRead(off, n, size int64) (poff, plen int64, gen uint64) {
+	c := o.c
+	bs := c.cfg.BlockSize
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.ReadAhead <= 0 {
+		return 0, 0, 0
+	}
+	if off != o.streamNext {
+		o.resetStreamLocked()
+		o.run = n
+	} else {
+		o.run += n
+	}
+	o.streamNext = off + n
+	if o.run < bs {
+		return 0, 0, o.gen
+	}
+	start := o.streamNext
+	if r := start % bs; r != 0 {
+		start += bs - r
+	}
+	if start < o.prefetchHi {
+		start = o.prefetchHi
+	}
+	end := o.streamNext + c.cfg.ReadAhead
+	if r := end % bs; r != 0 {
+		end += bs - r
+	}
+	if end > size {
+		end = size
+	}
+	if end <= start {
+		return 0, 0, o.gen
+	}
+	o.prefetchHi = end
+	return start, end - start, o.gen
+}

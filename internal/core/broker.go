@@ -400,6 +400,52 @@ func (b *MediatorBroker) CloseSession() error {
 	return err
 }
 
+// coherenceSyncer is the optional endpoint upgrade for the cache
+// coherence round: *mediator.Mediator (in-process) and *medrpc.Client
+// (wire) both implement it; endpoints that don't are skipped.
+type coherenceSyncer interface {
+	CacheSync(id uint64, cached []mediator.CachedObject, written []string) ([]mediator.CachedObject, error)
+}
+
+// CacheSync runs one cache-coherence round for the broker's session,
+// shaped for core.Config.CacheSync. The home replica is tried first,
+// then the survivors in placement order — any replica can serve the
+// round, since generation bumps mirror across the federation. A session
+// nobody knows surfaces ErrUnknownSession so the client drops its lease
+// (and its cached bytes with it).
+func (b *MediatorBroker) CacheSync(cached []mediator.CachedObject, written []string) ([]mediator.CachedObject, error) {
+	b.mu.Lock()
+	rec := b.rec
+	home := b.home
+	var id uint64
+	if rec != nil {
+		id = rec.ID
+	}
+	b.mu.Unlock()
+	if rec == nil {
+		return nil, ErrNoMediatorSession
+	}
+	var lastErr error
+	for _, ep := range b.candidates(home) {
+		cs, ok := ep.(coherenceSyncer)
+		if !ok {
+			continue
+		}
+		stale, err := cs.CacheSync(id, cached, written)
+		if err == nil {
+			return stale, nil
+		}
+		if errors.Is(err, mediator.ErrUnknownSession) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		return nil, ErrNoMediatorSession // no endpoint speaks coherence
+	}
+	return nil, fmt.Errorf("%w: cache sync session %d: %w", ErrMediatorsDown, id, lastErr)
+}
+
 // Record returns a copy of the session record the broker holds, or nil
 // before OpenSession.
 func (b *MediatorBroker) Record() *mediator.SessionRecord {

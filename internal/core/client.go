@@ -21,7 +21,9 @@ import (
 	"time"
 
 	"swift/internal/backoff"
+	"swift/internal/cache"
 	"swift/internal/ec"
+	"swift/internal/mediator"
 	"swift/internal/obs"
 	"swift/internal/stripe"
 	"swift/internal/transport"
@@ -73,11 +75,33 @@ type Config struct {
 	// on an agent once roughly MaxRetries×RetryTimeout elapses with no
 	// progress (default 40). Progress refreshes the budget.
 	MaxRetries int
-	// ReadAhead, when > 0, fetches sequential reads in windows of this
-	// many bytes and serves subsequent reads from the window — the
-	// client-side analogue of the kernel read-ahead the paper's
-	// baselines enjoy. Random reads bypass it.
+	// ReadAhead, when > 0, prefetches sequential streams in windows of
+	// this many bytes through the client block cache — the client-side
+	// analogue of the kernel read-ahead the paper's baselines enjoy.
+	// Detected streams get their next window fetched by a background
+	// worker while the application consumes the current one; random
+	// reads bypass it. Setting ReadAhead enables the cache.
 	ReadAhead int64
+	// ReadAheadStreams caps concurrently prefetching sequential streams
+	// (default 2); each gets a background read-ahead worker.
+	ReadAheadStreams int
+	// CacheSize bounds the client block cache in bytes. Zero auto-sizes
+	// it when ReadAhead or WriteBehindMax enables the cache; negative
+	// disables caching outright. Setting CacheSize > 0 enables the
+	// cache even without read-ahead (re-reads then hit memory).
+	CacheSize int64
+	// WriteBehindMax, when > 0, absorbs writes into dirty cache blocks
+	// up to this many bytes and flushes them to the agents in the
+	// background in offset order. Sync remains a full flush barrier; a
+	// failed write-back re-surfaces on the next write or Sync; writers
+	// park once the dirty budget is exceeded. Zero keeps write-through.
+	WriteBehindMax int64
+	// CacheSync, when non-nil, is the mediator cache-coherence hook:
+	// each heartbeat declares the cached objects (with the generations
+	// their images reflect) and the objects written since the last
+	// successful round, and receives back the stale set to drop. Nil
+	// disables coherence (single-client caching).
+	CacheSync func(cached []mediator.CachedObject, written []string) ([]mediator.CachedObject, error)
 	// SyncWrites asks agents to commit each write burst to stable
 	// storage before acknowledging it.
 	SyncWrites bool
@@ -177,6 +201,9 @@ func (c *Config) fill() error {
 	if c.BreakerCooldown == 0 {
 		c.BreakerCooldown = 2 * time.Second
 	}
+	if c.ReadAheadStreams == 0 {
+		c.ReadAheadStreams = 2
+	}
 	// Normalize the redundancy knobs both ways: ParityShards implies
 	// Parity, and Parity alone means the legacy single parity unit. All
 	// boolean cfg.Parity checks in the engine stay valid for any k.
@@ -186,6 +213,14 @@ func (c *Config) fill() error {
 		c.ParityShards = 1
 	}
 	return c.layout().Validate()
+}
+
+// cacheEnabled reports whether the client runs the block cache tier.
+func (c *Config) cacheEnabled() bool {
+	if c.CacheSize < 0 {
+		return false
+	}
+	return c.CacheSize > 0 || c.ReadAhead > 0 || c.WriteBehindMax > 0
 }
 
 // layout derives the striping layout from the filled config.
@@ -223,6 +258,19 @@ type Client struct {
 
 	budget   *tokenBucket // shared retry/hedge budget (see overload.go)
 	breakers []breaker    // per-agent circuit breakers
+
+	// Block cache tier (nil when caching is off; see cachetier.go).
+	cache        *cache.Cache
+	prefetchQ    chan prefetchReq // read-ahead suggestions to the workers
+	prefetchStop chan struct{}
+	prefetchWG   sync.WaitGroup
+	flushKick    chan struct{} // nudges the write-behind flusher
+	flushStop    chan struct{}
+	flushDone    chan struct{}
+	cacheOnce    sync.Once // guards cache-worker teardown
+
+	cohMu   sync.Mutex
+	written map[string]struct{} // objects written since the last successful coherence round; guarded by cohMu
 }
 
 // Metrics counts protocol events, for diagnostics and calibration.
@@ -283,6 +331,7 @@ func Dial(cfg Config) (*Client, error) {
 		}
 	}
 	c.tel = newTelemetry(cfg.Obs, cfg.Agents, &c.metrics, c.codec, c.budget)
+	c.initCache()
 	c.tracer = cfg.Tracer
 	if cfg.Verbose {
 		logf := c.cfg.Logf
@@ -323,6 +372,10 @@ func (c *Client) ECStats() ec.Stats {
 // control endpoint. Open files remain usable until closed individually.
 func (c *Client) Close() error {
 	c.StopMonitor()
+	// Declare any writes still pending a coherence round, then stop the
+	// cache workers (the flusher drains on its way out).
+	c.CoherenceSync()
+	c.stopCacheWorkers()
 	if c.traceStop != nil {
 		c.traceStop()
 	}
@@ -479,6 +532,13 @@ func (c *Client) Open(name string, flags OpenFlags) (*File, error) {
 	}
 	if flags.Truncate {
 		f.size = 0
+	}
+	if c.cache != nil {
+		f.cobj = c.cache.Open(name)
+		if flags.Truncate {
+			// Cached blocks of the previous incarnation are stale.
+			f.cobj.Invalidate(0, 1<<62)
+		}
 	}
 	c.mu.Lock()
 	c.files[f] = struct{}{}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"swift/internal/cache"
 	"swift/internal/extent"
 	"swift/internal/integrity"
 	"swift/internal/obs"
@@ -33,11 +34,18 @@ type File struct {
 	// zero so background repair never inherits a stale foreground budget.
 	opDeadline time.Time
 
-	// Read-ahead window (enabled by Config.ReadAhead).
-	raBuf   []byte
-	raOff   int64 // logical offset of raBuf[0]
-	raLen   int64 // valid bytes in raBuf
-	lastEnd int64 // end of the previous read, for sequential detection
+	// Block cache view (nil when the client cache is off). fetchBuf is
+	// the demand-fetch scratch: demand misses are served to the caller
+	// from it and only then inserted, so a one-pass scan earns cache
+	// residence without earning references and dies in probation.
+	cobj     *cache.Object
+	fetchBuf []byte
+	// prefetching marks operations running on behalf of a background
+	// read-ahead worker; written under f.mu before readRange fans its
+	// goroutines out (which are joined before it returns). Prefetch
+	// reads never hedge — speculation must not race demand reads for
+	// the retry budget.
+	prefetching bool
 }
 
 // Name returns the object name.
@@ -135,58 +143,68 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	return int(n), nil
 }
 
-// readServe satisfies a clamped read, through the read-ahead window when
-// it is enabled and the access is sequential.
+// readServe satisfies a clamped read through the block cache when it is
+// on, falling back to a direct striped read otherwise. Resident bytes
+// copy straight out; a miss fetches a block-aligned window (widened to
+// the read-ahead window when the read continues a sequential stream),
+// serves the caller from the fetch scratch, and inserts the blocks.
+// Afterwards the stream detector may suggest the next window for the
+// background prefetch workers.
 func (f *File) readServe(dst []byte, off int64, sp *obs.Span) error {
-	ra := f.c.cfg.ReadAhead
-	n := int64(len(dst))
-	sequential := off == f.lastEnd || f.raCovers(off)
-	f.lastEnd = off + n
-	if ra <= 0 || !sequential {
+	if f.cobj == nil {
 		return f.readRange(dst, off, true, sp)
 	}
+	n := int64(len(dst))
 	for filled := int64(0); filled < n; {
 		pos := off + filled
-		if f.raCovers(pos) {
-			start := pos - f.raOff
-			m := f.raLen - start
-			if m > n-filled {
-				m = n - filled
-			}
-			copy(dst[filled:filled+m], f.raBuf[start:start+m])
-			filled += m
+		if m := f.cobj.ReadCached(dst[filled:], pos); m > 0 {
+			filled += int64(m)
 			continue
 		}
-		// Refill the window at pos.
-		w := ra
-		if w < n-filled {
-			w = n - filled
-		}
-		if pos+w > f.size {
-			w = f.size - pos
-		}
-		if w <= 0 {
-			return io.ErrUnexpectedEOF // cannot happen: read is clamped
-		}
-		if int64(cap(f.raBuf)) < w {
-			f.raBuf = make([]byte, w)
-		}
-		f.raBuf = f.raBuf[:w]
-		if err := f.readRange(f.raBuf, pos, true, sp); err != nil {
+		fo, flen := f.fetchWindow(pos, n-filled)
+		buf := f.growFetch(flen)
+		if err := f.readRange(buf, fo, true, sp); err != nil {
 			return err
 		}
-		f.raOff, f.raLen = pos, w
+		f.cobj.Insert(fo, buf, false)
+		filled += int64(copy(dst[filled:], buf[pos-fo:]))
+	}
+	if poff, plen, gen := f.cobj.NoteRead(off, n, f.size); plen > 0 {
+		f.c.suggestPrefetch(f, poff, plen, gen)
 	}
 	return nil
 }
 
-// raCovers reports whether the read-ahead window holds logical offset off.
-func (f *File) raCovers(off int64) bool {
-	return f.raLen > 0 && off >= f.raOff && off < f.raOff+f.raLen
+// fetchWindow picks the block-aligned fetch covering a demand miss at
+// pos needing need more bytes: at least the spanning blocks, widened to
+// the read-ahead window when pos continues a sequential stream (the
+// first reads of a stream ride this before async prefetch is primed).
+func (f *File) fetchWindow(pos, need int64) (off, n int64) {
+	bs := f.c.cache.BlockSize()
+	off = pos - pos%bs
+	end := pos + need
+	if r := end % bs; r != 0 {
+		end += bs - r
+	}
+	if ra := f.c.cache.ReadAhead(); ra > 0 && off+ra > end && f.cobj.SequentialAt(pos) {
+		end = off + ra
+	}
+	if end > f.size {
+		end = f.size
+	}
+	if end < pos+need {
+		end = pos + need // defensive: the read is already size-clamped
+	}
+	return off, end - off
 }
 
-// raInvalidate drops the read-ahead window (on any mutation).
-func (f *File) raInvalidate() { f.raLen = 0 }
+// growFetch sizes the demand-fetch scratch buffer.
+func (f *File) growFetch(n int64) []byte {
+	if int64(cap(f.fetchBuf)) < n {
+		f.fetchBuf = make([]byte, n)
+	}
+	return f.fetchBuf[:n]
+}
 
 // readRange reads [off, off+len(dst)) into dst, unclamped by the logical
 // size (absent bytes arrive as zeros). With allowFailover set and parity
@@ -390,7 +408,7 @@ func (f *File) agentRead(s *agentSession, e extent.Extent, dst []byte, base int6
 		}
 		err := f.readBurst(s, lo, n, func(localOff int64, b []byte) {
 			f.placeGlobal(s.idx, localOff, b, dst, base)
-		}, sp, true)
+		}, sp, !f.prefetching)
 		if err != nil {
 			return err
 		}
@@ -614,13 +632,25 @@ func (f *File) sendPacket(s *agentSession, p *wire.Packet) error {
 }
 
 // WriteAt implements io.WriterAt: it streams to all affected agents in
-// parallel and, with parity enabled, maintains the computed copy.
+// parallel and, with parity enabled, maintains the computed copy. With
+// write-behind on, the bytes are instead absorbed into dirty cache
+// blocks and flushed in the background; the writer parks outside the
+// file lock once the dirty budget is exceeded, so back-pressure never
+// blocks the flusher itself.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	start := time.Now()
 	sp := f.c.startSpan(obs.SpanContext{}, "write")
 	defer sp.Finish()
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	n, err := f.writeAtLocked(p, off, start, sp)
+	f.mu.Unlock()
+	if err == nil {
+		f.waitWriteBudget()
+	}
+	return n, err
+}
+
+func (f *File) writeAtLocked(p []byte, off int64, start time.Time, sp *obs.Span) (int, error) {
 	if f.closed {
 		return 0, ErrClosed
 	}
@@ -630,22 +660,73 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	if f.cobj != nil {
+		// A failed background write-back surfaces on the next write —
+		// never silently swallowed.
+		if err := f.cobj.TakeFlushErr(); err != nil {
+			sp.SetError(err)
+			return 0, err
+		}
+	}
 	f.c.budget.deposit()
 	if t := f.c.cfg.OpTimeout; t > 0 {
 		f.opDeadline = start.Add(t)
 		defer func() { f.opDeadline = time.Time{} }()
 	}
 	sp.Annotate("%s [%d:%d)", f.name, off, off+int64(len(p)))
-	if err := f.writeRange(p, off, true, sp); err != nil {
-		sp.SetError(err)
-		return 0, err
+	if f.cobj != nil && f.c.cache.WriteBehind() {
+		if err := f.absorbWrite(p, off, sp); err != nil {
+			sp.SetError(err)
+			return 0, err
+		}
+	} else {
+		if err := f.writeRange(p, off, true, sp); err != nil {
+			sp.SetError(err)
+			return 0, err
+		}
+		if f.cobj != nil {
+			// Write-through: cached blocks in range went stale.
+			f.cobj.Invalidate(off, int64(len(p)))
+		}
+		f.c.noteWritten(f.name)
 	}
 	observeSpan(f.c.tel.writeLat, start, sp)
-	f.raInvalidate()
 	if end := off + int64(len(p)); end > f.size {
 		f.size = end
 	}
 	return len(p), nil
+}
+
+// absorbWrite lands a write in dirty cache blocks (write-behind). A
+// block the write covers only partially must first be backed by its
+// on-disk bytes so the cached image stays fully valid; then the bytes
+// absorb, the flusher is kicked, and — while the cache is over its
+// dirty budget — the writer flushes its own file inline so a saturated
+// cache degrades to write-through instead of wedging.
+func (f *File) absorbWrite(p []byte, off int64, sp *obs.Span) error {
+	n := int64(len(p))
+	for {
+		bo, blen, ok := f.cobj.MissingBacking(off, n, f.size)
+		if !ok {
+			break
+		}
+		buf := f.growFetch(blen)
+		if err := f.readRange(buf, bo, true, sp); err != nil {
+			return err
+		}
+		f.cobj.Insert(bo, buf, false)
+	}
+	f.cobj.Write(off, p)
+	for f.c.cache.OverBudget() && f.cobj.DirtyBytes() > 0 {
+		if !f.flushOneLocked(sp) {
+			if err := f.cobj.TakeFlushErr(); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	f.c.kickFlush()
+	return nil
 }
 
 // writeRange writes src at logical offset off. Corruption reported by an
@@ -1050,6 +1131,13 @@ func (f *File) Sync() error {
 		return ErrClosed
 	}
 	sp.Annotate("%s", f.name)
+	// Write-behind barrier: every dirty extent reaches the agents before
+	// the commit requests go out, and a parked write-back error surfaces
+	// here rather than being swallowed.
+	if err := f.flushAllLocked(sp); err != nil {
+		sp.SetError(err)
+		return err
+	}
 	for _, s := range f.sessions {
 		if s == nil {
 			continue
@@ -1085,6 +1173,12 @@ func (f *File) Truncate(size int64) error {
 	if size < 0 {
 		return errors.New("core: negative size")
 	}
+	// Flush dirty extents first: a dirty block below the new size must
+	// survive the truncation, and flushing the lot is simpler than
+	// splitting blocks at the cut.
+	if err := f.flushAllLocked(nil); err != nil {
+		return err
+	}
 	frags := f.c.layout.FragmentSizes(size)
 	for _, s := range f.sessions {
 		if s == nil {
@@ -1101,7 +1195,9 @@ func (f *File) Truncate(size int64) error {
 			return fmt.Errorf("core: unexpected %v to truncate", reply.Type)
 		}
 	}
-	f.raInvalidate()
+	if f.cobj != nil {
+		f.cobj.Invalidate(0, 1<<62)
+	}
 	f.size = size
 	if f.pos > size {
 		f.pos = size
@@ -1118,9 +1214,11 @@ func (f *File) Close() error {
 	if f.closed {
 		return nil
 	}
+	// Write-behind data leaves before the handles do; a parked flush
+	// error surfaces here rather than dying with the file.
+	firstErr := f.flushAllLocked(nil)
 	f.closed = true
 	f.c.dropFile(f)
-	var firstErr error
 	for _, s := range f.sessions {
 		if s == nil {
 			continue
@@ -1136,6 +1234,10 @@ func (f *File) Close() error {
 			firstErr = fmt.Errorf("core: close agent %d: %w", s.idx, err)
 		}
 		s.close()
+	}
+	if f.cobj != nil {
+		f.cobj.Close()
+		f.cobj = nil
 	}
 	return firstErr
 }
@@ -1190,7 +1292,10 @@ func (f *File) readmit(idx int, rebuild bool) error {
 			return err
 		}
 	}
-	f.raInvalidate()
+	// Cached blocks stay valid across readmission: recovery and rebuild
+	// restore the agent's fragment to the same logical bytes the cache
+	// already holds, and dropping the image here would discard absorbed
+	// write-behind data.
 	return nil
 }
 

@@ -184,6 +184,9 @@ func (c *Client) StartMonitor(mc MonitorConfig) error {
 				if mc.Heartbeat != nil {
 					mc.Heartbeat()
 				}
+				// Cache coherence rides the heartbeat cadence: declare
+				// what we cache and wrote, drop what went stale.
+				c.CoherenceSync()
 				c.ProbeOnce()
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"time"
 
+	"swift/internal/cache"
 	"swift/internal/ec"
 	"swift/internal/obs"
 )
@@ -313,6 +314,9 @@ type StatsSnapshot struct {
 
 	// Overload is the cooperative overload-control summary.
 	Overload OverloadStats
+
+	// Cache is the block cache's counters (zeros when caching is off).
+	Cache cache.Stats
 }
 
 // OverloadStats summarizes the client's overload-control activity.
@@ -340,6 +344,8 @@ func (c *Client) Stats() StatsSnapshot {
 		EC:               c.ECStats(),
 		ECEncodeLat:      c.tel.ecEncodeLat.Snapshot(),
 		ECReconstructLat: c.tel.ecReconstructLat.Snapshot(),
+
+		Cache: c.CacheStats(),
 	}
 	s.Overload = OverloadStats{
 		Pushbacks:     s.Counters.Pushbacks,

@@ -1,0 +1,174 @@
+package mediator
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// newCoherenceMediator builds a single replica over the standard test
+// installation for direct CacheSync exercises.
+func newCoherenceMediator(t *testing.T) *Mediator {
+	t.Helper()
+	m, err := New(testInstall())
+	if err != nil {
+		t.Fatalf("new mediator: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// TestCacheSyncAdoptsOwnWrites pins the writer-side rule: a session's
+// declared writes bump the generation and come back as adoptions (the
+// new generation for the object), even when the session also declares
+// the object cached — never as a bare invalidation of its own cache.
+func TestCacheSyncAdoptsOwnWrites(t *testing.T) {
+	m := newCoherenceMediator(t)
+	p, err := m.OpenSession(Requirements{Rate: 100e3})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	out, err := m.CacheSync(p.SessionID,
+		[]CachedObject{{Name: "v", Gen: 0}}, []string{"v"})
+	if err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if len(out) != 1 || out[0].Name != "v" || out[0].Gen != 1 {
+		t.Fatalf("reply = %+v, want v@1", out)
+	}
+	if g := m.ObjectGen("v"); g != 1 {
+		t.Fatalf("gen = %d, want 1", g)
+	}
+	// Re-declaring the same round (a lost-reply retransmit) just bumps
+	// again — harmless over-invalidation, never a stuck generation.
+	out, err = m.CacheSync(p.SessionID, nil, []string{"v"})
+	if err != nil {
+		t.Fatalf("retransmit: %v", err)
+	}
+	if len(out) != 1 || out[0].Gen != 2 {
+		t.Fatalf("retransmit reply = %+v, want v@2", out)
+	}
+}
+
+// TestCacheSyncInvalidatesStaleReaders pins the reader side: only
+// images behind the current generation are named, and the reply carries
+// the generation to converge to.
+func TestCacheSyncInvalidatesStaleReaders(t *testing.T) {
+	m := newCoherenceMediator(t)
+	w, err := m.OpenSession(Requirements{Rate: 100e3})
+	if err != nil {
+		t.Fatalf("open writer: %v", err)
+	}
+	r, err := m.OpenSession(Requirements{Rate: 100e3})
+	if err != nil {
+		t.Fatalf("open reader: %v", err)
+	}
+	if _, err := m.CacheSync(w.SessionID, nil, []string{"a", "b"}); err != nil {
+		t.Fatalf("writer sync: %v", err)
+	}
+	out, err := m.CacheSync(r.SessionID, []CachedObject{
+		{Name: "a", Gen: 0}, // stale
+		{Name: "b", Gen: 1}, // current
+		{Name: "c", Gen: 0}, // never written: current by definition
+	}, nil)
+	if err != nil {
+		t.Fatalf("reader sync: %v", err)
+	}
+	if len(out) != 1 || out[0].Name != "a" || out[0].Gen != 1 {
+		t.Fatalf("reply = %+v, want only a@1", out)
+	}
+}
+
+// TestCacheSyncUnknownSession pins the lease-loss sentinel and that an
+// expired lease severs the coherence channel with it.
+func TestCacheSyncUnknownSession(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(100, 0)}
+	m, err := New(leaseInstall(time.Second, clk))
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+
+	if _, err := m.CacheSync(42, nil, nil); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("unknown id err = %v, want ErrUnknownSession", err)
+	}
+	p, err := m.OpenSession(Requirements{Rate: 100e3})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := m.CacheSync(p.SessionID, nil, nil); err != nil {
+		t.Fatalf("live sync: %v", err)
+	}
+	clk.Advance(2 * time.Second) // lease lapses
+	if _, err := m.CacheSync(p.SessionID, nil, nil); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("expired lease err = %v, want ErrUnknownSession", err)
+	}
+}
+
+// TestGenerationBumpCrossesFederation pins the mirror ride: a write
+// declared on one replica moves the generation on its peers, so a
+// reader homed elsewhere still hears about it.
+func TestGenerationBumpCrossesFederation(t *testing.T) {
+	f := fedInstall(t, 0, nil)
+	w, err := f.Mediator(0).OpenSession(Requirements{Rate: 100e3})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Mediator(0).CacheSync(w.SessionID, nil, []string{"shared"}); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	f.WaitMirrors()
+	for i := 0; i < 3; i++ {
+		if g := f.Mediator(i).ObjectGen("shared"); g != 1 {
+			t.Fatalf("replica %d gen = %d, want 1", i, g)
+		}
+	}
+}
+
+// TestRestartReconcilesGenerations pins the restart rule: the
+// generation table dies with the process, and the restarted replica
+// max-merges it back from a peer so it cannot vouch "fresh" for an
+// object the federation knows was overwritten.
+func TestRestartReconcilesGenerations(t *testing.T) {
+	f := fedInstall(t, 0, nil)
+	w, err := f.Mediator(1).OpenSession(Requirements{Rate: 100e3})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Mediator(1).CacheSync(w.SessionID, nil, []string{"x"}); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	f.WaitMirrors()
+	f.Kill(0)
+	if err := f.Restart(0); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if g := f.Mediator(0).ObjectGen("x"); g != 1 {
+		t.Fatalf("restarted replica gen = %d, want 1", g)
+	}
+}
+
+// TestSyncGensMaxMerges pins that reconciliation is a max-merge: a
+// stale snapshot can never roll a generation backwards.
+func TestSyncGensMaxMerges(t *testing.T) {
+	m := newCoherenceMediator(t)
+	if err := m.SyncGens(map[string]uint64{"a": 5, "b": 2}); err != nil {
+		t.Fatalf("sync gens: %v", err)
+	}
+	if err := m.SyncGens(map[string]uint64{"a": 3, "b": 7}); err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+	if g := m.ObjectGen("a"); g != 5 {
+		t.Fatalf("a = %d, want 5 (no rollback)", g)
+	}
+	if g := m.ObjectGen("b"); g != 7 {
+		t.Fatalf("b = %d, want 7", g)
+	}
+	snap, err := m.GenSnapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if len(snap) != 2 || snap["a"] != 5 || snap["b"] != 7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}

@@ -53,6 +53,11 @@ const (
 	MirrorUpsert MirrorOp = iota + 1
 	// MirrorDelete removes a session and releases its reservations.
 	MirrorDelete
+	// MirrorInvalidate propagates a cache write-generation bump: Rec.Key
+	// carries the object name and Rec.ID the new generation (no session
+	// involved). Peers max-merge it so readers homed anywhere observe a
+	// write declared on any replica.
+	MirrorInvalidate
 )
 
 func (op MirrorOp) String() string {
@@ -61,6 +66,8 @@ func (op MirrorOp) String() string {
 		return "upsert"
 	case MirrorDelete:
 		return "delete"
+	case MirrorInvalidate:
+		return "invalidate"
 	default:
 		return fmt.Sprintf("mirrorop(%d)", uint8(op))
 	}
@@ -262,6 +269,9 @@ func (m *Mediator) ApplyMirror(u MirrorUpdate) error {
 			delete(m.sessions, u.Rec.ID)
 			m.releaseLocked(s.plan)
 		}
+		m.tel.mirrorsApplied.Inc()
+	case MirrorInvalidate:
+		m.applyInvalidateLocked(u.Rec.Key, u.Rec.ID)
 		m.tel.mirrorsApplied.Inc()
 	default:
 		return fmt.Errorf("mediator: unknown mirror op %v", u.Op)
@@ -676,6 +686,12 @@ func (f *Federation) Restart(i int) error {
 		}
 		if err := fresh.SyncFrom(recs); err != nil {
 			return fmt.Errorf("mediator: restart %q: sync from %q: %w", f.names[i], f.names[j], err)
+		}
+		// Object write generations reconcile alongside the sessions: a
+		// restarted replica that forgot a generation would tell a cached
+		// reader its stale image is fresh.
+		if gens, err := med.GenSnapshot(); err == nil {
+			_ = fresh.SyncGens(gens)
 		}
 		return nil
 	}

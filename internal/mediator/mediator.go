@@ -140,6 +140,7 @@ type session struct {
 	expires time.Time // zero when leases are disabled
 	key     string    // placement key (federation)
 	home    string    // replica responsible for the lease
+	cached  int       // objects the client declared cached in its last CacheSync
 }
 
 // Session-id namespacing for federated replicas: the top 16 bits hash the
@@ -161,6 +162,7 @@ type Mediator struct {
 	agentLoad   []float64           // guarded by mu
 	netLoad     []float64           // guarded by mu
 	sessions    map[uint64]*session // guarded by mu
+	objGen      map[string]uint64   // per-object cache write generation; guarded by mu
 	nextID      uint64              // guarded by mu
 	peers       []Peer
 	links       []*peerLink // one replication queue+goroutine per peer
@@ -602,6 +604,7 @@ type SessionStatus struct {
 	Expires      time.Time // zero when leases are disabled
 	Home         string    // replica responsible for the lease
 	Key          string    // placement key
+	Cached       int       // objects declared cached in the last CacheSync
 }
 
 // SessionList snapshots the live sessions, sorted by ID.
@@ -621,6 +624,7 @@ func (m *Mediator) SessionList() []SessionStatus {
 			Expires:      s.expires,
 			Home:         s.home,
 			Key:          s.key,
+			Cached:       s.cached,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

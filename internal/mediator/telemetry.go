@@ -25,6 +25,11 @@ type telemetry struct {
 	mirrorDrops    *obs.Counter // replication updates dropped or refused
 
 	overloadRejects *obs.Counter // sessions shed by the admission watermark
+
+	// Cache coherence (see coherence.go).
+	cacheSyncs     *obs.Counter // client coherence rounds served
+	writesDeclared *obs.Counter // object write declarations (generation bumps)
+	invalidations  *obs.Counter // stale cached objects reported to clients
 }
 
 // lbl builds an instrument's label set, adding the replica label on
@@ -69,6 +74,12 @@ func (m *Mediator) initTelemetry(reg *obs.Registry) {
 			"Session replication updates dropped (full peer queue) or refused by a peer.", m.lbl(nil)),
 		overloadRejects: reg.Counter("swift_mediator_overload_rejects_total",
 			"New sessions shed because reserved ratios exceeded the admission watermark.", m.lbl(nil)),
+		cacheSyncs: reg.Counter("swift_mediator_cache_syncs_total",
+			"Client cache-coherence rounds served over the lease channel.", m.lbl(nil)),
+		writesDeclared: reg.Counter("swift_mediator_cache_writes_declared_total",
+			"Object write declarations received (each bumps the object's generation).", m.lbl(nil)),
+		invalidations: reg.Counter("swift_mediator_cache_invalidations_total",
+			"Stale cached objects reported back to clients for invalidation.", m.lbl(nil)),
 	}
 	reg.GaugeFunc("swift_mediator_sessions", "Active reserved sessions known to this replica.",
 		m.lbl(nil), func() float64 {

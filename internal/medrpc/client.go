@@ -266,6 +266,33 @@ func (c *Client) CloseSession(id uint64) error {
 	return err
 }
 
+// CacheSync runs one cache-coherence round on the replica: declare the
+// cached objects (with the generations their images reflect) and the
+// objects written since the last successful round; the reply is the
+// stale set to drop (and the client's own writes to adopt).
+func (c *Client) CacheSync(id uint64, cached []mediator.CachedObject, written []string) ([]mediator.CachedObject, error) {
+	req := wire.MedCacheSync{Session: id, Written: written}
+	for _, co := range cached {
+		req.Cached = append(req.Cached, wire.MedCachedObject{Name: co.Name, Gen: co.Gen})
+	}
+	reply, err := c.rpc(&wire.Packet{
+		Header:  wire.Header{Type: wire.TMedInvalidate, Handle: id},
+		Payload: wire.AppendMedCacheSync(nil, &req),
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := wire.ParseMedCacheSyncReply(reply.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("medrpc: cache sync reply: %w", err)
+	}
+	var stale []mediator.CachedObject
+	for _, o := range r.Stale {
+		stale = append(stale, mediator.CachedObject{Name: o.Name, Gen: o.Gen})
+	}
+	return stale, nil
+}
+
 // Status queries the replica's operator-facing state.
 func (c *Client) Status() (mediator.ReplicaStatus, error) {
 	reply, err := c.rpc(&wire.Packet{Header: wire.Header{Type: wire.TMedStatus}})

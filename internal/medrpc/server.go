@@ -292,6 +292,35 @@ func (s *Server) handle(from string, pkt *wire.Packet) {
 		s.send(from, &wire.Packet{
 			Header: wire.Header{Type: wire.TMedMirrorReply, ReqID: pkt.ReqID, Handle: pkt.Handle},
 		})
+	case wire.TMedInvalidate:
+		req, err := wire.ParseMedCacheSync(pkt.Payload)
+		if err != nil {
+			s.sendError(from, pkt, err)
+			return
+		}
+		cached := make([]mediator.CachedObject, 0, len(req.Cached))
+		for _, o := range req.Cached {
+			cached = append(cached, mediator.CachedObject{Name: o.Name, Gen: o.Gen})
+		}
+		stale, err := med.CacheSync(req.Session, cached, req.Written)
+		if err != nil {
+			s.sendError(from, pkt, err)
+			return
+		}
+		var w wire.MedCacheSyncReply
+		for _, o := range stale {
+			w.Stale = append(w.Stale, wire.MedCachedObject{Name: o.Name, Gen: o.Gen})
+		}
+		if d := pkt.Deadline; d > 0 && time.Since(t0) > d {
+			// The round is idempotent-enough to shed: an unanswered sync
+			// leaves the client's written set declared again next round.
+			s.lateSheds.Add(1)
+			return
+		}
+		s.send(from, &wire.Packet{
+			Header:  wire.Header{Type: wire.TMedInvalidateReply, ReqID: pkt.ReqID, Handle: pkt.Handle},
+			Payload: wire.AppendMedCacheSyncReply(nil, &w),
+		})
 	case wire.TMedStatus:
 		st, err := med.Status()
 		if err != nil {

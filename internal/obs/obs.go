@@ -28,10 +28,12 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by n.
+//
 //swift:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
 //swift:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
@@ -43,6 +45,7 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores the value.
+//
 //swift:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
@@ -106,6 +109,7 @@ type Histogram struct {
 }
 
 // Observe records one duration. Negative durations count as zero.
+//
 //swift:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	v := int64(d)
@@ -140,6 +144,7 @@ func (h *Histogram) Observe(d time.Duration) {
 // remembers it as the exemplar for the duration's bucket — so a p99
 // outlier in the histogram can be chased to the exact trace that caused
 // it. Same cost class as Observe: a few atomics, no locks.
+//
 //swift:hotpath
 func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
 	h.Observe(d)

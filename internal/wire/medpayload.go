@@ -198,6 +198,114 @@ func ParseMedHome(b []byte) (MedHome, error) {
 	return MedHome{Home: home}, err
 }
 
+// MedCachedObject names one cached object together with the mediator
+// write-generation the cached image reflects.
+type MedCachedObject struct {
+	Name string
+	Gen  uint64
+}
+
+// appendCachedObjects encodes a uint16-counted object list.
+func appendCachedObjects(dst []byte, objs []MedCachedObject) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(objs)))
+	for _, o := range objs {
+		dst = appendString(dst, o.Name)
+		dst = binary.BigEndian.AppendUint64(dst, o.Gen)
+	}
+	return dst
+}
+
+// parseCachedObjects decodes a uint16-counted object list, returning the
+// remaining bytes.
+func parseCachedObjects(b []byte) ([]MedCachedObject, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, ErrShortPayload
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	var out []MedCachedObject
+	for i := 0; i < n; i++ {
+		var o MedCachedObject
+		var err error
+		if o.Name, b, err = parseString(b); err != nil {
+			return nil, nil, err
+		}
+		if len(b) < 8 {
+			return nil, nil, ErrShortPayload
+		}
+		o.Gen = binary.BigEndian.Uint64(b)
+		b = b[8:]
+		out = append(out, o)
+	}
+	return out, b, nil
+}
+
+// MedCacheSync is the body of a TMedInvalidate packet: one client's
+// cache-coherence round — the session, the objects it caches (with the
+// generations their images reflect), and the objects it wrote since its
+// last successful round.
+type MedCacheSync struct {
+	Session uint64
+	Cached  []MedCachedObject
+	Written []string
+}
+
+// AppendMedCacheSync encodes s.
+func AppendMedCacheSync(dst []byte, s *MedCacheSync) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, s.Session)
+	dst = appendCachedObjects(dst, s.Cached)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s.Written)))
+	for _, name := range s.Written {
+		dst = appendString(dst, name)
+	}
+	return dst
+}
+
+// ParseMedCacheSync decodes a TMedInvalidate payload.
+func ParseMedCacheSync(b []byte) (MedCacheSync, error) {
+	var s MedCacheSync
+	if len(b) < 8 {
+		return s, ErrShortPayload
+	}
+	s.Session = binary.BigEndian.Uint64(b)
+	b = b[8:]
+	var err error
+	if s.Cached, b, err = parseCachedObjects(b); err != nil {
+		return s, err
+	}
+	if len(b) < 2 {
+		return s, ErrShortPayload
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	for i := 0; i < n; i++ {
+		var name string
+		if name, b, err = parseString(b); err != nil {
+			return s, err
+		}
+		s.Written = append(s.Written, name)
+	}
+	return s, nil
+}
+
+// MedCacheSyncReply is the body of a TMedInvalidateReply packet: the
+// declared objects whose cached images are stale, each with the
+// generation a fresh fetch will reflect.
+type MedCacheSyncReply struct {
+	Stale []MedCachedObject
+}
+
+// AppendMedCacheSyncReply encodes r.
+func AppendMedCacheSyncReply(dst []byte, r *MedCacheSyncReply) []byte {
+	return appendCachedObjects(dst, r.Stale)
+}
+
+// ParseMedCacheSyncReply decodes a TMedInvalidateReply payload.
+func ParseMedCacheSyncReply(b []byte) (MedCacheSyncReply, error) {
+	stale, _, err := parseCachedObjects(b)
+	return MedCacheSyncReply{Stale: stale}, err
+}
+
 // MedStatus is the body of a TMedStatusReply packet: one replica's
 // operator-facing state.
 type MedStatus struct {

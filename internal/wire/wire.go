@@ -151,6 +151,14 @@ const (
 	// agent protecting itself; clients must not feed it into the
 	// failure-domain lifecycle.
 	TPushback
+
+	// Cache-coherence extension of the mediator control plane: a client
+	// rides one TMedInvalidate round per heartbeat, declaring the objects
+	// it caches (with generations) and the objects it wrote; the reply
+	// names the stale set. Appended after TPushback so every earlier type
+	// keeps its wire value.
+	TMedInvalidate      // client→mediator: cache-coherence sync round
+	TMedInvalidateReply // mediator→client: stale cached objects
 	tMax
 )
 
@@ -162,7 +170,7 @@ var typeNames = [...]string{
 	"medopen", "medopenreply", "medrenew", "medrenewreply",
 	"medclose", "medclosereply", "medmirror", "medmirrorreply",
 	"medstatus", "medstatusreply", "meddrain", "meddrainreply",
-	"pushback",
+	"pushback", "medinvalidate", "medinvalidatereply",
 }
 
 func (t Type) String() string {

@@ -1,0 +1,104 @@
+#!/bin/sh
+# Client-cache coherence smoke: boot a real deployment — three storage
+# agents plus one mediator replica — and verify the caching tier's
+# coherence story end to end over actual UDP sockets, across separate
+# client PROCESSES (the in-repo tests cover separate clients in one
+# process; this drill is the multi-process version an installation
+# actually runs):
+#
+#   A cached reader re-reads an object in three passes while a writer in
+#   another process overwrites it between passes 1 and 2. Both wire the
+#   mediator session as their coherence channel (-mediators with
+#   explicit -agents and no -rate: a coherence-only lease that leaves
+#   the striping layout to the flags, so both processes agree on it).
+#
+#   Must hold: pass 1 hashes to v1; passes 2 and 3 hash to v2 (the
+#   coherence round before pass 2 invalidated the cached v1); pass 3 is
+#   served from cache (hits > 0, so coherence cannot "pass" by never
+#   caching); at least one invalidation was recorded; and the bytes the
+#   reader saved on its final pass are byte-identical to v2.
+set -eu
+
+AGENT_PORT_BASE=19170
+MED_PORT=19160
+TMP=$(mktemp -d)
+PIDS=
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+# Run the built binaries directly (not `go run`) so the cleanup trap
+# kills the server processes themselves, not a wrapper.
+go build -o "$TMP/swiftd" ./cmd/swiftd
+go build -o "$TMP/swiftctl" ./cmd/swiftctl
+
+echo "== boot 3 storage agents"
+AGENTS=
+MED_AGENTS=
+i=0
+while [ "$i" -lt 3 ]; do
+	port=$((AGENT_PORT_BASE + i))
+	"$TMP/swiftd" -port "$port" -mem >"$TMP/agent$i.out" 2>&1 &
+	PIDS="$PIDS $!"
+	AGENTS="$AGENTS${AGENTS:+,}127.0.0.1:$port"
+	MED_AGENTS="$MED_AGENTS${MED_AGENTS:+,}127.0.0.1:$port@400"
+	i=$((i + 1))
+done
+
+echo "== boot 1 mediator replica (the coherence channel)"
+"$TMP/swiftd" -mediator "$MED_PORT" -mediator-name med-a \
+	-mediator-agents "$MED_AGENTS" >"$TMP/med-a.out" 2>&1 &
+PIDS="$PIDS $!"
+sleep 0.5
+
+# Coherence-only sessions: explicit agent set, no -rate. Layout flags
+# must match between the processes, and here both just use the defaults.
+CTL="$TMP/swiftctl -agents $AGENTS -mediators med-a=127.0.0.1:$MED_PORT"
+
+echo "== write v1, then start a cached three-pass reader"
+dd if=/dev/urandom of="$TMP/v1" bs=4096 count=256 2>/dev/null
+dd if=/dev/urandom of="$TMP/v2" bs=4096 count=256 2>/dev/null
+$CTL put "$TMP/v1" cobj 2>"$TMP/put1.err"
+
+$CTL -readahead 131072 reread -n 3 -pause 6s -out "$TMP/back" cobj \
+	>"$TMP/reread.out" 2>"$TMP/reread.err" &
+READER_PID=$!
+
+echo "== overwrite with v2 from another process, mid-pause"
+sleep 2
+$CTL put "$TMP/v2" cobj 2>"$TMP/put2.err"
+
+wait $READER_PID || {
+	echo "cached reader failed" >&2
+	cat "$TMP/reread.err" >&2
+	exit 1
+}
+cat "$TMP/reread.out"
+
+echo "== pass 1 must be v1; passes 2 and 3 must both be v2"
+SHA_V1=$(sha256sum "$TMP/v1" | cut -d' ' -f1)
+SHA_V2=$(sha256sum "$TMP/v2" | cut -d' ' -f1)
+for want in "1 $SHA_V1" "2 $SHA_V2" "3 $SHA_V2"; do
+	p=${want% *}
+	sha=${want#* }
+	grep -q "^pass $p: 1048576 bytes sha256=$sha\$" "$TMP/reread.out" || {
+		echo "pass $p did not hash to the expected image" >&2
+		exit 1
+	}
+done
+
+echo "== pass 3 must come from cache, via an invalidation of v1"
+CACHE_LINE=$(grep '^cache:' "$TMP/reread.out")
+HITS=$(echo "$CACHE_LINE" | sed -n 's/.*hits=\([0-9]*\).*/\1/p')
+INVALS=$(echo "$CACHE_LINE" | sed -n 's/.*invalidations=\([0-9]*\).*/\1/p')
+[ "${HITS:-0}" -gt 0 ] || {
+	echo "reader cache never served a hit ($CACHE_LINE)" >&2
+	exit 1
+}
+[ "${INVALS:-0}" -gt 0 ] || {
+	echo "reader cache was never invalidated ($CACHE_LINE)" >&2
+	exit 1
+}
+
+echo "== bytes the reader saved must be v2, byte for byte"
+cmp "$TMP/back" "$TMP/v2"
+
+echo "cache smoke OK"

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"swift/internal/agent"
+	"swift/internal/cache"
 	"swift/internal/core"
 	"swift/internal/integrity"
 	"swift/internal/mediator"
@@ -86,8 +87,29 @@ type Config struct {
 	RetryTimeout time.Duration
 	MaxRetries   int
 	// ReadAhead fetches sequential reads in windows of this many bytes
-	// (0 disables). Small sequential readers gain large-burst rates.
+	// (0 disables). Small sequential readers gain large-burst rates;
+	// detected sequential streams are additionally prefetched
+	// asynchronously into the block cache ahead of the reader.
 	ReadAhead int64
+	// ReadAheadStreams bounds how many concurrent sequential streams get
+	// asynchronous read-ahead (default 2). More streams pipeline more
+	// concurrent readers at the cost of agent-side interleaving.
+	ReadAheadStreams int
+	// CacheSize bounds the client block cache in bytes. Zero auto-sizes
+	// from ReadAhead and WriteBehindMax (at least 8 MiB when any caching
+	// feature is on); negative disables the cache tier entirely.
+	CacheSize int64
+	// WriteBehindMax, when > 0, absorbs writes into the cache and flushes
+	// them to the agents in the background, bounding dirty bytes at this
+	// budget. Sync, Seek-free sequential writers gain full-window bursts;
+	// Close and Sync still guarantee durability before returning.
+	WriteBehindMax int64
+	// CacheSync, when non-nil, is the cache-coherence hook: called once
+	// per health round (and on Close) with the cache's resident objects
+	// and this client's recent writes, it returns the entries that are
+	// stale and must be invalidated. Wire a MediatorBroker's CacheSync
+	// here so the mediator tier propagates cross-client invalidations.
+	CacheSync func(cached []CachedObject, written []string) ([]CachedObject, error)
 	// WritePace inserts a delay between outgoing data packets (the
 	// prototype's kernel-friendly wait loop); Sleep implements it.
 	WritePace time.Duration
@@ -207,6 +229,11 @@ func Dial(cfg Config) (*FS, error) {
 		ReadAhead:    cfg.ReadAhead,
 		WritePace:    cfg.WritePace,
 		Sleep:        cfg.Sleep,
+
+		ReadAheadStreams: cfg.ReadAheadStreams,
+		CacheSize:        cfg.CacheSize,
+		WriteBehindMax:   cfg.WriteBehindMax,
+		CacheSync:        cfg.CacheSync,
 
 		OpTimeout:        cfg.OpTimeout,
 		HedgeReads:       cfg.HedgeReads,
@@ -360,6 +387,16 @@ type MetricsSnapshot = core.MetricsSnapshot
 // Stats: load shed, hedged, denied, and the retry budget's fill level.
 type OverloadStats = core.OverloadStats
 
+// CacheStats is the client block cache's counter snapshot within Stats:
+// hits, misses, read-ahead activity, write-behind flushes and coherence
+// invalidations. All zeros when the cache tier is disabled.
+type CacheStats = cache.Stats
+
+// CachedObject names one cached object together with the generation it
+// was cached at — the currency of the cache-coherence protocol (see
+// Config.CacheSync and MediatorBroker.CacheSync).
+type CachedObject = mediator.CachedObject
+
 // BreakerState is one agent circuit breaker's position: closed,
 // half-open, or open.
 type BreakerState = core.BreakerState
@@ -395,6 +432,18 @@ type TraceEvent = obs.Event
 // Stats snapshots the client's telemetry. Safe to call during live
 // transfers; recording is never blocked.
 func (fs *FS) Stats() Stats { return fs.c.Stats() }
+
+// CacheStats returns the block cache's counters — Stats().Cache without
+// the full snapshot cost. All zeros when the cache tier is disabled.
+func (fs *FS) CacheStats() CacheStats { return fs.c.CacheStats() }
+
+// CoherenceSync runs one synchronous cache-coherence round through
+// Config.CacheSync: declare recent writes, learn which cached objects
+// other clients have overwritten, and invalidate them. The health
+// monitor (Config.HealthInterval) calls the same machinery every round;
+// CoherenceSync is for tests and clients that need a bounded staleness
+// point without waiting for the next round.
+func (fs *FS) CoherenceSync() { fs.c.CoherenceSync() }
 
 // Scheme describes the redundancy scheme as "m+k" (data+parity units per
 // stripe row), or "none" when parity is disabled.
